@@ -1,0 +1,51 @@
+//! Criterion benches for SNE solving and verification (the engine behind
+//! Figs. 2 and 4–8): analytic backward induction, numerical backward
+//! induction, and Def. 4.2 deviation verification across market sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use share_bench::default_params;
+use share_market::solver::{solve, solve_numeric, verify};
+use std::hint::black_box;
+
+fn bench_analytic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve_analytic");
+    for &m in &[10usize, 100, 1000, 10_000] {
+        let params = default_params(m, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &params, |b, p| {
+            b.iter(|| solve(black_box(p)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_numeric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve_numeric");
+    g.sample_size(20);
+    for &m in &[10usize, 100, 1000] {
+        let params = default_params(m, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &params, |b, p| {
+            b.iter(|| solve_numeric(black_box(p)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verify_sne");
+    g.sample_size(10);
+    for &m in &[10usize, 100] {
+        let params = default_params(m, 7);
+        let sol = solve(&params).unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(m),
+            &(params, sol),
+            |b, (p, s)| {
+                b.iter(|| verify(black_box(p), black_box(s)).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_analytic, bench_numeric, bench_verify);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion benches for the extension modules: welfare (planner solve),
+//! calibration (translog + λ fitting), truthfulness scans, and the
+//! alternative Shapley estimators (stratified, Banzhaf, confidence-tracked).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use share_bench::default_params;
+use share_market::calibration::{fit_translog, CostObservation};
+use share_market::params::BrokerParams;
+use share_market::profit::translog_cost;
+use share_market::solver::solve;
+use share_market::truthfulness::best_misreport;
+use share_market::welfare::{social_optimum, welfare_report};
+use share_valuation::banzhaf::banzhaf_monte_carlo;
+use share_valuation::confidence::shapley_with_confidence;
+use share_valuation::stratified::{shapley_stratified, StratifiedOptions};
+use share_valuation::utility::ThresholdUtility;
+use std::hint::black_box;
+
+fn bench_welfare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("welfare_planner");
+    for &m in &[10usize, 100, 1000] {
+        let params = default_params(m, 31);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &params, |b, p| {
+            b.iter(|| social_optimum(black_box(p)).unwrap());
+        });
+    }
+    g.finish();
+
+    let params = default_params(100, 31);
+    let sol = solve(&params).unwrap();
+    c.bench_function("welfare_report_m100", |b| {
+        b.iter(|| welfare_report(black_box(&params), black_box(&sol)).unwrap());
+    });
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let truth = BrokerParams::paper_defaults();
+    let observations: Vec<CostObservation> = (0..200)
+        .map(|i| {
+            let n = 100.0 + 37.0 * i as f64;
+            let v = 0.3 + 0.003 * (i % 200) as f64;
+            CostObservation {
+                n,
+                v,
+                cost: translog_cost(&truth, n, v),
+            }
+        })
+        .collect();
+    c.bench_function("fit_translog_200obs", |b| {
+        b.iter(|| fit_translog(black_box(&observations)).unwrap());
+    });
+}
+
+fn bench_truthfulness(c: &mut Criterion) {
+    let params = default_params(50, 31);
+    let grid = [0.5, 0.8, 1.25, 2.0];
+    c.bench_function("best_misreport_m50_4grid", |b| {
+        b.iter(|| best_misreport(black_box(&params), 0, &grid).unwrap());
+    });
+}
+
+fn bench_alternative_estimators(c: &mut Criterion) {
+    let game = ThresholdUtility::new(12, 6);
+    c.bench_function("shapley_stratified_m12", |b| {
+        b.iter(|| {
+            shapley_stratified(
+                black_box(&game),
+                StratifiedOptions {
+                    samples_per_stratum: 8,
+                    seed: 3,
+                },
+            )
+            .unwrap()
+        });
+    });
+    c.bench_function("banzhaf_mc_m12", |b| {
+        b.iter(|| banzhaf_monte_carlo(black_box(&game), 96, 3).unwrap());
+    });
+    c.bench_function("shapley_confidence_m12", |b| {
+        b.iter(|| shapley_with_confidence(black_box(&game), 96, 3).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_welfare,
+    bench_calibration,
+    bench_truthfulness,
+    bench_alternative_estimators
+);
+criterion_main!(benches);

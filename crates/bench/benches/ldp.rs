@@ -1,0 +1,78 @@
+//! Criterion benches for the LDP substrate: per-value mechanism throughput
+//! (the Data Transaction phase perturbs up to 10⁶ pieces per round) and the
+//! fidelity map.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use share_ldp::fidelity::{epsilon_for_fidelity, fidelity};
+use share_ldp::gaussian::GaussianMechanism;
+use share_ldp::laplace::LaplaceMechanism;
+use share_ldp::mechanism::{Domain, Mechanism};
+use share_ldp::randomized_response::RandomizedResponse;
+use std::hint::black_box;
+
+fn bench_laplace_slice(c: &mut Criterion) {
+    let mech = LaplaceMechanism::new(1.0, Domain::new(0.0, 100.0)).unwrap();
+    let mut g = c.benchmark_group("laplace_perturb_slice");
+    for &n in &[1_000usize, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut buf = vec![50.0f64; n];
+            b.iter(|| {
+                mech.perturb_slice(black_box(&mut buf), &mut rng);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_gaussian_slice(c: &mut Criterion) {
+    let mech = GaussianMechanism::new(1.0, 1e-5, Domain::new(0.0, 100.0)).unwrap();
+    let mut g = c.benchmark_group("gaussian_perturb_slice");
+    g.bench_function("n100000", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut buf = vec![50.0f64; 100_000];
+        b.iter(|| {
+            mech.perturb_slice(black_box(&mut buf), &mut rng);
+        });
+    });
+    g.finish();
+}
+
+fn bench_randomized_response(c: &mut Criterion) {
+    let rr = RandomizedResponse::new(1.0, 16).unwrap();
+    c.bench_function("randomized_response_100k", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..100_000usize {
+                acc += rr.randomize(black_box(i % 16), &mut rng);
+            }
+            acc
+        });
+    });
+}
+
+fn bench_fidelity_map(c: &mut Criterion) {
+    c.bench_function("fidelity_roundtrip_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..10_000 {
+                let eps = i as f64 * 0.01;
+                let t = fidelity(black_box(eps)).unwrap();
+                acc += epsilon_for_fidelity(t).unwrap();
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_laplace_slice,
+    bench_gaussian_slice,
+    bench_randomized_response,
+    bench_fidelity_map
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches for the Stage-3 solution paths (paper §5.1.1 +
+//! Theorem 5.1): closed-form direct derivation, mean-field approximation,
+//! and the exact linear-χ fixed point — the design choice DESIGN.md calls
+//! out for ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use share_bench::default_params;
+use share_market::meanfield::measure_mean_field_error;
+use share_market::params::{LossModel, MarketParams};
+use share_market::stage3::{tau_direct, tau_direct_linear_chi, tau_mean_field};
+use std::hint::black_box;
+
+type Stage3Fn = Box<dyn Fn(&MarketParams) -> Vec<f64>>;
+
+fn bench_stage3_paths(c: &mut Criterion) {
+    let p_d = 0.05;
+    let paths: Vec<(&str, Stage3Fn)> = vec![
+        (
+            "stage3_direct_eq20",
+            Box::new(move |params| tau_direct(params, p_d).unwrap()),
+        ),
+        (
+            "stage3_mean_field_eq23",
+            Box::new(move |params| tau_mean_field(params, p_d).unwrap()),
+        ),
+        (
+            "stage3_fixed_point_eq24",
+            Box::new(move |params| tau_direct_linear_chi(params, p_d, 2000, 1e-12).unwrap()),
+        ),
+    ];
+    for (name, f) in paths {
+        let mut g = c.benchmark_group(name);
+        for &m in &[10usize, 100, 1000] {
+            let mut params = default_params(m, 13);
+            params.loss_model = LossModel::LinearChi;
+            g.bench_with_input(BenchmarkId::from_parameter(m), &params, |b, p| {
+                b.iter(|| f(black_box(p)));
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_theorem51_measurement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theorem51_error_measurement");
+    g.sample_size(10);
+    for &m in &[50usize, 500] {
+        let mut params = default_params(m, 13);
+        params.loss_model = LossModel::LinearChi;
+        g.bench_with_input(BenchmarkId::from_parameter(m), &params, |b, p| {
+            b.iter(|| measure_mean_field_error(black_box(p), 0.05).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stage3_paths, bench_theorem51_measurement);
+criterion_main!(benches);

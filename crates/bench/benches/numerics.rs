@@ -1,0 +1,63 @@
+//! Criterion benches for the numerical kernels: least squares over both
+//! backends at market scale (training is the Production phase's cost) and
+//! the 1-D optimizers the equilibrium solver leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use share_numerics::lstsq::{solve_lstsq, Backend};
+use share_numerics::matrix::Matrix;
+use share_numerics::optimize::golden::{maximize, GoldenOptions};
+use share_numerics::optimize::grid::maximize_scan;
+use std::hint::black_box;
+
+fn design(n: usize, d: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n * d);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut t = 0.5;
+        for j in 0..d {
+            let v: f64 = rng.random_range(-1.0..1.0);
+            data.push(v);
+            t += (j as f64 + 1.0) * v;
+        }
+        y.push(t + rng.random_range(-0.1..0.1));
+    }
+    (Matrix::from_vec(n, d, data).unwrap(), y)
+}
+
+fn bench_lstsq(c: &mut Criterion) {
+    for backend in [Backend::NormalEquations, Backend::Qr] {
+        let name = match backend {
+            Backend::NormalEquations => "lstsq_normal_equations",
+            Backend::Qr => "lstsq_qr",
+        };
+        let mut g = c.benchmark_group(name);
+        g.sample_size(20);
+        for &n in &[1_000usize, 10_000, 100_000] {
+            // QR on 100k x 5 is heavy; skip the largest size for it.
+            if matches!(backend, Backend::Qr) && n > 10_000 {
+                continue;
+            }
+            let (a, y) = design(n, 5, 3);
+            g.bench_with_input(BenchmarkId::from_parameter(n), &(a, y), |b, (a, y)| {
+                b.iter(|| solve_lstsq(black_box(a), black_box(y), 1e-8, backend).unwrap());
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let f = |x: f64| (1.0 + 2.0 * x).ln() - 0.4 * x * x;
+    c.bench_function("golden_section_maximize", |b| {
+        b.iter(|| maximize(black_box(f), 0.0, 10.0, GoldenOptions::default()).unwrap());
+    });
+    c.bench_function("maximize_scan_96pts", |b| {
+        b.iter(|| maximize_scan(black_box(f), 0.0, 10.0, 96, 1e-12).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_lstsq, bench_optimizers);
+criterion_main!(benches);

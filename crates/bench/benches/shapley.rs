@@ -1,0 +1,111 @@
+//! Criterion benches for Shapley estimation: exact enumeration, generic
+//! Monte-Carlo (serial/parallel/truncated), and the incremental
+//! sufficient-statistics estimator that powers the Fig. 3(a) sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use share_datagen::ccpp::{generate, CcppConfig};
+use share_datagen::partition::partition_equal;
+use share_market::fast_shapley::{linreg_group_shapley, FastShapleyOptions};
+use share_ml::suffstats::SufficientStats;
+use share_valuation::exact::shapley_exact;
+use share_valuation::monte_carlo::{shapley_monte_carlo, McOptions};
+use share_valuation::utility::ThresholdUtility;
+use std::hint::black_box;
+
+fn bench_exact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shapley_exact");
+    for &m in &[8usize, 12, 16] {
+        let game = ThresholdUtility::new(m, m / 2);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &game, |b, game| {
+            b.iter(|| shapley_exact(black_box(game)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shapley_monte_carlo_100perm");
+    for &m in &[16usize, 64, 256] {
+        let game = ThresholdUtility::new(m, m / 2);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &game, |b, game| {
+            b.iter(|| {
+                shapley_monte_carlo(
+                    black_box(game),
+                    McOptions {
+                        permutations: 100,
+                        seed: 5,
+                        ..McOptions::default()
+                    },
+                )
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_monte_carlo_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shapley_monte_carlo_parallel4");
+    g.sample_size(30);
+    let game = ThresholdUtility::new(128, 64);
+    g.bench_function("m128", |b| {
+        b.iter(|| {
+            shapley_monte_carlo(
+                black_box(&game),
+                McOptions {
+                    permutations: 100,
+                    seed: 5,
+                    threads: 4,
+                    ..McOptions::default()
+                },
+            )
+            .unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_fast_linreg(c: &mut Criterion) {
+    let data = generate(CcppConfig {
+        rows: 10_000,
+        seed: 3,
+        ..CcppConfig::default()
+    })
+    .unwrap();
+    let test = generate(CcppConfig {
+        rows: 500,
+        seed: 4,
+        ..CcppConfig::default()
+    })
+    .unwrap();
+    let mut g = c.benchmark_group("shapley_fast_linreg_100perm");
+    for &m in &[100usize, 1000] {
+        let groups = partition_equal(&data, m).unwrap();
+        let stats: Vec<SufficientStats> =
+            groups.iter().map(SufficientStats::from_dataset).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(m), &stats, |b, stats| {
+            b.iter(|| {
+                linreg_group_shapley(
+                    black_box(stats),
+                    &test,
+                    FastShapleyOptions {
+                        permutations: 100,
+                        seed: 5,
+                        ridge: 1e-6,
+                    },
+                )
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact,
+    bench_monte_carlo,
+    bench_monte_carlo_parallel,
+    bench_fast_linreg
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches for the Figs. 4–8 parameter sweeps (each grid point
+//! re-solves the SNE) and the Fig. 2 deviation sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use share_bench::default_params;
+use share_market::deviation::{sweep_p_d, sweep_p_m, sweep_tau};
+use share_market::solver::solve;
+use share_market::sweep::{sweep_lambda1, sweep_theta1};
+use std::hint::black_box;
+
+fn bench_influence_sweeps(c: &mut Criterion) {
+    let base = default_params(100, 17);
+    c.bench_function("fig4_theta1_sweep_9pts", |b| {
+        b.iter(|| sweep_theta1(black_box(&base), 0.1, 0.9, 9).unwrap());
+    });
+    c.bench_function("fig8_lambda1_sweep_10pts", |b| {
+        b.iter(|| sweep_lambda1(black_box(&base), 0.05, 0.95, 10).unwrap());
+    });
+}
+
+fn bench_deviation_sweeps(c: &mut Criterion) {
+    let params = default_params(100, 17);
+    let sol = solve(&params).unwrap();
+    c.bench_function("fig2a_pm_sweep_41pts", |b| {
+        b.iter(|| sweep_p_m(black_box(&params), sol.p_m * 0.25, sol.p_m * 2.0, 41, &[0]).unwrap());
+    });
+    c.bench_function("fig2b_pd_sweep_41pts", |b| {
+        b.iter(|| {
+            sweep_p_d(
+                black_box(&params),
+                &sol,
+                sol.p_d * 0.25,
+                sol.p_d * 2.0,
+                41,
+                &[0],
+            )
+            .unwrap()
+        });
+    });
+    c.bench_function("fig2c_tau_sweep_41pts", |b| {
+        let t = sol.tau[0];
+        b.iter(|| {
+            sweep_tau(
+                black_box(&params),
+                &sol,
+                0,
+                (t * 0.25).max(1e-7),
+                t * 2.0,
+                41,
+                &[0, 1],
+            )
+            .unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_influence_sweeps, bench_deviation_sweeps);
+criterion_main!(benches);

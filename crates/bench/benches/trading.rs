@@ -1,0 +1,49 @@
+//! Criterion benches for the full Algorithm 1 trading round — the paper's
+//! Fig. 3 experiment as a statistically sampled benchmark: with the Shapley
+//! weight update (3a) and without (3b), across seller counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use share_bench::{efficiency_corpus, efficiency_market};
+use share_market::dynamics::{RoundOptions, WeightUpdate};
+use share_market::fast_shapley::FastShapleyOptions;
+use std::hint::black_box;
+
+fn bench_round(c: &mut Criterion, name: &str, update: fn() -> WeightUpdate) {
+    let corpus = efficiency_corpus(11);
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    for &m in &[10usize, 100, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter_batched(
+                || efficiency_market(&corpus, m, 11),
+                |mut market| {
+                    let opts = RoundOptions {
+                        weight_update: update(),
+                        seed: 11,
+                        ..RoundOptions::default()
+                    };
+                    black_box(market.run_round(opts).unwrap());
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn fig3a_with_shapley(c: &mut Criterion) {
+    bench_round(c, "trading_round_with_shapley", || {
+        WeightUpdate::FastLinReg(FastShapleyOptions {
+            permutations: 100,
+            seed: 11,
+            ridge: 1e-6,
+        })
+    });
+}
+
+fn fig3b_without_shapley(c: &mut Criterion) {
+    bench_round(c, "trading_round_without_shapley", || WeightUpdate::None);
+}
+
+criterion_group!(benches, fig3a_with_shapley, fig3b_without_shapley);
+criterion_main!(benches);

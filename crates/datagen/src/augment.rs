@@ -1,0 +1,162 @@
+//! Dataset augmentation — the paper's synthetic-efficiency recipe (§6.1):
+//! replicate the base dataset `k` times and add Gaussian noise
+//! `N(0, 0.1²)` to produce a large corpus (9,568 × 100 ≈ 1,000,000 rows).
+
+use crate::error::{DatagenError, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use share_ldp::gaussian::sample_standard_normal;
+use share_ml::dataset::Dataset;
+use share_numerics::matrix::Matrix;
+
+/// Configuration for [`replicate_with_noise`].
+#[derive(Debug, Clone, Copy)]
+pub struct AugmentConfig {
+    /// Replication factor (the paper uses 100).
+    pub replications: usize,
+    /// Noise standard deviation (the paper uses 0.1).
+    pub noise_std: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        Self {
+            replications: 100,
+            noise_std: 0.1,
+            seed: 0xA06,
+        }
+    }
+}
+
+/// Replicate `base` `replications` times, adding `N(0, noise_std²)` noise to
+/// every feature and target of every copy (the first copy is noisy too,
+/// matching "replicate then perturb").
+///
+/// # Errors
+/// [`DatagenError::InvalidArgument`] for zero replications or invalid noise.
+pub fn replicate_with_noise(base: &Dataset, config: AugmentConfig) -> Result<Dataset> {
+    if config.replications == 0 {
+        return Err(DatagenError::InvalidArgument {
+            name: "replications",
+            reason: "must be positive".to_string(),
+        });
+    }
+    if !(config.noise_std.is_finite() && config.noise_std >= 0.0) {
+        return Err(DatagenError::InvalidArgument {
+            name: "noise_std",
+            reason: format!("must be non-negative and finite, got {}", config.noise_std),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = base.len();
+    let d = base.n_features();
+    let total = n * config.replications;
+    let mut feats = Vec::with_capacity(total * d);
+    let mut targets = Vec::with_capacity(total);
+    for _ in 0..config.replications {
+        for i in 0..n {
+            let (f, t) = base.row(i);
+            for &v in f {
+                feats.push(v + config.noise_std * sample_standard_normal(&mut rng));
+            }
+            targets.push(t + config.noise_std * sample_standard_normal(&mut rng));
+        }
+    }
+    let features = Matrix::from_vec(total, d, feats).expect("size matches by construction");
+    Ok(Dataset::new(features, targets)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Dataset {
+        let m = Matrix::from_vec(3, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0]).unwrap();
+        Dataset::new(m, vec![100.0, 200.0, 300.0]).unwrap()
+    }
+
+    #[test]
+    fn size_multiplies() {
+        let out = replicate_with_noise(
+            &base(),
+            AugmentConfig {
+                replications: 5,
+                ..AugmentConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.len(), 15);
+        assert_eq!(out.n_features(), 2);
+    }
+
+    #[test]
+    fn zero_noise_is_exact_replication() {
+        let out = replicate_with_noise(
+            &base(),
+            AugmentConfig {
+                replications: 2,
+                noise_std: 0.0,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.row(0), base().row(0));
+        assert_eq!(out.row(3), base().row(0));
+        assert_eq!(out.row(5), base().row(2));
+    }
+
+    #[test]
+    fn noise_perturbs_each_copy_differently() {
+        let out = replicate_with_noise(&base(), AugmentConfig::default()).unwrap();
+        // Copy 0 row 0 vs copy 1 row 0 should differ.
+        assert_ne!(out.row(0).0, out.row(3).0);
+        // But stay close (0.1 std).
+        let d0 = (out.row(0).0[0] - 1.0).abs();
+        assert!(d0 < 1.0, "noise too large: {d0}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = replicate_with_noise(&base(), AugmentConfig::default()).unwrap();
+        let b = replicate_with_noise(&base(), AugmentConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(replicate_with_noise(
+            &base(),
+            AugmentConfig {
+                replications: 0,
+                ..AugmentConfig::default()
+            }
+        )
+        .is_err());
+        assert!(replicate_with_noise(
+            &base(),
+            AugmentConfig {
+                noise_std: -0.5,
+                ..AugmentConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn paper_scale_augmentation() {
+        // 9,568 × 100 within the paper's setup would be 956,800 rows; check a
+        // scaled-down version of the exact recipe runs.
+        let big = replicate_with_noise(
+            &base(),
+            AugmentConfig {
+                replications: 1000,
+                noise_std: 0.1,
+                seed: 42,
+            },
+        )
+        .unwrap();
+        assert_eq!(big.len(), 3000);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for dataset generation and partitioning.
+
+use share_ml::MlError;
+use std::fmt;
+
+/// Errors produced by generators, augmentation and partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatagenError {
+    /// An argument is outside its documented domain.
+    InvalidArgument {
+        /// Name of the offending argument.
+        name: &'static str,
+        /// Explanation of the violated requirement.
+        reason: String,
+    },
+    /// An underlying ML-substrate operation failed.
+    Ml(MlError),
+}
+
+impl fmt::Display for DatagenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidArgument { name, reason } => {
+                write!(f, "invalid argument `{name}`: {reason}")
+            }
+            Self::Ml(e) => write!(f, "dataset operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatagenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MlError> for DatagenError {
+    fn from(e: MlError) -> Self {
+        Self::Ml(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, DatagenError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = DatagenError::InvalidArgument {
+            name: "m",
+            reason: "zero".to_string(),
+        };
+        assert!(e.to_string().contains("`m`"));
+        assert!(e.source().is_none());
+        let w = DatagenError::from(MlError::EmptyDataset);
+        assert!(w.source().is_some());
+    }
+}

@@ -1,0 +1,194 @@
+//! Loading real tabular data from CSV.
+//!
+//! The paper evaluates on the UCI CCPP file; this loader lets a deployment
+//! with access to the real data (exported to CSV: `AT,V,AP,RH,PE`) run the
+//! identical pipeline instead of the synthetic substitute. Hand-rolled
+//! parser — numeric tables only, no quoting/escaping (none appear in the
+//! UCI export), with precise line/column error reporting.
+
+use crate::error::{DatagenError, Result};
+use share_ml::dataset::Dataset;
+use share_numerics::matrix::Matrix;
+use std::path::Path;
+
+/// Parse a numeric CSV string into a [`Dataset`]: the **last** column is
+/// the target, all preceding columns are features. `has_header` skips the
+/// first line.
+///
+/// # Errors
+/// [`DatagenError::InvalidArgument`] with the offending line/column for
+/// empty input, ragged rows, non-numeric fields, or fewer than 2 columns.
+pub fn parse_csv(content: &str, has_header: bool) -> Result<Dataset> {
+    let mut lines = content.lines().enumerate();
+    if has_header {
+        lines.next();
+    }
+    let mut width: Option<usize> = None;
+    let mut feats: Vec<f64> = Vec::new();
+    let mut targets: Vec<f64> = Vec::new();
+    let mut rows = 0usize;
+    for (lineno, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 2 {
+            return Err(DatagenError::InvalidArgument {
+                name: "csv",
+                reason: format!(
+                    "line {}: need >= 2 columns, got {}",
+                    lineno + 1,
+                    fields.len()
+                ),
+            });
+        }
+        match width {
+            None => width = Some(fields.len()),
+            Some(w) if w != fields.len() => {
+                return Err(DatagenError::InvalidArgument {
+                    name: "csv",
+                    reason: format!(
+                        "line {}: expected {w} columns, got {}",
+                        lineno + 1,
+                        fields.len()
+                    ),
+                });
+            }
+            _ => {}
+        }
+        for (col, field) in fields.iter().enumerate() {
+            let v: f64 = field
+                .trim()
+                .parse()
+                .map_err(|_| DatagenError::InvalidArgument {
+                    name: "csv",
+                    reason: format!(
+                        "line {}, column {}: `{field}` is not a number",
+                        lineno + 1,
+                        col + 1
+                    ),
+                })?;
+            if col + 1 == fields.len() {
+                targets.push(v);
+            } else {
+                feats.push(v);
+            }
+        }
+        rows += 1;
+    }
+    let Some(w) = width else {
+        return Err(DatagenError::InvalidArgument {
+            name: "csv",
+            reason: "no data rows".to_string(),
+        });
+    };
+    let features = Matrix::from_vec(rows, w - 1, feats).map_err(share_ml::MlError::from)?;
+    Ok(Dataset::new(features, targets)?)
+}
+
+/// Load a CSV file from disk (see [`parse_csv`] for the format).
+///
+/// # Errors
+/// [`DatagenError::InvalidArgument`] for I/O failures, plus all
+/// [`parse_csv`] errors.
+pub fn load_csv(path: &Path, has_header: bool) -> Result<Dataset> {
+    let content = std::fs::read_to_string(path).map_err(|e| DatagenError::InvalidArgument {
+        name: "path",
+        reason: format!("cannot read {}: {e}", path.display()),
+    })?;
+    parse_csv(&content, has_header)
+}
+
+/// Serialize a dataset back to CSV (features then target per row) — used
+/// by the harness to export transacted datasets for external analysis.
+pub fn to_csv(data: &Dataset, header: Option<&[&str]>) -> String {
+    let mut out = String::new();
+    if let Some(h) = header {
+        out.push_str(&h.join(","));
+        out.push('\n');
+    }
+    for i in 0..data.len() {
+        let (x, y) = data.row(i);
+        for v in x {
+            out.push_str(&format!("{v},"));
+        }
+        out.push_str(&format!("{y}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str =
+        "AT,V,AP,RH,PE\n14.96,41.76,1024.07,73.17,463.26\n25.18,62.96,1020.04,59.08,444.37\n";
+
+    #[test]
+    fn parses_ccpp_style_csv() {
+        let d = parse_csv(SAMPLE, true).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.n_features(), 4);
+        let (x, y) = d.row(0);
+        assert_eq!(x, &[14.96, 41.76, 1024.07, 73.17]);
+        assert_eq!(y, 463.26);
+    }
+
+    #[test]
+    fn headerless_parsing() {
+        let d = parse_csv("1,2,3\n4,5,6\n", false).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.targets(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let d = parse_csv("1,2\n\n3,4\n\n", false).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn rejects_ragged_rows_with_line_number() {
+        let e = parse_csv("1,2,3\n4,5\n", false).unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_numeric_with_location() {
+        let e = parse_csv("1,2\n3,oops\n", false).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 2") && msg.contains("column 2"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_single_column_and_empty() {
+        assert!(parse_csv("1\n2\n", false).is_err());
+        assert!(parse_csv("", false).is_err());
+        assert!(parse_csv("h1,h2\n", true).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_to_csv() {
+        let d = parse_csv(SAMPLE, true).unwrap();
+        let exported = to_csv(&d, Some(&["AT", "V", "AP", "RH", "PE"]));
+        let back = parse_csv(&exported, true).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn file_loading_reports_missing_path() {
+        let e = load_csv(Path::new("/nonexistent/ccpp.csv"), true).unwrap_err();
+        assert!(e.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("share_loader_test.csv");
+        std::fs::write(&dir, SAMPLE).unwrap();
+        let d = load_csv(&dir, true).unwrap();
+        assert_eq!(d.len(), 2);
+        let _ = std::fs::remove_file(&dir);
+    }
+}

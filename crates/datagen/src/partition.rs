@@ -1,0 +1,177 @@
+//! Distributing data over sellers.
+//!
+//! The paper's setup (§6.1): sort 9,000 CCPP points by quality, then
+//! distribute them over `m = 100` sellers so that "sellers each own 90 data
+//! pieces but with different quality" — i.e. contiguous blocks of the sorted
+//! order, giving seller 0 the best block and seller m−1 the worst. A
+//! round-robin dealer is also provided for homogeneous-seller ablations.
+
+use crate::error::{DatagenError, Result};
+use crate::quality::rank_by_quality;
+use share_ml::dataset::Dataset;
+
+/// How sorted points are dealt to sellers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Contiguous blocks of the quality-sorted order — heterogeneous sellers
+    /// (the paper's setup).
+    SortedBlocks,
+    /// Round-robin deal of the quality-sorted order — near-homogeneous
+    /// sellers (ablation baseline).
+    RoundRobin,
+}
+
+/// Partition `data` over `m` sellers according to per-point quality scores.
+/// Returns the per-seller datasets, best-quality seller first (for
+/// [`PartitionStrategy::SortedBlocks`]).
+///
+/// # Errors
+/// - [`DatagenError::InvalidArgument`] when `m` is 0 or exceeds the row
+///   count, or when `scores` has the wrong length.
+pub fn partition_by_quality(
+    data: &Dataset,
+    scores: &[f64],
+    m: usize,
+    strategy: PartitionStrategy,
+) -> Result<Vec<Dataset>> {
+    if m == 0 || m > data.len() {
+        return Err(DatagenError::InvalidArgument {
+            name: "m",
+            reason: format!("must be in 1..={}, got {m}", data.len()),
+        });
+    }
+    if scores.len() != data.len() {
+        return Err(DatagenError::InvalidArgument {
+            name: "scores",
+            reason: format!("length {} differs from rows {}", scores.len(), data.len()),
+        });
+    }
+    let order = rank_by_quality(scores);
+    let mut seller_indices: Vec<Vec<usize>> = vec![Vec::new(); m];
+    match strategy {
+        PartitionStrategy::SortedBlocks => {
+            let n = order.len();
+            let base = n / m;
+            let extra = n % m;
+            let mut start = 0;
+            for (s, bucket) in seller_indices.iter_mut().enumerate() {
+                let sz = base + usize::from(s < extra);
+                bucket.extend_from_slice(&order[start..start + sz]);
+                start += sz;
+            }
+        }
+        PartitionStrategy::RoundRobin => {
+            for (k, &i) in order.iter().enumerate() {
+                seller_indices[k % m].push(i);
+            }
+        }
+    }
+    seller_indices
+        .into_iter()
+        .map(|idx| Ok(data.select(&idx)?))
+        .collect()
+}
+
+/// Equal split without quality sorting (keeps original order) — used when
+/// all sellers are interchangeable, e.g. the efficiency experiments.
+///
+/// # Errors
+/// [`DatagenError::InvalidArgument`] for an invalid `m`.
+pub fn partition_equal(data: &Dataset, m: usize) -> Result<Vec<Dataset>> {
+    if m == 0 || m > data.len() {
+        return Err(DatagenError::InvalidArgument {
+            name: "m",
+            reason: format!("must be in 1..={}, got {m}", data.len()),
+        });
+    }
+    Ok(data.chunks(m)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use share_numerics::matrix::Matrix;
+
+    /// 10 points; quality equals the target value (higher = better).
+    fn scored() -> (Dataset, Vec<f64>) {
+        let n = 10;
+        let feats = Matrix::from_vec(n, 1, (0..n).map(|i| i as f64).collect()).unwrap();
+        let targets: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let scores = targets.clone();
+        (Dataset::new(feats, targets).unwrap(), scores)
+    }
+
+    #[test]
+    fn sorted_blocks_gives_best_to_first_seller() {
+        let (d, s) = scored();
+        let parts = partition_by_quality(&d, &s, 2, PartitionStrategy::SortedBlocks).unwrap();
+        assert_eq!(parts.len(), 2);
+        let mean = |p: &Dataset| p.targets().iter().sum::<f64>() / p.len() as f64;
+        assert!(mean(&parts[0]) > mean(&parts[1]));
+        // Best seller holds exactly the top half {9,8,7,6,5}.
+        let mut top: Vec<f64> = parts[0].targets().to_vec();
+        top.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(top, vec![5.0, 6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn round_robin_balances_quality() {
+        let (d, s) = scored();
+        let parts = partition_by_quality(&d, &s, 2, PartitionStrategy::RoundRobin).unwrap();
+        let mean = |p: &Dataset| p.targets().iter().sum::<f64>() / p.len() as f64;
+        assert!((mean(&parts[0]) - mean(&parts[1])).abs() <= 1.0);
+    }
+
+    #[test]
+    fn all_rows_covered_exactly_once() {
+        let (d, s) = scored();
+        for strategy in [
+            PartitionStrategy::SortedBlocks,
+            PartitionStrategy::RoundRobin,
+        ] {
+            let parts = partition_by_quality(&d, &s, 3, strategy).unwrap();
+            let mut all: Vec<f64> = parts.iter().flat_map(|p| p.targets().to_vec()).collect();
+            all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(all, (0..10).map(|i| i as f64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn uneven_split_sizes() {
+        let (d, s) = scored();
+        let parts = partition_by_quality(&d, &s, 3, PartitionStrategy::SortedBlocks).unwrap();
+        let sizes: Vec<usize> = parts.iter().map(Dataset::len).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn paper_shape_100_sellers_90_pieces() {
+        let n = 9000;
+        let feats = Matrix::from_vec(n, 1, (0..n).map(|i| i as f64).collect()).unwrap();
+        let targets: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let scores: Vec<f64> = (0..n).map(|i| -(i as f64)).collect();
+        let d = Dataset::new(feats, targets).unwrap();
+        let parts =
+            partition_by_quality(&d, &scores, 100, PartitionStrategy::SortedBlocks).unwrap();
+        assert_eq!(parts.len(), 100);
+        assert!(parts.iter().all(|p| p.len() == 90));
+    }
+
+    #[test]
+    fn partition_equal_keeps_order() {
+        let (d, _) = scored();
+        let parts = partition_equal(&d, 5).unwrap();
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts[0].targets(), &[0.0, 1.0]);
+        assert_eq!(parts[4].targets(), &[8.0, 9.0]);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let (d, s) = scored();
+        assert!(partition_by_quality(&d, &s, 0, PartitionStrategy::SortedBlocks).is_err());
+        assert!(partition_by_quality(&d, &s, 11, PartitionStrategy::SortedBlocks).is_err());
+        assert!(partition_by_quality(&d, &s[..5], 2, PartitionStrategy::SortedBlocks).is_err());
+        assert!(partition_equal(&d, 0).is_err());
+    }
+}

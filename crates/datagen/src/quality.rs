@@ -1,0 +1,255 @@
+//! Per-point data-quality scoring.
+//!
+//! The paper sorts the CCPP points "by quality measured by Shapley value,
+//! which indicates the contribution of each data piece to model training"
+//! (§6.1, Monte-Carlo with 100 permutations). Two scorers are provided:
+//!
+//! - [`shapley_group_quality`] — the paper's approach made tractable:
+//!   points are bucketed into groups, group Shapley values are estimated by
+//!   Monte-Carlo permutation sampling (utility = explained variance of a
+//!   model trained on the union of the groups), and every member inherits
+//!   its group's score.
+//! - [`residual_quality`] — a cheap exact proxy: a point's agreement with
+//!   the global linear structure (negative absolute residual of a full-data
+//!   fit). Points that fit cleanly contribute positively to training; noisy
+//!   outliers rank last. Useful at the 10⁶-row scale of the efficiency
+//!   experiments where even group Shapley is overkill.
+
+use crate::error::{DatagenError, Result};
+use share_ml::dataset::Dataset;
+use share_ml::linreg::LinearRegression;
+use share_valuation::monte_carlo::{shapley_monte_carlo, McOptions};
+use share_valuation::utility::CoalitionUtility;
+
+/// Quality as the negative absolute residual under a full-data linear fit.
+///
+/// # Errors
+/// Propagates training errors (e.g. a degenerate design matrix).
+pub fn residual_quality(data: &Dataset) -> Result<Vec<f64>> {
+    let mut model = LinearRegression::default_model();
+    model.fit(data)?;
+    let pred = model.predict(data.features())?;
+    Ok(data
+        .targets()
+        .iter()
+        .zip(&pred)
+        .map(|(t, p)| -(t - p).abs())
+        .collect())
+}
+
+/// Coalition utility over groups of data: explained variance on `test` of a
+/// model trained on the union of the coalition's groups. The empty coalition
+/// scores 0.
+struct GroupUtility<'a> {
+    groups: &'a [Dataset],
+    test: &'a Dataset,
+}
+
+impl CoalitionUtility for GroupUtility<'_> {
+    fn n_players(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn utility(&self, coalition: &[usize]) -> f64 {
+        if coalition.is_empty() {
+            return 0.0;
+        }
+        let parts: Vec<&Dataset> = coalition.iter().map(|&g| &self.groups[g]).collect();
+        let merged = match Dataset::concat(&parts) {
+            Ok(d) => d,
+            Err(_) => return 0.0,
+        };
+        let mut model = LinearRegression::default_model();
+        if model.fit(&merged).is_err() {
+            return 0.0;
+        }
+        // Negative scores are possible for terrible coalitions; keep them —
+        // Shapley handles signed utilities.
+        model.explained_variance(self.test).unwrap_or(0.0)
+    }
+}
+
+/// Group-Shapley quality: bucket `data` into `n_groups` contiguous groups,
+/// estimate each group's Shapley value (utility = explained variance on
+/// `test`), and return a per-point score equal to its group's value.
+///
+/// # Errors
+/// - [`DatagenError::InvalidArgument`] when `n_groups` is 0 or exceeds the
+///   row count.
+/// - Propagates dataset and estimator errors.
+pub fn shapley_group_quality(
+    data: &Dataset,
+    test: &Dataset,
+    n_groups: usize,
+    opts: McOptions,
+) -> Result<Vec<f64>> {
+    if n_groups == 0 || n_groups > data.len() {
+        return Err(DatagenError::InvalidArgument {
+            name: "n_groups",
+            reason: format!("must be in 1..={}, got {n_groups}", data.len()),
+        });
+    }
+    let groups = data.chunks(n_groups)?;
+    let utility = GroupUtility {
+        groups: &groups,
+        test,
+    };
+    let sv = shapley_monte_carlo(&utility, opts).map_err(|e| DatagenError::InvalidArgument {
+        name: "shapley",
+        reason: e.to_string(),
+    })?;
+    let mut out = Vec::with_capacity(data.len());
+    for (g, group) in groups.iter().enumerate() {
+        out.extend(std::iter::repeat_n(sv[g], group.len()));
+    }
+    Ok(out)
+}
+
+/// Indices of `scores` sorted by descending quality (best first). Ties keep
+/// their original relative order.
+pub fn rank_by_quality(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccpp::{generate, CcppConfig};
+    use share_numerics::matrix::Matrix;
+
+    fn clean_and_noisy() -> Dataset {
+        // 20 clean points on y = 2x, 5 wildly noisy ones.
+        let mut feats = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            feats.push(i as f64);
+            ys.push(2.0 * i as f64);
+        }
+        for i in 0..5 {
+            feats.push(30.0 + i as f64);
+            ys.push(1000.0 * if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        Dataset::new(Matrix::from_vec(25, 1, feats).unwrap(), ys).unwrap()
+    }
+
+    #[test]
+    fn residual_quality_ranks_clean_points_first() {
+        let d = clean_and_noisy();
+        let q = residual_quality(&d).unwrap();
+        let rank = rank_by_quality(&q);
+        // The 5 noisy points (indices 20..25) must rank last.
+        for &bad in &[20, 21, 22, 23, 24] {
+            let pos = rank.iter().position(|&i| i == bad).unwrap();
+            assert!(pos >= 20, "noisy point {bad} ranked at {pos}");
+        }
+    }
+
+    #[test]
+    fn residual_quality_scores_are_nonpositive() {
+        let d = clean_and_noisy();
+        for q in residual_quality(&d).unwrap() {
+            assert!(q <= 0.0);
+        }
+    }
+
+    #[test]
+    fn rank_by_quality_descending() {
+        let r = rank_by_quality(&[0.1, 0.9, 0.5]);
+        assert_eq!(r, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn rank_by_quality_empty() {
+        assert!(rank_by_quality(&[]).is_empty());
+    }
+
+    #[test]
+    fn group_shapley_prefers_informative_groups() {
+        // CCPP sample: corrupt the last quarter's targets; its groups should
+        // earn lower Shapley value than clean groups.
+        let mut d = generate(CcppConfig {
+            rows: 400,
+            seed: 11,
+            ..CcppConfig::default()
+        })
+        .unwrap();
+        let test = generate(CcppConfig {
+            rows: 200,
+            seed: 12,
+            ..CcppConfig::default()
+        })
+        .unwrap();
+        let n = d.len();
+        for i in (3 * n / 4)..n {
+            d.targets_mut()[i] = 0.0; // nonsense targets
+        }
+        let q = shapley_group_quality(
+            &d,
+            &test,
+            8,
+            McOptions {
+                permutations: 30,
+                seed: 5,
+                ..McOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(q.len(), n);
+        let clean_avg: f64 = q[..n / 2].iter().sum::<f64>() / (n / 2) as f64;
+        let dirty_avg: f64 = q[3 * n / 4..].iter().sum::<f64>() / (n / 4) as f64;
+        assert!(
+            clean_avg > dirty_avg,
+            "clean {clean_avg} should beat dirty {dirty_avg}"
+        );
+    }
+
+    #[test]
+    fn group_shapley_members_share_scores() {
+        let d = generate(CcppConfig {
+            rows: 100,
+            seed: 2,
+            ..CcppConfig::default()
+        })
+        .unwrap();
+        let test = generate(CcppConfig {
+            rows: 50,
+            seed: 3,
+            ..CcppConfig::default()
+        })
+        .unwrap();
+        let q = shapley_group_quality(
+            &d,
+            &test,
+            4,
+            McOptions {
+                permutations: 10,
+                seed: 1,
+                ..McOptions::default()
+            },
+        )
+        .unwrap();
+        // 4 groups of 25: identical scores within each block.
+        for g in 0..4 {
+            let block = &q[g * 25..(g + 1) * 25];
+            assert!(block.iter().all(|&v| v == block[0]));
+        }
+    }
+
+    #[test]
+    fn group_shapley_rejects_bad_group_count() {
+        let d = generate(CcppConfig {
+            rows: 10,
+            seed: 1,
+            ..CcppConfig::default()
+        })
+        .unwrap();
+        assert!(shapley_group_quality(&d, &d, 0, McOptions::default()).is_err());
+        assert!(shapley_group_quality(&d, &d, 11, McOptions::default()).is_err());
+    }
+}

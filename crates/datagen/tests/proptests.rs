@@ -1,0 +1,104 @@
+//! Property-based tests for dataset generation and partitioning.
+
+use proptest::prelude::*;
+use share_datagen::augment::{replicate_with_noise, AugmentConfig};
+use share_datagen::ccpp::{feature_domains, generate, target_domain, CcppConfig};
+use share_datagen::loader::{parse_csv, to_csv};
+use share_datagen::partition::{partition_by_quality, PartitionStrategy};
+use share_datagen::quality::rank_by_quality;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_rows_always_in_domain(rows in 1usize..400, seed in 0u64..1000) {
+        let d = generate(CcppConfig { rows, seed, ..CcppConfig::default() }).unwrap();
+        prop_assert_eq!(d.len(), rows);
+        let doms = feature_domains();
+        for i in 0..d.len() {
+            let (f, t) = d.row(i);
+            for (j, dom) in doms.iter().enumerate() {
+                prop_assert!(dom.contains(f[j]));
+            }
+            prop_assert!(target_domain().contains(t));
+        }
+    }
+
+    #[test]
+    fn augmentation_size_and_locality(
+        rows in 2usize..40,
+        reps in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let base = generate(CcppConfig { rows, seed, ..CcppConfig::default() }).unwrap();
+        let out = replicate_with_noise(&base, AugmentConfig {
+            replications: reps,
+            noise_std: 0.1,
+            seed,
+        }).unwrap();
+        prop_assert_eq!(out.len(), rows * reps);
+        // Each copy stays within ~6σ of its source.
+        for r in 0..reps {
+            for i in 0..rows {
+                let (orig, ot) = base.row(i);
+                let (noisy, nt) = out.row(r * rows + i);
+                for (a, b) in orig.iter().zip(noisy) {
+                    prop_assert!((a - b).abs() < 0.8, "{a} vs {b}");
+                }
+                prop_assert!((ot - nt).abs() < 0.8);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_by_quality_is_a_permutation(scores in proptest::collection::vec(-10.0..10.0f64, 0..32)) {
+        let mut r = rank_by_quality(&scores);
+        // Descending scores along the ranking.
+        for w in r.windows(2) {
+            prop_assert!(scores[w[0]] >= scores[w[1]]);
+        }
+        r.sort_unstable();
+        prop_assert_eq!(r, (0..scores.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_covers_rows_exactly_once(
+        rows in 4usize..120,
+        m_seed in 1usize..12,
+        seed in 0u64..100,
+        strategy_pick in 0usize..2,
+    ) {
+        let m = (m_seed % rows).max(1);
+        let d = generate(CcppConfig { rows, seed, ..CcppConfig::default() }).unwrap();
+        let scores: Vec<f64> = (0..rows).map(|i| ((i * 31) % 17) as f64).collect();
+        let strategy = if strategy_pick == 0 {
+            PartitionStrategy::SortedBlocks
+        } else {
+            PartitionStrategy::RoundRobin
+        };
+        let parts = partition_by_quality(&d, &scores, m, strategy).unwrap();
+        prop_assert_eq!(parts.len(), m);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, rows);
+        // Sizes are balanced within 1.
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_data(rows in 1usize..30, seed in 0u64..50) {
+        let d = generate(CcppConfig { rows, seed, ..CcppConfig::default() }).unwrap();
+        let csv = to_csv(&d, Some(&["AT", "V", "AP", "RH", "PE"]));
+        let back = parse_csv(&csv, true).unwrap();
+        prop_assert_eq!(back.len(), d.len());
+        for i in 0..d.len() {
+            let (a, at) = d.row(i);
+            let (b, bt) = back.row(i);
+            for (x, y) in a.iter().zip(b) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+            prop_assert!((at - bt).abs() < 1e-9);
+        }
+    }
+}

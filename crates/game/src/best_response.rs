@@ -1,0 +1,253 @@
+//! Iterated best-response dynamics (Gauss–Seidel) for [`NashGame`]s.
+//!
+//! Each round cycles through the players; every player replaces her strategy
+//! with (a damped step toward) her best response to the current profile,
+//! computed by coarse-to-fine scanning + golden-section refinement. For
+//! games with contraction best responses — including Share's inner seller
+//! game, whose payoffs are strictly concave in the own strategy — the
+//! iteration converges to the unique Nash equilibrium.
+//!
+//! This is the **numerical fallback** path the paper's mean-field method
+//! motivates: when profit functions are too complicated for analytic
+//! derivation, the market can still be cleared numerically; it also serves
+//! as an independent check of the closed forms (Eq. 20/23).
+
+use crate::error::{GameError, Result};
+use crate::nash::{validate_profile, NashGame};
+use share_numerics::optimize::grid::maximize_scan;
+
+/// Options for [`solve_best_response`].
+#[derive(Debug, Clone, Copy)]
+pub struct BrOptions {
+    /// Maximum Gauss–Seidel rounds.
+    pub max_rounds: usize,
+    /// Convergence threshold on the largest per-round strategy movement.
+    pub tol: f64,
+    /// Grid points of the coarse scan inside each best response.
+    pub scan_points: usize,
+    /// Tolerance of the golden-section refinement.
+    pub inner_tol: f64,
+    /// Damping `θ ∈ (0, 1]`: new = θ·best_response + (1−θ)·old. 1.0 = full
+    /// steps; lower values stabilize oscillatory games.
+    pub damping: f64,
+}
+
+impl Default for BrOptions {
+    fn default() -> Self {
+        Self {
+            max_rounds: 200,
+            tol: 1e-9,
+            scan_points: 32,
+            inner_tol: 1e-11,
+            damping: 1.0,
+        }
+    }
+}
+
+/// Result of best-response dynamics.
+#[derive(Debug, Clone)]
+pub struct BrResult {
+    /// The converged strategy profile.
+    pub profile: Vec<f64>,
+    /// Rounds used.
+    pub rounds: usize,
+    /// Largest strategy movement in the final round.
+    pub residual: f64,
+}
+
+/// Best response of one player to `profile` (others fixed).
+///
+/// # Errors
+/// Propagates optimizer errors (non-finite payoffs etc.).
+pub fn best_response<G: NashGame + ?Sized>(
+    game: &G,
+    player: usize,
+    profile: &[f64],
+    opts: BrOptions,
+) -> Result<f64> {
+    let (lo, hi) = game.strategy_bounds(player);
+    let mut work = profile.to_vec();
+    let (x, _) = maximize_scan(
+        |s| {
+            work[player] = s;
+            game.payoff(player, &work)
+        },
+        lo,
+        hi,
+        opts.scan_points,
+        opts.inner_tol,
+    )?;
+    Ok(x)
+}
+
+/// Run Gauss–Seidel best-response dynamics from `initial`.
+///
+/// # Errors
+/// - [`GameError::InvalidProfile`] / [`GameError::NoPlayers`] for a bad
+///   start point.
+/// - [`GameError::InvalidArgument`] for damping outside `(0, 1]`.
+/// - [`GameError::NoConvergence`] when `max_rounds` is exhausted.
+pub fn solve_best_response<G: NashGame + ?Sized>(
+    game: &G,
+    initial: &[f64],
+    opts: BrOptions,
+) -> Result<BrResult> {
+    validate_profile(game, initial)?;
+    if !(opts.damping > 0.0 && opts.damping <= 1.0) {
+        return Err(GameError::InvalidArgument {
+            name: "damping",
+            reason: format!("must be in (0, 1], got {}", opts.damping),
+        });
+    }
+    let n = game.n_players();
+    let mut profile = initial.to_vec();
+    for round in 1..=opts.max_rounds {
+        let mut residual = 0.0f64;
+        for i in 0..n {
+            let br = best_response(game, i, &profile, opts)?;
+            let new = opts.damping * br + (1.0 - opts.damping) * profile[i];
+            residual = residual.max((new - profile[i]).abs());
+            profile[i] = new;
+        }
+        if residual <= opts.tol {
+            return Ok(BrResult {
+                profile,
+                rounds: round,
+                residual,
+            });
+        }
+    }
+    Err(GameError::NoConvergence {
+        rounds: opts.max_rounds,
+        residual: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nash::QuadraticGame;
+
+    fn game() -> QuadraticGame {
+        QuadraticGame {
+            targets: vec![1.0, 2.0, 3.0],
+            coupling: 0.5,
+            bounds: (-50.0, 50.0),
+        }
+    }
+
+    #[test]
+    fn converges_to_closed_form_equilibrium() {
+        let g = game();
+        let r = solve_best_response(&g, &[0.0, 0.0, 0.0], BrOptions::default()).unwrap();
+        let eq = g.equilibrium();
+        for (a, b) in r.profile.iter().zip(&eq) {
+            assert!((a - b).abs() < 1e-5, "{:?} vs {:?}", r.profile, eq);
+        }
+    }
+
+    #[test]
+    fn single_best_response_is_accurate() {
+        let g = game();
+        // With others at 0, player 0's best response is exactly a_0 = 1.
+        let br = best_response(&g, 0, &[5.0, 0.0, 0.0], BrOptions::default()).unwrap();
+        assert!((br - 1.0).abs() < 1e-6, "{br}");
+    }
+
+    #[test]
+    fn convergence_independent_of_start() {
+        let g = game();
+        let a = solve_best_response(&g, &[-40.0, 40.0, 0.0], BrOptions::default()).unwrap();
+        let b = solve_best_response(&g, &[10.0, 10.0, 10.0], BrOptions::default()).unwrap();
+        for (x, y) in a.profile.iter().zip(&b.profile) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn damping_still_converges() {
+        let g = game();
+        let r = solve_best_response(
+            &g,
+            &[0.0; 3],
+            BrOptions {
+                damping: 0.5,
+                ..BrOptions::default()
+            },
+        )
+        .unwrap();
+        let eq = g.equilibrium();
+        for (a, b) in r.profile.iter().zip(&eq) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bounds_constrain_equilibrium() {
+        // Unconstrained equilibrium is far above the cap; the dynamics must
+        // settle on the boundary.
+        let g = QuadraticGame {
+            targets: vec![10.0, 10.0],
+            coupling: 0.0,
+            bounds: (0.0, 1.0),
+        };
+        let r = solve_best_response(&g, &[0.0, 0.0], BrOptions::default()).unwrap();
+        for s in &r.profile {
+            assert!((s - 1.0).abs() < 1e-6, "{:?}", r.profile);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_damping_and_start() {
+        let g = game();
+        assert!(solve_best_response(
+            &g,
+            &[0.0; 3],
+            BrOptions {
+                damping: 0.0,
+                ..BrOptions::default()
+            }
+        )
+        .is_err());
+        assert!(solve_best_response(&g, &[0.0; 2], BrOptions::default()).is_err());
+    }
+
+    #[test]
+    fn reports_no_convergence_for_tiny_budget() {
+        let g = game();
+        let r = solve_best_response(
+            &g,
+            &[-40.0; 3],
+            BrOptions {
+                max_rounds: 1,
+                tol: 1e-15,
+                ..BrOptions::default()
+            },
+        );
+        assert!(matches!(r, Err(GameError::NoConvergence { .. })));
+    }
+
+    #[test]
+    fn strongly_coupled_game_with_damping() {
+        // coupling 0.9 is still a contraction but slower; damping helps.
+        let g = QuadraticGame {
+            targets: vec![1.0, -1.0],
+            coupling: 0.9,
+            bounds: (-100.0, 100.0),
+        };
+        let r = solve_best_response(
+            &g,
+            &[0.0, 0.0],
+            BrOptions {
+                max_rounds: 2000,
+                damping: 0.7,
+                ..BrOptions::default()
+            },
+        )
+        .unwrap();
+        let eq = g.equilibrium();
+        for (a, b) in r.profile.iter().zip(&eq) {
+            assert!((a - b).abs() < 1e-4, "{:?} vs {:?}", r.profile, eq);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for game solvers.
+
+use share_numerics::NumericsError;
+use std::fmt;
+
+/// Errors produced by Nash/Stackelberg solvers and equilibrium verification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GameError {
+    /// A game needs at least one player.
+    NoPlayers,
+    /// The supplied strategy profile has the wrong length or leaves a
+    /// player's bounds.
+    InvalidProfile {
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// Best-response dynamics did not converge within the round budget.
+    NoConvergence {
+        /// Rounds performed.
+        rounds: usize,
+        /// Largest strategy movement in the final round.
+        residual: f64,
+    },
+    /// An argument is outside its documented domain.
+    InvalidArgument {
+        /// Name of the offending argument.
+        name: &'static str,
+        /// Explanation of the violated requirement.
+        reason: String,
+    },
+    /// An underlying numerical kernel failed.
+    Numerics(NumericsError),
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoPlayers => write!(f, "game must have at least one player"),
+            Self::InvalidProfile { reason } => write!(f, "invalid strategy profile: {reason}"),
+            Self::NoConvergence { rounds, residual } => write!(
+                f,
+                "best-response dynamics did not converge after {rounds} rounds (residual {residual:e})"
+            ),
+            Self::InvalidArgument { name, reason } => {
+                write!(f, "invalid argument `{name}`: {reason}")
+            }
+            Self::Numerics(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for GameError {
+    fn from(e: NumericsError) -> Self {
+        Self::Numerics(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, GameError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(GameError::NoPlayers.to_string().contains("at least one"));
+        assert!(GameError::NoConvergence {
+            rounds: 10,
+            residual: 1e-3
+        }
+        .to_string()
+        .contains("10 rounds"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e = GameError::from(NumericsError::Singular { pivot: 0 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,211 @@
+//! Fictitious play for continuous games: each round every player best
+//! responds to the **running average** of the opponents' past strategies.
+//!
+//! An alternative equilibrium-seeking dynamic to Gauss–Seidel best response:
+//! the averaging damps oscillations, so fictitious play converges on games
+//! where undamped best response cycles — and it models boundedly rational
+//! sellers learning the market over repeated rounds, a behavioral
+//! complement to Share's one-shot rational equilibrium.
+
+use crate::best_response::{best_response, BrOptions};
+use crate::error::Result;
+use crate::nash::{validate_profile, NashGame};
+
+/// Options for [`solve_fictitious_play`].
+#[derive(Debug, Clone, Copy)]
+pub struct FpOptions {
+    /// Maximum play rounds.
+    pub max_rounds: usize,
+    /// Early-exit threshold on `max_i |BR_i(average) − average_i|`: at a
+    /// Nash equilibrium the best response to the average *is* the average.
+    /// Rarely reached — fictitious play is sublinear; the run normally uses
+    /// its whole round budget and reports the residual.
+    pub tol: f64,
+    /// Inner best-response options.
+    pub br: BrOptions,
+}
+
+impl Default for FpOptions {
+    fn default() -> Self {
+        Self {
+            max_rounds: 5000,
+            tol: 1e-6,
+            br: BrOptions::default(),
+        }
+    }
+}
+
+/// Result of fictitious play.
+#[derive(Debug, Clone)]
+pub struct FpResult {
+    /// Final empirical-average profile (the equilibrium estimate).
+    pub average: Vec<f64>,
+    /// The last played (best-response) profile.
+    pub last_play: Vec<f64>,
+    /// Rounds used.
+    pub rounds: usize,
+    /// Final movement of the average.
+    pub residual: f64,
+}
+
+/// Run continuous fictitious play from `initial`.
+///
+/// Fictitious play is an **anytime learning process**: the empirical
+/// average approaches equilibrium at a sublinear O(1/t^α) rate, so the run
+/// always completes its round budget (or stops early if the equilibrium
+/// condition `|BR(avg) − avg| ≤ tol` happens to be met) and reports the
+/// final residual for the caller to judge.
+///
+/// # Errors
+/// Profile validation errors for a bad start; inner best-response errors.
+pub fn solve_fictitious_play<G: NashGame + ?Sized>(
+    game: &G,
+    initial: &[f64],
+    opts: FpOptions,
+) -> Result<FpResult> {
+    validate_profile(game, initial)?;
+    let n = game.n_players();
+    let mut average = initial.to_vec();
+    let mut last_play = initial.to_vec();
+    let mut residual = f64::INFINITY;
+    let mut rounds = 0;
+    for round in 1..=opts.max_rounds {
+        rounds = round;
+        // Every player best-responds to the current averages.
+        residual = 0.0;
+        for i in 0..n {
+            last_play[i] = best_response(game, i, &average, opts.br)?;
+            residual = residual.max((last_play[i] - average[i]).abs());
+        }
+        if residual <= opts.tol {
+            break;
+        }
+        // Update the empirical average with weight 1/(round+1).
+        let w = 1.0 / (round as f64 + 1.0);
+        for i in 0..n {
+            average[i] += w * (last_play[i] - average[i]);
+        }
+    }
+    Ok(FpResult {
+        average,
+        last_play,
+        rounds,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::best_response::solve_best_response;
+    use crate::nash::QuadraticGame;
+
+    fn game(coupling: f64) -> QuadraticGame {
+        QuadraticGame {
+            targets: vec![1.0, -0.5, 2.0],
+            coupling,
+            bounds: (-30.0, 30.0),
+        }
+    }
+
+    #[test]
+    fn converges_to_closed_form() {
+        let g = game(0.4);
+        let r = solve_fictitious_play(&g, &[0.0; 3], FpOptions::default()).unwrap();
+        let eq = g.equilibrium();
+        // Sublinear rate: ~1e-2 accuracy after the default 5,000 rounds.
+        for (a, b) in r.average.iter().zip(&eq) {
+            assert!((a - b).abs() < 2e-2, "{:?} vs {:?}", r.average, eq);
+        }
+    }
+
+    #[test]
+    fn agrees_with_best_response_dynamics() {
+        let g = game(0.3);
+        let fp = solve_fictitious_play(&g, &[1.0; 3], FpOptions::default()).unwrap();
+        let br = solve_best_response(&g, &[1.0; 3], BrOptions::default()).unwrap();
+        for (a, b) in fp.average.iter().zip(&br.profile) {
+            assert!((a - b).abs() < 2e-2, "fp {a} vs br {b}");
+        }
+    }
+
+    #[test]
+    fn negative_coupling_still_makes_progress() {
+        // Anticoordination (negative coupling) creates a slow error mode
+        // under fictitious play — the per-round contraction is only
+        // (1 − (1−|b|)/t) — so full convergence is not expected in a finite
+        // budget; sustained progress toward equilibrium is.
+        let g = QuadraticGame {
+            targets: vec![1.0, 1.0],
+            coupling: -0.6,
+            bounds: (-50.0, 50.0),
+        };
+        let eq = g.equilibrium();
+        let start = [10.0, -10.0];
+        let fp = solve_fictitious_play(&g, &start, FpOptions::default()).unwrap();
+        let dist = |p: &[f64]| -> f64 {
+            p.iter()
+                .zip(&eq)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0_f64, f64::max)
+        };
+        assert!(
+            dist(&fp.average) < dist(&start) / 5.0,
+            "{:?} vs eq {:?}",
+            fp.average,
+            eq
+        );
+    }
+
+    #[test]
+    fn last_play_is_best_response_to_average() {
+        let g = game(0.2);
+        let r = solve_fictitious_play(&g, &[0.0; 3], FpOptions::default()).unwrap();
+        for i in 0..3 {
+            let br = best_response(&g, i, &r.average, BrOptions::default()).unwrap();
+            assert!((br - r.last_play[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn invalid_start_rejected() {
+        let g = game(0.2);
+        assert!(solve_fictitious_play(&g, &[0.0; 2], FpOptions::default()).is_err());
+    }
+
+    #[test]
+    fn tiny_budget_reports_large_residual() {
+        let g = game(0.5);
+        let r = solve_fictitious_play(
+            &g,
+            &[-20.0; 3],
+            FpOptions {
+                max_rounds: 2,
+                tol: 1e-15,
+                ..FpOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.rounds, 2);
+        assert!(r.residual > 1.0, "{}", r.residual);
+    }
+
+    #[test]
+    fn residual_shrinks_with_budget() {
+        let g = game(0.5);
+        let run = |rounds: usize| {
+            solve_fictitious_play(
+                &g,
+                &[-20.0; 3],
+                FpOptions {
+                    max_rounds: rounds,
+                    tol: 0.0,
+                    ..FpOptions::default()
+                },
+            )
+            .unwrap()
+            .residual
+        };
+        assert!(run(2000) < run(50) / 4.0);
+    }
+}

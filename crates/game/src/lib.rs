@@ -1,0 +1,47 @@
+//! # share-game
+//!
+//! Generic non-cooperative game machinery for the Share data market (ICDE
+//! 2024):
+//!
+//! - [`nash::NashGame`] — `n`-player simultaneous-move games with scalar
+//!   strategies on compact intervals (the shape of Share's inner seller
+//!   competition);
+//! - [`best_response`](mod@best_response) — Gauss–Seidel iterated best response: the numerical
+//!   Nash solver used when closed forms are unavailable, and the
+//!   cross-check for the analytic solutions (paper Eq. 20/23);
+//! - [`verify`] — ε-Nash deviation testing and unilateral sweeps (the
+//!   paper's Fig. 2 experiment);
+//! - [`stackelberg`] — scalar-leader bilevel solving by nested backward
+//!   induction (paper §5.1); the market composes two levels of it.
+//!
+//! ## Example
+//!
+//! ```
+//! use share_game::nash::QuadraticGame;
+//! use share_game::best_response::{solve_best_response, BrOptions};
+//! use share_game::verify::is_epsilon_nash;
+//!
+//! let g = QuadraticGame {
+//!     targets: vec![1.0, 2.0],
+//!     coupling: 0.3,
+//!     bounds: (-10.0, 10.0),
+//! };
+//! let r = solve_best_response(&g, &[0.0, 0.0], BrOptions::default()).unwrap();
+//! assert!(is_epsilon_nash(&g, &r.profile, 1e-6, BrOptions::default()).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod best_response;
+pub mod error;
+pub mod fictitious;
+pub mod nash;
+pub mod stackelberg;
+pub mod verify;
+
+pub use best_response::{best_response, solve_best_response, BrOptions, BrResult};
+pub use error::{GameError, Result};
+pub use nash::NashGame;
+pub use stackelberg::{solve_bilevel, BilevelOptions, BilevelResult, StackelbergGame};
+pub use verify::{deviation_report, is_epsilon_nash, DeviationReport};

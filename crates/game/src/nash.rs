@@ -1,0 +1,187 @@
+//! The [`NashGame`] abstraction: an `n`-player simultaneous-move game with
+//! scalar strategies on compact intervals.
+//!
+//! The inner seller competition of Share is exactly such a game (strategy
+//! `τ_i ∈ [0, 1]`, payoff = seller profit). The trait is deliberately
+//! minimal so both analytic games (with known closed forms to verify) and
+//! black-box games (only payoff evaluations) fit.
+
+use crate::error::{GameError, Result};
+
+/// An `n`-player simultaneous-move game with scalar strategies.
+pub trait NashGame: Sync {
+    /// Number of players.
+    fn n_players(&self) -> usize;
+
+    /// Feasible strategy interval `[lo, hi]` for `player`.
+    fn strategy_bounds(&self, player: usize) -> (f64, f64);
+
+    /// Payoff of `player` under the full strategy `profile`
+    /// (`profile.len() == n_players()`).
+    fn payoff(&self, player: usize, profile: &[f64]) -> f64;
+}
+
+/// Validate that `profile` has one strategy per player and respects bounds.
+///
+/// # Errors
+/// [`GameError::NoPlayers`] / [`GameError::InvalidProfile`].
+pub fn validate_profile<G: NashGame + ?Sized>(game: &G, profile: &[f64]) -> Result<()> {
+    let n = game.n_players();
+    if n == 0 {
+        return Err(GameError::NoPlayers);
+    }
+    if profile.len() != n {
+        return Err(GameError::InvalidProfile {
+            reason: format!("expected {n} strategies, got {}", profile.len()),
+        });
+    }
+    for (i, &s) in profile.iter().enumerate() {
+        let (lo, hi) = game.strategy_bounds(i);
+        if !s.is_finite() || s < lo || s > hi {
+            return Err(GameError::InvalidProfile {
+                reason: format!("player {i}: strategy {s} outside [{lo}, {hi}]"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A quadratic-payoff test game with a known unique Nash equilibrium:
+/// `π_i(s) = −(s_i − a_i − b·mean(s_{−i}))²`. For `|b| < 1` best-response
+/// dynamics contract to the unique fixed point.
+#[derive(Debug, Clone)]
+pub struct QuadraticGame {
+    /// Per-player intercepts `a_i`.
+    pub targets: Vec<f64>,
+    /// Coupling coefficient `b` (|b| < 1 for contraction).
+    pub coupling: f64,
+    /// Common strategy bounds.
+    pub bounds: (f64, f64),
+}
+
+impl NashGame for QuadraticGame {
+    fn n_players(&self) -> usize {
+        self.targets.len()
+    }
+
+    fn strategy_bounds(&self, _player: usize) -> (f64, f64) {
+        self.bounds
+    }
+
+    fn payoff(&self, player: usize, profile: &[f64]) -> f64 {
+        let n = profile.len();
+        let others: f64 = if n > 1 {
+            (profile.iter().sum::<f64>() - profile[player]) / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let target = self.targets[player] + self.coupling * others;
+        -(profile[player] - target) * (profile[player] - target)
+    }
+}
+
+impl QuadraticGame {
+    /// Closed-form Nash equilibrium (interior case): solves the linear
+    /// best-response system `s_i = a_i + b·mean(s_{−i})`.
+    pub fn equilibrium(&self) -> Vec<f64> {
+        // s = a + b(S − s_i)/(n−1) where S = Σ s_j. Summing:
+        //   S = Σa + b·S·n/(n−1) − b·S/(n−1) ⇒ S(1 − b) = Σa ⇒ S = Σa/(1−b).
+        let n = self.targets.len();
+        if n == 1 {
+            return vec![self.targets[0]];
+        }
+        let b = self.coupling;
+        let sum_a: f64 = self.targets.iter().sum();
+        let total = sum_a / (1.0 - b);
+        let denom = 1.0 + b / (n as f64 - 1.0);
+        self.targets
+            .iter()
+            .map(|a| (a + b * total / (n as f64 - 1.0)) / denom)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn game() -> QuadraticGame {
+        QuadraticGame {
+            targets: vec![1.0, 2.0, 3.0],
+            coupling: 0.5,
+            bounds: (-100.0, 100.0),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_good_profile() {
+        validate_profile(&game(), &[0.0, 1.0, 2.0]).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_wrong_length() {
+        assert!(matches!(
+            validate_profile(&game(), &[0.0]),
+            Err(GameError::InvalidProfile { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds_and_nan() {
+        let g = QuadraticGame {
+            bounds: (0.0, 1.0),
+            ..game()
+        };
+        assert!(validate_profile(&g, &[0.5, 2.0, 0.5]).is_err());
+        assert!(validate_profile(&g, &[0.5, f64::NAN, 0.5]).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_game() {
+        let g = QuadraticGame {
+            targets: vec![],
+            coupling: 0.0,
+            bounds: (0.0, 1.0),
+        };
+        assert!(matches!(
+            validate_profile(&g, &[]),
+            Err(GameError::NoPlayers)
+        ));
+    }
+
+    #[test]
+    fn quadratic_equilibrium_is_best_response_fixed_point() {
+        let g = game();
+        let eq = g.equilibrium();
+        // At equilibrium each payoff is exactly 0 (squared distance to own
+        // best response).
+        for i in 0..3 {
+            assert!(
+                g.payoff(i, &eq).abs() < 1e-18,
+                "player {i}: {}",
+                g.payoff(i, &eq)
+            );
+        }
+    }
+
+    #[test]
+    fn single_player_equilibrium_is_target() {
+        let g = QuadraticGame {
+            targets: vec![4.2],
+            coupling: 0.9,
+            bounds: (-10.0, 10.0),
+        };
+        assert_eq!(g.equilibrium(), vec![4.2]);
+        assert_eq!(g.payoff(0, &[4.2]), 0.0);
+    }
+
+    #[test]
+    fn no_coupling_equilibrium_is_targets() {
+        let g = QuadraticGame {
+            targets: vec![1.0, 2.0],
+            coupling: 0.0,
+            bounds: (-10.0, 10.0),
+        };
+        assert_eq!(g.equilibrium(), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Bilevel (leader–follower) Stackelberg solving with a scalar leader
+//! strategy.
+//!
+//! The leader commits to a strategy `x`; the followers respond with their
+//! own equilibrium `r(x)`; the leader maximizes her payoff along the
+//! response curve `x ↦ π_L(x, r(x))` (backward induction, paper §5.1). The
+//! Share market composes two of these levels: buyer over (broker over
+//! sellers).
+
+use crate::error::{GameError, Result};
+use share_numerics::optimize::grid::maximize_scan;
+
+/// A one-leader game with a scalar leader strategy and an arbitrary
+/// follower-response vector.
+pub trait StackelbergGame {
+    /// Feasible leader interval `[lo, hi]`.
+    fn leader_bounds(&self) -> (f64, f64);
+
+    /// Followers' (equilibrium) response to the leader strategy.
+    ///
+    /// # Errors
+    /// Implementations may fail (e.g. inner solver divergence); the bilevel
+    /// solver treats a failed response as payoff `−∞` at that leader point.
+    fn follower_response(&self, leader: f64) -> Result<Vec<f64>>;
+
+    /// Leader payoff under `leader` and the given follower response.
+    fn leader_payoff(&self, leader: f64, response: &[f64]) -> f64;
+}
+
+/// Options for [`solve_bilevel`].
+#[derive(Debug, Clone, Copy)]
+pub struct BilevelOptions {
+    /// Grid points of the coarse leader scan.
+    pub scan_points: usize,
+    /// Golden-section refinement tolerance.
+    pub tol: f64,
+}
+
+impl Default for BilevelOptions {
+    fn default() -> Self {
+        Self {
+            scan_points: 64,
+            tol: 1e-10,
+        }
+    }
+}
+
+/// Result of a bilevel solve.
+#[derive(Debug, Clone)]
+pub struct BilevelResult {
+    /// Optimal leader strategy.
+    pub leader: f64,
+    /// Followers' response at the optimum.
+    pub response: Vec<f64>,
+    /// Leader payoff at the optimum.
+    pub payoff: f64,
+}
+
+/// Solve the bilevel problem by scanning the leader's interval and refining
+/// with golden-section search, re-solving the follower response at every
+/// probe (nested backward induction).
+///
+/// # Errors
+/// - [`GameError::InvalidArgument`] for an empty leader interval.
+/// - [`GameError::Numerics`] when the scan finds no finite payoff.
+/// - Propagates the follower failure at the final optimum (interior probe
+///   failures are tolerated).
+pub fn solve_bilevel<G: StackelbergGame>(game: &G, opts: BilevelOptions) -> Result<BilevelResult> {
+    let (lo, hi) = game.leader_bounds();
+    if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+        return Err(GameError::InvalidArgument {
+            name: "leader_bounds",
+            reason: format!("requires finite lo < hi, got [{lo}, {hi}]"),
+        });
+    }
+    let objective = |x: f64| match game.follower_response(x) {
+        Ok(resp) => game.leader_payoff(x, &resp),
+        Err(_) => f64::NEG_INFINITY,
+    };
+    let (leader, payoff) = maximize_scan(objective, lo, hi, opts.scan_points, opts.tol)?;
+    if !payoff.is_finite() {
+        return Err(GameError::Numerics(
+            share_numerics::NumericsError::NonFinite {
+                context: "bilevel leader payoff",
+            },
+        ));
+    }
+    let response = game.follower_response(leader)?;
+    Ok(BilevelResult {
+        leader,
+        response,
+        payoff,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic Stackelberg duopoly with linear demand P = a − (qL + qF) and
+    /// zero marginal cost: follower best response qF = (a − qL)/2; the
+    /// leader's optimum is qL = a/2, qF = a/4.
+    struct Duopoly {
+        a: f64,
+    }
+
+    impl StackelbergGame for Duopoly {
+        fn leader_bounds(&self) -> (f64, f64) {
+            (0.0, self.a)
+        }
+
+        fn follower_response(&self, leader: f64) -> Result<Vec<f64>> {
+            Ok(vec![((self.a - leader) / 2.0).max(0.0)])
+        }
+
+        fn leader_payoff(&self, leader: f64, response: &[f64]) -> f64 {
+            let p = self.a - leader - response[0];
+            p * leader
+        }
+    }
+
+    #[test]
+    fn duopoly_matches_textbook_solution() {
+        let g = Duopoly { a: 12.0 };
+        let r = solve_bilevel(&g, BilevelOptions::default()).unwrap();
+        assert!((r.leader - 6.0).abs() < 1e-5, "qL = {}", r.leader);
+        assert!((r.response[0] - 3.0).abs() < 1e-5, "qF = {}", r.response[0]);
+        // Leader profit = (12 − 9)·6 = 18.
+        assert!((r.payoff - 18.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn leader_advantage_over_simultaneous_play() {
+        // Cournot (simultaneous) gives each firm a/3 and profit a²/9;
+        // the Stackelberg leader earns a²/8 > a²/9.
+        let a = 12.0;
+        let g = Duopoly { a };
+        let r = solve_bilevel(&g, BilevelOptions::default()).unwrap();
+        assert!(r.payoff > a * a / 9.0 + 1e-6);
+    }
+
+    #[test]
+    fn interior_follower_failures_are_skipped() {
+        /// Response fails on half the domain; the optimum lies in the
+        /// working half.
+        struct Patchy;
+        impl StackelbergGame for Patchy {
+            fn leader_bounds(&self) -> (f64, f64) {
+                (0.0, 2.0)
+            }
+            fn follower_response(&self, leader: f64) -> Result<Vec<f64>> {
+                if leader < 0.5 {
+                    Err(GameError::NoPlayers)
+                } else {
+                    Ok(vec![leader])
+                }
+            }
+            fn leader_payoff(&self, leader: f64, _r: &[f64]) -> f64 {
+                -(leader - 1.2) * (leader - 1.2)
+            }
+        }
+        let r = solve_bilevel(&Patchy, BilevelOptions::default()).unwrap();
+        assert!((r.leader - 1.2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        struct Degenerate;
+        impl StackelbergGame for Degenerate {
+            fn leader_bounds(&self) -> (f64, f64) {
+                (1.0, 1.0)
+            }
+            fn follower_response(&self, _l: f64) -> Result<Vec<f64>> {
+                Ok(vec![])
+            }
+            fn leader_payoff(&self, _l: f64, _r: &[f64]) -> f64 {
+                0.0
+            }
+        }
+        assert!(solve_bilevel(&Degenerate, BilevelOptions::default()).is_err());
+    }
+
+    #[test]
+    fn all_failures_is_an_error() {
+        struct Broken;
+        impl StackelbergGame for Broken {
+            fn leader_bounds(&self) -> (f64, f64) {
+                (0.0, 1.0)
+            }
+            fn follower_response(&self, _l: f64) -> Result<Vec<f64>> {
+                Err(GameError::NoPlayers)
+            }
+            fn leader_payoff(&self, _l: f64, _r: &[f64]) -> f64 {
+                0.0
+            }
+        }
+        assert!(solve_bilevel(&Broken, BilevelOptions::default()).is_err());
+    }
+}

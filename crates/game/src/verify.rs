@@ -1,0 +1,172 @@
+//! Equilibrium verification by deviation testing.
+//!
+//! A profile is an ε-Nash equilibrium when no player can gain more than ε by
+//! unilaterally deviating (paper Def. 3.3/4.2). These utilities compute the
+//! **maximum unilateral gain** per player by scanning the deviation space —
+//! exactly the experiment of the paper's Fig. 2, and the acceptance test the
+//! Share solver runs on every SNE it produces.
+
+use crate::best_response::{best_response, BrOptions};
+use crate::error::Result;
+use crate::nash::{validate_profile, NashGame};
+
+/// Per-player deviation-gain report.
+#[derive(Debug, Clone)]
+pub struct DeviationReport {
+    /// Best deviation strategy found per player.
+    pub best_deviation: Vec<f64>,
+    /// Payoff gain of that deviation over the profile payoff (can be tiny
+    /// and negative due to numerical optimization slack).
+    pub gain: Vec<f64>,
+}
+
+impl DeviationReport {
+    /// Largest gain across players.
+    pub fn max_gain(&self) -> f64 {
+        self.gain.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+    }
+}
+
+/// Compute, for every player, the most profitable unilateral deviation from
+/// `profile` and its gain.
+///
+/// # Errors
+/// Propagates profile validation and optimizer errors.
+pub fn deviation_report<G: NashGame + ?Sized>(
+    game: &G,
+    profile: &[f64],
+    opts: BrOptions,
+) -> Result<DeviationReport> {
+    validate_profile(game, profile)?;
+    let n = game.n_players();
+    let mut best_deviation = Vec::with_capacity(n);
+    let mut gain = Vec::with_capacity(n);
+    let mut work = profile.to_vec();
+    for i in 0..n {
+        let base = game.payoff(i, profile);
+        let br = best_response(game, i, profile, opts)?;
+        work[i] = br;
+        let dev_payoff = game.payoff(i, &work);
+        work[i] = profile[i];
+        best_deviation.push(br);
+        gain.push(dev_payoff - base);
+    }
+    Ok(DeviationReport {
+        best_deviation,
+        gain,
+    })
+}
+
+/// `true` when no unilateral deviation gains more than `epsilon`.
+///
+/// # Errors
+/// Propagates [`deviation_report`] errors.
+pub fn is_epsilon_nash<G: NashGame + ?Sized>(
+    game: &G,
+    profile: &[f64],
+    epsilon: f64,
+    opts: BrOptions,
+) -> Result<bool> {
+    Ok(deviation_report(game, profile, opts)?.max_gain() <= epsilon)
+}
+
+/// Sweep one player's strategy over a grid while the rest of the profile is
+/// fixed, returning `(strategy, payoff)` pairs — the raw series behind the
+/// paper's Fig. 2 unilateral-deviation plots.
+///
+/// # Errors
+/// Propagates profile validation and grid errors.
+pub fn unilateral_sweep<G: NashGame + ?Sized>(
+    game: &G,
+    profile: &[f64],
+    player: usize,
+    lo: f64,
+    hi: f64,
+    points: usize,
+) -> Result<Vec<(f64, f64)>> {
+    validate_profile(game, profile)?;
+    let grid = share_numerics::optimize::grid::linspace(lo, hi, points.max(2))?;
+    let mut work = profile.to_vec();
+    Ok(grid
+        .into_iter()
+        .map(|s| {
+            work[player] = s;
+            (s, game.payoff(player, &work))
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nash::QuadraticGame;
+
+    fn game() -> QuadraticGame {
+        QuadraticGame {
+            targets: vec![1.0, 2.0],
+            coupling: 0.4,
+            bounds: (-20.0, 20.0),
+        }
+    }
+
+    #[test]
+    fn equilibrium_has_no_profitable_deviation() {
+        let g = game();
+        let eq = g.equilibrium();
+        let rep = deviation_report(&g, &eq, BrOptions::default()).unwrap();
+        assert!(rep.max_gain() < 1e-8, "max gain {}", rep.max_gain());
+        assert!(is_epsilon_nash(&g, &eq, 1e-8, BrOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn non_equilibrium_is_detected() {
+        let g = game();
+        let bad = vec![-10.0, 10.0];
+        let rep = deviation_report(&g, &bad, BrOptions::default()).unwrap();
+        assert!(rep.max_gain() > 1.0, "max gain {}", rep.max_gain());
+        assert!(!is_epsilon_nash(&g, &bad, 1e-6, BrOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn deviation_points_toward_best_response() {
+        let g = game();
+        let bad = vec![0.0, 0.0];
+        let rep = deviation_report(&g, &bad, BrOptions::default()).unwrap();
+        // Player 0's best response to s₁=0 is a₀=1.
+        assert!((rep.best_deviation[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sweep_peaks_at_equilibrium_strategy() {
+        let g = game();
+        let eq = g.equilibrium();
+        let series = unilateral_sweep(&g, &eq, 0, eq[0] - 2.0, eq[0] + 2.0, 81).unwrap();
+        let best = series
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!(
+            (best.0 - eq[0]).abs() < 0.06,
+            "peak at {} vs eq {}",
+            best.0,
+            eq[0]
+        );
+    }
+
+    #[test]
+    fn sweep_covers_requested_range() {
+        let g = game();
+        let eq = g.equilibrium();
+        let series = unilateral_sweep(&g, &eq, 1, -1.0, 1.0, 11).unwrap();
+        assert_eq!(series.len(), 11);
+        assert_eq!(series[0].0, -1.0);
+        assert_eq!(series[10].0, 1.0);
+    }
+
+    #[test]
+    fn invalid_profile_rejected() {
+        let g = game();
+        assert!(deviation_report(&g, &[0.0], BrOptions::default()).is_err());
+        assert!(unilateral_sweep(&g, &[0.0], 0, 0.0, 1.0, 5).is_err());
+    }
+}

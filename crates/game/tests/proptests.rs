@@ -1,0 +1,78 @@
+//! Property-based tests for the game solvers.
+
+use proptest::prelude::*;
+use share_game::best_response::{solve_best_response, BrOptions};
+use share_game::nash::QuadraticGame;
+use share_game::stackelberg::{solve_bilevel, BilevelOptions, StackelbergGame};
+use share_game::verify::{deviation_report, is_epsilon_nash};
+
+fn quadratic_game() -> impl Strategy<Value = QuadraticGame> {
+    (proptest::collection::vec(-5.0..5.0f64, 1..6), -0.7..0.7f64).prop_map(|(targets, coupling)| {
+        QuadraticGame {
+            targets,
+            coupling,
+            bounds: (-100.0, 100.0),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn best_response_finds_epsilon_nash(g in quadratic_game()) {
+        let start = vec![0.0; g.targets.len()];
+        let r = solve_best_response(&g, &start, BrOptions::default()).unwrap();
+        prop_assert!(is_epsilon_nash(&g, &r.profile, 1e-5, BrOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn numeric_equilibrium_matches_closed_form(g in quadratic_game()) {
+        let start = vec![0.0; g.targets.len()];
+        let r = solve_best_response(&g, &start, BrOptions::default()).unwrap();
+        let eq = g.equilibrium();
+        for (a, b) in r.profile.iter().zip(&eq) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn deviation_gains_nonnegative_up_to_tolerance(g in quadratic_game()) {
+        // The best deviation from ANY profile gains at least ~0 (you can
+        // always stay put), so the report must never be substantially
+        // negative.
+        let profile = vec![1.0; g.targets.len()];
+        let rep = deviation_report(&g, &profile, BrOptions::default()).unwrap();
+        for &gain in &rep.gain {
+            prop_assert!(gain >= -1e-6, "gain {gain}");
+        }
+    }
+
+    #[test]
+    fn stackelberg_leader_never_does_worse_than_any_probe(
+        a in 4.0..40.0f64,
+        probe in 0.0..1.0f64,
+    ) {
+        // Linear-demand duopoly: the solved leader quantity dominates any
+        // probed alternative along the follower's reaction curve.
+        struct Duopoly { a: f64 }
+        impl StackelbergGame for Duopoly {
+            fn leader_bounds(&self) -> (f64, f64) { (0.0, self.a) }
+            fn follower_response(&self, l: f64) -> share_game::Result<Vec<f64>> {
+                Ok(vec![((self.a - l) / 2.0).max(0.0)])
+            }
+            fn leader_payoff(&self, l: f64, r: &[f64]) -> f64 {
+                (self.a - l - r[0]) * l
+            }
+        }
+        let g = Duopoly { a };
+        let sol = solve_bilevel(&g, BilevelOptions::default()).unwrap();
+        let x = probe * a;
+        let resp = g.follower_response(x).unwrap();
+        let probed = g.leader_payoff(x, &resp);
+        prop_assert!(sol.payoff + 1e-7 * (1.0 + sol.payoff.abs()) >= probed,
+            "probe {x} beat leader: {probed} > {}", sol.payoff);
+        // Textbook optimum a/2.
+        prop_assert!((sol.leader - a / 2.0).abs() < 1e-4 * a);
+    }
+}

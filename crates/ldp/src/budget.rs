@@ -1,0 +1,229 @@
+//! Privacy-budget accounting under sequential composition.
+//!
+//! A Share seller may participate in many trading rounds; each round spends
+//! `ε_i*` on the pieces she sells. The ledger tracks cumulative spend against
+//! a per-seller cap so market operators can enforce long-run privacy
+//! guarantees (basic composition: budgets add).
+
+use crate::error::{LdpError, Result};
+
+/// Sequential-composition budget ledger with a hard cap.
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    cap: f64,
+    spent: f64,
+    charges: Vec<f64>,
+}
+
+impl BudgetLedger {
+    /// Create a ledger with total cap `cap > 0` (may be `f64::INFINITY` for
+    /// unconstrained accounting).
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidEpsilon`] for a non-positive or NaN cap.
+    pub fn new(cap: f64) -> Result<Self> {
+        if cap.is_nan() || cap <= 0.0 {
+            return Err(LdpError::InvalidEpsilon {
+                epsilon: cap,
+                reason: "budget cap must be positive",
+            });
+        }
+        Ok(Self {
+            cap,
+            spent: 0.0,
+            charges: Vec::new(),
+        })
+    }
+
+    /// Attempt to spend `epsilon`; records the charge on success.
+    ///
+    /// # Errors
+    /// - [`LdpError::InvalidEpsilon`] for negative or NaN `epsilon`.
+    /// - [`LdpError::BudgetExhausted`] when the charge would exceed the cap.
+    pub fn charge(&mut self, epsilon: f64) -> Result<()> {
+        if epsilon.is_nan() || epsilon < 0.0 {
+            return Err(LdpError::InvalidEpsilon {
+                epsilon,
+                reason: "charge must be non-negative",
+            });
+        }
+        if self.spent + epsilon > self.cap {
+            return Err(LdpError::BudgetExhausted {
+                spent: self.spent,
+                requested: epsilon,
+                cap: self.cap,
+            });
+        }
+        self.spent += epsilon;
+        self.charges.push(epsilon);
+        Ok(())
+    }
+
+    /// Budget spent so far (sum of successful charges).
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> f64 {
+        self.cap - self.spent
+    }
+
+    /// The configured cap.
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// Number of successful charges.
+    pub fn rounds(&self) -> usize {
+        self.charges.len()
+    }
+
+    /// History of charges, oldest first.
+    pub fn charges(&self) -> &[f64] {
+        &self.charges
+    }
+
+    /// Total (ε, δ)-guarantee of the recorded charges under the **advanced
+    /// composition** theorem (Dwork & Roth 2014, Thm. 3.20): for `k`
+    /// mechanisms each ε₀-DP, the composition is `(ε', k·δ₀ + δ')`-DP with
+    ///
+    /// ```text
+    /// ε' = √(2k·ln(1/δ'))·ε₀ + k·ε₀·(e^{ε₀} − 1)
+    /// ```
+    ///
+    /// Heterogeneous charges are bounded conservatively by their maximum.
+    /// Returns the advanced-composition ε' for slack `δ'`; callers should
+    /// take `min(ε', spent())` since basic composition can win for small k
+    /// or large ε₀.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidDelta`] when `δ' ∉ (0, 1)`.
+    pub fn advanced_composition_epsilon(&self, delta_slack: f64) -> Result<f64> {
+        if !(delta_slack > 0.0 && delta_slack < 1.0) {
+            return Err(LdpError::InvalidDelta { delta: delta_slack });
+        }
+        let k = self.charges.len() as f64;
+        if k == 0.0 {
+            return Ok(0.0);
+        }
+        let eps0 = self.charges.iter().cloned().fold(0.0_f64, f64::max);
+        Ok((2.0 * k * (1.0 / delta_slack).ln()).sqrt() * eps0 + k * eps0 * (eps0.exp() - 1.0))
+    }
+
+    /// The tighter of basic and advanced composition for slack `δ'`.
+    ///
+    /// # Errors
+    /// Propagates [`advanced_composition_epsilon`](Self::advanced_composition_epsilon).
+    pub fn best_composition_epsilon(&self, delta_slack: f64) -> Result<f64> {
+        Ok(self
+            .advanced_composition_epsilon(delta_slack)?
+            .min(self.spent()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut l = BudgetLedger::new(10.0).unwrap();
+        l.charge(3.0).unwrap();
+        l.charge(4.0).unwrap();
+        assert_eq!(l.spent(), 7.0);
+        assert_eq!(l.remaining(), 3.0);
+        assert_eq!(l.rounds(), 2);
+        assert_eq!(l.charges(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn exhaustion_rejected_and_not_recorded() {
+        let mut l = BudgetLedger::new(5.0).unwrap();
+        l.charge(4.0).unwrap();
+        let err = l.charge(2.0).unwrap_err();
+        assert!(matches!(err, LdpError::BudgetExhausted { .. }));
+        assert_eq!(l.spent(), 4.0);
+        assert_eq!(l.rounds(), 1);
+    }
+
+    #[test]
+    fn exact_cap_is_allowed() {
+        let mut l = BudgetLedger::new(5.0).unwrap();
+        l.charge(5.0).unwrap();
+        assert_eq!(l.remaining(), 0.0);
+    }
+
+    #[test]
+    fn zero_charge_is_free() {
+        let mut l = BudgetLedger::new(1.0).unwrap();
+        l.charge(0.0).unwrap();
+        assert_eq!(l.spent(), 0.0);
+        assert_eq!(l.rounds(), 1);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(BudgetLedger::new(0.0).is_err());
+        assert!(BudgetLedger::new(f64::NAN).is_err());
+        let mut l = BudgetLedger::new(1.0).unwrap();
+        assert!(l.charge(-0.1).is_err());
+        assert!(l.charge(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn infinite_cap_never_exhausts() {
+        let mut l = BudgetLedger::new(f64::INFINITY).unwrap();
+        for _ in 0..1000 {
+            l.charge(100.0).unwrap();
+        }
+        assert_eq!(l.spent(), 100_000.0);
+    }
+
+    #[test]
+    fn advanced_composition_formula() {
+        let mut l = BudgetLedger::new(f64::INFINITY).unwrap();
+        for _ in 0..100 {
+            l.charge(0.1).unwrap();
+        }
+        let delta = 1e-6;
+        let eps = l.advanced_composition_epsilon(delta).unwrap();
+        let expect = (2.0 * 100.0 * (1.0 / delta).ln()).sqrt() * 0.1
+            + 100.0 * 0.1 * (0.1f64.exp() - 1.0);
+        assert!((eps - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_many_small_charges() {
+        let mut l = BudgetLedger::new(f64::INFINITY).unwrap();
+        for _ in 0..10_000 {
+            l.charge(0.01).unwrap();
+        }
+        let basic = l.spent(); // 100
+        let adv = l.advanced_composition_epsilon(1e-6).unwrap();
+        assert!(adv < basic, "advanced {adv} should beat basic {basic}");
+        assert_eq!(l.best_composition_epsilon(1e-6).unwrap(), adv);
+    }
+
+    #[test]
+    fn basic_beats_advanced_for_few_charges() {
+        let mut l = BudgetLedger::new(f64::INFINITY).unwrap();
+        l.charge(0.5).unwrap();
+        let adv = l.advanced_composition_epsilon(1e-6).unwrap();
+        assert!(adv > l.spent());
+        assert_eq!(l.best_composition_epsilon(1e-6).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn empty_ledger_composes_to_zero() {
+        let l = BudgetLedger::new(1.0).unwrap();
+        assert_eq!(l.advanced_composition_epsilon(1e-6).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn composition_rejects_bad_delta() {
+        let l = BudgetLedger::new(1.0).unwrap();
+        assert!(l.advanced_composition_epsilon(0.0).is_err());
+        assert!(l.advanced_composition_epsilon(1.0).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type for local-differential-privacy operations.
+
+use std::fmt;
+
+/// Errors produced by LDP mechanisms and the fidelity map.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LdpError {
+    /// Privacy budget must be non-negative (and positive for mechanisms that
+    /// divide by it).
+    InvalidEpsilon {
+        /// The offending value.
+        epsilon: f64,
+        /// Explanation of the violated requirement.
+        reason: &'static str,
+    },
+    /// δ must lie in `(0, 1)` for approximate mechanisms.
+    InvalidDelta {
+        /// The offending value.
+        delta: f64,
+    },
+    /// Sensitivity must be positive and finite.
+    InvalidSensitivity {
+        /// The offending value.
+        sensitivity: f64,
+    },
+    /// Fidelity must lie in `[0, 1]`.
+    InvalidFidelity {
+        /// The offending value.
+        tau: f64,
+    },
+    /// A randomized-response mechanism needs at least two categories.
+    TooFewCategories {
+        /// Number of categories supplied.
+        got: usize,
+    },
+    /// The accumulated budget would exceed the configured cap.
+    BudgetExhausted {
+        /// Budget already spent.
+        spent: f64,
+        /// Additional budget requested.
+        requested: f64,
+        /// Configured cap.
+        cap: f64,
+    },
+}
+
+impl fmt::Display for LdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidEpsilon { epsilon, reason } => {
+                write!(f, "invalid privacy budget epsilon={epsilon}: {reason}")
+            }
+            Self::InvalidDelta { delta } => {
+                write!(f, "invalid delta={delta}: must be in (0, 1)")
+            }
+            Self::InvalidSensitivity { sensitivity } => {
+                write!(
+                    f,
+                    "invalid sensitivity={sensitivity}: must be positive and finite"
+                )
+            }
+            Self::InvalidFidelity { tau } => {
+                write!(f, "invalid fidelity tau={tau}: must be in [0, 1]")
+            }
+            Self::TooFewCategories { got } => {
+                write!(f, "randomized response needs >= 2 categories, got {got}")
+            }
+            Self::BudgetExhausted {
+                spent,
+                requested,
+                cap,
+            } => write!(
+                f,
+                "privacy budget exhausted: spent {spent} + requested {requested} > cap {cap}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LdpError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, LdpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(LdpError::InvalidEpsilon {
+            epsilon: -1.0,
+            reason: "must be non-negative"
+        }
+        .to_string()
+        .contains("epsilon=-1"));
+        assert!(LdpError::InvalidDelta { delta: 2.0 }
+            .to_string()
+            .contains("delta=2"));
+        assert!(LdpError::TooFewCategories { got: 1 }
+            .to_string()
+            .contains("got 1"));
+        assert!(LdpError::BudgetExhausted {
+            spent: 1.0,
+            requested: 2.0,
+            cap: 2.5
+        }
+        .to_string()
+        .contains("cap 2.5"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes(_: &dyn std::error::Error) {}
+        takes(&LdpError::InvalidFidelity { tau: 2.0 });
+    }
+}

@@ -1,0 +1,190 @@
+//! The exponential (index) mechanism (McSherry & Talwar 2007) — the paper's
+//! reference \[40\]. Selects one of `k` candidates with probability
+//! proportional to `exp(ε·score / (2·Δ))`, satisfying ε-DP with respect to
+//! score perturbations of sensitivity Δ. In a Share deployment it serves
+//! categorical selections a seller must privatize (e.g. which bucketized
+//! record variant to release).
+
+use crate::error::{LdpError, Result};
+use rand::{Rng, RngExt};
+
+/// ε-DP exponential mechanism over scored candidates.
+#[derive(Debug, Clone)]
+pub struct ExponentialMechanism {
+    epsilon: f64,
+    sensitivity: f64,
+}
+
+impl ExponentialMechanism {
+    /// Create a mechanism with budget `ε > 0` and score sensitivity
+    /// `Δ > 0`.
+    ///
+    /// # Errors
+    /// - [`LdpError::InvalidEpsilon`] for a non-positive/non-finite ε.
+    /// - [`LdpError::InvalidSensitivity`] for a non-positive/non-finite Δ.
+    pub fn new(epsilon: f64, sensitivity: f64) -> Result<Self> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(LdpError::InvalidEpsilon {
+                epsilon,
+                reason: "exponential mechanism requires finite epsilon > 0",
+            });
+        }
+        if !(sensitivity.is_finite() && sensitivity > 0.0) {
+            return Err(LdpError::InvalidSensitivity { sensitivity });
+        }
+        Ok(Self {
+            epsilon,
+            sensitivity,
+        })
+    }
+
+    /// The privacy budget ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Selection probabilities for the given scores (softmax at inverse
+    /// temperature `ε/(2Δ)`, computed with the max-subtraction trick for
+    /// numerical stability).
+    ///
+    /// # Errors
+    /// [`LdpError::TooFewCategories`] for an empty score list;
+    /// [`LdpError::InvalidSensitivity`] for non-finite scores.
+    pub fn probabilities(&self, scores: &[f64]) -> Result<Vec<f64>> {
+        if scores.is_empty() {
+            return Err(LdpError::TooFewCategories { got: 0 });
+        }
+        if scores.iter().any(|s| !s.is_finite()) {
+            return Err(LdpError::InvalidSensitivity {
+                sensitivity: f64::NAN,
+            });
+        }
+        let beta = self.epsilon / (2.0 * self.sensitivity);
+        let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = scores.iter().map(|s| (beta * (s - max)).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        Ok(weights.into_iter().map(|w| w / total).collect())
+    }
+
+    /// Sample a candidate index with the mechanism's distribution.
+    ///
+    /// # Errors
+    /// Propagates [`probabilities`](Self::probabilities) errors.
+    pub fn select(&self, scores: &[f64], rng: &mut dyn Rng) -> Result<usize> {
+        let probs = self.probabilities(scores)?;
+        let u: f64 = rng.random();
+        let mut acc = 0.0;
+        for (i, p) in probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return Ok(i);
+            }
+        }
+        Ok(probs.len() - 1) // floating-point slack lands on the last bucket
+    }
+
+    /// Exact DP verification: maximum log-probability ratio between the
+    /// distributions induced by `scores` and `scores2` (entry-wise shifted
+    /// by at most Δ). Must be ≤ ε by the mechanism's guarantee.
+    ///
+    /// # Errors
+    /// Propagates [`probabilities`](Self::probabilities) errors;
+    /// [`LdpError::TooFewCategories`] for mismatched lengths.
+    pub fn max_log_ratio(&self, scores: &[f64], scores2: &[f64]) -> Result<f64> {
+        if scores.len() != scores2.len() {
+            return Err(LdpError::TooFewCategories { got: scores2.len() });
+        }
+        let p = self.probabilities(scores)?;
+        let q = self.probabilities(scores2)?;
+        Ok(p.iter()
+            .zip(&q)
+            .map(|(a, b)| (a / b).ln().abs())
+            .fold(0.0_f64, f64::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ExponentialMechanism::new(0.0, 1.0).is_err());
+        assert!(ExponentialMechanism::new(1.0, 0.0).is_err());
+        assert!(ExponentialMechanism::new(f64::NAN, 1.0).is_err());
+        assert!(ExponentialMechanism::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_order_by_score() {
+        let m = ExponentialMechanism::new(2.0, 1.0).unwrap();
+        let p = m.probabilities(&[0.0, 1.0, 2.0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] < p[1] && p[1] < p[2]);
+    }
+
+    #[test]
+    fn equal_scores_give_uniform() {
+        let m = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        let p = m.probabilities(&[3.0, 3.0, 3.0, 3.0]).unwrap();
+        for v in p {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn large_epsilon_concentrates_on_best() {
+        let m = ExponentialMechanism::new(100.0, 1.0).unwrap();
+        let p = m.probabilities(&[0.0, 0.5, 1.0]).unwrap();
+        assert!(p[2] > 0.99, "{p:?}");
+    }
+
+    #[test]
+    fn numerically_stable_for_huge_scores() {
+        let m = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        let p = m.probabilities(&[1e6, 1e6 + 1.0]).unwrap();
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dp_guarantee_holds_for_shifted_scores() {
+        let m = ExponentialMechanism::new(0.8, 1.0).unwrap();
+        let scores = [0.1, 0.7, 0.3, 0.9];
+        // Worst-case neighboring scores: each entry shifted by ±Δ.
+        let shifted: Vec<f64> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, s)| if i % 2 == 0 { s + 1.0 } else { s - 1.0 })
+            .collect();
+        let ratio = m.max_log_ratio(&scores, &shifted).unwrap();
+        assert!(ratio <= 0.8 + 1e-9, "log ratio {ratio} exceeds eps");
+    }
+
+    #[test]
+    fn empirical_selection_frequencies_match_probabilities() {
+        let m = ExponentialMechanism::new(1.5, 1.0).unwrap();
+        let scores = [0.0, 1.0, 2.0];
+        let p = m.probabilities(&scores).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[m.select(&scores, &mut rng).unwrap()] += 1;
+        }
+        for (c, prob) in counts.iter().zip(&p) {
+            let freq = *c as f64 / n as f64;
+            assert!((freq - prob).abs() < 0.01, "{freq} vs {prob}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_nonfinite_scores() {
+        let m = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        assert!(m.probabilities(&[]).is_err());
+        assert!(m.probabilities(&[1.0, f64::NAN]).is_err());
+        assert!(m.max_log_ratio(&[1.0], &[1.0, 2.0]).is_err());
+    }
+}

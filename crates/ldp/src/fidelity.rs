@@ -1,0 +1,203 @@
+//! The Share fidelity map (paper Eq. 10):
+//!
+//! ```text
+//! τ = (2/π) · arcsec(ε + 1),   ε ∈ [0, ∞)  ⇒  τ ∈ [0, 1)
+//! ```
+//!
+//! with the convention τ = 1 when no noise is added at all (ε = ∞). The map
+//! satisfies the Inada conditions the paper requires: τ(0) = 0, τ is strictly
+//! increasing and strictly concave, its slope diverges as ε → 0⁺ and
+//! vanishes as ε → ∞, and τ is bounded above by 1.
+
+use crate::error::{LdpError, Result};
+use std::f64::consts::FRAC_PI_2;
+
+/// Data fidelity for privacy budget `ε` (paper Eq. 10).
+///
+/// `arcsec(x) = arccos(1/x)` for `x ≥ 1`; `ε = ∞` yields exactly 1.
+///
+/// # Errors
+/// [`LdpError::InvalidEpsilon`] for negative or NaN `ε`.
+pub fn fidelity(epsilon: f64) -> Result<f64> {
+    if epsilon.is_nan() || epsilon < 0.0 {
+        return Err(LdpError::InvalidEpsilon {
+            epsilon,
+            reason: "must be non-negative",
+        });
+    }
+    if epsilon.is_infinite() {
+        return Ok(1.0);
+    }
+    Ok((1.0 / (epsilon + 1.0)).acos() / FRAC_PI_2)
+}
+
+/// Inverse of [`fidelity`]: the privacy budget producing fidelity `τ`
+/// (`ε = sec(πτ/2) − 1`). Returns `f64::INFINITY` for `τ = 1` (no noise).
+///
+/// # Errors
+/// [`LdpError::InvalidFidelity`] for `τ` outside `[0, 1]` or NaN.
+pub fn epsilon_for_fidelity(tau: f64) -> Result<f64> {
+    if tau.is_nan() || !(0.0..=1.0).contains(&tau) {
+        return Err(LdpError::InvalidFidelity { tau });
+    }
+    if tau == 1.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(1.0 / (FRAC_PI_2 * tau).cos() - 1.0)
+}
+
+/// Derivative `dτ/dε`, used in curvature checks and sensitivity analysis.
+///
+/// # Errors
+/// [`LdpError::InvalidEpsilon`] for non-positive or NaN `ε` (the slope
+/// diverges at 0).
+pub fn fidelity_slope(epsilon: f64) -> Result<f64> {
+    if epsilon.is_nan() || epsilon <= 0.0 {
+        return Err(LdpError::InvalidEpsilon {
+            epsilon,
+            reason: "slope requires epsilon > 0 (diverges at 0)",
+        });
+    }
+    let x = epsilon + 1.0;
+    Ok((2.0 / std::f64::consts::PI) / (x * (x * x - 1.0).sqrt()))
+}
+
+/// Verify the Inada-style conditions of the paper on a sampled grid:
+/// τ(0) = 0, strict monotonicity, strict concavity, and an upper bound of 1.
+/// Returns the number of grid points checked.
+///
+/// This is primarily a testing/diagnostic utility for alternative fidelity
+/// maps supplied by downstream users.
+///
+/// # Errors
+/// [`LdpError::InvalidFidelity`] when a condition fails (the offending value
+/// is reported).
+pub fn check_inada<F: Fn(f64) -> f64>(f: F, eps_max: f64, n_grid: usize) -> Result<usize> {
+    let f0 = f(0.0);
+    if f0.abs() > 1e-12 {
+        return Err(LdpError::InvalidFidelity { tau: f0 });
+    }
+    let n = n_grid.max(4);
+    let step = eps_max / n as f64;
+    let mut prev = f0;
+    let mut prev_slope = f64::INFINITY;
+    for i in 1..=n {
+        let e = step * i as f64;
+        let v = f(e);
+        if !(0.0..=1.0).contains(&v) {
+            return Err(LdpError::InvalidFidelity { tau: v });
+        }
+        if v <= prev {
+            return Err(LdpError::InvalidFidelity { tau: v });
+        }
+        let slope = (v - prev) / step;
+        if slope >= prev_slope {
+            return Err(LdpError::InvalidFidelity { tau: v });
+        }
+        prev = v;
+        prev_slope = slope;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fidelity_at_zero_is_zero() {
+        assert_eq!(fidelity(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn fidelity_at_infinity_is_one() {
+        assert_eq!(fidelity(f64::INFINITY).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn fidelity_known_value() {
+        // arcsec(2) = π/3, so τ = (2/π)(π/3) = 2/3 at ε = 1.
+        assert!((fidelity(1.0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_strictly_increasing_below_one() {
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let t = fidelity(i as f64 * 0.5).unwrap();
+            assert!(t > prev);
+            assert!(t < 1.0);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn fidelity_rejects_negative_and_nan() {
+        assert!(fidelity(-0.1).is_err());
+        assert!(fidelity(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for &eps in &[0.0, 0.1, 0.5, 1.0, 3.0, 10.0, 100.0] {
+            let tau = fidelity(eps).unwrap();
+            let back = epsilon_for_fidelity(tau).unwrap();
+            assert!(
+                (back - eps).abs() < 1e-9 * (1.0 + eps),
+                "eps {eps} -> tau {tau} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_at_one_is_infinite() {
+        assert_eq!(epsilon_for_fidelity(1.0).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn inverse_rejects_out_of_range() {
+        assert!(epsilon_for_fidelity(-0.1).is_err());
+        assert!(epsilon_for_fidelity(1.1).is_err());
+        assert!(epsilon_for_fidelity(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn slope_matches_finite_difference() {
+        for &eps in &[0.5, 1.0, 2.0, 5.0] {
+            let h = 1e-6;
+            let fd = (fidelity(eps + h).unwrap() - fidelity(eps - h).unwrap()) / (2.0 * h);
+            let s = fidelity_slope(eps).unwrap();
+            assert!((fd - s).abs() < 1e-6, "eps {eps}: fd {fd} vs {s}");
+        }
+    }
+
+    #[test]
+    fn slope_decreasing_in_epsilon() {
+        let s1 = fidelity_slope(0.5).unwrap();
+        let s2 = fidelity_slope(1.0).unwrap();
+        let s3 = fidelity_slope(5.0).unwrap();
+        assert!(s1 > s2 && s2 > s3);
+    }
+
+    #[test]
+    fn slope_rejects_zero() {
+        assert!(fidelity_slope(0.0).is_err());
+    }
+
+    #[test]
+    fn paper_map_passes_inada_check() {
+        let n = check_inada(|e| fidelity(e).unwrap(), 50.0, 200).unwrap();
+        assert_eq!(n, 200);
+    }
+
+    #[test]
+    fn linear_map_fails_inada_concavity() {
+        // τ = ε/100 is monotone but not strictly concave.
+        assert!(check_inada(|e| e / 100.0, 50.0, 100).is_err());
+    }
+
+    #[test]
+    fn shifted_map_fails_inada_origin() {
+        assert!(check_inada(|e| 0.5 + e / 1000.0, 10.0, 50).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! The Gaussian mechanism (Dwork & Roth 2014) for (ε, δ)-LDP, offered as an
+//! alternative perturbation scheme for sellers whose downstream consumers
+//! prefer sub-exponential noise tails.
+
+use crate::error::{LdpError, Result};
+use crate::mechanism::{Domain, Mechanism};
+use rand::{Rng, RngExt};
+
+/// (ε, δ)-LDP Gaussian mechanism over a bounded numeric domain with
+/// `σ = Δ·√(2·ln(1.25/δ))/ε` (the classical calibration, valid for ε ≤ 1
+/// and conservative above).
+#[derive(Debug, Clone, Copy)]
+pub struct GaussianMechanism {
+    epsilon: f64,
+    delta: f64,
+    domain: Domain,
+    sigma: f64,
+}
+
+impl GaussianMechanism {
+    /// Create a Gaussian mechanism with budget `(ε, δ)` over `domain`.
+    ///
+    /// # Errors
+    /// - [`LdpError::InvalidEpsilon`] when `ε` is not strictly positive and
+    ///   finite.
+    /// - [`LdpError::InvalidDelta`] when `δ ∉ (0, 1)`.
+    pub fn new(epsilon: f64, delta: f64, domain: Domain) -> Result<Self> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(LdpError::InvalidEpsilon {
+                epsilon,
+                reason: "Gaussian mechanism requires finite epsilon > 0",
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(LdpError::InvalidDelta { delta });
+        }
+        let sigma = domain.width() * (2.0 * (1.25 / delta).ln()).sqrt() / epsilon;
+        Ok(Self {
+            epsilon,
+            delta,
+            domain,
+            sigma,
+        })
+    }
+
+    /// Noise standard deviation σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The δ of the (ε, δ) guarantee.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Draw one `N(0, σ²)` sample.
+    pub fn sample_noise(&self, rng: &mut dyn Rng) -> f64 {
+        sample_standard_normal(rng) * self.sigma
+    }
+}
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn sample_standard_normal(rng: &mut dyn Rng) -> f64 {
+    // u1 in (0, 1] to keep ln finite; u2 in [0, 1).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Mechanism for GaussianMechanism {
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn perturb(&self, value: f64, rng: &mut dyn Rng) -> f64 {
+        self.domain.clamp(value) + self.sample_noise(rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "gaussian"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unit() -> Domain {
+        Domain::new(0.0, 1.0)
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(GaussianMechanism::new(0.0, 1e-5, unit()).is_err());
+        assert!(GaussianMechanism::new(1.0, 0.0, unit()).is_err());
+        assert!(GaussianMechanism::new(1.0, 1.0, unit()).is_err());
+        assert!(GaussianMechanism::new(f64::NAN, 0.5, unit()).is_err());
+    }
+
+    #[test]
+    fn sigma_calibration_formula() {
+        let m = GaussianMechanism::new(1.0, 1e-5, unit()).unwrap();
+        let expect = (2.0 * (1.25 / 1e-5_f64).ln()).sqrt();
+        assert!((m.sigma() - expect).abs() < 1e-12);
+        assert_eq!(m.delta(), 1e-5);
+    }
+
+    #[test]
+    fn sigma_scales_with_domain_width() {
+        let narrow = GaussianMechanism::new(1.0, 1e-5, Domain::new(0.0, 1.0)).unwrap();
+        let wide = GaussianMechanism::new(1.0, 1e-5, Domain::new(0.0, 3.0)).unwrap();
+        assert!((wide.sigma() / narrow.sigma() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_moments_match_normal() {
+        let m = GaussianMechanism::new(2.0, 1e-4, unit()).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.sample_noise(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!(
+            (var - m.sigma() * m.sigma()).abs() < 0.1 * m.sigma() * m.sigma(),
+            "var {var} vs {}",
+            m.sigma() * m.sigma()
+        );
+    }
+
+    #[test]
+    fn standard_normal_tail_fractions() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 100_000;
+        let beyond_2: usize = (0..n)
+            .filter(|_| sample_standard_normal(&mut rng).abs() > 2.0)
+            .count();
+        let frac = beyond_2 as f64 / n as f64;
+        // P(|Z| > 2) ≈ 0.0455.
+        assert!((frac - 0.0455).abs() < 0.01, "{frac}");
+    }
+
+    #[test]
+    fn perturb_clamps_input() {
+        let m = GaussianMechanism::new(1e6, 1e-5, unit()).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let out = m.perturb(-9.0, &mut rng);
+        assert!(out.abs() < 0.01, "{out}");
+    }
+
+    #[test]
+    fn name_reported() {
+        let m = GaussianMechanism::new(1.0, 1e-5, unit()).unwrap();
+        assert_eq!(m.name(), "gaussian");
+    }
+}

@@ -1,0 +1,147 @@
+//! Locally private histogram estimation over a bounded numeric domain.
+//!
+//! Bins the domain, randomizes each participant's bin with k-ary randomized
+//! response, and debiases the aggregate counts — the standard LDP frequency
+//! oracle. A Share marketplace can use it to publish distributional
+//! metadata about sellers' stocks (price discovery) without spending more
+//! than ε per participant.
+
+use crate::error::{LdpError, Result};
+use crate::mechanism::Domain;
+use crate::randomized_response::RandomizedResponse;
+use rand::Rng;
+
+/// ε-LDP histogram estimator with `k` equal-width bins over a domain.
+#[derive(Debug, Clone)]
+pub struct LdpHistogram {
+    domain: Domain,
+    rr: RandomizedResponse,
+}
+
+impl LdpHistogram {
+    /// Create an estimator with `bins ≥ 2` and budget `ε ≥ 0`.
+    ///
+    /// # Errors
+    /// Propagates [`RandomizedResponse::new`] errors.
+    pub fn new(epsilon: f64, domain: Domain, bins: usize) -> Result<Self> {
+        Ok(Self {
+            domain,
+            rr: RandomizedResponse::new(epsilon, bins)?,
+        })
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.rr.categories()
+    }
+
+    /// Bin index of a value (clamped into the domain).
+    pub fn bin_of(&self, v: f64) -> usize {
+        let k = self.bins();
+        let x = self.domain.clamp(v);
+        let frac = (x - self.domain.lo) / self.domain.width();
+        ((frac * k as f64) as usize).min(k - 1)
+    }
+
+    /// One participant's randomized report for her value.
+    pub fn report<R: Rng>(&self, v: f64, rng: &mut R) -> usize {
+        self.rr.randomize(self.bin_of(v), rng)
+    }
+
+    /// Aggregate reports into debiased frequency estimates (may be slightly
+    /// negative for empty bins; callers may clamp).
+    ///
+    /// # Errors
+    /// [`LdpError::TooFewCategories`] when `counts.len() != bins`.
+    pub fn estimate(&self, counts: &[u64]) -> Result<Vec<f64>> {
+        self.rr.estimate_frequencies(counts)
+    }
+
+    /// End-to-end helper: report every value and return the debiased
+    /// frequency estimates.
+    ///
+    /// # Errors
+    /// [`LdpError::TooFewCategories`] for an empty input.
+    pub fn estimate_from_values<R: Rng>(&self, values: &[f64], rng: &mut R) -> Result<Vec<f64>> {
+        if values.is_empty() {
+            return Err(LdpError::TooFewCategories { got: 0 });
+        }
+        let mut counts = vec![0u64; self.bins()];
+        for &v in values {
+            counts[self.report(v, rng)] += 1;
+        }
+        self.estimate(&counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unit_hist(eps: f64, bins: usize) -> LdpHistogram {
+        LdpHistogram::new(eps, Domain::new(0.0, 1.0), bins).unwrap()
+    }
+
+    #[test]
+    fn binning_covers_domain() {
+        let h = unit_hist(1.0, 4);
+        assert_eq!(h.bin_of(0.0), 0);
+        assert_eq!(h.bin_of(0.26), 1);
+        assert_eq!(h.bin_of(0.99), 3);
+        assert_eq!(h.bin_of(1.0), 3); // right endpoint folds into last bin
+        assert_eq!(h.bin_of(-5.0), 0); // clamped
+        assert_eq!(h.bin_of(7.0), 3);
+    }
+
+    #[test]
+    fn estimates_recover_known_distribution() {
+        let h = unit_hist(2.0, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        // 40% in bin 0, 60% in bin 3.
+        let mut values = vec![0.1; 40_000];
+        values.extend(vec![0.9; 60_000]);
+        let est = h.estimate_from_values(&values, &mut rng).unwrap();
+        assert!((est[0] - 0.4).abs() < 0.02, "{est:?}");
+        assert!((est[3] - 0.6).abs() < 0.02, "{est:?}");
+        assert!(est[1].abs() < 0.02 && est[2].abs() < 0.02, "{est:?}");
+    }
+
+    #[test]
+    fn estimates_sum_to_one() {
+        let h = unit_hist(1.0, 8);
+        let mut rng = StdRng::seed_from_u64(6);
+        let values: Vec<f64> = (0..10_000).map(|i| (i % 100) as f64 / 100.0).collect();
+        let est = h.estimate_from_values(&values, &mut rng).unwrap();
+        assert!((est.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_budget_means_less_error() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let values = vec![0.05; 50_000]; // everything in bin 0
+        let err = |eps: f64, rng: &mut StdRng| {
+            let h = unit_hist(eps, 10);
+            let est = h.estimate_from_values(&values, rng).unwrap();
+            (est[0] - 1.0).abs()
+        };
+        let trials = 6;
+        let low: f64 = (0..trials).map(|_| err(0.2, &mut rng)).sum::<f64>() / trials as f64;
+        let high: f64 = (0..trials).map(|_| err(4.0, &mut rng)).sum::<f64>() / trials as f64;
+        assert!(high < low, "eps 4 err {high} should beat eps 0.2 err {low}");
+    }
+
+    #[test]
+    fn invalid_construction_rejected() {
+        assert!(LdpHistogram::new(1.0, Domain::new(0.0, 1.0), 1).is_err());
+        assert!(LdpHistogram::new(-1.0, Domain::new(0.0, 1.0), 4).is_err());
+    }
+
+    #[test]
+    fn empty_values_rejected() {
+        let h = unit_hist(1.0, 4);
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(h.estimate_from_values(&[], &mut rng).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! The Laplace mechanism (Dwork 2006) — the mechanism the Share paper uses
+//! for each seller's local perturbation (§6.1).
+//!
+//! For a value from a domain of width `Δ`, adding `Lap(0, Δ/ε)` noise yields
+//! ε-LDP: the density ratio of the output under any two inputs is bounded by
+//! `exp(ε)`.
+
+use crate::error::{LdpError, Result};
+use crate::mechanism::{Domain, Mechanism};
+use rand::{Rng, RngExt};
+
+/// ε-LDP Laplace mechanism over a bounded numeric domain.
+#[derive(Debug, Clone, Copy)]
+pub struct LaplaceMechanism {
+    epsilon: f64,
+    domain: Domain,
+    scale: f64,
+}
+
+impl LaplaceMechanism {
+    /// Create a Laplace mechanism with budget `ε > 0` over `domain`.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidEpsilon`] when `ε` is not strictly positive and
+    /// finite (an infinite budget should use
+    /// [`IdentityMechanism`](crate::mechanism::IdentityMechanism) instead).
+    pub fn new(epsilon: f64, domain: Domain) -> Result<Self> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(LdpError::InvalidEpsilon {
+                epsilon,
+                reason: "Laplace mechanism requires finite epsilon > 0",
+            });
+        }
+        Ok(Self {
+            epsilon,
+            domain,
+            scale: domain.width() / epsilon,
+        })
+    }
+
+    /// Noise scale `b = Δ/ε`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The bounded domain the sensitivity was derived from.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Draw one sample from `Lap(0, b)` by inverse-CDF sampling.
+    pub fn sample_noise(&self, rng: &mut dyn Rng) -> f64 {
+        sample_laplace(self.scale, rng)
+    }
+}
+
+/// Inverse-CDF sample from a centered Laplace distribution with scale `b`.
+pub fn sample_laplace(b: f64, rng: &mut dyn Rng) -> f64 {
+    // u uniform on (-1/2, 1/2]; noise = -b * sign(u) * ln(1 - 2|u|).
+    let u: f64 = rng.random::<f64>() - 0.5;
+    // Guard the measure-zero endpoint u = -0.5 (ln(0)).
+    let a = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE);
+    -b * u.signum() * a.ln()
+}
+
+impl Mechanism for LaplaceMechanism {
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn perturb(&self, value: f64, rng: &mut dyn Rng) -> f64 {
+        self.domain.clamp(value) + self.sample_noise(rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "laplace"
+    }
+}
+
+/// Analytic ε-LDP verification for the Laplace mechanism: the log density
+/// ratio at output `z` for inputs `y`, `y'` from the domain. The mechanism
+/// satisfies ε-LDP iff this is ≤ ε for all `y, y', z`, which holds with
+/// equality at `|y − y'| = Δ`.
+pub fn laplace_log_density_ratio(mech: &LaplaceMechanism, y: f64, y2: f64, z: f64) -> f64 {
+    let b = mech.scale();
+    ((z - mech.domain.clamp(y2)).abs() - (z - mech.domain.clamp(y)).abs()) / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unit() -> Domain {
+        Domain::new(0.0, 1.0)
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        assert!(LaplaceMechanism::new(0.0, unit()).is_err());
+        assert!(LaplaceMechanism::new(-1.0, unit()).is_err());
+        assert!(LaplaceMechanism::new(f64::INFINITY, unit()).is_err());
+        assert!(LaplaceMechanism::new(f64::NAN, unit()).is_err());
+    }
+
+    #[test]
+    fn scale_is_width_over_epsilon() {
+        let m = LaplaceMechanism::new(2.0, Domain::new(0.0, 4.0)).unwrap();
+        assert_eq!(m.scale(), 2.0);
+    }
+
+    #[test]
+    fn noise_is_centered_and_has_laplace_variance() {
+        let m = LaplaceMechanism::new(1.0, unit()).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.sample_noise(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        // Var(Lap(b)) = 2b²; b = 1 here.
+        assert!((var - 2.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn larger_epsilon_means_less_noise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tight = LaplaceMechanism::new(10.0, unit()).unwrap();
+        let loose = LaplaceMechanism::new(0.1, unit()).unwrap();
+        let n = 20_000;
+        let mad = |m: &LaplaceMechanism, rng: &mut StdRng| -> f64 {
+            (0..n).map(|_| m.sample_noise(rng).abs()).sum::<f64>() / n as f64
+        };
+        assert!(mad(&tight, &mut rng) * 10.0 < mad(&loose, &mut rng));
+    }
+
+    #[test]
+    fn perturb_clamps_out_of_domain_input() {
+        // With huge epsilon the noise is tiny; output must be near the clamp.
+        let m = LaplaceMechanism::new(1e6, unit()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = m.perturb(25.0, &mut rng);
+        assert!((out - 1.0).abs() < 0.01, "{out}");
+    }
+
+    #[test]
+    fn analytic_ldp_bound_holds() {
+        let m = LaplaceMechanism::new(0.7, unit()).unwrap();
+        for &y in &[0.0, 0.3, 1.0] {
+            for &y2 in &[0.0, 0.5, 1.0] {
+                for &z in &[-3.0, -0.2, 0.4, 0.9, 4.0] {
+                    let r = laplace_log_density_ratio(&m, y, y2, z);
+                    assert!(
+                        r <= m.epsilon() + 1e-12,
+                        "ratio {r} exceeds eps at y={y}, y'={y2}, z={z}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ldp_bound_is_tight_at_extremes() {
+        let m = LaplaceMechanism::new(0.7, unit()).unwrap();
+        // y = 0, y' = 1, z far left: ratio attains exactly ε.
+        let r = laplace_log_density_ratio(&m, 0.0, 1.0, -10.0);
+        assert!((r - 0.7).abs() < 1e-12, "{r}");
+    }
+
+    #[test]
+    fn empirical_ldp_histogram_check() {
+        // Discretize outputs of inputs 0 and 1; empirical bin ratios must
+        // respect exp(eps) up to sampling error.
+        let eps = 1.0;
+        let m = LaplaceMechanism::new(eps, unit()).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 300_000;
+        let bins = 20;
+        let lo = -4.0;
+        let hi = 5.0;
+        let binw = (hi - lo) / bins as f64;
+        let mut h0 = vec![0.0f64; bins];
+        let mut h1 = vec![0.0f64; bins];
+        for _ in 0..n {
+            let z0 = m.perturb(0.0, &mut rng);
+            let z1 = m.perturb(1.0, &mut rng);
+            let b0 = (((z0 - lo) / binw) as isize).clamp(0, bins as isize - 1) as usize;
+            let b1 = (((z1 - lo) / binw) as isize).clamp(0, bins as isize - 1) as usize;
+            h0[b0] += 1.0;
+            h1[b1] += 1.0;
+        }
+        for b in 0..bins {
+            if h0[b] > 500.0 && h1[b] > 500.0 {
+                let ratio = h0[b] / h1[b];
+                assert!(
+                    ratio < (eps + 0.25).exp() && ratio > (-(eps + 0.25)).exp(),
+                    "bin {b}: ratio {ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perturb_slice_changes_values() {
+        let m = LaplaceMechanism::new(1.0, unit()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut xs = vec![0.5; 64];
+        m.perturb_slice(&mut xs, &mut rng);
+        assert!(xs.iter().any(|&v| (v - 0.5).abs() > 1e-6));
+    }
+}

@@ -1,0 +1,59 @@
+//! # share-ldp
+//!
+//! Local differential privacy for the Share data market (ICDE 2024).
+//!
+//! Every Share seller perturbs the data she sells *locally* with a personal
+//! privacy budget `ε_i`. Her market strategy, however, is the **data
+//! fidelity** `τ_i ∈ [0, 1]`, linked to the budget through the paper's
+//! Eq. 10: `τ = (2/π)·arcsec(ε + 1)` — implemented with its inverse in
+//! [`fidelity`](mod@fidelity). At trading time the equilibrium fidelity `τ_i*` is converted
+//! to `ε_i*` and a [`Mechanism`] (the paper uses
+//! [`LaplaceMechanism`]) is applied to each sold
+//! data piece.
+//!
+//! Provided mechanisms:
+//! - [`laplace::LaplaceMechanism`] — ε-LDP, the paper's choice (§6.1);
+//! - [`gaussian::GaussianMechanism`] — (ε, δ)-LDP alternative;
+//! - [`randomized_response::RandomizedResponse`] — k-ary categorical ε-LDP
+//!   with an exactly checkable privacy inequality;
+//! - [`mechanism::IdentityMechanism`] — the τ = 1 boundary case.
+//!
+//! [`budget::BudgetLedger`] accounts multi-round spend under sequential
+//! composition.
+//!
+//! ## Example
+//!
+//! ```
+//! use share_ldp::fidelity::{fidelity, epsilon_for_fidelity};
+//! use share_ldp::laplace::LaplaceMechanism;
+//! use share_ldp::mechanism::{Domain, Mechanism};
+//!
+//! // A seller's equilibrium fidelity of 0.4 maps to a concrete budget...
+//! let eps = epsilon_for_fidelity(0.4).unwrap();
+//! assert!((fidelity(eps).unwrap() - 0.4).abs() < 1e-12);
+//!
+//! // ...which instantiates the Laplace mechanism she perturbs with.
+//! let mech = LaplaceMechanism::new(eps, Domain::new(0.0, 100.0)).unwrap();
+//! let mut rng = rand::rng();
+//! let reported = mech.perturb(42.0, &mut rng);
+//! assert!(reported.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod budget;
+pub mod duchi;
+pub mod error;
+pub mod exponential;
+pub mod fidelity;
+pub mod gaussian;
+pub mod histogram;
+pub mod laplace;
+pub mod mechanism;
+pub mod randomized_response;
+
+pub use error::{LdpError, Result};
+pub use fidelity::{epsilon_for_fidelity, fidelity};
+pub use laplace::LaplaceMechanism;
+pub use mechanism::{Domain, IdentityMechanism, Mechanism};

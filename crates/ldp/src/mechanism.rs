@@ -1,0 +1,126 @@
+//! The [`Mechanism`] trait: a locally-differentially-private randomizer for
+//! bounded numeric values.
+//!
+//! In Share, every seller perturbs the `χ_i` data pieces she sells with a
+//! mechanism instantiated at her equilibrium budget `ε_i*` (computed from her
+//! fidelity strategy `τ_i*` via the inverse of Eq. 10). The mechanisms here
+//! operate on values from a known bounded domain `[lo, hi]` — the sensitivity
+//! of the identity query under LDP is the domain width.
+
+use rand::Rng;
+
+/// Inclusive bounded domain for a numeric attribute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Domain {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Domain {
+    /// Construct a domain; panics if `lo >= hi` or bounds are not finite
+    /// (programming error — domains are static configuration).
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid domain [{lo}, {hi}]"
+        );
+        Self { lo, hi }
+    }
+
+    /// Domain width (the LDP sensitivity of the identity query).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Clamp a value into the domain.
+    #[inline]
+    pub fn clamp(&self, v: f64) -> f64 {
+        v.clamp(self.lo, self.hi)
+    }
+
+    /// `true` when `v` lies inside the domain.
+    #[inline]
+    pub fn contains(&self, v: f64) -> bool {
+        (self.lo..=self.hi).contains(&v)
+    }
+}
+
+/// A locally-differentially-private randomizer for numeric values.
+///
+/// Implementations must satisfy ε-LDP (or (ε, δ)-LDP for the Gaussian
+/// mechanism) with respect to any pair of inputs in their [`Domain`].
+pub trait Mechanism: Send + Sync {
+    /// The privacy budget ε this mechanism was instantiated with.
+    fn epsilon(&self) -> f64;
+
+    /// Perturb a single value. The input is clamped to the domain first so
+    /// the sensitivity bound holds even for out-of-range inputs.
+    fn perturb(&self, value: f64, rng: &mut dyn Rng) -> f64;
+
+    /// Perturb a slice in place.
+    fn perturb_slice(&self, values: &mut [f64], rng: &mut dyn Rng) {
+        for v in values {
+            *v = self.perturb(*v, rng);
+        }
+    }
+
+    /// Short mechanism name for logs and ledgers.
+    fn name(&self) -> &'static str;
+}
+
+/// A pass-through "mechanism" with infinite budget (τ = 1, no noise). Used
+/// when a seller's equilibrium fidelity reaches the boundary `τ* = 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct IdentityMechanism;
+
+impl Mechanism for IdentityMechanism {
+    fn epsilon(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn perturb(&self, value: f64, _rng: &mut dyn Rng) -> f64 {
+        value
+    }
+
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn domain_basics() {
+        let d = Domain::new(-1.0, 3.0);
+        assert_eq!(d.width(), 4.0);
+        assert_eq!(d.clamp(5.0), 3.0);
+        assert_eq!(d.clamp(-5.0), -1.0);
+        assert!(d.contains(0.0));
+        assert!(!d.contains(3.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid domain")]
+    fn degenerate_domain_panics() {
+        let _ = Domain::new(1.0, 1.0);
+    }
+
+    #[test]
+    fn identity_mechanism_is_noiseless() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = IdentityMechanism;
+        assert_eq!(m.perturb(2.5, &mut rng), 2.5);
+        assert_eq!(m.epsilon(), f64::INFINITY);
+        assert_eq!(m.name(), "identity");
+        let mut xs = [1.0, 2.0, 3.0];
+        m.perturb_slice(&mut xs, &mut rng);
+        assert_eq!(xs, [1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for LDP mechanisms and the fidelity map.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use share_ldp::fidelity::{epsilon_for_fidelity, fidelity, fidelity_slope};
+use share_ldp::laplace::{laplace_log_density_ratio, LaplaceMechanism};
+use share_ldp::mechanism::{Domain, Mechanism};
+use share_ldp::randomized_response::RandomizedResponse;
+
+proptest! {
+    #[test]
+    fn fidelity_in_unit_interval(eps in 0.0..1e6f64) {
+        let t = fidelity(eps).unwrap();
+        prop_assert!((0.0..1.0).contains(&t) || (eps == 0.0 && t == 0.0));
+    }
+
+    #[test]
+    fn fidelity_monotone(e1 in 0.0..1e3f64, e2 in 0.0..1e3f64) {
+        let (lo, hi) = if e1 < e2 { (e1, e2) } else { (e2, e1) };
+        prop_assume!(hi - lo > 1e-9);
+        prop_assert!(fidelity(lo).unwrap() < fidelity(hi).unwrap());
+    }
+
+    #[test]
+    fn fidelity_roundtrip(eps in 0.0..1e3f64) {
+        let t = fidelity(eps).unwrap();
+        let back = epsilon_for_fidelity(t).unwrap();
+        prop_assert!((back - eps).abs() < 1e-6 * (1.0 + eps), "{eps} -> {t} -> {back}");
+    }
+
+    #[test]
+    fn fidelity_slope_positive_and_decreasing(eps in 0.01..100.0f64) {
+        let s1 = fidelity_slope(eps).unwrap();
+        let s2 = fidelity_slope(eps + 1.0).unwrap();
+        prop_assert!(s1 > 0.0 && s2 > 0.0 && s1 > s2);
+    }
+
+    #[test]
+    fn laplace_ldp_log_ratio_bounded(
+        eps in 0.05..5.0f64,
+        y in 0.0..1.0f64,
+        y2 in 0.0..1.0f64,
+        z in -10.0..10.0f64,
+    ) {
+        let m = LaplaceMechanism::new(eps, Domain::new(0.0, 1.0)).unwrap();
+        let r = laplace_log_density_ratio(&m, y, y2, z);
+        prop_assert!(r <= eps + 1e-9, "ratio {r} > eps {eps}");
+        prop_assert!(r >= -eps - 1e-9);
+    }
+
+    #[test]
+    fn laplace_output_finite(eps in 0.05..10.0f64, v in 0.0..1.0f64, seed in 0u64..1000) {
+        let m = LaplaceMechanism::new(eps, Domain::new(0.0, 1.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(m.perturb(v, &mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn randomized_response_exactly_eps_ldp(eps in 0.0..8.0f64, k in 2usize..32) {
+        let rr = RandomizedResponse::new(eps, k).unwrap();
+        prop_assert!((rr.max_log_ratio() - eps).abs() < 1e-9);
+        // Output distribution is a valid probability vector.
+        let total = rr.p_truth() + (k as f64 - 1.0) * rr.p_lie();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(rr.p_truth() >= rr.p_lie() - 1e-12);
+    }
+
+    #[test]
+    fn rr_randomize_in_range(eps in 0.0..5.0f64, k in 2usize..16, v_seed in 0usize..1000, seed in 0u64..1000) {
+        let rr = RandomizedResponse::new(eps, k).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = v_seed % k;
+        for _ in 0..16 {
+            prop_assert!(rr.randomize(v, &mut rng) < k);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Seller selection: the allocation rule of paper Eq. 13.
+//!
+//! Given all sellers' fidelities, seller `i` sells
+//! `χ_i = N·ω_i·τ_i / Σ_j ω_j·τ_j` data pieces — the inner Nash game's
+//! outcome doubles as the seller-selection mechanism. A largest-remainder
+//! integer rounding is provided for the physical data transaction
+//! (fractional χ drives the analytic equilibrium; whole pieces change hands).
+
+use crate::error::{MarketError, Result};
+
+/// Fractional allocation `χ` (Eq. 13). The invariant `Σχ_i = N` holds
+/// exactly up to floating-point rounding.
+///
+/// # Errors
+/// - [`MarketError::NoSellers`] for empty input.
+/// - [`MarketError::SellerCountMismatch`] when lengths differ.
+/// - [`MarketError::InvalidParameter`] when all `ω_i·τ_i` are zero (no data
+///   offered) or any entry is negative/non-finite.
+pub fn allocate(n: usize, weights: &[f64], tau: &[f64]) -> Result<Vec<f64>> {
+    if weights.is_empty() {
+        return Err(MarketError::NoSellers);
+    }
+    if weights.len() != tau.len() {
+        return Err(MarketError::SellerCountMismatch {
+            expected: weights.len(),
+            got: tau.len(),
+        });
+    }
+    let mut denom = 0.0;
+    for (i, (&w, &t)) in weights.iter().zip(tau).enumerate() {
+        if !(w.is_finite() && w >= 0.0 && t.is_finite() && t >= 0.0) {
+            return Err(MarketError::InvalidParameter {
+                name: "weights/tau",
+                reason: format!("entry {i} is negative or non-finite (w={w}, tau={t})"),
+            });
+        }
+        denom += w * t;
+    }
+    if denom <= 0.0 {
+        return Err(MarketError::InvalidParameter {
+            name: "tau",
+            reason: "no seller offers positive weighted fidelity".to_string(),
+        });
+    }
+    Ok(weights
+        .iter()
+        .zip(tau)
+        .map(|(&w, &t)| n as f64 * w * t / denom)
+        .collect())
+}
+
+/// Round a fractional allocation to whole pieces with the largest-remainder
+/// method, preserving `Σχ_i = N` exactly.
+///
+/// # Errors
+/// [`MarketError::InvalidParameter`] for negative or non-finite entries.
+pub fn round_allocation(n: usize, chi: &[f64]) -> Result<Vec<usize>> {
+    if chi.iter().any(|&c| !c.is_finite() || c < 0.0) {
+        return Err(MarketError::InvalidParameter {
+            name: "chi",
+            reason: "entries must be non-negative and finite".to_string(),
+        });
+    }
+    let floors: Vec<usize> = chi.iter().map(|&c| c.floor() as usize).collect();
+    let assigned: usize = floors.iter().sum();
+    let mut remainder = n.saturating_sub(assigned);
+    // Sort sellers by fractional remainder descending; hand out leftovers.
+    let mut order: Vec<usize> = (0..chi.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = chi[a] - chi[a].floor();
+        let fb = chi[b] - chi[b].floor();
+        fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = floors;
+    for &i in order.iter().cycle().take(chi.len().max(1) * 2) {
+        if remainder == 0 {
+            break;
+        }
+        out[i] += 1;
+        remainder -= 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_to_weighted_fidelity() {
+        let chi = allocate(100, &[1.0, 1.0], &[0.75, 0.25]).unwrap();
+        assert!((chi[0] - 75.0).abs() < 1e-12);
+        assert!((chi[1] - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_matter() {
+        let chi = allocate(100, &[3.0, 1.0], &[0.5, 0.5]).unwrap();
+        assert!((chi[0] - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sums_to_n() {
+        let chi = allocate(500, &[0.2, 0.5, 0.3, 0.9], &[0.1, 0.7, 0.3, 0.2]).unwrap();
+        assert!((chi.iter().sum::<f64>() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_fidelity_seller_gets_nothing() {
+        let chi = allocate(10, &[1.0, 1.0], &[0.0, 0.5]).unwrap();
+        assert_eq!(chi[0], 0.0);
+        assert_eq!(chi[1], 10.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            allocate(10, &[], &[]),
+            Err(MarketError::NoSellers)
+        ));
+        assert!(allocate(10, &[1.0], &[0.5, 0.5]).is_err());
+        assert!(allocate(10, &[1.0], &[0.0]).is_err());
+        assert!(allocate(10, &[-1.0, 1.0], &[0.5, 0.5]).is_err());
+        assert!(allocate(10, &[1.0, 1.0], &[f64::NAN, 0.5]).is_err());
+    }
+
+    #[test]
+    fn rounding_preserves_total() {
+        let chi = allocate(7, &[1.0, 1.0, 1.0], &[0.5, 0.3, 0.2]).unwrap();
+        let whole = round_allocation(7, &chi).unwrap();
+        assert_eq!(whole.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn rounding_respects_largest_remainder() {
+        // chi = [2.7, 2.2, 2.1]; floors sum to 6, one leftover goes to the
+        // 0.7 remainder.
+        let whole = round_allocation(7, &[2.7, 2.2, 2.1]).unwrap();
+        assert_eq!(whole, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn rounding_exact_integers_untouched() {
+        let whole = round_allocation(10, &[4.0, 6.0]).unwrap();
+        assert_eq!(whole, vec![4, 6]);
+    }
+
+    #[test]
+    fn rounding_large_deficit_distributes_cyclically() {
+        // Floors give 0; all 5 pieces must still be assigned.
+        let whole = round_allocation(5, &[0.9, 0.9, 0.9]).unwrap();
+        assert_eq!(whole.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn rounding_rejects_bad_entries() {
+        assert!(round_allocation(5, &[-0.1, 1.0]).is_err());
+        assert!(round_allocation(5, &[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn paper_scale_allocation() {
+        // m = 100 equal sellers: everyone sells N/m = 5 pieces.
+        let weights = vec![0.01; 100];
+        let tau = vec![0.3; 100];
+        let chi = allocate(500, &weights, &tau).unwrap();
+        for c in &chi {
+            assert!((c - 5.0).abs() < 1e-9);
+        }
+        let whole = round_allocation(500, &chi).unwrap();
+        assert_eq!(whole.iter().sum::<usize>(), 500);
+    }
+}

@@ -1,0 +1,227 @@
+//! Market analytics over the transaction ledger: revenue concentration,
+//! weight/fidelity trajectories, and per-party cumulative outcomes — the
+//! observability layer a market operator needs to supervise a long-running
+//! Share deployment (the paper's assumed "market regulators").
+
+use crate::error::{MarketError, Result};
+use crate::ledger::Ledger;
+use serde::{Deserialize, Serialize};
+
+/// Gini coefficient of a non-negative distribution (0 = perfectly even,
+/// → 1 = fully concentrated). Used on seller revenue shares.
+///
+/// # Errors
+/// [`MarketError::InvalidParameter`] for empty input, negative entries, or
+/// an all-zero distribution.
+pub fn gini(values: &[f64]) -> Result<f64> {
+    if values.is_empty() {
+        return Err(MarketError::InvalidParameter {
+            name: "values",
+            reason: "empty distribution".to_string(),
+        });
+    }
+    if values.iter().any(|&v| v < 0.0 || !v.is_finite()) {
+        return Err(MarketError::InvalidParameter {
+            name: "values",
+            reason: "entries must be non-negative and finite".to_string(),
+        });
+    }
+    let total: f64 = values.iter().sum();
+    if total <= 0.0 {
+        return Err(MarketError::InvalidParameter {
+            name: "values",
+            reason: "distribution sums to zero".to_string(),
+        });
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+    let n = sorted.len() as f64;
+    // G = (2·Σ i·x_(i) / (n·Σx)) − (n+1)/n  with 1-based ranks.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    Ok((2.0 * weighted / (n * total) - (n + 1.0) / n).max(0.0))
+}
+
+/// Summary of a market's history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MarketReport {
+    /// Rounds recorded.
+    pub rounds: usize,
+    /// Total buyer payments across rounds.
+    pub total_buyer_payments: f64,
+    /// Total broker net profit across rounds.
+    pub total_broker_profit: f64,
+    /// Per-seller cumulative revenue.
+    pub seller_revenue: Vec<f64>,
+    /// Gini coefficient of the cumulative seller revenue.
+    pub revenue_gini: f64,
+    /// Mean measured product performance across rounds.
+    pub mean_performance: f64,
+    /// Final seller weights.
+    pub final_weights: Vec<f64>,
+    /// Largest single-round weight shift observed.
+    pub max_weight_shift: f64,
+}
+
+/// Build a [`MarketReport`] from a ledger.
+///
+/// # Errors
+/// [`MarketError::InvalidParameter`] for an empty ledger.
+pub fn report(ledger: &Ledger) -> Result<MarketReport> {
+    let records = ledger.records();
+    let Some(last) = records.last() else {
+        return Err(MarketError::InvalidParameter {
+            name: "ledger",
+            reason: "no recorded rounds".to_string(),
+        });
+    };
+    let m = last.tau.len();
+    let mut seller_revenue = vec![0.0; m];
+    let mut total_broker_profit = 0.0;
+    let mut perf_sum = 0.0;
+    let mut max_weight_shift = 0.0f64;
+    for rec in records {
+        for (acc, c) in seller_revenue.iter_mut().zip(&rec.payments.compensations) {
+            *acc += c;
+        }
+        total_broker_profit += rec.payments.broker_net();
+        perf_sum += rec.measured_performance;
+        let shift = rec
+            .weights_before
+            .iter()
+            .zip(&rec.weights_after)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        max_weight_shift = max_weight_shift.max(shift);
+    }
+    let revenue_gini = gini(&seller_revenue).unwrap_or(0.0);
+    Ok(MarketReport {
+        rounds: records.len(),
+        total_buyer_payments: ledger.total_buyer_payments(),
+        total_broker_profit,
+        seller_revenue,
+        revenue_gini,
+        mean_performance: perf_sum / records.len() as f64,
+        final_weights: last.weights_after.clone(),
+        max_weight_shift,
+    })
+}
+
+/// Trajectory of one seller across rounds: `(weight, fidelity, revenue)`
+/// per round — the raw series for operator dashboards.
+///
+/// # Errors
+/// [`MarketError::InvalidParameter`] for an empty ledger or an out-of-range
+/// seller index.
+pub fn seller_trajectory(ledger: &Ledger, seller: usize) -> Result<Vec<(f64, f64, f64)>> {
+    if ledger.is_empty() {
+        return Err(MarketError::InvalidParameter {
+            name: "ledger",
+            reason: "no recorded rounds".to_string(),
+        });
+    }
+    ledger
+        .records()
+        .iter()
+        .map(|rec| {
+            let w = rec.weights_after.get(seller).copied();
+            let t = rec.tau.get(seller).copied();
+            let r = rec.payments.compensations.get(seller).copied();
+            match (w, t, r) {
+                (Some(w), Some(t), Some(r)) => Ok((w, t, r)),
+                _ => Err(MarketError::InvalidParameter {
+                    name: "seller",
+                    reason: format!("index {seller} out of range"),
+                }),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::{Payments, TransactionRecord};
+
+    fn record(round: usize, comp: Vec<f64>, perf: f64) -> TransactionRecord {
+        let m = comp.len();
+        TransactionRecord {
+            round,
+            p_m: 0.03,
+            p_d: 0.01,
+            tau: vec![0.1; m],
+            chi: vec![10; m],
+            epsilons: vec![0.5; m],
+            q_d: 1.0,
+            measured_performance: perf,
+            payments: Payments {
+                buyer_payment: 0.1,
+                manufacturing_cost: 0.001,
+                compensations: comp,
+            },
+            weights_before: vec![1.0 / m as f64; m],
+            weights_after: vec![1.0 / m as f64; m],
+        }
+    }
+
+    #[test]
+    fn gini_extremes() {
+        // Even distribution → 0.
+        assert!(gini(&[1.0, 1.0, 1.0, 1.0]).unwrap() < 1e-12);
+        // Fully concentrated among n → (n−1)/n.
+        let g = gini(&[0.0, 0.0, 0.0, 10.0]).unwrap();
+        assert!((g - 0.75).abs() < 1e-12, "{g}");
+    }
+
+    #[test]
+    fn gini_scale_invariant() {
+        let a = gini(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = gini(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_rejects_bad_input() {
+        assert!(gini(&[]).is_err());
+        assert!(gini(&[-1.0, 2.0]).is_err());
+        assert!(gini(&[0.0, 0.0]).is_err());
+        assert!(gini(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn report_aggregates_rounds() {
+        let mut l = Ledger::new();
+        l.push(record(0, vec![0.01, 0.03], 0.8));
+        l.push(record(1, vec![0.02, 0.02], 0.6));
+        let r = report(&l).unwrap();
+        assert_eq!(r.rounds, 2);
+        assert!((r.total_buyer_payments - 0.2).abs() < 1e-12);
+        assert!((r.seller_revenue[0] - 0.03).abs() < 1e-12);
+        assert!((r.seller_revenue[1] - 0.05).abs() < 1e-12);
+        assert!((r.mean_performance - 0.7).abs() < 1e-12);
+        assert!(r.revenue_gini >= 0.0 && r.revenue_gini < 1.0);
+        // broker_net per round: 0.1 − 0.001 − 0.04 = 0.059 → ×2.
+        assert!((r.total_broker_profit - 0.118).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_rejects_empty_ledger() {
+        assert!(report(&Ledger::new()).is_err());
+    }
+
+    #[test]
+    fn trajectory_tracks_rounds() {
+        let mut l = Ledger::new();
+        l.push(record(0, vec![0.01, 0.03], 0.8));
+        l.push(record(1, vec![0.02, 0.02], 0.6));
+        let t = seller_trajectory(&l, 1).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!((t[0].2 - 0.03).abs() < 1e-12);
+        assert!((t[1].2 - 0.02).abs() < 1e-12);
+        assert!(seller_trajectory(&l, 5).is_err());
+        assert!(seller_trajectory(&Ledger::new(), 0).is_err());
+    }
+}

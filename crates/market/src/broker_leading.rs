@@ -1,0 +1,191 @@
+//! Broker-leading market variant — the paper's §7 notes that Share "can be
+//! easily adapted to a variety of market settings, e.g., broker-leading
+//! instead of buyer-leading"; this module realizes that adaptation.
+//!
+//! In the broker-leading game the broker moves first and posts both prices
+//! to maximize her own profit, subject to the buyer's **participation
+//! constraint** (the buyer only trades when `Φ ≥ 0`) and the sellers' inner
+//! Nash response (Stage 3 unchanged):
+//!
+//! ```text
+//! max_{p^D}  Ω = p^M(p^D)·q^M(p^D) − C(N, v) − p^D·q^D(p^D)
+//! s.t.       p^M(p^D) = U(q^D(p^D), v) / q^M(p^D)      (full surplus extraction)
+//!            τ(p^D) from Eq. 20,  q^D = Σχ_iτ_i,  q^M = q^D·v
+//! ```
+//!
+//! The buyer is left with Φ = 0 — the textbook consequence of losing the
+//! first-mover advantage — which quantifies how much the buyer-leading
+//! design of Share is worth to buyers.
+
+use crate::allocation::allocate;
+use crate::error::Result;
+use crate::params::MarketParams;
+use crate::profit::{product_utility, total_dataset_quality, translog_cost};
+use crate::solver::{solve as solve_buyer_leading, SneSolution};
+use crate::stage3::tau_direct;
+use serde::{Deserialize, Serialize};
+use share_numerics::optimize::grid::maximize_scan;
+
+/// Outcome of the broker-leading game.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BrokerLeadingSolution {
+    /// Broker's posted data price.
+    pub p_d: f64,
+    /// Broker's posted product price (surplus-extracting).
+    pub p_m: f64,
+    /// Sellers' fidelity response.
+    pub tau: Vec<f64>,
+    /// Total dataset quality.
+    pub q_d: f64,
+    /// Buyer profit (≈ 0 by construction).
+    pub buyer_profit: f64,
+    /// Broker profit.
+    pub broker_profit: f64,
+}
+
+/// Broker profit at `p^D` under surplus extraction.
+fn broker_objective(params: &MarketParams, p_d: f64) -> f64 {
+    let Ok(tau) = tau_direct(params, p_d) else {
+        return f64::NEG_INFINITY;
+    };
+    if tau.iter().all(|&t| t <= 0.0) {
+        // No data flows: the broker still pays the manufacturing cost if she
+        // produces; treat as no-trade with zero profit.
+        return 0.0;
+    }
+    let Ok(chi) = allocate(params.buyer.n_pieces, &params.weights, &tau) else {
+        return 0.0;
+    };
+    let q_d = total_dataset_quality(&chi, &tau);
+    let utility = product_utility(&params.buyer, q_d);
+    // p^M·q^M = U under extraction, so revenue is the full utility.
+    utility
+        - translog_cost(&params.broker, params.buyer.n_pieces as f64, params.buyer.v)
+        - p_d * q_d
+}
+
+/// Solve the broker-leading game over `p^D ∈ [0, p_d_max]`.
+///
+/// # Errors
+/// Propagates parameter validation, Stage-3 and optimizer errors.
+pub fn solve_broker_leading(params: &MarketParams, p_d_max: f64) -> Result<BrokerLeadingSolution> {
+    params.validate()?;
+    let (p_d, _) = maximize_scan(|x| broker_objective(params, x), 0.0, p_d_max, 96, 1e-12)?;
+    let tau = tau_direct(params, p_d)?;
+    let chi = if tau.iter().any(|&t| t > 0.0) {
+        allocate(params.buyer.n_pieces, &params.weights, &tau)?
+    } else {
+        vec![0.0; params.m()]
+    };
+    let q_d = total_dataset_quality(&chi, &tau);
+    let q_m = q_d * params.buyer.v;
+    let utility = product_utility(&params.buyer, q_d);
+    let p_m = if q_m > 0.0 { utility / q_m } else { 0.0 };
+    let broker_profit = utility
+        - translog_cost(&params.broker, params.buyer.n_pieces as f64, params.buyer.v)
+        - p_d * q_d;
+    Ok(BrokerLeadingSolution {
+        p_d,
+        p_m,
+        tau,
+        q_d,
+        buyer_profit: 0.0,
+        broker_profit,
+    })
+}
+
+/// Side-by-side comparison of the two market orderings on the same
+/// parameters: who leads matters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LeadershipComparison {
+    /// Buyer-leading (Share) equilibrium.
+    pub buyer_leading: SneSolution,
+    /// Broker-leading equilibrium.
+    pub broker_leading: BrokerLeadingSolution,
+}
+
+/// Solve both orderings.
+///
+/// # Errors
+/// Propagates either solver's errors.
+pub fn compare_leadership(params: &MarketParams) -> Result<LeadershipComparison> {
+    let buyer_leading = solve_buyer_leading(params)?;
+    // Bracket the broker's price search around the buyer-leading scale.
+    let broker_leading = solve_broker_leading(params, (buyer_leading.p_d * 20.0).max(0.1))?;
+    Ok(LeadershipComparison {
+        buyer_leading,
+        broker_leading,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn market(m: usize, seed: u64) -> MarketParams {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MarketParams::paper_defaults(m, &mut rng)
+    }
+
+    #[test]
+    fn broker_leading_solves_and_is_feasible() {
+        let params = market(50, 1);
+        let s = solve_broker_leading(&params, 0.5).unwrap();
+        assert!(s.p_d > 0.0);
+        assert!(s.p_m > 0.0);
+        assert!(s.tau.iter().all(|&t| (0.0..=1.0).contains(&t)));
+        assert!(s.q_d > 0.0);
+    }
+
+    #[test]
+    fn broker_earns_more_when_leading() {
+        // Losing the first move costs the buyer her whole surplus; the
+        // broker's profit strictly exceeds her buyer-leading profit.
+        let params = market(50, 2);
+        let cmp = compare_leadership(&params).unwrap();
+        assert!(
+            cmp.broker_leading.broker_profit > cmp.buyer_leading.broker_profit,
+            "broker-leading {} should beat buyer-leading {}",
+            cmp.broker_leading.broker_profit,
+            cmp.buyer_leading.broker_profit
+        );
+    }
+
+    #[test]
+    fn buyer_keeps_surplus_only_when_leading() {
+        let params = market(50, 3);
+        let cmp = compare_leadership(&params).unwrap();
+        assert!(cmp.buyer_leading.buyer_profit > 0.0);
+        assert!(cmp.broker_leading.buyer_profit.abs() < 1e-12);
+    }
+
+    #[test]
+    fn surplus_extraction_identity() {
+        // p^M·q^M = U at the broker-leading solution.
+        let params = market(30, 4);
+        let s = solve_broker_leading(&params, 0.5).unwrap();
+        let q_m = s.q_d * params.buyer.v;
+        let utility = product_utility(&params.buyer, s.q_d);
+        assert!((s.p_m * q_m - utility).abs() < 1e-9, "extraction violated");
+    }
+
+    #[test]
+    fn sellers_still_play_their_nash_response() {
+        use crate::stage3::SellerNashGame;
+        use share_game::best_response::BrOptions;
+        use share_game::verify::is_epsilon_nash;
+        let params = market(20, 5);
+        let s = solve_broker_leading(&params, 0.5).unwrap();
+        let game = SellerNashGame::new(&params, s.p_d);
+        assert!(is_epsilon_nash(&game, &s.tau, 1e-7, BrOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut params = market(5, 6);
+        params.weights.clear();
+        assert!(solve_broker_leading(&params, 0.5).is_err());
+    }
+}

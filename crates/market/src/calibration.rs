@@ -1,0 +1,344 @@
+//! Parameter calibration from historical records — the paper's §7
+//! deployment challenge: *"the deficiency of real-world historical trading
+//! records brings about the challenge of parameter fitting for each party."*
+//!
+//! Two fitters are provided:
+//!
+//! - [`fit_translog`]: the broker's cost coefficients `σ₀..σ₅` (Eq. 8) from
+//!   observed `(N, v, cost)` triples. The translog form is log-linear in its
+//!   coefficients, so the fit is an ordinary least-squares problem in the
+//!   regressors `[1, ln N, ln v, ½ln²N, ½ln²v, ln N·ln v]`.
+//! - [`fit_lambda`]: a seller's privacy sensitivity `λ_i` from observed
+//!   `(p^D, χ, τ)` responses. At an interior Stage-3 optimum the first-order
+//!   condition of Eq. 18 gives `λ_i = p^D·Σω_jτ_j / (2N·ω_i·τ_i²)`; with
+//!   per-observation aggregates recorded in the ledger this reduces to a
+//!   ratio estimator averaged across rounds.
+
+use crate::error::{MarketError, Result};
+use crate::ledger::Ledger;
+use crate::params::BrokerParams;
+use share_numerics::lstsq::{solve_lstsq, Backend};
+use share_numerics::matrix::Matrix;
+
+/// One observed manufacturing run for translog fitting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostObservation {
+    /// Data quantity used.
+    pub n: f64,
+    /// Product performance achieved.
+    pub v: f64,
+    /// Observed manufacturing cost (must be positive).
+    pub cost: f64,
+}
+
+/// Fit the translog coefficients `σ₀..σ₅` by OLS on `ln cost`.
+///
+/// # Errors
+/// - [`MarketError::InvalidParameter`] with fewer than 6 observations or
+///   non-positive `n`/`v`/`cost`.
+/// - [`MarketError::Numerics`] for a degenerate design (e.g. all
+///   observations at a single `(N, v)` point).
+pub fn fit_translog(observations: &[CostObservation]) -> Result<BrokerParams> {
+    if observations.len() < 6 {
+        return Err(MarketError::InvalidParameter {
+            name: "observations",
+            reason: format!(
+                "translog has 6 coefficients; need >= 6 observations, got {}",
+                observations.len()
+            ),
+        });
+    }
+    let mut design = Vec::with_capacity(observations.len() * 6);
+    let mut target = Vec::with_capacity(observations.len());
+    for (k, o) in observations.iter().enumerate() {
+        if o.n <= 0.0 || o.v <= 0.0 || o.cost <= 0.0 {
+            return Err(MarketError::InvalidParameter {
+                name: "observations",
+                reason: format!("observation {k} must have positive n, v, cost"),
+            });
+        }
+        let ln_n = o.n.ln();
+        let ln_v = o.v.ln();
+        design.extend_from_slice(&[
+            1.0,
+            ln_n,
+            ln_v,
+            0.5 * ln_n * ln_n,
+            0.5 * ln_v * ln_v,
+            ln_n * ln_v,
+        ]);
+        target.push(o.cost.ln());
+    }
+    let a = Matrix::from_vec(observations.len(), 6, design)?;
+    let sigma = solve_lstsq(&a, &target, 0.0, Backend::Qr)?;
+    Ok(BrokerParams {
+        sigma: [sigma[0], sigma[1], sigma[2], sigma[3], sigma[4], sigma[5]],
+    })
+}
+
+/// Predicted-vs-observed relative error of a fitted translog on a held-out
+/// sample (diagnostic for the calibration quality).
+pub fn translog_fit_error(broker: &BrokerParams, observations: &[CostObservation]) -> f64 {
+    observations
+        .iter()
+        .map(|o| {
+            let pred = crate::profit::translog_cost(broker, o.n, o.v);
+            ((pred - o.cost) / o.cost).abs()
+        })
+        .fold(0.0_f64, f64::max)
+}
+
+/// One observed seller response for λ fitting: taken from a ledger round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SellerObservation {
+    /// Posted data price of the round.
+    pub p_d: f64,
+    /// The round's weighted fidelity aggregate `Σ_j ω_j·τ_j`.
+    pub weighted_tau_sum: f64,
+    /// Demanded quantity `N` of the round.
+    pub n: f64,
+    /// The seller's weight `ω_i` in the round.
+    pub omega: f64,
+    /// The seller's chosen fidelity `τ_i` (must be interior: `0 < τ < 1`).
+    pub tau: f64,
+}
+
+/// Estimate a seller's `λ_i` from interior-response observations by the
+/// Eq. 18 first-order condition, averaging the per-round ratio estimates.
+///
+/// # Errors
+/// [`MarketError::InvalidParameter`] when no observation is interior
+/// (`0 < τ < 1`) or inputs are non-positive.
+pub fn fit_lambda(observations: &[SellerObservation]) -> Result<f64> {
+    let mut estimates = Vec::new();
+    for (k, o) in observations.iter().enumerate() {
+        if o.p_d <= 0.0 || o.weighted_tau_sum <= 0.0 || o.n <= 0.0 || o.omega <= 0.0 {
+            return Err(MarketError::InvalidParameter {
+                name: "observations",
+                reason: format!("observation {k} has non-positive fields"),
+            });
+        }
+        if o.tau <= 0.0 || o.tau >= 1.0 {
+            continue; // boundary responses carry no first-order information
+        }
+        estimates.push(o.p_d * o.weighted_tau_sum / (2.0 * o.n * o.omega * o.tau * o.tau));
+    }
+    if estimates.is_empty() {
+        return Err(MarketError::InvalidParameter {
+            name: "observations",
+            reason: "no interior (0 < tau < 1) observations to fit from".to_string(),
+        });
+    }
+    Ok(estimates.iter().sum::<f64>() / estimates.len() as f64)
+}
+
+/// Extract [`SellerObservation`]s for seller `i` from a ledger.
+///
+/// # Errors
+/// [`MarketError::InvalidParameter`] when the ledger is empty or the seller
+/// index is out of range.
+pub fn seller_observations(
+    ledger: &Ledger,
+    seller: usize,
+    n: usize,
+) -> Result<Vec<SellerObservation>> {
+    if ledger.is_empty() {
+        return Err(MarketError::InvalidParameter {
+            name: "ledger",
+            reason: "no recorded rounds".to_string(),
+        });
+    }
+    let mut out = Vec::with_capacity(ledger.len());
+    for rec in ledger.records() {
+        let Some(&tau) = rec.tau.get(seller) else {
+            return Err(MarketError::InvalidParameter {
+                name: "seller",
+                reason: format!("index {seller} out of range ({})", rec.tau.len()),
+            });
+        };
+        let weighted_tau_sum: f64 = rec
+            .weights_before
+            .iter()
+            .zip(&rec.tau)
+            .map(|(w, t)| w * t)
+            .sum();
+        out.push(SellerObservation {
+            p_d: rec.p_d,
+            weighted_tau_sum,
+            n: n as f64,
+            omega: rec.weights_before[seller],
+            tau,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{MarketParams, SellerParams};
+    use crate::profit::translog_cost;
+    use crate::stage3::tau_direct;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn synth_cost_observations(broker: &BrokerParams, k: usize, seed: u64) -> Vec<CostObservation> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..k)
+            .map(|_| {
+                let n: f64 = rng.random_range(100.0..10_000.0);
+                let v: f64 = rng.random_range(0.3..0.99);
+                CostObservation {
+                    n,
+                    v,
+                    cost: translog_cost(broker, n, v),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn translog_recovers_paper_defaults_exactly() {
+        let truth = BrokerParams::paper_defaults();
+        let obs = synth_cost_observations(&truth, 40, 1);
+        let fitted = fit_translog(&obs).unwrap();
+        for (f, t) in fitted.sigma.iter().zip(&truth.sigma) {
+            assert!((f - t).abs() < 1e-6, "{f} vs {t}");
+        }
+        assert!(translog_fit_error(&fitted, &obs) < 1e-8);
+    }
+
+    #[test]
+    fn translog_robust_to_multiplicative_noise() {
+        let truth = BrokerParams {
+            sigma: [0.5, 1.2, -0.7, 0.01, 0.02, -0.005],
+        };
+        let mut obs = synth_cost_observations(&truth, 200, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for o in &mut obs {
+            o.cost *= (0.05 * (rng.random::<f64>() - 0.5)).exp();
+        }
+        let fitted = fit_translog(&obs).unwrap();
+        // Dominant elasticities recovered within a few percent.
+        assert!((fitted.sigma[1] - 1.2).abs() < 0.1, "{:?}", fitted.sigma);
+        assert!((fitted.sigma[2] + 0.7).abs() < 0.1, "{:?}", fitted.sigma);
+    }
+
+    #[test]
+    fn translog_rejects_bad_input() {
+        assert!(fit_translog(&[]).is_err());
+        let few = vec![
+            CostObservation {
+                n: 10.0,
+                v: 0.5,
+                cost: 1.0
+            };
+            5
+        ];
+        assert!(fit_translog(&few).is_err());
+        let mut bad = synth_cost_observations(&BrokerParams::paper_defaults(), 10, 4);
+        bad[3].cost = -1.0;
+        assert!(fit_translog(&bad).is_err());
+    }
+
+    #[test]
+    fn translog_degenerate_design_detected() {
+        // All observations at the same (N, v): columns collinear.
+        let one = CostObservation {
+            n: 500.0,
+            v: 0.8,
+            cost: 0.001,
+        };
+        let obs = vec![one; 10];
+        assert!(fit_translog(&obs).is_err());
+    }
+
+    #[test]
+    fn lambda_recovered_from_equilibrium_responses() {
+        // Generate interior responses at several prices and re-fit λ₀.
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = MarketParams::paper_defaults(10, &mut rng);
+        let truth = params.sellers[0].lambda;
+        let mut obs = Vec::new();
+        for &p_d in &[0.005, 0.01, 0.02, 0.04] {
+            let tau = tau_direct(&params, p_d).unwrap();
+            let wts: f64 = params.weights.iter().zip(&tau).map(|(w, t)| w * t).sum();
+            obs.push(SellerObservation {
+                p_d,
+                weighted_tau_sum: wts,
+                n: params.buyer.n_pieces as f64,
+                omega: params.weights[0],
+                tau: tau[0],
+            });
+        }
+        let fitted = fit_lambda(&obs).unwrap();
+        assert!(
+            (fitted - truth).abs() < 1e-9 * truth.max(1.0),
+            "fitted {fitted} vs true {truth}"
+        );
+    }
+
+    #[test]
+    fn lambda_skips_boundary_responses() {
+        let interior = SellerObservation {
+            p_d: 0.01,
+            weighted_tau_sum: 0.05,
+            n: 500.0,
+            omega: 0.1,
+            tau: 0.02,
+        };
+        let boundary = SellerObservation {
+            tau: 1.0,
+            ..interior
+        };
+        // Only the interior one contributes.
+        let both = fit_lambda(&[interior, boundary]).unwrap();
+        let single = fit_lambda(&[interior]).unwrap();
+        assert_eq!(both, single);
+        // All boundary: no information.
+        assert!(fit_lambda(&[boundary]).is_err());
+    }
+
+    #[test]
+    fn lambda_rejects_nonpositive_fields() {
+        let bad = SellerObservation {
+            p_d: -0.01,
+            weighted_tau_sum: 0.05,
+            n: 500.0,
+            omega: 0.1,
+            tau: 0.02,
+        };
+        assert!(fit_lambda(&[bad]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_lambda_fit_from_solver_rounds() {
+        // Simulate several rounds at different buyer demands; fit each λ and
+        // verify the whole vector is recovered.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut params = MarketParams::paper_defaults(6, &mut rng);
+        params.sellers[2] = SellerParams { lambda: 0.77 };
+        let mut per_seller: Vec<Vec<SellerObservation>> = vec![Vec::new(); 6];
+        for &p_d in &[0.004, 0.009, 0.018] {
+            let tau = tau_direct(&params, p_d).unwrap();
+            let wts: f64 = params.weights.iter().zip(&tau).map(|(w, t)| w * t).sum();
+            for i in 0..6 {
+                per_seller[i].push(SellerObservation {
+                    p_d,
+                    weighted_tau_sum: wts,
+                    n: params.buyer.n_pieces as f64,
+                    omega: params.weights[i],
+                    tau: tau[i],
+                });
+            }
+        }
+        for (i, obs) in per_seller.iter().enumerate() {
+            let fitted = fit_lambda(obs).unwrap();
+            let truth = params.sellers[i].lambda;
+            assert!(
+                (fitted - truth).abs() < 1e-9,
+                "seller {i}: {fitted} vs {truth}"
+            );
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The effectiveness experiment of the paper's §6.2 (Fig. 2): sweep one
+//! party's strategy around its SNE value and record every party's profit.
+//!
+//! Deviation semantics follow the paper's §5.1.4 existence argument: when an
+//! upper-stage strategy moves, the lower stages *re-react* along their
+//! optimal expressions (Eq. 25 for the broker, Eq. 20 for sellers); when a
+//! seller deviates, everything else stays fixed.
+
+use crate::allocation::allocate;
+use crate::error::Result;
+use crate::params::MarketParams;
+use crate::profit::{broker_profit, buyer_profit, seller_profit, total_dataset_quality};
+use crate::solver::SneSolution;
+use crate::stage2::p_d_star;
+use crate::stage3::tau_direct;
+use serde::{Deserialize, Serialize};
+use share_numerics::optimize::grid::linspace;
+
+/// One point of a deviation sweep: the deviating strategy value and the
+/// resulting profits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The deviated strategy value (`p^M`, `p^D`, or `τ₁` depending on the
+    /// experiment).
+    pub x: f64,
+    /// Buyer profit Φ.
+    pub buyer: f64,
+    /// Broker profit Ω.
+    pub broker: f64,
+    /// Profit of the tracked sellers (paper plots S₁ in Figs. 2a/2b and
+    /// S₁, S₂ in Fig. 2c).
+    pub sellers: Vec<f64>,
+}
+
+fn profits_at(
+    params: &MarketParams,
+    p_m: f64,
+    p_d: f64,
+    tau: &[f64],
+    tracked: &[usize],
+) -> SweepPoint {
+    let chi = allocate(params.buyer.n_pieces, &params.weights, tau)
+        .unwrap_or_else(|_| vec![0.0; params.m()]);
+    let q_d = total_dataset_quality(&chi, tau);
+    SweepPoint {
+        x: f64::NAN, // caller fills in
+        buyer: buyer_profit(&params.buyer, p_m, q_d),
+        broker: broker_profit(&params.broker, &params.buyer, p_m, p_d, q_d),
+        sellers: tracked
+            .iter()
+            .map(|&i| {
+                seller_profit(
+                    params.loss_model,
+                    params.sellers[i].lambda,
+                    p_d,
+                    chi[i],
+                    tau[i],
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Fig. 2(a): sweep `p^M` over `[lo, hi]`; the broker re-prices via Eq. 25
+/// and sellers re-react via Eq. 20. `tracked` selects which sellers' profits
+/// are reported (the paper tracks S₁).
+///
+/// # Errors
+/// Propagates grid and Stage-3 errors.
+pub fn sweep_p_m(
+    params: &MarketParams,
+    lo: f64,
+    hi: f64,
+    points: usize,
+    tracked: &[usize],
+) -> Result<Vec<SweepPoint>> {
+    let grid = linspace(lo, hi, points.max(2))?;
+    let mut out = Vec::with_capacity(grid.len());
+    for p_m in grid {
+        let p_d = p_d_star(params.buyer.v, p_m);
+        let tau = tau_direct(params, p_d)?;
+        let mut pt = profits_at(params, p_m, p_d, &tau, tracked);
+        pt.x = p_m;
+        out.push(pt);
+    }
+    Ok(out)
+}
+
+/// Fig. 2(b): sweep `p^D` with the buyer fixed at `p^M*`; sellers re-react
+/// via Eq. 20.
+///
+/// # Errors
+/// Propagates grid and Stage-3 errors.
+pub fn sweep_p_d(
+    params: &MarketParams,
+    sol: &SneSolution,
+    lo: f64,
+    hi: f64,
+    points: usize,
+    tracked: &[usize],
+) -> Result<Vec<SweepPoint>> {
+    let grid = linspace(lo, hi, points.max(2))?;
+    let mut out = Vec::with_capacity(grid.len());
+    for p_d in grid {
+        let tau = tau_direct(params, p_d)?;
+        let mut pt = profits_at(params, sol.p_m, p_d, &tau, tracked);
+        pt.x = p_d;
+        out.push(pt);
+    }
+    Ok(out)
+}
+
+/// Fig. 2(c): sweep seller `deviator`'s fidelity `τ` with everything else
+/// fixed at the SNE (true unilateral Nash deviation).
+///
+/// # Errors
+/// Propagates grid errors.
+pub fn sweep_tau(
+    params: &MarketParams,
+    sol: &SneSolution,
+    deviator: usize,
+    lo: f64,
+    hi: f64,
+    points: usize,
+    tracked: &[usize],
+) -> Result<Vec<SweepPoint>> {
+    let grid = linspace(lo, hi, points.max(2))?;
+    let mut out = Vec::with_capacity(grid.len());
+    for t in grid {
+        let mut tau = sol.tau.clone();
+        tau[deviator] = t;
+        let mut pt = profits_at(params, sol.p_m, sol.p_d, &tau, tracked);
+        pt.x = t;
+        out.push(pt);
+    }
+    Ok(out)
+}
+
+/// Index of the sweep point with the highest profit for the given party
+/// closure — used to locate the empirical peak of a sweep.
+pub fn argmax_by<F: Fn(&SweepPoint) -> f64>(series: &[SweepPoint], f: F) -> Option<usize> {
+    series
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            f(a.1)
+                .partial_cmp(&f(b.1))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(m: usize, seed: u64) -> (MarketParams, SneSolution) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = MarketParams::paper_defaults(m, &mut rng);
+        let sol = solve(&params).unwrap();
+        (params, sol)
+    }
+
+    #[test]
+    fn fig2a_buyer_profit_peaks_at_equilibrium() {
+        let (params, sol) = setup(100, 1);
+        let series = sweep_p_m(&params, sol.p_m * 0.25, sol.p_m * 2.0, 201, &[0]).unwrap();
+        let peak = argmax_by(&series, |p| p.buyer).unwrap();
+        let x_peak = series[peak].x;
+        assert!(
+            (x_peak - sol.p_m).abs() < 0.02 * sol.p_m,
+            "peak {x_peak} vs p^M* {}",
+            sol.p_m
+        );
+    }
+
+    #[test]
+    fn fig2a_broker_and_seller_increase_with_p_m() {
+        // Paper: "with growing p^M the broker can gain more profit, which
+        // further adds sellers' compensations".
+        let (params, sol) = setup(100, 2);
+        let series = sweep_p_m(&params, sol.p_m * 0.5, sol.p_m * 1.5, 51, &[0]).unwrap();
+        assert!(series.last().unwrap().broker > series[0].broker);
+        assert!(series.last().unwrap().sellers[0] > series[0].sellers[0]);
+    }
+
+    #[test]
+    fn fig2b_broker_profit_peaks_at_equilibrium() {
+        let (params, sol) = setup(100, 3);
+        let series = sweep_p_d(&params, &sol, sol.p_d * 0.25, sol.p_d * 2.0, 201, &[0]).unwrap();
+        let peak = argmax_by(&series, |p| p.broker).unwrap();
+        assert!(
+            (series[peak].x - sol.p_d).abs() < 0.02 * sol.p_d,
+            "peak {} vs p^D* {}",
+            series[peak].x,
+            sol.p_d
+        );
+    }
+
+    #[test]
+    fn fig2b_buyer_and_seller_increase_with_p_d() {
+        // Paper: growing p^D adds seller compensation and improves dataset
+        // quality, raising the buyer's profit.
+        let (params, sol) = setup(100, 4);
+        let series = sweep_p_d(&params, &sol, sol.p_d * 0.5, sol.p_d * 1.5, 51, &[0]).unwrap();
+        assert!(series.last().unwrap().sellers[0] > series[0].sellers[0]);
+        assert!(series.last().unwrap().buyer > series[0].buyer);
+    }
+
+    #[test]
+    fn fig2c_deviating_seller_peaks_at_equilibrium() {
+        let (params, sol) = setup(100, 5);
+        let t_star = sol.tau[0];
+        let series = sweep_tau(
+            &params,
+            &sol,
+            0,
+            (t_star * 0.25).max(1e-6),
+            t_star * 2.0,
+            201,
+            &[0, 1],
+        )
+        .unwrap();
+        let peak = argmax_by(&series, |p| p.sellers[0]).unwrap();
+        assert!(
+            (series[peak].x - t_star).abs() < 0.03 * t_star,
+            "peak {} vs tau* {}",
+            series[peak].x,
+            t_star
+        );
+    }
+
+    #[test]
+    fn fig2c_other_seller_nearly_unaffected() {
+        // Paper: the effect of one seller's deviation is diluted among many
+        // sellers — S₂'s profit stays almost unchanged, and the broker's too.
+        let (params, sol) = setup(100, 6);
+        let t_star = sol.tau[0];
+        let series = sweep_tau(
+            &params,
+            &sol,
+            0,
+            (t_star * 0.5).max(1e-6),
+            t_star * 1.5,
+            21,
+            &[0, 1],
+        )
+        .unwrap();
+        let s2: Vec<f64> = series.iter().map(|p| p.sellers[1]).collect();
+        let spread = s2.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+            - s2.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        let scale = s2[10].abs().max(1e-12);
+        assert!(spread / scale < 0.05, "S2 varies {spread} on scale {scale}");
+        let br: Vec<f64> = series.iter().map(|p| p.broker).collect();
+        let br_spread = br.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+            - br.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(br_spread / br[10].abs() < 0.05, "broker varies {br_spread}");
+    }
+
+    #[test]
+    fn sweeps_record_grid_endpoints() {
+        let (params, sol) = setup(10, 7);
+        let series = sweep_p_m(&params, 0.01, 0.02, 11, &[]).unwrap();
+        assert_eq!(series.len(), 11);
+        assert_eq!(series[0].x, 0.01);
+        assert_eq!(series[10].x, 0.02);
+        assert!(series[0].sellers.is_empty());
+        let s2 = sweep_tau(&params, &sol, 0, 0.0001, 0.001, 5, &[0]).unwrap();
+        assert_eq!(s2.len(), 5);
+    }
+}

@@ -1,0 +1,138 @@
+//! Error type for the Share market.
+
+use share_game::GameError;
+use share_ldp::LdpError;
+use share_ml::MlError;
+use share_numerics::NumericsError;
+use share_valuation::ValuationError;
+use std::fmt;
+
+/// Errors produced by market construction, equilibrium solving and trading.
+#[derive(Debug)]
+pub enum MarketError {
+    /// A market parameter violates its documented domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the violated requirement.
+        reason: String,
+    },
+    /// The market has no sellers.
+    NoSellers,
+    /// Mismatched per-seller array lengths (weights, lambdas, datasets).
+    SellerCountMismatch {
+        /// Expected seller count.
+        expected: usize,
+        /// Actual length supplied.
+        got: usize,
+    },
+    /// A seller cannot supply the allocated quantity.
+    InsufficientData {
+        /// Seller index.
+        seller: usize,
+        /// Pieces requested.
+        requested: usize,
+        /// Pieces available.
+        available: usize,
+    },
+    /// Numerical kernel failure.
+    Numerics(NumericsError),
+    /// Game-solver failure.
+    Game(GameError),
+    /// LDP failure.
+    Ldp(LdpError),
+    /// ML-substrate failure.
+    Ml(MlError),
+    /// Valuation failure.
+    Valuation(ValuationError),
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid market parameter `{name}`: {reason}")
+            }
+            Self::NoSellers => write!(f, "market requires at least one seller"),
+            Self::SellerCountMismatch { expected, got } => {
+                write!(f, "seller count mismatch: expected {expected}, got {got}")
+            }
+            Self::InsufficientData {
+                seller,
+                requested,
+                available,
+            } => write!(
+                f,
+                "seller {seller} cannot supply {requested} pieces (has {available})"
+            ),
+            Self::Numerics(e) => write!(f, "numerics: {e}"),
+            Self::Game(e) => write!(f, "game solver: {e}"),
+            Self::Ldp(e) => write!(f, "ldp: {e}"),
+            Self::Ml(e) => write!(f, "ml: {e}"),
+            Self::Valuation(e) => write!(f, "valuation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MarketError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Numerics(e) => Some(e),
+            Self::Game(e) => Some(e),
+            Self::Ldp(e) => Some(e),
+            Self::Ml(e) => Some(e),
+            Self::Valuation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for MarketError {
+    fn from(e: NumericsError) -> Self {
+        Self::Numerics(e)
+    }
+}
+impl From<GameError> for MarketError {
+    fn from(e: GameError) -> Self {
+        Self::Game(e)
+    }
+}
+impl From<LdpError> for MarketError {
+    fn from(e: LdpError) -> Self {
+        Self::Ldp(e)
+    }
+}
+impl From<MlError> for MarketError {
+    fn from(e: MlError) -> Self {
+        Self::Ml(e)
+    }
+}
+impl From<ValuationError> for MarketError {
+    fn from(e: ValuationError) -> Self {
+        Self::Valuation(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, MarketError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        assert!(MarketError::NoSellers.to_string().contains("at least one"));
+        assert!(MarketError::InsufficientData {
+            seller: 3,
+            requested: 100,
+            available: 90
+        }
+        .to_string()
+        .contains("seller 3"));
+        let e = MarketError::from(NumericsError::Singular { pivot: 0 });
+        assert!(e.source().is_some());
+        assert!(MarketError::NoSellers.source().is_none());
+    }
+}

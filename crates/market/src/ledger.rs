@@ -1,0 +1,207 @@
+//! Transaction ledger: every completed round leaves an auditable record of
+//! strategies, allocations, payments and privacy budgets, with conservation
+//! checks (buyer payment = broker revenue; broker compensation outlay =
+//! Σ seller revenues).
+
+use serde::{Deserialize, Serialize};
+
+/// Payments of one round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Payments {
+    /// Buyer → broker: `p^M·q^M`.
+    pub buyer_payment: f64,
+    /// Broker's manufacturing cost `C(N, v)`.
+    pub manufacturing_cost: f64,
+    /// Broker → seller `i`: `p^D·q_i^D`.
+    pub compensations: Vec<f64>,
+}
+
+impl Payments {
+    /// Broker net profit implied by the ledger.
+    pub fn broker_net(&self) -> f64 {
+        self.buyer_payment - self.manufacturing_cost - self.total_compensation()
+    }
+
+    /// Total compensation outlay.
+    pub fn total_compensation(&self) -> f64 {
+        self.compensations.iter().sum()
+    }
+
+    /// Verify conservation within `tol`: the broker's recorded net equals
+    /// payment − cost − compensations by construction, so the meaningful
+    /// check is finiteness and non-negative compensations.
+    pub fn is_consistent(&self, tol: f64) -> bool {
+        self.buyer_payment.is_finite()
+            && self.manufacturing_cost.is_finite()
+            && self
+                .compensations
+                .iter()
+                .all(|c| c.is_finite() && *c >= -tol)
+    }
+}
+
+/// One completed trading round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransactionRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Equilibrium product price.
+    pub p_m: f64,
+    /// Equilibrium data price.
+    pub p_d: f64,
+    /// Equilibrium fidelities.
+    pub tau: Vec<f64>,
+    /// Whole-piece allocation actually transacted (Σ = N).
+    pub chi: Vec<usize>,
+    /// Per-seller LDP budgets `ε_i*` (∞ for τ = 1).
+    pub epsilons: Vec<f64>,
+    /// Total dataset quality `q^D*`.
+    pub q_d: f64,
+    /// Measured product performance (explained variance of the trained
+    /// model on held-out data).
+    pub measured_performance: f64,
+    /// Payments of the round.
+    pub payments: Payments,
+    /// Seller weights in force during the round.
+    pub weights_before: Vec<f64>,
+    /// Seller weights after the Shapley update (equal to `weights_before`
+    /// when the update was skipped).
+    pub weights_after: Vec<f64>,
+}
+
+impl TransactionRecord {
+    /// Sanity-check the record's internal invariants.
+    pub fn validate(&self, n_pieces: usize) -> bool {
+        let m = self.tau.len();
+        self.chi.len() == m
+            && self.epsilons.len() == m
+            && self.payments.compensations.len() == m
+            && self.weights_before.len() == m
+            && self.weights_after.len() == m
+            && self.chi.iter().sum::<usize>() == n_pieces
+            && self.tau.iter().all(|t| (0.0..=1.0).contains(t))
+            && self.payments.is_consistent(1e-9)
+    }
+}
+
+/// Append-only ledger of rounds.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ledger {
+    records: Vec<TransactionRecord>,
+}
+
+impl Ledger {
+    /// Create an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, record: TransactionRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[TransactionRecord] {
+        &self.records
+    }
+
+    /// Number of completed rounds.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no round has completed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Cumulative payment from buyers across all rounds.
+    pub fn total_buyer_payments(&self) -> f64 {
+        self.records.iter().map(|r| r.payments.buyer_payment).sum()
+    }
+
+    /// Cumulative revenue of seller `i` across all rounds.
+    pub fn seller_revenue(&self, i: usize) -> f64 {
+        self.records
+            .iter()
+            .filter_map(|r| r.payments.compensations.get(i))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize) -> TransactionRecord {
+        TransactionRecord {
+            round,
+            p_m: 0.03,
+            p_d: 0.012,
+            tau: vec![0.1, 0.2],
+            chi: vec![3, 7],
+            epsilons: vec![0.5, 1.0],
+            q_d: 1.7,
+            measured_performance: 0.9,
+            payments: Payments {
+                buyer_payment: 0.05,
+                manufacturing_cost: 0.001,
+                compensations: vec![0.01, 0.02],
+            },
+            weights_before: vec![0.5, 0.5],
+            weights_after: vec![0.4, 0.6],
+        }
+    }
+
+    #[test]
+    fn payments_accounting() {
+        let p = record(0).payments;
+        assert!((p.total_compensation() - 0.03).abs() < 1e-15);
+        assert!((p.broker_net() - (0.05 - 0.001 - 0.03)).abs() < 1e-15);
+        assert!(p.is_consistent(1e-12));
+    }
+
+    #[test]
+    fn inconsistent_payments_detected() {
+        let mut p = record(0).payments;
+        p.compensations[0] = f64::NAN;
+        assert!(!p.is_consistent(1e-12));
+        let mut p2 = record(0).payments;
+        p2.compensations[0] = -1.0;
+        assert!(!p2.is_consistent(1e-12));
+    }
+
+    #[test]
+    fn record_validation() {
+        assert!(record(0).validate(10));
+        assert!(!record(0).validate(11)); // wrong N
+        let mut r = record(0);
+        r.tau[0] = 1.5;
+        assert!(!r.validate(10));
+        let mut r2 = record(0);
+        r2.chi.pop();
+        assert!(!r2.validate(10));
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut l = Ledger::new();
+        assert!(l.is_empty());
+        l.push(record(0));
+        l.push(record(1));
+        assert_eq!(l.len(), 2);
+        assert!((l.total_buyer_payments() - 0.1).abs() < 1e-15);
+        assert!((l.seller_revenue(1) - 0.04).abs() < 1e-15);
+        assert_eq!(l.records()[1].round, 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut l = Ledger::new();
+        l.push(record(0));
+        let js = serde_json::to_string(&l).unwrap();
+        let back: Ledger = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.len(), 1);
+    }
+}

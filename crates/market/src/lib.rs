@@ -1,0 +1,82 @@
+//! # share-market
+//!
+//! **Share: Stackelberg-Nash based Data Markets** (ICDE 2024) — the paper's
+//! primary contribution, implemented end to end.
+//!
+//! Share models a buyer-leading three-party data market as a three-stage
+//! Stackelberg-Nash game: the buyer (leader) posts the unit product price
+//! `p^M`, the broker (sub-leader) posts the unit data price `p^D`, and the
+//! `m` sellers (followers) simultaneously choose data fidelities `τ` in an
+//! inner Nash game whose allocation rule (Eq. 13) doubles as the
+//! seller-selection mechanism. All prices are **absolute** and emerge from
+//! the game itself.
+//!
+//! ## Module map
+//!
+//! | Module | Paper section |
+//! |--------|---------------|
+//! | [`params`] | Table 1 + §6.1 defaults |
+//! | [`profit`] | Eqs. 5–12 (utilities, translog cost, privacy loss) |
+//! | [`allocation`] | Eq. 13 + integer rounding |
+//! | [`stage3`] | §5.1.1 — Eq. 20 (direct), Eq. 23 (mean-field), Eq. 24 fixed point, numerical Nash |
+//! | [`stage2`] | §5.1.2 — Eq. 25 |
+//! | [`stage1`] | §5.1.3 — Eq. 27 |
+//! | [`solver`] | backward induction + Def. 4.2 verification |
+//! | [`meanfield`] | Theorem 5.1 error analysis |
+//! | [`deviation`] | §6.2 effectiveness sweeps (Fig. 2) |
+//! | [`sweep`] | §6.4 parameter influence (Figs. 4–8) |
+//! | [`dynamics`] | Algorithm 1 (full trading round over real data) |
+//! | [`ledger`] | payment records + conservation audits |
+//! | [`rounds`] | multi-round markets, dummy-buyer warm-up |
+//! | [`broker_leading`] | §7 future-work variant |
+//! | [`welfare`] | price of anarchy vs a planner (extension) |
+//! | [`truthfulness`] | misreport gains + regulator audits (extension) |
+//! | [`calibration`] | §7 parameter fitting from trading records |
+//! | [`analytics`] | ledger reports, revenue Gini, trajectories |
+//! | [`simulation`] | long-horizon multi-buyer runs |
+//! | [`fast_shapley`] | incremental sufficient-statistics Shapley (Fig. 3 scale) |
+//!
+//! ## Example
+//!
+//! ```
+//! use share_market::params::MarketParams;
+//! use share_market::solver::{solve, verify};
+//!
+//! let mut rng = rand::rng();
+//! let params = MarketParams::paper_defaults(100, &mut rng);
+//! let sne = solve(&params).unwrap();
+//! // Eq. 25: the broker prices data at half the product revenue rate.
+//! assert!((sne.p_d - params.buyer.v * sne.p_m / 2.0).abs() < 1e-12);
+//! // Def. 4.2: nobody can unilaterally improve.
+//! let check = verify(&params, &sne).unwrap();
+//! assert!(check.is_equilibrium(1e-6));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod allocation;
+pub mod analytics;
+pub mod broker_leading;
+pub mod calibration;
+pub mod deviation;
+pub mod dynamics;
+pub mod error;
+pub mod fast_shapley;
+pub mod ledger;
+pub mod meanfield;
+pub mod params;
+pub mod profit;
+pub mod rounds;
+pub mod simulation;
+pub mod solver;
+pub mod stage1;
+pub mod stage2;
+pub mod stage3;
+pub mod sweep;
+pub mod truthfulness;
+pub mod welfare;
+
+pub use error::{MarketError, Result};
+pub use params::{BrokerParams, BuyerParams, LossModel, MarketParams, SellerParams};
+pub use solver::{solve, solve_numeric, verify, SneSolution, SneVerification};

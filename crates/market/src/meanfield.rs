@@ -1,0 +1,161 @@
+//! Mean-field analysis (paper §5.1.1, Theorem 5.1).
+//!
+//! For the `L = λ·χ·τ²` loss the exact inner equilibrium couples all `m`
+//! sellers; the mean-field method decouples them through the weighted mean
+//! state `τ̄ = Σ ω_i·τ_i / m` (Eq. 21), yielding `τ_i* = 2p^D/(3λ_i)`
+//! (Eq. 23). Theorem 5.1 bounds the error of the weighted means after the
+//! `ω`-rescaling `ω_i/λ_i ≤ 1/(p^D·m²)`:
+//!
+//! ```text
+//! −1/(6m²)  <  τ̄^DD − τ̄^MF  <  1/m − 2/(3m²)
+//! ```
+
+use crate::error::Result;
+use crate::params::MarketParams;
+use crate::stage3::{tau_direct_linear_chi, tau_mean_field};
+use serde::{Deserialize, Serialize};
+use share_valuation::weights::rescale_for_mean_field;
+
+/// The mean-field state `τ̄ = Σ ω_i·τ_i / m` (paper Eq. 21).
+pub fn mean_field_state(weights: &[f64], tau: &[f64]) -> f64 {
+    let m = weights.len().max(1) as f64;
+    weights.iter().zip(tau).map(|(w, t)| w * t).sum::<f64>() / m
+}
+
+/// Theorem 5.1 interval `(lower, upper)` for `τ̄^DD − τ̄^MF` at seller count
+/// `m`.
+pub fn theorem51_bounds(m: usize) -> (f64, f64) {
+    let mf = m as f64;
+    (-1.0 / (6.0 * mf * mf), 1.0 / mf - 2.0 / (3.0 * mf * mf))
+}
+
+/// Outcome of one mean-field error measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeanFieldError {
+    /// Seller count.
+    pub m: usize,
+    /// Weighted mean of the exact (direct-derivation) equilibrium.
+    pub tau_bar_dd: f64,
+    /// Weighted mean of the mean-field approximation.
+    pub tau_bar_mf: f64,
+    /// The signed error `τ̄^DD − τ̄^MF`.
+    pub error: f64,
+    /// Theorem 5.1 lower bound.
+    pub lower_bound: f64,
+    /// Theorem 5.1 upper bound.
+    pub upper_bound: f64,
+    /// Max per-seller strategy gap `max_i |τ_i^DD − τ_i^MF|`.
+    pub max_strategy_gap: f64,
+}
+
+impl MeanFieldError {
+    /// `true` when the measured error lies inside the Theorem 5.1 interval.
+    pub fn within_bounds(&self) -> bool {
+        self.error > self.lower_bound && self.error < self.upper_bound
+    }
+}
+
+/// Measure the mean-field error at price `p_d` for a market with the
+/// `L = λχτ²` loss. The weights are first rescaled (proportion-preserving,
+/// which the paper notes is free) to meet the Theorem 5.1 precondition
+/// `ω_i/λ_i ≤ 1/(p^D·m²)`.
+///
+/// # Errors
+/// Propagates rescaling, fixed-point and validation errors.
+pub fn measure_mean_field_error(params: &MarketParams, p_d: f64) -> Result<MeanFieldError> {
+    let mut scaled = params.clone();
+    let (w, _) = rescale_for_mean_field(&params.weights, &params.lambdas(), p_d)?;
+    scaled.weights = w;
+    let dd = tau_direct_linear_chi(&scaled, p_d, 2000, 1e-14)?;
+    let mf = tau_mean_field(&scaled, p_d)?;
+    let tau_bar_dd = mean_field_state(&scaled.weights, &dd);
+    let tau_bar_mf = mean_field_state(&scaled.weights, &mf);
+    let (lower_bound, upper_bound) = theorem51_bounds(scaled.m());
+    let max_strategy_gap = dd
+        .iter()
+        .zip(&mf)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0_f64, f64::max);
+    Ok(MeanFieldError {
+        m: scaled.m(),
+        tau_bar_dd,
+        tau_bar_mf,
+        error: tau_bar_dd - tau_bar_mf,
+        lower_bound,
+        upper_bound,
+        max_strategy_gap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LossModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn market(m: usize, seed: u64) -> MarketParams {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = MarketParams::paper_defaults(m, &mut rng);
+        p.loss_model = LossModel::LinearChi;
+        p
+    }
+
+    #[test]
+    fn bounds_formula() {
+        let (lo, hi) = theorem51_bounds(10);
+        assert!((lo + 1.0 / 600.0).abs() < 1e-15);
+        assert!((hi - (0.1 - 2.0 / 300.0)).abs() < 1e-15);
+        assert!(lo < 0.0 && hi > 0.0);
+    }
+
+    #[test]
+    fn bounds_shrink_with_m() {
+        let (lo1, hi1) = theorem51_bounds(10);
+        let (lo2, hi2) = theorem51_bounds(1000);
+        assert!(lo2 > lo1 && hi2 < hi1);
+    }
+
+    #[test]
+    fn mean_field_state_formula() {
+        let s = mean_field_state(&[1.0, 2.0], &[0.5, 0.25]);
+        assert!((s - (0.5 + 0.5) / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn error_within_theorem_bounds() {
+        for &m in &[10usize, 50, 200] {
+            let params = market(m, 42);
+            let e = measure_mean_field_error(&params, 0.05).unwrap();
+            assert!(
+                e.within_bounds(),
+                "m={m}: error {} outside ({}, {})",
+                e.error,
+                e.lower_bound,
+                e.upper_bound
+            );
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_m() {
+        let e10 = measure_mean_field_error(&market(10, 7), 0.05).unwrap();
+        let e500 = measure_mean_field_error(&market(500, 7), 0.05).unwrap();
+        assert!(
+            e500.error.abs() < e10.error.abs(),
+            "{} !< {}",
+            e500.error.abs(),
+            e10.error.abs()
+        );
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let e = measure_mean_field_error(&market(20, 9), 0.02).unwrap();
+        assert_eq!(e.m, 20);
+        assert!((e.error - (e.tau_bar_dd - e.tau_bar_mf)).abs() < 1e-15);
+        assert!(e.max_strategy_gap >= 0.0);
+        let js = serde_json::to_string(&e).unwrap();
+        assert!(js.contains("tau_bar_dd"));
+    }
+}

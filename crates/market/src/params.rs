@@ -1,0 +1,356 @@
+//! Market participant parameters (paper Table 1 and §6.1 defaults).
+
+use crate::error::{MarketError, Result};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Buyer parameters: product demand and utility shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BuyerParams {
+    /// Data quantity `N` demanded for manufacturing.
+    pub n_pieces: usize,
+    /// Required product performance `v` (e.g. explained variance).
+    pub v: f64,
+    /// Concern weight on dataset quality, `θ₁ ∈ (0, 1)`.
+    pub theta1: f64,
+    /// Concern weight on product performance, `θ₂ = 1 − θ₁`.
+    pub theta2: f64,
+    /// Sensitivity to dataset quality, `ρ₁ > 0`.
+    pub rho1: f64,
+    /// Sensitivity to product performance, `ρ₂ > 0`.
+    pub rho2: f64,
+}
+
+impl BuyerParams {
+    /// The paper's §6.1 defaults: `N = 500`, `v = 0.8`, `θ = (0.5, 0.5)`,
+    /// `ρ = (0.5, 250)`.
+    pub fn paper_defaults() -> Self {
+        Self {
+            n_pieces: 500,
+            v: 0.8,
+            theta1: 0.5,
+            theta2: 0.5,
+            rho1: 0.5,
+            rho2: 250.0,
+        }
+    }
+
+    /// Validate the parameter domain.
+    ///
+    /// # Errors
+    /// [`MarketError::InvalidParameter`] with the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_pieces == 0 {
+            return Err(MarketError::InvalidParameter {
+                name: "n_pieces",
+                reason: "must be positive".to_string(),
+            });
+        }
+        if !(self.v.is_finite() && self.v > 0.0) {
+            return Err(MarketError::InvalidParameter {
+                name: "v",
+                reason: format!("must be positive and finite, got {}", self.v),
+            });
+        }
+        for (name, val) in [("theta1", self.theta1), ("theta2", self.theta2)] {
+            if !(val > 0.0 && val < 1.0) {
+                return Err(MarketError::InvalidParameter {
+                    name,
+                    reason: format!("must be in (0, 1), got {val}"),
+                });
+            }
+        }
+        if (self.theta1 + self.theta2 - 1.0).abs() > 1e-9 {
+            return Err(MarketError::InvalidParameter {
+                name: "theta1",
+                reason: format!(
+                    "theta1 + theta2 must equal 1, got {}",
+                    self.theta1 + self.theta2
+                ),
+            });
+        }
+        for (name, val) in [("rho1", self.rho1), ("rho2", self.rho2)] {
+            if !(val.is_finite() && val > 0.0) {
+                return Err(MarketError::InvalidParameter {
+                    name,
+                    reason: format!("must be positive and finite, got {val}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Broker parameters: the translog manufacturing-cost coefficients
+/// `σ₀..σ₅` (paper Eq. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrokerParams {
+    /// Translog coefficients `[σ₀, σ₁, σ₂, σ₃, σ₄, σ₅]`.
+    pub sigma: [f64; 6],
+}
+
+impl BrokerParams {
+    /// The paper's §6.1 defaults:
+    /// `σ = (10⁻³, −2, −3, 10⁻³, 2·10⁻³, 10⁻³)`.
+    pub fn paper_defaults() -> Self {
+        Self {
+            sigma: [1e-3, -2.0, -3.0, 1e-3, 2e-3, 1e-3],
+        }
+    }
+
+    /// Validate the parameter domain (finiteness).
+    ///
+    /// # Errors
+    /// [`MarketError::InvalidParameter`] when any coefficient is non-finite.
+    pub fn validate(&self) -> Result<()> {
+        if self.sigma.iter().any(|s| !s.is_finite()) {
+            return Err(MarketError::InvalidParameter {
+                name: "sigma",
+                reason: "all translog coefficients must be finite".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One seller's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SellerParams {
+    /// Privacy sensitivity `λ_i > 0` (paper Eq. 11).
+    pub lambda: f64,
+}
+
+impl SellerParams {
+    /// Validate the parameter domain.
+    ///
+    /// # Errors
+    /// [`MarketError::InvalidParameter`] for a non-positive λ.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.lambda.is_finite() && self.lambda > 0.0) {
+            return Err(MarketError::InvalidParameter {
+                name: "lambda",
+                reason: format!("must be positive and finite, got {}", self.lambda),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Which privacy-loss functional form sellers face (paper §5.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LossModel {
+    /// `L_i(τ) = λ_i (χ_i τ_i)²` — the paper's primary form (Eq. 11), solved
+    /// in closed form by direct derivation (Eq. 20).
+    #[default]
+    Quadratic,
+    /// `L_i(τ) = λ_i χ_i τ_i²` — the alternative form used to motivate the
+    /// mean-field method (Eq. 22/23).
+    LinearChi,
+}
+
+/// Full market configuration: one buyer, one broker, `m` sellers, and the
+/// broker-maintained data weights `ω`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarketParams {
+    /// Buyer parameters.
+    pub buyer: BuyerParams,
+    /// Broker parameters.
+    pub broker: BrokerParams,
+    /// Per-seller parameters (`m` entries).
+    pub sellers: Vec<SellerParams>,
+    /// Broker-maintained dataset weights `ω_i > 0` (`m` entries).
+    pub weights: Vec<f64>,
+    /// Privacy-loss model in force.
+    pub loss_model: LossModel,
+}
+
+impl MarketParams {
+    /// The paper's full §6.1 default market: `m` sellers with
+    /// `λ_i ~ U(0, 1)` (exclusive of 0), uniform initial weights `1/m`.
+    pub fn paper_defaults<R: Rng + ?Sized>(m: usize, rng: &mut R) -> Self {
+        let sellers = (0..m)
+            .map(|_| SellerParams {
+                // U(0,1) with a floor to keep 1/λ finite.
+                lambda: rng.random_range(0.01..1.0),
+            })
+            .collect();
+        Self {
+            buyer: BuyerParams::paper_defaults(),
+            broker: BrokerParams::paper_defaults(),
+            sellers,
+            weights: vec![1.0 / m as f64; m],
+            loss_model: LossModel::Quadratic,
+        }
+    }
+
+    /// Number of sellers `m`.
+    pub fn m(&self) -> usize {
+        self.sellers.len()
+    }
+
+    /// Per-seller λ values as a vector.
+    pub fn lambdas(&self) -> Vec<f64> {
+        self.sellers.iter().map(|s| s.lambda).collect()
+    }
+
+    /// Validate the whole configuration.
+    ///
+    /// # Errors
+    /// - [`MarketError::NoSellers`] for an empty seller list.
+    /// - [`MarketError::SellerCountMismatch`] when weights and sellers
+    ///   disagree.
+    /// - [`MarketError::InvalidParameter`] for out-of-domain fields.
+    pub fn validate(&self) -> Result<()> {
+        self.buyer.validate()?;
+        self.broker.validate()?;
+        if self.sellers.is_empty() {
+            return Err(MarketError::NoSellers);
+        }
+        if self.weights.len() != self.sellers.len() {
+            return Err(MarketError::SellerCountMismatch {
+                expected: self.sellers.len(),
+                got: self.weights.len(),
+            });
+        }
+        for s in &self.sellers {
+            s.validate()?;
+        }
+        if self.weights.iter().any(|&w| !w.is_finite() || w <= 0.0) {
+            return Err(MarketError::InvalidParameter {
+                name: "weights",
+                reason: "all weights must be positive and finite".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// `Σ_i 1/λ_i` — the aggregate privacy-tolerance term appearing in the
+    /// closed forms (Eq. 25–27).
+    pub fn sum_inv_lambda(&self) -> f64 {
+        self.sellers.iter().map(|s| 1.0 / s.lambda).sum()
+    }
+
+    /// `Σ_j √(ω_j/λ_j)` — the aggregate appearing in Eq. 20.
+    pub fn sum_sqrt_w_over_lambda(&self) -> f64 {
+        self.weights
+            .iter()
+            .zip(&self.sellers)
+            .map(|(w, s)| (w / s.lambda).sqrt())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_defaults_match_section_6_1() {
+        let b = BuyerParams::paper_defaults();
+        assert_eq!(b.n_pieces, 500);
+        assert_eq!(b.v, 0.8);
+        assert_eq!(b.theta1, 0.5);
+        assert_eq!(b.rho2, 250.0);
+        let br = BrokerParams::paper_defaults();
+        assert_eq!(br.sigma, [1e-3, -2.0, -3.0, 1e-3, 2e-3, 1e-3]);
+    }
+
+    #[test]
+    fn full_default_market_validates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = MarketParams::paper_defaults(100, &mut rng);
+        assert_eq!(p.m(), 100);
+        p.validate().unwrap();
+        assert!(p.lambdas().iter().all(|&l| (0.01..1.0).contains(&l)));
+        assert!((p.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buyer_validation_catches_domain_errors() {
+        let mut b = BuyerParams::paper_defaults();
+        b.n_pieces = 0;
+        assert!(b.validate().is_err());
+        let mut b = BuyerParams::paper_defaults();
+        b.v = -0.1;
+        assert!(b.validate().is_err());
+        let mut b = BuyerParams::paper_defaults();
+        b.theta1 = 0.6; // theta1 + theta2 != 1
+        assert!(b.validate().is_err());
+        let mut b = BuyerParams::paper_defaults();
+        b.theta1 = 0.0;
+        b.theta2 = 1.0;
+        assert!(b.validate().is_err());
+        let mut b = BuyerParams::paper_defaults();
+        b.rho1 = 0.0;
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn broker_validation_catches_nan() {
+        let mut br = BrokerParams::paper_defaults();
+        br.sigma[3] = f64::NAN;
+        assert!(br.validate().is_err());
+    }
+
+    #[test]
+    fn seller_validation() {
+        assert!(SellerParams { lambda: 0.5 }.validate().is_ok());
+        assert!(SellerParams { lambda: 0.0 }.validate().is_err());
+        assert!(SellerParams { lambda: -1.0 }.validate().is_err());
+        assert!(SellerParams {
+            lambda: f64::INFINITY
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn market_validation_checks_consistency() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = MarketParams::paper_defaults(5, &mut rng);
+        p.weights.pop();
+        assert!(matches!(
+            p.validate(),
+            Err(MarketError::SellerCountMismatch { .. })
+        ));
+        let mut p2 = MarketParams::paper_defaults(5, &mut rng);
+        p2.sellers.clear();
+        p2.weights.clear();
+        assert!(matches!(p2.validate(), Err(MarketError::NoSellers)));
+        let mut p3 = MarketParams::paper_defaults(5, &mut rng);
+        p3.weights[0] = 0.0;
+        assert!(p3.validate().is_err());
+    }
+
+    #[test]
+    fn aggregates_match_manual_computation() {
+        let p = MarketParams {
+            buyer: BuyerParams::paper_defaults(),
+            broker: BrokerParams::paper_defaults(),
+            sellers: vec![SellerParams { lambda: 0.25 }, SellerParams { lambda: 0.5 }],
+            weights: vec![1.0, 4.0],
+            loss_model: LossModel::Quadratic,
+        };
+        assert!((p.sum_inv_lambda() - 6.0).abs() < 1e-12);
+        // √(1/0.25) + √(4/0.5) = 2 + √8.
+        assert!((p.sum_sqrt_w_over_lambda() - (2.0 + 8.0f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = MarketParams::paper_defaults(3, &mut rng);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: MarketParams = serde_json::from_str(&json).unwrap();
+        // JSON float formatting may lose the last ULP; compare approximately.
+        assert_eq!(back.m(), p.m());
+        assert_eq!(back.buyer, p.buyer);
+        assert_eq!(back.broker, p.broker);
+        assert_eq!(back.loss_model, p.loss_model);
+        for (a, b) in p.lambdas().iter().zip(back.lambdas()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

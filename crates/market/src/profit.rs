@@ -1,0 +1,200 @@
+//! Profit functions of the three parties (paper §4.1, Eqs. 5–12).
+//!
+//! Instantiations follow §5.1: dataset quality `g(χ, τ) = χ·τ`, product
+//! quality `h(q^D, v) = q^D·v`.
+
+use crate::params::{BrokerParams, BuyerParams, LossModel};
+
+/// Dataset quality contributed by one seller: `q_i^D = g(χ_i, τ_i) = χ_i·τ_i`.
+#[inline]
+pub fn dataset_quality(chi: f64, tau: f64) -> f64 {
+    chi * tau
+}
+
+/// Total dataset quality `q^D = Σ_i χ_i·τ_i`.
+pub fn total_dataset_quality(chi: &[f64], tau: &[f64]) -> f64 {
+    chi.iter().zip(tau).map(|(c, t)| c * t).sum()
+}
+
+/// Product quality `q^M = h(q^D, v) = q^D·v`.
+#[inline]
+pub fn product_quality(q_d: f64, v: f64) -> f64 {
+    q_d * v
+}
+
+/// Buyer's dataset-quality utility `U₁(q^D) = ln(1 + ρ₁·q^D)` (Eq. 5).
+#[inline]
+pub fn utility_dataset(rho1: f64, q_d: f64) -> f64 {
+    (1.0 + rho1 * q_d).ln()
+}
+
+/// Buyer's performance utility `U₂(v) = ln(1 + ρ₂·v)` (Eq. 5).
+#[inline]
+pub fn utility_performance(rho2: f64, v: f64) -> f64 {
+    (1.0 + rho2 * v).ln()
+}
+
+/// Total product utility `U = θ₁·U₁(q^D) + θ₂·U₂(v)` (Eq. 6).
+pub fn product_utility(buyer: &BuyerParams, q_d: f64) -> f64 {
+    buyer.theta1 * utility_dataset(buyer.rho1, q_d)
+        + buyer.theta2 * utility_performance(buyer.rho2, buyer.v)
+}
+
+/// Buyer profit `Φ = U − p^M·q^M` (Eq. 7).
+pub fn buyer_profit(buyer: &BuyerParams, p_m: f64, q_d: f64) -> f64 {
+    let q_m = product_quality(q_d, buyer.v);
+    product_utility(buyer, q_d) - p_m * q_m
+}
+
+/// Translog manufacturing cost `C(N, v)` (Eq. 8).
+pub fn translog_cost(broker: &BrokerParams, n: f64, v: f64) -> f64 {
+    let [s0, s1, s2, s3, s4, s5] = broker.sigma;
+    let ln_n = n.ln();
+    let ln_v = v.ln();
+    (s0 + s1 * ln_n
+        + s2 * ln_v
+        + 0.5 * s3 * ln_n * ln_n
+        + 0.5 * s4 * ln_v * ln_v
+        + s5 * ln_n * ln_v)
+        .exp()
+}
+
+/// Broker profit `Ω = p^M·q^M − C(N, v) − p^D·q^D` (Eq. 9).
+pub fn broker_profit(
+    broker: &BrokerParams,
+    buyer: &BuyerParams,
+    p_m: f64,
+    p_d: f64,
+    q_d: f64,
+) -> f64 {
+    let q_m = product_quality(q_d, buyer.v);
+    p_m * q_m - translog_cost(broker, buyer.n_pieces as f64, buyer.v) - p_d * q_d
+}
+
+/// Seller privacy loss `L_i(τ)` under the chosen model (Eq. 11 or the
+/// mean-field variant of §5.1.1).
+pub fn privacy_loss(model: LossModel, lambda: f64, chi: f64, tau: f64) -> f64 {
+    match model {
+        LossModel::Quadratic => lambda * (chi * tau) * (chi * tau),
+        LossModel::LinearChi => lambda * chi * tau * tau,
+    }
+}
+
+/// Seller profit `Ψ_i = p^D·q_i^D − L_i(τ_i)` (Eq. 12).
+pub fn seller_profit(model: LossModel, lambda: f64, p_d: f64, chi: f64, tau: f64) -> f64 {
+    p_d * dataset_quality(chi, tau) - privacy_loss(model, lambda, chi, tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{BrokerParams, BuyerParams};
+
+    fn buyer() -> BuyerParams {
+        BuyerParams::paper_defaults()
+    }
+
+    #[test]
+    fn quality_instantiations() {
+        assert_eq!(dataset_quality(10.0, 0.5), 5.0);
+        assert_eq!(product_quality(5.0, 0.8), 4.0);
+        assert_eq!(total_dataset_quality(&[1.0, 2.0], &[0.5, 0.25]), 1.0);
+    }
+
+    #[test]
+    fn utilities_are_logarithmic_and_increasing() {
+        assert_eq!(utility_dataset(0.5, 0.0), 0.0);
+        assert!(utility_dataset(0.5, 10.0) > utility_dataset(0.5, 5.0));
+        // Diminishing marginal utility.
+        let d1 = utility_dataset(0.5, 1.0) - utility_dataset(0.5, 0.0);
+        let d2 = utility_dataset(0.5, 2.0) - utility_dataset(0.5, 1.0);
+        assert!(d2 < d1);
+    }
+
+    #[test]
+    fn product_utility_weights_components() {
+        let b = buyer();
+        let u = product_utility(&b, 4.0);
+        let expect = 0.5 * (1.0 + 0.5 * 4.0f64).ln() + 0.5 * (1.0 + 250.0 * 0.8f64).ln();
+        assert!((u - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buyer_profit_decreases_in_price() {
+        let b = buyer();
+        assert!(buyer_profit(&b, 0.01, 5.0) > buyer_profit(&b, 0.02, 5.0));
+    }
+
+    #[test]
+    fn translog_cost_paper_defaults_value() {
+        // With σ = (1e-3, −2, −3, 1e-3, 2e-3, 1e-3), N = 500, v = 0.8 the
+        // exponent is dominated by −2·ln 500 − 3·ln 0.8.
+        let c = translog_cost(&BrokerParams::paper_defaults(), 500.0, 0.8);
+        let ln_n = 500.0f64.ln();
+        let ln_v = 0.8f64.ln();
+        let expect = (1e-3 - 2.0 * ln_n - 3.0 * ln_v
+            + 0.5e-3 * ln_n * ln_n
+            + 1e-3 * ln_v * ln_v
+            + 1e-3 * ln_n * ln_v)
+            .exp();
+        assert!((c - expect).abs() < 1e-15, "{c} vs {expect}");
+        assert!(
+            c > 0.0 && c < 1e-4,
+            "cost {c} should be tiny under defaults"
+        );
+    }
+
+    #[test]
+    fn translog_cost_increases_with_scale_for_positive_elasticity() {
+        let broker = BrokerParams {
+            sigma: [0.0, 1.0, 0.5, 0.0, 0.0, 0.0],
+        };
+        assert!(translog_cost(&broker, 1000.0, 0.8) > translog_cost(&broker, 500.0, 0.8));
+        assert!(translog_cost(&broker, 500.0, 0.9) > translog_cost(&broker, 500.0, 0.8));
+    }
+
+    #[test]
+    fn broker_profit_components() {
+        let b = buyer();
+        let br = BrokerParams::paper_defaults();
+        let q_d = 5.0;
+        let omega = broker_profit(&br, &b, 0.04, 0.015, q_d);
+        let expect = 0.04 * (q_d * 0.8) - translog_cost(&br, 500.0, 0.8) - 0.015 * q_d;
+        assert!((omega - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn privacy_loss_models_differ() {
+        let quad = privacy_loss(LossModel::Quadratic, 0.5, 10.0, 0.5);
+        let lin = privacy_loss(LossModel::LinearChi, 0.5, 10.0, 0.5);
+        assert_eq!(quad, 0.5 * 25.0);
+        assert_eq!(lin, 0.5 * 10.0 * 0.25);
+        assert_ne!(quad, lin);
+    }
+
+    #[test]
+    fn privacy_loss_grows_superlinearly_in_tau() {
+        let l1 = privacy_loss(LossModel::Quadratic, 1.0, 1.0, 0.2);
+        let l2 = privacy_loss(LossModel::Quadratic, 1.0, 1.0, 0.4);
+        assert!(l2 > 2.0 * l1);
+    }
+
+    #[test]
+    fn seller_profit_is_revenue_minus_loss() {
+        let p = seller_profit(LossModel::Quadratic, 0.5, 0.02, 10.0, 0.5);
+        let expect = 0.02 * 5.0 - 0.5 * 25.0;
+        assert!((p - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_fidelity_means_zero_profit() {
+        assert_eq!(
+            seller_profit(LossModel::Quadratic, 0.7, 0.05, 10.0, 0.0),
+            0.0
+        );
+        assert_eq!(
+            seller_profit(LossModel::LinearChi, 0.7, 0.05, 10.0, 0.0),
+            0.0
+        );
+    }
+}

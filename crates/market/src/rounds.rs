@@ -1,0 +1,170 @@
+//! Multi-round market simulation.
+//!
+//! The paper initializes seller weights with "dummy buyers": the mechanism
+//! iterates a few times (five in §6.1) so Shapley-driven weights stabilize
+//! before the measured buyer arrives. [`warmup`] implements exactly that;
+//! [`run_rounds`] drives an arbitrary buyer sequence and reports weight
+//! convergence.
+
+#[cfg(test)]
+use crate::dynamics::WeightUpdate;
+use crate::dynamics::{RoundOptions, RoundReport, TradingMarket};
+use crate::error::Result;
+use crate::params::BuyerParams;
+
+/// Largest absolute weight change between consecutive rounds.
+pub fn weight_shift(before: &[f64], after: &[f64]) -> f64 {
+    before
+        .iter()
+        .zip(after)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0_f64, f64::max)
+}
+
+/// Run `rounds` warm-up rounds with the current (dummy) buyer to stabilize
+/// the Shapley-driven weights (paper §6.1 uses five). Returns the per-round
+/// weight shifts.
+///
+/// # Errors
+/// Propagates round errors.
+pub fn warmup(market: &mut TradingMarket, rounds: usize, opts: RoundOptions) -> Result<Vec<f64>> {
+    let mut shifts = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let before = market.params().weights.clone();
+        market.run_round(opts)?;
+        shifts.push(weight_shift(&before, &market.params().weights));
+    }
+    Ok(shifts)
+}
+
+/// Run one round per buyer in `buyers` (buyers "come one at a time", §4.1),
+/// returning each round's report.
+///
+/// # Errors
+/// Propagates round errors. Note the buyer change mutates `N` and the
+/// utility parameters between rounds, exactly as a new demand arriving at
+/// the market.
+pub fn run_rounds(
+    market: &mut TradingMarket,
+    buyers: &[BuyerParams],
+    opts: RoundOptions,
+) -> Result<Vec<RoundReport>> {
+    let mut reports = Vec::with_capacity(buyers.len());
+    for buyer in buyers {
+        market.set_buyer(*buyer)?;
+        reports.push(market.run_round(opts)?);
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MarketParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use share_datagen::ccpp::{feature_domains, generate, target_domain, CcppConfig};
+    use share_datagen::partition::partition_equal;
+    use share_valuation::monte_carlo::McOptions;
+
+    fn build_market(m: usize, n_pieces: usize) -> TradingMarket {
+        let data = generate(CcppConfig {
+            rows: m * 150,
+            seed: 17,
+            ..CcppConfig::default()
+        })
+        .unwrap();
+        let test = generate(CcppConfig {
+            rows: 300,
+            seed: 18,
+            ..CcppConfig::default()
+        })
+        .unwrap();
+        let sellers = partition_equal(&data, m).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut params = MarketParams::paper_defaults(m, &mut rng);
+        params.buyer.n_pieces = n_pieces;
+        TradingMarket::new(
+            params,
+            sellers,
+            test,
+            feature_domains().to_vec(),
+            target_domain(),
+        )
+        .unwrap()
+    }
+
+    fn opts() -> RoundOptions {
+        RoundOptions {
+            weight_update: WeightUpdate::MonteCarlo(McOptions {
+                permutations: 4,
+                seed: 2,
+                ..McOptions::default()
+            }),
+            ..RoundOptions::default()
+        }
+    }
+
+    #[test]
+    fn warmup_runs_requested_rounds() {
+        let mut market = build_market(6, 120);
+        let shifts = warmup(&mut market, 5, opts()).unwrap();
+        assert_eq!(shifts.len(), 5);
+        assert_eq!(market.ledger().len(), 5);
+        assert!(shifts.iter().all(|s| s.is_finite() && *s >= 0.0));
+    }
+
+    #[test]
+    fn weights_tend_to_stabilize() {
+        // After several Shapley rounds the weights should move less than in
+        // the first round (paper: five iterations suffice to stabilize).
+        let mut market = build_market(6, 120);
+        let shifts = warmup(&mut market, 6, opts()).unwrap();
+        let early = shifts[0];
+        let late = shifts[5];
+        assert!(
+            late <= early + 1e-9,
+            "weights diverging: first {early}, last {late}"
+        );
+    }
+
+    #[test]
+    fn buyer_sequence_changes_equilibria() {
+        let mut market = build_market(5, 100);
+        let base = BuyerParams {
+            n_pieces: 100,
+            ..BuyerParams::paper_defaults()
+        };
+        let buyers = vec![
+            base,
+            BuyerParams {
+                theta1: 0.8,
+                theta2: 0.2,
+                ..base
+            },
+        ];
+        let mut o = opts();
+        o.weight_update = WeightUpdate::None;
+        let reports = run_rounds(&mut market, &buyers, o).unwrap();
+        assert_eq!(reports.len(), 2);
+        // Higher θ₁ buyer pays more (Fig. 4a).
+        assert!(reports[1].solution.p_m > reports[0].solution.p_m);
+    }
+
+    #[test]
+    fn run_rounds_rejects_invalid_buyer() {
+        let mut market = build_market(4, 80);
+        let bad = BuyerParams {
+            v: -1.0,
+            n_pieces: 80,
+            ..BuyerParams::paper_defaults()
+        };
+        assert!(run_rounds(&mut market, &[bad], opts()).is_err());
+    }
+
+    #[test]
+    fn weight_shift_metric() {
+        assert_eq!(weight_shift(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        assert!((weight_shift(&[0.5, 0.5], &[0.3, 0.7]) - 0.2).abs() < 1e-15);
+    }
+}

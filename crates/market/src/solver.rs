@@ -1,0 +1,317 @@
+//! Backward-induction SNE solver (paper §5.1) and Def. 4.2 verification.
+//!
+//! [`solve`] composes the three closed forms — Eq. 27 (buyer), Eq. 25
+//! (broker), Eq. 20 (sellers) — into the full optimal strategy profile
+//! `⟨p^M*, p^D*, τ*⟩` plus the induced allocation, qualities and profits.
+//! [`solve_numeric`] replaces the Stage-1/2 closed forms with nested
+//! numerical maximization along the true (clamp-aware) reaction curves; it
+//! agrees with the analytic path in the interior regime and stays correct at
+//! the `τ = 1` boundary.
+//!
+//! [`verify`] checks the Stackelberg-Nash Equilibrium conditions of
+//! Def. 4.2: deviations of the buyer and the broker are evaluated against
+//! the lower stages' *reaction expressions* (as in the paper's §5.1.4
+//! existence argument), and seller deviations are ordinary Nash unilateral
+//! deviations at fixed `p^D*` and `τ*_{¬i}`.
+
+use crate::allocation::allocate;
+use crate::error::Result;
+use crate::params::MarketParams;
+use crate::profit::{broker_profit, buyer_profit, seller_profit, total_dataset_quality};
+use crate::stage1::{buyer_profit_at, p_m_numeric, p_m_star};
+use crate::stage2::{broker_profit_at, p_d_numeric, p_d_star};
+use crate::stage3::{tau_direct, SellerNashGame};
+use serde::{Deserialize, Serialize};
+use share_game::best_response::BrOptions;
+use share_game::verify::deviation_report;
+use share_numerics::optimize::grid::maximize_scan;
+
+/// How a solution was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveMethod {
+    /// Closed forms Eq. 27 / Eq. 25 / Eq. 20.
+    Analytic,
+    /// Nested numerical maximization along the reaction curves.
+    Numeric,
+}
+
+/// A complete market equilibrium: strategies, allocation, qualities and
+/// profits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SneSolution {
+    /// Buyer's product price `p^M*`.
+    pub p_m: f64,
+    /// Broker's data price `p^D*`.
+    pub p_d: f64,
+    /// Sellers' fidelities `τ*`.
+    pub tau: Vec<f64>,
+    /// Allocation `χ*` (Eq. 13, fractional).
+    pub chi: Vec<f64>,
+    /// Total dataset quality `q^D* = Σ χ_i τ_i`.
+    pub q_d: f64,
+    /// Product quality `q^M* = q^D*·v`.
+    pub q_m: f64,
+    /// Buyer profit Φ*.
+    pub buyer_profit: f64,
+    /// Broker profit Ω*.
+    pub broker_profit: f64,
+    /// Per-seller profits Ψ*.
+    pub seller_profits: Vec<f64>,
+    /// Solution method.
+    pub method: SolveMethod,
+}
+
+fn assemble(params: &MarketParams, p_m: f64, p_d: f64, method: SolveMethod) -> Result<SneSolution> {
+    let tau = tau_direct(params, p_d)?;
+    let m = params.m();
+    let chi = if tau.iter().any(|&t| t > 0.0) {
+        allocate(params.buyer.n_pieces, &params.weights, &tau)?
+    } else {
+        vec![0.0; m]
+    };
+    let q_d = total_dataset_quality(&chi, &tau);
+    let q_m = q_d * params.buyer.v;
+    let seller_profits = (0..m)
+        .map(|i| {
+            seller_profit(
+                params.loss_model,
+                params.sellers[i].lambda,
+                p_d,
+                chi[i],
+                tau[i],
+            )
+        })
+        .collect();
+    Ok(SneSolution {
+        p_m,
+        p_d,
+        q_d,
+        q_m,
+        buyer_profit: buyer_profit(&params.buyer, p_m, q_d),
+        broker_profit: broker_profit(&params.broker, &params.buyer, p_m, p_d, q_d),
+        seller_profits,
+        tau,
+        chi,
+        method: SolveMethod::Analytic,
+    })
+    .map(|mut s| {
+        s.method = method;
+        s
+    })
+}
+
+/// Solve the SNE analytically by backward induction (Eqs. 27 → 25 → 20).
+///
+/// # Errors
+/// Propagates parameter validation and stage errors.
+pub fn solve(params: &MarketParams) -> Result<SneSolution> {
+    params.validate()?;
+    let p_m = p_m_star(params)?;
+    let p_d = p_d_star(params.buyer.v, p_m);
+    assemble(params, p_m, p_d, SolveMethod::Analytic)
+}
+
+/// Solve the SNE numerically: Stage 1 scans `p^M`, Stage 2 (inside the
+/// Stage-1 objective) uses Eq. 25, and a final Stage-2 refinement scans
+/// `p^D` around the reaction value. Slower but correct at the `τ = 1`
+/// boundary where the interior closed forms break.
+///
+/// # Errors
+/// Propagates stage and optimizer errors.
+pub fn solve_numeric(params: &MarketParams) -> Result<SneSolution> {
+    params.validate()?;
+    // Bracket: 4× the analytic interior solution is generous; fall back to a
+    // fixed cap when the closed form is unavailable.
+    let cap = p_m_star(params).map(|p| 4.0 * p).unwrap_or(1.0);
+    let (p_m, _) = p_m_numeric(params, cap)?;
+    let (p_d, _) = p_d_numeric(params, p_m, 2.0 * params.buyer.v * p_m.max(1e-12))?;
+    assemble(params, p_m, p_d, SolveMethod::Numeric)
+}
+
+/// Def. 4.2 verification report: the best unilateral improvement each party
+/// could achieve (values ≤ ε certify an ε-SNE).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SneVerification {
+    /// Buyer's best gain from deviating in `p^M` (broker and sellers
+    /// re-react per Eqs. 25/20).
+    pub buyer_gain: f64,
+    /// Broker's best gain from deviating in `p^D` (sellers re-react per
+    /// Eq. 20; buyer fixed at `p^M*`).
+    pub broker_gain: f64,
+    /// Largest seller gain from a unilateral τ deviation (others fixed).
+    pub max_seller_gain: f64,
+}
+
+impl SneVerification {
+    /// Largest gain across all parties.
+    pub fn max_gain(&self) -> f64 {
+        self.buyer_gain
+            .max(self.broker_gain)
+            .max(self.max_seller_gain)
+    }
+
+    /// `true` when no party can improve by more than `epsilon`.
+    pub fn is_equilibrium(&self, epsilon: f64) -> bool {
+        self.max_gain() <= epsilon
+    }
+}
+
+/// Verify a solution against Def. 4.2 by deviation search.
+///
+/// # Errors
+/// Propagates stage and optimizer errors.
+pub fn verify(params: &MarketParams, sol: &SneSolution) -> Result<SneVerification> {
+    // Buyer deviation along the reaction curve.
+    let buyer_obj = |p_m: f64| buyer_profit_at(params, p_m).unwrap_or(f64::NEG_INFINITY);
+    let (_, best_buyer) = maximize_scan(buyer_obj, 0.0, (4.0 * sol.p_m).max(1e-6), 96, 1e-12)?;
+    let buyer_gain = best_buyer - sol.buyer_profit;
+
+    // Broker deviation along the sellers' reaction curve.
+    let broker_obj = |p_d: f64| broker_profit_at(params, sol.p_m, p_d).unwrap_or(f64::NEG_INFINITY);
+    let (_, best_broker) = maximize_scan(broker_obj, 0.0, (4.0 * sol.p_d).max(1e-6), 96, 1e-12)?;
+    let broker_gain = best_broker - sol.broker_profit;
+
+    // Seller Nash deviations at fixed p^D*.
+    let game = SellerNashGame::new(params, sol.p_d);
+    let report = deviation_report(&game, &sol.tau, BrOptions::default())?;
+    Ok(SneVerification {
+        buyer_gain,
+        broker_gain,
+        max_seller_gain: report.max_gain(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn market(m: usize, seed: u64) -> MarketParams {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MarketParams::paper_defaults(m, &mut rng)
+    }
+
+    #[test]
+    fn analytic_solution_is_consistent() {
+        let params = market(100, 1);
+        let s = solve(&params).unwrap();
+        assert_eq!(s.method, SolveMethod::Analytic);
+        assert_eq!(s.tau.len(), 100);
+        assert_eq!(s.chi.len(), 100);
+        // Eq. 25 relation.
+        assert!((s.p_d - params.buyer.v * s.p_m / 2.0).abs() < 1e-15);
+        // Allocation covers N.
+        assert!((s.chi.iter().sum::<f64>() - 500.0).abs() < 1e-9);
+        // Quality identities.
+        assert!((s.q_m - s.q_d * params.buyer.v).abs() < 1e-12);
+        // Fidelities feasible.
+        assert!(s.tau.iter().all(|&t| (0.0..=1.0).contains(&t)));
+    }
+
+    #[test]
+    fn paper_scale_equilibrium_magnitudes() {
+        // §6.2 reports p^M* = 0.036, p^D* = 0.014, τ₁* = 0.001 under random
+        // λ draws; check the same orders of magnitude.
+        let params = market(100, 2);
+        let s = solve(&params).unwrap();
+        assert!((0.005..0.2).contains(&s.p_m), "p^M* = {}", s.p_m);
+        assert!((0.002..0.08).contains(&s.p_d), "p^D* = {}", s.p_d);
+        let t_mean = s.tau.iter().sum::<f64>() / 100.0;
+        assert!((1e-4..0.1).contains(&t_mean), "mean tau = {t_mean}");
+    }
+
+    #[test]
+    fn all_parties_profit_at_equilibrium() {
+        let params = market(100, 3);
+        let s = solve(&params).unwrap();
+        assert!(s.buyer_profit > 0.0, "buyer {}", s.buyer_profit);
+        assert!(s.broker_profit > 0.0, "broker {}", s.broker_profit);
+        for (i, &p) in s.seller_profits.iter().enumerate() {
+            assert!(p >= -1e-12, "seller {i} profit {p}");
+        }
+    }
+
+    #[test]
+    fn verification_certifies_equilibrium() {
+        let params = market(30, 4);
+        let s = solve(&params).unwrap();
+        let v = verify(&params, &s).unwrap();
+        // Numerical deviation search may find O(tol) improvements only.
+        assert!(
+            v.is_equilibrium(1e-6 * (1.0 + s.buyer_profit.abs())),
+            "gains: {v:?}"
+        );
+    }
+
+    #[test]
+    fn verification_rejects_perturbed_solution() {
+        let params = market(30, 5);
+        let mut s = solve(&params).unwrap();
+        s.p_m *= 2.0; // sabotage the buyer strategy
+        s.buyer_profit = buyer_profit_at(&params, s.p_m).unwrap();
+        let v = verify(&params, &s).unwrap();
+        assert!(v.buyer_gain > 1e-3, "expected large buyer gain: {v:?}");
+    }
+
+    #[test]
+    fn numeric_agrees_with_analytic() {
+        let params = market(20, 6);
+        let a = solve(&params).unwrap();
+        let n = solve_numeric(&params).unwrap();
+        assert_eq!(n.method, SolveMethod::Numeric);
+        assert!(
+            (a.p_m - n.p_m).abs() < 2e-3 * a.p_m,
+            "p_m {} vs {}",
+            a.p_m,
+            n.p_m
+        );
+        assert!(
+            (a.p_d - n.p_d).abs() < 5e-3 * a.p_d,
+            "p_d {} vs {}",
+            a.p_d,
+            n.p_d
+        );
+        assert!((a.buyer_profit - n.buyer_profit).abs() < 1e-5 * a.buyer_profit.abs());
+    }
+
+    #[test]
+    fn payment_conservation() {
+        // Buyer payment equals broker revenue; broker compensation equals
+        // the sum of seller revenues.
+        let params = market(50, 7);
+        let s = solve(&params).unwrap();
+        let buyer_payment = s.p_m * s.q_m;
+        let compensations: f64 = s.chi.iter().zip(&s.tau).map(|(c, t)| s.p_d * c * t).sum();
+        let cost = crate::profit::translog_cost(
+            &params.broker,
+            params.buyer.n_pieces as f64,
+            params.buyer.v,
+        );
+        assert!(
+            (s.broker_profit - (buyer_payment - cost - compensations)).abs() < 1e-9,
+            "broker accounting inconsistent"
+        );
+        // Seller revenues sum to the broker's compensation outlay.
+        let seller_revenue: f64 = (0..params.m()).map(|i| s.p_d * s.chi[i] * s.tau[i]).sum();
+        assert!((seller_revenue - compensations).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip_of_solution() {
+        let params = market(5, 8);
+        let s = solve(&params).unwrap();
+        let js = serde_json::to_string(&s).unwrap();
+        let back: SneSolution = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.tau.len(), 5);
+        assert!((back.p_m - s.p_m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_seller_market_solves() {
+        let params = market(1, 9);
+        let s = solve(&params).unwrap();
+        assert_eq!(s.tau.len(), 1);
+        assert!((s.chi[0] - 500.0).abs() < 1e-9);
+    }
+}

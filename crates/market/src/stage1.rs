@@ -1,0 +1,152 @@
+//! Stage 1: the buyer's price decision (paper §5.1.3).
+//!
+//! Substituting the broker's Eq. 25 and the sellers' Eq. 20 into the buyer
+//! profit yields a concave objective in `p^M` alone:
+//!
+//! ```text
+//! Φ(p^M) = θ₁·ln(1 + c₁·p^M) + θ₂·ln(1 + ρ₂·v) − (c₂·θ₁/2)·(p^M)²
+//! c₁ = (ρ₁·v/4)·Σ 1/λ_i        c₂ = (v²/(2·θ₁))·Σ 1/λ_i
+//! ```
+//!
+//! whose unique positive stationary point is the closed form of Eq. 27. The
+//! numerical path maximizes the true backward-induction objective (with τ
+//! clamping honored) and agrees in the interior regime.
+
+use crate::error::{MarketError, Result};
+use crate::params::MarketParams;
+use crate::profit::{buyer_profit, total_dataset_quality};
+use crate::stage2::p_d_star;
+use crate::stage3;
+use share_numerics::optimize::grid::maximize_scan;
+
+/// The aggregates `c₁`, `c₂` of §5.1.3.
+pub fn coefficients(params: &MarketParams) -> (f64, f64) {
+    let s = params.sum_inv_lambda();
+    let v = params.buyer.v;
+    let c1 = params.buyer.rho1 * v / 4.0 * s;
+    let c2 = v * v / (2.0 * params.buyer.theta1) * s;
+    (c1, c2)
+}
+
+/// Closed-form Stage-1 strategy (paper Eq. 27):
+///
+/// ```text
+/// p^M* = (−c₂ + √(c₂² + 4·c₁²·c₂)) / (2·c₁·c₂)
+/// ```
+///
+/// # Errors
+/// Propagates parameter validation errors.
+pub fn p_m_star(params: &MarketParams) -> Result<f64> {
+    params.validate()?;
+    let (c1, c2) = coefficients(params);
+    if c1 <= 0.0 || c2 <= 0.0 {
+        return Err(MarketError::InvalidParameter {
+            name: "c1/c2",
+            reason: format!("aggregates must be positive (c1={c1}, c2={c2})"),
+        });
+    }
+    Ok((-c2 + (c2 * c2 + 4.0 * c1 * c1 * c2).sqrt()) / (2.0 * c1 * c2))
+}
+
+/// Buyer profit at `p^M` under the full backward-induction response:
+/// `p^D = v·p^M/2` (Eq. 25), `τ` per Eq. 20 (clamped), `χ` per Eq. 13.
+///
+/// # Errors
+/// Propagates Stage-3 errors.
+pub fn buyer_profit_at(params: &MarketParams, p_m: f64) -> Result<f64> {
+    let p_d = p_d_star(params.buyer.v, p_m);
+    let tau = stage3::tau_direct(params, p_d)?;
+    let chi = crate::allocation::allocate(params.buyer.n_pieces, &params.weights, &tau)
+        .unwrap_or_else(|_| vec![0.0; params.m()]);
+    let q_d = total_dataset_quality(&chi, &tau);
+    Ok(buyer_profit(&params.buyer, p_m, q_d))
+}
+
+/// Numerically maximize the buyer profit over `p^M ∈ [0, p_m_max]`.
+/// Returns `(p^M*, Φ*)`.
+///
+/// # Errors
+/// Propagates Stage-3 and optimizer errors.
+pub fn p_m_numeric(params: &MarketParams, p_m_max: f64) -> Result<(f64, f64)> {
+    let obj = |p_m: f64| buyer_profit_at(params, p_m).unwrap_or(f64::NEG_INFINITY);
+    let (x, v) = maximize_scan(obj, 0.0, p_m_max, 96, 1e-12)?;
+    Ok((x, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn market(m: usize, seed: u64) -> MarketParams {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MarketParams::paper_defaults(m, &mut rng)
+    }
+
+    #[test]
+    fn closed_form_solves_stationarity() {
+        // c₁c₂·x² + c₂·x − c₁ = 0 at x = p^M*.
+        let params = market(50, 1);
+        let (c1, c2) = coefficients(&params);
+        let x = p_m_star(&params).unwrap();
+        let resid = c1 * c2 * x * x + c2 * x - c1;
+        assert!(resid.abs() < 1e-9 * c1.max(c2), "residual {resid}");
+        assert!(x > 0.0);
+    }
+
+    #[test]
+    fn closed_form_matches_numeric_maximizer() {
+        let params = market(40, 2);
+        let analytic = p_m_star(&params).unwrap();
+        let (numeric, _) = p_m_numeric(&params, 5.0 * analytic).unwrap();
+        assert!(
+            (numeric - analytic).abs() < 2e-4 * analytic,
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn paper_scale_magnitude() {
+        // With §6.1 defaults the paper reports p^M* ≈ 0.036. λ draws differ,
+        // so accept the right order of magnitude.
+        let params = market(100, 3);
+        let p = p_m_star(&params).unwrap();
+        assert!(
+            (0.005..0.2).contains(&p),
+            "p^M* = {p} outside the paper's magnitude band"
+        );
+    }
+
+    #[test]
+    fn profit_concave_around_optimum() {
+        let params = market(25, 4);
+        let star = p_m_star(&params).unwrap();
+        let at = |x: f64| buyer_profit_at(&params, x).unwrap();
+        let peak = at(star);
+        assert!(peak > at(star * 0.5));
+        assert!(peak > at(star * 1.5));
+        let h = star * 0.01;
+        assert!(at(star + h) - 2.0 * peak + at(star - h) < 0.0);
+    }
+
+    #[test]
+    fn buyer_profit_at_zero_price_is_pure_performance_utility() {
+        let params = market(10, 5);
+        // p^M = 0 ⇒ p^D = 0 ⇒ τ = 0 ⇒ q^D = 0: only the θ₂ term remains.
+        let phi = buyer_profit_at(&params, 0.0).unwrap();
+        let expect = params.buyer.theta2 * (1.0 + params.buyer.rho2 * params.buyer.v).ln();
+        assert!((phi - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_sellers_lower_equilibrium_price() {
+        // A deeper market (larger Σ1/λ) reduces the buyer's optimal price:
+        // data is effectively cheaper to source.
+        let small = market(10, 6);
+        let big = market(1000, 6);
+        let p_small = p_m_star(&small).unwrap();
+        let p_big = p_m_star(&big).unwrap();
+        assert!(p_big < p_small, "{p_big} !< {p_small}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Stage 2: the broker's price decision (paper §5.1.2).
+//!
+//! Anticipating the sellers' Stage-3 response to any `p^D` (Eq. 20), the
+//! broker's profit becomes a strictly concave quadratic in `p^D` whose
+//! maximizer is the closed form of Eq. 25:
+//!
+//! ```text
+//! p^D* = v·p^M / 2
+//! ```
+//!
+//! Remarkably, the expression is independent of the λ-aggregate: the
+//! compensation and revenue terms share the factor `Σ 1/λ_i`. A numerical
+//! path ([`p_d_numeric`]) maximizes the broker profit along the *actual*
+//! (possibly clamped) seller response — it agrees with Eq. 25 in the
+//! interior regime and remains correct at the τ = 1 boundary where the
+//! closed form does not.
+
+use crate::error::Result;
+use crate::params::MarketParams;
+use crate::profit::{broker_profit, total_dataset_quality};
+use crate::stage3;
+use share_numerics::optimize::grid::maximize_scan;
+
+/// Closed-form Stage-2 strategy (paper Eq. 25): `p^D* = v·p^M / 2`.
+#[inline]
+pub fn p_d_star(v: f64, p_m: f64) -> f64 {
+    v * p_m / 2.0
+}
+
+/// Equilibrium total dataset quality under the quadratic loss when the
+/// interior Eq. 20 applies: `q^D* = Σ_i p^D / (2·λ_i)` (paper §5.1.2).
+pub fn q_d_star(params: &MarketParams, p_d: f64) -> f64 {
+    p_d / 2.0 * params.sum_inv_lambda()
+}
+
+/// Broker profit at `(p^M, p^D)` with sellers responding per Eq. 20
+/// (clamped response honored by recomputing `q^D` from the actual τ).
+///
+/// # Errors
+/// Propagates Stage-3 errors.
+pub fn broker_profit_at(params: &MarketParams, p_m: f64, p_d: f64) -> Result<f64> {
+    let tau = stage3::tau_direct(params, p_d)?;
+    let chi = crate::allocation::allocate(params.buyer.n_pieces, &params.weights, &tau)
+        .unwrap_or_else(|_| vec![0.0; params.m()]);
+    let q_d = total_dataset_quality(&chi, &tau);
+    Ok(broker_profit(&params.broker, &params.buyer, p_m, p_d, q_d))
+}
+
+/// Numerically maximize the broker profit over `p^D ∈ [0, p_d_max]` given
+/// `p^M`, honoring the clamped seller response. Returns `(p^D*, Ω*)`.
+///
+/// # Errors
+/// Propagates Stage-3 and optimizer errors.
+pub fn p_d_numeric(params: &MarketParams, p_m: f64, p_d_max: f64) -> Result<(f64, f64)> {
+    let obj = |p_d: f64| broker_profit_at(params, p_m, p_d).unwrap_or(f64::NEG_INFINITY);
+    let (x, v) = maximize_scan(obj, 0.0, p_d_max, 64, 1e-12)?;
+    Ok((x, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn market(m: usize, seed: u64) -> MarketParams {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MarketParams::paper_defaults(m, &mut rng)
+    }
+
+    #[test]
+    fn closed_form_is_half_v_pm() {
+        assert_eq!(p_d_star(0.8, 0.036), 0.8 * 0.036 / 2.0);
+        assert_eq!(p_d_star(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn q_d_star_matches_tau_allocation_product() {
+        // q^D from the closed form equals Σ χ_i·τ_i computed explicitly.
+        let params = market(20, 1);
+        let p_d = 0.01;
+        let tau = stage3::tau_direct(&params, p_d).unwrap();
+        let chi =
+            crate::allocation::allocate(params.buyer.n_pieces, &params.weights, &tau).unwrap();
+        let explicit = total_dataset_quality(&chi, &tau);
+        let closed = q_d_star(&params, p_d);
+        assert!(
+            (explicit - closed).abs() < 1e-9 * closed.max(1.0),
+            "{explicit} vs {closed}"
+        );
+    }
+
+    #[test]
+    fn numeric_maximizer_matches_eq25_interior() {
+        let params = market(30, 2);
+        let p_m = 0.04;
+        let analytic = p_d_star(params.buyer.v, p_m);
+        let (numeric, _) = p_d_numeric(&params, p_m, 4.0 * analytic).unwrap();
+        assert!(
+            (numeric - analytic).abs() < 1e-4 * analytic.max(1e-9),
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn profit_is_concave_around_optimum() {
+        let params = market(15, 3);
+        let p_m = 0.05;
+        let star = p_d_star(params.buyer.v, p_m);
+        let at = |x: f64| broker_profit_at(&params, p_m, x).unwrap();
+        let peak = at(star);
+        assert!(peak > at(star * 0.5), "left of peak should be lower");
+        assert!(peak > at(star * 1.5), "right of peak should be lower");
+        // Second difference negative.
+        let h = star * 0.01;
+        assert!(at(star + h) - 2.0 * peak + at(star - h) < 0.0);
+    }
+
+    #[test]
+    fn broker_profit_positive_at_paper_scale() {
+        // With defaults the broker earns a strictly positive margin at the
+        // optimum (v·p^M·q^D/2 vs p^D·q^D at p^D = v·p^M/2 gives net
+        // p^D·q^D ≥ C since the translog cost is tiny).
+        let params = market(100, 4);
+        let p_m = 0.036;
+        let omega = broker_profit_at(&params, p_m, p_d_star(params.buyer.v, p_m)).unwrap();
+        assert!(omega > 0.0, "broker profit {omega}");
+    }
+
+    #[test]
+    fn zero_pm_gives_nonpositive_profit() {
+        let params = market(10, 5);
+        // No revenue, only costs: optimal p^D is 0 and profit is −C(N, v).
+        let (p_d, profit) = p_d_numeric(&params, 0.0, 0.1).unwrap();
+        assert!(p_d < 1e-6, "{p_d}");
+        assert!(profit <= 0.0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Stage 3: the sellers' inner Nash game (paper §5.1.1).
+//!
+//! Given the unit data price `p^D`, the `m` sellers simultaneously choose
+//! fidelities `τ ∈ [0, 1]` to maximize `Ψ_i = p^D·χ_i·τ_i − L_i(τ_i)` with
+//! the allocation `χ_i = N·ω_i·τ_i / Σ_j ω_j·τ_j` (Eq. 13) coupling them.
+//!
+//! Three solution paths:
+//! - [`tau_direct`] — the closed form of Eq. 20 (quadratic loss), interior
+//!   solution clamped to `τ ≤ 1` per the boundary argument of Theorem 5.2;
+//! - [`tau_mean_field`] — the mean-field approximation of Eq. 23 for the
+//!   `L = λ·χ·τ²` loss where direct derivation is impractical;
+//! - [`tau_direct_linear_chi`] — the *exact* equilibrium of the `λχτ²` loss
+//!   via fixed-point iteration on the per-seller quadratic root (Eq. 24),
+//!   used by the Theorem 5.1 error analysis;
+//! - [`SellerNashGame`] — a [`NashGame`] view for the fully numerical
+//!   best-response path (arbitrary loss models, verification).
+
+use crate::allocation::allocate;
+use crate::error::{MarketError, Result};
+use crate::params::MarketParams;
+use crate::profit::seller_profit;
+use share_game::nash::NashGame;
+
+/// Closed-form Stage-3 equilibrium for the quadratic loss (paper Eq. 20):
+///
+/// ```text
+/// τ_i* = p^D / (2N·√(ω_i·λ_i)) · Σ_j √(ω_j/λ_j)
+/// ```
+///
+/// clamped into `[0, 1]` (boundary optimum per Theorem 5.2).
+///
+/// # Errors
+/// - [`MarketError::InvalidParameter`] for a negative or non-finite `p^D`.
+/// - Propagates parameter validation errors.
+pub fn tau_direct(params: &MarketParams, p_d: f64) -> Result<Vec<f64>> {
+    params.validate()?;
+    if !(p_d.is_finite() && p_d >= 0.0) {
+        return Err(MarketError::InvalidParameter {
+            name: "p_d",
+            reason: format!("must be non-negative and finite, got {p_d}"),
+        });
+    }
+    let n = params.buyer.n_pieces as f64;
+    let agg = params.sum_sqrt_w_over_lambda();
+    Ok(params
+        .weights
+        .iter()
+        .zip(&params.sellers)
+        .map(|(w, s)| {
+            let t = p_d / (2.0 * n * (w * s.lambda).sqrt()) * agg;
+            t.clamp(0.0, 1.0)
+        })
+        .collect())
+}
+
+/// Mean-field Stage-3 approximation for the `L = λ·χ·τ²` loss (paper
+/// Eq. 23): `τ_i* = 2p^D / (3λ_i)`, clamped into `[0, 1]`.
+///
+/// # Errors
+/// Same as [`tau_direct`].
+pub fn tau_mean_field(params: &MarketParams, p_d: f64) -> Result<Vec<f64>> {
+    params.validate()?;
+    if !(p_d.is_finite() && p_d >= 0.0) {
+        return Err(MarketError::InvalidParameter {
+            name: "p_d",
+            reason: format!("must be non-negative and finite, got {p_d}"),
+        });
+    }
+    Ok(params
+        .sellers
+        .iter()
+        .map(|s| (2.0 * p_d / (3.0 * s.lambda)).clamp(0.0, 1.0))
+        .collect())
+}
+
+/// Exact Stage-3 equilibrium for the `L = λ·χ·τ²` loss by fixed-point
+/// iteration on the paper's per-seller quadratic root (Eq. 24):
+///
+/// ```text
+/// τ_i = [p^D·ω_i − 3λ_i·Σ_{¬i} + √((3λ_i·Σ_{¬i} − p^D·ω_i)² + 16·p^D·λ_i·ω_i·Σ_{¬i})] / (4·λ_i·ω_i)
+/// ```
+///
+/// where `Σ_{¬i} = Σ_{j≠i} ω_j·τ_j`. Used as ground truth `τ̄^DD` in the
+/// Theorem 5.1 error analysis.
+///
+/// # Errors
+/// - Same domain errors as [`tau_direct`].
+/// - [`MarketError::InvalidParameter`] when the iteration fails to converge.
+pub fn tau_direct_linear_chi(
+    params: &MarketParams,
+    p_d: f64,
+    max_iter: usize,
+    tol: f64,
+) -> Result<Vec<f64>> {
+    params.validate()?;
+    if !(p_d.is_finite() && p_d >= 0.0) {
+        return Err(MarketError::InvalidParameter {
+            name: "p_d",
+            reason: format!("must be non-negative and finite, got {p_d}"),
+        });
+    }
+    let m = params.m();
+    // Warm start from the mean-field solution (unclamped).
+    let mut tau: Vec<f64> = params
+        .sellers
+        .iter()
+        .map(|s| 2.0 * p_d / (3.0 * s.lambda))
+        .collect();
+    // Damped Gauss–Seidel on the per-seller root formula: the running total
+    // is kept consistent with in-place updates, and the 0.5 damping factor
+    // suppresses the oscillation large rescaled markets otherwise exhibit.
+    let mut total: f64 = params.weights.iter().zip(&tau).map(|(w, t)| w * t).sum();
+    const DAMPING: f64 = 0.5;
+    #[allow(clippy::needless_range_loop)] // τ is read and written at index i
+    for _ in 0..max_iter {
+        let mut delta = 0.0f64;
+        let mut scale = 0.0f64;
+        for i in 0..m {
+            let w = params.weights[i];
+            let l = params.sellers[i].lambda;
+            let sig = (total - w * tau[i]).max(0.0);
+            let a = 3.0 * l * sig - p_d * w;
+            let disc = a * a + 16.0 * p_d * l * w * sig;
+            let root = ((p_d * w - 3.0 * l * sig + disc.sqrt()) / (4.0 * l * w)).max(0.0);
+            let new = DAMPING * root + (1.0 - DAMPING) * tau[i];
+            total += w * (new - tau[i]);
+            delta = delta.max((new - tau[i]).abs());
+            scale = scale.max(new.abs());
+            tau[i] = new;
+        }
+        // Converge on relative movement: τ magnitudes shrink as O(1/m²)
+        // under the Theorem 5.1 rescaling, so an absolute criterion would
+        // demand ever more iterations at large m.
+        if delta <= tol.max(1e-12 * scale) {
+            return Ok(tau.into_iter().map(|t| t.clamp(0.0, 1.0)).collect());
+        }
+    }
+    Err(MarketError::InvalidParameter {
+        name: "tau_direct_linear_chi",
+        reason: format!("fixed point did not converge within {max_iter} iterations"),
+    })
+}
+
+/// The sellers' simultaneous-move game as a [`NashGame`], for the fully
+/// numerical solution path and equilibrium verification.
+pub struct SellerNashGame<'a> {
+    params: &'a MarketParams,
+    p_d: f64,
+}
+
+impl<'a> SellerNashGame<'a> {
+    /// View `params` as a Nash game at data price `p_d`.
+    pub fn new(params: &'a MarketParams, p_d: f64) -> Self {
+        Self { params, p_d }
+    }
+
+    /// The data price this game is parameterized by.
+    pub fn p_d(&self) -> f64 {
+        self.p_d
+    }
+}
+
+impl NashGame for SellerNashGame<'_> {
+    fn n_players(&self) -> usize {
+        self.params.m()
+    }
+
+    fn strategy_bounds(&self, _player: usize) -> (f64, f64) {
+        (0.0, 1.0)
+    }
+
+    fn payoff(&self, player: usize, profile: &[f64]) -> f64 {
+        let chi = match allocate(self.params.buyer.n_pieces, &self.params.weights, profile) {
+            Ok(c) => c,
+            // All-zero fidelity: nobody sells, zero profit.
+            Err(_) => return 0.0,
+        };
+        seller_profit(
+            self.params.loss_model,
+            self.params.sellers[player].lambda,
+            self.p_d,
+            chi[player],
+            profile[player],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{BrokerParams, BuyerParams, LossModel, SellerParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use share_game::best_response::{solve_best_response, BrOptions};
+    use share_game::verify::is_epsilon_nash;
+
+    fn small_market(m: usize, seed: u64) -> MarketParams {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MarketParams::paper_defaults(m, &mut rng)
+    }
+
+    #[test]
+    fn eq20_formula_matches_manual_two_sellers() {
+        let params = MarketParams {
+            buyer: BuyerParams {
+                n_pieces: 100,
+                ..BuyerParams::paper_defaults()
+            },
+            broker: BrokerParams::paper_defaults(),
+            sellers: vec![SellerParams { lambda: 0.25 }, SellerParams { lambda: 1.0 }],
+            weights: vec![1.0, 1.0],
+            loss_model: LossModel::Quadratic,
+        };
+        let p_d = 0.5;
+        let tau = tau_direct(&params, p_d).unwrap();
+        let agg = (1.0f64 / 0.25).sqrt() + 1.0; // 2 + 1 = 3
+        let t0 = 0.5 / (2.0 * 100.0 * (0.25f64).sqrt()) * agg;
+        let t1 = 0.5 / (2.0 * 100.0 * 1.0) * agg;
+        assert!((tau[0] - t0).abs() < 1e-12);
+        assert!((tau[1] - t1).abs() < 1e-12);
+        // More privacy-sensitive seller offers lower fidelity.
+        assert!(tau[1] < tau[0]);
+    }
+
+    #[test]
+    fn eq20_satisfies_first_order_condition() {
+        // At the closed form, Eq. 18 must hold: p^D·Σω_jτ_j = 2N·λ_i·ω_i·τ_i².
+        let params = small_market(10, 1);
+        let p_d = 0.01;
+        let tau = tau_direct(&params, p_d).unwrap();
+        let s: f64 = params.weights.iter().zip(&tau).map(|(w, t)| w * t).sum();
+        let n = params.buyer.n_pieces as f64;
+        for (i, &tau_i) in tau.iter().enumerate() {
+            let lhs = p_d * s;
+            let rhs = 2.0 * n * params.sellers[i].lambda * params.weights[i] * tau_i * tau_i;
+            assert!(
+                (lhs - rhs).abs() < 1e-9 * lhs.max(1e-12),
+                "seller {i}: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn eq20_is_epsilon_nash_of_the_true_game() {
+        // The analytic solution must survive numerical deviation testing.
+        let params = small_market(8, 2);
+        let p_d = 0.01;
+        let tau = tau_direct(&params, p_d).unwrap();
+        let game = SellerNashGame::new(&params, p_d);
+        assert!(is_epsilon_nash(&game, &tau, 1e-7, BrOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn numerical_best_response_agrees_with_eq20() {
+        let params = small_market(6, 3);
+        let p_d = 0.012;
+        let analytic = tau_direct(&params, p_d).unwrap();
+        let game = SellerNashGame::new(&params, p_d);
+        let start = vec![0.5; 6];
+        let numeric = solve_best_response(&game, &start, BrOptions::default()).unwrap();
+        for (a, n) in analytic.iter().zip(&numeric.profile) {
+            assert!((a - n).abs() < 1e-4, "analytic {a} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn tau_scales_linearly_with_price() {
+        let params = small_market(5, 4);
+        let t1 = tau_direct(&params, 0.001).unwrap();
+        let t2 = tau_direct(&params, 0.002).unwrap();
+        for (a, b) in t1.iter().zip(&t2) {
+            assert!((b / a - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_price_means_zero_fidelity() {
+        let params = small_market(5, 5);
+        assert!(tau_direct(&params, 0.0).unwrap().iter().all(|&t| t == 0.0));
+        assert!(tau_mean_field(&params, 0.0)
+            .unwrap()
+            .iter()
+            .all(|&t| t == 0.0));
+    }
+
+    #[test]
+    fn huge_price_clamps_to_one() {
+        let params = small_market(5, 6);
+        let tau = tau_direct(&params, 1e6).unwrap();
+        assert!(tau.iter().all(|&t| t == 1.0));
+        let mf = tau_mean_field(&params, 1e6).unwrap();
+        assert!(mf.iter().all(|&t| t == 1.0));
+    }
+
+    #[test]
+    fn mean_field_formula() {
+        let mut params = small_market(4, 7);
+        params.loss_model = LossModel::LinearChi;
+        let p_d = 0.3;
+        let tau = tau_mean_field(&params, p_d).unwrap();
+        for (t, s) in tau.iter().zip(&params.sellers) {
+            assert!((t - (2.0 * p_d / (3.0 * s.lambda)).min(1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_chi_fixed_point_converges_and_is_nash() {
+        let mut params = small_market(12, 8);
+        params.loss_model = LossModel::LinearChi;
+        let p_d = 0.02;
+        let tau = tau_direct_linear_chi(&params, p_d, 500, 1e-12).unwrap();
+        assert!(tau.iter().all(|&t| (0.0..=1.0).contains(&t)));
+        let game = SellerNashGame::new(&params, p_d);
+        assert!(
+            is_epsilon_nash(&game, &tau, 1e-6, BrOptions::default()).unwrap(),
+            "{tau:?}"
+        );
+    }
+
+    #[test]
+    fn mean_field_approaches_direct_for_large_m() {
+        // Theorem 5.1: with the ω-scaling precondition, the weighted-mean gap
+        // shrinks as m grows.
+        use share_valuation::weights::rescale_for_mean_field;
+        let gap = |m: usize| -> f64 {
+            let mut params = small_market(m, 9);
+            params.loss_model = LossModel::LinearChi;
+            let p_d = 0.05;
+            let (scaled, _) =
+                rescale_for_mean_field(&params.weights, &params.lambdas(), p_d).unwrap();
+            params.weights = scaled;
+            let dd = tau_direct_linear_chi(&params, p_d, 1000, 1e-13).unwrap();
+            let mf = tau_mean_field(&params, p_d).unwrap();
+            let wm = |t: &[f64]| -> f64 {
+                params
+                    .weights
+                    .iter()
+                    .zip(t)
+                    .map(|(w, x)| w * x)
+                    .sum::<f64>()
+                    / m as f64
+            };
+            (wm(&dd) - wm(&mf)).abs()
+        };
+        let g_small = gap(10);
+        let g_big = gap(100);
+        assert!(
+            g_big < g_small,
+            "gap should shrink with m: {g_small} -> {g_big}"
+        );
+    }
+
+    #[test]
+    fn invalid_price_rejected() {
+        let params = small_market(3, 10);
+        assert!(tau_direct(&params, -0.1).is_err());
+        assert!(tau_direct(&params, f64::NAN).is_err());
+        assert!(tau_mean_field(&params, f64::INFINITY).is_err());
+        assert!(tau_direct_linear_chi(&params, -1.0, 10, 1e-9).is_err());
+    }
+
+    #[test]
+    fn seller_game_zero_profile_payoff_is_zero() {
+        let params = small_market(3, 11);
+        let game = SellerNashGame::new(&params, 0.01);
+        assert_eq!(game.payoff(0, &[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(game.n_players(), 3);
+        assert_eq!(game.strategy_bounds(1), (0.0, 1.0));
+        assert_eq!(game.p_d(), 0.01);
+    }
+}

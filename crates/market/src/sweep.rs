@@ -1,0 +1,293 @@
+//! Parameter-influence experiments (paper §6.4, Figs. 4–8).
+//!
+//! Each sweep varies one parameter, re-solves the SNE at every grid point,
+//! and records the strategies `(p^M*, p^D*, τ₁*, τ₂*)` and the profits
+//! `(Φ, Ω, Ψ₁, Ψ₂)` — the two panels of each figure.
+
+use crate::error::Result;
+use crate::params::MarketParams;
+use crate::solver::{solve, SneSolution};
+use serde::{Deserialize, Serialize};
+use share_numerics::optimize::grid::linspace;
+
+/// One grid point of a parameter sweep: the varied value, the equilibrium
+/// strategies and the profits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InfluencePoint {
+    /// The swept parameter value.
+    pub x: f64,
+    /// Buyer's equilibrium product price `p^M*`.
+    pub p_m: f64,
+    /// Broker's equilibrium data price `p^D*`.
+    pub p_d: f64,
+    /// Seller 1's equilibrium fidelity `τ₁*`.
+    pub tau1: f64,
+    /// Seller 2's equilibrium fidelity `τ₂*` (tracking the paper's S₂
+    /// control line; equals `τ₁` in single-seller markets).
+    pub tau2: f64,
+    /// Buyer profit Φ*.
+    pub buyer: f64,
+    /// Broker profit Ω*.
+    pub broker: f64,
+    /// Seller 1 profit Ψ₁*.
+    pub seller1: f64,
+    /// Seller 2 profit Ψ₂*.
+    pub seller2: f64,
+}
+
+impl InfluencePoint {
+    fn from_solution(x: f64, s: &SneSolution) -> Self {
+        let second = if s.tau.len() > 1 { 1 } else { 0 };
+        Self {
+            x,
+            p_m: s.p_m,
+            p_d: s.p_d,
+            tau1: s.tau[0],
+            tau2: s.tau[second],
+            buyer: s.buyer_profit,
+            broker: s.broker_profit,
+            seller1: s.seller_profits[0],
+            seller2: s.seller_profits[second],
+        }
+    }
+}
+
+fn run_sweep<F>(
+    base: &MarketParams,
+    lo: f64,
+    hi: f64,
+    points: usize,
+    apply: F,
+) -> Result<Vec<InfluencePoint>>
+where
+    F: Fn(&mut MarketParams, f64),
+{
+    let grid = linspace(lo, hi, points.max(2))?;
+    let mut out = Vec::with_capacity(grid.len());
+    for x in grid {
+        let mut params = base.clone();
+        apply(&mut params, x);
+        let sol = solve(&params)?;
+        out.push(InfluencePoint::from_solution(x, &sol));
+    }
+    Ok(out)
+}
+
+/// Fig. 4: sweep the buyer's dataset-quality concern `θ₁` (with
+/// `θ₂ = 1 − θ₁`). The paper uses `θ₁ ∈ [0.1, 0.9]`.
+///
+/// # Errors
+/// Propagates solver errors.
+pub fn sweep_theta1(
+    base: &MarketParams,
+    lo: f64,
+    hi: f64,
+    points: usize,
+) -> Result<Vec<InfluencePoint>> {
+    run_sweep(base, lo, hi, points, |p, x| {
+        p.buyer.theta1 = x;
+        p.buyer.theta2 = 1.0 - x;
+    })
+}
+
+/// Fig. 5: sweep the buyer's dataset-quality sensitivity `ρ₁`.
+///
+/// # Errors
+/// Propagates solver errors.
+pub fn sweep_rho1(
+    base: &MarketParams,
+    lo: f64,
+    hi: f64,
+    points: usize,
+) -> Result<Vec<InfluencePoint>> {
+    run_sweep(base, lo, hi, points, |p, x| p.buyer.rho1 = x)
+}
+
+/// Fig. 6: sweep the buyer's performance sensitivity `ρ₂`.
+///
+/// # Errors
+/// Propagates solver errors.
+pub fn sweep_rho2(
+    base: &MarketParams,
+    lo: f64,
+    hi: f64,
+    points: usize,
+) -> Result<Vec<InfluencePoint>> {
+    run_sweep(base, lo, hi, points, |p, x| p.buyer.rho2 = x)
+}
+
+/// Fig. 7: sweep seller 1's data weight `ω₁`. The paper uses
+/// `ω₁ ∈ [0.1, 0.6]`.
+///
+/// # Errors
+/// Propagates solver errors.
+pub fn sweep_omega1(
+    base: &MarketParams,
+    lo: f64,
+    hi: f64,
+    points: usize,
+) -> Result<Vec<InfluencePoint>> {
+    run_sweep(base, lo, hi, points, |p, x| p.weights[0] = x)
+}
+
+/// Fig. 8: sweep seller 1's privacy sensitivity `λ₁`.
+///
+/// # Errors
+/// Propagates solver errors.
+pub fn sweep_lambda1(
+    base: &MarketParams,
+    lo: f64,
+    hi: f64,
+    points: usize,
+) -> Result<Vec<InfluencePoint>> {
+    run_sweep(base, lo, hi, points, |p, x| p.sellers[0].lambda = x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn market(seed: u64) -> MarketParams {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MarketParams::paper_defaults(100, &mut rng)
+    }
+
+    fn monotone_increasing(xs: &[f64]) -> bool {
+        xs.windows(2).all(|w| w[1] >= w[0] - 1e-12)
+    }
+
+    fn monotone_decreasing(xs: &[f64]) -> bool {
+        xs.windows(2).all(|w| w[1] <= w[0] + 1e-12)
+    }
+
+    #[test]
+    fn fig4_theta1_strategies_rise_buyer_profit_falls() {
+        // Paper Fig. 4: all strategies rise ~linearly with θ₁; Φ decreases;
+        // Ω and Ψ increase.
+        let series = sweep_theta1(&market(1), 0.1, 0.9, 9).unwrap();
+        assert!(monotone_increasing(
+            &series.iter().map(|p| p.p_m).collect::<Vec<_>>()
+        ));
+        assert!(monotone_increasing(
+            &series.iter().map(|p| p.p_d).collect::<Vec<_>>()
+        ));
+        assert!(monotone_increasing(
+            &series.iter().map(|p| p.tau1).collect::<Vec<_>>()
+        ));
+        assert!(monotone_decreasing(
+            &series.iter().map(|p| p.buyer).collect::<Vec<_>>()
+        ));
+        assert!(monotone_increasing(
+            &series.iter().map(|p| p.broker).collect::<Vec<_>>()
+        ));
+        assert!(monotone_increasing(
+            &series.iter().map(|p| p.seller1).collect::<Vec<_>>()
+        ));
+    }
+
+    #[test]
+    fn fig5_rho1_buyer_profit_surges_strategies_saturate() {
+        // Paper Fig. 5: Φ surges with ρ₁; strategies grow then flatten
+        // (diminishing log utility).
+        let series = sweep_rho1(&market(2), 0.1, 5.0, 25).unwrap();
+        assert!(monotone_increasing(
+            &series.iter().map(|p| p.buyer).collect::<Vec<_>>()
+        ));
+        // Saturation: relative change of p^M per grid step shrinks.
+        let pm: Vec<f64> = series.iter().map(|p| p.p_m).collect();
+        let first_step = pm[1] - pm[0];
+        let last_step = pm[24] - pm[23];
+        assert!(
+            last_step < first_step * 0.5,
+            "expected saturation: first {first_step}, last {last_step}"
+        );
+    }
+
+    #[test]
+    fn fig6_rho2_only_buyer_profit_moves() {
+        // Paper Fig. 6: ρ₂ barely affects strategies; only Φ rises.
+        let series = sweep_rho2(&market(3), 50.0, 500.0, 10).unwrap();
+        assert!(monotone_increasing(
+            &series.iter().map(|p| p.buyer).collect::<Vec<_>>()
+        ));
+        let rel_spread = |xs: Vec<f64>| {
+            let lo = xs.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            let hi = xs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            (hi - lo) / hi.abs().max(1e-12)
+        };
+        assert!(rel_spread(series.iter().map(|p| p.p_m).collect()) < 1e-9);
+        assert!(rel_spread(series.iter().map(|p| p.broker).collect()) < 1e-9);
+        assert!(rel_spread(series.iter().map(|p| p.seller1).collect()) < 1e-9);
+    }
+
+    #[test]
+    fn fig7_omega1_affects_only_seller1_strategy() {
+        // Paper Fig. 7: ω₁ moves τ₁ but not p^M, p^D, nor (noticeably) τ₂.
+        let series = sweep_omega1(&market(4), 0.1, 0.6, 6).unwrap();
+        let rel_spread = |xs: Vec<f64>| {
+            let lo = xs.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            let hi = xs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            (hi - lo) / hi.abs().max(1e-12)
+        };
+        assert!(rel_spread(series.iter().map(|p| p.p_m).collect()) < 1e-9);
+        assert!(rel_spread(series.iter().map(|p| p.p_d).collect()) < 1e-9);
+        // τ₁ falls as ω₁ rises (Eq. 20: τ₁ ∝ 1/√ω₁) — the seller already
+        // favored by weight can afford lower fidelity.
+        assert!(monotone_decreasing(
+            &series.iter().map(|p| p.tau1).collect::<Vec<_>>()
+        ));
+        // τ₂ moves only via the aggregate; far less than τ₁.
+        let t1_spread = rel_spread(series.iter().map(|p| p.tau1).collect());
+        let t2_spread = rel_spread(series.iter().map(|p| p.tau2).collect());
+        assert!(
+            t2_spread < t1_spread * 0.25,
+            "t1 {t1_spread} vs t2 {t2_spread}"
+        );
+    }
+
+    #[test]
+    fn fig8_lambda1_tau_sinks_prices_rise() {
+        // Paper Fig. 8: τ₁ sinks with λ₁; p^M and p^D rise a little; Ψ₁
+        // falls; Ω stays ~flat.
+        let series = sweep_lambda1(&market(5), 0.05, 0.95, 10).unwrap();
+        assert!(monotone_decreasing(
+            &series.iter().map(|p| p.tau1).collect::<Vec<_>>()
+        ));
+        assert!(monotone_increasing(
+            &series.iter().map(|p| p.p_m).collect::<Vec<_>>()
+        ));
+        assert!(monotone_increasing(
+            &series.iter().map(|p| p.p_d).collect::<Vec<_>>()
+        ));
+        assert!(monotone_decreasing(
+            &series.iter().map(|p| p.seller1).collect::<Vec<_>>()
+        ));
+        // Broker's profit varies far less than seller 1's.
+        let spread = |xs: Vec<f64>| {
+            let lo = xs.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            let hi = xs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            hi - lo
+        };
+        let br = spread(series.iter().map(|p| p.broker).collect());
+        let s1 = spread(series.iter().map(|p| p.seller1).collect());
+        assert!(br < s1, "broker spread {br} vs seller spread {s1}");
+    }
+
+    #[test]
+    fn sweep_grid_endpoints_respected() {
+        let series = sweep_theta1(&market(6), 0.2, 0.8, 4).unwrap();
+        assert_eq!(series.len(), 4);
+        assert!((series[0].x - 0.2).abs() < 1e-15);
+        assert!((series[3].x - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let series = sweep_rho2(&market(7), 100.0, 200.0, 3).unwrap();
+        let js = serde_json::to_string(&series).unwrap();
+        let back: Vec<InfluencePoint> = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+}

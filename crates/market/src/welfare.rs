@@ -1,0 +1,209 @@
+//! Welfare analysis: how much total surplus the Share equilibrium captures.
+//!
+//! Transfers (`p^M·q^M`, `p^D·q^D`) cancel out of the social ledger, so
+//! total welfare is
+//!
+//! ```text
+//! W(τ) = U(q^D(τ), v) − C(N, v) − Σ_i L_i(χ_i(τ), τ_i)
+//! ```
+//!
+//! A planner free to dictate fidelities maximizes `W` directly; the
+//! decentralized SNE generally leaves surplus on the table because each
+//! stage marks prices up. The ratio `W_opt / W_sne` is the market's **price
+//! of anarchy** — a diagnostic the paper's for-all profit-maximization
+//! property invites but does not compute.
+
+use crate::allocation::allocate;
+use crate::error::Result;
+use crate::params::MarketParams;
+use crate::profit::{privacy_loss, product_utility, total_dataset_quality, translog_cost};
+use crate::solver::SneSolution;
+use serde::{Deserialize, Serialize};
+use share_numerics::optimize::grid::maximize_scan;
+
+/// Total welfare of a fidelity profile (transfers cancel).
+pub fn welfare(params: &MarketParams, tau: &[f64]) -> f64 {
+    let m = params.m();
+    let chi = if tau.iter().any(|&t| t > 0.0) {
+        allocate(params.buyer.n_pieces, &params.weights, tau).unwrap_or_else(|_| vec![0.0; m])
+    } else {
+        vec![0.0; m]
+    };
+    let q_d = total_dataset_quality(&chi, tau);
+    let utility = product_utility(&params.buyer, q_d);
+    let cost = translog_cost(&params.broker, params.buyer.n_pieces as f64, params.buyer.v);
+    let losses: f64 = (0..m)
+        .map(|i| privacy_loss(params.loss_model, params.sellers[i].lambda, chi[i], tau[i]))
+        .sum();
+    utility - cost - losses
+}
+
+/// Outcome of the planner's problem and the comparison with a market
+/// solution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WelfareReport {
+    /// Welfare at the market equilibrium.
+    pub market_welfare: f64,
+    /// Welfare at the planner's optimum.
+    pub optimal_welfare: f64,
+    /// `optimal / market` (≥ 1 up to solver slack).
+    pub price_of_anarchy: f64,
+    /// The planner's fidelity profile.
+    pub optimal_tau: Vec<f64>,
+}
+
+/// Solve the planner's problem analytically (quadratic loss).
+///
+/// The welfare objective depends on fidelities only through the quality
+/// contributions `z_i = χ_i·τ_i`: given a total quality `q = Σz`, the
+/// loss-minimizing split is `z_i = q·(1/λ_i)/S` with `S = Σ 1/λ_j`
+/// (Lagrange on `Σ λ_i z_i²`), leaving the strictly concave scalar problem
+///
+/// ```text
+/// max_{q ∈ [0, q_max]}  U(q, v) − q²/S − C(N, v)
+/// ```
+///
+/// solved by golden-section scanning. The fidelity profile realizing a
+/// given `z` under the Eq. 13 allocation is `τ_i = √(z_i·D/(N·ω_i))` with
+/// `D = (Σ√(z_j·ω_j))²/N`; τ scales linearly with `q`, so the `τ ≤ 1`
+/// feasibility cap translates into the `q_max` bound.
+///
+/// # Errors
+/// - [`crate::MarketError::InvalidParameter`] for the `LinearChi` loss
+///   (no closed-form split; not needed by the evaluation).
+/// - Propagates validation and optimizer errors.
+pub fn social_optimum(params: &MarketParams) -> Result<Vec<f64>> {
+    params.validate()?;
+    if params.loss_model != crate::params::LossModel::Quadratic {
+        return Err(crate::MarketError::InvalidParameter {
+            name: "loss_model",
+            reason: "social_optimum supports the quadratic loss (Eq. 11) only".to_string(),
+        });
+    }
+    let m = params.m();
+    let n = params.buyer.n_pieces as f64;
+    let s: f64 = params.sum_inv_lambda();
+
+    // τ profile realizing the optimal split at total quality q.
+    let tau_for = |q: f64| -> Vec<f64> {
+        if q <= 0.0 {
+            return vec![0.0; m];
+        }
+        let z: Vec<f64> = params
+            .sellers
+            .iter()
+            .map(|sl| q * (1.0 / sl.lambda) / s)
+            .collect();
+        let sqrt_sum: f64 = z
+            .iter()
+            .zip(&params.weights)
+            .map(|(zi, w)| (zi * w).sqrt())
+            .sum();
+        let d = sqrt_sum * sqrt_sum / n;
+        z.iter()
+            .zip(&params.weights)
+            .map(|(zi, w)| (zi * d / (n * w)).sqrt())
+            .collect()
+    };
+
+    // τ grows linearly in q: find the feasibility cap where max τ = 1.
+    let tau_at_one = tau_for(1.0);
+    let max_rate = tau_at_one.iter().cloned().fold(0.0_f64, f64::max);
+    let q_cap = if max_rate > 0.0 { 1.0 / max_rate } else { n };
+
+    let objective = |q: f64| {
+        let utility = product_utility(&params.buyer, q);
+        utility - q * q / s
+    };
+    let (q_star, _) = maximize_scan(objective, 0.0, q_cap, 96, 1e-12)?;
+    Ok(tau_for(q_star))
+}
+
+/// Compare a market solution's welfare with the planner's optimum.
+///
+/// # Errors
+/// Propagates [`social_optimum`] errors.
+pub fn welfare_report(params: &MarketParams, sol: &SneSolution) -> Result<WelfareReport> {
+    let market_welfare = welfare(params, &sol.tau);
+    let optimal_tau = social_optimum(params)?;
+    let optimal_welfare = welfare(params, &optimal_tau);
+    Ok(WelfareReport {
+        market_welfare,
+        optimal_welfare,
+        price_of_anarchy: optimal_welfare / market_welfare,
+        optimal_tau,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn market(m: usize, seed: u64) -> MarketParams {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MarketParams::paper_defaults(m, &mut rng)
+    }
+
+    #[test]
+    fn transfers_cancel_welfare_is_profit_sum() {
+        // W(τ*) must equal Φ* + Ω* + ΣΨ* exactly — the accounting identity.
+        let params = market(20, 1);
+        let sol = solve(&params).unwrap();
+        let w = welfare(&params, &sol.tau);
+        let profit_sum =
+            sol.buyer_profit + sol.broker_profit + sol.seller_profits.iter().sum::<f64>();
+        assert!(
+            (w - profit_sum).abs() < 1e-9 * (1.0 + w.abs()),
+            "welfare {w} vs profit sum {profit_sum}"
+        );
+    }
+
+    #[test]
+    fn planner_weakly_beats_market() {
+        let params = market(10, 2);
+        let sol = solve(&params).unwrap();
+        let rep = welfare_report(&params, &sol).unwrap();
+        assert!(rep.optimal_welfare >= rep.market_welfare - 1e-9, "{rep:?}");
+        assert!(rep.price_of_anarchy >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn optimum_is_stationary_per_coordinate() {
+        let params = market(6, 3);
+        let tau = social_optimum(&params).unwrap();
+        let base = welfare(&params, &tau);
+        for i in 0..6 {
+            for delta in [-0.01, 0.01] {
+                let mut t = tau.clone();
+                t[i] = (t[i] + delta).clamp(0.0, 1.0);
+                assert!(
+                    welfare(&params, &t) <= base + 1e-6 * (1.0 + base.abs()),
+                    "coordinate {i} not optimal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_fidelity_welfare_is_baseline() {
+        // No data: W = θ₂-utility − cost, no privacy losses.
+        let params = market(5, 4);
+        let w = welfare(&params, &[0.0; 5]);
+        let expect = product_utility(&params.buyer, 0.0)
+            - translog_cost(&params.broker, params.buyer.n_pieces as f64, params.buyer.v);
+        assert!((w - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let params = market(4, 5);
+        let sol = solve(&params).unwrap();
+        let rep = welfare_report(&params, &sol).unwrap();
+        let js = serde_json::to_string(&rep).unwrap();
+        assert!(js.contains("price_of_anarchy"));
+        assert_eq!(rep.optimal_tau.len(), 4);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests of the Share market invariants.
+
+use proptest::prelude::*;
+use share_market::allocation::{allocate, round_allocation};
+use share_market::params::{BrokerParams, BuyerParams, LossModel, MarketParams, SellerParams};
+use share_market::profit::{privacy_loss, seller_profit};
+use share_market::solver::solve;
+use share_market::stage1::p_m_star;
+use share_market::stage2::p_d_star;
+use share_market::stage3::{tau_direct, tau_mean_field};
+
+fn params_strategy() -> impl Strategy<Value = MarketParams> {
+    (
+        2usize..24,
+        proptest::collection::vec(0.02..1.0f64, 24),
+        proptest::collection::vec(0.05..2.0f64, 24),
+        100usize..2000,
+        0.1..0.95f64,
+        0.1..0.9f64,
+        0.05..3.0f64,
+        10.0..500.0f64,
+    )
+        .prop_map(
+            |(m, lambdas, weights, n, v, theta1, rho1, rho2)| MarketParams {
+                buyer: BuyerParams {
+                    n_pieces: n,
+                    v,
+                    theta1,
+                    theta2: 1.0 - theta1,
+                    rho1,
+                    rho2,
+                },
+                broker: BrokerParams::paper_defaults(),
+                sellers: lambdas[..m]
+                    .iter()
+                    .map(|&lambda| SellerParams { lambda })
+                    .collect(),
+                weights: weights[..m].to_vec(),
+                loss_model: LossModel::Quadratic,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn allocation_always_sums_to_n(params in params_strategy(), p_d in 0.0001..0.1f64) {
+        let tau = tau_direct(&params, p_d).unwrap();
+        prop_assume!(tau.iter().any(|&t| t > 0.0));
+        let chi = allocate(params.buyer.n_pieces, &params.weights, &tau).unwrap();
+        let total: f64 = chi.iter().sum();
+        prop_assert!((total - params.buyer.n_pieces as f64).abs() < 1e-6);
+        prop_assert!(chi.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn rounding_preserves_n(params in params_strategy(), p_d in 0.0001..0.1f64) {
+        let tau = tau_direct(&params, p_d).unwrap();
+        prop_assume!(tau.iter().any(|&t| t > 0.0));
+        let chi = allocate(params.buyer.n_pieces, &params.weights, &tau).unwrap();
+        let whole = round_allocation(params.buyer.n_pieces, &chi).unwrap();
+        prop_assert_eq!(whole.iter().sum::<usize>(), params.buyer.n_pieces);
+        // Rounded allocation within 1 of fractional.
+        for (w, c) in whole.iter().zip(&chi) {
+            prop_assert!((*w as f64 - c).abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tau_always_feasible(params in params_strategy(), p_d in 0.0..10.0f64) {
+        for t in tau_direct(&params, p_d).unwrap() {
+            prop_assert!((0.0..=1.0).contains(&t));
+        }
+        for t in tau_mean_field(&params, p_d).unwrap() {
+            prop_assert!((0.0..=1.0).contains(&t));
+        }
+    }
+
+    #[test]
+    fn equilibrium_prices_positive_and_linked(params in params_strategy()) {
+        let sol = solve(&params).unwrap();
+        prop_assert!(sol.p_m > 0.0);
+        prop_assert!(sol.p_d > 0.0);
+        prop_assert!((sol.p_d - p_d_star(params.buyer.v, sol.p_m)).abs() < 1e-12);
+        prop_assert!((sol.p_m - p_m_star(&params).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilibrium_profits_nonnegative_for_sellers(params in params_strategy()) {
+        let sol = solve(&params).unwrap();
+        // Sellers can always opt out with τ = 0 ⇒ Ψ = 0, so at equilibrium
+        // each earns a non-negative profit.
+        for (i, &psi) in sol.seller_profits.iter().enumerate() {
+            prop_assert!(psi >= -1e-9, "seller {i}: {psi}");
+        }
+        prop_assert!(sol.buyer_profit.is_finite());
+        prop_assert!(sol.broker_profit.is_finite());
+    }
+
+    #[test]
+    fn quality_identities_hold(params in params_strategy()) {
+        let sol = solve(&params).unwrap();
+        let q_d: f64 = sol.chi.iter().zip(&sol.tau).map(|(c, t)| c * t).sum();
+        prop_assert!((q_d - sol.q_d).abs() < 1e-9 * (1.0 + q_d.abs()));
+        prop_assert!((sol.q_m - sol.q_d * params.buyer.v).abs() < 1e-12 * (1.0 + sol.q_m.abs()));
+    }
+
+    #[test]
+    fn seller_profit_decomposition(
+        lambda in 0.05..2.0f64,
+        p_d in 0.0..1.0f64,
+        chi in 0.0..100.0f64,
+        tau in 0.0..1.0f64,
+    ) {
+        for model in [LossModel::Quadratic, LossModel::LinearChi] {
+            let psi = seller_profit(model, lambda, p_d, chi, tau);
+            let expect = p_d * chi * tau - privacy_loss(model, lambda, chi, tau);
+            prop_assert!((psi - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaling_all_weights_leaves_equilibrium_unchanged(
+        params in params_strategy(),
+        scale in 0.1..10.0f64,
+    ) {
+        // Only weight proportions matter (paper note under Theorem 5.1).
+        let a = solve(&params).unwrap();
+        let mut scaled = params.clone();
+        for w in &mut scaled.weights {
+            *w *= scale;
+        }
+        let b = solve(&scaled).unwrap();
+        prop_assert!((a.p_m - b.p_m).abs() < 1e-9 * a.p_m);
+        prop_assert!((a.q_d - b.q_d).abs() < 1e-6 * (1.0 + a.q_d));
+        for (x, y) in a.chi.iter().zip(&b.chi) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn welfare_equals_total_profit(params in params_strategy()) {
+        // Transfers cancel: W(τ*) = Φ* + Ω* + ΣΨ* for any market draw.
+        use share_market::welfare::welfare;
+        let sol = solve(&params).unwrap();
+        let w = welfare(&params, &sol.tau);
+        let total = sol.buyer_profit
+            + sol.broker_profit
+            + sol.seller_profits.iter().sum::<f64>();
+        prop_assert!((w - total).abs() < 1e-9 * (1.0 + w.abs()));
+    }
+
+    #[test]
+    fn truthful_report_never_loses(params in params_strategy()) {
+        // Reporting the true λ reproduces the truthful profit exactly.
+        use share_market::truthfulness::misreport_gain;
+        let truth = params.sellers[0].lambda;
+        let o = misreport_gain(&params, 0, truth).unwrap();
+        prop_assert!(o.gain.abs() < 1e-9 * (1.0 + o.truthful_profit.abs()));
+    }
+
+    #[test]
+    fn buyer_profit_at_optimum_beats_neighbors(params in params_strategy()) {
+        use share_market::stage1::buyer_profit_at;
+        let sol = solve(&params).unwrap();
+        let at_star = buyer_profit_at(&params, sol.p_m).unwrap();
+        prop_assert!(at_star + 1e-9 >= buyer_profit_at(&params, sol.p_m * 0.9).unwrap());
+        prop_assert!(at_star + 1e-9 >= buyer_profit_at(&params, sol.p_m * 1.1).unwrap());
+    }
+}

@@ -1,0 +1,199 @@
+//! k-fold cross-validation and ridge selection.
+//!
+//! The Share broker "can fit her translog cost function based on the actual
+//! manufacturing procedure" and likewise must pick training
+//! hyper-parameters without peeking at the buyer's validation data; k-fold
+//! CV over the purchased pieces is the standard tool.
+
+use crate::dataset::Dataset;
+use crate::error::{MlError, Result};
+use crate::linreg::{LinRegConfig, LinearRegression};
+use crate::metrics;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Deterministic fold assignment: shuffled indices dealt round-robin into
+/// `k` folds, each returned as `(train_indices, validation_indices)`.
+///
+/// # Errors
+/// [`MlError::InvalidArgument`] when `k < 2` or `k > n`.
+pub fn kfold_indices<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    rng: &mut R,
+) -> Result<Vec<(Vec<usize>, Vec<usize>)>> {
+    if k < 2 || k > n {
+        return Err(MlError::InvalidArgument {
+            name: "k",
+            reason: format!("requires 2 <= k <= n ({n}), got {k}"),
+        });
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (pos, &i) in idx.iter().enumerate() {
+        folds[pos % k].push(i);
+    }
+    Ok((0..k)
+        .map(|f| {
+            let val = folds[f].clone();
+            let train: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|(g, _)| *g != f)
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
+            (train, val)
+        })
+        .collect())
+}
+
+/// Mean k-fold explained variance of a linear regression with the given
+/// configuration.
+///
+/// # Errors
+/// Propagates fold, training and metric errors.
+pub fn cross_val_explained_variance<R: Rng + ?Sized>(
+    data: &Dataset,
+    config: LinRegConfig,
+    k: usize,
+    rng: &mut R,
+) -> Result<f64> {
+    let folds = kfold_indices(data.len(), k, rng)?;
+    let mut total = 0.0;
+    for (train_idx, val_idx) in &folds {
+        let train = data.select(train_idx)?;
+        let val = data.select(val_idx)?;
+        let mut model = LinearRegression::new(config);
+        model.fit(&train)?;
+        let pred = model.predict(val.features())?;
+        total += metrics::explained_variance(val.targets(), &pred)?;
+    }
+    Ok(total / folds.len() as f64)
+}
+
+/// Select the best ridge penalty from `candidates` by k-fold explained
+/// variance. Returns `(best_ridge, best_score)`.
+///
+/// # Errors
+/// [`MlError::InvalidArgument`] for an empty candidate list; propagates CV
+/// errors.
+pub fn select_ridge<R: Rng + ?Sized>(
+    data: &Dataset,
+    candidates: &[f64],
+    k: usize,
+    rng: &mut R,
+) -> Result<(f64, f64)> {
+    if candidates.is_empty() {
+        return Err(MlError::InvalidArgument {
+            name: "candidates",
+            reason: "at least one ridge candidate required".to_string(),
+        });
+    }
+    let mut best = (candidates[0], f64::NEG_INFINITY);
+    for &ridge in candidates {
+        let config = LinRegConfig {
+            ridge,
+            ..LinRegConfig::default()
+        };
+        let score = cross_val_explained_variance(data, config, k, rng)?;
+        if score > best.1 {
+            best = (ridge, score);
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use share_numerics::matrix::Matrix;
+
+    fn linear_noisy(n: usize, noise_amp: f64) -> Dataset {
+        let mut feats = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = i as f64 * 0.1;
+            feats.push(x);
+            y.push(1.0 + 2.0 * x + noise_amp * ((i * 7919) as f64).sin());
+        }
+        Dataset::new(Matrix::from_vec(n, 1, feats).unwrap(), y).unwrap()
+    }
+
+    #[test]
+    fn folds_partition_all_indices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let folds = kfold_indices(10, 3, &mut rng).unwrap();
+        assert_eq!(folds.len(), 3);
+        let mut all_val: Vec<usize> = folds.iter().flat_map(|(_, v)| v.clone()).collect();
+        all_val.sort_unstable();
+        assert_eq!(all_val, (0..10).collect::<Vec<_>>());
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 10);
+            assert!(val.iter().all(|i| !train.contains(i)));
+        }
+    }
+
+    #[test]
+    fn fold_sizes_balanced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let folds = kfold_indices(11, 4, &mut rng).unwrap();
+        let sizes: Vec<usize> = folds.iter().map(|(_, v)| v.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 11);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(kfold_indices(10, 1, &mut rng).is_err());
+        assert!(kfold_indices(10, 11, &mut rng).is_err());
+    }
+
+    #[test]
+    fn cv_score_high_on_clean_linear_data() {
+        let data = linear_noisy(60, 0.01);
+        let mut rng = StdRng::seed_from_u64(4);
+        let score =
+            cross_val_explained_variance(&data, LinRegConfig::default(), 5, &mut rng).unwrap();
+        assert!(score > 0.99, "{score}");
+    }
+
+    #[test]
+    fn cv_score_degrades_with_noise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let clean = cross_val_explained_variance(
+            &linear_noisy(80, 0.1),
+            LinRegConfig::default(),
+            4,
+            &mut rng,
+        )
+        .unwrap();
+        let noisy = cross_val_explained_variance(
+            &linear_noisy(80, 5.0),
+            LinRegConfig::default(),
+            4,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(clean > noisy);
+    }
+
+    #[test]
+    fn ridge_selection_prefers_small_ridge_on_clean_data() {
+        let data = linear_noisy(60, 0.01);
+        let mut rng = StdRng::seed_from_u64(6);
+        let (ridge, score) = select_ridge(&data, &[1e-8, 1.0, 100.0], 5, &mut rng).unwrap();
+        assert_eq!(ridge, 1e-8);
+        assert!(score > 0.99);
+    }
+
+    #[test]
+    fn ridge_selection_rejects_empty() {
+        let data = linear_noisy(20, 0.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(select_ridge(&data, &[], 4, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! In-memory tabular dataset: a feature matrix plus a target vector.
+//!
+//! This is the unit of trade in the Share market — sellers hold [`Dataset`]s,
+//! perturb them with LDP, and the broker concatenates purchased pieces into
+//! the manufacturing dataset `D^t`.
+
+use crate::error::{MlError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use share_numerics::matrix::Matrix;
+
+/// A supervised-learning dataset: `n` rows of `d` features and one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Matrix,
+    targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Create a dataset from a feature matrix and matching targets.
+    ///
+    /// # Errors
+    /// - [`MlError::EmptyDataset`] when `features` has zero rows.
+    /// - [`MlError::ShapeMismatch`] when row/target counts differ.
+    pub fn new(features: Matrix, targets: Vec<f64>) -> Result<Self> {
+        if features.rows() == 0 {
+            return Err(MlError::EmptyDataset);
+        }
+        if features.rows() != targets.len() {
+            return Err(MlError::ShapeMismatch {
+                op: "Dataset::new",
+                expected: features.rows(),
+                got: targets.len(),
+            });
+        }
+        Ok(Self { features, targets })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// `true` when the dataset has no rows (unreachable for constructed
+    /// datasets, kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.features.rows() == 0
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Borrow the feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Borrow the target vector.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Mutably borrow the feature matrix (LDP perturbs features in place).
+    pub fn features_mut(&mut self) -> &mut Matrix {
+        &mut self.features
+    }
+
+    /// Mutably borrow the targets (LDP may also perturb labels).
+    pub fn targets_mut(&mut self) -> &mut [f64] {
+        &mut self.targets
+    }
+
+    /// Row `i` as `(features, target)`. Panics when out of bounds.
+    pub fn row(&self, i: usize) -> (&[f64], f64) {
+        (self.features.row(i), self.targets[i])
+    }
+
+    /// Select the given row indices into a new dataset. Panics on
+    /// out-of-bounds indices.
+    ///
+    /// # Errors
+    /// [`MlError::EmptyDataset`] when `indices` is empty.
+    pub fn select(&self, indices: &[usize]) -> Result<Self> {
+        if indices.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let features = self.features.select_rows(indices);
+        let targets = indices.iter().map(|&i| self.targets[i]).collect();
+        Ok(Self { features, targets })
+    }
+
+    /// Concatenate several datasets vertically.
+    ///
+    /// # Errors
+    /// - [`MlError::EmptyDataset`] for an empty list.
+    /// - [`MlError::ShapeMismatch`] when feature widths differ.
+    pub fn concat(parts: &[&Dataset]) -> Result<Self> {
+        let Some(first) = parts.first() else {
+            return Err(MlError::EmptyDataset);
+        };
+        let d = first.n_features();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        // Single-pass assembly: repeated vstack would copy the accumulated
+        // rows once per part (O(parts·rows) — ruinous when the broker merges
+        // thousands of sellers' shipments).
+        let mut data = Vec::with_capacity(total * d);
+        let mut targets = Vec::with_capacity(total);
+        for p in parts {
+            if p.n_features() != d {
+                return Err(MlError::ShapeMismatch {
+                    op: "Dataset::concat",
+                    expected: d,
+                    got: p.n_features(),
+                });
+            }
+            data.extend_from_slice(p.features.as_slice());
+            targets.extend_from_slice(&p.targets);
+        }
+        let features = Matrix::from_vec(total, d, data)?;
+        Ok(Self { features, targets })
+    }
+
+    /// Random train/test split: `test_fraction` of rows go to the second
+    /// returned dataset.
+    ///
+    /// # Errors
+    /// [`MlError::InvalidArgument`] when the fraction leaves either side
+    /// empty.
+    pub fn train_test_split<R: Rng + ?Sized>(
+        &self,
+        test_fraction: f64,
+        rng: &mut R,
+    ) -> Result<(Self, Self)> {
+        if !(0.0..1.0).contains(&test_fraction) {
+            return Err(MlError::InvalidArgument {
+                name: "test_fraction",
+                reason: format!("must be in [0, 1), got {test_fraction}"),
+            });
+        }
+        let n = self.len();
+        let n_test = ((n as f64) * test_fraction).round() as usize;
+        if n_test == 0 || n_test >= n {
+            return Err(MlError::InvalidArgument {
+                name: "test_fraction",
+                reason: format!("split of {n} rows at {test_fraction} leaves a side empty"),
+            });
+        }
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(rng);
+        let (test_idx, train_idx) = idx.split_at(n_test);
+        Ok((self.select(train_idx)?, self.select(test_idx)?))
+    }
+
+    /// Split the dataset into `k` nearly equal contiguous chunks (the Share
+    /// partitioner distributes data over sellers this way after quality
+    /// sorting).
+    ///
+    /// # Errors
+    /// [`MlError::InvalidArgument`] when `k` is zero or exceeds the row count.
+    pub fn chunks(&self, k: usize) -> Result<Vec<Self>> {
+        if k == 0 || k > self.len() {
+            return Err(MlError::InvalidArgument {
+                name: "k",
+                reason: format!("must be in 1..={}, got {k}", self.len()),
+            });
+        }
+        let n = self.len();
+        let base = n / k;
+        let extra = n % k;
+        let mut out = Vec::with_capacity(k);
+        let mut start = 0;
+        for i in 0..k {
+            let sz = base + usize::from(i < extra);
+            let idx: Vec<usize> = (start..start + sz).collect();
+            out.push(self.select(&idx)?);
+            start += sz;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(n: usize) -> Dataset {
+        let data: Vec<f64> = (0..n * 2).map(|i| i as f64).collect();
+        let features = Matrix::from_vec(n, 2, data).unwrap();
+        let targets: Vec<f64> = (0..n).map(|i| i as f64 * 10.0).collect();
+        Dataset::new(features, targets).unwrap()
+    }
+
+    #[test]
+    fn construction_checks_shapes() {
+        let m = Matrix::zeros(3, 2);
+        assert!(Dataset::new(m.clone(), vec![0.0; 2]).is_err());
+        assert!(Dataset::new(Matrix::zeros(0, 2), vec![]).is_err());
+        let d = Dataset::new(m, vec![0.0; 3]).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn row_access() {
+        let d = sample(4);
+        let (f, t) = d.row(2);
+        assert_eq!(f, &[4.0, 5.0]);
+        assert_eq!(t, 20.0);
+    }
+
+    #[test]
+    fn select_reorders() {
+        let d = sample(5);
+        let s = d.select(&[4, 0]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0).1, 40.0);
+        assert_eq!(s.row(1).1, 0.0);
+    }
+
+    #[test]
+    fn select_empty_rejected() {
+        assert!(sample(3).select(&[]).is_err());
+    }
+
+    #[test]
+    fn concat_roundtrip() {
+        let d = sample(6);
+        let parts = d.chunks(3).unwrap();
+        let refs: Vec<&Dataset> = parts.iter().collect();
+        let back = Dataset::concat(&refs).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_width() {
+        let a = sample(2);
+        let b = Dataset::new(Matrix::zeros(2, 3), vec![0.0, 0.0]).unwrap();
+        assert!(Dataset::concat(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn split_partitions_all_rows() {
+        let d = sample(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (train, test) = d.train_test_split(0.3, &mut rng).unwrap();
+        assert_eq!(train.len() + test.len(), 10);
+        assert_eq!(test.len(), 3);
+        // No overlap: targets are unique per row.
+        let mut all: Vec<f64> = train.targets().to_vec();
+        all.extend_from_slice(test.targets());
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..10).map(|i| i as f64 * 10.0).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn split_rejects_degenerate_fractions() {
+        let d = sample(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(d.train_test_split(0.0, &mut rng).is_err());
+        assert!(d.train_test_split(0.99, &mut rng).is_err());
+        assert!(d.train_test_split(1.2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn chunks_sizes_balanced() {
+        let d = sample(10);
+        let parts = d.chunks(3).unwrap();
+        let sizes: Vec<usize> = parts.iter().map(Dataset::len).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn chunks_rejects_bad_k() {
+        let d = sample(3);
+        assert!(d.chunks(0).is_err());
+        assert!(d.chunks(4).is_err());
+    }
+
+    #[test]
+    fn mutable_access_perturbs() {
+        let mut d = sample(2);
+        d.features_mut()[(0, 0)] = 99.0;
+        d.targets_mut()[1] = -1.0;
+        assert_eq!(d.row(0).0[0], 99.0);
+        assert_eq!(d.row(1).1, -1.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for the ML substrate.
+
+use share_numerics::NumericsError;
+use std::fmt;
+
+/// Errors produced by dataset handling, model training and metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Features and targets disagree in length, or rows disagree in width.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        got: usize,
+    },
+    /// A dataset with at least one row is required.
+    EmptyDataset,
+    /// The model has not been fitted yet.
+    NotFitted,
+    /// An argument is outside its documented domain.
+    InvalidArgument {
+        /// Name of the offending argument.
+        name: &'static str,
+        /// Explanation of the violated requirement.
+        reason: String,
+    },
+    /// A numerical kernel failed (singular design matrix etc.).
+    Numerics(NumericsError),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { op, expected, got } => {
+                write!(f, "shape mismatch in {op}: expected {expected}, got {got}")
+            }
+            Self::EmptyDataset => write!(f, "dataset must contain at least one row"),
+            Self::NotFitted => write!(f, "model must be fitted before prediction"),
+            Self::InvalidArgument { name, reason } => {
+                write!(f, "invalid argument `{name}`: {reason}")
+            }
+            Self::Numerics(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for MlError {
+    fn from(e: NumericsError) -> Self {
+        Self::Numerics(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MlError::EmptyDataset
+            .to_string()
+            .contains("at least one row"));
+        assert!(MlError::NotFitted.to_string().contains("fitted"));
+        let wrapped = MlError::from(NumericsError::Singular { pivot: 2 });
+        assert!(wrapped.to_string().contains("numerical failure"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let wrapped = MlError::from(NumericsError::Singular { pivot: 2 });
+        assert!(wrapped.source().is_some());
+        assert!(MlError::EmptyDataset.source().is_none());
+    }
+}

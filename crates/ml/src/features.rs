@@ -1,0 +1,118 @@
+//! Feature engineering: polynomial expansion and interaction terms.
+//!
+//! The paper notes the product "is not restricted from simple data
+//! aggregation to deep learning models"; degree-2 polynomial regression is
+//! the cheapest step beyond linear and captures the mild curvature of
+//! CCPP-like responses.
+
+use crate::dataset::Dataset;
+use crate::error::{MlError, Result};
+use share_numerics::matrix::Matrix;
+
+/// Expand features to degree-2 polynomials: for input `[x₁..x_d]` the
+/// output row is `[x₁..x_d, x₁², x₁x₂, .., x_d²]` (all pairwise products,
+/// upper triangle). The intercept stays the model's job.
+///
+/// # Errors
+/// [`MlError::EmptyDataset`] for an empty matrix.
+pub fn polynomial_degree2(features: &Matrix) -> Result<Matrix> {
+    let (n, d) = features.shape();
+    if n == 0 || d == 0 {
+        return Err(MlError::EmptyDataset);
+    }
+    let extra = d * (d + 1) / 2;
+    let mut out = Matrix::zeros(n, d + extra);
+    for i in 0..n {
+        let row = features.row(i).to_vec();
+        let orow = out.row_mut(i);
+        orow[..d].copy_from_slice(&row);
+        let mut k = d;
+        for a in 0..d {
+            for b in a..d {
+                orow[k] = row[a] * row[b];
+                k += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Apply [`polynomial_degree2`] to a dataset, keeping targets.
+///
+/// # Errors
+/// Propagates expansion errors.
+pub fn expand_dataset_degree2(data: &Dataset) -> Result<Dataset> {
+    let f = polynomial_degree2(data.features())?;
+    Dataset::new(f, data.targets().to_vec())
+}
+
+/// Number of output columns of the degree-2 expansion for `d` inputs.
+pub fn degree2_width(d: usize) -> usize {
+    d + d * (d + 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linreg::{LinRegConfig, LinearRegression};
+
+    #[test]
+    fn expansion_width_and_values() {
+        let m = Matrix::from_vec(1, 2, vec![2.0, 3.0]).unwrap();
+        let e = polynomial_degree2(&m).unwrap();
+        // [x1, x2, x1², x1x2, x2²]
+        assert_eq!(e.shape(), (1, degree2_width(2)));
+        assert_eq!(e.row(0), &[2.0, 3.0, 4.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn width_formula() {
+        assert_eq!(degree2_width(1), 2);
+        assert_eq!(degree2_width(4), 4 + 10);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(polynomial_degree2(&Matrix::zeros(0, 3)).is_err());
+    }
+
+    #[test]
+    fn quadratic_target_fit_exactly_after_expansion() {
+        // y = 1 + x² is not linear in x but linear in the expanded basis.
+        let n = 30;
+        let feats: Vec<f64> = (0..n).map(|i| i as f64 * 0.2 - 3.0).collect();
+        let y: Vec<f64> = feats.iter().map(|x| 1.0 + x * x).collect();
+        let data = Dataset::new(Matrix::from_vec(n, 1, feats).unwrap(), y).unwrap();
+
+        let mut linear = LinearRegression::new(LinRegConfig {
+            ridge: 0.0,
+            ..LinRegConfig::default()
+        });
+        linear.fit(&data).unwrap();
+        let lin_score = linear.explained_variance(&data).unwrap();
+
+        let expanded = expand_dataset_degree2(&data).unwrap();
+        let mut quad = LinearRegression::new(LinRegConfig {
+            ridge: 0.0,
+            ..LinRegConfig::default()
+        });
+        quad.fit(&expanded).unwrap();
+        let quad_score = quad.explained_variance(&expanded).unwrap();
+
+        assert!(quad_score > 0.999_999, "{quad_score}");
+        assert!(quad_score > lin_score);
+    }
+
+    #[test]
+    fn expansion_preserves_targets_and_rows() {
+        let data = Dataset::new(
+            Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap(),
+            vec![10.0, 20.0, 30.0],
+        )
+        .unwrap();
+        let e = expand_dataset_degree2(&data).unwrap();
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.targets(), data.targets());
+        assert_eq!(e.n_features(), degree2_width(2));
+    }
+}

@@ -1,0 +1,45 @@
+//! # share-ml
+//!
+//! The machine-learning substrate of the Share data market (ICDE 2024): the
+//! **data product**. The paper's evaluation manufactures linear-regression
+//! models from sellers' (LDP-perturbed) data and measures product
+//! performance `v` as the model's explained variance.
+//!
+//! - [`dataset::Dataset`] — the tabular unit of trade (select/concat/split/
+//!   chunk, matching how the broker assembles the manufacturing set `D^t`);
+//! - [`linreg::LinearRegression`] — OLS/ridge regression over
+//!   `share-numerics` backends;
+//! - [`metrics`] — MSE/MAE/R²/**explained variance** (the paper's `v`);
+//! - [`scale::Standardizer`] — feature z-scoring for well-conditioned fits.
+//!
+//! ## Example
+//!
+//! ```
+//! use share_ml::dataset::Dataset;
+//! use share_ml::linreg::LinearRegression;
+//! use share_numerics::matrix::Matrix;
+//!
+//! // y = 1 + 2x.
+//! let x = Matrix::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+//! let data = Dataset::new(x, vec![1.0, 3.0, 5.0, 7.0]).unwrap();
+//! let mut model = LinearRegression::default_model();
+//! model.fit(&data).unwrap();
+//! assert!(model.explained_variance(&data).unwrap() > 0.999);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod crossval;
+pub mod dataset;
+pub mod error;
+pub mod features;
+pub mod linreg;
+pub mod logreg;
+pub mod metrics;
+pub mod scale;
+pub mod suffstats;
+
+pub use dataset::Dataset;
+pub use error::{MlError, Result};
+pub use linreg::{LinRegConfig, LinearRegression};

@@ -1,0 +1,304 @@
+//! Linear regression — the data product of the Share paper's evaluation.
+//!
+//! Ordinary least squares with an optional ridge penalty, solved through
+//! `share-numerics` (Cholesky normal equations by default, Householder QR on
+//! demand). A small default ridge keeps training robust on LDP-perturbed
+//! near-collinear data.
+
+use crate::dataset::Dataset;
+use crate::error::{MlError, Result};
+use crate::metrics;
+use share_numerics::lstsq::{solve_lstsq, Backend};
+use share_numerics::matrix::Matrix;
+
+/// Configuration for [`LinearRegression`].
+#[derive(Debug, Clone, Copy)]
+pub struct LinRegConfig {
+    /// Ridge (L2) penalty on the coefficients; 0.0 for plain OLS. The
+    /// intercept is penalized too, which is negligible for the standardized
+    /// pipelines used here.
+    pub ridge: f64,
+    /// Whether to prepend an intercept column.
+    pub fit_intercept: bool,
+    /// Least-squares backend.
+    pub backend: Backend,
+}
+
+impl Default for LinRegConfig {
+    fn default() -> Self {
+        Self {
+            ridge: 1e-8,
+            fit_intercept: true,
+            backend: Backend::NormalEquations,
+        }
+    }
+}
+
+/// A (possibly ridge-regularized) linear regression model.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    config: LinRegConfig,
+    /// `[intercept, coef...]` when fitted with intercept, else `[coef...]`.
+    coefficients: Option<Vec<f64>>,
+}
+
+impl LinearRegression {
+    /// Create an unfitted model with the given configuration.
+    pub fn new(config: LinRegConfig) -> Self {
+        Self {
+            config,
+            coefficients: None,
+        }
+    }
+
+    /// Create an unfitted model with default configuration (intercept,
+    /// ridge `1e-8`).
+    pub fn default_model() -> Self {
+        Self::new(LinRegConfig::default())
+    }
+
+    /// Fit the model on a dataset.
+    ///
+    /// # Errors
+    /// - [`MlError::InvalidArgument`] for a negative ridge.
+    /// - [`MlError::Numerics`] for singular designs with `ridge == 0`.
+    pub fn fit(&mut self, data: &Dataset) -> Result<()> {
+        if self.config.ridge < 0.0 {
+            return Err(MlError::InvalidArgument {
+                name: "ridge",
+                reason: format!("must be non-negative, got {}", self.config.ridge),
+            });
+        }
+        let design = if self.config.fit_intercept {
+            data.features().with_intercept_column()
+        } else {
+            data.features().clone()
+        };
+        let coef = solve_lstsq(
+            &design,
+            data.targets(),
+            self.config.ridge,
+            self.config.backend,
+        )?;
+        self.coefficients = Some(coef);
+        Ok(())
+    }
+
+    /// Predict targets for a feature matrix.
+    ///
+    /// # Errors
+    /// - [`MlError::NotFitted`] before [`fit`](Self::fit).
+    /// - [`MlError::ShapeMismatch`] when the feature width differs from
+    ///   training.
+    pub fn predict(&self, features: &Matrix) -> Result<Vec<f64>> {
+        let coef = self.coefficients.as_ref().ok_or(MlError::NotFitted)?;
+        let expected = coef.len() - usize::from(self.config.fit_intercept);
+        if features.cols() != expected {
+            return Err(MlError::ShapeMismatch {
+                op: "LinearRegression::predict",
+                expected,
+                got: features.cols(),
+            });
+        }
+        let design = if self.config.fit_intercept {
+            features.with_intercept_column()
+        } else {
+            features.clone()
+        };
+        Ok(design.matvec(coef)?)
+    }
+
+    /// Explained variance of the model on a held-out dataset — the Share
+    /// product-performance indicator `v`.
+    ///
+    /// # Errors
+    /// Propagates [`predict`](Self::predict) and metric errors.
+    pub fn explained_variance(&self, data: &Dataset) -> Result<f64> {
+        let pred = self.predict(data.features())?;
+        metrics::explained_variance(data.targets(), &pred)
+    }
+
+    /// R² on a held-out dataset.
+    ///
+    /// # Errors
+    /// Propagates [`predict`](Self::predict) and metric errors.
+    pub fn r2(&self, data: &Dataset) -> Result<f64> {
+        let pred = self.predict(data.features())?;
+        metrics::r2(data.targets(), &pred)
+    }
+
+    /// Fitted coefficients (`[intercept, coef...]` with intercept).
+    ///
+    /// # Errors
+    /// [`MlError::NotFitted`] before fitting.
+    pub fn coefficients(&self) -> Result<&[f64]> {
+        self.coefficients.as_deref().ok_or(MlError::NotFitted)
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> LinRegConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 3 + 2·x₀ − x₁, exact.
+    fn linear_data(n: usize) -> Dataset {
+        let mut rows = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let x0 = i as f64 * 0.37;
+            let x1 = (i as f64 * 1.3).sin() * 2.0;
+            rows.push(x0);
+            rows.push(x1);
+            y.push(3.0 + 2.0 * x0 - x1);
+        }
+        Dataset::new(Matrix::from_vec(n, 2, rows).unwrap(), y).unwrap()
+    }
+
+    #[test]
+    fn recovers_exact_coefficients() {
+        let data = linear_data(50);
+        let mut model = LinearRegression::new(LinRegConfig {
+            ridge: 0.0,
+            ..LinRegConfig::default()
+        });
+        model.fit(&data).unwrap();
+        let c = model.coefficients().unwrap();
+        assert!((c[0] - 3.0).abs() < 1e-8, "{c:?}");
+        assert!((c[1] - 2.0).abs() < 1e-8, "{c:?}");
+        assert!((c[2] + 1.0).abs() < 1e-8, "{c:?}");
+    }
+
+    #[test]
+    fn perfect_fit_scores_one() {
+        let data = linear_data(30);
+        let mut model = LinearRegression::default_model();
+        model.fit(&data).unwrap();
+        assert!((model.explained_variance(&data).unwrap() - 1.0).abs() < 1e-6);
+        assert!((model.r2(&data).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn predict_before_fit_rejected() {
+        let model = LinearRegression::default_model();
+        assert!(matches!(
+            model.predict(&Matrix::zeros(1, 2)),
+            Err(MlError::NotFitted)
+        ));
+        assert!(matches!(model.coefficients(), Err(MlError::NotFitted)));
+    }
+
+    #[test]
+    fn predict_checks_width() {
+        let data = linear_data(10);
+        let mut model = LinearRegression::default_model();
+        model.fit(&data).unwrap();
+        assert!(matches!(
+            model.predict(&Matrix::zeros(1, 3)),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn no_intercept_forces_through_origin() {
+        // y = 2x with an intercept-free model.
+        let feats = Matrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]).unwrap();
+        let data = Dataset::new(feats, vec![2.0, 4.0, 6.0]).unwrap();
+        let mut model = LinearRegression::new(LinRegConfig {
+            ridge: 0.0,
+            fit_intercept: false,
+            backend: Backend::Qr,
+        });
+        model.fit(&data).unwrap();
+        let c = model.coefficients().unwrap();
+        assert_eq!(c.len(), 1);
+        assert!((c[0] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let data = linear_data(50);
+        let mut plain = LinearRegression::new(LinRegConfig {
+            ridge: 0.0,
+            ..LinRegConfig::default()
+        });
+        let mut heavy = LinearRegression::new(LinRegConfig {
+            ridge: 1e4,
+            ..LinRegConfig::default()
+        });
+        plain.fit(&data).unwrap();
+        heavy.fit(&data).unwrap();
+        let np: f64 = plain.coefficients().unwrap().iter().map(|c| c * c).sum();
+        let nh: f64 = heavy.coefficients().unwrap().iter().map(|c| c * c).sum();
+        assert!(nh < np);
+    }
+
+    #[test]
+    fn negative_ridge_rejected() {
+        let data = linear_data(5);
+        let mut model = LinearRegression::new(LinRegConfig {
+            ridge: -1.0,
+            ..LinRegConfig::default()
+        });
+        assert!(model.fit(&data).is_err());
+    }
+
+    #[test]
+    fn collinear_design_fails_without_ridge_succeeds_with() {
+        // Duplicate feature columns.
+        let feats = Matrix::from_vec(4, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]).unwrap();
+        let data = Dataset::new(feats, vec![2.0, 4.0, 6.0, 8.0]).unwrap();
+        let mut strict = LinearRegression::new(LinRegConfig {
+            ridge: 0.0,
+            fit_intercept: false,
+            backend: Backend::Qr,
+        });
+        assert!(strict.fit(&data).is_err());
+        let mut ridged = LinearRegression::new(LinRegConfig {
+            ridge: 1e-6,
+            fit_intercept: false,
+            backend: Backend::NormalEquations,
+        });
+        ridged.fit(&data).unwrap();
+        assert!((ridged.explained_variance(&data).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backends_agree() {
+        let data = linear_data(40);
+        let mut a = LinearRegression::new(LinRegConfig {
+            backend: Backend::NormalEquations,
+            ..LinRegConfig::default()
+        });
+        let mut b = LinearRegression::new(LinRegConfig {
+            backend: Backend::Qr,
+            ..LinRegConfig::default()
+        });
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        for (x, y) in a
+            .coefficients()
+            .unwrap()
+            .iter()
+            .zip(b.coefficients().unwrap())
+        {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn generalizes_to_held_out_data() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let data = linear_data(100);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (train, test) = data.train_test_split(0.25, &mut rng).unwrap();
+        let mut model = LinearRegression::default_model();
+        model.fit(&train).unwrap();
+        assert!(model.explained_variance(&test).unwrap() > 0.999);
+    }
+}

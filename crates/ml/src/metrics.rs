@@ -1,0 +1,159 @@
+//! Regression metrics. The Share paper measures data-product performance `v`
+//! as the **explained variance** of the linear-regression model (§6.1); MSE,
+//! MAE and R² are provided for completeness.
+
+use crate::error::{MlError, Result};
+use share_numerics::stats;
+
+fn check_pair(op: &'static str, y_true: &[f64], y_pred: &[f64]) -> Result<()> {
+    if y_true.is_empty() {
+        return Err(MlError::EmptyDataset);
+    }
+    if y_true.len() != y_pred.len() {
+        return Err(MlError::ShapeMismatch {
+            op,
+            expected: y_true.len(),
+            got: y_pred.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Mean squared error.
+///
+/// # Errors
+/// [`MlError::EmptyDataset`] / [`MlError::ShapeMismatch`].
+pub fn mse(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    check_pair("mse", y_true, y_pred)?;
+    Ok(y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / y_true.len() as f64)
+}
+
+/// Root mean squared error.
+///
+/// # Errors
+/// [`MlError::EmptyDataset`] / [`MlError::ShapeMismatch`].
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    Ok(mse(y_true, y_pred)?.sqrt())
+}
+
+/// Mean absolute error.
+///
+/// # Errors
+/// [`MlError::EmptyDataset`] / [`MlError::ShapeMismatch`].
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    check_pair("mae", y_true, y_pred)?;
+    Ok(y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64)
+}
+
+/// Coefficient of determination `R² = 1 − SS_res / SS_tot`. Returns 0.0 for
+/// a constant target with zero residuals convention-free: a constant target
+/// with any residuals yields `-∞`-free 0.0 or negative values clamped to the
+/// computed value; we follow scikit-learn and return 1.0 only for a perfect
+/// fit of a constant target.
+///
+/// # Errors
+/// [`MlError::EmptyDataset`] / [`MlError::ShapeMismatch`].
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    check_pair("r2", y_true, y_pred)?;
+    let mean = stats::mean(y_true)?;
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    if ss_tot == 0.0 {
+        return Ok(if ss_res == 0.0 { 1.0 } else { 0.0 });
+    }
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+/// Explained variance score `1 − Var(y − ŷ) / Var(y)` — the paper's product
+/// performance indicator `v`. Unlike R² it is insensitive to a constant
+/// prediction bias.
+///
+/// # Errors
+/// [`MlError::EmptyDataset`] / [`MlError::ShapeMismatch`].
+pub fn explained_variance(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    check_pair("explained_variance", y_true, y_pred)?;
+    let var_y = stats::variance(y_true)?;
+    let resid: Vec<f64> = y_true.iter().zip(y_pred).map(|(t, p)| t - p).collect();
+    let var_r = stats::variance(&resid)?;
+    if var_y == 0.0 {
+        return Ok(if var_r == 0.0 { 1.0 } else { 0.0 });
+    }
+    Ok(1.0 - var_r / var_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&y, &y).unwrap(), 0.0);
+        assert_eq!(rmse(&y, &y).unwrap(), 0.0);
+        assert_eq!(mae(&y, &y).unwrap(), 0.0);
+        assert_eq!(r2(&y, &y).unwrap(), 1.0);
+        assert_eq!(explained_variance(&y, &y).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn known_mse_mae() {
+        let t = [0.0, 0.0];
+        let p = [1.0, -3.0];
+        assert_eq!(mse(&t, &p).unwrap(), 5.0);
+        assert_eq!(mae(&t, &p).unwrap(), 2.0);
+        assert!((rmse(&t, &p).unwrap() - 5.0f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let p = [2.5; 4];
+        assert!(r2(&y, &p).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_can_be_negative() {
+        let y = [1.0, 2.0, 3.0];
+        let p = [3.0, 2.0, 1.0]; // anti-correlated
+        assert!(r2(&y, &p).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn explained_variance_ignores_constant_bias() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let p: Vec<f64> = y.iter().map(|v| v + 10.0).collect();
+        assert!((explained_variance(&y, &p).unwrap() - 1.0).abs() < 1e-12);
+        // R² punishes the bias.
+        assert!(r2(&y, &p).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn constant_target_conventions() {
+        let y = [5.0, 5.0, 5.0];
+        assert_eq!(r2(&y, &y).unwrap(), 1.0);
+        assert_eq!(r2(&y, &[5.0, 5.0, 6.0]).unwrap(), 0.0);
+        assert_eq!(explained_variance(&y, &y).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn shape_checks() {
+        assert!(mse(&[], &[]).is_err());
+        assert!(mse(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(r2(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(explained_variance(&[1.0], &[]).is_err());
+    }
+}

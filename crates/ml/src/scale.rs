@@ -1,0 +1,154 @@
+//! Feature standardization (z-scoring), fitted on training data and applied
+//! to any matrix with the same schema. Keeps regression well-conditioned
+//! when feature magnitudes differ by orders (CCPP pressures ≈ 1000 mbar vs
+//! humidities ≈ 50%).
+
+use crate::error::{MlError, Result};
+use share_numerics::matrix::Matrix;
+use share_numerics::stats;
+
+/// Per-column standardizer: `x' = (x − mean) / std`. Constant columns are
+/// passed through unscaled (std treated as 1) rather than erroring, since
+/// LDP-perturbed data can degenerate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit means and standard deviations on `data` (one column per feature).
+    ///
+    /// # Errors
+    /// [`MlError::EmptyDataset`] when `data` has no rows.
+    pub fn fit(data: &Matrix) -> Result<Self> {
+        if data.rows() == 0 {
+            return Err(MlError::EmptyDataset);
+        }
+        let mut means = Vec::with_capacity(data.cols());
+        let mut stds = Vec::with_capacity(data.cols());
+        for j in 0..data.cols() {
+            let col = data.col(j);
+            let m = stats::mean(&col)?;
+            let s = stats::std_dev(&col)?;
+            means.push(m);
+            stds.push(if s > 0.0 { s } else { 1.0 });
+        }
+        Ok(Self { means, stds })
+    }
+
+    /// Transform a matrix with the fitted parameters.
+    ///
+    /// # Errors
+    /// [`MlError::ShapeMismatch`] when the column count differs from the fit.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        if data.cols() != self.means.len() {
+            return Err(MlError::ShapeMismatch {
+                op: "Standardizer::transform",
+                expected: self.means.len(),
+                got: data.cols(),
+            });
+        }
+        let mut out = data.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.means[j]) / self.stds[j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Invert the transformation.
+    ///
+    /// # Errors
+    /// [`MlError::ShapeMismatch`] when the column count differs from the fit.
+    pub fn inverse_transform(&self, data: &Matrix) -> Result<Matrix> {
+        if data.cols() != self.means.len() {
+            return Err(MlError::ShapeMismatch {
+                op: "Standardizer::inverse_transform",
+                expected: self.means.len(),
+                got: data.cols(),
+            });
+        }
+        let mut out = data.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = *v * self.stds[j] + self.means[j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fitted per-column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted per-column standard deviations (1.0 for constant columns).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Matrix {
+        Matrix::from_vec(4, 2, vec![1.0, 100.0, 2.0, 200.0, 3.0, 300.0, 4.0, 400.0]).unwrap()
+    }
+
+    #[test]
+    fn transformed_columns_are_zero_mean_unit_var() {
+        let m = data();
+        let s = Standardizer::fit(&m).unwrap();
+        let t = s.transform(&m).unwrap();
+        for j in 0..2 {
+            let col = t.col(j);
+            assert!(stats::mean(&col).unwrap().abs() < 1e-12);
+            assert!((stats::std_dev(&col).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_data() {
+        let m = data();
+        let s = Standardizer::fit(&m).unwrap();
+        let back = s.inverse_transform(&s.transform(&m).unwrap()).unwrap();
+        assert!(back.sub(&m).unwrap().norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn constant_column_passes_through() {
+        let m = Matrix::from_vec(3, 1, vec![7.0, 7.0, 7.0]).unwrap();
+        let s = Standardizer::fit(&m).unwrap();
+        assert_eq!(s.stds(), &[1.0]);
+        let t = s.transform(&m).unwrap();
+        assert_eq!(t.col(0), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let s = Standardizer::fit(&data()).unwrap();
+        let other = Matrix::zeros(2, 3);
+        assert!(s.transform(&other).is_err());
+        assert!(s.inverse_transform(&other).is_err());
+    }
+
+    #[test]
+    fn empty_fit_rejected() {
+        assert!(Standardizer::fit(&Matrix::zeros(0, 2)).is_err());
+    }
+
+    #[test]
+    fn transform_new_data_uses_train_statistics() {
+        let s = Standardizer::fit(&data()).unwrap();
+        let new = Matrix::from_vec(1, 2, vec![2.5, 250.0]).unwrap();
+        let t = s.transform(&new).unwrap();
+        // 2.5 is the train mean of col 0 → standardizes to 0.
+        assert!(t[(0, 0)].abs() < 1e-12);
+        assert!(t[(0, 1)].abs() < 1e-12);
+    }
+}

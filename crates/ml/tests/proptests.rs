@@ -1,0 +1,116 @@
+//! Property-based tests for the ML substrate.
+
+use proptest::prelude::*;
+use share_ml::dataset::Dataset;
+use share_ml::features::{degree2_width, expand_dataset_degree2};
+use share_ml::linreg::{LinRegConfig, LinearRegression};
+use share_ml::metrics;
+use share_ml::scale::Standardizer;
+use share_ml::suffstats::SufficientStats;
+use share_numerics::matrix::Matrix;
+
+/// Generate a dataset whose target is an exact linear function of the
+/// features (so fits are checkable).
+fn linear_dataset() -> impl Strategy<Value = (Dataset, Vec<f64>)> {
+    (
+        4usize..40,
+        proptest::collection::vec(-3.0..3.0f64, 3), // [intercept, c0, c1]
+    )
+        .prop_map(|(n, coef)| {
+            let mut feats = Vec::with_capacity(n * 2);
+            let mut y = Vec::with_capacity(n);
+            for i in 0..n {
+                let x0 = (i as f64 * 0.61) % 7.0 - 3.0;
+                let x1 = ((i * i) as f64 * 0.37) % 5.0 - 2.0;
+                feats.push(x0);
+                feats.push(x1);
+                y.push(coef[0] + coef[1] * x0 + coef[2] * x1);
+            }
+            (
+                Dataset::new(Matrix::from_vec(n, 2, feats).unwrap(), y).unwrap(),
+                coef,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ols_recovers_generating_coefficients((data, coef) in linear_dataset()) {
+        let mut model = LinearRegression::new(LinRegConfig {
+            ridge: 0.0,
+            ..LinRegConfig::default()
+        });
+        // Degenerate designs (collinear x0/x1 draws) may legitimately fail.
+        if model.fit(&data).is_ok() {
+            let c = model.coefficients().unwrap();
+            for (a, b) in c.iter().zip(&coef) {
+                prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            }
+            prop_assert!(model.explained_variance(&data).unwrap() > 0.999
+                || share_numerics::stats::variance(data.targets()).unwrap() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn suffstats_match_direct_training((data, _) in linear_dataset()) {
+        let stats = SufficientStats::from_dataset(&data);
+        let fast = stats.solve(1e-8);
+        let mut model = LinearRegression::new(LinRegConfig::default());
+        let slow = model.fit(&data);
+        prop_assert_eq!(fast.is_ok(), slow.is_ok());
+        if let (Ok(f), Ok(())) = (fast, slow) {
+            for (a, b) in f.iter().zip(model.coefficients().unwrap()) {
+                prop_assert!((a - b).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_relationships(
+        y_true in proptest::collection::vec(-100.0..100.0f64, 2..32),
+        noise in proptest::collection::vec(-1.0..1.0f64, 2..32),
+    ) {
+        let n = y_true.len().min(noise.len());
+        let t = &y_true[..n];
+        let pred: Vec<f64> = t.iter().zip(&noise[..n]).map(|(a, e)| a + e).collect();
+        let mse = metrics::mse(t, &pred).unwrap();
+        let rmse = metrics::rmse(t, &pred).unwrap();
+        let mae = metrics::mae(t, &pred).unwrap();
+        // RMSE² = MSE; MAE ≤ RMSE (Jensen); all non-negative.
+        prop_assert!((rmse * rmse - mse).abs() < 1e-9 * (1.0 + mse));
+        prop_assert!(mae <= rmse + 1e-12);
+        prop_assert!(mse >= 0.0 && mae >= 0.0);
+        // EV ≥ R² (EV forgives the constant bias R² charges for).
+        let ev = metrics::explained_variance(t, &pred).unwrap();
+        let r2 = metrics::r2(t, &pred).unwrap();
+        prop_assert!(ev >= r2 - 1e-9, "ev {ev} < r2 {r2}");
+    }
+
+    #[test]
+    fn standardizer_roundtrip((data, _) in linear_dataset()) {
+        let s = Standardizer::fit(data.features()).unwrap();
+        let t = s.transform(data.features()).unwrap();
+        let back = s.inverse_transform(&t).unwrap();
+        prop_assert!(back.sub(data.features()).unwrap().norm_max() < 1e-8);
+    }
+
+    #[test]
+    fn degree2_expansion_width_and_determinism((data, _) in linear_dataset()) {
+        let e1 = expand_dataset_degree2(&data).unwrap();
+        let e2 = expand_dataset_degree2(&data).unwrap();
+        prop_assert_eq!(&e1, &e2);
+        prop_assert_eq!(e1.n_features(), degree2_width(data.n_features()));
+        prop_assert_eq!(e1.targets(), data.targets());
+    }
+
+    #[test]
+    fn chunks_then_concat_is_identity((data, _) in linear_dataset(), k_seed in 1usize..8) {
+        let k = k_seed.min(data.len());
+        let parts = data.chunks(k).unwrap();
+        let refs: Vec<&Dataset> = parts.iter().collect();
+        let back = Dataset::concat(&refs).unwrap();
+        prop_assert_eq!(back, data);
+    }
+}

@@ -1,0 +1,200 @@
+//! Cholesky factorization `A = L Lᵀ` for symmetric positive-definite
+//! matrices, plus triangular solves. This is the fast path for
+//! normal-equation least squares (ridge-shifted Gram matrices are SPD).
+
+use crate::error::{NumericsError, Result};
+use crate::matrix::Matrix;
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorize a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper triangle
+    /// is the caller's responsibility (use [`Matrix::is_symmetric`] to check).
+    ///
+    /// # Errors
+    /// - [`NumericsError::ShapeMismatch`] for a non-square input.
+    /// - [`NumericsError::NotPositiveDefinite`] when a leading minor is not
+    ///   positive (within a scale-aware tolerance).
+    pub fn factorize(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(NumericsError::ShapeMismatch {
+                op: "cholesky",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        // Tolerance scaled to the largest diagonal entry so near-singular
+        // Gram matrices are rejected rather than silently producing NaNs.
+        let scale = (0..n).fold(0.0_f64, |m, i| m.max(a[(i, i)].abs()));
+        let tol = scale.max(1.0) * 1e-14;
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= tol {
+                return Err(NumericsError::NotPositiveDefinite { minor: j });
+            }
+            let djj = d.sqrt();
+            l[(j, j)] = djj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / djj;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Borrow the lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` via forward/backward substitution.
+    ///
+    /// # Errors
+    /// [`NumericsError::ShapeMismatch`] when `b.len()` differs from the order
+    /// of the factorized matrix.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(NumericsError::ShapeMismatch {
+                op: "cholesky_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                s -= self.l[(i, k)] * yk;
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[(k, i)] * xk;
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix (product of squared diagonal of L).
+    pub fn det(&self) -> f64 {
+        let n = self.l.rows();
+        let mut d = 1.0;
+        for i in 0..n {
+            d *= self.l[(i, i)] * self.l[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I for a random-ish B is SPD; use a fixed known SPD matrix.
+        Matrix::from_vec(
+            3,
+            3,
+            vec![4.0, 12.0, -16.0, 12.0, 37.0, -43.0, -16.0, -43.0, 98.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn factorize_known_matrix() {
+        // Classic example: L = [[2,0,0],[6,1,0],[-8,5,3]].
+        let c = Cholesky::factorize(&spd3()).unwrap();
+        let l = c.l();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 0)] + 8.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 5.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = spd3();
+        let c = Cholesky::factorize(&a).unwrap();
+        let recon = c.l().matmul(&c.l().transpose()).unwrap();
+        assert!(recon.sub(&a).unwrap().norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn solve_recovers_rhs() {
+        let a = spd3();
+        let c = Cholesky::factorize(&a).unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = c.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn det_matches_known_value() {
+        // det = (2*1*3)^2 = 36.
+        let c = Cholesky::factorize(&spd3()).unwrap();
+        assert!((c.det() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factorize(&a),
+            Err(NumericsError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factorize(&a),
+            Err(NumericsError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_semidefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap(); // rank 1
+        assert!(Cholesky::factorize(&a).is_err());
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_len() {
+        let c = Cholesky::factorize(&spd3()).unwrap();
+        assert!(c.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn identity_factorizes_to_identity() {
+        let c = Cholesky::factorize(&Matrix::identity(4)).unwrap();
+        assert!(c.l().sub(&Matrix::identity(4)).unwrap().norm_max() < 1e-15);
+        assert!((c.det() - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,220 @@
+//! Symmetric eigenvalue estimation by (inverse) power iteration, and the
+//! spectral condition number of SPD matrices.
+//!
+//! LDP noise at tiny ε inflates feature magnitudes by orders and drives the
+//! regression Gram matrix toward numerical singularity; the condition
+//! number is the diagnostic the production pipeline uses to decide between
+//! the Cholesky fast path and QR (and how much ridge a fit needs).
+
+use crate::error::{NumericsError, Result};
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// Options for the power-iteration routines.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerOptions {
+    /// Convergence threshold on the eigenvalue's relative change.
+    pub tol: f64,
+    /// Hard iteration cap.
+    pub max_iter: usize,
+}
+
+impl Default for PowerOptions {
+    fn default() -> Self {
+        Self {
+            tol: 1e-12,
+            max_iter: 1000,
+        }
+    }
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let n = vector::norm2(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+    n
+}
+
+/// Dominant eigenvalue (by magnitude) and eigenvector of a symmetric
+/// matrix, via power iteration with a deterministic start.
+///
+/// # Errors
+/// - [`NumericsError::ShapeMismatch`] for non-square input.
+/// - [`NumericsError::NoConvergence`] when the cap is exhausted (e.g.
+///   repeated dominant eigenvalues with opposite signs).
+pub fn dominant_eigen(a: &Matrix, opts: PowerOptions) -> Result<(f64, Vec<f64>)> {
+    if !a.is_square() {
+        return Err(NumericsError::ShapeMismatch {
+            op: "dominant_eigen",
+            lhs: a.shape(),
+            rhs: a.shape(),
+        });
+    }
+    let n = a.rows();
+    // Deterministic pseudo-random start avoids orthogonal-start stalls.
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| 1.0 + 0.7 * ((i * 2654435761) % 97) as f64 / 97.0)
+        .collect();
+    normalize(&mut v);
+    let mut lambda_prev = f64::INFINITY;
+    for it in 0..opts.max_iter {
+        let mut w = a.matvec(&v)?;
+        let lambda = vector::dot(&v, &w)?;
+        let norm = normalize(&mut w);
+        if norm == 0.0 {
+            // v is in the null space: eigenvalue 0.
+            return Ok((0.0, v));
+        }
+        v = w;
+        if (lambda - lambda_prev).abs() <= opts.tol * lambda.abs().max(1.0) {
+            return Ok((lambda, v));
+        }
+        lambda_prev = lambda;
+        let _ = it;
+    }
+    Err(NumericsError::NoConvergence {
+        routine: "dominant_eigen",
+        iterations: opts.max_iter,
+        residual: f64::NAN,
+    })
+}
+
+/// Smallest eigenvalue of an SPD matrix by inverse power iteration
+/// (each step solves with the Cholesky factorization).
+///
+/// # Errors
+/// - Factorization errors for non-SPD input.
+/// - [`NumericsError::NoConvergence`] when the cap is exhausted.
+pub fn smallest_eigen_spd(a: &Matrix, opts: PowerOptions) -> Result<(f64, Vec<f64>)> {
+    let ch = crate::decomp::Cholesky::factorize(a)?;
+    let n = a.rows();
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| 1.0 + 0.3 * ((i * 40503) % 89) as f64 / 89.0)
+        .collect();
+    normalize(&mut v);
+    let mut mu_prev = f64::INFINITY;
+    for _ in 0..opts.max_iter {
+        let mut w = ch.solve(&v)?;
+        // Rayleigh quotient of A⁻¹ → 1/λ_min of A.
+        let mu = vector::dot(&v, &w)?;
+        normalize(&mut w);
+        v = w;
+        if (mu - mu_prev).abs() <= opts.tol * mu.abs().max(1.0) {
+            return Ok((1.0 / mu, v));
+        }
+        mu_prev = mu;
+    }
+    Err(NumericsError::NoConvergence {
+        routine: "smallest_eigen_spd",
+        iterations: opts.max_iter,
+        residual: f64::NAN,
+    })
+}
+
+/// Spectral condition number `λ_max / λ_min` of an SPD matrix.
+///
+/// # Errors
+/// Propagates the eigenvalue routines' errors.
+pub fn condition_number_spd(a: &Matrix, opts: PowerOptions) -> Result<f64> {
+    let (lmax, _) = dominant_eigen(a, opts)?;
+    let (lmin, _) = smallest_eigen_spd(a, opts)?;
+    Ok(lmax / lmin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(values: &[f64]) -> Matrix {
+        let n = values.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &v) in values.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    #[test]
+    fn dominant_of_diagonal() {
+        let a = diag(&[1.0, 5.0, 3.0]);
+        let (l, v) = dominant_eigen(&a, PowerOptions::default()).unwrap();
+        assert!((l - 5.0).abs() < 1e-9);
+        // Eigenvector concentrates on index 1.
+        assert!(v[1].abs() > 0.999, "{v:?}");
+    }
+
+    #[test]
+    fn dominant_of_dense_symmetric() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let (l, v) = dominant_eigen(&a, PowerOptions::default()).unwrap();
+        assert!((l - 3.0).abs() < 1e-9);
+        // Eigenvector ∝ (1, 1).
+        assert!((v[0].abs() - v[1].abs()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smallest_of_spd() {
+        let a = diag(&[0.5, 4.0, 9.0]);
+        let (l, v) = smallest_eigen_spd(&a, PowerOptions::default()).unwrap();
+        assert!((l - 0.5).abs() < 1e-9, "{l}");
+        assert!(v[0].abs() > 0.999);
+    }
+
+    #[test]
+    fn condition_number_of_known_matrix() {
+        let a = diag(&[1.0, 100.0]);
+        let k = condition_number_spd(&a, PowerOptions::default()).unwrap();
+        assert!((k - 100.0).abs() < 1e-6, "{k}");
+    }
+
+    #[test]
+    fn identity_is_perfectly_conditioned() {
+        let k = condition_number_spd(&Matrix::identity(5), PowerOptions::default()).unwrap();
+        assert!((k - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gram_conditioning_degrades_with_scale_imbalance() {
+        // Columns with wildly different scales → ill-conditioned Gram.
+        let balanced = Matrix::from_vec(4, 2, vec![1.0, 1.0, 1.0, -1.0, -1.0, 1.0, -1.0, -1.0])
+            .unwrap()
+            .gram();
+        let mut skewed = Matrix::from_vec(
+            4,
+            2,
+            vec![1.0, 1000.0, 1.0, -1000.0, -1.0, 1000.0, -1.0, -1000.0],
+        )
+        .unwrap()
+        .gram();
+        skewed.shift_diagonal(1e-9);
+        let kb = condition_number_spd(&balanced, PowerOptions::default()).unwrap();
+        let ks = condition_number_spd(&skewed, PowerOptions::default()).unwrap();
+        assert!(ks > 1e4 * kb, "balanced {kb} vs skewed {ks}");
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(dominant_eigen(&Matrix::zeros(2, 3), PowerOptions::default()).is_err());
+    }
+
+    #[test]
+    fn non_spd_rejected_by_smallest() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(smallest_eigen_spd(&a, PowerOptions::default()).is_err());
+    }
+
+    #[test]
+    fn residual_check_dominant_pair() {
+        // A v ≈ λ v for the returned pair.
+        let a = Matrix::from_vec(3, 3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]).unwrap();
+        let (l, v) = dominant_eigen(&a, PowerOptions::default()).unwrap();
+        let av = a.matvec(&v).unwrap();
+        for (x, y) in av.iter().zip(&v) {
+            assert!((x - l * y).abs() < 1e-6, "{x} vs {}", l * y);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! LU factorization with partial pivoting (`P A = L U`) for general square
+//! systems. Used as the general-purpose solver and for determinants.
+
+// Triangular substitution reads/writes the same vector at different indices;
+// explicit index loops are the clearest way to write it.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::{NumericsError, Result};
+use crate::matrix::Matrix;
+
+/// LU factorization with partial pivoting, stored compactly: the strict lower
+/// triangle of `lu` holds `L` (unit diagonal implied) and the upper triangle
+/// holds `U`.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row placed at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1 or -1), for the determinant.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorize a square matrix with partial pivoting.
+    ///
+    /// # Errors
+    /// - [`NumericsError::ShapeMismatch`] for a non-square input.
+    /// - [`NumericsError::Singular`] when no non-negligible pivot exists.
+    pub fn factorize(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(NumericsError::ShapeMismatch {
+                op: "lu",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let tol = a.norm_max().max(1.0) * 1e-14;
+
+        for k in 0..n {
+            // Partial pivot: largest |value| in column k at or below row k.
+            let (mut p, mut pmax) = (k, lu[(k, k)].abs());
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    p = i;
+                    pmax = v;
+                }
+            }
+            if pmax <= tol {
+                return Err(NumericsError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let delta = m * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Solve `A x = b`.
+    ///
+    /// # Errors
+    /// [`NumericsError::ShapeMismatch`] when `b.len()` differs from the
+    /// matrix order.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(NumericsError::ShapeMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward substitution with unit-diagonal L.
+        let mut y: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 1..n {
+            let mut s = y[i];
+            for k in 0..i {
+                s -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = s;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = s / self.lu[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Invert the original matrix column by column.
+    ///
+    /// # Errors
+    /// Propagates solve errors (cannot occur for a successfully factorized
+    /// matrix with well-formed unit vectors).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for (i, v) in col.into_iter().enumerate() {
+                inv[(i, j)] = v;
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a3() -> Matrix {
+        Matrix::from_vec(3, 3, vec![2.0, 1.0, 1.0, 4.0, -6.0, 0.0, -2.0, 7.0, 2.0]).unwrap()
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = a3();
+        let x_true = vec![1.0, 2.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let lu = Lu::factorize(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn det_known_value() {
+        // det of a3 = 2(-12-0) -1(8-0) +1(28-12) = -24 - 8 + 16 = -16.
+        let lu = Lu::factorize(&a3()).unwrap();
+        assert!((lu.det() + 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = a3();
+        let inv = Lu::factorize(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.sub(&Matrix::identity(3)).unwrap().norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let lu = Lu::factorize(&a).unwrap();
+        let x = lu.solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-15);
+        assert!((x[1] - 3.0).abs() < 1e-15);
+        assert!((lu.det() + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(matches!(
+            Lu::factorize(&a),
+            Err(NumericsError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(Lu::factorize(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn solve_wrong_len_rejected() {
+        let lu = Lu::factorize(&a3()).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_solves_trivially() {
+        let lu = Lu::factorize(&Matrix::identity(5)).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(lu.solve(&b).unwrap(), b);
+        assert!((lu.det() - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,12 @@
+//! Matrix factorizations: Cholesky (SPD fast path), LU with partial pivoting
+//! (general square systems), and Householder QR (robust least squares).
+
+pub mod cholesky;
+pub mod eigen;
+pub mod lu;
+pub mod qr;
+
+pub use cholesky::Cholesky;
+pub use eigen::{condition_number_spd, dominant_eigen, smallest_eigen_spd, PowerOptions};
+pub use lu::Lu;
+pub use qr::Qr;

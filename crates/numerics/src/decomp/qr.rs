@@ -1,0 +1,234 @@
+//! Householder QR factorization for tall matrices (`rows >= cols`), the
+//! numerically robust path for least squares when the Gram matrix is
+//! ill-conditioned.
+
+// Reflector application reads/writes the same vector at shifted indices;
+// explicit index loops are the clearest way to write it.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::{NumericsError, Result};
+use crate::matrix::Matrix;
+
+/// Compact Householder QR of a tall matrix `A` (m x n, m >= n).
+///
+/// The factorization stores the Householder vectors in the lower trapezoid of
+/// `qr` and `R` in the upper triangle; `Q` is never formed explicitly.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    qr: Matrix,
+    /// Scalar `beta_k = 2 / (v_kᵀ v_k)` per reflector, 0.0 for a skipped
+    /// (already-zero) column.
+    betas: Vec<f64>,
+    diag_r: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorize `a` (requires `rows >= cols`).
+    ///
+    /// # Errors
+    /// [`NumericsError::ShapeMismatch`] when the matrix is wider than tall.
+    pub fn factorize(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(NumericsError::ShapeMismatch {
+                op: "qr (requires rows >= cols)",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+        let mut qr = a.clone();
+        let mut betas = vec![0.0; n];
+        let mut diag_r = vec![0.0; n];
+
+        for k in 0..n {
+            // Norm of the k-th column below (and including) row k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                // Zero column: skip the reflector; R_kk = 0 marks rank deficiency.
+                betas[k] = 0.0;
+                diag_r[k] = 0.0;
+                continue;
+            }
+            // alpha = -sign(a_kk) * ||col|| avoids cancellation.
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            // v = col - alpha*e_k, stored in place; v_k = a_kk - alpha.
+            let vk = qr[(k, k)] - alpha;
+            qr[(k, k)] = vk;
+            // beta = 2 / vᵀv; vᵀv = 2*norm*(norm + |a_kk|)... compute directly.
+            let mut vtv = 0.0;
+            for i in k..m {
+                vtv += qr[(i, k)] * qr[(i, k)];
+            }
+            let beta = 2.0 / vtv;
+            betas[k] = beta;
+            diag_r[k] = alpha;
+            // Apply reflector to remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += qr[(i, k)] * qr[(i, j)];
+                }
+                let coeff = beta * dot;
+                for i in k..m {
+                    let delta = coeff * qr[(i, k)];
+                    qr[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Self { qr, betas, diag_r })
+    }
+
+    /// `R_kk` diagonal entries (their magnitudes expose rank deficiency).
+    pub fn r_diag(&self) -> &[f64] {
+        &self.diag_r
+    }
+
+    /// Solve the least-squares problem `min ||A x - b||₂`.
+    ///
+    /// # Errors
+    /// - [`NumericsError::ShapeMismatch`] when `b.len() != rows`.
+    /// - [`NumericsError::Singular`] when `R` has a negligible diagonal entry
+    ///   (rank-deficient design matrix).
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(NumericsError::ShapeMismatch {
+                op: "qr_solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let rmax = self.diag_r.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()));
+        let tol = rmax.max(1.0) * 1e-13;
+
+        // y = Qᵀ b by applying each reflector.
+        let mut y = b.to_vec();
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += self.qr[(i, k)] * y[i];
+            }
+            let coeff = beta * dot;
+            for i in k..m {
+                y[i] -= coeff * self.qr[(i, k)];
+            }
+        }
+        // Back substitution with R (diag in diag_r, strict upper in qr).
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let rii = self.diag_r[i];
+            if rii.abs() <= tol {
+                return Err(NumericsError::Singular { pivot: i });
+            }
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = s / rii;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_system_exact() {
+        let a =
+            Matrix::from_vec(3, 3, vec![2.0, 1.0, 1.0, 4.0, -6.0, 0.0, -2.0, 7.0, 2.0]).unwrap();
+        let x_true = vec![1.0, 2.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Qr::factorize(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overdetermined_consistent_system() {
+        // 4 equations, 2 unknowns, consistent: exact recovery expected.
+        let a = Matrix::from_vec(4, 2, vec![1.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 4.0]).unwrap();
+        let x_true = vec![0.5, 2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Qr::factorize(&a).unwrap().solve(&b).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        // Inconsistent system: check Aᵀ(Ax - b) ≈ 0 (normal-equation residual).
+        let a =
+            Matrix::from_vec(5, 2, vec![1.0, 0.0, 1.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 4.0]).unwrap();
+        let b = vec![1.0, 0.5, 3.0, 2.0, 5.0];
+        let x = Qr::factorize(&a).unwrap().solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        let grad = a.t_matvec(&resid).unwrap();
+        for g in grad {
+            assert!(g.abs() < 1e-10, "normal-equation residual {g}");
+        }
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(Qr::factorize(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_detected_on_solve() {
+        // Second column is a multiple of the first.
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0]).unwrap();
+        let qr = Qr::factorize(&a).unwrap();
+        assert!(matches!(
+            qr.solve(&[1.0, 2.0, 3.0]),
+            Err(NumericsError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(3);
+        let qr = Qr::factorize(&a).unwrap();
+        assert!(qr.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn zero_column_is_rank_deficient() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0]).unwrap();
+        let qr = Qr::factorize(&a).unwrap();
+        assert!(qr.solve(&[1.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn agrees_with_cholesky_on_well_conditioned_problem() {
+        use crate::decomp::cholesky::Cholesky;
+        let a = Matrix::from_vec(
+            6,
+            3,
+            vec![
+                1.0, 0.2, -0.5, 1.0, 1.1, 0.3, 1.0, 2.2, 1.5, 1.0, 2.9, -0.2, 1.0, 4.1, 0.9, 1.0,
+                5.2, 2.2,
+            ],
+        )
+        .unwrap();
+        let b = vec![0.1, 1.2, 2.9, 3.1, 4.5, 6.2];
+        let x_qr = Qr::factorize(&a).unwrap().solve(&b).unwrap();
+        let g = a.gram();
+        let atb = a.t_matvec(&b).unwrap();
+        let x_ch = Cholesky::factorize(&g).unwrap().solve(&atb).unwrap();
+        for (p, q) in x_qr.iter().zip(&x_ch) {
+            assert!((p - q).abs() < 1e-9, "{p} vs {q}");
+        }
+    }
+}

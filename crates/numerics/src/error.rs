@@ -1,0 +1,160 @@
+//! Error type shared by all numerical kernels.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra and optimization routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericsError {
+    /// Operand shapes are incompatible (e.g. matrix product of 2x3 by 2x2).
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factorized or inverted.
+    Singular {
+        /// Pivot index at which singularity was detected.
+        pivot: usize,
+    },
+    /// A matrix that must be symmetric positive definite is not.
+    NotPositiveDefinite {
+        /// Leading-minor index at which the Cholesky factorization failed.
+        minor: usize,
+    },
+    /// An argument is outside its documented domain.
+    InvalidArgument {
+        /// Name of the offending argument.
+        name: &'static str,
+        /// Explanation of the violated requirement.
+        reason: String,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the routine.
+        routine: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual or interval width at the final iterate.
+        residual: f64,
+    },
+    /// A bracketing routine was given an interval that does not bracket the
+    /// target (e.g. `f(a)` and `f(b)` share a sign in bisection).
+    BadBracket {
+        /// Name of the routine.
+        routine: &'static str,
+        /// Left end of the supplied interval.
+        a: f64,
+        /// Right end of the supplied interval.
+        b: f64,
+    },
+    /// The input slice was empty where at least one element is required.
+    EmptyInput {
+        /// Name of the routine.
+        routine: &'static str,
+    },
+    /// A non-finite value (NaN or infinity) was produced or supplied.
+    NonFinite {
+        /// Description of where the non-finite value appeared.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            Self::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot at index {pivot})")
+            }
+            Self::NotPositiveDefinite { minor } => {
+                write!(f, "matrix is not positive definite (leading minor {minor})")
+            }
+            Self::InvalidArgument { name, reason } => {
+                write!(f, "invalid argument `{name}`: {reason}")
+            }
+            Self::NoConvergence {
+                routine,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{routine} failed to converge after {iterations} iterations (residual {residual:e})"
+            ),
+            Self::BadBracket { routine, a, b } => {
+                write!(
+                    f,
+                    "{routine}: interval [{a}, {b}] does not bracket the target"
+                )
+            }
+            Self::EmptyInput { routine } => write!(f, "{routine}: empty input"),
+            Self::NonFinite { context } => write!(f, "non-finite value in {context}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, NumericsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = NumericsError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (2, 2),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matmul: lhs is 2x3, rhs is 2x2"
+        );
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = NumericsError::Singular { pivot: 4 };
+        assert!(e.to_string().contains("pivot at index 4"));
+    }
+
+    #[test]
+    fn display_no_convergence_includes_residual() {
+        let e = NumericsError::NoConvergence {
+            routine: "newton_max",
+            iterations: 100,
+            residual: 1e-3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("newton_max"), "{s}");
+        assert!(s.contains("100"), "{s}");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&NumericsError::EmptyInput { routine: "mean" });
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            NumericsError::Singular { pivot: 1 },
+            NumericsError::Singular { pivot: 1 }
+        );
+        assert_ne!(
+            NumericsError::Singular { pivot: 1 },
+            NumericsError::Singular { pivot: 2 }
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # share-numerics
+//!
+//! Self-contained numerical kernels for the [Share data market
+//! stack](https://github.com/share-market/share): dense linear algebra
+//! (row-major [`Matrix`], Cholesky/LU/QR factorizations, least squares),
+//! one-dimensional optimization (golden-section, safeguarded Newton,
+//! bisection, grid scanning) and descriptive statistics.
+//!
+//! The crate has **zero dependencies** and is the foundation every other
+//! `share-*` crate builds on. Scope is intentionally narrow: only what the
+//! reproduction of *"Share: Stackelberg-Nash based Data Markets"* (ICDE
+//! 2024) requires — regression products are trained via [`lstsq`], the
+//! numerical equilibrium path maximizes concave profits via [`optimize`],
+//! and the experiment harness summarizes results via [`stats`].
+//!
+//! ## Example
+//!
+//! ```
+//! use share_numerics::matrix::Matrix;
+//! use share_numerics::lstsq::{solve_lstsq, Backend};
+//!
+//! // Fit y = 1 + 2x by least squares.
+//! let a = Matrix::from_vec(3, 2, vec![1.0, 0.0, 1.0, 1.0, 1.0, 2.0]).unwrap();
+//! let y = vec![1.0, 3.0, 5.0];
+//! let coef = solve_lstsq(&a, &y, 0.0, Backend::NormalEquations).unwrap();
+//! assert!((coef[0] - 1.0).abs() < 1e-10);
+//! assert!((coef[1] - 2.0).abs() < 1e-10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod decomp;
+pub mod error;
+pub mod lstsq;
+pub mod matrix;
+pub mod optimize;
+pub mod stats;
+pub mod stats_online;
+pub mod vector;
+
+pub use error::{NumericsError, Result};
+pub use matrix::Matrix;

@@ -1,0 +1,626 @@
+//! Dense row-major matrix of `f64`.
+//!
+//! Deliberately minimal: exactly the operations the Share stack needs
+//! (regression via normal equations / QR, covariance computation). All
+//! fallible operations return `NumericsError`
+//! instead of panicking, except indexing which follows the usual Rust slice
+//! convention of panicking on out-of-bounds access.
+
+use crate::error::{NumericsError, Result};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Errors
+    /// [`NumericsError::ShapeMismatch`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(NumericsError::ShapeMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Build from nested row slices.
+    ///
+    /// # Errors
+    /// [`NumericsError::ShapeMismatch`] when rows have differing lengths, or
+    /// [`NumericsError::EmptyInput`] for an empty row list.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let Some(first) = rows.first() else {
+            return Err(NumericsError::EmptyInput {
+                routine: "Matrix::from_rows",
+            });
+        };
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(NumericsError::ShapeMismatch {
+                    op: "from_rows",
+                    lhs: (i, cols),
+                    rhs: (i, r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consume and return the underlying row-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow row `i` as a slice. Panics when out of bounds.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`. Panics when out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a new vector. Panics when out of bounds.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    /// [`NumericsError::ShapeMismatch`] when inner dimensions differ.
+    pub fn matmul(&self, rhs: &Self) -> Result<Self> {
+        if self.cols != rhs.rows {
+            return Err(NumericsError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        // ikj loop order: streams through rhs rows, cache-friendlier than ijk.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Errors
+    /// [`NumericsError::ShapeMismatch`] when `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(NumericsError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Gram matrix `selfᵀ * self` (symmetric positive semi-definite),
+    /// computed directly without materializing the transpose.
+    pub fn gram(&self) -> Self {
+        let n = self.cols;
+        let mut g = Self::zeros(n, n);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..n {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    g[(i, j)] += ri * row[j];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// `selfᵀ * y` without materializing the transpose.
+    ///
+    /// # Errors
+    /// [`NumericsError::ShapeMismatch`] when `y.len() != rows`.
+    pub fn t_matvec(&self, y: &[f64]) -> Result<Vec<f64>> {
+        if y.len() != self.rows {
+            return Err(NumericsError::ShapeMismatch {
+                op: "t_matvec",
+                lhs: self.shape(),
+                rhs: (y.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &yi) in y.iter().enumerate() {
+            if yi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += a * yi;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// # Errors
+    /// [`NumericsError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, rhs: &Self) -> Result<Self> {
+        if self.shape() != rhs.shape() {
+            return Err(NumericsError::ShapeMismatch {
+                op: "add",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// # Errors
+    /// [`NumericsError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, rhs: &Self) -> Result<Self> {
+        if self.shape() != rhs.shape() {
+            return Err(NumericsError::ShapeMismatch {
+                op: "sub",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Scale every element by `alpha`, in place.
+    pub fn scale_mut(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Add `alpha` to every diagonal element, in place (ridge shift).
+    pub fn shift_diagonal(&mut self, alpha: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += alpha;
+        }
+    }
+
+    /// Append a leading column of ones (intercept design column).
+    pub fn with_intercept_column(&self) -> Self {
+        let mut out = Self::zeros(self.rows, self.cols + 1);
+        for i in 0..self.rows {
+            out[(i, 0)] = 1.0;
+            out.row_mut(i)[1..].copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Select the given rows into a new matrix. Panics on out-of-bounds
+    /// indices (programming error).
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let mut out = Self::zeros(indices.len(), self.cols);
+        for (k, &i) in indices.iter().enumerate() {
+            out.row_mut(k).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Vertically stack `self` on top of `other`.
+    ///
+    /// # Errors
+    /// [`NumericsError::ShapeMismatch`] when column counts differ.
+    pub fn vstack(&self, other: &Self) -> Result<Self> {
+        if self.cols != other.cols {
+            return Err(NumericsError::ShapeMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Self {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Maximum absolute element.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// `true` when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// `true` when the matrix is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>12.5} ", self[(i, j)])?;
+            }
+            if self.cols > 8 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m23() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let m = m23();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert!(!m.is_square());
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+        assert!(matches!(err, Err(NumericsError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert!(matches!(
+            Matrix::from_rows(&[]),
+            Err(NumericsError::EmptyInput { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i = Matrix::identity(3);
+        let m = Matrix::from_vec(3, 3, (1..=9).map(f64::from).collect()).unwrap();
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        assert_eq!(i.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = m23();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().shape(), (3, 2));
+        assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m23();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(
+            c,
+            Matrix::from_vec(2, 2, vec![58.0, 64.0, 139.0, 154.0]).unwrap()
+        );
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = m23();
+        assert!(a.matmul(&m23()).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = m23();
+        let x = vec![1.0, 0.5, -1.0];
+        let y = a.matvec(&x).unwrap();
+        assert_eq!(y, vec![1.0 + 1.0 - 3.0, 4.0 + 2.5 - 6.0]);
+    }
+
+    #[test]
+    fn gram_equals_at_a() {
+        let a = m23();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        let g = a.gram();
+        assert!(g.sub(&explicit).unwrap().norm_max() < 1e-12);
+        assert!(g.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn t_matvec_equals_transpose_matvec() {
+        let a = m23();
+        let y = vec![2.0, -1.0];
+        let direct = a.t_matvec(&y).unwrap();
+        let explicit = a.transpose().matvec(&y).unwrap();
+        assert_eq!(direct, explicit);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = m23();
+        let s = a.add(&a).unwrap();
+        let mut half = s.clone();
+        half.scale_mut(0.5);
+        assert_eq!(half, a);
+        assert_eq!(s.sub(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn shift_diagonal_adds_ridge() {
+        let mut m = Matrix::zeros(2, 2);
+        m.shift_diagonal(3.0);
+        assert_eq!(m, Matrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 3.0]).unwrap());
+    }
+
+    #[test]
+    fn intercept_column_prepends_ones() {
+        let m = m23().with_intercept_column();
+        assert_eq!(m.shape(), (2, 4));
+        assert_eq!(m.col(0), vec![1.0, 1.0]);
+        assert_eq!(m[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn select_rows_copies() {
+        let m = m23();
+        let s = m.select_rows(&[1, 0, 1]);
+        assert_eq!(s.shape(), (3, 3));
+        assert_eq!(s.row(0), m.row(1));
+        assert_eq!(s.row(1), m.row(0));
+        assert_eq!(s.row(2), m.row(1));
+    }
+
+    #[test]
+    fn vstack_stacks() {
+        let m = m23();
+        let v = m.vstack(&m).unwrap();
+        assert_eq!(v.shape(), (4, 3));
+        assert_eq!(v.row(2), m.row(0));
+    }
+
+    #[test]
+    fn vstack_rejects_mismatched_cols() {
+        let m = m23();
+        let other = Matrix::zeros(1, 2);
+        assert!(m.vstack(&other).is_err());
+    }
+
+    #[test]
+    fn norms_and_finiteness() {
+        let m = Matrix::from_vec(1, 2, vec![3.0, -4.0]).unwrap();
+        assert_eq!(m.norm_frobenius(), 5.0);
+        assert_eq!(m.norm_max(), 4.0);
+        assert!(m.all_finite());
+        let bad = Matrix::from_vec(1, 1, vec![f64::NAN]).unwrap();
+        assert!(!bad.all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = m23();
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn filled_and_into_vec() {
+        let m = Matrix::filled(2, 3, 7.5);
+        assert!(m.as_slice().iter().all(|&v| v == 7.5));
+        let v = m.into_vec();
+        assert_eq!(v.len(), 6);
+        assert_eq!(v[5], 7.5);
+    }
+
+    #[test]
+    fn scale_mut_scales_everything() {
+        let mut m = Matrix::filled(2, 2, 2.0);
+        m.scale_mut(-0.5);
+        assert!(m.as_slice().iter().all(|&v| v == -1.0));
+    }
+
+    #[test]
+    fn display_does_not_panic() {
+        let m = Matrix::zeros(10, 10);
+        let s = format!("{m}");
+        assert!(s.contains("Matrix 10x10"));
+    }
+}

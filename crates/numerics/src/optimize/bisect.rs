@@ -1,0 +1,151 @@
+//! Bisection root finding. Used to invert monotone maps (e.g. recovering the
+//! LDP budget ε from a target fidelity τ when no closed form is available)
+//! and to solve first-order conditions directly.
+
+use crate::error::{NumericsError, Result};
+
+/// Options for [`find_root`].
+#[derive(Debug, Clone, Copy)]
+pub struct BisectOptions {
+    /// Stop when the bracket is narrower than this.
+    pub x_tol: f64,
+    /// Stop when `|f(x)|` falls below this.
+    pub f_tol: f64,
+    /// Hard iteration cap.
+    pub max_iter: usize,
+}
+
+impl Default for BisectOptions {
+    fn default() -> Self {
+        Self {
+            x_tol: 1e-12,
+            f_tol: 1e-12,
+            max_iter: 200,
+        }
+    }
+}
+
+/// Find a root of `f` on `[a, b]` where `f(a)` and `f(b)` have opposite signs.
+///
+/// # Errors
+/// - [`NumericsError::InvalidArgument`] for an invalid interval.
+/// - [`NumericsError::BadBracket`] when `f(a)·f(b) > 0`.
+/// - [`NumericsError::NonFinite`] when `f` returns NaN.
+/// - [`NumericsError::NoConvergence`] when the cap is exhausted (practically
+///   unreachable with the default 200 iterations).
+pub fn find_root<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    opts: BisectOptions,
+) -> Result<f64> {
+    if !(a.is_finite() && b.is_finite()) || a >= b {
+        return Err(NumericsError::InvalidArgument {
+            name: "interval",
+            reason: format!("requires finite a < b, got [{a}, {b}]"),
+        });
+    }
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa.is_nan() || fb.is_nan() {
+        return Err(NumericsError::NonFinite {
+            context: "bisection endpoint",
+        });
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::BadBracket {
+            routine: "find_root",
+            a,
+            b,
+        });
+    }
+    let (mut lo, mut hi) = (a, b);
+    for it in 0..opts.max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm.is_nan() {
+            return Err(NumericsError::NonFinite {
+                context: "bisection midpoint",
+            });
+        }
+        if fm.abs() <= opts.f_tol || (hi - lo) <= opts.x_tol {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            lo = mid;
+            fa = fm;
+        } else {
+            hi = mid;
+        }
+        let _ = it;
+    }
+    Err(NumericsError::NoConvergence {
+        routine: "find_root",
+        iterations: opts.max_iter,
+        residual: hi - lo,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqrt_two() {
+        let r = find_root(|x| x * x - 2.0, 0.0, 2.0, BisectOptions::default()).unwrap();
+        assert!((r - 2.0_f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn root_at_endpoint() {
+        assert_eq!(
+            find_root(|x| x, 0.0, 1.0, BisectOptions::default()).unwrap(),
+            0.0
+        );
+        assert_eq!(
+            find_root(|x| x - 1.0, 0.0, 1.0, BisectOptions::default()).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn bad_bracket_detected() {
+        assert!(matches!(
+            find_root(|x| x * x + 1.0, -1.0, 1.0, BisectOptions::default()),
+            Err(NumericsError::BadBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_interval_rejected() {
+        assert!(find_root(|x| x, 1.0, 0.0, BisectOptions::default()).is_err());
+        assert!(find_root(|x| x, 0.0, f64::INFINITY, BisectOptions::default()).is_err());
+    }
+
+    #[test]
+    fn nan_reported() {
+        assert!(matches!(
+            find_root(|_| f64::NAN, 0.0, 1.0, BisectOptions::default()),
+            Err(NumericsError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn transcendental_root() {
+        // cos(x) = x near 0.739085.
+        let r = find_root(|x| x.cos() - x, 0.0, 1.0, BisectOptions::default()).unwrap();
+        assert!((r - 0.739_085_133_215).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decreasing_function() {
+        let r = find_root(|x| 1.0 - x, 0.0, 3.0, BisectOptions::default()).unwrap();
+        assert!((r - 1.0).abs() < 1e-10);
+    }
+}

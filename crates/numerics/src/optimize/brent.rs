@@ -1,0 +1,241 @@
+//! Brent's method: bracketing root finding with superlinear convergence.
+//!
+//! Combines bisection's robustness with inverse quadratic interpolation's
+//! speed — the preferred way to invert smooth monotone maps (e.g. solving
+//! first-order conditions of calibrated profit functions where bisection's
+//! fixed halving is wasteful).
+
+use crate::error::{NumericsError, Result};
+
+/// Options for [`brent_root`].
+#[derive(Debug, Clone, Copy)]
+pub struct BrentOptions {
+    /// Absolute tolerance on the root location.
+    pub x_tol: f64,
+    /// Hard iteration cap.
+    pub max_iter: usize,
+}
+
+impl Default for BrentOptions {
+    fn default() -> Self {
+        Self {
+            x_tol: 1e-13,
+            max_iter: 100,
+        }
+    }
+}
+
+/// Find a root of `f` on a bracketing interval `[a, b]` with Brent's method.
+///
+/// # Errors
+/// - [`NumericsError::InvalidArgument`] for an invalid interval.
+/// - [`NumericsError::BadBracket`] when `f(a)·f(b) > 0`.
+/// - [`NumericsError::NonFinite`] for NaN evaluations.
+/// - [`NumericsError::NoConvergence`] if the cap is exhausted.
+pub fn brent_root<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    opts: BrentOptions,
+) -> Result<f64> {
+    if !(a.is_finite() && b.is_finite()) || a >= b {
+        return Err(NumericsError::InvalidArgument {
+            name: "interval",
+            reason: format!("requires finite a < b, got [{a}, {b}]"),
+        });
+    }
+    let (mut xa, mut xb) = (a, b);
+    let mut fa = f(xa);
+    let mut fb = f(xb);
+    if fa.is_nan() || fb.is_nan() {
+        return Err(NumericsError::NonFinite {
+            context: "brent endpoint",
+        });
+    }
+    if fa == 0.0 {
+        return Ok(xa);
+    }
+    if fb == 0.0 {
+        return Ok(xb);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::BadBracket {
+            routine: "brent_root",
+            a,
+            b,
+        });
+    }
+    // Ensure |f(xb)| <= |f(xa)|: xb is the best iterate.
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut xa, &mut xb);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut xc = xa;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut xd = xa; // previous-previous iterate (only read after 1st round)
+
+    for _ in 0..opts.max_iter {
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            xa * fb * fc / ((fa - fb) * (fa - fc))
+                + xb * fa * fc / ((fb - fa) * (fb - fc))
+                + xc * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            xb - fb * (xb - xa) / (fb - fa)
+        };
+
+        let low = (3.0 * xa + xb) / 4.0;
+        let (lo, hi) = if low < xb { (low, xb) } else { (xb, low) };
+        let cond_out = !(lo..=hi).contains(&s);
+        let cond_slow = if mflag {
+            (s - xb).abs() >= (xb - xc).abs() / 2.0
+        } else {
+            (s - xb).abs() >= (xc - xd).abs() / 2.0
+        };
+        let cond_tiny = if mflag {
+            (xb - xc).abs() < opts.x_tol
+        } else {
+            (xc - xd).abs() < opts.x_tol
+        };
+        if cond_out || cond_slow || cond_tiny {
+            s = (xa + xb) / 2.0;
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        if fs.is_nan() {
+            return Err(NumericsError::NonFinite {
+                context: "brent iterate",
+            });
+        }
+        xd = xc;
+        xc = xb;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            xb = s;
+            fb = fs;
+        } else {
+            xa = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut xa, &mut xb);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+        if fb == 0.0 || (xb - xa).abs() < opts.x_tol {
+            return Ok(xb);
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        routine: "brent_root",
+        iterations: opts.max_iter,
+        residual: (xb - xa).abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqrt_two_fast() {
+        let r = brent_root(|x| x * x - 2.0, 0.0, 2.0, BrentOptions::default()).unwrap();
+        assert!((r - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_faster_than_bisection() {
+        // Count evaluations for a smooth function.
+        let count = |routine: &str| -> usize {
+            let mut n = 0;
+            let f = |x: f64| {
+                x.exp() - 3.0 * x // roots near 0.619 and 1.512
+            };
+            match routine {
+                "brent" => {
+                    let mut g = |x: f64| {
+                        n += 1;
+                        f(x)
+                    };
+                    brent_root(&mut g, 0.0, 1.0, BrentOptions::default()).unwrap();
+                }
+                _ => {
+                    let mut g = |x: f64| {
+                        n += 1;
+                        f(x)
+                    };
+                    crate::optimize::bisect::find_root(
+                        &mut g,
+                        0.0,
+                        1.0,
+                        crate::optimize::bisect::BisectOptions {
+                            x_tol: 1e-13,
+                            f_tol: 0.0,
+                            max_iter: 200,
+                        },
+                    )
+                    .unwrap();
+                }
+            }
+            n
+        };
+        let brent_n = count("brent");
+        let bisect_n = count("bisect");
+        assert!(
+            brent_n < bisect_n / 2,
+            "brent {brent_n} vs bisect {bisect_n}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_bisection_on_transcendental() {
+        let f = |x: f64| x.cos() - x;
+        let b = brent_root(f, 0.0, 1.0, BrentOptions::default()).unwrap();
+        assert!((b - 0.739_085_133_215).abs() < 1e-10);
+    }
+
+    #[test]
+    fn roots_at_endpoints() {
+        assert_eq!(
+            brent_root(|x| x, 0.0, 1.0, BrentOptions::default()).unwrap(),
+            0.0
+        );
+        assert_eq!(
+            brent_root(|x| x - 1.0, 0.0, 1.0, BrentOptions::default()).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn bad_bracket_rejected() {
+        assert!(matches!(
+            brent_root(|x| x * x + 1.0, -1.0, 1.0, BrentOptions::default()),
+            Err(NumericsError::BadBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_interval_and_nan_rejected() {
+        assert!(brent_root(|x| x, 1.0, 0.0, BrentOptions::default()).is_err());
+        assert!(matches!(
+            brent_root(|_| f64::NAN, 0.0, 1.0, BrentOptions::default()),
+            Err(NumericsError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn steep_function_converges() {
+        let r = brent_root(
+            |x| (x - 0.123).powi(3) * 1e6,
+            -1.0,
+            1.0,
+            BrentOptions::default(),
+        )
+        .unwrap();
+        assert!((r - 0.123).abs() < 1e-4, "{r}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Golden-section search for one-dimensional maximization.
+//!
+//! The Share equilibrium solver uses this as the derivative-free path: every
+//! stage objective (buyer profit in `p^M`, broker profit in `p^D`, seller
+//! profit in `τ_i`) is strictly concave on its feasible interval, where
+//! golden-section converges linearly and unconditionally.
+
+use crate::error::{NumericsError, Result};
+
+/// Options for [`maximize`].
+#[derive(Debug, Clone, Copy)]
+pub struct GoldenOptions {
+    /// Stop when the bracketing interval is narrower than this.
+    pub tol: f64,
+    /// Hard iteration cap.
+    pub max_iter: usize,
+}
+
+impl Default for GoldenOptions {
+    fn default() -> Self {
+        Self {
+            tol: 1e-10,
+            max_iter: 200,
+        }
+    }
+}
+
+/// Result of a golden-section maximization.
+#[derive(Debug, Clone, Copy)]
+pub struct GoldenResult {
+    /// Argmax estimate.
+    pub x: f64,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+const INV_PHI: f64 = 0.618_033_988_749_894_9; // (sqrt(5) - 1) / 2
+
+/// Maximize a unimodal function on `[a, b]` by golden-section search.
+///
+/// For a *concave* `f` the returned point is the global maximizer on the
+/// interval (within `tol`); for a general unimodal `f` it is the unique local
+/// maximizer. When `f` is monotone the search converges to the appropriate
+/// endpoint.
+///
+/// # Errors
+/// - [`NumericsError::InvalidArgument`] when `a >= b`, bounds are not finite,
+///   or `tol <= 0`.
+/// - [`NumericsError::NonFinite`] when `f` returns NaN.
+pub fn maximize<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    opts: GoldenOptions,
+) -> Result<GoldenResult> {
+    if !(a.is_finite() && b.is_finite()) {
+        return Err(NumericsError::InvalidArgument {
+            name: "interval",
+            reason: format!("bounds must be finite, got [{a}, {b}]"),
+        });
+    }
+    if a >= b {
+        return Err(NumericsError::InvalidArgument {
+            name: "interval",
+            reason: format!("requires a < b, got [{a}, {b}]"),
+        });
+    }
+    if opts.tol <= 0.0 {
+        return Err(NumericsError::InvalidArgument {
+            name: "tol",
+            reason: format!("must be positive, got {}", opts.tol),
+        });
+    }
+
+    let mut lo = a;
+    let mut hi = b;
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    if f1.is_nan() || f2.is_nan() {
+        return Err(NumericsError::NonFinite {
+            context: "golden-section objective",
+        });
+    }
+
+    let mut iterations = 0;
+    while (hi - lo) > opts.tol && iterations < opts.max_iter {
+        if f1 < f2 {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = f(x2);
+            if f2.is_nan() {
+                return Err(NumericsError::NonFinite {
+                    context: "golden-section objective",
+                });
+            }
+        } else {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = f(x1);
+            if f1.is_nan() {
+                return Err(NumericsError::NonFinite {
+                    context: "golden-section objective",
+                });
+            }
+        }
+        iterations += 1;
+    }
+
+    let x = 0.5 * (lo + hi);
+    // Evaluate endpoints too: a monotone objective maximizes at the boundary
+    // and the midpoint of the final bracket can be marginally inside.
+    let fx = f(x);
+    let (mut best_x, mut best_f) = (x, fx);
+    for (cx, cf) in [(x1, f1), (x2, f2)] {
+        if cf > best_f {
+            best_x = cx;
+            best_f = cf;
+        }
+    }
+    Ok(GoldenResult {
+        x: best_x,
+        value: best_f,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_peak_found() {
+        let r = maximize(
+            |x| -(x - 2.0) * (x - 2.0),
+            0.0,
+            5.0,
+            GoldenOptions::default(),
+        )
+        .unwrap();
+        assert!((r.x - 2.0).abs() < 1e-8, "{}", r.x);
+        assert!(r.value.abs() < 1e-15);
+    }
+
+    #[test]
+    fn peak_at_left_endpoint() {
+        let r = maximize(|x| -x, 0.0, 1.0, GoldenOptions::default()).unwrap();
+        assert!(r.x < 1e-8, "{}", r.x);
+    }
+
+    #[test]
+    fn peak_at_right_endpoint() {
+        let r = maximize(|x| x, 0.0, 1.0, GoldenOptions::default()).unwrap();
+        assert!(r.x > 1.0 - 1e-8, "{}", r.x);
+    }
+
+    #[test]
+    fn log_utility_shape() {
+        // f(x) = ln(1 + x) - 0.5 x², maximizer solves 1/(1+x) = x → x = (√5-1)/2.
+        let gold = (5.0_f64.sqrt() - 1.0) / 2.0;
+        let r = maximize(
+            |x| (1.0 + x).ln() - 0.5 * x * x,
+            0.0,
+            4.0,
+            GoldenOptions::default(),
+        )
+        .unwrap();
+        assert!((r.x - gold).abs() < 1e-7, "{} vs {gold}", r.x);
+    }
+
+    #[test]
+    fn respects_tolerance() {
+        let loose = GoldenOptions {
+            tol: 1e-2,
+            max_iter: 200,
+        };
+        let r = maximize(|x| -(x - 1.0).powi(2), 0.0, 10.0, loose).unwrap();
+        assert!((r.x - 1.0).abs() < 1e-2);
+        assert!(r.iterations < 25);
+    }
+
+    #[test]
+    fn invalid_interval_rejected() {
+        assert!(maximize(|x| x, 1.0, 1.0, GoldenOptions::default()).is_err());
+        assert!(maximize(|x| x, 2.0, 1.0, GoldenOptions::default()).is_err());
+        assert!(maximize(|x| x, f64::NEG_INFINITY, 1.0, GoldenOptions::default()).is_err());
+    }
+
+    #[test]
+    fn invalid_tol_rejected() {
+        let opts = GoldenOptions {
+            tol: 0.0,
+            max_iter: 10,
+        };
+        assert!(maximize(|x| x, 0.0, 1.0, opts).is_err());
+    }
+
+    #[test]
+    fn nan_objective_reported() {
+        let r = maximize(|_| f64::NAN, 0.0, 1.0, GoldenOptions::default());
+        assert!(matches!(r, Err(NumericsError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn narrow_interval_converges_immediately() {
+        let r = maximize(|x| -(x * x), -1e-12, 1e-12, GoldenOptions::default()).unwrap();
+        assert!(r.x.abs() < 1e-11);
+    }
+}

@@ -1,0 +1,175 @@
+//! Grid scanning utilities: coarse global maximization (to bracket the peak
+//! before golden-section refinement) and linear/log-spaced parameter sweeps
+//! used throughout the experiment harness.
+
+use crate::error::{NumericsError, Result};
+
+/// `n` evenly spaced points from `lo` to `hi` inclusive.
+///
+/// # Errors
+/// [`NumericsError::InvalidArgument`] when `n < 2` or `lo >= hi`.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Result<Vec<f64>> {
+    if n < 2 {
+        return Err(NumericsError::InvalidArgument {
+            name: "n",
+            reason: format!("linspace requires n >= 2, got {n}"),
+        });
+    }
+    if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+        return Err(NumericsError::InvalidArgument {
+            name: "range",
+            reason: format!("requires finite lo < hi, got [{lo}, {hi}]"),
+        });
+    }
+    let step = (hi - lo) / (n - 1) as f64;
+    Ok((0..n)
+        .map(|i| {
+            if i == n - 1 {
+                hi // guarantee exact endpoint despite rounding
+            } else {
+                lo + step * i as f64
+            }
+        })
+        .collect())
+}
+
+/// `n` logarithmically spaced points from `lo` to `hi` inclusive
+/// (both strictly positive).
+///
+/// # Errors
+/// [`NumericsError::InvalidArgument`] when `n < 2`, bounds are non-positive,
+/// or `lo >= hi`.
+pub fn logspace(lo: f64, hi: f64, n: usize) -> Result<Vec<f64>> {
+    if lo <= 0.0 || hi <= 0.0 {
+        return Err(NumericsError::InvalidArgument {
+            name: "range",
+            reason: format!("logspace requires positive bounds, got [{lo}, {hi}]"),
+        });
+    }
+    let exps = linspace(lo.ln(), hi.ln(), n)?;
+    let mut out: Vec<f64> = exps.into_iter().map(f64::exp).collect();
+    // Pin endpoints exactly.
+    out[0] = lo;
+    *out.last_mut().expect("n >= 2") = hi;
+    Ok(out)
+}
+
+/// Coarse-to-fine maximization: scan `n_grid` points on `[lo, hi]`, then
+/// refine around the best cell with golden-section search. Robust to mild
+/// multimodality that pure golden-section would mishandle.
+///
+/// # Errors
+/// Propagates [`linspace`] and golden-section errors;
+/// [`NumericsError::NonFinite`] when every grid evaluation is NaN.
+pub fn maximize_scan<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    n_grid: usize,
+    tol: f64,
+) -> Result<(f64, f64)> {
+    let grid = linspace(lo, hi, n_grid.max(3))?;
+    let mut best_i = None;
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, &x) in grid.iter().enumerate() {
+        let v = f(x);
+        if v.is_finite() && v > best_v {
+            best_v = v;
+            best_i = Some(i);
+        }
+    }
+    let Some(i) = best_i else {
+        return Err(NumericsError::NonFinite {
+            context: "maximize_scan grid",
+        });
+    };
+    let a = grid[i.saturating_sub(1)];
+    let b = grid[(i + 1).min(grid.len() - 1)];
+    if a >= b {
+        return Ok((grid[i], best_v));
+    }
+    let r = super::golden::maximize(f, a, b, super::golden::GoldenOptions { tol, max_iter: 200 })?;
+    if r.value >= best_v {
+        Ok((r.x, r.value))
+    } else {
+        Ok((grid[i], best_v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let v = linspace(0.0, 1.0, 5).unwrap();
+        assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn linspace_exact_last_point() {
+        let v = linspace(0.1, 0.9, 9).unwrap();
+        assert_eq!(*v.last().unwrap(), 0.9);
+        assert_eq!(v[0], 0.1);
+    }
+
+    #[test]
+    fn linspace_rejects_degenerate() {
+        assert!(linspace(0.0, 1.0, 1).is_err());
+        assert!(linspace(1.0, 1.0, 3).is_err());
+        assert!(linspace(2.0, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn logspace_multiplicative_spacing() {
+        let v = logspace(1.0, 1000.0, 4).unwrap();
+        assert_eq!(v[0], 1.0);
+        assert!((v[1] - 10.0).abs() < 1e-9);
+        assert!((v[2] - 100.0).abs() < 1e-9);
+        assert_eq!(v[3], 1000.0);
+    }
+
+    #[test]
+    fn logspace_rejects_nonpositive() {
+        assert!(logspace(0.0, 1.0, 3).is_err());
+        assert!(logspace(-1.0, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn scan_finds_global_peak_among_two_bumps() {
+        // Two Gaussian bumps; the taller at x=4.
+        let f = |x: f64| (-(x - 1.0) * (x - 1.0)).exp() + 2.0 * (-(x - 4.0) * (x - 4.0)).exp();
+        // The smaller bump shifts the true argmax slightly left of 4.
+        let (x, v) = maximize_scan(f, 0.0, 6.0, 50, 1e-9).unwrap();
+        assert!((x - 4.0).abs() < 1e-2, "{x}");
+        assert!(v > 1.9);
+    }
+
+    #[test]
+    fn scan_handles_boundary_peak() {
+        let (x, _) = maximize_scan(|x| x, 0.0, 1.0, 11, 1e-9).unwrap();
+        assert!(x > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn scan_all_nan_rejected() {
+        assert!(matches!(
+            maximize_scan(|_| f64::NAN, 0.0, 1.0, 10, 1e-9),
+            Err(NumericsError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn scan_with_partial_nan_region() {
+        // NaN for x < 0.5 (e.g. log of a negative number), peak at 0.8.
+        let f = |x: f64| {
+            if x < 0.5 {
+                f64::NAN
+            } else {
+                -(x - 0.8) * (x - 0.8)
+            }
+        };
+        let (x, _) = maximize_scan(f, 0.0, 1.0, 21, 1e-9).unwrap();
+        assert!((x - 0.8).abs() < 0.06, "{x}");
+    }
+}

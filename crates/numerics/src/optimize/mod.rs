@@ -1,0 +1,19 @@
+//! One-dimensional optimization and root finding.
+//!
+//! Every strategy space in the Share game is a compact interval and every
+//! profit function is strictly concave on it, so 1-D kernels are all the
+//! equilibrium machinery needs: golden-section (derivative-free), safeguarded
+//! Newton (fast polish + curvature checks), bisection (inversion of monotone
+//! maps and first-order conditions), and coarse-to-fine grid scanning.
+
+pub mod bisect;
+pub mod brent;
+pub mod golden;
+pub mod grid;
+pub mod newton;
+
+pub use bisect::{find_root, BisectOptions};
+pub use brent::{brent_root, BrentOptions};
+pub use golden::{maximize, GoldenOptions, GoldenResult};
+pub use grid::{linspace, logspace, maximize_scan};
+pub use newton::{derivative, maximize_newton, second_derivative, NewtonOptions, NewtonResult};

@@ -1,0 +1,204 @@
+//! Safeguarded Newton maximization in one dimension with numerical
+//! derivatives. Used to polish golden-section estimates and to verify
+//! second-order (concavity) conditions at the analytic SNE strategies.
+
+use crate::error::{NumericsError, Result};
+
+/// Options for [`maximize_newton`].
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonOptions {
+    /// Convergence threshold on `|f'(x)|`.
+    pub grad_tol: f64,
+    /// Hard iteration cap.
+    pub max_iter: usize,
+    /// Relative step used for central finite differences.
+    pub fd_step: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        Self {
+            grad_tol: 1e-9,
+            max_iter: 100,
+            fd_step: 1e-6,
+        }
+    }
+}
+
+/// Central-difference first derivative of `f` at `x`.
+pub fn derivative<F: FnMut(f64) -> f64>(mut f: F, x: f64, rel_step: f64) -> f64 {
+    let h = rel_step * x.abs().max(1.0);
+    (f(x + h) - f(x - h)) / (2.0 * h)
+}
+
+/// Central-difference second derivative of `f` at `x`.
+pub fn second_derivative<F: FnMut(f64) -> f64>(mut f: F, x: f64, rel_step: f64) -> f64 {
+    let h = rel_step * x.abs().max(1.0);
+    (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h)
+}
+
+/// Result of a Newton maximization.
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonResult {
+    /// Stationary-point estimate.
+    pub x: f64,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// `f'(x)` at the final iterate.
+    pub gradient: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Maximize a smooth concave function on `[lo, hi]` by safeguarded Newton
+/// iteration: steps that leave the bracket or that point uphill on a locally
+/// convex patch fall back to bisection toward the gradient sign.
+///
+/// # Errors
+/// - [`NumericsError::InvalidArgument`] for an empty/invalid bracket or a
+///   start point outside it.
+/// - [`NumericsError::NoConvergence`] when `max_iter` is exhausted with
+///   `|f'| > grad_tol`.
+/// - [`NumericsError::NonFinite`] when `f` returns NaN at an iterate.
+pub fn maximize_newton<F: FnMut(f64) -> f64>(
+    mut f: F,
+    x0: f64,
+    lo: f64,
+    hi: f64,
+    opts: NewtonOptions,
+) -> Result<NewtonResult> {
+    if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+        return Err(NumericsError::InvalidArgument {
+            name: "bracket",
+            reason: format!("requires finite lo < hi, got [{lo}, {hi}]"),
+        });
+    }
+    if !(lo..=hi).contains(&x0) {
+        return Err(NumericsError::InvalidArgument {
+            name: "x0",
+            reason: format!("start {x0} outside [{lo}, {hi}]"),
+        });
+    }
+
+    let mut x = x0;
+    let (mut bl, mut bh) = (lo, hi);
+    for it in 0..opts.max_iter {
+        let g = derivative(&mut f, x, opts.fd_step);
+        if g.is_nan() {
+            return Err(NumericsError::NonFinite {
+                context: "newton gradient",
+            });
+        }
+        if g.abs() <= opts.grad_tol {
+            let value = f(x);
+            return Ok(NewtonResult {
+                x,
+                value,
+                gradient: g,
+                iterations: it,
+            });
+        }
+        // Shrink the safeguard bracket using the gradient sign: for concave f
+        // the maximizer lies uphill of x.
+        if g > 0.0 {
+            bl = x;
+        } else {
+            bh = x;
+        }
+        let h = second_derivative(&mut f, x, opts.fd_step);
+        let newton_x = if h < 0.0 { x - g / h } else { f64::NAN };
+        x = if newton_x.is_finite() && newton_x > bl && newton_x < bh {
+            newton_x
+        } else {
+            0.5 * (bl + bh)
+        };
+        // Boundary maximum: bracket collapsed onto an endpoint.
+        if (bh - bl) < f64::EPSILON * (1.0 + bh.abs()) {
+            let value = f(x);
+            let g = derivative(&mut f, x, opts.fd_step);
+            return Ok(NewtonResult {
+                x,
+                value,
+                gradient: g,
+                iterations: it + 1,
+            });
+        }
+    }
+    let g = derivative(&mut f, x, opts.fd_step);
+    Err(NumericsError::NoConvergence {
+        routine: "maximize_newton",
+        iterations: opts.max_iter,
+        residual: g.abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_converges_fast() {
+        let r = maximize_newton(
+            |x| -(x - 3.0) * (x - 3.0),
+            0.0,
+            -10.0,
+            10.0,
+            NewtonOptions::default(),
+        )
+        .unwrap();
+        assert!((r.x - 3.0).abs() < 1e-6);
+        assert!(r.iterations <= 5, "{}", r.iterations);
+    }
+
+    #[test]
+    fn derivative_of_cubic() {
+        let d = derivative(|x| x * x * x, 2.0, 1e-6);
+        assert!((d - 12.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn second_derivative_of_quadratic() {
+        let d2 = second_derivative(|x| 3.0 * x * x, 1.0, 1e-5);
+        assert!((d2 - 6.0).abs() < 1e-3, "{d2}");
+    }
+
+    #[test]
+    fn log_objective_matches_closed_form() {
+        // max ln(1+x) - x²/2 on [0,4]; stationary: 1/(1+x) = x.
+        let gold = (5.0_f64.sqrt() - 1.0) / 2.0;
+        let r = maximize_newton(
+            |x| (1.0 + x).ln() - 0.5 * x * x,
+            1.0,
+            0.0,
+            4.0,
+            NewtonOptions::default(),
+        )
+        .unwrap();
+        assert!((r.x - gold).abs() < 1e-7);
+    }
+
+    #[test]
+    fn monotone_objective_hits_boundary() {
+        let r = maximize_newton(|x| x, 0.5, 0.0, 1.0, NewtonOptions::default()).unwrap();
+        assert!(r.x > 1.0 - 1e-9, "{}", r.x);
+    }
+
+    #[test]
+    fn start_outside_bracket_rejected() {
+        assert!(maximize_newton(|x| -x * x, 5.0, 0.0, 1.0, NewtonOptions::default()).is_err());
+    }
+
+    #[test]
+    fn degenerate_bracket_rejected() {
+        assert!(maximize_newton(|x| -x * x, 0.0, 1.0, 1.0, NewtonOptions::default()).is_err());
+    }
+
+    #[test]
+    fn agrees_with_golden_section() {
+        use crate::optimize::golden::{maximize, GoldenOptions};
+        let f = |x: f64| (1.0 + 2.0 * x).ln() - 0.3 * x * x;
+        let g = maximize(f, 0.0, 10.0, GoldenOptions::default()).unwrap();
+        let n = maximize_newton(f, 1.0, 0.0, 10.0, NewtonOptions::default()).unwrap();
+        assert!((g.x - n.x).abs() < 1e-6, "golden {} vs newton {}", g.x, n.x);
+    }
+}

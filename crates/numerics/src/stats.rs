@@ -1,0 +1,317 @@
+//! Descriptive statistics over `f64` slices: means, variances, quantiles,
+//! covariance/correlation. Used by the metrics crate (explained variance),
+//! the dataset generator (feature calibration) and the experiment harness
+//! (summarizing runtimes and profits).
+
+use crate::error::{NumericsError, Result};
+
+/// Arithmetic mean.
+///
+/// # Errors
+/// [`NumericsError::EmptyInput`] for an empty slice.
+pub fn mean(x: &[f64]) -> Result<f64> {
+    if x.is_empty() {
+        return Err(NumericsError::EmptyInput { routine: "mean" });
+    }
+    Ok(x.iter().sum::<f64>() / x.len() as f64)
+}
+
+/// Weighted mean `Σ wᵢ xᵢ / Σ wᵢ`.
+///
+/// # Errors
+/// - [`NumericsError::ShapeMismatch`] when lengths differ.
+/// - [`NumericsError::EmptyInput`] for empty input.
+/// - [`NumericsError::InvalidArgument`] when the weights sum to zero or any
+///   weight is negative.
+pub fn weighted_mean(x: &[f64], w: &[f64]) -> Result<f64> {
+    if x.len() != w.len() {
+        return Err(NumericsError::ShapeMismatch {
+            op: "weighted_mean",
+            lhs: (x.len(), 1),
+            rhs: (w.len(), 1),
+        });
+    }
+    if x.is_empty() {
+        return Err(NumericsError::EmptyInput {
+            routine: "weighted_mean",
+        });
+    }
+    if w.iter().any(|&wi| wi < 0.0) {
+        return Err(NumericsError::InvalidArgument {
+            name: "w",
+            reason: "weights must be non-negative".to_string(),
+        });
+    }
+    let wsum: f64 = w.iter().sum();
+    if wsum == 0.0 {
+        return Err(NumericsError::InvalidArgument {
+            name: "w",
+            reason: "weights sum to zero".to_string(),
+        });
+    }
+    Ok(x.iter().zip(w).map(|(a, b)| a * b).sum::<f64>() / wsum)
+}
+
+/// Population variance (divides by `n`).
+///
+/// # Errors
+/// [`NumericsError::EmptyInput`] for an empty slice.
+pub fn variance(x: &[f64]) -> Result<f64> {
+    let m = mean(x)?;
+    Ok(x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64)
+}
+
+/// Sample variance (divides by `n - 1`).
+///
+/// # Errors
+/// [`NumericsError::EmptyInput`] when fewer than two samples are given.
+pub fn sample_variance(x: &[f64]) -> Result<f64> {
+    if x.len() < 2 {
+        return Err(NumericsError::EmptyInput {
+            routine: "sample_variance",
+        });
+    }
+    let m = mean(x)?;
+    Ok(x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (x.len() - 1) as f64)
+}
+
+/// Population standard deviation.
+///
+/// # Errors
+/// Propagates [`variance`] errors.
+pub fn std_dev(x: &[f64]) -> Result<f64> {
+    Ok(variance(x)?.sqrt())
+}
+
+/// Population covariance of two equal-length samples.
+///
+/// # Errors
+/// [`NumericsError::ShapeMismatch`] / [`NumericsError::EmptyInput`].
+pub fn covariance(x: &[f64], y: &[f64]) -> Result<f64> {
+    if x.len() != y.len() {
+        return Err(NumericsError::ShapeMismatch {
+            op: "covariance",
+            lhs: (x.len(), 1),
+            rhs: (y.len(), 1),
+        });
+    }
+    let mx = mean(x)?;
+    let my = mean(y)?;
+    Ok(x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - mx) * (b - my))
+        .sum::<f64>()
+        / x.len() as f64)
+}
+
+/// Pearson correlation coefficient.
+///
+/// # Errors
+/// Propagates [`covariance`] errors; [`NumericsError::InvalidArgument`] when
+/// either sample is constant (zero variance).
+pub fn correlation(x: &[f64], y: &[f64]) -> Result<f64> {
+    let c = covariance(x, y)?;
+    let sx = std_dev(x)?;
+    let sy = std_dev(y)?;
+    if sx == 0.0 || sy == 0.0 {
+        return Err(NumericsError::InvalidArgument {
+            name: "x/y",
+            reason: "correlation undefined for a constant sample".to_string(),
+        });
+    }
+    Ok(c / (sx * sy))
+}
+
+/// Quantile by linear interpolation between order statistics
+/// (the "linear"/type-7 rule used by NumPy's default).
+///
+/// # Errors
+/// - [`NumericsError::EmptyInput`] for an empty slice.
+/// - [`NumericsError::InvalidArgument`] for `q` outside `[0, 1]` or NaN data.
+pub fn quantile(x: &[f64], q: f64) -> Result<f64> {
+    if x.is_empty() {
+        return Err(NumericsError::EmptyInput {
+            routine: "quantile",
+        });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(NumericsError::InvalidArgument {
+            name: "q",
+            reason: format!("must be in [0, 1], got {q}"),
+        });
+    }
+    if x.iter().any(|v| v.is_nan()) {
+        return Err(NumericsError::NonFinite {
+            context: "quantile input",
+        });
+    }
+    let mut sorted = x.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (50th percentile).
+///
+/// # Errors
+/// Propagates [`quantile`] errors.
+pub fn median(x: &[f64]) -> Result<f64> {
+    quantile(x, 0.5)
+}
+
+/// Minimum and maximum of a non-empty slice.
+///
+/// # Errors
+/// [`NumericsError::EmptyInput`] for an empty slice.
+pub fn min_max(x: &[f64]) -> Result<(f64, f64)> {
+    if x.is_empty() {
+        return Err(NumericsError::EmptyInput { routine: "min_max" });
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in x {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    Ok((lo, hi))
+}
+
+/// Five-number summary plus mean, for experiment reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+/// Compute a [`Summary`] of a non-empty sample.
+///
+/// # Errors
+/// [`NumericsError::EmptyInput`] for an empty slice.
+pub fn summarize(x: &[f64]) -> Result<Summary> {
+    let (min, max) = min_max(x)?;
+    Ok(Summary {
+        min,
+        q1: quantile(x, 0.25)?,
+        median: median(x)?,
+        q3: quantile(x, 0.75)?,
+        max,
+        mean: mean(x)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn weighted_mean_basic() {
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[1.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn weighted_mean_uniform_equals_mean() {
+        let x = [4.0, 8.0, 12.0];
+        assert_eq!(
+            weighted_mean(&x, &[1.0, 1.0, 1.0]).unwrap(),
+            mean(&x).unwrap()
+        );
+    }
+
+    #[test]
+    fn weighted_mean_rejects_bad_weights() {
+        assert!(weighted_mean(&[1.0], &[0.0]).is_err());
+        assert!(weighted_mean(&[1.0, 2.0], &[1.0, -1.0]).is_err());
+        assert!(weighted_mean(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn variance_and_std() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(variance(&x).unwrap(), 4.0);
+        assert_eq!(std_dev(&x).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn sample_variance_uses_n_minus_one() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(sample_variance(&x).unwrap(), 1.0);
+        assert!(sample_variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn covariance_of_identical_is_variance() {
+        let x = [1.0, 2.0, 4.0];
+        assert!((covariance(&x, &x).unwrap() - variance(&x).unwrap()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos = [2.0, 4.0, 6.0, 8.0];
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&x, &y_pos).unwrap() - 1.0).abs() < 1e-12);
+        assert!((correlation(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_constant_rejected() {
+        assert!(correlation(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&x, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&x, 1.0).unwrap(), 4.0);
+        assert_eq!(median(&x).unwrap(), 2.5);
+        assert_eq!(quantile(&x, 0.25).unwrap(), 1.75);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_q_and_nan() {
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[f64::NAN], 0.5).is_err());
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let x = [3.0, 1.0, 2.0];
+        assert_eq!(median(&x).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn min_max_basic() {
+        assert_eq!(min_max(&[3.0, -1.0, 2.0]).unwrap(), (-1.0, 3.0));
+        assert!(min_max(&[]).is_err());
+    }
+
+    #[test]
+    fn summary_consistency() {
+        let x = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let s = summarize(&x).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mean, 3.0);
+        assert!(s.q1 <= s.median && s.median <= s.q3);
+    }
+}

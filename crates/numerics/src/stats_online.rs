@@ -1,0 +1,164 @@
+//! Single-pass (Welford) accumulation of mean/variance/extremes.
+//!
+//! The experiment harness times thousands of market rounds; streaming
+//! moments avoid buffering every sample, and Welford's update is the
+//! numerically stable way to do it.
+
+/// Streaming moment accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one observation in (Welford's update).
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Observations folded so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (`None` before any observation).
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Sample variance (`None` with fewer than two observations).
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> Option<f64> {
+        self.sample_variance().map(f64::sqrt)
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator (Chan's parallel update).
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn matches_batch_statistics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: OnlineStats = xs.iter().copied().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean().unwrap() - stats::mean(&xs).unwrap()).abs() < 1e-12);
+        assert!(
+            (s.sample_variance().unwrap() - stats::sample_variance(&xs).unwrap()).abs() < 1e-12
+        );
+        assert_eq!(s.min().unwrap(), 2.0);
+        assert_eq!(s.max().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_single_observation_edges() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.sample_variance(), None);
+        assert_eq!(s.min(), None);
+        s.push(3.0);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.sample_variance(), None);
+        assert_eq!(s.min(), Some(3.0));
+        assert_eq!(s.max(), Some(3.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.77).sin() * 10.0).collect();
+        let seq: OnlineStats = xs.iter().copied().collect();
+        let mut a: OnlineStats = xs[..37].iter().copied().collect();
+        let b: OnlineStats = xs[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean().unwrap() - seq.mean().unwrap()).abs() < 1e-12);
+        assert!((a.sample_variance().unwrap() - seq.sample_variance().unwrap()).abs() < 1e-9);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let xs: OnlineStats = [1.0, 2.0].iter().copied().collect();
+        let mut a = xs;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, xs);
+        let mut e = OnlineStats::new();
+        e.merge(&xs);
+        assert_eq!(e, xs);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // Naive sum-of-squares catastrophically cancels here.
+        let base = 1e9;
+        let s: OnlineStats = (0..1000).map(|i| base + (i % 5) as f64).collect();
+        let var = s.sample_variance().unwrap();
+        assert!((var - 2.002).abs() < 0.01, "{var}");
+    }
+}

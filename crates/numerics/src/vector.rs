@@ -1,0 +1,209 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! Vectors are plain slices throughout the workspace; these helpers keep the
+//! call sites allocation-free and panic-free (shape errors are reported via
+//! `NumericsError`).
+
+use crate::error::{NumericsError, Result};
+
+/// Dot product `x · y`.
+///
+/// # Errors
+/// Returns [`NumericsError::ShapeMismatch`] when the lengths differ.
+pub fn dot(x: &[f64], y: &[f64]) -> Result<f64> {
+    if x.len() != y.len() {
+        return Err(NumericsError::ShapeMismatch {
+            op: "dot",
+            lhs: (x.len(), 1),
+            rhs: (y.len(), 1),
+        });
+    }
+    Ok(x.iter().zip(y).map(|(a, b)| a * b).sum())
+}
+
+/// Euclidean (L2) norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// L1 norm (sum of absolute values).
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Infinity norm (maximum absolute value); `0.0` for an empty slice.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// In-place `y += alpha * x` (BLAS `axpy`).
+///
+/// # Errors
+/// Returns [`NumericsError::ShapeMismatch`] when the lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) -> Result<()> {
+    if x.len() != y.len() {
+        return Err(NumericsError::ShapeMismatch {
+            op: "axpy",
+            lhs: (x.len(), 1),
+            rhs: (y.len(), 1),
+        });
+    }
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+    Ok(())
+}
+
+/// In-place scaling `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Element-wise difference `x - y` as a new vector.
+///
+/// # Errors
+/// Returns [`NumericsError::ShapeMismatch`] when the lengths differ.
+pub fn sub(x: &[f64], y: &[f64]) -> Result<Vec<f64>> {
+    if x.len() != y.len() {
+        return Err(NumericsError::ShapeMismatch {
+            op: "sub",
+            lhs: (x.len(), 1),
+            rhs: (y.len(), 1),
+        });
+    }
+    Ok(x.iter().zip(y).map(|(a, b)| a - b).collect())
+}
+
+/// Element-wise sum `x + y` as a new vector.
+///
+/// # Errors
+/// Returns [`NumericsError::ShapeMismatch`] when the lengths differ.
+pub fn add(x: &[f64], y: &[f64]) -> Result<Vec<f64>> {
+    if x.len() != y.len() {
+        return Err(NumericsError::ShapeMismatch {
+            op: "add",
+            lhs: (x.len(), 1),
+            rhs: (y.len(), 1),
+        });
+    }
+    Ok(x.iter().zip(y).map(|(a, b)| a + b).collect())
+}
+
+/// Sum of all elements.
+pub fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// `true` when every element is finite.
+pub fn all_finite(x: &[f64]) -> bool {
+    x.iter().all(|v| v.is_finite())
+}
+
+/// Maximum absolute element-wise difference between two equal-length slices.
+///
+/// # Errors
+/// Returns [`NumericsError::ShapeMismatch`] when the lengths differ.
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> Result<f64> {
+    if x.len() != y.len() {
+        return Err(NumericsError::ShapeMismatch {
+            op: "max_abs_diff",
+            lhs: (x.len(), 1),
+            rhs: (y.len(), 1),
+        });
+    }
+    Ok(x.iter()
+        .zip(y)
+        .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs())))
+}
+
+/// Approximate equality within an absolute tolerance.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Approximate equality with a mixed absolute/relative tolerance, robust for
+/// both tiny and large magnitudes.
+pub fn close(a: f64, b: f64, rel: f64, abs: f64) -> bool {
+    (a - b).abs() <= abs + rel * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn dot_shape_mismatch() {
+        assert!(matches!(
+            dot(&[1.0], &[1.0, 2.0]),
+            Err(NumericsError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn norms() {
+        let v = [3.0, -4.0];
+        assert_eq!(norm2(&v), 5.0);
+        assert_eq!(norm1(&v), 7.0);
+        assert_eq!(norm_inf(&v), 4.0);
+    }
+
+    #[test]
+    fn norm_inf_empty() {
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(0.5, &x, &mut y).unwrap();
+        assert_eq!(y, [10.5, 21.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = [1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [0.5, 0.5, 0.5];
+        let s = add(&x, &y).unwrap();
+        let d = sub(&s, &y).unwrap();
+        assert_eq!(d, x.to_vec());
+    }
+
+    #[test]
+    fn max_abs_diff_basic() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 1.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        assert!(all_finite(&[1.0, 2.0]));
+        assert!(!all_finite(&[1.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+
+    #[test]
+    fn close_handles_scales() {
+        assert!(close(1e-12, 0.0, 0.0, 1e-9));
+        assert!(close(1e9, 1e9 + 1.0, 1e-8, 0.0));
+        assert!(!close(1.0, 2.0, 1e-8, 1e-8));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the numerical kernels.
+
+use proptest::prelude::*;
+use share_numerics::decomp::{Cholesky, Lu, Qr};
+use share_numerics::matrix::Matrix;
+use share_numerics::optimize::{find_root, maximize, BisectOptions, GoldenOptions};
+use share_numerics::stats;
+use share_numerics::vector;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e3..1e3f64, len)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(x in finite_vec(8), y in finite_vec(8)) {
+        let a = vector::dot(&x, &y).unwrap();
+        let b = vector::dot(&y, &x).unwrap();
+        prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn norm2_triangle_inequality(x in finite_vec(6), y in finite_vec(6)) {
+        let s = vector::add(&x, &y).unwrap();
+        prop_assert!(vector::norm2(&s) <= vector::norm2(&x) + vector::norm2(&y) + 1e-9);
+    }
+
+    #[test]
+    fn cauchy_schwarz(x in finite_vec(5), y in finite_vec(5)) {
+        let d = vector::dot(&x, &y).unwrap().abs();
+        prop_assert!(d <= vector::norm2(&x) * vector::norm2(&y) + 1e-6);
+    }
+
+    #[test]
+    fn transpose_preserves_frobenius(data in finite_vec(12)) {
+        let m = Matrix::from_vec(3, 4, data).unwrap();
+        prop_assert!((m.norm_frobenius() - m.transpose().norm_frobenius()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_associative(a in finite_vec(4), b in finite_vec(4), c in finite_vec(4)) {
+        let a = Matrix::from_vec(2, 2, a).unwrap();
+        let b = Matrix::from_vec(2, 2, b).unwrap();
+        let c = Matrix::from_vec(2, 2, c).unwrap();
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        let scale = left.norm_max().max(1.0);
+        prop_assert!(left.sub(&right).unwrap().norm_max() <= 1e-8 * scale);
+    }
+
+    #[test]
+    fn gram_is_positive_semidefinite_diagonal(data in finite_vec(12)) {
+        let m = Matrix::from_vec(4, 3, data).unwrap();
+        let g = m.gram();
+        for i in 0..3 {
+            prop_assert!(g[(i, i)] >= -1e-12);
+        }
+        prop_assert!(g.is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn lu_solve_recovers_solution(data in finite_vec(9), x in finite_vec(3)) {
+        let mut a = Matrix::from_vec(3, 3, data).unwrap();
+        // Diagonal dominance guarantees non-singularity.
+        for i in 0..3 {
+            let rowsum: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+            a[(i, i)] += rowsum + 1.0;
+        }
+        let b = a.matvec(&x).unwrap();
+        let solved = Lu::factorize(&a).unwrap().solve(&b).unwrap();
+        let err = vector::max_abs_diff(&solved, &x).unwrap();
+        prop_assert!(err < 1e-6 * (1.0 + vector::norm_inf(&x)), "err {err}");
+    }
+
+    #[test]
+    fn cholesky_solve_matches_lu(data in finite_vec(12), x in finite_vec(3)) {
+        let m = Matrix::from_vec(4, 3, data).unwrap();
+        let mut g = m.gram();
+        g.shift_diagonal(1.0); // ensure SPD
+        let b = g.matvec(&x).unwrap();
+        let xc = Cholesky::factorize(&g).unwrap().solve(&b).unwrap();
+        let xl = Lu::factorize(&g).unwrap().solve(&b).unwrap();
+        let err = vector::max_abs_diff(&xc, &xl).unwrap();
+        prop_assert!(err < 1e-5 * (1.0 + vector::norm_inf(&x)), "err {err}");
+    }
+
+    #[test]
+    fn qr_least_squares_gradient_vanishes(data in finite_vec(10), b in finite_vec(5)) {
+        let mut a = Matrix::from_vec(5, 2, data).unwrap();
+        // Guarantee full column rank via distinct dominant entries.
+        a[(0, 0)] += 1e3;
+        a[(1, 1)] += 1e3;
+        let x = Qr::factorize(&a).unwrap().solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        let grad = a.t_matvec(&resid).unwrap();
+        let scale = a.norm_max() * (1.0 + vector::norm_inf(&b));
+        prop_assert!(vector::norm_inf(&grad) <= 1e-6 * scale.max(1.0));
+    }
+
+    #[test]
+    fn golden_finds_quadratic_peak(center in -5.0..5.0f64, width in 0.1..10.0f64) {
+        let r = maximize(
+            |x| -(x - center) * (x - center),
+            center - width,
+            center + width,
+            GoldenOptions::default(),
+        ).unwrap();
+        prop_assert!((r.x - center).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bisect_finds_linear_root(root in -10.0..10.0f64, slope in 0.1..10.0f64) {
+        let r = find_root(
+            |x| slope * (x - root),
+            -11.0,
+            11.0,
+            BisectOptions::default(),
+        ).unwrap();
+        prop_assert!((r - root).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_bounded_by_min_max(x in proptest::collection::vec(-1e6..1e6f64, 1..32)) {
+        let m = stats::mean(&x).unwrap();
+        let (lo, hi) = stats::min_max(&x).unwrap();
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn variance_nonnegative_and_shift_invariant(
+        x in proptest::collection::vec(-1e3..1e3f64, 2..16),
+        shift in -1e3..1e3f64,
+    ) {
+        let v = stats::variance(&x).unwrap();
+        prop_assert!(v >= 0.0);
+        let shifted: Vec<f64> = x.iter().map(|a| a + shift).collect();
+        let vs = stats::variance(&shifted).unwrap();
+        prop_assert!((v - vs).abs() <= 1e-6 * (1.0 + v.abs()));
+    }
+
+    #[test]
+    fn quantile_monotone_in_q(x in proptest::collection::vec(-1e3..1e3f64, 1..24)) {
+        let q25 = stats::quantile(&x, 0.25).unwrap();
+        let q50 = stats::quantile(&x, 0.50).unwrap();
+        let q75 = stats::quantile(&x, 0.75).unwrap();
+        prop_assert!(q25 <= q50 && q50 <= q75);
+    }
+
+    #[test]
+    fn correlation_in_unit_interval(
+        x in proptest::collection::vec(-1e3..1e3f64, 3..16),
+        noise in proptest::collection::vec(-1.0..1.0f64, 3..16),
+    ) {
+        let n = x.len().min(noise.len());
+        let x = &x[..n];
+        let y: Vec<f64> = x.iter().zip(&noise[..n]).map(|(a, e)| 2.0 * a + e).collect();
+        if let Ok(r) = stats::correlation(x, &y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The Banzhaf value — the other classical semivalue.
+//!
+//! Where Shapley weights a player's marginal contribution by coalition-size
+//! strata (uniform over permutation positions), Banzhaf weights all
+//! coalitions of the other players **uniformly**:
+//!
+//! ```text
+//! BZ_i = (1/2^{m−1}) · Σ_{S ⊆ Players∖{i}} [U(S ∪ {i}) − U(S)]
+//! ```
+//!
+//! It trades Shapley's efficiency axiom (values need not sum to the grand
+//! utility) for simpler sampling — a coalition is just `m−1` fair coin
+//! flips. Offered as an alternative seller-weight signal; the weight-update
+//! rule accepts any non-negative importance vector.
+
+use crate::error::{Result, ValuationError};
+use crate::utility::CoalitionUtility;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Largest player count accepted by [`banzhaf_exact`].
+pub const MAX_EXACT_PLAYERS: usize = 24;
+
+/// Exact Banzhaf values by subset enumeration (`O(m·2^m)` evaluations).
+///
+/// # Errors
+/// - [`ValuationError::NoPlayers`] / [`ValuationError::TooManyPlayers`].
+/// - [`ValuationError::NonFiniteUtility`] for NaN/∞ utilities.
+pub fn banzhaf_exact<U: CoalitionUtility>(u: &U) -> Result<Vec<f64>> {
+    let m = u.n_players();
+    if m == 0 {
+        return Err(ValuationError::NoPlayers);
+    }
+    if m > MAX_EXACT_PLAYERS {
+        return Err(ValuationError::TooManyPlayers {
+            got: m,
+            max: MAX_EXACT_PLAYERS,
+        });
+    }
+    let total = 1usize << m;
+    let mut util = vec![0.0f64; total];
+    let mut members = Vec::with_capacity(m);
+    for (mask, slot) in util.iter_mut().enumerate() {
+        members.clear();
+        for i in 0..m {
+            if mask & (1 << i) != 0 {
+                members.push(i);
+            }
+        }
+        let v = u.utility(&members);
+        if !v.is_finite() {
+            return Err(ValuationError::NonFiniteUtility {
+                coalition_size: members.len(),
+            });
+        }
+        *slot = v;
+    }
+    let scale = 1.0 / (1usize << (m - 1)) as f64;
+    let mut bz = vec![0.0f64; m];
+    for (i, bzi) in bz.iter_mut().enumerate() {
+        let bit = 1usize << i;
+        for mask in 0..total {
+            if mask & bit != 0 {
+                continue;
+            }
+            *bzi += scale * (util[mask | bit] - util[mask]);
+        }
+    }
+    Ok(bz)
+}
+
+/// Monte-Carlo Banzhaf: each sample draws a uniform coalition of the other
+/// players (independent fair coin per player) and records the marginal.
+///
+/// # Errors
+/// - [`ValuationError::NoPlayers`] / [`ValuationError::NoSamples`].
+/// - [`ValuationError::NonFiniteUtility`] for NaN/∞ utilities.
+pub fn banzhaf_monte_carlo<U: CoalitionUtility>(
+    u: &U,
+    samples_per_player: usize,
+    seed: u64,
+) -> Result<Vec<f64>> {
+    let m = u.n_players();
+    if m == 0 {
+        return Err(ValuationError::NoPlayers);
+    }
+    if samples_per_player == 0 {
+        return Err(ValuationError::NoSamples);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bz = vec![0.0f64; m];
+    let mut coalition = Vec::with_capacity(m);
+    for (i, bzi) in bz.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for _ in 0..samples_per_player {
+            coalition.clear();
+            for j in 0..m {
+                if j != i && rng.random::<bool>() {
+                    coalition.push(j);
+                }
+            }
+            let without = u.utility(&coalition);
+            coalition.push(i);
+            let with = u.utility(&coalition);
+            if !without.is_finite() || !with.is_finite() {
+                return Err(ValuationError::NonFiniteUtility {
+                    coalition_size: coalition.len(),
+                });
+            }
+            acc += with - without;
+        }
+        *bzi = acc / samples_per_player as f64;
+    }
+    Ok(bz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::shapley_exact;
+    use crate::utility::{AdditiveUtility, CoalitionUtility, ThresholdUtility};
+
+    #[test]
+    fn additive_game_equals_contributions() {
+        // For additive games every semivalue coincides with the standalone
+        // contribution.
+        let u = AdditiveUtility::new(vec![2.0, -1.0, 0.5]);
+        let bz = banzhaf_exact(&u).unwrap();
+        for (b, c) in bz.iter().zip(u.contributions()) {
+            assert!((b - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetric_game_gives_equal_values() {
+        let u = ThresholdUtility::new(6, 3);
+        let bz = banzhaf_exact(&u).unwrap();
+        for w in bz.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-12);
+        }
+        // Banzhaf of the threshold game: P(|S| = threshold−1) among m−1
+        // others = C(5,2)/2^5 = 10/32.
+        assert!((bz[0] - 10.0 / 32.0).abs() < 1e-12, "{bz:?}");
+    }
+
+    #[test]
+    fn differs_from_shapley_on_asymmetric_games() {
+        // The glove game separates the two semivalues.
+        struct Glove;
+        impl CoalitionUtility for Glove {
+            fn n_players(&self) -> usize {
+                3
+            }
+            fn utility(&self, c: &[usize]) -> f64 {
+                let left = c.contains(&0);
+                let right = c.iter().any(|&i| i == 1 || i == 2);
+                if left && right {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+        let bz = banzhaf_exact(&Glove).unwrap();
+        let sv = shapley_exact(&Glove).unwrap();
+        // Banzhaf: player 0 pivotal when ≥1 right-glove holder present:
+        // 3 of 4 subsets → 0.75; players 1,2 pivotal only with {0} alone
+        // present... compute: subsets of {0,2} for player 1: {} no, {0} yes,
+        // {2} no, {0,2} no → 0.25.
+        assert!((bz[0] - 0.75).abs() < 1e-12, "{bz:?}");
+        assert!((bz[1] - 0.25).abs() < 1e-12, "{bz:?}");
+        assert!((bz[0] - sv[0]).abs() > 0.05, "should differ from Shapley");
+        // No efficiency: Banzhaf total ≠ grand utility.
+        let total: f64 = bz.iter().sum();
+        assert!((total - 1.0).abs() > 0.1, "{total}");
+    }
+
+    #[test]
+    fn monte_carlo_converges_to_exact() {
+        let u = ThresholdUtility::new(8, 4);
+        let exact = banzhaf_exact(&u).unwrap();
+        let mc = banzhaf_monte_carlo(&u, 4000, 3).unwrap();
+        for (e, m) in exact.iter().zip(&mc) {
+            assert!((e - m).abs() < 0.02, "{e} vs {m}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_deterministic_per_seed() {
+        let u = ThresholdUtility::new(5, 2);
+        let a = banzhaf_monte_carlo(&u, 50, 7).unwrap();
+        let b = banzhaf_monte_carlo(&u, 50, 7).unwrap();
+        assert_eq!(a, b);
+        let c = banzhaf_monte_carlo(&u, 50, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let empty = AdditiveUtility::new(vec![]);
+        assert!(banzhaf_exact(&empty).is_err());
+        assert!(banzhaf_monte_carlo(&empty, 10, 1).is_err());
+        let u = AdditiveUtility::new(vec![1.0]);
+        assert!(banzhaf_monte_carlo(&u, 0, 1).is_err());
+        let big = AdditiveUtility::new(vec![0.0; MAX_EXACT_PLAYERS + 1]);
+        assert!(banzhaf_exact(&big).is_err());
+    }
+
+    #[test]
+    fn single_player_takes_grand_value() {
+        let u = AdditiveUtility::new(vec![4.2]);
+        assert_eq!(banzhaf_exact(&u).unwrap(), vec![4.2]);
+    }
+}

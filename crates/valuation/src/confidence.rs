@@ -1,0 +1,214 @@
+//! Uncertainty quantification for Monte-Carlo Shapley estimates.
+//!
+//! Each permutation yields one independent marginal-contribution sample per
+//! player, so the per-player sample mean *and variance* are available at no
+//! extra utility evaluations. This module runs the permutation estimator
+//! while tracking second moments and reports normal-approximation
+//! confidence intervals — the operator-facing answer to "how many
+//! permutations do I need before weight updates are trustworthy?".
+
+use crate::error::{Result, ValuationError};
+use crate::utility::CoalitionUtility;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A Shapley estimate with per-player uncertainty.
+#[derive(Debug, Clone)]
+pub struct ShapleyEstimate {
+    /// Point estimates (sample means over permutations).
+    pub values: Vec<f64>,
+    /// Standard errors of the means.
+    pub std_errors: Vec<f64>,
+    /// Number of permutations sampled.
+    pub permutations: usize,
+}
+
+impl ShapleyEstimate {
+    /// Symmetric confidence interval for player `i` at the given z-score
+    /// (1.96 ≈ 95%).
+    pub fn interval(&self, i: usize, z: f64) -> (f64, f64) {
+        let half = z * self.std_errors[i];
+        (self.values[i] - half, self.values[i] + half)
+    }
+
+    /// Largest standard error across players — a single convergence dial.
+    pub fn max_std_error(&self) -> f64 {
+        self.std_errors.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Permutation-sampling Shapley with second-moment tracking.
+///
+/// # Errors
+/// - [`ValuationError::NoPlayers`] for an empty game.
+/// - [`ValuationError::NoSamples`] for fewer than 2 permutations (variance
+///   needs at least two samples).
+/// - [`ValuationError::NonFiniteUtility`] for NaN/∞ utilities.
+pub fn shapley_with_confidence<U: CoalitionUtility>(
+    u: &U,
+    permutations: usize,
+    seed: u64,
+) -> Result<ShapleyEstimate> {
+    let m = u.n_players();
+    if m == 0 {
+        return Err(ValuationError::NoPlayers);
+    }
+    if permutations < 2 {
+        return Err(ValuationError::NoSamples);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sum = vec![0.0f64; m];
+    let mut sumsq = vec![0.0f64; m];
+    let mut perm: Vec<usize> = (0..m).collect();
+    let mut prefix: Vec<usize> = Vec::with_capacity(m);
+    for _ in 0..permutations {
+        perm.shuffle(&mut rng);
+        prefix.clear();
+        let mut prev = u.utility(&prefix);
+        if !prev.is_finite() {
+            return Err(ValuationError::NonFiniteUtility { coalition_size: 0 });
+        }
+        for &p in &perm {
+            prefix.push(p);
+            let cur = u.utility(&prefix);
+            if !cur.is_finite() {
+                return Err(ValuationError::NonFiniteUtility {
+                    coalition_size: prefix.len(),
+                });
+            }
+            let marginal = cur - prev;
+            sum[p] += marginal;
+            sumsq[p] += marginal * marginal;
+            prev = cur;
+        }
+    }
+    let n = permutations as f64;
+    let values: Vec<f64> = sum.iter().map(|s| s / n).collect();
+    let std_errors: Vec<f64> = sumsq
+        .iter()
+        .zip(&values)
+        .map(|(sq, mean)| {
+            let var = (sq / n - mean * mean).max(0.0) * n / (n - 1.0);
+            (var / n).sqrt()
+        })
+        .collect();
+    Ok(ShapleyEstimate {
+        values,
+        std_errors,
+        permutations,
+    })
+}
+
+/// Keep sampling in batches until every player's standard error falls below
+/// `target_se` (or `max_permutations` is reached). Returns the final
+/// estimate; check [`ShapleyEstimate::max_std_error`] against the target to
+/// see whether it converged.
+///
+/// # Errors
+/// Propagates [`shapley_with_confidence`] errors;
+/// [`ValuationError::InvalidArgument`] for a non-positive target.
+pub fn shapley_until_converged<U: CoalitionUtility>(
+    u: &U,
+    target_se: f64,
+    batch: usize,
+    max_permutations: usize,
+    seed: u64,
+) -> Result<ShapleyEstimate> {
+    if target_se <= 0.0 {
+        return Err(ValuationError::InvalidArgument {
+            name: "target_se",
+            reason: format!("must be positive, got {target_se}"),
+        });
+    }
+    let mut n = batch.max(2);
+    loop {
+        let est = shapley_with_confidence(u, n.min(max_permutations), seed)?;
+        if est.max_std_error() <= target_se || n >= max_permutations {
+            return Ok(est);
+        }
+        n *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::shapley_exact;
+    use crate::utility::{AdditiveUtility, ThresholdUtility};
+
+    #[test]
+    fn additive_game_has_zero_variance() {
+        let u = AdditiveUtility::new(vec![1.0, 2.0, 3.0]);
+        let est = shapley_with_confidence(&u, 20, 1).unwrap();
+        for (v, c) in est.values.iter().zip(u.contributions()) {
+            assert!((v - c).abs() < 1e-12);
+        }
+        assert!(est.max_std_error() < 1e-12);
+    }
+
+    #[test]
+    fn intervals_cover_truth_for_threshold_game() {
+        let u = ThresholdUtility::new(10, 5);
+        let est = shapley_with_confidence(&u, 500, 2).unwrap();
+        let truth = 0.1;
+        let mut covered = 0;
+        for i in 0..10 {
+            let (lo, hi) = est.interval(i, 2.58); // 99%
+            if (lo..=hi).contains(&truth) {
+                covered += 1;
+            }
+        }
+        assert!(
+            covered >= 9,
+            "only {covered}/10 intervals covered the truth"
+        );
+    }
+
+    #[test]
+    fn std_error_shrinks_with_permutations() {
+        let u = ThresholdUtility::new(8, 4);
+        let small = shapley_with_confidence(&u, 50, 3).unwrap();
+        let big = shapley_with_confidence(&u, 2000, 3).unwrap();
+        assert!(
+            big.max_std_error() < small.max_std_error() / 2.0,
+            "{} vs {}",
+            big.max_std_error(),
+            small.max_std_error()
+        );
+    }
+
+    #[test]
+    fn matches_exact_on_small_game() {
+        let u = ThresholdUtility::new(6, 3);
+        let exact = shapley_exact(&u).unwrap();
+        let est = shapley_with_confidence(&u, 4000, 4).unwrap();
+        for (e, (v, se)) in exact.iter().zip(est.values.iter().zip(&est.std_errors)) {
+            assert!((e - v).abs() < 4.0 * se + 1e-9, "exact {e}, est {v} ± {se}");
+        }
+    }
+
+    #[test]
+    fn adaptive_sampler_reaches_target() {
+        let u = ThresholdUtility::new(8, 4);
+        let est = shapley_until_converged(&u, 0.01, 64, 100_000, 5).unwrap();
+        assert!(est.max_std_error() <= 0.01, "{}", est.max_std_error());
+    }
+
+    #[test]
+    fn adaptive_sampler_respects_cap() {
+        let u = ThresholdUtility::new(8, 4);
+        let est = shapley_until_converged(&u, 1e-9, 16, 128, 6).unwrap();
+        assert_eq!(est.permutations, 128);
+        assert!(est.max_std_error() > 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let u = AdditiveUtility::new(vec![1.0]);
+        assert!(shapley_with_confidence(&u, 1, 1).is_err());
+        let empty = AdditiveUtility::new(vec![]);
+        assert!(shapley_with_confidence(&empty, 10, 1).is_err());
+        assert!(shapley_until_converged(&u, 0.0, 8, 100, 1).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for data-valuation routines.
+
+use std::fmt;
+
+/// Errors produced by Shapley-value computation and weight maintenance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValuationError {
+    /// Exact enumeration is limited to small player counts.
+    TooManyPlayers {
+        /// Number of players requested.
+        got: usize,
+        /// Maximum supported by the routine.
+        max: usize,
+    },
+    /// At least one player is required.
+    NoPlayers,
+    /// A sampling routine needs at least one permutation.
+    NoSamples,
+    /// An argument is outside its documented domain.
+    InvalidArgument {
+        /// Name of the offending argument.
+        name: &'static str,
+        /// Explanation of the violated requirement.
+        reason: String,
+    },
+    /// The utility function returned a non-finite value for some coalition.
+    NonFiniteUtility {
+        /// Size of the coalition that triggered the failure.
+        coalition_size: usize,
+    },
+}
+
+impl fmt::Display for ValuationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooManyPlayers { got, max } => {
+                write!(f, "exact Shapley supports at most {max} players, got {got}")
+            }
+            Self::NoPlayers => write!(f, "at least one player is required"),
+            Self::NoSamples => write!(f, "at least one permutation sample is required"),
+            Self::InvalidArgument { name, reason } => {
+                write!(f, "invalid argument `{name}`: {reason}")
+            }
+            Self::NonFiniteUtility { coalition_size } => write!(
+                f,
+                "utility returned a non-finite value for a coalition of size {coalition_size}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValuationError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ValuationError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ValuationError::TooManyPlayers { got: 30, max: 24 }
+            .to_string()
+            .contains("30"));
+        assert!(ValuationError::NoPlayers
+            .to_string()
+            .contains("at least one"));
+        assert!(ValuationError::NonFiniteUtility { coalition_size: 3 }
+            .to_string()
+            .contains("size 3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes(_: &dyn std::error::Error) {}
+        takes(&ValuationError::NoSamples);
+    }
+}

@@ -1,0 +1,219 @@
+//! Exact Shapley values by subset enumeration (paper Eq. 2):
+//!
+//! ```text
+//! SV_i = (1/m) · Σ_{𝔻 ⊆ Players∖{i}}  [U(𝔻 ∪ {i}) − U(𝔻)] / C(m−1, |𝔻|)
+//! ```
+//!
+//! Cost is `O(m · 2^m)` utility evaluations, so this is capped at
+//! [`MAX_EXACT_PLAYERS`]; it serves as ground truth for the Monte-Carlo
+//! estimator and for small production markets.
+
+use crate::error::{Result, ValuationError};
+use crate::utility::CoalitionUtility;
+
+/// Largest player count accepted by [`shapley_exact`].
+pub const MAX_EXACT_PLAYERS: usize = 24;
+
+/// Binomial coefficient as `f64` (exact for the small arguments used here).
+fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Compute exact Shapley values for every player.
+///
+/// # Errors
+/// - [`ValuationError::NoPlayers`] for an empty game.
+/// - [`ValuationError::TooManyPlayers`] above [`MAX_EXACT_PLAYERS`].
+/// - [`ValuationError::NonFiniteUtility`] when `u` returns NaN/∞.
+pub fn shapley_exact<U: CoalitionUtility>(u: &U) -> Result<Vec<f64>> {
+    let m = u.n_players();
+    if m == 0 {
+        return Err(ValuationError::NoPlayers);
+    }
+    if m > MAX_EXACT_PLAYERS {
+        return Err(ValuationError::TooManyPlayers {
+            got: m,
+            max: MAX_EXACT_PLAYERS,
+        });
+    }
+
+    // Precompute utilities of all 2^m coalitions, indexed by bitmask.
+    let total = 1usize << m;
+    let mut util = vec![0.0f64; total];
+    let mut members = Vec::with_capacity(m);
+    for (mask, slot) in util.iter_mut().enumerate() {
+        members.clear();
+        for i in 0..m {
+            if mask & (1 << i) != 0 {
+                members.push(i);
+            }
+        }
+        let v = u.utility(&members);
+        if !v.is_finite() {
+            return Err(ValuationError::NonFiniteUtility {
+                coalition_size: members.len(),
+            });
+        }
+        *slot = v;
+    }
+
+    // Weight per coalition size: 1 / (m · C(m−1, s)).
+    let weights: Vec<f64> = (0..m)
+        .map(|s| 1.0 / (m as f64 * binomial(m - 1, s)))
+        .collect();
+
+    let mut sv = vec![0.0f64; m];
+    for (i, svi) in sv.iter_mut().enumerate() {
+        let bit = 1usize << i;
+        for mask in 0..total {
+            if mask & bit != 0 {
+                continue; // enumerate only coalitions excluding i
+            }
+            let s = (mask as u64).count_ones() as usize;
+            *svi += weights[s] * (util[mask | bit] - util[mask]);
+        }
+    }
+    Ok(sv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::{AdditiveUtility, ThresholdUtility};
+
+    #[test]
+    fn binomial_known_values() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(3, 4), 0.0);
+    }
+
+    #[test]
+    fn additive_game_recovers_contributions() {
+        let contributions = vec![1.0, 2.5, 0.0, 4.0];
+        let u = AdditiveUtility::new(contributions.clone());
+        let sv = shapley_exact(&u).unwrap();
+        for (s, c) in sv.iter().zip(&contributions) {
+            assert!((s - c).abs() < 1e-12, "{s} vs {c}");
+        }
+    }
+
+    #[test]
+    fn symmetric_game_splits_evenly() {
+        let u = ThresholdUtility::new(5, 3);
+        let sv = shapley_exact(&u).unwrap();
+        for s in &sv {
+            assert!((s - 0.2).abs() < 1e-12, "{s}");
+        }
+    }
+
+    #[test]
+    fn efficiency_axiom_holds() {
+        // Σ SV_i = U(grand) − U(∅) for any game; use an asymmetric one.
+        struct Quadratic;
+        impl CoalitionUtility for Quadratic {
+            fn n_players(&self) -> usize {
+                6
+            }
+            fn utility(&self, c: &[usize]) -> f64 {
+                let s: f64 = c.iter().map(|&i| (i + 1) as f64).sum();
+                s * s
+            }
+        }
+        let sv = shapley_exact(&Quadratic).unwrap();
+        let grand: f64 = (1..=6).sum::<usize>() as f64;
+        let total: f64 = sv.iter().sum();
+        assert!((total - grand * grand).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn dummy_player_gets_zero() {
+        // Player 2 contributes nothing in the additive game.
+        let u = AdditiveUtility::new(vec![3.0, 1.0, 0.0]);
+        let sv = shapley_exact(&u).unwrap();
+        assert!(sv[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry_axiom_holds() {
+        // Players 0 and 1 are interchangeable.
+        let u = AdditiveUtility::new(vec![2.0, 2.0, 5.0]);
+        let sv = shapley_exact(&u).unwrap();
+        assert!((sv[0] - sv[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn glove_game_known_solution() {
+        // Classic 3-player glove game: player 0 owns a left glove, players
+        // 1, 2 own right gloves; a pair is worth 1.
+        struct Glove;
+        impl CoalitionUtility for Glove {
+            fn n_players(&self) -> usize {
+                3
+            }
+            fn utility(&self, c: &[usize]) -> f64 {
+                let left = c.contains(&0);
+                let right = c.iter().any(|&i| i == 1 || i == 2);
+                if left && right {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+        let sv = shapley_exact(&Glove).unwrap();
+        assert!((sv[0] - 2.0 / 3.0).abs() < 1e-12, "{:?}", sv);
+        assert!((sv[1] - 1.0 / 6.0).abs() < 1e-12, "{:?}", sv);
+        assert!((sv[2] - 1.0 / 6.0).abs() < 1e-12, "{:?}", sv);
+    }
+
+    #[test]
+    fn rejects_empty_and_oversized_games() {
+        let empty = AdditiveUtility::new(vec![]);
+        assert!(matches!(
+            shapley_exact(&empty),
+            Err(ValuationError::NoPlayers)
+        ));
+        let big = AdditiveUtility::new(vec![0.0; MAX_EXACT_PLAYERS + 1]);
+        assert!(matches!(
+            shapley_exact(&big),
+            Err(ValuationError::TooManyPlayers { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_utility() {
+        struct BadU;
+        impl CoalitionUtility for BadU {
+            fn n_players(&self) -> usize {
+                2
+            }
+            fn utility(&self, c: &[usize]) -> f64 {
+                if c.len() == 2 {
+                    f64::NAN
+                } else {
+                    0.0
+                }
+            }
+        }
+        assert!(matches!(
+            shapley_exact(&BadU),
+            Err(ValuationError::NonFiniteUtility { .. })
+        ));
+    }
+
+    #[test]
+    fn single_player_takes_everything() {
+        let u = AdditiveUtility::new(vec![7.5]);
+        assert_eq!(shapley_exact(&u).unwrap(), vec![7.5]);
+    }
+}

@@ -1,0 +1,50 @@
+//! # share-valuation
+//!
+//! Data valuation for the Share data market (ICDE 2024): Shapley values and
+//! the broker's seller-weight maintenance.
+//!
+//! In Share, the broker weighs each seller's dataset by its historical
+//! contribution to manufactured data products. Contributions are measured by
+//! the Shapley value of the seller's dataset with respect to a coalition
+//! utility (e.g. explained variance of a regression model trained on the
+//! union of the coalition's data — paper Def. 3.2).
+//!
+//! - [`exact::shapley_exact`]: exact enumeration (Eq. 2), up to 24 players —
+//!   ground truth and small markets.
+//! - [`monte_carlo::shapley_monte_carlo`]: permutation sampling (Castro et
+//!   al.), the estimator the paper runs with 100 permutations, with optional
+//!   truncation, antithetic pairing and multi-threaded sampling.
+//! - [`weights`]: the paper's update rule `ω' = 0.2ω + 0.8·SV` (Alg. 1
+//!   line 17), normalization, and the Theorem 5.1 mean-field rescaling.
+//!
+//! ## Example
+//!
+//! ```
+//! use share_valuation::exact::shapley_exact;
+//! use share_valuation::monte_carlo::{shapley_monte_carlo, McOptions};
+//! use share_valuation::utility::AdditiveUtility;
+//!
+//! let game = AdditiveUtility::new(vec![1.0, 2.0, 3.0]);
+//! let exact = shapley_exact(&game).unwrap();
+//! let mc = shapley_monte_carlo(&game, McOptions::default()).unwrap();
+//! for (e, m) in exact.iter().zip(&mc) {
+//!     assert!((e - m).abs() < 1e-9);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod banzhaf;
+pub mod confidence;
+pub mod error;
+pub mod exact;
+pub mod monte_carlo;
+pub mod stratified;
+pub mod utility;
+pub mod weights;
+
+pub use error::{Result, ValuationError};
+pub use exact::shapley_exact;
+pub use monte_carlo::{shapley_monte_carlo, McOptions};
+pub use utility::CoalitionUtility;

@@ -1,0 +1,366 @@
+//! Monte-Carlo Shapley estimation by permutation sampling (Castro, Gómez &
+//! Tejada 2009) — the estimator the Share paper runs with 100 permutations to
+//! value sellers' datasets (§6.1).
+//!
+//! For each sampled permutation π, every player's marginal contribution
+//! `U(pred_π(i) ∪ {i}) − U(pred_π(i))` is an unbiased draw of her Shapley
+//! value. Features:
+//!
+//! - **parallel sampling** across `threads` workers (crossbeam scoped
+//!   threads, per-worker RNG streams derived from the master seed);
+//! - **truncation** (TMC-Shapley): once a prefix's utility is within
+//!   `truncation_tol` of the grand-coalition utility, remaining marginals in
+//!   that permutation are recorded as zero, skipping expensive evaluations;
+//! - **antithetic pairing**: each permutation is also scanned in reverse,
+//!   which cancels positional bias and reduces variance for near-symmetric
+//!   games.
+
+use crate::error::{Result, ValuationError};
+use crate::utility::CoalitionUtility;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Options for [`shapley_monte_carlo`].
+#[derive(Debug, Clone, Copy)]
+pub struct McOptions {
+    /// Number of permutations to sample (the paper uses 100).
+    pub permutations: usize,
+    /// Master RNG seed; worker streams are derived deterministically.
+    pub seed: u64,
+    /// Optional TMC truncation tolerance: when
+    /// `|U(grand) − U(prefix)| <= tol`, the rest of the permutation
+    /// contributes zero marginals.
+    pub truncation_tol: Option<f64>,
+    /// Scan each permutation forward and reversed (halves positional bias;
+    /// doubles marginals per permutation).
+    pub antithetic: bool,
+    /// Worker threads (0 or 1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for McOptions {
+    fn default() -> Self {
+        Self {
+            permutations: 100,
+            seed: 0x005e_a1ed_5eed,
+            truncation_tol: None,
+            antithetic: false,
+            threads: 1,
+        }
+    }
+}
+
+/// Estimate Shapley values by permutation sampling.
+///
+/// # Errors
+/// - [`ValuationError::NoPlayers`] / [`ValuationError::NoSamples`] for empty
+///   input.
+/// - [`ValuationError::NonFiniteUtility`] when the utility returns NaN/∞.
+pub fn shapley_monte_carlo<U: CoalitionUtility>(u: &U, opts: McOptions) -> Result<Vec<f64>> {
+    let m = u.n_players();
+    if m == 0 {
+        return Err(ValuationError::NoPlayers);
+    }
+    if opts.permutations == 0 {
+        return Err(ValuationError::NoSamples);
+    }
+
+    let threads = opts.threads.max(1).min(opts.permutations);
+    if threads == 1 {
+        let mut acc = vec![0.0f64; m];
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        sample_worker(u, opts, opts.permutations, &mut rng, &mut acc)?;
+        finalize(acc, opts)
+    } else {
+        // Split permutations across workers; each gets an independent stream.
+        let per = opts.permutations / threads;
+        let extra = opts.permutations % threads;
+        let results = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let count = per + usize::from(t < extra);
+                handles.push(scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(
+                        opts.seed
+                            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)),
+                    );
+                    let mut acc = vec![0.0f64; m];
+                    sample_worker(u, opts, count, &mut rng, &mut acc).map(|()| acc)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shapley worker panicked"))
+                .collect::<Result<Vec<_>>>()
+        })
+        .expect("crossbeam scope panicked")?;
+
+        let mut acc = vec![0.0f64; m];
+        for part in results {
+            for (a, p) in acc.iter_mut().zip(&part) {
+                *a += p;
+            }
+        }
+        finalize(acc, opts)
+    }
+}
+
+fn finalize(acc: Vec<f64>, opts: McOptions) -> Result<Vec<f64>> {
+    let scans = opts.permutations * if opts.antithetic { 2 } else { 1 };
+    Ok(acc.into_iter().map(|v| v / scans as f64).collect())
+}
+
+/// Accumulate marginal contributions from `count` permutations into `acc`.
+fn sample_worker<U: CoalitionUtility>(
+    u: &U,
+    opts: McOptions,
+    count: usize,
+    rng: &mut StdRng,
+    acc: &mut [f64],
+) -> Result<()> {
+    let m = u.n_players();
+    let grand = if opts.truncation_tol.is_some() {
+        let all: Vec<usize> = (0..m).collect();
+        let g = u.utility(&all);
+        if !g.is_finite() {
+            return Err(ValuationError::NonFiniteUtility { coalition_size: m });
+        }
+        Some(g)
+    } else {
+        None
+    };
+
+    let mut perm: Vec<usize> = (0..m).collect();
+    for _ in 0..count {
+        perm.shuffle(rng);
+        scan_permutation(u, &perm, grand, opts.truncation_tol, acc)?;
+        if opts.antithetic {
+            let rev: Vec<usize> = perm.iter().rev().copied().collect();
+            scan_permutation(u, &rev, grand, opts.truncation_tol, acc)?;
+        }
+    }
+    // Touch rng so the borrow checker knows streams differ per worker even
+    // when count == 0 rounding leaves a worker idle.
+    let _ = rng.random::<u32>();
+    Ok(())
+}
+
+fn scan_permutation<U: CoalitionUtility>(
+    u: &U,
+    perm: &[usize],
+    grand: Option<f64>,
+    tol: Option<f64>,
+    acc: &mut [f64],
+) -> Result<()> {
+    let mut prefix: Vec<usize> = Vec::with_capacity(perm.len());
+    let mut prev = u.utility(&prefix);
+    if !prev.is_finite() {
+        return Err(ValuationError::NonFiniteUtility { coalition_size: 0 });
+    }
+    for &p in perm {
+        if let (Some(g), Some(t)) = (grand, tol) {
+            if (g - prev).abs() <= t {
+                // Truncated: remaining players contribute zero marginals.
+                break;
+            }
+        }
+        prefix.push(p);
+        let cur = u.utility(&prefix);
+        if !cur.is_finite() {
+            return Err(ValuationError::NonFiniteUtility {
+                coalition_size: prefix.len(),
+            });
+        }
+        acc[p] += cur - prev;
+        prev = cur;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::shapley_exact;
+    use crate::utility::{AdditiveUtility, CachedUtility, ThresholdUtility};
+
+    fn opts(perms: usize) -> McOptions {
+        McOptions {
+            permutations: perms,
+            seed: 42,
+            ..McOptions::default()
+        }
+    }
+
+    #[test]
+    fn additive_game_is_exact_per_permutation() {
+        // In an additive game every permutation yields the exact value, so
+        // even one permutation suffices.
+        let u = AdditiveUtility::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let sv = shapley_monte_carlo(&u, opts(1)).unwrap();
+        for (s, c) in sv.iter().zip(u.contributions()) {
+            assert!((s - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn threshold_game_converges_to_uniform() {
+        let u = ThresholdUtility::new(8, 4);
+        let sv = shapley_monte_carlo(&u, opts(4000)).unwrap();
+        for s in &sv {
+            assert!((s - 0.125).abs() < 0.02, "{sv:?}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_on_glove_game() {
+        struct Glove;
+        impl CoalitionUtility for Glove {
+            fn n_players(&self) -> usize {
+                3
+            }
+            fn utility(&self, c: &[usize]) -> f64 {
+                let left = c.contains(&0);
+                let right = c.iter().any(|&i| i == 1 || i == 2);
+                if left && right {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+        let exact = shapley_exact(&Glove).unwrap();
+        let mc = shapley_monte_carlo(&Glove, opts(20_000)).unwrap();
+        for (e, m) in exact.iter().zip(&mc) {
+            assert!((e - m).abs() < 0.01, "exact {e} vs mc {m}");
+        }
+    }
+
+    #[test]
+    fn efficiency_holds_per_estimate() {
+        // Sum of estimates equals U(grand) − U(∅) exactly (telescoping).
+        let u = ThresholdUtility::new(10, 5);
+        let sv = shapley_monte_carlo(&u, opts(50)).unwrap();
+        let total: f64 = sv.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12, "{total}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let u = ThresholdUtility::new(6, 3);
+        let a = shapley_monte_carlo(&u, opts(100)).unwrap();
+        let b = shapley_monte_carlo(&u, opts(100)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let u = ThresholdUtility::new(6, 3);
+        let a = shapley_monte_carlo(&u, opts(10)).unwrap();
+        let mut o = opts(10);
+        o.seed = 43;
+        let b = shapley_monte_carlo(&u, o).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_serial_mean_quality() {
+        let u = ThresholdUtility::new(8, 4);
+        let serial = shapley_monte_carlo(&u, opts(2000)).unwrap();
+        let mut par = opts(2000);
+        par.threads = 4;
+        let parallel = shapley_monte_carlo(&u, par).unwrap();
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert!((s - p).abs() < 0.04, "serial {s} vs parallel {p}");
+        }
+    }
+
+    #[test]
+    fn antithetic_reduces_positional_bias() {
+        let u = AdditiveUtility::new(vec![5.0, 1.0, 1.0, 1.0]);
+        let mut o = opts(50);
+        o.antithetic = true;
+        let sv = shapley_monte_carlo(&u, o).unwrap();
+        // Additive games stay exact under antithetic scanning.
+        for (s, c) in sv.iter().zip(u.contributions()) {
+            assert!((s - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncation_preserves_additive_exactness_with_zero_tail() {
+        // Players 2,3 contribute 0; truncation at tol=0 stops exactly when
+        // the prefix utility reaches the grand utility.
+        let u = AdditiveUtility::new(vec![2.0, 3.0, 0.0, 0.0]);
+        let mut o = opts(200);
+        o.truncation_tol = Some(1e-12);
+        let sv = shapley_monte_carlo(&u, o).unwrap();
+        for (s, c) in sv.iter().zip(u.contributions()) {
+            assert!((s - c).abs() < 1e-9, "{sv:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_skips_evaluations() {
+        let inner = ThresholdUtility::new(12, 2);
+        let cached = CachedUtility::new(inner);
+        let mut o = opts(50);
+        o.truncation_tol = Some(1e-12);
+        let _ = shapley_monte_carlo(&cached, o).unwrap();
+        let (hits, misses) = cached.stats();
+        // Without truncation there would be 50·12 = 600 prefix evaluations
+        // (many distinct); with threshold=2 nearly every permutation stops
+        // after 2 players.
+        assert!(
+            hits + misses < 400,
+            "expected large savings, got {} evaluations",
+            hits + misses
+        );
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        let u = AdditiveUtility::new(vec![]);
+        assert!(matches!(
+            shapley_monte_carlo(&u, opts(10)),
+            Err(ValuationError::NoPlayers)
+        ));
+        let u2 = AdditiveUtility::new(vec![1.0]);
+        assert!(matches!(
+            shapley_monte_carlo(&u2, opts(0)),
+            Err(ValuationError::NoSamples)
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_utility() {
+        struct BadU;
+        impl CoalitionUtility for BadU {
+            fn n_players(&self) -> usize {
+                3
+            }
+            fn utility(&self, c: &[usize]) -> f64 {
+                if c.len() == 2 {
+                    f64::INFINITY
+                } else {
+                    c.len() as f64
+                }
+            }
+        }
+        assert!(matches!(
+            shapley_monte_carlo(&BadU, opts(5)),
+            Err(ValuationError::NonFiniteUtility { .. })
+        ));
+    }
+
+    #[test]
+    fn more_threads_than_permutations_is_fine() {
+        let u = ThresholdUtility::new(4, 2);
+        let mut o = opts(2);
+        o.threads = 16;
+        let sv = shapley_monte_carlo(&u, o).unwrap();
+        assert_eq!(sv.len(), 4);
+        let total: f64 = sv.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,209 @@
+//! The [`CoalitionUtility`] trait and reference implementations.
+//!
+//! A coalition utility `U(𝔻)` maps a subset of players (sellers, identified
+//! by index) to the performance of the data product manufactured from their
+//! combined datasets — e.g. the explained variance of a regression model
+//! (paper Def. 3.2). Implementations must be deterministic for caching and
+//! Monte-Carlo reproducibility.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Performance of a data product built from a coalition of players.
+///
+/// Implementations must be `Send + Sync`: the Monte-Carlo estimator evaluates
+/// coalitions from several worker threads.
+pub trait CoalitionUtility: Send + Sync {
+    /// Number of players in the grand coalition.
+    fn n_players(&self) -> usize;
+
+    /// Utility of the given coalition. `coalition` holds distinct player
+    /// indices in `0..n_players()`, in arbitrary order. The empty coalition
+    /// must be valid (conventionally 0, but any finite value is allowed).
+    fn utility(&self, coalition: &[usize]) -> f64;
+}
+
+/// Additive game: each player contributes a fixed amount, independent of the
+/// coalition. Its exact Shapley value equals each player's own contribution —
+/// the canonical correctness oracle for estimators.
+#[derive(Debug, Clone)]
+pub struct AdditiveUtility {
+    contributions: Vec<f64>,
+}
+
+impl AdditiveUtility {
+    /// Create from per-player contributions.
+    pub fn new(contributions: Vec<f64>) -> Self {
+        Self { contributions }
+    }
+
+    /// Per-player contributions (equal to the exact Shapley values).
+    pub fn contributions(&self) -> &[f64] {
+        &self.contributions
+    }
+}
+
+impl CoalitionUtility for AdditiveUtility {
+    fn n_players(&self) -> usize {
+        self.contributions.len()
+    }
+
+    fn utility(&self, coalition: &[usize]) -> f64 {
+        coalition.iter().map(|&i| self.contributions[i]).sum()
+    }
+}
+
+/// Symmetric "glove"/threshold game: utility is 1 when the coalition reaches
+/// `threshold` players, else 0. By symmetry each player's exact Shapley value
+/// is `1/n` — a second, non-additive oracle exercising marginal-contribution
+/// spikes.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdUtility {
+    n: usize,
+    threshold: usize,
+}
+
+impl ThresholdUtility {
+    /// Create a threshold game with `n` players; utility jumps to 1 at
+    /// coalitions of size `threshold`.
+    pub fn new(n: usize, threshold: usize) -> Self {
+        Self { n, threshold }
+    }
+}
+
+impl CoalitionUtility for ThresholdUtility {
+    fn n_players(&self) -> usize {
+        self.n
+    }
+
+    fn utility(&self, coalition: &[usize]) -> f64 {
+        if coalition.len() >= self.threshold {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Thread-safe memoization wrapper keyed by coalition bitmask (≤ 64 players).
+/// Model-training utilities are expensive; permutation sampling revisits many
+/// prefixes, so caching pays off quickly.
+pub struct CachedUtility<U> {
+    inner: U,
+    cache: Mutex<HashMap<u64, f64>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl<U: CoalitionUtility> CachedUtility<U> {
+    /// Wrap a utility; panics for more than 64 players (bitmask key).
+    pub fn new(inner: U) -> Self {
+        assert!(
+            inner.n_players() <= 64,
+            "CachedUtility supports at most 64 players, got {}",
+            inner.n_players()
+        );
+        Self {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+            hits: Mutex::new(0),
+            misses: Mutex::new(0),
+        }
+    }
+
+    /// `(hits, misses)` counters for diagnostics.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.lock(), *self.misses.lock())
+    }
+
+    /// Borrow the wrapped utility.
+    pub fn inner(&self) -> &U {
+        &self.inner
+    }
+
+    fn mask(coalition: &[usize]) -> u64 {
+        coalition.iter().fold(0u64, |m, &i| m | (1u64 << i))
+    }
+}
+
+impl<U: CoalitionUtility> CoalitionUtility for CachedUtility<U> {
+    fn n_players(&self) -> usize {
+        self.inner.n_players()
+    }
+
+    fn utility(&self, coalition: &[usize]) -> f64 {
+        let key = Self::mask(coalition);
+        if let Some(&v) = self.cache.lock().get(&key) {
+            *self.hits.lock() += 1;
+            return v;
+        }
+        let v = self.inner.utility(coalition);
+        self.cache.lock().insert(key, v);
+        *self.misses.lock() += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additive_sums_members() {
+        let u = AdditiveUtility::new(vec![1.0, 2.0, 4.0]);
+        assert_eq!(u.utility(&[]), 0.0);
+        assert_eq!(u.utility(&[0]), 1.0);
+        assert_eq!(u.utility(&[0, 2]), 5.0);
+        assert_eq!(u.utility(&[2, 0, 1]), 7.0);
+        assert_eq!(u.n_players(), 3);
+    }
+
+    #[test]
+    fn threshold_jumps_at_size() {
+        let u = ThresholdUtility::new(5, 3);
+        assert_eq!(u.utility(&[0, 1]), 0.0);
+        assert_eq!(u.utility(&[0, 1, 2]), 1.0);
+        assert_eq!(u.utility(&[0, 1, 2, 3, 4]), 1.0);
+    }
+
+    #[test]
+    fn cache_returns_same_values() {
+        let u = CachedUtility::new(AdditiveUtility::new(vec![1.0, 2.0, 3.0]));
+        assert_eq!(u.utility(&[0, 1]), 3.0);
+        assert_eq!(u.utility(&[1, 0]), 3.0); // order-insensitive key
+        let (hits, misses) = u.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_coalitions() {
+        let u = CachedUtility::new(AdditiveUtility::new(vec![1.0, 2.0, 3.0]));
+        assert_eq!(u.utility(&[0]), 1.0);
+        assert_eq!(u.utility(&[1]), 2.0);
+        assert_eq!(u.utility(&[2]), 3.0);
+        let (hits, misses) = u.stats();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 players")]
+    fn cache_rejects_large_games() {
+        let _ = CachedUtility::new(AdditiveUtility::new(vec![0.0; 65]));
+    }
+
+    #[test]
+    fn cached_utility_is_shareable_across_threads() {
+        let u = CachedUtility::new(AdditiveUtility::new(vec![1.0; 8]));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..8 {
+                        assert_eq!(u.utility(&[i]), 1.0);
+                    }
+                });
+            }
+        });
+    }
+}

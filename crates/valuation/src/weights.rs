@@ -1,0 +1,218 @@
+//! Seller-weight maintenance.
+//!
+//! The broker keeps a weight `ω_i` per seller reflecting the historical
+//! performance of her data (paper Eq. 13 and Alg. 1 line 17). After each
+//! round the weights are refreshed from the sellers' Shapley values with the
+//! paper's exponential-smoothing rule `ω' = 0.2·ω + 0.8·SV`, and may be
+//! rescaled — only the *proportions* among `ω_i` matter, as the paper notes —
+//! to satisfy the mean-field error-bound precondition of Theorem 5.1:
+//! `ω_i/λ_i ≤ 1/(p^D·m²)`.
+
+use crate::error::{Result, ValuationError};
+
+/// Retention factor of the paper's update rule (`ω' = 0.2ω + 0.8·SV`).
+pub const PAPER_RETAIN: f64 = 0.2;
+
+/// Floor applied to updated weights so they remain strictly positive (the
+/// allocation rule Eq. 13 divides by `Σ ω_j τ_j`). The floor is deliberately
+/// not infinitesimal: a seller whose weight collapses sells ≈ nothing, earns
+/// a ≈ zero Shapley value, and would be trapped at an infinitesimal floor
+/// forever; 1e-4 keeps a residual market presence through which good data
+/// can re-earn weight in later rounds.
+pub const WEIGHT_FLOOR: f64 = 1e-4;
+
+/// Blend old weights with fresh Shapley values:
+/// `ω_i' = retain·ω_i + (1 − retain)·SV_i`, floored at [`WEIGHT_FLOOR`]
+/// (Shapley values of harmful datasets can be negative; a non-positive
+/// market weight would break the allocation rule).
+///
+/// # Errors
+/// - [`ValuationError::NoPlayers`] for empty input.
+/// - [`ValuationError::InvalidArgument`] when lengths differ or
+///   `retain ∉ [0, 1]`.
+pub fn update_weights(old: &[f64], shapley: &[f64], retain: f64) -> Result<Vec<f64>> {
+    if old.is_empty() {
+        return Err(ValuationError::NoPlayers);
+    }
+    if old.len() != shapley.len() {
+        return Err(ValuationError::InvalidArgument {
+            name: "shapley",
+            reason: format!(
+                "length {} differs from weights {}",
+                shapley.len(),
+                old.len()
+            ),
+        });
+    }
+    if !(0.0..=1.0).contains(&retain) {
+        return Err(ValuationError::InvalidArgument {
+            name: "retain",
+            reason: format!("must be in [0, 1], got {retain}"),
+        });
+    }
+    Ok(old
+        .iter()
+        .zip(shapley)
+        .map(|(w, s)| (retain * w + (1.0 - retain) * s).max(WEIGHT_FLOOR))
+        .collect())
+}
+
+/// Normalize weights to sum to 1 (pure proportions).
+///
+/// # Errors
+/// - [`ValuationError::NoPlayers`] for empty input.
+/// - [`ValuationError::InvalidArgument`] for non-positive or non-finite
+///   weights.
+pub fn normalize(weights: &[f64]) -> Result<Vec<f64>> {
+    if weights.is_empty() {
+        return Err(ValuationError::NoPlayers);
+    }
+    if weights.iter().any(|&w| !w.is_finite() || w <= 0.0) {
+        return Err(ValuationError::InvalidArgument {
+            name: "weights",
+            reason: "all weights must be positive and finite".to_string(),
+        });
+    }
+    let total: f64 = weights.iter().sum();
+    Ok(weights.iter().map(|w| w / total).collect())
+}
+
+/// Rescale weights (preserving proportions) so the Theorem 5.1 precondition
+/// `ω_i/λ_i ≤ 1/(p^D·m²)` holds for every seller, with equality for the
+/// binding seller. Returns the scaled weights and the scale factor applied.
+///
+/// # Errors
+/// - [`ValuationError::NoPlayers`] for empty input.
+/// - [`ValuationError::InvalidArgument`] when lengths differ, any weight or
+///   `λ_i` is non-positive, or `p_d <= 0`.
+pub fn rescale_for_mean_field(
+    weights: &[f64],
+    lambdas: &[f64],
+    p_d: f64,
+) -> Result<(Vec<f64>, f64)> {
+    if weights.is_empty() {
+        return Err(ValuationError::NoPlayers);
+    }
+    if weights.len() != lambdas.len() {
+        return Err(ValuationError::InvalidArgument {
+            name: "lambdas",
+            reason: format!(
+                "length {} differs from weights {}",
+                lambdas.len(),
+                weights.len()
+            ),
+        });
+    }
+    if p_d <= 0.0 || !p_d.is_finite() {
+        return Err(ValuationError::InvalidArgument {
+            name: "p_d",
+            reason: format!("must be positive and finite, got {p_d}"),
+        });
+    }
+    if weights.iter().any(|&w| w <= 0.0) || lambdas.iter().any(|&l| l <= 0.0) {
+        return Err(ValuationError::InvalidArgument {
+            name: "weights/lambdas",
+            reason: "must all be strictly positive".to_string(),
+        });
+    }
+    let m = weights.len() as f64;
+    let cap = 1.0 / (p_d * m * m);
+    let worst = weights
+        .iter()
+        .zip(lambdas)
+        .map(|(w, l)| w / l)
+        .fold(0.0_f64, f64::max);
+    let scale = cap / worst;
+    Ok((weights.iter().map(|w| w * scale).collect(), scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_update_rule() {
+        let w = update_weights(&[1.0, 0.5], &[0.5, 1.0], PAPER_RETAIN).unwrap();
+        assert!((w[0] - (0.2 + 0.4)).abs() < 1e-12);
+        assert!((w[1] - (0.1 + 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retain_one_keeps_old_weights() {
+        let w = update_weights(&[0.3, 0.7], &[9.0, 9.0], 1.0).unwrap();
+        assert_eq!(w, vec![0.3, 0.7]);
+    }
+
+    #[test]
+    fn retain_zero_takes_shapley() {
+        let w = update_weights(&[0.3, 0.7], &[1.0, 2.0], 0.0).unwrap();
+        assert_eq!(w, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn negative_shapley_floored() {
+        let w = update_weights(&[0.1], &[-5.0], 0.2).unwrap();
+        assert_eq!(w[0], WEIGHT_FLOOR);
+    }
+
+    #[test]
+    fn update_rejects_bad_input() {
+        assert!(update_weights(&[], &[], 0.2).is_err());
+        assert!(update_weights(&[1.0], &[1.0, 2.0], 0.2).is_err());
+        assert!(update_weights(&[1.0], &[1.0], 1.5).is_err());
+        assert!(update_weights(&[1.0], &[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let w = normalize(&[2.0, 6.0]).unwrap();
+        assert!((w[0] - 0.25).abs() < 1e-12);
+        assert!((w[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_rejects_nonpositive() {
+        assert!(normalize(&[1.0, 0.0]).is_err());
+        assert!(normalize(&[1.0, -1.0]).is_err());
+        assert!(normalize(&[f64::NAN]).is_err());
+        assert!(normalize(&[]).is_err());
+    }
+
+    #[test]
+    fn rescale_satisfies_bound_with_equality() {
+        let weights = vec![0.5, 1.0, 2.0];
+        let lambdas = vec![0.5, 0.2, 0.8];
+        let p_d = 0.01;
+        let (scaled, s) = rescale_for_mean_field(&weights, &lambdas, p_d).unwrap();
+        let cap = 1.0 / (p_d * 9.0);
+        let mut max_ratio = 0.0f64;
+        for (w, l) in scaled.iter().zip(&lambdas) {
+            let r = w / l;
+            assert!(r <= cap * (1.0 + 1e-12), "ratio {r} exceeds cap {cap}");
+            max_ratio = max_ratio.max(r);
+        }
+        assert!(
+            (max_ratio - cap).abs() < 1e-9 * cap,
+            "binding seller not at cap"
+        );
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn rescale_preserves_proportions() {
+        let weights = vec![1.0, 3.0, 5.0];
+        let lambdas = vec![1.0, 1.0, 1.0];
+        let (scaled, _) = rescale_for_mean_field(&weights, &lambdas, 0.1).unwrap();
+        assert!((scaled[1] / scaled[0] - 3.0).abs() < 1e-12);
+        assert!((scaled[2] / scaled[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescale_rejects_bad_input() {
+        assert!(rescale_for_mean_field(&[], &[], 0.1).is_err());
+        assert!(rescale_for_mean_field(&[1.0], &[1.0, 2.0], 0.1).is_err());
+        assert!(rescale_for_mean_field(&[1.0], &[1.0], 0.0).is_err());
+        assert!(rescale_for_mean_field(&[0.0], &[1.0], 0.1).is_err());
+        assert!(rescale_for_mean_field(&[1.0], &[-1.0], 0.1).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for Shapley estimation and weight maintenance.
+
+use proptest::prelude::*;
+use share_valuation::exact::shapley_exact;
+use share_valuation::monte_carlo::{shapley_monte_carlo, McOptions};
+use share_valuation::utility::{AdditiveUtility, CoalitionUtility};
+use share_valuation::weights::{normalize, rescale_for_mean_field, update_weights};
+
+/// A superadditive-ish synthetic game: utility is a concave transform of the
+/// sum of member values — non-trivial but deterministic.
+struct ConcaveGame {
+    values: Vec<f64>,
+}
+
+impl CoalitionUtility for ConcaveGame {
+    fn n_players(&self) -> usize {
+        self.values.len()
+    }
+    fn utility(&self, c: &[usize]) -> f64 {
+        let s: f64 = c.iter().map(|&i| self.values[i]).sum();
+        (1.0 + s).ln()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn exact_satisfies_efficiency(values in proptest::collection::vec(0.0..10.0f64, 1..8)) {
+        let g = ConcaveGame { values: values.clone() };
+        let sv = shapley_exact(&g).unwrap();
+        let grand: f64 = values.iter().sum();
+        let total: f64 = sv.iter().sum();
+        let expect = (1.0 + grand).ln(); // U(grand) − U(∅), U(∅) = 0
+        prop_assert!((total - expect).abs() < 1e-9, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn exact_satisfies_null_player(values in proptest::collection::vec(0.1..10.0f64, 1..6)) {
+        // Append a zero-value player; her Shapley value must be 0.
+        let mut v = values;
+        v.push(0.0);
+        let g = ConcaveGame { values: v.clone() };
+        let sv = shapley_exact(&g).unwrap();
+        prop_assert!(sv[v.len() - 1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_monotone_in_value(a in 0.1..5.0f64, b in 0.1..5.0f64, c in 0.1..5.0f64) {
+        // Higher standalone value ⇒ at-least-as-high Shapley value (holds for
+        // this monotone symmetric-in-structure game).
+        let g = ConcaveGame { values: vec![a, b, c] };
+        let sv = shapley_exact(&g).unwrap();
+        let mut pairs: Vec<(f64, f64)> = vec![(a, sv[0]), (b, sv[1]), (c, sv[2])];
+        pairs.sort_by(|p, q| p.0.partial_cmp(&q.0).unwrap());
+        prop_assert!(pairs[0].1 <= pairs[1].1 + 1e-9);
+        prop_assert!(pairs[1].1 <= pairs[2].1 + 1e-9);
+    }
+
+    #[test]
+    fn mc_efficiency_exact_for_any_seed(
+        values in proptest::collection::vec(0.0..10.0f64, 2..8),
+        seed in 0u64..10_000,
+    ) {
+        let g = ConcaveGame { values: values.clone() };
+        let sv = shapley_monte_carlo(&g, McOptions {
+            permutations: 8,
+            seed,
+            ..McOptions::default()
+        }).unwrap();
+        let total: f64 = sv.iter().sum();
+        let expect = (1.0 + values.iter().sum::<f64>()).ln();
+        prop_assert!((total - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mc_additive_exact_with_one_permutation(
+        values in proptest::collection::vec(-5.0..5.0f64, 1..10),
+        seed in 0u64..1_000,
+    ) {
+        let g = AdditiveUtility::new(values.clone());
+        let sv = shapley_monte_carlo(&g, McOptions {
+            permutations: 1,
+            seed,
+            ..McOptions::default()
+        }).unwrap();
+        for (s, v) in sv.iter().zip(&values) {
+            prop_assert!((s - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn update_weights_stays_positive(
+        old in proptest::collection::vec(0.0..2.0f64, 1..12),
+        retain in 0.0..1.0f64,
+    ) {
+        let shapley: Vec<f64> = old.iter().map(|w| w - 1.0).collect(); // may be negative
+        let w = update_weights(&old, &shapley, retain).unwrap();
+        prop_assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn normalize_is_idempotent(w in proptest::collection::vec(0.01..100.0f64, 1..12)) {
+        let n1 = normalize(&w).unwrap();
+        let n2 = normalize(&n1).unwrap();
+        for (a, b) in n1.iter().zip(&n2) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+        prop_assert!((n1.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rescale_bound_always_satisfied(
+        w in proptest::collection::vec(0.01..10.0f64, 2..16),
+        seeds in proptest::collection::vec(0.01..1.0f64, 2..16),
+        p_d in 0.001..1.0f64,
+    ) {
+        let m = w.len().min(seeds.len());
+        let w = &w[..m];
+        let lam = &seeds[..m];
+        let (scaled, _) = rescale_for_mean_field(w, lam, p_d).unwrap();
+        let cap = 1.0 / (p_d * (m * m) as f64);
+        for (sw, l) in scaled.iter().zip(lam) {
+            prop_assert!(sw / l <= cap * (1.0 + 1e-9));
+        }
+    }
+}

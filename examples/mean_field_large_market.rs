@@ -1,0 +1,47 @@
+//! Mean-field vs direct derivation at scale (paper §5.1.1 + Theorem 5.1).
+//!
+//! For the `L = λ·χ·τ²` privacy loss the exact inner Nash equilibrium
+//! couples all sellers; the mean-field method decouples them. This example
+//! measures the approximation error across market sizes and checks it
+//! against the Theorem 5.1 interval.
+//!
+//! ```sh
+//! cargo run --release --example mean_field_large_market
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use share::market::meanfield::measure_mean_field_error;
+use share::market::params::{LossModel, MarketParams};
+
+fn main() {
+    let p_d = 0.05;
+    println!("mean-field error vs Theorem 5.1 bounds (p^D = {p_d})");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14} {:>14} {:>7}",
+        "m", "tau_dd", "tau_mf", "error", "lower", "upper", "ok"
+    );
+    for &m in &[10usize, 20, 50, 100, 200, 500, 1000, 2000] {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut params = MarketParams::paper_defaults(m, &mut rng);
+        params.loss_model = LossModel::LinearChi;
+
+        let e = measure_mean_field_error(&params, p_d).expect("measurement");
+        println!(
+            "{:>8} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e} {:>7}",
+            m,
+            e.tau_bar_dd,
+            e.tau_bar_mf,
+            e.error,
+            e.lower_bound,
+            e.upper_bound,
+            if e.within_bounds() { "yes" } else { "NO" },
+        );
+        assert!(e.within_bounds(), "Theorem 5.1 violated at m = {m}: {e:?}");
+    }
+    println!();
+    println!("All measured errors lie inside (−1/6m², 1/m − 2/3m²) — the");
+    println!("approximation collapses onto the exact equilibrium as m grows,");
+    println!("matching the paper's claim that mean-field is reasonable for");
+    println!("large seller populations.");
+}

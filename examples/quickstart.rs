@@ -1,0 +1,56 @@
+//! Quickstart: solve the paper's default market and inspect the equilibrium.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use share::market::params::MarketParams;
+use share::market::solver::{solve, verify};
+
+fn main() {
+    // The §6.1 setting: m = 100 sellers with privacy sensitivities
+    // λ_i ~ U(0, 1), a buyer demanding N = 500 pieces at performance v = 0.8.
+    let mut rng = StdRng::seed_from_u64(42);
+    let params = MarketParams::paper_defaults(100, &mut rng);
+
+    // Backward induction through the three stages (Eqs. 27 → 25 → 20).
+    let sne = solve(&params).expect("default market always solves");
+
+    println!("=== Share: Stackelberg-Nash Equilibrium ===");
+    println!("buyer   p^M* = {:.6}", sne.p_m);
+    println!("broker  p^D* = {:.6}  (= v·p^M/2, Eq. 25)", sne.p_d);
+    println!(
+        "sellers tau* in [{:.6}, {:.6}]",
+        sne.tau.iter().cloned().fold(f64::INFINITY, f64::min),
+        sne.tau.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    println!("dataset quality  q^D* = {:.4}", sne.q_d);
+    println!("product quality  q^M* = {:.4}", sne.q_m);
+    println!();
+    println!("profits:");
+    println!("  buyer  Phi*   = {:.6}", sne.buyer_profit);
+    println!("  broker Omega* = {:.6}", sne.broker_profit);
+    println!(
+        "  sellers Psi*  = {:.6} (total across {} sellers)",
+        sne.seller_profits.iter().sum::<f64>(),
+        sne.seller_profits.len()
+    );
+
+    // Def. 4.2: verify that no party gains from a unilateral deviation.
+    let check = verify(&params, &sne).expect("verification runs");
+    println!();
+    println!("SNE verification (Def. 4.2):");
+    println!("  buyer's best deviation gain  = {:+.3e}", check.buyer_gain);
+    println!(
+        "  broker's best deviation gain = {:+.3e}",
+        check.broker_gain
+    );
+    println!(
+        "  max seller deviation gain    = {:+.3e}",
+        check.max_seller_gain
+    );
+    assert!(check.is_equilibrium(1e-6), "not an equilibrium!");
+    println!("  => equilibrium certified (max gain <= 1e-6)");
+}

@@ -1,0 +1,358 @@
+//! `share` — command-line front end for the Share data market.
+//!
+//! ```sh
+//! share solve  --m 100 --seed 42 [--json]         # solve + print the SNE
+//! share verify --m 100 --seed 42                  # Def. 4.2 deviation check
+//! share sweep  --param theta1 --lo 0.1 --hi 0.9 --points 9 [--m 100]
+//! share trade  --m 20 --rounds 3 --n 400 [--seed 7]   # Algorithm 1 on synthetic CCPP
+//! share params --m 100 --seed 42                  # emit a params JSON for editing
+//! share solve  --config market.json               # solve an edited configuration
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! dependency set at the workspace baseline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use share::market::params::MarketParams;
+use share::market::solver::{solve, verify};
+use share::market::sweep;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Parsed `--key value` arguments plus the leading subcommand.
+#[derive(Debug, Default)]
+struct Args {
+    command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Parse raw argv (without the program name) into [`Args`].
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = raw.iter().peekable();
+    match it.next() {
+        Some(cmd) if !cmd.starts_with("--") => args.command = cmd.clone(),
+        _ => return Err("expected a subcommand (solve|verify|sweep|trade|params)".to_string()),
+    }
+    while let Some(token) = it.next() {
+        let Some(key) = token.strip_prefix("--") else {
+            return Err(format!("unexpected positional argument `{token}`"));
+        };
+        match it.peek() {
+            Some(v) if !v.starts_with("--") => {
+                args.options
+                    .insert(key.to_string(), it.next().expect("peeked").clone());
+            }
+            _ => args.flags.push(key.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+impl Args {
+    fn usize_opt(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: `{v}` is not an integer")),
+        }
+    }
+
+    fn f64_opt(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key}: `{v}` is not a number")),
+        }
+    }
+
+    fn u64_opt(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: `{v}` is not an integer")),
+        }
+    }
+
+    fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Build the market either from `--config <file>` or `--m`/`--seed`.
+fn load_params(args: &Args) -> Result<MarketParams, String> {
+    if let Some(path) = args.options.get("config") {
+        let body = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let params: MarketParams =
+            serde_json::from_str(&body).map_err(|e| format!("parse {path}: {e}"))?;
+        params.validate().map_err(|e| e.to_string())?;
+        return Ok(params);
+    }
+    let m = args.usize_opt("m", 100)?;
+    let seed = args.u64_opt("seed", 42)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    Ok(MarketParams::paper_defaults(m, &mut rng))
+}
+
+fn cmd_solve(args: &Args) -> Result<(), String> {
+    let params = load_params(args)?;
+    let sol = solve(&params).map_err(|e| e.to_string())?;
+    if args.has_flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&sol).expect("serializable")
+        );
+    } else {
+        println!("m = {}", params.m());
+        println!("p^M* = {:.6}", sol.p_m);
+        println!("p^D* = {:.6}", sol.p_d);
+        println!("q^D* = {:.4},  q^M* = {:.4}", sol.q_d, sol.q_m);
+        println!("buyer profit  = {:.6}", sol.buyer_profit);
+        println!("broker profit = {:.6}", sol.broker_profit);
+        println!(
+            "seller profit = {:.6} (total over {} sellers)",
+            sol.seller_profits.iter().sum::<f64>(),
+            sol.seller_profits.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let params = load_params(args)?;
+    let sol = solve(&params).map_err(|e| e.to_string())?;
+    let check = verify(&params, &sol).map_err(|e| e.to_string())?;
+    println!("buyer deviation gain  = {:+.3e}", check.buyer_gain);
+    println!("broker deviation gain = {:+.3e}", check.broker_gain);
+    println!("seller deviation gain = {:+.3e}", check.max_seller_gain);
+    let eps = 1e-6 * (1.0 + sol.buyer_profit.abs());
+    if check.is_equilibrium(eps) {
+        println!("SNE certified (Def. 4.2, eps = {eps:.1e})");
+        Ok(())
+    } else {
+        Err("solution failed the equilibrium check".to_string())
+    }
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let params = load_params(args)?;
+    let which = args
+        .options
+        .get("param")
+        .ok_or("--param is required (theta1|rho1|rho2|omega1|lambda1)")?;
+    let points = args.usize_opt("points", 9)?;
+    let (dlo, dhi) = match which.as_str() {
+        "theta1" => (0.1, 0.9),
+        "rho1" => (0.1, 5.0),
+        "rho2" => (50.0, 500.0),
+        "omega1" => (0.1, 0.6),
+        "lambda1" => (0.05, 0.95),
+        other => return Err(format!("unknown sweep parameter `{other}`")),
+    };
+    let lo = args.f64_opt("lo")?.unwrap_or(dlo);
+    let hi = args.f64_opt("hi")?.unwrap_or(dhi);
+    let series = match which.as_str() {
+        "theta1" => sweep::sweep_theta1(&params, lo, hi, points),
+        "rho1" => sweep::sweep_rho1(&params, lo, hi, points),
+        "rho2" => sweep::sweep_rho2(&params, lo, hi, points),
+        "omega1" => sweep::sweep_omega1(&params, lo, hi, points),
+        _ => sweep::sweep_lambda1(&params, lo, hi, points),
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{:>10} {:>10} {:>10} {:>11} {:>11} {:>11}",
+        which, "p_m", "p_d", "tau1", "Phi", "Omega"
+    );
+    for p in &series {
+        println!(
+            "{:>10.4} {:>10.5} {:>10.5} {:>11.6} {:>11.5} {:>11.5}",
+            p.x, p.p_m, p.p_d, p.tau1, p.buyer, p.broker
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trade(args: &Args) -> Result<(), String> {
+    use share::datagen::ccpp::{feature_domains, generate, target_domain, CcppConfig};
+    use share::datagen::partition::partition_equal;
+    use share::market::analytics::report;
+    use share::market::dynamics::{RoundOptions, TradingMarket, WeightUpdate};
+    use share::market::fast_shapley::FastShapleyOptions;
+
+    let m = args.usize_opt("m", 20)?;
+    let rounds = args.usize_opt("rounds", 3)?;
+    let n = args.usize_opt("n", 100 * m.min(50))?;
+    let seed = args.u64_opt("seed", 7)?;
+
+    let corpus = generate(CcppConfig {
+        rows: (n * 6).max(m * 20),
+        seed,
+        ..CcppConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let test = generate(CcppConfig {
+        rows: 500,
+        seed: seed + 1,
+        ..CcppConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let sellers = partition_equal(&corpus, m).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(seed + 2);
+    let mut params = MarketParams::paper_defaults(m, &mut rng);
+    params.buyer.n_pieces = n;
+    let mut market = TradingMarket::new(
+        params,
+        sellers,
+        test,
+        feature_domains().to_vec(),
+        target_domain(),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let opts = RoundOptions {
+        weight_update: WeightUpdate::FastLinReg(FastShapleyOptions {
+            permutations: 50,
+            seed,
+            ridge: 1e-6,
+        }),
+        seed,
+        ..RoundOptions::default()
+    };
+    for r in 0..rounds {
+        let rep = market.run_round(opts).map_err(|e| e.to_string())?;
+        println!(
+            "round {r}: p^M={:.5} p^D={:.5} model_EV={:+.4} total_time={:.1?}",
+            rep.solution.p_m,
+            rep.solution.p_d,
+            rep.measured_performance,
+            rep.timings.total()
+        );
+    }
+    let summary = report(market.ledger()).map_err(|e| e.to_string())?;
+    println!();
+    println!("rounds           : {}", summary.rounds);
+    println!("buyer payments   : {:.6}", summary.total_buyer_payments);
+    println!("broker profit    : {:.6}", summary.total_broker_profit);
+    println!("revenue Gini     : {:.4}", summary.revenue_gini);
+    println!("mean model EV    : {:+.4}", summary.mean_performance);
+    Ok(())
+}
+
+fn cmd_params(args: &Args) -> Result<(), String> {
+    let params = load_params(args)?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&params).expect("serializable")
+    );
+    Ok(())
+}
+
+const USAGE: &str = "usage: share_cli <solve|verify|sweep|trade|params> [--m N] [--seed S] \
+[--config file.json] [--json] [--param theta1 --lo .. --hi .. --points ..] \
+[--rounds R --n N]";
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&raw)?;
+    match args.command.as_str() {
+        "solve" => cmd_solve(&args),
+        "verify" => cmd_verify(&args),
+        "sweep" => cmd_sweep(&args),
+        "trade" => cmd_trade(&args),
+        "params" => cmd_params(&args),
+        other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_options_and_flags() {
+        let a = parse_args(&argv("solve --m 50 --seed 9 --json")).unwrap();
+        assert_eq!(a.command, "solve");
+        assert_eq!(a.options.get("m").unwrap(), "50");
+        assert_eq!(a.options.get("seed").unwrap(), "9");
+        assert!(a.has_flag("json"));
+    }
+
+    #[test]
+    fn rejects_missing_subcommand_and_positional() {
+        assert!(parse_args(&argv("--m 5")).is_err());
+        assert!(parse_args(&argv("solve stray")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn typed_accessors_validate() {
+        let a = parse_args(&argv("solve --m x")).unwrap();
+        assert!(a.usize_opt("m", 1).is_err());
+        let b = parse_args(&argv("solve --lo nope")).unwrap();
+        assert!(b.f64_opt("lo").is_err());
+        let c = parse_args(&argv("solve")).unwrap();
+        assert_eq!(c.usize_opt("m", 7).unwrap(), 7);
+        assert_eq!(c.f64_opt("lo").unwrap(), None);
+        assert_eq!(c.u64_opt("seed", 3).unwrap(), 3);
+    }
+
+    #[test]
+    fn load_params_defaults_and_config_roundtrip() {
+        let a = parse_args(&argv("solve --m 7 --seed 3")).unwrap();
+        let p = load_params(&a).unwrap();
+        assert_eq!(p.m(), 7);
+
+        // Round-trip through a config file.
+        let path = std::env::temp_dir().join("share_cli_test_params.json");
+        std::fs::write(&path, serde_json::to_string(&p).unwrap()).unwrap();
+        let b = parse_args(&argv(&format!("solve --config {}", path.display()))).unwrap();
+        let q = load_params(&b).unwrap();
+        assert_eq!(q.m(), 7);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_params_rejects_garbage_config() {
+        let path = std::env::temp_dir().join("share_cli_garbage.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let a = parse_args(&argv(&format!("solve --config {}", path.display()))).unwrap();
+        assert!(load_params(&a).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn solve_and_verify_run_end_to_end() {
+        let a = parse_args(&argv("solve --m 10 --seed 1")).unwrap();
+        cmd_solve(&a).unwrap();
+        let v = parse_args(&argv("verify --m 10 --seed 1")).unwrap();
+        cmd_verify(&v).unwrap();
+    }
+
+    #[test]
+    fn sweep_validates_parameter_name() {
+        let a = parse_args(&argv("sweep --param bogus --m 5")).unwrap();
+        assert!(cmd_sweep(&a).is_err());
+        let ok = parse_args(&argv("sweep --param theta1 --points 3 --m 5")).unwrap();
+        cmd_sweep(&ok).unwrap();
+    }
+}

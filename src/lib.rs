@@ -1,0 +1,51 @@
+//! # Share — Stackelberg-Nash based Data Markets
+//!
+//! A production-quality Rust reproduction of *"Share: Stackelberg-Nash based
+//! Data Markets"* (ICDE 2024): a buyer-leading three-party data market with
+//! **absolute pricing** decided by a three-stage Stackelberg-Nash game.
+//!
+//! This facade crate re-exports the full stack:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`market`] | the paper's contribution: profit functions, the three-stage game, SNE solving/verification, Algorithm 1 trading dynamics, parameter sweeps, the broker-leading extension |
+//! | [`game`] | generic Nash best-response dynamics, bilevel Stackelberg solving, ε-equilibrium verification |
+//! | [`ldp`] | local differential privacy: Laplace/Gaussian/randomized-response mechanisms, the fidelity map of Eq. 10, budget accounting |
+//! | [`valuation`] | Shapley values (exact + Monte-Carlo permutation sampling), seller-weight maintenance |
+//! | [`ml`] | datasets, linear regression, explained variance — the data product |
+//! | [`datagen`] | synthetic CCPP generation, augmentation, quality scoring, seller partitioning |
+//! | [`numerics`] | dense linear algebra, 1-D optimization, statistics |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use share::market::params::MarketParams;
+//! use share::market::solver::{solve, verify};
+//!
+//! // The paper's §6.1 market: m = 100 sellers, λ ~ U(0,1), N = 500, v = 0.8.
+//! let mut rng = rand::rng();
+//! let params = MarketParams::paper_defaults(100, &mut rng);
+//!
+//! // Backward induction: Eq. 27 → Eq. 25 → Eq. 20.
+//! let sne = solve(&params).unwrap();
+//! println!("p^M* = {:.4}, p^D* = {:.4}", sne.p_m, sne.p_d);
+//!
+//! // Def. 4.2: no party can improve by unilateral deviation.
+//! assert!(verify(&params, &sne).unwrap().is_equilibrium(1e-6));
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (a medical data market over
+//! CCPP-like data with LDP and Shapley weight updates, mean-field vs direct
+//! derivation at scale, parameter studies, and buyer- vs broker-leading
+//! orderings).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub use share_datagen as datagen;
+pub use share_game as game;
+pub use share_ldp as ldp;
+pub use share_market as market;
+pub use share_ml as ml;
+pub use share_numerics as numerics;
+pub use share_valuation as valuation;

@@ -1,0 +1,196 @@
+//! Cross-crate integration tests: the full Share pipeline from data
+//! generation through equilibrium solving, LDP trading and settlement.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use share::datagen::ccpp::{feature_domains, generate, target_domain, CcppConfig};
+use share::datagen::partition::{partition_by_quality, PartitionStrategy};
+use share::datagen::quality::residual_quality;
+use share::market::dynamics::{RoundOptions, TradingMarket, WeightUpdate};
+use share::market::params::{BuyerParams, MarketParams};
+use share::market::rounds::{run_rounds, warmup};
+use share::market::solver::{solve, verify};
+use share::valuation::monte_carlo::McOptions;
+
+fn build_market(m: usize, rows_per_seller: usize, n_pieces: usize, seed: u64) -> TradingMarket {
+    let corpus = generate(CcppConfig {
+        rows: m * rows_per_seller,
+        seed,
+        ..CcppConfig::default()
+    })
+    .unwrap();
+    let test = generate(CcppConfig {
+        rows: 300,
+        seed: seed + 1,
+        ..CcppConfig::default()
+    })
+    .unwrap();
+    let scores = residual_quality(&corpus).unwrap();
+    let sellers =
+        partition_by_quality(&corpus, &scores, m, PartitionStrategy::SortedBlocks).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed + 2);
+    let mut params = MarketParams::paper_defaults(m, &mut rng);
+    params.buyer.n_pieces = n_pieces;
+    TradingMarket::new(
+        params,
+        sellers,
+        test,
+        feature_domains().to_vec(),
+        target_domain(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn paper_default_market_full_pipeline() {
+    let mut market = build_market(10, 200, 200, 11);
+    let opts = RoundOptions {
+        weight_update: WeightUpdate::MonteCarlo(McOptions {
+            permutations: 8,
+            seed: 4,
+            ..McOptions::default()
+        }),
+        ..RoundOptions::default()
+    };
+
+    // Warm-up then a real transaction.
+    let shifts = warmup(&mut market, 3, opts).unwrap();
+    assert_eq!(shifts.len(), 3);
+    let report = market.run_round(opts).unwrap();
+
+    // The transacted allocation is whole and complete.
+    assert_eq!(report.chi.iter().sum::<usize>(), 200);
+    // Every seller's ε matches her fidelity through Eq. 10.
+    for (eps, tau) in report.epsilons.iter().zip(&report.solution.tau) {
+        if eps.is_finite() {
+            let back = share::ldp::fidelity::fidelity(*eps).unwrap();
+            assert!((back - tau).abs() < 1e-9);
+        }
+    }
+    // Ledger holds 4 validated records.
+    assert_eq!(market.ledger().len(), 4);
+    for rec in market.ledger().records() {
+        assert!(rec.validate(200));
+    }
+}
+
+#[test]
+fn sne_holds_across_market_scales() {
+    for &m in &[1usize, 2, 5, 20, 100, 500] {
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let params = MarketParams::paper_defaults(m, &mut rng);
+        let sol = solve(&params).unwrap();
+        let check = verify(&params, &sol).unwrap();
+        assert!(
+            check.is_equilibrium(1e-6 * (1.0 + sol.buyer_profit.abs())),
+            "m = {m}: {check:?}"
+        );
+    }
+}
+
+#[test]
+fn buyer_sequence_with_heterogeneous_demands() {
+    let mut market = build_market(8, 300, 160, 21);
+    let base = BuyerParams {
+        n_pieces: 160,
+        ..BuyerParams::paper_defaults()
+    };
+    let buyers = [
+        base,
+        BuyerParams { v: 0.6, ..base },
+        BuyerParams { rho1: 2.0, ..base },
+    ];
+    let opts = RoundOptions {
+        weight_update: WeightUpdate::None,
+        ..RoundOptions::default()
+    };
+    let reports = run_rounds(&mut market, &buyers, opts).unwrap();
+    assert_eq!(reports.len(), 3);
+    // Lower demanded v lowers the product quality q^M = q^D·v (p^D is
+    // nearly v-independent in deep markets: p^M* ≈ 1/√c₂ ∝ 1/v).
+    assert!(reports[1].solution.q_m < reports[0].solution.q_m);
+    // A more data-sensitive buyer pays a higher product price.
+    assert!(reports[2].solution.p_m > reports[0].solution.p_m);
+}
+
+#[test]
+fn ldp_noise_degrades_product_performance() {
+    // Same market, one round with LDP and one without: the clean round's
+    // model must explain at least as much variance.
+    let opts_clean = RoundOptions {
+        weight_update: WeightUpdate::None,
+        apply_ldp: false,
+        ..RoundOptions::default()
+    };
+    let opts_noisy = RoundOptions {
+        weight_update: WeightUpdate::None,
+        apply_ldp: true,
+        ..RoundOptions::default()
+    };
+    let mut clean = build_market(6, 200, 120, 31);
+    let mut noisy = build_market(6, 200, 120, 31);
+    let r_clean = clean.run_round(opts_clean).unwrap();
+    let r_noisy = noisy.run_round(opts_noisy).unwrap();
+    assert!(
+        r_clean.measured_performance >= r_noisy.measured_performance,
+        "clean {} vs noisy {}",
+        r_clean.measured_performance,
+        r_noisy.measured_performance
+    );
+    assert!(r_clean.measured_performance > 0.8);
+}
+
+#[test]
+fn shapley_weights_favor_better_data_over_rounds() {
+    // Heterogeneous sellers via sorted blocks: seller 0 got the cleanest
+    // data. After several Shapley rounds her weight should not collapse
+    // below the floor while total normalization holds.
+    let mut market = build_market(5, 240, 100, 41);
+    let opts = RoundOptions {
+        weight_update: WeightUpdate::MonteCarlo(McOptions {
+            permutations: 10,
+            seed: 6,
+            ..McOptions::default()
+        }),
+        apply_ldp: false, // isolate data quality from privacy noise
+        ..RoundOptions::default()
+    };
+    warmup(&mut market, 4, opts).unwrap();
+    let w = &market.params().weights;
+    assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    assert!(w.iter().all(|&x| x > 0.0));
+}
+
+#[test]
+fn deviation_series_match_verifier() {
+    // The Fig. 2 sweep peak and the Def. 4.2 verifier must tell the same
+    // story: the equilibrium strategy maximizes each party's profit.
+    use share::market::deviation::{argmax_by, sweep_p_d, sweep_p_m};
+    let mut rng = StdRng::seed_from_u64(51);
+    let params = MarketParams::paper_defaults(50, &mut rng);
+    let sol = solve(&params).unwrap();
+
+    let s_pm = sweep_p_m(&params, sol.p_m * 0.5, sol.p_m * 1.5, 101, &[0]).unwrap();
+    let i = argmax_by(&s_pm, |p| p.buyer).unwrap();
+    assert!((s_pm[i].x - sol.p_m).abs() < 0.02 * sol.p_m);
+
+    let s_pd = sweep_p_d(&params, &sol, sol.p_d * 0.5, sol.p_d * 1.5, 101, &[0]).unwrap();
+    let j = argmax_by(&s_pd, |p| p.broker).unwrap();
+    assert!((s_pd[j].x - sol.p_d).abs() < 0.02 * sol.p_d);
+}
+
+#[test]
+fn loss_model_switch_changes_stage3_only() {
+    use share::market::params::LossModel;
+    use share::market::stage3::{tau_direct, tau_mean_field};
+    let mut rng = StdRng::seed_from_u64(61);
+    let mut params = MarketParams::paper_defaults(30, &mut rng);
+    let p_d = 0.02;
+    let quad = tau_direct(&params, p_d).unwrap();
+    params.loss_model = LossModel::LinearChi;
+    let mf = tau_mean_field(&params, p_d).unwrap();
+    // Different loss models produce different fidelity schedules.
+    assert_ne!(quad, mf);
+    // Both feasible.
+    assert!(quad.iter().chain(&mf).all(|t| (0.0..=1.0).contains(t)));
+}

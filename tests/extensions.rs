@@ -1,0 +1,335 @@
+//! Integration tests for the extension surface: welfare, calibration,
+//! truthfulness, analytics, simulation, alternative estimators, and the
+//! privacy/utility interplay across substrates.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use share::datagen::ccpp::{feature_domains, generate, target_domain, CcppConfig};
+use share::datagen::partition::partition_equal;
+use share::market::dynamics::{RoundOptions, TradingMarket, WeightUpdate};
+use share::market::fast_shapley::FastShapleyOptions;
+use share::market::params::MarketParams;
+use share::market::solver::solve;
+
+fn build_market(m: usize, rows_per_seller: usize, n_pieces: usize, seed: u64) -> TradingMarket {
+    let corpus = generate(CcppConfig {
+        rows: m * rows_per_seller,
+        seed,
+        ..CcppConfig::default()
+    })
+    .unwrap();
+    let test = generate(CcppConfig {
+        rows: 300,
+        seed: seed + 1,
+        ..CcppConfig::default()
+    })
+    .unwrap();
+    let sellers = partition_equal(&corpus, m).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed + 2);
+    let mut params = MarketParams::paper_defaults(m, &mut rng);
+    params.buyer.n_pieces = n_pieces;
+    TradingMarket::new(
+        params,
+        sellers,
+        test,
+        feature_domains().to_vec(),
+        target_domain(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn welfare_identity_holds_at_every_scale() {
+    // W(τ*) = Φ* + Ω* + ΣΨ* — transfers cancel.
+    use share::market::welfare::welfare;
+    for &m in &[3usize, 30, 300] {
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let params = MarketParams::paper_defaults(m, &mut rng);
+        let sol = solve(&params).unwrap();
+        let w = welfare(&params, &sol.tau);
+        let total = sol.buyer_profit + sol.broker_profit + sol.seller_profits.iter().sum::<f64>();
+        assert!((w - total).abs() < 1e-9 * (1.0 + w.abs()), "m = {m}");
+    }
+}
+
+#[test]
+fn calibration_recovers_params_from_live_ledger() {
+    // Run rounds without weight updates, then re-fit seller 0's λ from the
+    // recorded responses.
+    use share::market::calibration::{fit_lambda, seller_observations};
+    let mut market = build_market(6, 150, 120, 101);
+    let truth = market.params().sellers[0].lambda;
+    let n = market.params().buyer.n_pieces;
+    let opts = RoundOptions {
+        weight_update: WeightUpdate::None,
+        ..RoundOptions::default()
+    };
+    for _ in 0..3 {
+        market.run_round(opts).unwrap();
+    }
+    let obs = seller_observations(market.ledger(), 0, n).unwrap();
+    assert_eq!(obs.len(), 3);
+    let fitted = fit_lambda(&obs).unwrap();
+    assert!(
+        (fitted - truth).abs() < 1e-9 * truth.max(1.0),
+        "fitted {fitted} vs truth {truth}"
+    );
+}
+
+#[test]
+fn analytics_report_tracks_simulation() {
+    use share::market::simulation::{simulate, BuyerPopulation, SimulationConfig};
+    let mut market = build_market(8, 400, 200, 111);
+    let outcome = simulate(
+        &mut market,
+        SimulationConfig {
+            arrivals: 5,
+            population: BuyerPopulation {
+                n_pieces: (100, 250),
+                ..BuyerPopulation::default()
+            },
+            round: RoundOptions {
+                weight_update: WeightUpdate::FastLinReg(FastShapleyOptions {
+                    permutations: 8,
+                    seed: 1,
+                    ridge: 1e-6,
+                }),
+                seed: 2,
+                ..RoundOptions::default()
+            },
+            seed: 3,
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.report.rounds, 5);
+    assert_eq!(outcome.report.seller_revenue.len(), 8);
+    // Buyer payments in the report equal the ledger sum.
+    let ledger_sum = market.ledger().total_buyer_payments();
+    assert!((outcome.report.total_buyer_payments - ledger_sum).abs() < 1e-12);
+}
+
+#[test]
+fn alternative_shapley_estimators_agree_on_market_utility() {
+    // Exact vs permutation vs stratified on a real model-quality utility
+    // over a small seller coalition game.
+    use share::ml::dataset::Dataset;
+    use share::ml::suffstats::SufficientStats;
+    use share::valuation::exact::shapley_exact;
+    use share::valuation::monte_carlo::{shapley_monte_carlo, McOptions};
+    use share::valuation::stratified::{shapley_stratified, StratifiedOptions};
+    use share::valuation::utility::CoalitionUtility;
+
+    struct ModelUtility {
+        groups: Vec<Dataset>,
+        test: Dataset,
+    }
+    impl CoalitionUtility for ModelUtility {
+        fn n_players(&self) -> usize {
+            self.groups.len()
+        }
+        fn utility(&self, c: &[usize]) -> f64 {
+            if c.is_empty() {
+                return 0.0;
+            }
+            let mut stats = SufficientStats::zeros(self.test.n_features());
+            for &g in c {
+                stats.merge(&SufficientStats::from_dataset(&self.groups[g]));
+            }
+            stats.explained_variance(&self.test, 1e-6).unwrap_or(0.0)
+        }
+    }
+
+    let data = generate(CcppConfig {
+        rows: 300,
+        seed: 121,
+        ..CcppConfig::default()
+    })
+    .unwrap();
+    let test = generate(CcppConfig {
+        rows: 200,
+        seed: 122,
+        ..CcppConfig::default()
+    })
+    .unwrap();
+    let u = ModelUtility {
+        groups: partition_equal(&data, 6).unwrap(),
+        test,
+    };
+    let exact = shapley_exact(&u).unwrap();
+    let mc = shapley_monte_carlo(
+        &u,
+        McOptions {
+            permutations: 800,
+            seed: 5,
+            ..McOptions::default()
+        },
+    )
+    .unwrap();
+    let strat = shapley_stratified(
+        &u,
+        StratifiedOptions {
+            samples_per_stratum: 120,
+            seed: 6,
+        },
+    )
+    .unwrap();
+    for i in 0..6 {
+        assert!((mc[i] - exact[i]).abs() < 0.02, "mc[{i}]");
+        assert!((strat[i] - exact[i]).abs() < 0.02, "strat[{i}]");
+    }
+}
+
+#[test]
+fn privacy_utility_tradeoff_is_monotone_in_fidelity() {
+    // Perturb a CCPP sample at several fidelities; the trained model's
+    // explained variance should improve (weakly) with higher τ.
+    use share::ldp::fidelity::epsilon_for_fidelity;
+    use share::ldp::laplace::LaplaceMechanism;
+    use share::ldp::mechanism::Mechanism;
+    use share::ml::dataset::Dataset;
+    use share::ml::suffstats::SufficientStats;
+
+    let base = generate(CcppConfig {
+        rows: 3000,
+        seed: 131,
+        ..CcppConfig::default()
+    })
+    .unwrap();
+    let test = generate(CcppConfig {
+        rows: 800,
+        seed: 132,
+        ..CcppConfig::default()
+    })
+    .unwrap();
+    let doms = feature_domains();
+    let mut rng = StdRng::seed_from_u64(133);
+
+    let ev_at = |tau: f64, rng: &mut StdRng| -> f64 {
+        let mut d: Dataset = base.clone();
+        let eps = epsilon_for_fidelity(tau).unwrap();
+        if eps.is_finite() {
+            for (j, dom) in doms.iter().enumerate() {
+                let mech = LaplaceMechanism::new(eps, *dom).unwrap();
+                for r in 0..d.len() {
+                    let v = d.features().row(r)[j];
+                    d.features_mut()[(r, j)] = mech.perturb(v, rng);
+                }
+            }
+        }
+        // Normalize via per-column standardization before fitting.
+        let scaler = share::ml::scale::Standardizer::fit(d.features()).unwrap();
+        let x = scaler.transform(d.features()).unwrap();
+        let std = Dataset::new(x, d.targets().to_vec()).unwrap();
+        let stats = SufficientStats::from_dataset(&std);
+        let tx = scaler.transform(test.features()).unwrap();
+        let tstd = Dataset::new(tx, test.targets().to_vec()).unwrap();
+        stats.explained_variance(&tstd, 1e-6).unwrap_or(-1.0)
+    };
+
+    let low = ev_at(0.3, &mut rng);
+    let high = ev_at(0.95, &mut rng);
+    let clean = ev_at(1.0, &mut rng);
+    assert!(clean > 0.85, "clean model should fit well: {clean}");
+    assert!(
+        clean >= high && high >= low - 0.05,
+        "monotone fidelity-utility: low {low}, high {high}, clean {clean}"
+    );
+}
+
+#[test]
+fn condition_number_explains_ldp_training_difficulty() {
+    // The Gram matrix's conditioning degrades by orders once heavy LDP
+    // noise hits the features — the diagnostic behind the standardized
+    // production path.
+    use share::ldp::laplace::LaplaceMechanism;
+    use share::ldp::mechanism::Mechanism;
+    use share::numerics::decomp::{condition_number_spd, PowerOptions};
+
+    let base = generate(CcppConfig {
+        rows: 500,
+        seed: 141,
+        ..CcppConfig::default()
+    })
+    .unwrap();
+    let doms = feature_domains();
+    let mut rng = StdRng::seed_from_u64(142);
+
+    let cond_of = |d: &share::ml::dataset::Dataset| {
+        let mut g = d.features().with_intercept_column().gram();
+        g.shift_diagonal(1e-9);
+        condition_number_spd(&g, PowerOptions::default()).unwrap()
+    };
+
+    let clean_cond = cond_of(&base);
+    let mut noisy = base.clone();
+    for (j, dom) in doms.iter().enumerate() {
+        let mech = LaplaceMechanism::new(1e-4, *dom).unwrap(); // brutal noise
+        for r in 0..noisy.len() {
+            let v = noisy.features().row(r)[j];
+            noisy.features_mut()[(r, j)] = mech.perturb(v, &mut rng);
+        }
+    }
+    let noisy_cond = cond_of(&noisy);
+    assert!(
+        noisy_cond > 10.0 * clean_cond,
+        "clean {clean_cond:.3e} vs noisy {noisy_cond:.3e}"
+    );
+}
+
+#[test]
+fn classification_product_survives_moderate_ldp() {
+    // The paper leaves the product form open; build a classification
+    // product (high/low power output) from CCPP-like data and check that
+    // LDP degrades but does not destroy it at a moderate fidelity.
+    use share::ldp::fidelity::epsilon_for_fidelity;
+    use share::ldp::laplace::LaplaceMechanism;
+    use share::ldp::mechanism::Mechanism;
+    use share::ml::logreg::{LogRegConfig, LogisticRegression};
+    use share::numerics::stats::median;
+
+    let make_labeled = |seed: u64| {
+        let d = generate(CcppConfig {
+            rows: 1500,
+            seed,
+            ..CcppConfig::default()
+        })
+        .unwrap();
+        let cut = median(d.targets()).unwrap();
+        let labels: Vec<f64> = d.targets().iter().map(|&t| f64::from(t > cut)).collect();
+        share::ml::dataset::Dataset::new(d.features().clone(), labels).unwrap()
+    };
+    let train = make_labeled(201);
+    let test = make_labeled(202);
+
+    let accuracy_of = |data: &share::ml::dataset::Dataset| {
+        let scaler = share::ml::scale::Standardizer::fit(data.features()).unwrap();
+        let x = scaler.transform(data.features()).unwrap();
+        let std = share::ml::dataset::Dataset::new(x, data.targets().to_vec()).unwrap();
+        let mut model = LogisticRegression::new(LogRegConfig::default());
+        model.fit(&std).unwrap();
+        let tx = scaler.transform(test.features()).unwrap();
+        let tstd = share::ml::dataset::Dataset::new(tx, test.targets().to_vec()).unwrap();
+        model.accuracy(&tstd).unwrap()
+    };
+
+    let clean_acc = accuracy_of(&train);
+    assert!(clean_acc > 0.9, "clean classifier accuracy {clean_acc}");
+
+    // Perturb features at tau = 0.95 (mild noise).
+    let mut rng = StdRng::seed_from_u64(203);
+    let mut noisy = train.clone();
+    let eps = epsilon_for_fidelity(0.95).unwrap();
+    for (j, dom) in feature_domains().iter().enumerate() {
+        let mech = LaplaceMechanism::new(eps, *dom).unwrap();
+        for r in 0..noisy.len() {
+            let v = noisy.features().row(r)[j];
+            noisy.features_mut()[(r, j)] = mech.perturb(v, &mut rng);
+        }
+    }
+    let noisy_acc = accuracy_of(&noisy);
+    assert!(noisy_acc <= clean_acc + 0.02, "noise should not help");
+    assert!(
+        noisy_acc > 0.75,
+        "moderate LDP should not destroy it: {noisy_acc}"
+    );
+}
