@@ -1,0 +1,84 @@
+//! Criterion benches for the serving engine: cache-hit vs cold-solve
+//! service time, and worker-pool throughput scaling.
+//!
+//! - `engine_cache`: `cold` drives a brand-new market through the full
+//!   numerical solver on every request; `warm` replays one market so every
+//!   request after the first is served from the equilibrium cache. The gap
+//!   is the whole value proposition of caching equilibria.
+//! - `engine_workers`: drains a batch of 16 distinct numerical solves
+//!   through pools of 1 vs 4 workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crossbeam::channel::bounded;
+use share_engine::{Engine, EngineConfig, SolveMode, SolveSpec};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic seed source so "cold" requests never repeat a market.
+static SEED: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_seed() -> u64 {
+    SEED.fetch_add(1, Ordering::Relaxed)
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_cache");
+    g.sample_size(20);
+    let engine = Engine::start(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+
+    // Cold: a fresh seed per request — every request pays for a solve.
+    g.bench_function("cold_numeric_m100", |b| {
+        b.iter(|| {
+            let spec = SolveSpec::seeded(100, fresh_seed(), SolveMode::Numeric);
+            black_box(engine.request(&spec).unwrap())
+        });
+    });
+
+    // Warm: one market replayed — after priming, pure cache hits.
+    let warm = SolveSpec::seeded(100, 0, SolveMode::Numeric);
+    engine.request(&warm).unwrap();
+    g.bench_function("warm_numeric_m100", |b| {
+        b.iter(|| black_box(engine.request(&warm).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_workers");
+    g.sample_size(10);
+    const JOBS: usize = 16;
+    for &workers in &[1usize, 4] {
+        let engine = Engine::start(EngineConfig {
+            workers,
+            queue_capacity: 64,
+            ..EngineConfig::default()
+        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    let (tx, rx) = bounded(JOBS);
+                    for i in 0..JOBS {
+                        // Distinct markets: no caching or dedup, pure solving.
+                        let spec = SolveSpec::seeded(50, fresh_seed(), SolveMode::Numeric);
+                        engine.submit(i as u64, &spec, &tx);
+                    }
+                    drop(tx);
+                    let replies: Vec<_> = rx.iter().collect();
+                    assert_eq!(replies.len(), JOBS);
+                    for reply in &replies {
+                        assert!(reply.result.is_ok());
+                    }
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm, bench_worker_scaling);
+criterion_main!(benches);

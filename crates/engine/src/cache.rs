@@ -1,0 +1,119 @@
+//! A small LRU cache for solved equilibria.
+//!
+//! Capacity-bounded map with least-recently-used eviction. Recency is a
+//! monotonic tick bumped on every hit; eviction scans for the minimum tick,
+//! which is O(capacity) but irrelevant next to a solve (the cache holds at
+//! most a few thousand entries and eviction happens once per insertion).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+struct Entry<V> {
+    value: V,
+    tick: u64,
+}
+
+/// Least-recently-used cache with a fixed capacity.
+pub struct LruCache<K, V> {
+    map: HashMap<K, Entry<V>>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    /// Create a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.tick = tick;
+            e.value.clone()
+        })
+    }
+
+    /// Insert (or overwrite) `key`, evicting the least-recently-used entry
+    /// if the cache is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        let tick = self.tick;
+        self.map.insert(key, Entry { value, tick });
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c: LruCache<u32, &str> = LruCache::new(4);
+        assert!(c.is_empty());
+        c.insert(1, "a");
+        assert_eq!(c.get(&1), Some("a"));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        // Touch 1 so that 2 becomes the LRU entry.
+        assert_eq!(c.get(&1), Some(10));
+        c.insert(3, 30);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&2), None, "LRU entry should have been evicted");
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+    }
+
+    #[test]
+    fn overwrite_does_not_evict() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.get(&2), Some(20));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), Some(10));
+        c.insert(2, 20);
+        assert_eq!(c.len(), 1);
+    }
+}

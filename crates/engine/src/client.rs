@@ -1,0 +1,121 @@
+//! A minimal blocking TCP client for the wire protocol.
+//!
+//! Supports both call-and-wait usage ([`Client::call`]) and explicit
+//! pipelining ([`Client::send`] many requests, then [`Client::recv`] the
+//! responses as they stream back, matching on `id`).
+
+use crate::metrics::StatsSnapshot;
+use crate::protocol::{RequestBody, ResponseBody, WireRequest, WireResponse};
+use crate::spec::SolveSpec;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected wire-protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a running server.
+    ///
+    /// # Errors
+    /// Propagates connection I/O errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self {
+            reader,
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Send one request without waiting; returns the id assigned to it.
+    ///
+    /// # Errors
+    /// Propagates write I/O errors.
+    pub fn send(&mut self, body: RequestBody) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = serde_json::to_string(&WireRequest { id, body })
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// Receive the next response line (whatever its id).
+    ///
+    /// # Errors
+    /// I/O errors, `UnexpectedEof` on a closed connection, `InvalidData` on
+    /// an unparseable response.
+    pub fn recv(&mut self) -> io::Result<WireResponse> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return serde_json::from_str(line.trim())
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+        }
+    }
+
+    /// Send a request and block until *its* response arrives (skipping any
+    /// earlier pipelined responses is the caller's concern — `call` expects
+    /// exclusive use of the connection).
+    ///
+    /// # Errors
+    /// Propagates [`Client::send`] / [`Client::recv`] errors.
+    pub fn call(&mut self, body: RequestBody) -> io::Result<WireResponse> {
+        let id = self.send(body)?;
+        loop {
+            let resp = self.recv()?;
+            if resp.id == id {
+                return Ok(resp);
+            }
+        }
+    }
+
+    /// Solve one market and wait for the result.
+    ///
+    /// # Errors
+    /// Propagates [`Client::call`] errors.
+    pub fn solve(&mut self, spec: SolveSpec) -> io::Result<WireResponse> {
+        self.call(RequestBody::Solve {
+            spec: spec.spec,
+            mode: spec.mode,
+            deadline_ms: spec.deadline_ms,
+        })
+    }
+
+    /// Fetch the server's metrics snapshot.
+    ///
+    /// # Errors
+    /// `InvalidData` when the server answers with anything but stats.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        match self.call(RequestBody::Stats)?.body {
+            ResponseBody::Stats { stats } => Ok(stats),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected stats response, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Ask the server to shut down gracefully; returns its acknowledgement.
+    ///
+    /// # Errors
+    /// Propagates [`Client::call`] errors.
+    pub fn shutdown_server(&mut self) -> io::Result<WireResponse> {
+        self.call(RequestBody::Shutdown)
+    }
+}

@@ -1,0 +1,410 @@
+//! The serving engine: bounded job queue, worker pool, equilibrium cache
+//! and in-flight request deduplication.
+//!
+//! Life of a request (see [`Engine::submit`]):
+//!
+//! 1. the spec is materialized and validated, then quantized into a
+//!    [`CacheKey`](crate::quantize::CacheKey);
+//! 2. a cache hit answers immediately;
+//! 3. a miss that matches an *in-flight* solve attaches to it (dedup) —
+//!    the request costs nothing extra;
+//! 4. otherwise the job enters the bounded queue — or is rejected with
+//!    [`EngineError::Overloaded`] when the queue is full (backpressure).
+//!
+//! Workers drain the queue, honor per-request deadlines, publish solutions
+//! to the cache and fan replies out to every attached waiter.
+
+use crate::cache::LruCache;
+use crate::error::{EngineError, Result};
+use crate::metrics::{Metrics, StatsSnapshot};
+use crate::quantize::{quantize, CacheKey, QuantizerConfig};
+use crate::spec::{SolveMode, SolveSpec};
+use crate::worker::worker_loop;
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use share_market::params::MarketParams;
+use share_market::solver::{SneSolution, SolveMethod};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Solver worker threads. `0` starts no workers — jobs queue but never
+    /// run, which the test suite uses to exercise backpressure and dedup
+    /// deterministically.
+    pub workers: usize,
+    /// Bounded job-queue capacity; submissions beyond it are rejected with
+    /// [`EngineError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Equilibrium cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Cache-key quantization tolerances.
+    pub quantizer: QuantizerConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            quantizer: QuantizerConfig::default(),
+        }
+    }
+}
+
+/// Wire-friendly summary of one solved equilibrium.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveSummary {
+    /// Seller count `m`.
+    pub m: usize,
+    /// Solver path that produced the solution.
+    pub method: SolveMethod,
+    /// Buyer's product price `p^M*`.
+    pub p_m: f64,
+    /// Broker's data price `p^D*`.
+    pub p_d: f64,
+    /// Total dataset quality `q^D*`.
+    pub q_d: f64,
+    /// Product quality `q^M*`.
+    pub q_m: f64,
+    /// Buyer profit Φ*.
+    pub buyer_profit: f64,
+    /// Broker profit Ω*.
+    pub broker_profit: f64,
+    /// Total seller profit `Σ_i Ψ_i*`.
+    pub seller_profit_total: f64,
+    /// Fidelity profile summary: smallest τ*.
+    pub tau_min: f64,
+    /// Fidelity profile summary: mean τ*.
+    pub tau_mean: f64,
+    /// Fidelity profile summary: largest τ*.
+    pub tau_max: f64,
+    /// Whether this reply was served from the equilibrium cache.
+    pub cached: bool,
+    /// Wall-clock of the underlying solver run, in microseconds.
+    pub solve_micros: u64,
+}
+
+impl SolveSummary {
+    /// Summarize a full [`SneSolution`].
+    pub fn from_solution(sol: &SneSolution, solve_micros: u64) -> Self {
+        let m = sol.tau.len().max(1);
+        let tau_min = sol.tau.iter().cloned().fold(f64::INFINITY, f64::min);
+        let tau_max = sol.tau.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            m: sol.tau.len(),
+            method: sol.method,
+            p_m: sol.p_m,
+            p_d: sol.p_d,
+            q_d: sol.q_d,
+            q_m: sol.q_m,
+            buyer_profit: sol.buyer_profit,
+            broker_profit: sol.broker_profit,
+            seller_profit_total: sol.seller_profits.iter().sum(),
+            tau_min,
+            tau_mean: sol.tau.iter().sum::<f64>() / m as f64,
+            tau_max,
+            cached: false,
+            solve_micros,
+        }
+    }
+}
+
+/// One reply to one submitted request.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// The id the request was submitted under.
+    pub id: u64,
+    /// The outcome.
+    pub result: Result<SolveSummary>,
+}
+
+/// A request waiting for a solve to finish.
+pub(crate) struct Waiter {
+    pub(crate) id: u64,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) enqueued: Instant,
+    pub(crate) tx: Sender<Reply>,
+}
+
+/// A queued unit of solver work.
+pub(crate) struct Job {
+    pub(crate) key: CacheKey,
+    pub(crate) params: MarketParams,
+    pub(crate) mode: SolveMode,
+}
+
+/// State shared between the submission path and the workers.
+pub(crate) struct Shared {
+    pub(crate) config: EngineConfig,
+    pub(crate) metrics: Metrics,
+    pub(crate) cache: Mutex<LruCache<CacheKey, SolveSummary>>,
+    pub(crate) inflight: Mutex<HashMap<CacheKey, Vec<Waiter>>>,
+    pub(crate) job_tx: Mutex<Option<Sender<Job>>>,
+    pub(crate) closed: AtomicBool,
+}
+
+impl Shared {
+    /// Deliver a reply to one waiter, recording its service latency.
+    pub(crate) fn reply(&self, waiter: &Waiter, result: Result<SolveSummary>) {
+        self.metrics.record_latency(waiter.enqueued.elapsed());
+        let _ = waiter.tx.send(Reply {
+            id: waiter.id,
+            result,
+        });
+    }
+}
+
+/// The concurrent market-serving engine.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Start an engine: build the queue and cache and spawn the worker pool.
+    pub fn start(config: EngineConfig) -> Self {
+        let (job_tx, job_rx) = bounded::<Job>(config.queue_capacity.max(1));
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            inflight: Mutex::new(HashMap::new()),
+            job_tx: Mutex::new(Some(job_tx)),
+            closed: AtomicBool::new(false),
+            metrics: Metrics::new(),
+            config,
+        });
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = job_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("share-engine-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submit a request. Exactly one [`Reply`] carrying `id` is eventually
+    /// delivered on `reply_tx` — immediately for cache hits and rejections,
+    /// after the solve for queued or deduplicated requests. The channel must
+    /// have room for every outstanding reply (replies are never dropped on a
+    /// live channel; a disconnected receiver is silently ignored).
+    pub fn submit(&self, id: u64, spec: &SolveSpec, reply_tx: &Sender<Reply>) {
+        let enqueued = Instant::now();
+        let shared = &self.shared;
+        shared.metrics.inc_requests();
+        let waiter = Waiter {
+            id,
+            deadline: spec
+                .deadline_ms
+                .map(|ms| enqueued + Duration::from_millis(ms)),
+            enqueued,
+            tx: reply_tx.clone(),
+        };
+        if shared.closed.load(Ordering::SeqCst) {
+            shared.reply(&waiter, Err(EngineError::ShuttingDown));
+            return;
+        }
+        let params = match spec.spec.materialize() {
+            Ok(p) => p,
+            Err(e) => {
+                shared.metrics.inc_invalid();
+                shared.reply(&waiter, Err(e));
+                return;
+            }
+        };
+        let key = quantize(&params, spec.mode, shared.config.quantizer.param_tol);
+
+        if let Some(mut hit) = shared.cache.lock().get(&key) {
+            shared.metrics.inc_cache_hits();
+            hit.cached = true;
+            shared.reply(&waiter, Ok(hit));
+            return;
+        }
+        shared.metrics.inc_cache_misses();
+
+        {
+            let mut inflight = shared.inflight.lock();
+            if let Some(waiters) = inflight.get_mut(&key) {
+                shared.metrics.inc_deduped();
+                waiters.push(waiter);
+                return;
+            }
+            inflight.insert(key.clone(), vec![waiter]);
+        }
+
+        let send_result = {
+            let guard = shared.job_tx.lock();
+            match guard.as_ref() {
+                Some(tx) => tx.try_send(Job {
+                    key: key.clone(),
+                    params,
+                    mode: spec.mode,
+                }),
+                None => Err(TrySendError::Disconnected(Job {
+                    key: key.clone(),
+                    params,
+                    mode: spec.mode,
+                })),
+            }
+        };
+        if let Err(e) = send_result {
+            let error = match e {
+                TrySendError::Full(_) => EngineError::Overloaded,
+                TrySendError::Disconnected(_) => EngineError::ShuttingDown,
+            };
+            // Fail everyone attached to the entry we just created (more
+            // waiters may have joined between the two locks).
+            let waiters = shared.inflight.lock().remove(&key).unwrap_or_default();
+            for w in &waiters {
+                if error == EngineError::Overloaded {
+                    shared.metrics.inc_rejected();
+                }
+                shared.reply(w, Err(error.clone()));
+            }
+        }
+    }
+
+    /// Submit and block for the reply — the in-process convenience path.
+    ///
+    /// # Errors
+    /// Any [`EngineError`] the request ends in.
+    pub fn request(&self, spec: &SolveSpec) -> Result<SolveSummary> {
+        let (tx, rx) = bounded(1);
+        self.submit(0, spec, &tx);
+        rx.recv().map_err(|_| EngineError::ShuttingDown)?.result
+    }
+
+    /// Point-in-time metrics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Record a protocol-level malformed request (used by the servers).
+    pub(crate) fn note_invalid(&self) {
+        self.shared.metrics.inc_invalid();
+    }
+
+    /// Graceful shutdown: stop accepting work, let the workers drain the
+    /// queue, fail any remaining waiters, and return the final stats.
+    pub fn shutdown(&self) -> StatsSnapshot {
+        self.shutdown_impl();
+        self.stats()
+    }
+
+    fn shutdown_impl(&self) {
+        self.shared.closed.store(true, Ordering::SeqCst);
+        // Dropping the sender disconnects the channel; workers finish the
+        // jobs already queued, then exit.
+        *self.shared.job_tx.lock() = None;
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        // With zero workers (test configurations) queued jobs are dropped;
+        // fail their waiters rather than leaving them hanging.
+        let leftover: Vec<Waiter> = self
+            .shared
+            .inflight
+            .lock()
+            .drain()
+            .flat_map(|(_, v)| v)
+            .collect();
+        for w in &leftover {
+            self.shared.reply(w, Err(EngineError::ShuttingDown));
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_solves_and_caches() {
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        });
+        let spec = SolveSpec::seeded(20, 3, SolveMode::Direct);
+        let first = engine.request(&spec).unwrap();
+        assert!(!first.cached);
+        assert_eq!(first.m, 20);
+        assert_eq!(first.method, SolveMethod::Analytic);
+        let second = engine.request(&spec).unwrap();
+        assert!(second.cached);
+        assert_eq!(second.p_m, first.p_m);
+        let stats = engine.shutdown();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.solves, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn modes_map_to_solver_paths() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let direct = engine
+            .request(&SolveSpec::seeded(10, 1, SolveMode::Direct))
+            .unwrap();
+        assert_eq!(direct.method, SolveMethod::Analytic);
+        let mf = engine
+            .request(&SolveSpec::seeded(10, 1, SolveMode::MeanField))
+            .unwrap();
+        assert_eq!(mf.method, SolveMethod::MeanField);
+        let num = engine
+            .request(&SolveSpec::seeded(10, 1, SolveMode::Numeric))
+            .unwrap();
+        assert_eq!(num.method, SolveMethod::Numeric);
+        // Same market, three distinct cache keys.
+        assert_eq!(engine.stats().solves, 3);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_immediately() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let bad = SolveSpec::seeded(0, 1, SolveMode::Direct);
+        assert!(matches!(
+            engine.request(&bad),
+            Err(EngineError::InvalidRequest(_))
+        ));
+        assert_eq!(engine.stats().invalid, 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        engine.shutdown();
+        assert!(matches!(
+            engine.request(&SolveSpec::seeded(5, 1, SolveMode::Direct)),
+            Err(EngineError::ShuttingDown)
+        ));
+    }
+}

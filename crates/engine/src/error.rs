@@ -1,0 +1,86 @@
+//! Error type for the serving engine.
+//!
+//! Engine errors are designed to cross the wire: every variant has a stable
+//! machine-readable [`code`](EngineError::code) that clients can switch on
+//! (`overloaded`, `deadline_expired`, ...) plus a human-readable message.
+
+use std::fmt;
+
+/// Errors produced while accepting, queueing or solving a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The bounded job queue is full; the request was rejected rather than
+    /// buffered unboundedly (backpressure).
+    Overloaded,
+    /// The request's deadline passed before a solution could be produced.
+    DeadlineExpired,
+    /// The engine is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The request itself is malformed (bad spec, invalid parameters).
+    InvalidRequest(String),
+    /// The solver failed on a well-formed request.
+    Solver(String),
+}
+
+impl EngineError {
+    /// Stable machine-readable error code used on the wire.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EngineError::Overloaded => "overloaded",
+            EngineError::DeadlineExpired => "deadline_expired",
+            EngineError::ShuttingDown => "shutting_down",
+            EngineError::InvalidRequest(_) => "invalid_request",
+            EngineError::Solver(_) => "solver_error",
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Overloaded => write!(f, "job queue full, request rejected"),
+            EngineError::DeadlineExpired => write!(f, "deadline expired before completion"),
+            EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
+            EngineError::Solver(reason) => write!(f, "solver failure: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Convenience result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let all = [
+            EngineError::Overloaded,
+            EngineError::DeadlineExpired,
+            EngineError::ShuttingDown,
+            EngineError::InvalidRequest("x".into()),
+            EngineError::Solver("y".into()),
+        ];
+        let codes: Vec<&str> = all.iter().map(|e| e.code()).collect();
+        assert_eq!(
+            codes,
+            [
+                "overloaded",
+                "deadline_expired",
+                "shutting_down",
+                "invalid_request",
+                "solver_error"
+            ]
+        );
+    }
+
+    #[test]
+    fn display_includes_reason() {
+        let e = EngineError::InvalidRequest("m must be positive".into());
+        assert!(e.to_string().contains("m must be positive"));
+    }
+}

@@ -1,0 +1,62 @@
+//! # share-engine
+//!
+//! A concurrent **market-serving engine** in front of the Share SNE solver
+//! stack: the piece that turns the one-shot library into long-lived serving
+//! infrastructure (ROADMAP north star: "heavy traffic from millions of
+//! users").
+//!
+//! Built on `std` + `crossbeam` + `parking_lot` only — no async runtime.
+//!
+//! ## Architecture
+//!
+//! | Module | Role |
+//! |--------|------|
+//! | [`spec`] | request specs: seeded or explicit markets, solver mode, deadline |
+//! | [`quantize`] | tolerance-bucketed cache keys so near-identical markets coalesce |
+//! | [`cache`] | LRU equilibrium cache |
+//! | [`engine`] | worker pool, bounded job queue, in-flight dedup, backpressure |
+//! | [`metrics`] | atomic counters + latency min/mean/max snapshots |
+//! | [`protocol`] | newline-delimited JSON wire protocol (solve/batch/stats/ping/shutdown) |
+//! | [`server`] | stdio and TCP servers with graceful shutdown |
+//! | [`client`] | blocking TCP client with pipelining support |
+//!
+//! ## Example
+//!
+//! ```
+//! use share_engine::{Engine, EngineConfig, SolveMode, SolveSpec};
+//!
+//! let engine = Engine::start(EngineConfig {
+//!     workers: 2,
+//!     ..EngineConfig::default()
+//! });
+//! let spec = SolveSpec::seeded(50, 42, SolveMode::Direct);
+//! let first = engine.request(&spec).unwrap();
+//! let second = engine.request(&spec).unwrap();
+//! assert!(!first.cached && second.cached);
+//! assert_eq!(first.p_m, second.p_m);
+//! let stats = engine.shutdown();
+//! assert_eq!(stats.cache_hits, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod quantize;
+pub mod server;
+pub mod spec;
+mod worker;
+
+pub use client::Client;
+pub use engine::{Engine, EngineConfig, Reply, SolveSummary};
+pub use error::{EngineError, Result};
+pub use metrics::StatsSnapshot;
+pub use protocol::{RequestBody, ResponseBody, WireRequest, WireResponse};
+pub use quantize::QuantizerConfig;
+pub use server::{serve_stdio, serve_tcp, TcpServer};
+pub use spec::{MarketSpec, SolveMode, SolveSpec};

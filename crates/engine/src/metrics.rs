@@ -1,0 +1,194 @@
+//! Lock-free serving metrics.
+//!
+//! All counters are relaxed atomics updated on the request path; a
+//! [`StatsSnapshot`] is a consistent-enough point-in-time copy exposed via
+//! the wire `stats` request and printed on shutdown.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Atomic counters shared by the engine, its workers and the servers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: AtomicU64,
+    solves: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    deduped: AtomicU64,
+    rejected: AtomicU64,
+    deadline_expired: AtomicU64,
+    invalid: AtomicU64,
+    lat_count: AtomicU64,
+    lat_sum_ns: AtomicU64,
+    lat_min_ns: AtomicU64,
+    lat_max_ns: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        let m = Metrics::default();
+        m.lat_min_ns.store(u64::MAX, Ordering::Relaxed);
+        m
+    }
+
+    /// Count an accepted submission.
+    pub fn inc_requests(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Count a completed solver run.
+    pub fn inc_solves(&self) {
+        self.solves.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Count a cache hit.
+    pub fn inc_cache_hits(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Count a cache miss.
+    pub fn inc_cache_misses(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Count a request coalesced onto an in-flight solve.
+    pub fn inc_deduped(&self) {
+        self.deduped.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Count a backpressure rejection.
+    pub fn inc_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Count a deadline expiry.
+    pub fn inc_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Count a malformed request.
+    pub fn inc_invalid(&self) {
+        self.invalid.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request's service latency (submission to reply).
+    pub fn record_latency(&self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        self.lat_count.fetch_add(1, Ordering::Relaxed);
+        self.lat_sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.lat_min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.lat_max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let count = self.lat_count.load(Ordering::Relaxed);
+        let sum = self.lat_sum_ns.load(Ordering::Relaxed);
+        let min = self.lat_min_ns.load(Ordering::Relaxed);
+        let max = self.lat_max_ns.load(Ordering::Relaxed);
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            solves: self.solves.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            invalid: self.invalid.load(Ordering::Relaxed),
+            latency_min_us: if count == 0 { 0.0 } else { min as f64 / 1e3 },
+            latency_mean_us: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64 / 1e3
+            },
+            latency_max_us: if count == 0 { 0.0 } else { max as f64 / 1e3 },
+        }
+    }
+}
+
+/// A serializable point-in-time view of the engine's counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Submissions accepted by the engine (including later rejections).
+    pub requests: u64,
+    /// Solver runs actually executed.
+    pub solves: u64,
+    /// Requests answered from the equilibrium cache.
+    pub cache_hits: u64,
+    /// Requests that missed the cache.
+    pub cache_misses: u64,
+    /// Requests coalesced onto an in-flight identical solve.
+    pub deduped: u64,
+    /// Requests rejected by queue backpressure.
+    pub rejected: u64,
+    /// Requests whose deadline expired before completion.
+    pub deadline_expired: u64,
+    /// Malformed requests.
+    pub invalid: u64,
+    /// Minimum service latency (µs) over replied requests.
+    pub latency_min_us: f64,
+    /// Mean service latency (µs) over replied requests.
+    pub latency_mean_us: f64,
+    /// Maximum service latency (µs) over replied requests.
+    pub latency_max_us: f64,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests={} solves={} cache_hits={} cache_misses={} deduped={}",
+            self.requests, self.solves, self.cache_hits, self.cache_misses, self.deduped
+        )?;
+        write!(
+            f,
+            "rejected={} deadline_expired={} invalid={} latency_us(min/mean/max)={:.1}/{:.1}/{:.1}",
+            self.rejected,
+            self.deadline_expired,
+            self.invalid,
+            self.latency_min_us,
+            self.latency_mean_us,
+            self.latency_max_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.inc_requests();
+        m.inc_requests();
+        m.inc_cache_hits();
+        m.inc_deduped();
+        m.inc_rejected();
+        m.inc_deadline_expired();
+        let s = m.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.deduped, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.deadline_expired, 1);
+    }
+
+    #[test]
+    fn latency_min_mean_max() {
+        let m = Metrics::new();
+        let s0 = m.snapshot();
+        assert_eq!(s0.latency_min_us, 0.0);
+        m.record_latency(Duration::from_micros(10));
+        m.record_latency(Duration::from_micros(30));
+        let s = m.snapshot();
+        assert!((s.latency_min_us - 10.0).abs() < 1e-9);
+        assert!((s.latency_max_us - 30.0).abs() < 1e-9);
+        assert!((s.latency_mean_us - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let m = Metrics::new();
+        m.inc_requests();
+        let s = m.snapshot();
+        let js = serde_json::to_string(&s).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, s);
+    }
+}

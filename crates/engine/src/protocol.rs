@@ -1,0 +1,223 @@
+//! Newline-delimited JSON wire protocol.
+//!
+//! Every request and response is one JSON object on one line, tagged by a
+//! `kind` field and correlated by a client-chosen `id` (defaulting to 0).
+//! Responses to pipelined requests may arrive out of submission order —
+//! clients must match on `id`.
+//!
+//! ```text
+//! → {"kind":"solve","id":1,"spec":{"m":100,"seed":42},"mode":"direct"}
+//! ← {"id":1,"kind":"solve","result":{"p_m":0.036,...,"cached":false}}
+//! → {"kind":"batch","id":2,"requests":[{"spec":{"m":10,"seed":1}},{"spec":{"m":20,"seed":2}}]}
+//! ← {"id":2,"kind":"batch","results":[...]}
+//! → {"kind":"stats","id":3}
+//! ← {"id":3,"kind":"stats","stats":{"requests":3,...}}
+//! → {"kind":"shutdown","id":4}
+//! ← {"id":4,"kind":"shutdown"}
+//! ```
+
+use crate::engine::{Reply, SolveSummary};
+use crate::error::EngineError;
+use crate::metrics::StatsSnapshot;
+use crate::spec::{MarketSpec, SolveMode, SolveSpec};
+use serde::{Deserialize, Serialize};
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// Client-chosen correlation id (echoed on the response).
+    #[serde(default)]
+    pub id: u64,
+    /// The request payload, tagged by `kind`.
+    #[serde(flatten)]
+    pub body: RequestBody,
+}
+
+/// Request payloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum RequestBody {
+    /// Solve one market.
+    Solve {
+        /// The market to solve.
+        spec: MarketSpec,
+        /// Solver path (defaults to `direct`).
+        #[serde(default)]
+        mode: SolveMode,
+        /// Optional deadline in milliseconds.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        deadline_ms: Option<u64>,
+    },
+    /// Solve several markets; the response carries one result per entry,
+    /// in order.
+    Batch {
+        /// The sub-requests.
+        requests: Vec<SolveSpec>,
+    },
+    /// Fetch the engine's metrics snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireResponse {
+    /// Correlation id echoed from the request.
+    pub id: u64,
+    /// The response payload, tagged by `kind`.
+    #[serde(flatten)]
+    pub body: ResponseBody,
+}
+
+/// Response payloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ResponseBody {
+    /// A solved (or cache-served) equilibrium.
+    Solve {
+        /// The equilibrium summary.
+        result: SolveSummary,
+    },
+    /// A batch of results, ordered as submitted (each inner response keeps
+    /// its position as `id`).
+    Batch {
+        /// Per-entry responses.
+        results: Vec<WireResponse>,
+    },
+    /// Metrics snapshot.
+    Stats {
+        /// The counters.
+        stats: StatsSnapshot,
+    },
+    /// Reply to a ping.
+    Pong,
+    /// Acknowledgement of a shutdown request.
+    Shutdown,
+    /// A structured error.
+    Error {
+        /// Stable machine-readable code (see [`EngineError::code`]).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl WireResponse {
+    /// Build the wire form of an engine error.
+    pub fn from_error(id: u64, error: &EngineError) -> Self {
+        Self {
+            id,
+            body: ResponseBody::Error {
+                code: error.code().to_string(),
+                message: error.to_string(),
+            },
+        }
+    }
+
+    /// Build the wire form of an engine reply.
+    pub fn from_reply(reply: Reply) -> Self {
+        match reply.result {
+            Ok(result) => Self {
+                id: reply.id,
+                body: ResponseBody::Solve { result },
+            },
+            Err(e) => Self::from_error(reply.id, &e),
+        }
+    }
+
+    /// `true` unless this is an error response.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self.body, ResponseBody::Error { .. })
+    }
+}
+
+/// Parse one request line.
+///
+/// # Errors
+/// [`EngineError::InvalidRequest`] on malformed JSON or an unknown `kind`.
+pub fn parse_request(line: &str) -> crate::error::Result<WireRequest> {
+    serde_json::from_str(line).map_err(|e| EngineError::InvalidRequest(e.to_string()))
+}
+
+/// Encode one response as its wire line (without the trailing newline).
+pub fn encode_response(resp: &WireResponse) -> String {
+    serde_json::to_string(resp).expect("wire responses always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_request_roundtrip() {
+        let line = r#"{"kind":"solve","id":7,"spec":{"m":10,"seed":1},"mode":"numeric","deadline_ms":250}"#;
+        let req = parse_request(line).unwrap();
+        assert_eq!(req.id, 7);
+        match &req.body {
+            RequestBody::Solve {
+                spec,
+                mode,
+                deadline_ms,
+            } => {
+                assert!(matches!(spec, MarketSpec::Seeded { m: 10, seed: 1, .. }));
+                assert_eq!(*mode, SolveMode::Numeric);
+                assert_eq!(*deadline_ms, Some(250));
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+        let encoded = serde_json::to_string(&req).unwrap();
+        let back = parse_request(&encoded).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn unit_kinds_parse_and_default_id() {
+        for (line, want) in [
+            (r#"{"kind":"stats"}"#, RequestBody::Stats),
+            (r#"{"kind":"ping"}"#, RequestBody::Ping),
+            (r#"{"kind":"shutdown"}"#, RequestBody::Shutdown),
+        ] {
+            let req = parse_request(line).unwrap();
+            assert_eq!(req.id, 0);
+            assert_eq!(req.body, want);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_invalid_requests() {
+        assert!(matches!(
+            parse_request("{not json"),
+            Err(EngineError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            parse_request(r#"{"kind":"frobnicate","id":1}"#),
+            Err(EngineError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn error_response_carries_stable_code() {
+        let resp = WireResponse::from_error(3, &EngineError::Overloaded);
+        assert!(!resp.is_ok());
+        let line = encode_response(&resp);
+        assert!(line.contains(r#""code":"overloaded""#), "{line}");
+        let back: WireResponse = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn batch_request_roundtrip() {
+        let line = r#"{"kind":"batch","id":9,"requests":[{"spec":{"m":3,"seed":1}},{"spec":{"m":4,"seed":2},"mode":"mean_field"}]}"#;
+        let req = parse_request(line).unwrap();
+        match &req.body {
+            RequestBody::Batch { requests } => {
+                assert_eq!(requests.len(), 2);
+                assert_eq!(requests[1].mode, SolveMode::MeanField);
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+}

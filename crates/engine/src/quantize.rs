@@ -1,0 +1,166 @@
+//! Parameter quantization: mapping near-identical markets to one cache key.
+//!
+//! Two requests whose parameters differ by less than the configured
+//! tolerance describe markets whose equilibria are indistinguishable at
+//! serving precision, so the engine buckets every continuous parameter into
+//! `round(x / param_tol)` and uses the bucket vector as the cache/dedup key.
+//!
+//! **Soundness contract** (checked by the crate's property tests): if two
+//! parameter sets map to the same [`CacheKey`] under `param_tol`, each
+//! continuous field differs by at most `param_tol`, and the resulting SNE
+//! prices `(p^M*, p^D*)` differ by less than [`QuantizerConfig::price_tol`].
+//! The defaults (`param_tol = 1e-6`, `price_tol = 1e-3`) leave three orders
+//! of magnitude of headroom for the solver's parameter sensitivity.
+
+use crate::spec::SolveMode;
+use share_market::params::{LossModel, MarketParams};
+
+/// Quantization tolerances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizerConfig {
+    /// Bucket width for every continuous market parameter.
+    pub param_tol: f64,
+    /// Guaranteed bound on the SNE price difference between two markets
+    /// sharing a key (documented contract; see the crate property tests).
+    pub price_tol: f64,
+}
+
+impl Default for QuantizerConfig {
+    fn default() -> Self {
+        Self {
+            param_tol: 1e-6,
+            price_tol: 1e-3,
+        }
+    }
+}
+
+/// A quantized market identity: solver mode, discrete fields, and the bucket
+/// indices of every continuous parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    mode: SolveMode,
+    loss_model: LossModel,
+    n_pieces: usize,
+    buckets: Vec<i64>,
+}
+
+impl CacheKey {
+    /// Seller count encoded in this key (each seller contributes a λ and an
+    /// ω bucket after the 11 buyer/broker buckets).
+    pub fn m(&self) -> usize {
+        (self.buckets.len() - 11) / 2
+    }
+}
+
+fn bucket(x: f64, tol: f64) -> i64 {
+    // `as` saturates on overflow/NaN, so extreme values still yield a
+    // deterministic (if degenerate) key rather than UB.
+    (x / tol).round() as i64
+}
+
+/// Quantize a validated market + solver mode into its [`CacheKey`].
+pub fn quantize(params: &MarketParams, mode: SolveMode, tol: f64) -> CacheKey {
+    let mut buckets = Vec::with_capacity(11 + 2 * params.m());
+    let b = &params.buyer;
+    for x in [b.v, b.theta1, b.theta2, b.rho1, b.rho2] {
+        buckets.push(bucket(x, tol));
+    }
+    for s in params.broker.sigma {
+        buckets.push(bucket(s, tol));
+    }
+    for s in &params.sellers {
+        buckets.push(bucket(s.lambda, tol));
+    }
+    for &w in &params.weights {
+        buckets.push(bucket(w, tol));
+    }
+    CacheKey {
+        mode,
+        loss_model: params.loss_model,
+        n_pieces: b.n_pieces,
+        buckets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn market(m: usize, seed: u64) -> MarketParams {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MarketParams::paper_defaults(m, &mut rng)
+    }
+
+    #[test]
+    fn identical_markets_share_a_key() {
+        let p = market(10, 3);
+        let a = quantize(&p, SolveMode::Direct, 1e-6);
+        let b = quantize(&p.clone(), SolveMode::Direct, 1e-6);
+        assert_eq!(a, b);
+        assert_eq!(a.m(), 10);
+    }
+
+    #[test]
+    fn sub_tolerance_perturbations_share_a_key() {
+        let mut p = market(10, 3);
+        // Pin each λ to the center of a bucket so the nudge below cannot
+        // cross a rounding boundary.
+        for (i, s) in p.sellers.iter_mut().enumerate() {
+            s.lambda = 0.1 + i as f64 * 1e-3;
+        }
+        let mut q = p.clone();
+        for s in &mut q.sellers {
+            s.lambda += 1e-9;
+        }
+        assert_eq!(
+            quantize(&p, SolveMode::Direct, 1e-6),
+            quantize(&q, SolveMode::Direct, 1e-6)
+        );
+    }
+
+    #[test]
+    fn distinct_markets_and_modes_get_distinct_keys() {
+        let p = market(10, 3);
+        let mut q = p.clone();
+        q.sellers[0].lambda += 0.1;
+        assert_ne!(
+            quantize(&p, SolveMode::Direct, 1e-6),
+            quantize(&q, SolveMode::Direct, 1e-6)
+        );
+        assert_ne!(
+            quantize(&p, SolveMode::Direct, 1e-6),
+            quantize(&p, SolveMode::Numeric, 1e-6)
+        );
+        let mut r = p.clone();
+        r.buyer.n_pieces += 1;
+        assert_ne!(
+            quantize(&p, SolveMode::Direct, 1e-6),
+            quantize(&r, SolveMode::Direct, 1e-6)
+        );
+        let mut l = p.clone();
+        l.loss_model = LossModel::LinearChi;
+        assert_ne!(
+            quantize(&p, SolveMode::Direct, 1e-6),
+            quantize(&l, SolveMode::Direct, 1e-6)
+        );
+    }
+
+    #[test]
+    fn coarser_tolerance_coalesces_more() {
+        let mut p = market(5, 1);
+        // Bucket-centered so the 1e-4 nudge stays inside one 1e-2 bucket.
+        p.sellers[0].lambda = 0.25;
+        let mut q = p.clone();
+        q.sellers[0].lambda += 1e-4;
+        assert_ne!(
+            quantize(&p, SolveMode::Direct, 1e-6),
+            quantize(&q, SolveMode::Direct, 1e-6)
+        );
+        assert_eq!(
+            quantize(&p, SolveMode::Direct, 1e-2),
+            quantize(&q, SolveMode::Direct, 1e-2)
+        );
+    }
+}

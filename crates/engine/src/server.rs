@@ -1,0 +1,237 @@
+//! NDJSON servers over stdio and TCP.
+//!
+//! Both servers share one connection loop: a reader thread parses request
+//! lines and feeds the engine, a writer thread owns the output stream, and
+//! a forwarder turns engine [`Reply`]s into wire responses as solves
+//! complete (so responses to pipelined requests stream back out of order,
+//! correlated by `id`).
+//!
+//! Shutdown is graceful everywhere: a `shutdown` request is acknowledged,
+//! in-flight replies for the connection are flushed before it closes, and
+//! the TCP accept loop is woken and stopped.
+
+use crate::engine::{Engine, Reply};
+use crate::protocol::{encode_response, parse_request, RequestBody, ResponseBody, WireResponse};
+use crate::spec::SolveSpec;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn writer_loop<W: Write>(mut w: W, rx: Receiver<WireResponse>) {
+    for resp in rx {
+        if writeln!(w, "{}", encode_response(&resp)).is_err() || w.flush().is_err() {
+            break;
+        }
+    }
+}
+
+fn handle_batch(
+    engine: &Arc<Engine>,
+    id: u64,
+    requests: Vec<SolveSpec>,
+    resp_tx: &Sender<WireResponse>,
+) {
+    if requests.is_empty() {
+        let _ = resp_tx.send(WireResponse {
+            id,
+            body: ResponseBody::Batch {
+                results: Vec::new(),
+            },
+        });
+        return;
+    }
+    let (tx, rx) = bounded::<Reply>(requests.len());
+    for (i, spec) in requests.iter().enumerate() {
+        engine.submit(i as u64, spec, &tx);
+    }
+    drop(tx);
+    let resp_tx = resp_tx.clone();
+    // Collect off-thread so slow solves don't block the request reader.
+    thread::spawn(move || {
+        let mut results: Vec<WireResponse> = rx.iter().map(WireResponse::from_reply).collect();
+        results.sort_by_key(|r| r.id);
+        let _ = resp_tx.send(WireResponse {
+            id,
+            body: ResponseBody::Batch { results },
+        });
+    });
+}
+
+/// Serve one connection's request stream. Returns `true` when the client
+/// asked the server to shut down.
+fn serve_connection<R: BufRead>(
+    engine: &Arc<Engine>,
+    reader: R,
+    resp_tx: &Sender<WireResponse>,
+) -> bool {
+    let (reply_tx, reply_rx) = unbounded::<Reply>();
+    let forward_tx = resp_tx.clone();
+    let forwarder = thread::spawn(move || {
+        for reply in reply_rx {
+            if forward_tx.send(WireResponse::from_reply(reply)).is_err() {
+                break;
+            }
+        }
+    });
+    let mut wants_shutdown = false;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_request(line) {
+            Err(e) => {
+                engine.note_invalid();
+                let _ = resp_tx.send(WireResponse::from_error(0, &e));
+            }
+            Ok(req) => match req.body {
+                RequestBody::Solve {
+                    spec,
+                    mode,
+                    deadline_ms,
+                } => {
+                    let solve = SolveSpec {
+                        spec,
+                        mode,
+                        deadline_ms,
+                    };
+                    engine.submit(req.id, &solve, &reply_tx);
+                }
+                RequestBody::Batch { requests } => {
+                    handle_batch(engine, req.id, requests, resp_tx);
+                }
+                RequestBody::Stats => {
+                    let _ = resp_tx.send(WireResponse {
+                        id: req.id,
+                        body: ResponseBody::Stats {
+                            stats: engine.stats(),
+                        },
+                    });
+                }
+                RequestBody::Ping => {
+                    let _ = resp_tx.send(WireResponse {
+                        id: req.id,
+                        body: ResponseBody::Pong,
+                    });
+                }
+                RequestBody::Shutdown => {
+                    let _ = resp_tx.send(WireResponse {
+                        id: req.id,
+                        body: ResponseBody::Shutdown,
+                    });
+                    wants_shutdown = true;
+                    break;
+                }
+            },
+        }
+    }
+    // Wait for in-flight replies on this connection to flush.
+    drop(reply_tx);
+    let _ = forwarder.join();
+    wants_shutdown
+}
+
+/// Serve NDJSON requests from stdin to stdout until EOF or a `shutdown`
+/// request. Returns `true` when shutdown was requested explicitly.
+pub fn serve_stdio(engine: &Arc<Engine>) -> bool {
+    let (resp_tx, resp_rx) = unbounded();
+    let writer = thread::spawn(move || writer_loop(io::stdout(), resp_rx));
+    let stdin = io::stdin();
+    let wants_shutdown = serve_connection(engine, stdin.lock(), &resp_tx);
+    drop(resp_tx);
+    let _ = writer.join();
+    wants_shutdown
+}
+
+/// A running TCP server (one reader thread per connection feeding the
+/// shared engine queue).
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+fn handle_tcp_connection(
+    engine: Arc<Engine>,
+    stream: TcpStream,
+    stop: Arc<AtomicBool>,
+    local: SocketAddr,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let (resp_tx, resp_rx) = unbounded();
+    let writer = thread::spawn(move || writer_loop(stream, resp_rx));
+    let wants_shutdown = serve_connection(&engine, BufReader::new(read_half), &resp_tx);
+    drop(resp_tx);
+    let _ = writer.join();
+    if wants_shutdown && !stop.swap(true, Ordering::SeqCst) {
+        // Wake the accept loop so it observes the stop flag.
+        let _ = TcpStream::connect(local);
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0`) and serve the engine over TCP.
+///
+/// # Errors
+/// I/O errors from binding the listener.
+pub fn serve_tcp(engine: Arc<Engine>, addr: &str) -> io::Result<TcpServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept = thread::Builder::new()
+        .name("share-engine-accept".to_string())
+        .spawn(move || {
+            for incoming in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = incoming else { continue };
+                let engine = Arc::clone(&engine);
+                let conn_stop = Arc::clone(&accept_stop);
+                thread::spawn(move || handle_tcp_connection(engine, stream, conn_stop, local));
+            }
+        })
+        .expect("spawn accept thread");
+    Ok(TcpServer {
+        addr: local,
+        stop,
+        accept: Mutex::new(Some(accept)),
+    })
+}
+
+impl TcpServer {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the accept loop to stop and wait for it to exit. Already-open
+    /// connections finish their in-flight work independently.
+    pub fn stop(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+        self.wait();
+    }
+
+    /// Block until the accept loop exits (via [`TcpServer::stop`] or a
+    /// client `shutdown` request).
+    pub fn wait(&self) {
+        if let Some(h) = self.accept.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -1,0 +1,193 @@
+//! Request specifications: what a client asks the engine to solve.
+//!
+//! A [`SolveSpec`] names a market ([`MarketSpec`]), the solver path
+//! ([`SolveMode`]) and an optional deadline. Markets come in two wire forms:
+//!
+//! - **seeded** — `{"m": 100, "seed": 42}`: the paper's §6.1 default market
+//!   generated deterministically from a seed (cheap to transmit, and two
+//!   requests with the same seed are byte-identical — ideal for caching);
+//! - **explicit** — a full [`MarketParams`] JSON object, as emitted by
+//!   `share_cli params`.
+
+use crate::error::EngineError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use share_market::params::MarketParams;
+
+/// Which solver path to run (see `share_market::solver`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum SolveMode {
+    /// Backward induction through the closed forms (Eqs. 27/25/20).
+    #[default]
+    Direct,
+    /// Closed-form Stage 1/2 with the Stage-3 mean-field reaction (Eq. 23).
+    MeanField,
+    /// Nested numerical maximization along the reaction curves.
+    Numeric,
+}
+
+/// The market a request refers to, in either wire form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum MarketSpec {
+    /// A deterministic §6.1 default market: `m` sellers with `λ ~ U(0,1)`
+    /// drawn from `seed`, optionally overriding the buyer's demand `N` and
+    /// target performance `v`.
+    Seeded {
+        /// Seller count `m`.
+        m: usize,
+        /// RNG seed for the λ draws.
+        seed: u64,
+        /// Override for the buyer's demanded pieces `N`.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        n_pieces: Option<usize>,
+        /// Override for the required product performance `v`.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        v: Option<f64>,
+    },
+    /// A fully explicit market configuration.
+    Explicit(Box<MarketParams>),
+}
+
+impl MarketSpec {
+    /// Build (and validate) the concrete [`MarketParams`] this spec denotes.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] when the spec is out of domain.
+    pub fn materialize(&self) -> crate::error::Result<MarketParams> {
+        let params = match self {
+            MarketSpec::Seeded {
+                m,
+                seed,
+                n_pieces,
+                v,
+            } => {
+                if *m == 0 {
+                    return Err(EngineError::InvalidRequest(
+                        "seeded spec needs m > 0".to_string(),
+                    ));
+                }
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let mut params = MarketParams::paper_defaults(*m, &mut rng);
+                if let Some(n) = n_pieces {
+                    params.buyer.n_pieces = *n;
+                }
+                if let Some(v) = v {
+                    params.buyer.v = *v;
+                }
+                params
+            }
+            MarketSpec::Explicit(params) => (**params).clone(),
+        };
+        params
+            .validate()
+            .map_err(|e| EngineError::InvalidRequest(e.to_string()))?;
+        Ok(params)
+    }
+}
+
+/// One complete solve request: market, solver path, optional deadline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveSpec {
+    /// The market to solve.
+    pub spec: MarketSpec,
+    /// The solver path to use.
+    #[serde(default)]
+    pub mode: SolveMode,
+    /// Deadline in milliseconds from submission; a request still unserved
+    /// when it expires receives a `deadline_expired` error instead of an
+    /// answer.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadline_ms: Option<u64>,
+}
+
+impl SolveSpec {
+    /// A seeded default-market request with no deadline.
+    pub fn seeded(m: usize, seed: u64, mode: SolveMode) -> Self {
+        Self {
+            spec: MarketSpec::Seeded {
+                m,
+                seed,
+                n_pieces: None,
+                v: None,
+            },
+            mode,
+            deadline_ms: None,
+        }
+    }
+
+    /// An explicit-parameters request with no deadline.
+    pub fn explicit(params: MarketParams, mode: SolveMode) -> Self {
+        Self {
+            spec: MarketSpec::Explicit(Box::new(params)),
+            mode,
+            deadline_ms: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_spec_is_deterministic() {
+        let s = SolveSpec::seeded(5, 7, SolveMode::Direct);
+        let a = s.spec.materialize().unwrap();
+        let b = s.spec.materialize().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.m(), 5);
+    }
+
+    #[test]
+    fn seeded_spec_applies_overrides() {
+        let spec = MarketSpec::Seeded {
+            m: 3,
+            seed: 1,
+            n_pieces: Some(250),
+            v: Some(0.9),
+        };
+        let p = spec.materialize().unwrap();
+        assert_eq!(p.buyer.n_pieces, 250);
+        assert_eq!(p.buyer.v, 0.9);
+    }
+
+    #[test]
+    fn zero_sellers_is_invalid() {
+        let spec = MarketSpec::Seeded {
+            m: 0,
+            seed: 1,
+            n_pieces: None,
+            v: None,
+        };
+        assert!(matches!(
+            spec.materialize(),
+            Err(EngineError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn untagged_wire_forms_deserialize() {
+        let seeded: MarketSpec = serde_json::from_str(r#"{"m": 4, "seed": 9}"#).unwrap();
+        assert!(matches!(seeded, MarketSpec::Seeded { m: 4, seed: 9, .. }));
+
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = MarketParams::paper_defaults(3, &mut rng);
+        let js = serde_json::to_string(&MarketSpec::Explicit(Box::new(params))).unwrap();
+        let back: MarketSpec = serde_json::from_str(&js).unwrap();
+        assert!(matches!(back, MarketSpec::Explicit(_)));
+        assert_eq!(back.materialize().unwrap().m(), 3);
+    }
+
+    #[test]
+    fn solve_spec_defaults_on_the_wire() {
+        let s: SolveSpec = serde_json::from_str(r#"{"spec": {"m": 2, "seed": 0}}"#).unwrap();
+        assert_eq!(s.mode, SolveMode::Direct);
+        assert_eq!(s.deadline_ms, None);
+        let s: SolveSpec =
+            serde_json::from_str(r#"{"spec": {"m": 2, "seed": 0}, "mode": "mean_field"}"#).unwrap();
+        assert_eq!(s.mode, SolveMode::MeanField);
+    }
+}

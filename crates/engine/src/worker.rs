@@ -1,0 +1,96 @@
+//! Solver workers: drain the job queue, honor deadlines, publish to the
+//! cache, and fan replies out to every waiter attached to a job.
+
+use crate::engine::{Job, Shared, SolveSummary, Waiter};
+use crate::error::{EngineError, Result};
+use crate::spec::SolveMode;
+use crossbeam::channel::Receiver;
+use share_market::params::MarketParams;
+use share_market::solver::{solve, solve_mean_field, solve_numeric};
+use std::time::Instant;
+
+/// Run the chosen solver path.
+fn run_solver(params: &MarketParams, mode: SolveMode) -> Result<SolveSummary> {
+    let t0 = Instant::now();
+    let sol = match mode {
+        SolveMode::Direct => solve(params),
+        SolveMode::MeanField => solve_mean_field(params),
+        SolveMode::Numeric => solve_numeric(params),
+    }
+    .map_err(|e| EngineError::Solver(e.to_string()))?;
+    let micros = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    Ok(SolveSummary::from_solution(&sol, micros))
+}
+
+/// Split off the waiters whose deadline has already passed.
+fn split_expired(waiters: Vec<Waiter>, now: Instant) -> (Vec<Waiter>, Vec<Waiter>) {
+    waiters
+        .into_iter()
+        .partition(|w| w.deadline.map_or(true, |d| d > now))
+}
+
+fn process(shared: &Shared, job: Job) {
+    // Deadline pre-check: requests that already expired get a structured
+    // error now; if nobody is left waiting, skip the solve entirely.
+    let now = Instant::now();
+    let has_live = {
+        let mut inflight = shared.inflight.lock();
+        let waiters = inflight.remove(&job.key).unwrap_or_default();
+        let (live, expired) = split_expired(waiters, now);
+        let has_live = !live.is_empty();
+        if has_live {
+            // Re-insert so submissions arriving during the solve still
+            // coalesce onto this job.
+            inflight.insert(job.key.clone(), live);
+        }
+        for w in &expired {
+            shared.metrics.inc_deadline_expired();
+            shared.reply(w, Err(EngineError::DeadlineExpired));
+        }
+        has_live
+    };
+    if !has_live {
+        return;
+    }
+
+    // A racing submission may have solved this key already (miss-then-queue
+    // happens outside the cache lock); answer from the cache if so.
+    let cached = shared.cache.lock().get(&job.key);
+    let result = match cached {
+        Some(mut hit) => {
+            // The job's originating request ends up cache-served after all;
+            // count it so the per-request accounting stays exhaustive.
+            shared.metrics.inc_cache_hits();
+            hit.cached = true;
+            Ok(hit)
+        }
+        None => {
+            let result = run_solver(&job.params, job.mode);
+            if let Ok(summary) = &result {
+                shared.metrics.inc_solves();
+                shared.cache.lock().insert(job.key.clone(), summary.clone());
+            }
+            result
+        }
+    };
+
+    // Fan out to everyone attached by now; late expiries still count.
+    let waiters = shared.inflight.lock().remove(&job.key).unwrap_or_default();
+    let now = Instant::now();
+    let (live, expired) = split_expired(waiters, now);
+    for w in &expired {
+        shared.metrics.inc_deadline_expired();
+        shared.reply(w, Err(EngineError::DeadlineExpired));
+    }
+    for w in &live {
+        shared.reply(w, result.clone());
+    }
+}
+
+/// Worker thread body: process jobs until the queue disconnects (engine
+/// shutdown drains the queue first, so this is a graceful exit).
+pub(crate) fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        process(shared, job);
+    }
+}

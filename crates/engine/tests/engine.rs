@@ -1,0 +1,196 @@
+//! Integration tests for the serving engine: dedup, backpressure, deadline
+//! expiry, and the full TCP wire protocol.
+//!
+//! Tests that need precise queue control use `workers: 0` engines — jobs
+//! then sit in the bounded queue forever, making backpressure and dedup
+//! outcomes deterministic instead of racing against solver speed.
+
+use crossbeam::channel::bounded;
+use share_engine::{
+    serve_tcp, Client, Engine, EngineConfig, EngineError, RequestBody, ResponseBody, SolveMode,
+    SolveSpec,
+};
+use std::sync::Arc;
+
+fn config(workers: usize, queue: usize) -> EngineConfig {
+    EngineConfig {
+        workers,
+        queue_capacity: queue,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn backpressure_rejects_when_queue_is_full() {
+    // No workers: nothing ever leaves the queue.
+    let engine = Engine::start(config(0, 2));
+    let (tx, rx) = bounded(8);
+    engine.submit(1, &SolveSpec::seeded(5, 1, SolveMode::Direct), &tx);
+    engine.submit(2, &SolveSpec::seeded(5, 2, SolveMode::Direct), &tx);
+    // Queue (capacity 2) is now full; a third *distinct* spec must be
+    // rejected with a structured overload error.
+    engine.submit(3, &SolveSpec::seeded(5, 3, SolveMode::Direct), &tx);
+    let reply = rx.recv().expect("rejection reply");
+    assert_eq!(reply.id, 3);
+    assert_eq!(reply.result, Err(EngineError::Overloaded));
+    let stats = engine.stats();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.requests, 3);
+}
+
+#[test]
+fn duplicate_requests_coalesce_while_in_flight() {
+    let engine = Engine::start(config(0, 4));
+    let (tx, rx) = bounded(8);
+    let spec = SolveSpec::seeded(7, 9, SolveMode::Direct);
+    engine.submit(1, &spec, &tx);
+    engine.submit(2, &spec, &tx);
+    engine.submit(3, &spec, &tx);
+    let stats = engine.stats();
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.deduped, 2, "identical in-flight specs must coalesce");
+    // Only one job was queued, so a queue of capacity 4 still has room.
+    assert_eq!(stats.rejected, 0);
+    drop(rx);
+}
+
+#[test]
+fn shutdown_fails_pending_waiters() {
+    let engine = Engine::start(config(0, 4));
+    let (tx, rx) = bounded(8);
+    engine.submit(1, &SolveSpec::seeded(5, 1, SolveMode::Direct), &tx);
+    engine.shutdown();
+    let reply = rx.recv().expect("shutdown reply");
+    assert_eq!(reply.result, Err(EngineError::ShuttingDown));
+}
+
+#[test]
+fn expired_deadline_yields_structured_error() {
+    let engine = Engine::start(config(1, 16));
+    // A zero-millisecond deadline is always in the past by the time a
+    // worker dequeues the job.
+    let mut spec = SolveSpec::seeded(6, 4, SolveMode::Direct);
+    spec.deadline_ms = Some(0);
+    let result = engine.request(&spec);
+    assert_eq!(result, Err(EngineError::DeadlineExpired));
+    let stats = engine.stats();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.solves, 0, "expired job must not be solved");
+}
+
+#[test]
+fn deadline_generous_enough_succeeds() {
+    let engine = Engine::start(config(1, 16));
+    let mut spec = SolveSpec::seeded(6, 4, SolveMode::Direct);
+    spec.deadline_ms = Some(60_000);
+    assert!(engine.request(&spec).is_ok());
+}
+
+#[test]
+fn concurrent_load_answers_every_request() {
+    let engine = Arc::new(Engine::start(config(4, 256)));
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    // 10 distinct markets, revisited repeatedly across all
+                    // threads: a mix of solves, cache hits and dedups.
+                    let spec = SolveSpec::seeded(10 + (i % 10) as usize, 7, SolveMode::Direct);
+                    let summary = engine.request(&spec).unwrap();
+                    assert_eq!(summary.m, 10 + (i % 10) as usize, "thread {t}");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.requests, 100);
+    // 10 distinct keys: everything beyond the first solve of each must be
+    // served by cache or dedup.
+    assert!(stats.solves >= 10);
+    assert_eq!(
+        stats.solves + stats.cache_hits + stats.deduped,
+        100,
+        "every request is exactly one of solved/cached/deduped: {stats:?}"
+    );
+}
+
+#[test]
+fn tcp_roundtrip_solve_stats_batch_and_shutdown() {
+    let engine = Arc::new(Engine::start(config(2, 64)));
+    let server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Solve twice: second comes from the cache.
+    let spec = SolveSpec::seeded(12, 3, SolveMode::Direct);
+    let first = client.solve(spec.clone()).unwrap();
+    assert!(first.is_ok());
+    let ResponseBody::Solve { result } = client.solve(spec).unwrap().body else {
+        panic!("expected solve response");
+    };
+    assert!(result.cached);
+
+    // Ping.
+    let pong = client.call(RequestBody::Ping).unwrap();
+    assert_eq!(pong.body, ResponseBody::Pong);
+
+    // Malformed line → structured invalid_request error.
+    use std::io::Write;
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    writeln!(raw, "this is not json").unwrap();
+    raw.flush().unwrap();
+    let mut line = String::new();
+    std::io::BufRead::read_line(
+        &mut std::io::BufReader::new(raw.try_clone().unwrap()),
+        &mut line,
+    )
+    .unwrap();
+    assert!(line.contains("invalid_request"), "{line}");
+
+    // Batch of three (one duplicate pair).
+    let batch = client
+        .call(RequestBody::Batch {
+            requests: vec![
+                SolveSpec::seeded(8, 1, SolveMode::Direct),
+                SolveSpec::seeded(8, 1, SolveMode::Direct),
+                SolveSpec::seeded(9, 2, SolveMode::MeanField),
+            ],
+        })
+        .unwrap();
+    let ResponseBody::Batch { results } = batch.body else {
+        panic!("expected batch response");
+    };
+    assert_eq!(results.len(), 3);
+    assert!(results.iter().all(|r| r.is_ok()));
+
+    // Stats reflect the traffic.
+    let stats = client.stats().unwrap();
+    assert!(stats.requests >= 5);
+    assert!(stats.cache_hits >= 1);
+
+    // Graceful shutdown stops the accept loop.
+    let ack = client.shutdown_server().unwrap();
+    assert_eq!(ack.body, ResponseBody::Shutdown);
+    server.wait();
+    let final_stats = engine.shutdown();
+    assert_eq!(final_stats.invalid, 1);
+}
+
+#[test]
+fn deadline_over_wire_expires() {
+    let engine = Arc::new(Engine::start(config(1, 64)));
+    let server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut spec = SolveSpec::seeded(5, 2, SolveMode::Direct);
+    spec.deadline_ms = Some(0);
+    let resp = client.solve(spec).unwrap();
+    match resp.body {
+        ResponseBody::Error { code, .. } => assert_eq!(code, "deadline_expired"),
+        other => panic!("expected deadline error, got {other:?}"),
+    }
+    server.stop();
+}

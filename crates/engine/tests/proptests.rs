@@ -1,0 +1,121 @@
+//! Property tests for cache-key quantization soundness.
+//!
+//! The quantizer's contract (see `share_engine::quantize`): whenever two
+//! market specs map to the same cache key under `param_tol`, serving one
+//! the other's cached equilibrium is sound — their true SNE prices differ
+//! by less than `price_tol`.
+
+use proptest::prelude::*;
+use share_engine::quantize::quantize;
+use share_engine::{QuantizerConfig, SolveMode};
+use share_market::params::{BrokerParams, BuyerParams, LossModel, MarketParams, SellerParams};
+use share_market::solver::solve;
+
+fn market_from(lambdas: &[f64], weights: &[f64], theta1: f64, rho1: f64) -> MarketParams {
+    MarketParams {
+        buyer: BuyerParams {
+            theta1,
+            theta2: 1.0 - theta1,
+            rho1,
+            ..BuyerParams::paper_defaults()
+        },
+        broker: BrokerParams::paper_defaults(),
+        sellers: lambdas
+            .iter()
+            .map(|&lambda| SellerParams { lambda })
+            .collect(),
+        weights: weights.to_vec(),
+        loss_model: LossModel::Quadratic,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same key ⟹ SNE prices within the configured tolerance.
+    #[test]
+    fn shared_key_implies_close_prices(
+        lambdas in proptest::collection::vec(0.05..1.0f64, 1..8),
+        extra_weight in proptest::collection::vec(0.1..1.0f64, 8),
+        theta1 in 0.2..0.8f64,
+        rho1 in 0.2..2.0f64,
+        // Per-field perturbations well inside one quantization bucket.
+        eps in proptest::collection::vec(-4e-7..4e-7f64, 18),
+    ) {
+        let cfg = QuantizerConfig::default();
+        let m = lambdas.len();
+        let weights: Vec<f64> = extra_weight[..m].to_vec();
+        let a = market_from(&lambdas, &weights, theta1, rho1);
+
+        // Perturb every continuous field by less than param_tol.
+        let lambdas_b: Vec<f64> = lambdas
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| l + eps[i])
+            .collect();
+        let weights_b: Vec<f64> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| w + eps[8 + i])
+            .collect();
+        let b = market_from(&lambdas_b, &weights_b, theta1 + eps[16], rho1 + eps[17]);
+        prop_assert!(a.validate().is_ok() && b.validate().is_ok());
+
+        let key_a = quantize(&a, SolveMode::Direct, cfg.param_tol);
+        let key_b = quantize(&b, SolveMode::Direct, cfg.param_tol);
+        // Perturbations can straddle a bucket boundary, so equal keys are
+        // not guaranteed — but when they ARE equal the contract must hold.
+        prop_assume!(key_a == key_b);
+
+        let sa = solve(&a).unwrap();
+        let sb = solve(&b).unwrap();
+        prop_assert!(
+            (sa.p_m - sb.p_m).abs() < cfg.price_tol,
+            "p_m {} vs {} under shared key", sa.p_m, sb.p_m
+        );
+        prop_assert!(
+            (sa.p_d - sb.p_d).abs() < cfg.price_tol,
+            "p_d {} vs {} under shared key", sa.p_d, sb.p_d
+        );
+    }
+
+    /// Quantization never conflates parameter sets that differ by more than
+    /// two buckets in any single field.
+    #[test]
+    fn distant_params_never_share_a_key(
+        lambdas in proptest::collection::vec(0.05..1.0f64, 1..8),
+        idx in any::<prop::sample::Index>(),
+        bump in 3e-6..1e-2f64,
+    ) {
+        let cfg = QuantizerConfig::default();
+        let m = lambdas.len();
+        let weights = vec![1.0 / m as f64; m];
+        let a = market_from(&lambdas, &weights, 0.5, 0.5);
+        let mut lambdas_b = lambdas.clone();
+        let i = idx.index(m);
+        lambdas_b[i] += bump; // ≥ 3 buckets away at tol = 1e-6
+        let b = market_from(&lambdas_b, &weights, 0.5, 0.5);
+        prop_assert_ne!(
+            quantize(&a, SolveMode::Direct, cfg.param_tol),
+            quantize(&b, SolveMode::Direct, cfg.param_tol)
+        );
+    }
+
+    /// Quantized equality is reflexive over serde round-trips: a spec that
+    /// travels the wire still hits the same cache entry.
+    #[test]
+    fn wire_roundtrip_preserves_key(
+        lambdas in proptest::collection::vec(0.05..1.0f64, 1..6),
+    ) {
+        let cfg = QuantizerConfig::default();
+        let m = lambdas.len();
+        let weights = vec![1.0 / m as f64; m];
+        let a = market_from(&lambdas, &weights, 0.5, 0.5);
+        let js = serde_json::to_string(&a).unwrap();
+        let back: MarketParams = serde_json::from_str(&js).unwrap();
+        prop_assert_eq!(
+            quantize(&a, SolveMode::Direct, cfg.param_tol),
+            quantize(&back, SolveMode::Direct, cfg.param_tol)
+        );
+    }
+}

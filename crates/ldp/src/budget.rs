@@ -188,8 +188,8 @@ mod tests {
         }
         let delta = 1e-6;
         let eps = l.advanced_composition_epsilon(delta).unwrap();
-        let expect = (2.0 * 100.0 * (1.0 / delta).ln()).sqrt() * 0.1
-            + 100.0 * 0.1 * (0.1f64.exp() - 1.0);
+        let expect =
+            (2.0 * 100.0 * (1.0 / delta).ln()).sqrt() * 0.1 + 100.0 * 0.1 * (0.1f64.exp() - 1.0);
         assert!((eps - expect).abs() < 1e-12);
     }
 

@@ -79,4 +79,6 @@ pub mod welfare;
 
 pub use error::{MarketError, Result};
 pub use params::{BrokerParams, BuyerParams, LossModel, MarketParams, SellerParams};
-pub use solver::{solve, solve_numeric, verify, SneSolution, SneVerification};
+pub use solver::{
+    solve, solve_mean_field, solve_numeric, verify, SneSolution, SneVerification, SolveMethod,
+};

@@ -137,7 +137,7 @@ impl SellerParams {
 }
 
 /// Which privacy-loss functional form sellers face (paper §5.1.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum LossModel {
     /// `L_i(τ) = λ_i (χ_i τ_i)²` — the paper's primary form (Eq. 11), solved
     /// in closed form by direct derivation (Eq. 20).

@@ -20,7 +20,7 @@ use crate::params::MarketParams;
 use crate::profit::{broker_profit, buyer_profit, seller_profit, total_dataset_quality};
 use crate::stage1::{buyer_profit_at, p_m_numeric, p_m_star};
 use crate::stage2::{broker_profit_at, p_d_numeric, p_d_star};
-use crate::stage3::{tau_direct, SellerNashGame};
+use crate::stage3::{tau_direct, tau_mean_field, SellerNashGame};
 use serde::{Deserialize, Serialize};
 use share_game::best_response::BrOptions;
 use share_game::verify::deviation_report;
@@ -33,6 +33,9 @@ pub enum SolveMethod {
     Analytic,
     /// Nested numerical maximization along the reaction curves.
     Numeric,
+    /// Stage 1/2 closed forms with the Stage-3 mean-field approximation
+    /// (Eq. 23) in place of the direct derivation.
+    MeanField,
 }
 
 /// A complete market equilibrium: strategies, allocation, qualities and
@@ -61,8 +64,13 @@ pub struct SneSolution {
     pub method: SolveMethod,
 }
 
-fn assemble(params: &MarketParams, p_m: f64, p_d: f64, method: SolveMethod) -> Result<SneSolution> {
-    let tau = tau_direct(params, p_d)?;
+fn assemble(
+    params: &MarketParams,
+    p_m: f64,
+    p_d: f64,
+    tau: Vec<f64>,
+    method: SolveMethod,
+) -> Result<SneSolution> {
     let m = params.m();
     let chi = if tau.iter().any(|&t| t > 0.0) {
         allocate(params.buyer.n_pieces, &params.weights, &tau)?
@@ -92,11 +100,7 @@ fn assemble(params: &MarketParams, p_m: f64, p_d: f64, method: SolveMethod) -> R
         seller_profits,
         tau,
         chi,
-        method: SolveMethod::Analytic,
-    })
-    .map(|mut s| {
-        s.method = method;
-        s
+        method,
     })
 }
 
@@ -108,7 +112,24 @@ pub fn solve(params: &MarketParams) -> Result<SneSolution> {
     params.validate()?;
     let p_m = p_m_star(params)?;
     let p_d = p_d_star(params.buyer.v, p_m);
-    assemble(params, p_m, p_d, SolveMethod::Analytic)
+    let tau = tau_direct(params, p_d)?;
+    assemble(params, p_m, p_d, tau, SolveMethod::Analytic)
+}
+
+/// Solve the SNE with the Stage-3 mean-field approximation (Eq. 23):
+/// Stage 1/2 use the closed forms (Eqs. 27/25), and the sellers respond with
+/// the decoupled `τ_i* = 2p^D/(3λ_i)` instead of the coupled Eq. 20. Intended
+/// for the `L = λ·χ·τ²` loss regime at large `m` (Theorem 5.1), where it is
+/// O(m) and avoids the fixed-point iteration entirely.
+///
+/// # Errors
+/// Propagates parameter validation and stage errors.
+pub fn solve_mean_field(params: &MarketParams) -> Result<SneSolution> {
+    params.validate()?;
+    let p_m = p_m_star(params)?;
+    let p_d = p_d_star(params.buyer.v, p_m);
+    let tau = tau_mean_field(params, p_d)?;
+    assemble(params, p_m, p_d, tau, SolveMethod::MeanField)
 }
 
 /// Solve the SNE numerically: Stage 1 scans `p^M`, Stage 2 (inside the
@@ -125,7 +146,8 @@ pub fn solve_numeric(params: &MarketParams) -> Result<SneSolution> {
     let cap = p_m_star(params).map(|p| 4.0 * p).unwrap_or(1.0);
     let (p_m, _) = p_m_numeric(params, cap)?;
     let (p_d, _) = p_d_numeric(params, p_m, 2.0 * params.buyer.v * p_m.max(1e-12))?;
-    assemble(params, p_m, p_d, SolveMethod::Numeric)
+    let tau = tau_direct(params, p_d)?;
+    assemble(params, p_m, p_d, tau, SolveMethod::Numeric)
 }
 
 /// Def. 4.2 verification report: the best unilateral improvement each party
@@ -273,6 +295,22 @@ mod tests {
             n.p_d
         );
         assert!((a.buyer_profit - n.buyer_profit).abs() < 1e-5 * a.buyer_profit.abs());
+    }
+
+    #[test]
+    fn mean_field_solution_matches_eq23_reaction() {
+        let mut params = market(50, 11);
+        params.loss_model = crate::params::LossModel::LinearChi;
+        let s = solve_mean_field(&params).unwrap();
+        assert_eq!(s.method, SolveMethod::MeanField);
+        // Stage 1/2 closed forms still apply.
+        assert!((s.p_d - params.buyer.v * s.p_m / 2.0).abs() < 1e-15);
+        // Eq. 23: τ_i* = 2p^D/(3λ_i), clamped to [0, 1].
+        for (t, seller) in s.tau.iter().zip(&params.sellers) {
+            let expect = (2.0 * s.p_d / (3.0 * seller.lambda)).clamp(0.0, 1.0);
+            assert!((t - expect).abs() < 1e-12, "tau {t} vs {expect}");
+        }
+        assert!((s.q_m - s.q_d * params.buyer.v).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Serving the Share market over the wire: an in-process TCP deployment of
+//! `share-engine` under concurrent client traffic.
+//!
+//! The ROADMAP north star imagines the broker handling "heavy traffic from
+//! millions of users". This example stands up the serving engine on a
+//! loopback TCP port and drives it with 100+ requests from concurrent
+//! clients, exercising every serving feature:
+//!
+//! 1. **dedup** — one client pipelines 12 identical expensive numerical
+//!    solves; the engine coalesces the duplicates onto a single solver run;
+//! 2. **equilibrium caching** — two clients replay 8 distinct markets 11
+//!    times each; only the first visit of each market pays for a solve;
+//! 3. **deadlines** — a request with `deadline_ms = 0` comes back as a
+//!    structured `deadline_expired` error instead of an answer;
+//! 4. **metrics + graceful shutdown** — a `stats` request reads the counters
+//!    over the wire, then a `shutdown` request stops the accept loop.
+//!
+//! ```sh
+//! cargo run --release --example engine_serving
+//! ```
+
+use share::engine::{
+    serve_tcp, Client, Engine, EngineConfig, RequestBody, ResponseBody, SolveMode, SolveSpec,
+};
+use std::sync::Arc;
+use std::thread;
+
+fn main() {
+    // --- 1. Deploy: engine + TCP server on an ephemeral port -------------
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 2,
+        queue_capacity: 256,
+        ..EngineConfig::default()
+    }));
+    let server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    println!("share-engine listening on {addr}");
+
+    // --- 2. Dedup: pipeline 12 identical expensive solves ----------------
+    // `send` does not wait, so all 12 hit the server while the first is
+    // still inside the numerical solver — the other 11 coalesce onto it.
+    let mut pipelined = Client::connect(addr).expect("connect");
+    let expensive = SolveSpec::seeded(800, 31, SolveMode::Numeric);
+    let ids: Vec<u64> = (0..12)
+        .map(|_| {
+            pipelined
+                .send(RequestBody::Solve {
+                    spec: expensive.spec.clone(),
+                    mode: expensive.mode,
+                    deadline_ms: None,
+                })
+                .expect("send")
+        })
+        .collect();
+    for _ in &ids {
+        let resp = pipelined.recv().expect("recv");
+        assert!(resp.is_ok(), "pipelined solve failed: {resp:?}");
+    }
+    println!("pipelined {} identical numerical solves", ids.len());
+
+    // --- 3. Cache: two clients replay 8 markets 11x each ------------------
+    let clients: Vec<_> = (0..2u64)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for rep in 0..11 {
+                    for market in 0..4u64 {
+                        let spec = SolveSpec::seeded(
+                            40 + 10 * (4 * c + market) as usize,
+                            7,
+                            SolveMode::Direct,
+                        );
+                        let ResponseBody::Solve { result } =
+                            client.solve(spec).expect("solve").body
+                        else {
+                            panic!("expected a solve response");
+                        };
+                        // Everything after the first visit is cache-served.
+                        assert_eq!(result.cached, rep > 0, "client {c} rep {rep}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    println!("replayed 8 distinct markets 11x from 2 concurrent clients");
+
+    // --- 4. Deadline: an already-expired request gets a structured error --
+    let mut spec = SolveSpec::seeded(60, 5, SolveMode::Direct);
+    spec.deadline_ms = Some(0);
+    match pipelined.solve(spec).expect("solve").body {
+        ResponseBody::Error { code, .. } => {
+            assert_eq!(code, "deadline_expired");
+            println!("deadline_ms=0 request answered with `{code}`");
+        }
+        other => panic!("expected a deadline error, got {other:?}"),
+    }
+
+    // --- 5. Metrics over the wire + graceful shutdown ---------------------
+    let stats = pipelined.stats().expect("stats");
+    println!("\nwire `stats` snapshot:\n{stats}");
+    assert!(stats.requests >= 100, "drove {} requests", stats.requests);
+    assert!(stats.cache_hits > 0, "cache must have been hit");
+    assert!(stats.deduped > 0, "duplicates must have coalesced");
+    assert!(stats.deadline_expired >= 1);
+    assert_eq!(
+        stats.solves + stats.cache_hits + stats.deduped + stats.deadline_expired,
+        stats.requests,
+        "every request is solved, cached, deduped or expired"
+    );
+
+    let ack = pipelined.shutdown_server().expect("shutdown");
+    assert_eq!(ack.body, ResponseBody::Shutdown);
+    server.wait();
+    let final_stats = engine.shutdown();
+    println!("\nfinal engine stats:\n{final_stats}");
+    println!(
+        "\n{} requests → {} solver runs ({} cached, {} deduped): the cache did {:.0}% of the work",
+        final_stats.requests,
+        final_stats.solves,
+        final_stats.cache_hits,
+        final_stats.deduped,
+        100.0 * (final_stats.requests - final_stats.solves) as f64 / final_stats.requests as f64
+    );
+}

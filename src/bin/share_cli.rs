@@ -7,6 +7,9 @@
 //! share trade  --m 20 --rounds 3 --n 400 [--seed 7]   # Algorithm 1 on synthetic CCPP
 //! share params --m 100 --seed 42                  # emit a params JSON for editing
 //! share solve  --config market.json               # solve an edited configuration
+//! share serve  --tcp 127.0.0.1:7878 --workers 4   # NDJSON serving engine (or stdio)
+//! share request --addr 127.0.0.1:7878 --m 50 --seed 1 --mode mean_field
+//! share request --addr 127.0.0.1:7878 --stats    # metrics snapshot
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
@@ -34,7 +37,11 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     let mut it = raw.iter().peekable();
     match it.next() {
         Some(cmd) if !cmd.starts_with("--") => args.command = cmd.clone(),
-        _ => return Err("expected a subcommand (solve|verify|sweep|trade|params)".to_string()),
+        _ => {
+            return Err(
+                "expected a subcommand (solve|verify|sweep|trade|params|serve|request)".to_string(),
+            )
+        }
     }
     while let Some(token) = it.next() {
         let Some(key) = token.strip_prefix("--") else {
@@ -64,10 +71,15 @@ impl Args {
     fn f64_opt(&self, key: &str) -> Result<Option<f64>, String> {
         match self.options.get(key) {
             None => Ok(None),
-            Some(v) => v
-                .parse()
-                .map(Some)
-                .map_err(|_| format!("--{key}: `{v}` is not a number")),
+            Some(v) => {
+                let x: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--{key}: `{v}` is not a number"))?;
+                if !x.is_finite() {
+                    return Err(format!("--{key}: `{v}` is not a finite number"));
+                }
+                Ok(Some(x))
+            }
         }
     }
 
@@ -191,7 +203,7 @@ fn cmd_trade(args: &Args) -> Result<(), String> {
     let seed = args.u64_opt("seed", 7)?;
 
     let corpus = generate(CcppConfig {
-        rows: (n * 6).max(m * 20),
+        rows: n.saturating_mul(6).max(m.saturating_mul(20)),
         seed,
         ..CcppConfig::default()
     })
@@ -244,6 +256,105 @@ fn cmd_trade(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse `--mode direct|mean_field|numeric` (defaulting to `direct`).
+fn parse_mode(args: &Args) -> Result<share::engine::SolveMode, String> {
+    use share::engine::SolveMode;
+    match args.options.get("mode").map(String::as_str) {
+        None | Some("direct") => Ok(SolveMode::Direct),
+        Some("mean_field") => Ok(SolveMode::MeanField),
+        Some("numeric") => Ok(SolveMode::Numeric),
+        Some(other) => Err(format!(
+            "--mode: `{other}` is not one of direct|mean_field|numeric"
+        )),
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use share::engine::{serve_stdio, serve_tcp, Engine, EngineConfig, QuantizerConfig};
+    use std::sync::Arc;
+
+    let defaults = EngineConfig::default();
+    let mut quantizer = QuantizerConfig::default();
+    if let Some(tol) = args.f64_opt("tol")? {
+        if tol <= 0.0 {
+            return Err("--tol must be positive".to_string());
+        }
+        quantizer.param_tol = tol;
+    }
+    let config = EngineConfig {
+        workers: args.usize_opt("workers", defaults.workers)?,
+        queue_capacity: args.usize_opt("queue", defaults.queue_capacity)?,
+        cache_capacity: args.usize_opt("cache", defaults.cache_capacity)?,
+        quantizer,
+    };
+    if config.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    let engine = Arc::new(Engine::start(config));
+    // Status goes to stderr: on stdio transport, stdout is the protocol
+    // stream and must carry nothing but NDJSON responses.
+    if let Some(addr) = args.options.get("tcp") {
+        let server =
+            serve_tcp(Arc::clone(&engine), addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        eprintln!("share-engine listening on {}", server.local_addr());
+        server.wait();
+    } else {
+        eprintln!(
+            "share-engine serving NDJSON on stdio; send {{\"kind\":\"shutdown\"}} or EOF to stop"
+        );
+        serve_stdio(&engine);
+    }
+    let stats = engine.shutdown();
+    eprintln!("{stats}");
+    Ok(())
+}
+
+fn cmd_request(args: &Args) -> Result<(), String> {
+    use share::engine::{Client, MarketSpec, RequestBody, SolveSpec};
+
+    let addr = args
+        .options
+        .get("addr")
+        .ok_or("--addr HOST:PORT is required")?;
+    let mut client = Client::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    let resp = if args.has_flag("stats") {
+        client.call(RequestBody::Stats)
+    } else if args.has_flag("shutdown") {
+        client.shutdown_server()
+    } else {
+        let spec = if args.options.contains_key("config") {
+            MarketSpec::Explicit(Box::new(load_params(args)?))
+        } else {
+            // The compact wire form: the server regenerates the market.
+            MarketSpec::Seeded {
+                m: args.usize_opt("m", 100)?,
+                seed: args.u64_opt("seed", 42)?,
+                n_pieces: None,
+                v: None,
+            }
+        };
+        let deadline_ms = match args.options.get("deadline-ms") {
+            None => None,
+            Some(_) => Some(args.u64_opt("deadline-ms", 0)?),
+        };
+        client.solve(SolveSpec {
+            spec,
+            mode: parse_mode(args)?,
+            deadline_ms,
+        })
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&resp).expect("serializable")
+    );
+    if resp.is_ok() {
+        Ok(())
+    } else {
+        Err("server answered with an error (see response above)".to_string())
+    }
+}
+
 fn cmd_params(args: &Args) -> Result<(), String> {
     let params = load_params(args)?;
     println!(
@@ -253,9 +364,10 @@ fn cmd_params(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: share_cli <solve|verify|sweep|trade|params> [--m N] [--seed S] \
-[--config file.json] [--json] [--param theta1 --lo .. --hi .. --points ..] \
-[--rounds R --n N]";
+const USAGE: &str = "usage: share_cli <solve|verify|sweep|trade|params|serve|request> [--m N] \
+[--seed S] [--config file.json] [--json] [--param theta1 --lo .. --hi .. --points ..] \
+[--rounds R --n N] [--tcp ADDR --workers W --queue Q --cache C --tol T] \
+[--addr HOST:PORT --mode direct|mean_field|numeric --deadline-ms MS --stats --shutdown]";
 
 fn run() -> Result<(), String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -266,6 +378,8 @@ fn run() -> Result<(), String> {
         "sweep" => cmd_sweep(&args),
         "trade" => cmd_trade(&args),
         "params" => cmd_params(&args),
+        "serve" => cmd_serve(&args),
+        "request" => cmd_request(&args),
         other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
     }
 }
@@ -314,6 +428,29 @@ mod tests {
         assert_eq!(c.usize_opt("m", 7).unwrap(), 7);
         assert_eq!(c.f64_opt("lo").unwrap(), None);
         assert_eq!(c.u64_opt("seed", 3).unwrap(), 3);
+    }
+
+    #[test]
+    fn f64_opt_rejects_non_finite_values() {
+        for bad in ["NaN", "inf", "-inf", "infinity"] {
+            let a = parse_args(&argv(&format!("sweep --lo {bad}"))).unwrap();
+            assert!(a.f64_opt("lo").is_err(), "{bad} must be rejected");
+        }
+        let ok = parse_args(&argv("sweep --lo -0.25")).unwrap();
+        assert_eq!(ok.f64_opt("lo").unwrap(), Some(-0.25));
+    }
+
+    #[test]
+    fn mode_option_parses_all_solver_paths() {
+        use share::engine::SolveMode;
+        let d = parse_args(&argv("request --addr x")).unwrap();
+        assert_eq!(parse_mode(&d).unwrap(), SolveMode::Direct);
+        let mf = parse_args(&argv("request --mode mean_field")).unwrap();
+        assert_eq!(parse_mode(&mf).unwrap(), SolveMode::MeanField);
+        let nm = parse_args(&argv("request --mode numeric")).unwrap();
+        assert_eq!(parse_mode(&nm).unwrap(), SolveMode::Numeric);
+        let bad = parse_args(&argv("request --mode fast")).unwrap();
+        assert!(parse_mode(&bad).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! | Crate | Contents |
 //! |-------|----------|
 //! | [`market`] | the paper's contribution: profit functions, the three-stage game, SNE solving/verification, Algorithm 1 trading dynamics, parameter sweeps, the broker-leading extension |
+//! | [`engine`] | concurrent market-serving engine: worker pool, equilibrium cache with tolerance-bucketed keys, request dedup, NDJSON wire protocol over stdio/TCP |
 //! | [`game`] | generic Nash best-response dynamics, bilevel Stackelberg solving, ε-equilibrium verification |
 //! | [`ldp`] | local differential privacy: Laplace/Gaussian/randomized-response mechanisms, the fidelity map of Eq. 10, budget accounting |
 //! | [`valuation`] | Shapley values (exact + Monte-Carlo permutation sampling), seller-weight maintenance |
@@ -43,6 +44,7 @@
 #![warn(clippy::all)]
 
 pub use share_datagen as datagen;
+pub use share_engine as engine;
 pub use share_game as game;
 pub use share_ldp as ldp;
 pub use share_market as market;

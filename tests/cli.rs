@@ -1,0 +1,65 @@
+//! Integration tests for the `share_cli` binary itself: malformed input
+//! must produce a clean one-line error and a non-zero exit code, never a
+//! panic, and well-formed invocations must succeed.
+
+use std::process::{Command, Output};
+
+fn share_cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_share_cli"))
+        .args(args)
+        .output()
+        .expect("run share_cli")
+}
+
+#[test]
+fn malformed_numeric_args_fail_cleanly() {
+    for args in [
+        &["solve", "--m", "banana"][..],
+        &["solve", "--seed", "-3"][..],
+        &["sweep", "--param", "theta1", "--lo", "NaN"][..],
+        &["sweep", "--param", "theta1", "--hi", "inf"][..],
+        &["trade", "--rounds", "2.5"][..],
+    ] {
+        let out = share_cli(args);
+        assert!(!out.status.success(), "{args:?} must exit non-zero");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.starts_with("error: "),
+            "{args:?} must print a one-line error, got: {stderr}"
+        );
+        assert_eq!(
+            stderr.trim_end().lines().count(),
+            1,
+            "{args:?} must not spray a backtrace: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn unknown_subcommand_prints_usage() {
+    let out = share_cli(&["frobnicate"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown subcommand"));
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn request_without_server_fails_cleanly() {
+    let out = share_cli(&["request", "--addr", "127.0.0.1:1", "--m", "5"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.starts_with("error: connect"), "{stderr}");
+}
+
+#[test]
+fn solve_runs_end_to_end() {
+    let out = share_cli(&["solve", "--m", "8", "--seed", "3"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("p^M*"), "{stdout}");
+}
