@@ -1,0 +1,192 @@
+//! Machine-readable serving benchmark: cold vs warm service time plus
+//! per-stage solver cost, written as JSON for trend tracking.
+//!
+//! ```sh
+//! cargo run -p share-bench --release --bin bench_engine
+//! cargo run -p share-bench --release --bin bench_engine -- --markets 200 --m 400
+//! ```
+//!
+//! The run drives an in-process engine through a **cold** pass (every
+//! market distinct → every request pays for a solve) and a **warm** pass
+//! (the same markets replayed → pure cache hits), recording each request's
+//! service time in a `share_obs` log-bucketed histogram. Per-stage solver
+//! timings (stage1/stage2/stage3 of the backward induction) are harvested
+//! from the solver's tracing spans via a `MemorySubscriber` — the same
+//! span stream `SHARE_LOG=debug` prints — so the figures in the artifact
+//! are exactly what the instrumentation reports in production.
+//!
+//! Output: `bench_results/BENCH_engine.json`.
+
+use serde::Serialize;
+use share_bench::results_dir;
+use share_engine::{Engine, EngineConfig, SolveMode, SolveSpec};
+use share_obs::{EnvFilter, LogHistogram, MemorySubscriber};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Latency summary of one pass, in nanoseconds.
+#[derive(Debug, Serialize)]
+struct LatencySummary {
+    count: u64,
+    min_ns: u64,
+    mean_ns: f64,
+    p50_ns: u64,
+    p90_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencySummary {
+    fn from_histogram(h: &LogHistogram) -> Self {
+        Self {
+            count: h.count(),
+            min_ns: h.min(),
+            mean_ns: h.mean(),
+            p50_ns: h.quantile(0.50),
+            p90_ns: h.quantile(0.90),
+            p99_ns: h.quantile(0.99),
+            max_ns: h.max(),
+        }
+    }
+}
+
+/// Aggregate cost of one solver stage over the whole cold pass.
+#[derive(Debug, Default, Serialize)]
+struct StageSummary {
+    spans: u64,
+    total_ns: u64,
+    mean_ns: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    /// Distinct markets in each pass.
+    markets: usize,
+    /// Sellers per market.
+    m: usize,
+    solve_mode: &'static str,
+    workers: usize,
+    cold: LatencySummary,
+    warm: LatencySummary,
+    /// Cache speedup: cold mean service time over warm mean service time.
+    cold_over_warm_mean: f64,
+    stage1: StageSummary,
+    stage2: StageSummary,
+    stage3: StageSummary,
+    /// Final engine counters, as served by the `stats` wire request.
+    stats: share_engine::StatsSnapshot,
+}
+
+fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markets = arg_usize(&args, "--markets", 64);
+    let m = arg_usize(&args, "--m", 200);
+    let workers = arg_usize(&args, "--workers", 2);
+
+    // Capture the solver's stage spans in memory; the filter keeps the
+    // stream limited to what the stage aggregation needs.
+    let sink = Arc::new(MemorySubscriber::new());
+    share_obs::set_filter(EnvFilter::parse("share_market::solver=debug"));
+    share_obs::add_subscriber(sink.clone());
+
+    let engine = Engine::start(EngineConfig {
+        workers,
+        queue_capacity: markets.max(16),
+        cache_capacity: markets.max(16),
+        ..EngineConfig::default()
+    });
+
+    let specs: Vec<SolveSpec> = (0..markets)
+        .map(|i| SolveSpec::seeded(m, 1000 + i as u64, SolveMode::Direct))
+        .collect();
+
+    let run_pass = |label: &str| -> LatencySummary {
+        let hist = LogHistogram::new();
+        for spec in &specs {
+            let t0 = Instant::now();
+            engine.request(spec).expect("solve");
+            hist.record_duration(t0.elapsed());
+        }
+        let summary = LatencySummary::from_histogram(&hist);
+        println!(
+            "{label}: {} requests, mean {:.1}µs, p99 {:.1}µs",
+            summary.count,
+            summary.mean_ns / 1e3,
+            summary.p99_ns as f64 / 1e3
+        );
+        summary
+    };
+
+    let cold = run_pass("cold");
+    let warm = run_pass("warm");
+
+    // Fold the captured span closes into per-stage aggregates.
+    let mut stages = [
+        StageSummary::default(),
+        StageSummary::default(),
+        StageSummary::default(),
+    ];
+    for event in sink.events() {
+        let slot = match event.name.as_str() {
+            "stage1" => 0,
+            "stage2" => 1,
+            "stage3" => 2,
+            _ => continue,
+        };
+        if let Some(ns) = event.elapsed_ns {
+            stages[slot].spans += 1;
+            stages[slot].total_ns += ns;
+        }
+    }
+    for s in &mut stages {
+        if s.spans > 0 {
+            s.mean_ns = s.total_ns as f64 / s.spans as f64;
+        }
+    }
+    let [stage1, stage2, stage3] = stages;
+    println!(
+        "stages over {} solves: stage1 {:.1}µs, stage2 {:.1}µs, stage3 {:.1}µs (mean)",
+        stage1.spans,
+        stage1.mean_ns / 1e3,
+        stage2.mean_ns / 1e3,
+        stage3.mean_ns / 1e3
+    );
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.solves as usize, markets, "cold pass must solve all");
+    assert!(
+        stats.cache_hits as usize >= markets,
+        "warm pass must hit the cache"
+    );
+    assert_eq!(stage1.spans as usize, markets, "one stage1 span per solve");
+
+    let report = BenchReport {
+        markets,
+        m,
+        solve_mode: "direct",
+        workers,
+        cold_over_warm_mean: cold.mean_ns / warm.mean_ns.max(1.0),
+        cold,
+        warm,
+        stage1,
+        stage2,
+        stage3,
+        stats,
+    };
+    let path = results_dir().join("BENCH_engine.json");
+    let body = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!(
+        "cache speedup: {:.1}x (cold mean / warm mean)\nwrote {}",
+        report.cold_over_warm_mean,
+        path.display()
+    );
+}

@@ -111,6 +111,20 @@ impl Client {
         }
     }
 
+    /// Fetch the server's full Prometheus text exposition (format 0.0.4).
+    ///
+    /// # Errors
+    /// `InvalidData` when the server answers with anything but metrics.
+    pub fn metrics_text(&mut self) -> io::Result<String> {
+        match self.call(RequestBody::Metrics)?.body {
+            ResponseBody::Metrics { text } => Ok(text),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected metrics response, got {other:?}"),
+            )),
+        }
+    }
+
     /// Ask the server to shut down gracefully; returns its acknowledgement.
     ///
     /// # Errors

@@ -31,6 +31,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Tracing target of the submission-path lifecycle events.
+const TARGET: &str = "share_engine::engine";
+
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -140,6 +143,8 @@ pub(crate) struct Job {
     pub(crate) key: CacheKey,
     pub(crate) params: MarketParams,
     pub(crate) mode: SolveMode,
+    /// When the job entered the queue; workers observe the queue wait.
+    pub(crate) enqueued_at: Instant,
 }
 
 /// State shared between the submission path and the workers.
@@ -191,6 +196,13 @@ impl Engine {
                     .expect("spawn worker thread")
             })
             .collect();
+        share_obs::obs_info!(
+            target: TARGET,
+            "engine_started",
+            "workers" => shared.config.workers,
+            "queue_capacity" => shared.config.queue_capacity,
+            "cache_capacity" => shared.config.cache_capacity
+        );
         Self {
             shared,
             workers: Mutex::new(workers),
@@ -222,6 +234,12 @@ impl Engine {
             Ok(p) => p,
             Err(e) => {
                 shared.metrics.inc_invalid();
+                share_obs::obs_debug!(
+                    target: TARGET,
+                    "invalid_spec",
+                    "id" => id,
+                    "error" => e.to_string()
+                );
                 shared.reply(&waiter, Err(e));
                 return;
             }
@@ -230,6 +248,7 @@ impl Engine {
 
         if let Some(mut hit) = shared.cache.lock().get(&key) {
             shared.metrics.inc_cache_hits();
+            share_obs::obs_debug!(target: TARGET, "cache_hit", "id" => id, "m" => hit.m);
             hit.cached = true;
             shared.reply(&waiter, Ok(hit));
             return;
@@ -240,6 +259,12 @@ impl Engine {
             let mut inflight = shared.inflight.lock();
             if let Some(waiters) = inflight.get_mut(&key) {
                 shared.metrics.inc_deduped();
+                share_obs::obs_debug!(
+                    target: TARGET,
+                    "dedup_join",
+                    "id" => id,
+                    "waiters" => waiters.len() + 1
+                );
                 waiters.push(waiter);
                 return;
             }
@@ -253,14 +278,20 @@ impl Engine {
                     key: key.clone(),
                     params,
                     mode: spec.mode,
+                    enqueued_at: Instant::now(),
                 }),
                 None => Err(TrySendError::Disconnected(Job {
                     key: key.clone(),
                     params,
                     mode: spec.mode,
+                    enqueued_at: Instant::now(),
                 })),
             }
         };
+        if send_result.is_ok() {
+            shared.metrics.queue_depth_inc();
+            share_obs::obs_debug!(target: TARGET, "enqueued", "id" => id);
+        }
         if let Err(e) = send_result {
             let error = match e {
                 TrySendError::Full(_) => EngineError::Overloaded,
@@ -272,6 +303,7 @@ impl Engine {
             for w in &waiters {
                 if error == EngineError::Overloaded {
                     shared.metrics.inc_rejected();
+                    share_obs::obs_debug!(target: TARGET, "rejected", "id" => w.id);
                 }
                 shared.reply(w, Err(error.clone()));
             }
@@ -293,6 +325,19 @@ impl Engine {
         self.shared.metrics.snapshot()
     }
 
+    /// Render every engine metric as a Prometheus text exposition (0.0.4),
+    /// refreshing the cache-size gauge first.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.shared.cache.lock().len();
+        self.shared.metrics.set_cache_entries(entries);
+        self.shared.metrics.render_prometheus()
+    }
+
+    /// The engine's metrics, for in-process consumers (examples, benches).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
     /// Record a protocol-level malformed request (used by the servers).
     pub(crate) fn note_invalid(&self) {
         self.shared.metrics.inc_invalid();
@@ -306,7 +351,7 @@ impl Engine {
     }
 
     fn shutdown_impl(&self) {
-        self.shared.closed.store(true, Ordering::SeqCst);
+        let already_closed = self.shared.closed.swap(true, Ordering::SeqCst);
         // Dropping the sender disconnects the channel; workers finish the
         // jobs already queued, then exit.
         *self.shared.job_tx.lock() = None;
@@ -325,6 +370,16 @@ impl Engine {
             .collect();
         for w in &leftover {
             self.shared.reply(w, Err(EngineError::ShuttingDown));
+        }
+        if !already_closed {
+            let s = self.shared.metrics.snapshot();
+            share_obs::obs_info!(
+                target: TARGET,
+                "engine_shutdown",
+                "requests" => s.requests,
+                "solves" => s.solves,
+                "cache_hits" => s.cache_hits
+            );
         }
     }
 }

@@ -15,9 +15,9 @@
 //! | [`quantize`] | tolerance-bucketed cache keys so near-identical markets coalesce |
 //! | [`cache`] | LRU equilibrium cache |
 //! | [`engine`] | worker pool, bounded job queue, in-flight dedup, backpressure |
-//! | [`metrics`] | atomic counters + latency min/mean/max snapshots |
-//! | [`protocol`] | newline-delimited JSON wire protocol (solve/batch/stats/ping/shutdown) |
-//! | [`server`] | stdio and TCP servers with graceful shutdown |
+//! | [`metrics`] | counters, gauges and latency histograms (p50/p90/p99/p99.9) with Prometheus exposition |
+//! | [`protocol`] | newline-delimited JSON wire protocol (solve/batch/stats/metrics/ping/shutdown) |
+//! | [`server`] | stdio and TCP servers with graceful shutdown, plus a Prometheus scrape listener |
 //! | [`client`] | blocking TCP client with pipelining support |
 //!
 //! ## Example
@@ -55,8 +55,8 @@ mod worker;
 pub use client::Client;
 pub use engine::{Engine, EngineConfig, Reply, SolveSummary};
 pub use error::{EngineError, Result};
-pub use metrics::StatsSnapshot;
+pub use metrics::{Metrics, StatsSnapshot};
 pub use protocol::{RequestBody, ResponseBody, WireRequest, WireResponse};
 pub use quantize::QuantizerConfig;
-pub use server::{serve_stdio, serve_tcp, TcpServer};
+pub use server::{serve_metrics, serve_stdio, serve_tcp, MetricsServer, TcpServer};
 pub use spec::{MarketSpec, SolveMode, SolveSpec};

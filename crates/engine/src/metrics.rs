@@ -1,103 +1,306 @@
-//! Lock-free serving metrics.
+//! Serving metrics: counters, gauges and latency histograms.
 //!
-//! All counters are relaxed atomics updated on the request path; a
-//! [`StatsSnapshot`] is a consistent-enough point-in-time copy exposed via
-//! the wire `stats` request and printed on shutdown.
+//! All hot-path updates are lock-free (relaxed atomics inside
+//! `share_obs` counters/histograms). A [`StatsSnapshot`] is a
+//! consistent-enough point-in-time copy exposed via the wire `stats`
+//! request and printed on shutdown; [`Metrics::render_prometheus`]
+//! renders the same state as a Prometheus text exposition for scraping.
+//!
+//! Service latency is kept in a log-bucketed histogram
+//! (`share_request_latency_seconds`), so the snapshot reports p50/p90/p99/
+//! p99.9 quantiles with bounded (~3%) relative error in addition to the
+//! exact min/mean/max the wire format has always carried. Separate
+//! histograms track queue wait, per-mode solve latency and per-stage solver
+//! cost (stage1/stage2/stage3 of the backward induction).
 
+use crate::spec::SolveMode;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use share_market::solver::StageTimings;
+use share_obs::hist::LogHistogram;
+use share_obs::metrics::{Counter, Gauge, Registry};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Atomic counters shared by the engine, its workers and the servers.
-#[derive(Debug, Default)]
+/// Counters, gauges and histograms shared by the engine, its workers and
+/// the servers, backed by one `share_obs` metrics [`Registry`].
 pub struct Metrics {
-    requests: AtomicU64,
-    solves: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    deduped: AtomicU64,
-    rejected: AtomicU64,
-    deadline_expired: AtomicU64,
-    invalid: AtomicU64,
-    lat_count: AtomicU64,
-    lat_sum_ns: AtomicU64,
-    lat_min_ns: AtomicU64,
-    lat_max_ns: AtomicU64,
+    registry: Registry,
+    start: Instant,
+
+    requests: Arc<Counter>,
+    solves: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    deduped: Arc<Counter>,
+    rejected: Arc<Counter>,
+    deadline_expired: Arc<Counter>,
+    invalid: Arc<Counter>,
+
+    queue_depth: Arc<Gauge>,
+    inflight_solves: Arc<Gauge>,
+    cache_entries: Arc<Gauge>,
+    uptime_seconds: Arc<Gauge>,
+    cache_hit_ratio: Arc<Gauge>,
+
+    service_latency: Arc<LogHistogram>,
+    queue_wait: Arc<LogHistogram>,
+    solve_direct: Arc<LogHistogram>,
+    solve_mean_field: Arc<LogHistogram>,
+    solve_numeric: Arc<LogHistogram>,
+    stage1: Arc<LogHistogram>,
+    stage2: Arc<LogHistogram>,
+    stage3: Arc<LogHistogram>,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("snapshot", &self.snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+/// `Metrics::default()` must behave exactly like [`Metrics::new`]. An
+/// earlier version derived `Default`, which zero-initialized the latency
+/// minimum instead of priming it to `u64::MAX`, so the reported minimum
+/// stuck at 0 forever on default-constructed metrics.
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
 }
 
 impl Metrics {
-    /// Fresh zeroed metrics.
+    /// Fresh zeroed metrics with all families registered.
     pub fn new() -> Self {
-        let m = Metrics::default();
-        m.lat_min_ns.store(u64::MAX, Ordering::Relaxed);
-        m
+        let registry = Registry::new();
+        let requests = registry.counter(
+            "share_requests_total",
+            "Submissions accepted by the engine (including later rejections).",
+        );
+        let solves = registry.counter("share_solves_total", "Solver runs actually executed.");
+        let cache_hits = registry.counter(
+            "share_cache_hits_total",
+            "Requests answered from the equilibrium cache.",
+        );
+        let cache_misses = registry.counter(
+            "share_cache_misses_total",
+            "Requests that missed the cache.",
+        );
+        let deduped = registry.counter(
+            "share_deduped_total",
+            "Requests coalesced onto an in-flight identical solve.",
+        );
+        let rejected = registry.counter(
+            "share_rejected_total",
+            "Requests rejected by queue backpressure.",
+        );
+        let deadline_expired = registry.counter(
+            "share_deadline_expired_total",
+            "Requests whose deadline expired before completion.",
+        );
+        let invalid = registry.counter("share_invalid_total", "Malformed requests.");
+
+        let queue_depth = registry.gauge(
+            "share_queue_depth",
+            "Jobs currently waiting in the solve queue.",
+        );
+        let inflight_solves = registry.gauge(
+            "share_inflight_solves",
+            "Solver runs currently executing on workers.",
+        );
+        let cache_entries =
+            registry.gauge("share_cache_entries", "Entries in the equilibrium cache.");
+        let uptime_seconds =
+            registry.gauge("share_uptime_seconds", "Seconds since the engine started.");
+        let cache_hit_ratio = registry.gauge(
+            "share_cache_hit_ratio",
+            "Cache hits over cache lookups since start (0 when no lookups).",
+        );
+
+        let service_latency = registry.histogram(
+            "share_request_latency_seconds",
+            "End-to-end service latency, submission to reply.",
+        );
+        let queue_wait = registry.histogram(
+            "share_queue_wait_seconds",
+            "Time jobs spend queued before a worker picks them up.",
+        );
+        let solve_help = "Solver wall-clock time per run, by solve mode.";
+        let solve_direct = registry.histogram_with(
+            "share_solve_latency_seconds",
+            solve_help,
+            &[("mode", "direct")],
+        );
+        let solve_mean_field = registry.histogram_with(
+            "share_solve_latency_seconds",
+            solve_help,
+            &[("mode", "mean_field")],
+        );
+        let solve_numeric = registry.histogram_with(
+            "share_solve_latency_seconds",
+            solve_help,
+            &[("mode", "numeric")],
+        );
+        let stage_help = "Backward-induction stage wall-clock time per solve.";
+        let stage1 = registry.histogram_with(
+            "share_solver_stage_seconds",
+            stage_help,
+            &[("stage", "stage1")],
+        );
+        let stage2 = registry.histogram_with(
+            "share_solver_stage_seconds",
+            stage_help,
+            &[("stage", "stage2")],
+        );
+        let stage3 = registry.histogram_with(
+            "share_solver_stage_seconds",
+            stage_help,
+            &[("stage", "stage3")],
+        );
+
+        Metrics {
+            registry,
+            start: Instant::now(),
+            requests,
+            solves,
+            cache_hits,
+            cache_misses,
+            deduped,
+            rejected,
+            deadline_expired,
+            invalid,
+            queue_depth,
+            inflight_solves,
+            cache_entries,
+            uptime_seconds,
+            cache_hit_ratio,
+            service_latency,
+            queue_wait,
+            solve_direct,
+            solve_mean_field,
+            solve_numeric,
+            stage1,
+            stage2,
+            stage3,
+        }
     }
 
     /// Count an accepted submission.
     pub fn inc_requests(&self) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
     }
     /// Count a completed solver run.
     pub fn inc_solves(&self) {
-        self.solves.fetch_add(1, Ordering::Relaxed);
+        self.solves.inc();
     }
     /// Count a cache hit.
     pub fn inc_cache_hits(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.inc();
     }
     /// Count a cache miss.
     pub fn inc_cache_misses(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.inc();
     }
     /// Count a request coalesced onto an in-flight solve.
     pub fn inc_deduped(&self) {
-        self.deduped.fetch_add(1, Ordering::Relaxed);
+        self.deduped.inc();
     }
     /// Count a backpressure rejection.
     pub fn inc_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
     /// Count a deadline expiry.
     pub fn inc_deadline_expired(&self) {
-        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        self.deadline_expired.inc();
     }
     /// Count a malformed request.
     pub fn inc_invalid(&self) {
-        self.invalid.fetch_add(1, Ordering::Relaxed);
+        self.invalid.inc();
+    }
+
+    /// A job entered the solve queue.
+    pub fn queue_depth_inc(&self) {
+        self.queue_depth.inc();
+    }
+    /// A worker dequeued a job that waited `waited` in the queue.
+    pub fn queue_depth_dec(&self, waited: Duration) {
+        self.queue_depth.dec();
+        self.queue_wait.record_duration(waited);
+    }
+    /// A solver run started on a worker.
+    pub fn inflight_inc(&self) {
+        self.inflight_solves.inc();
+    }
+    /// A solver run finished.
+    pub fn inflight_dec(&self) {
+        self.inflight_solves.dec();
+    }
+    /// Refresh the cache-size gauge (called with the cache lock's `len`).
+    pub fn set_cache_entries(&self, entries: usize) {
+        self.cache_entries.set(entries as f64);
     }
 
     /// Record one request's service latency (submission to reply).
     pub fn record_latency(&self, elapsed: Duration) {
-        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
-        self.lat_count.fetch_add(1, Ordering::Relaxed);
-        self.lat_sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.lat_min_ns.fetch_min(ns, Ordering::Relaxed);
-        self.lat_max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.service_latency.record_duration(elapsed);
     }
 
-    /// Point-in-time copy of every counter.
+    /// Record one solver run's wall-clock time under its mode label.
+    pub fn record_solve_latency(&self, mode: SolveMode, elapsed: Duration) {
+        let hist = match mode {
+            SolveMode::Direct => &self.solve_direct,
+            SolveMode::MeanField => &self.solve_mean_field,
+            SolveMode::Numeric => &self.solve_numeric,
+        };
+        hist.record_duration(elapsed);
+    }
+
+    /// Record per-stage solver timings from a `*_timed` solve.
+    pub fn record_stage_timings(&self, timings: &StageTimings) {
+        self.stage1.record(timings.stage1_ns);
+        self.stage2.record(timings.stage2_ns);
+        self.stage3.record(timings.stage3_ns);
+    }
+
+    /// The service-latency histogram (submission to reply), for tests and
+    /// in-process consumers that want more quantiles than the snapshot.
+    pub fn service_histogram(&self) -> &LogHistogram {
+        &self.service_latency
+    }
+
+    /// Point-in-time copy of every counter plus latency quantiles.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let count = self.lat_count.load(Ordering::Relaxed);
-        let sum = self.lat_sum_ns.load(Ordering::Relaxed);
-        let min = self.lat_min_ns.load(Ordering::Relaxed);
-        let max = self.lat_max_ns.load(Ordering::Relaxed);
+        let hist = self.service_latency.snapshot();
+        let to_us = |ns: u64| ns as f64 / 1e3;
         StatsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            solves: self.solves.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            deduped: self.deduped.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
-            invalid: self.invalid.load(Ordering::Relaxed),
-            latency_min_us: if count == 0 { 0.0 } else { min as f64 / 1e3 },
-            latency_mean_us: if count == 0 {
-                0.0
-            } else {
-                sum as f64 / count as f64 / 1e3
-            },
-            latency_max_us: if count == 0 { 0.0 } else { max as f64 / 1e3 },
+            requests: self.requests.get(),
+            solves: self.solves.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            deduped: self.deduped.get(),
+            rejected: self.rejected.get(),
+            deadline_expired: self.deadline_expired.get(),
+            invalid: self.invalid.get(),
+            latency_min_us: to_us(hist.min_ns),
+            latency_mean_us: hist.mean_ns() / 1e3,
+            latency_max_us: to_us(hist.max_ns),
+            latency_p50_us: to_us(hist.quantile(0.50)),
+            latency_p90_us: to_us(hist.quantile(0.90)),
+            latency_p99_us: to_us(hist.quantile(0.99)),
+            latency_p999_us: to_us(hist.quantile(0.999)),
         }
+    }
+
+    /// Render every metric family as a Prometheus text exposition (0.0.4),
+    /// refreshing the derived gauges (uptime, cache hit ratio) first.
+    pub fn render_prometheus(&self) -> String {
+        self.uptime_seconds.set(self.start.elapsed().as_secs_f64());
+        let hits = self.cache_hits.get() as f64;
+        let lookups = hits + self.cache_misses.get() as f64;
+        self.cache_hit_ratio
+            .set(if lookups > 0.0 { hits / lookups } else { 0.0 });
+        self.registry.render()
     }
 }
 
@@ -126,6 +329,19 @@ pub struct StatsSnapshot {
     pub latency_mean_us: f64,
     /// Maximum service latency (µs) over replied requests.
     pub latency_max_us: f64,
+    /// Median service latency (µs), histogram-estimated (~3% error).
+    /// Defaults to 0 when deserializing replies from older servers.
+    #[serde(default)]
+    pub latency_p50_us: f64,
+    /// 90th-percentile service latency (µs), histogram-estimated.
+    #[serde(default)]
+    pub latency_p90_us: f64,
+    /// 99th-percentile service latency (µs), histogram-estimated.
+    #[serde(default)]
+    pub latency_p99_us: f64,
+    /// 99.9th-percentile service latency (µs), histogram-estimated.
+    #[serde(default)]
+    pub latency_p999_us: f64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -135,7 +351,7 @@ impl std::fmt::Display for StatsSnapshot {
             "requests={} solves={} cache_hits={} cache_misses={} deduped={}",
             self.requests, self.solves, self.cache_hits, self.cache_misses, self.deduped
         )?;
-        write!(
+        writeln!(
             f,
             "rejected={} deadline_expired={} invalid={} latency_us(min/mean/max)={:.1}/{:.1}/{:.1}",
             self.rejected,
@@ -144,6 +360,11 @@ impl std::fmt::Display for StatsSnapshot {
             self.latency_min_us,
             self.latency_mean_us,
             self.latency_max_us
+        )?;
+        write!(
+            f,
+            "latency_us(p50/p90/p99/p99.9)={:.1}/{:.1}/{:.1}/{:.1}",
+            self.latency_p50_us, self.latency_p90_us, self.latency_p99_us, self.latency_p999_us
         )
     }
 }
@@ -183,6 +404,42 @@ mod tests {
     }
 
     #[test]
+    fn default_behaves_like_new() {
+        // Regression: a derived Default used to leave the latency minimum
+        // at 0 instead of u64::MAX, so the first recording could never
+        // lower it and `latency_min_us` reported 0 forever.
+        let m = Metrics::default();
+        m.record_latency(Duration::from_micros(250));
+        let s = m.snapshot();
+        assert!(
+            (s.latency_min_us - 250.0).abs() < 1e-9,
+            "default-constructed metrics must track the true minimum, got {}",
+            s.latency_min_us
+        );
+        assert_eq!(s.requests, 0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_within_range() {
+        let m = Metrics::new();
+        for i in 1..=1000 {
+            m.record_latency(Duration::from_micros(i));
+        }
+        let s = m.snapshot();
+        assert!(s.latency_min_us <= s.latency_p50_us);
+        assert!(s.latency_p50_us <= s.latency_p90_us);
+        assert!(s.latency_p90_us <= s.latency_p99_us);
+        assert!(s.latency_p99_us <= s.latency_p999_us);
+        assert!(s.latency_p999_us <= s.latency_max_us);
+        // p50 of uniform 1..=1000µs is ~500µs; histogram error is ~3%.
+        assert!(
+            (s.latency_p50_us - 500.0).abs() / 500.0 < 0.05,
+            "p50 {} too far from 500",
+            s.latency_p50_us
+        );
+    }
+
+    #[test]
     fn snapshot_roundtrips_through_json() {
         let m = Metrics::new();
         m.inc_requests();
@@ -190,5 +447,85 @@ mod tests {
         let js = serde_json::to_string(&s).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&js).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn wire_compat_with_pre_quantile_stats_replies() {
+        // Replies from servers predating the histogram carry no quantile
+        // fields; they must still deserialize (defaulting to 0).
+        let legacy = r#"{"requests":5,"solves":3,"cache_hits":1,"cache_misses":4,
+            "deduped":0,"rejected":0,"deadline_expired":0,"invalid":0,
+            "latency_min_us":10.0,"latency_mean_us":20.0,"latency_max_us":30.0}"#;
+        let s: StatsSnapshot = serde_json::from_str(legacy).unwrap();
+        assert_eq!(s.requests, 5);
+        assert_eq!(s.latency_p50_us, 0.0);
+        assert_eq!(s.latency_p999_us, 0.0);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_valid_and_covers_families() {
+        let m = Metrics::new();
+        m.inc_requests();
+        m.inc_cache_misses();
+        m.record_latency(Duration::from_micros(150));
+        m.record_solve_latency(SolveMode::Numeric, Duration::from_micros(120));
+        m.record_stage_timings(&StageTimings {
+            stage1_ns: 90_000,
+            stage2_ns: 4_000,
+            stage3_ns: 26_000,
+        });
+        m.queue_depth_inc();
+        m.queue_depth_dec(Duration::from_micros(7));
+        m.set_cache_entries(12);
+
+        let text = m.render_prometheus();
+        let stats = share_obs::prometheus::validate_exposition(&text).expect("valid exposition");
+        assert!(stats.families >= 13, "families {stats:?}");
+        assert!(stats.histograms >= 4);
+        assert!(text.contains("# TYPE share_requests_total counter"));
+        assert!(text.contains("share_requests_total 1"));
+        assert!(text.contains("share_cache_entries 12"));
+        assert!(text.contains("share_request_latency_seconds_bucket"));
+        assert!(text.contains("share_solve_latency_seconds_bucket{mode=\"numeric\""));
+        assert!(text.contains("share_solver_stage_seconds_bucket{stage=\"stage1\""));
+        assert!(text.contains("share_solver_stage_seconds_count{stage=\"stage3\"} 1"));
+        assert!(text.contains("share_uptime_seconds"));
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_invariants() {
+        use std::sync::Arc;
+        let m = Arc::new(Metrics::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..500_u64 {
+                        m.inc_requests();
+                        m.record_latency(Duration::from_nanos(1_000 + t * 100_000 + i * 13));
+                        if i % 2 == 0 {
+                            m.inc_cache_hits();
+                        } else {
+                            m.inc_cache_misses();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = m.snapshot();
+        assert_eq!(s.requests, 4_000);
+        assert_eq!(s.cache_hits + s.cache_misses, 4_000);
+        // Histogram bucket totals must equal the recorded count.
+        let hist = m.service_histogram().snapshot();
+        assert_eq!(hist.count, 4_000);
+        assert_eq!(hist.bucket_total(), 4_000);
+        // Quantiles monotone, min <= mean <= max.
+        assert!(s.latency_min_us <= s.latency_mean_us);
+        assert!(s.latency_mean_us <= s.latency_max_us);
+        assert!(s.latency_p50_us <= s.latency_p90_us);
+        assert!(s.latency_p90_us <= s.latency_p99_us);
     }
 }

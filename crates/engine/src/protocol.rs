@@ -56,6 +56,8 @@ pub enum RequestBody {
     },
     /// Fetch the engine's metrics snapshot.
     Stats,
+    /// Fetch the full Prometheus text exposition (format 0.0.4).
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Ask the server to shut down gracefully.
@@ -91,6 +93,11 @@ pub enum ResponseBody {
     Stats {
         /// The counters.
         stats: StatsSnapshot,
+    },
+    /// Prometheus text exposition (format 0.0.4).
+    Metrics {
+        /// The exposition body.
+        text: String,
     },
     /// Reply to a ping.
     Pong,
@@ -177,6 +184,7 @@ mod tests {
     fn unit_kinds_parse_and_default_id() {
         for (line, want) in [
             (r#"{"kind":"stats"}"#, RequestBody::Stats),
+            (r#"{"kind":"metrics"}"#, RequestBody::Metrics),
             (r#"{"kind":"ping"}"#, RequestBody::Ping),
             (r#"{"kind":"shutdown"}"#, RequestBody::Shutdown),
         ] {

@@ -9,6 +9,11 @@
 //! Shutdown is graceful everywhere: a `shutdown` request is acknowledged,
 //! in-flight replies for the connection are flushed before it closes, and
 //! the TCP accept loop is woken and stopped.
+//!
+//! A separate plaintext listener ([`serve_metrics`]) answers every
+//! connection with the engine's Prometheus exposition wrapped in a minimal
+//! HTTP/1.0 response, so a stock Prometheus scraper (or `curl`) can point
+//! at it directly without speaking NDJSON.
 
 use crate::engine::{Engine, Reply};
 use crate::protocol::{encode_response, parse_request, RequestBody, ResponseBody, WireResponse};
@@ -110,6 +115,14 @@ fn serve_connection<R: BufRead>(
                         id: req.id,
                         body: ResponseBody::Stats {
                             stats: engine.stats(),
+                        },
+                    });
+                }
+                RequestBody::Metrics => {
+                    let _ = resp_tx.send(WireResponse {
+                        id: req.id,
+                        body: ResponseBody::Metrics {
+                            text: engine.render_prometheus(),
                         },
                     });
                 }
@@ -231,6 +244,91 @@ impl TcpServer {
 }
 
 impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A running Prometheus scrape endpoint (see [`serve_metrics`]).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+fn handle_metrics_connection(engine: &Arc<Engine>, mut stream: TcpStream) {
+    // Drain (at most) one request head so well-behaved HTTP clients don't
+    // see a reset; the reply is the same whatever was asked.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+    let mut scratch = [0u8; 4096];
+    let _ = io::Read::read(&mut stream, &mut scratch);
+    let body = engine.render_prometheus();
+    let head = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:9184`) and answer every connection with the
+/// engine's current Prometheus text exposition over minimal HTTP/1.0.
+///
+/// # Errors
+/// I/O errors from binding the listener.
+pub fn serve_metrics(engine: Arc<Engine>, addr: &str) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    share_obs::obs_info!(
+        target: "share_engine::server",
+        "metrics_listener_started",
+        "addr" => local.to_string()
+    );
+    let accept = thread::Builder::new()
+        .name("share-engine-metrics".to_string())
+        .spawn(move || {
+            for incoming in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = incoming else { continue };
+                handle_metrics_connection(&engine, stream);
+            }
+        })
+        .expect("spawn metrics accept thread");
+    Ok(MetricsServer {
+        addr: local,
+        stop,
+        accept: Mutex::new(Some(accept)),
+    })
+}
+
+impl MetricsServer {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the accept loop to stop and wait for it to exit.
+    pub fn stop(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+        self.wait();
+    }
+
+    /// Block until the accept loop exits.
+    pub fn wait(&self) {
+        if let Some(h) = self.accept.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
     fn drop(&mut self) {
         self.stop();
     }

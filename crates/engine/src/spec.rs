@@ -28,6 +28,18 @@ pub enum SolveMode {
     Numeric,
 }
 
+impl SolveMode {
+    /// Stable snake_case name, matching the wire form and the `mode` label
+    /// of the `share_solve_latency_seconds` metric.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SolveMode::Direct => "direct",
+            SolveMode::MeanField => "mean_field",
+            SolveMode::Numeric => "numeric",
+        }
+    }
+}
+
 /// The market a request refers to, in either wire form.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(untagged)]

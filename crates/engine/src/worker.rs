@@ -1,24 +1,53 @@
 //! Solver workers: drain the job queue, honor deadlines, publish to the
 //! cache, and fan replies out to every waiter attached to a job.
+//!
+//! Each worker observes the queue wait of every job it dequeues, wraps the
+//! actual solver run in a `solve` span, and feeds the per-mode solve
+//! latency and per-stage (stage1/stage2/stage3) histograms from the
+//! solver's own [`StageTimings`].
 
 use crate::engine::{Job, Shared, SolveSummary, Waiter};
 use crate::error::{EngineError, Result};
 use crate::spec::SolveMode;
 use crossbeam::channel::Receiver;
 use share_market::params::MarketParams;
-use share_market::solver::{solve, solve_mean_field, solve_numeric};
+use share_market::solver::{solve_mean_field_timed, solve_numeric_timed, solve_timed};
+use share_obs::{self as obs, Level};
 use std::time::Instant;
 
-/// Run the chosen solver path.
-fn run_solver(params: &MarketParams, mode: SolveMode) -> Result<SolveSummary> {
+/// Tracing target of the worker lifecycle events.
+const TARGET: &str = "share_engine::worker";
+
+/// Run the chosen solver path, recording solve/stage histograms.
+fn run_solver(shared: &Shared, params: &MarketParams, mode: SolveMode) -> Result<SolveSummary> {
+    let mut sp = obs::span(Level::Debug, TARGET, "solve");
+    sp.record("m", params.m() as u64);
+    sp.record("mode", mode.as_str());
+    shared.metrics.inflight_inc();
     let t0 = Instant::now();
-    let sol = match mode {
-        SolveMode::Direct => solve(params),
-        SolveMode::MeanField => solve_mean_field(params),
-        SolveMode::Numeric => solve_numeric(params),
-    }
-    .map_err(|e| EngineError::Solver(e.to_string()))?;
-    let micros = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let outcome = match mode {
+        SolveMode::Direct => solve_timed(params),
+        SolveMode::MeanField => solve_mean_field_timed(params),
+        SolveMode::Numeric => solve_numeric_timed(params),
+    };
+    let elapsed = t0.elapsed();
+    shared.metrics.inflight_dec();
+    shared.metrics.record_solve_latency(mode, elapsed);
+    let (sol, timings) = outcome.map_err(|e| EngineError::Solver(e.to_string()))?;
+    shared.metrics.record_stage_timings(&timings);
+    let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
+    sp.record("solve_micros", micros);
+    sp.finish();
+    share_obs::obs_debug!(
+        target: TARGET,
+        "solve_done",
+        "m" => sol.tau.len(),
+        "mode" => mode.as_str(),
+        "solve_micros" => micros,
+        "stage1_ns" => timings.stage1_ns,
+        "stage2_ns" => timings.stage2_ns,
+        "stage3_ns" => timings.stage3_ns
+    );
     Ok(SolveSummary::from_solution(&sol, micros))
 }
 
@@ -27,6 +56,14 @@ fn split_expired(waiters: Vec<Waiter>, now: Instant) -> (Vec<Waiter>, Vec<Waiter
     waiters
         .into_iter()
         .partition(|w| w.deadline.map_or(true, |d| d > now))
+}
+
+fn expire(shared: &Shared, expired: &[Waiter]) {
+    for w in expired {
+        shared.metrics.inc_deadline_expired();
+        share_obs::obs_debug!(target: TARGET, "deadline_expired", "id" => w.id);
+        shared.reply(w, Err(EngineError::DeadlineExpired));
+    }
 }
 
 fn process(shared: &Shared, job: Job) {
@@ -43,10 +80,7 @@ fn process(shared: &Shared, job: Job) {
             // coalesce onto this job.
             inflight.insert(job.key.clone(), live);
         }
-        for w in &expired {
-            shared.metrics.inc_deadline_expired();
-            shared.reply(w, Err(EngineError::DeadlineExpired));
-        }
+        expire(shared, &expired);
         has_live
     };
     if !has_live {
@@ -65,7 +99,7 @@ fn process(shared: &Shared, job: Job) {
             Ok(hit)
         }
         None => {
-            let result = run_solver(&job.params, job.mode);
+            let result = run_solver(shared, &job.params, job.mode);
             if let Ok(summary) = &result {
                 shared.metrics.inc_solves();
                 shared.cache.lock().insert(job.key.clone(), summary.clone());
@@ -78,10 +112,7 @@ fn process(shared: &Shared, job: Job) {
     let waiters = shared.inflight.lock().remove(&job.key).unwrap_or_default();
     let now = Instant::now();
     let (live, expired) = split_expired(waiters, now);
-    for w in &expired {
-        shared.metrics.inc_deadline_expired();
-        shared.reply(w, Err(EngineError::DeadlineExpired));
-    }
+    expire(shared, &expired);
     for w in &live {
         shared.reply(w, result.clone());
     }
@@ -91,6 +122,7 @@ fn process(shared: &Shared, job: Job) {
 /// shutdown drains the queue first, so this is a graceful exit).
 pub(crate) fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
     while let Ok(job) = rx.recv() {
+        shared.metrics.queue_depth_dec(job.enqueued_at.elapsed());
         process(shared, job);
     }
 }

@@ -7,8 +7,8 @@
 
 use crossbeam::channel::bounded;
 use share_engine::{
-    serve_tcp, Client, Engine, EngineConfig, EngineError, RequestBody, ResponseBody, SolveMode,
-    SolveSpec,
+    serve_metrics, serve_tcp, Client, Engine, EngineConfig, EngineError, RequestBody, ResponseBody,
+    SolveMode, SolveSpec,
 };
 use std::sync::Arc;
 
@@ -178,6 +178,69 @@ fn tcp_roundtrip_solve_stats_batch_and_shutdown() {
     server.wait();
     let final_stats = engine.shutdown();
     assert_eq!(final_stats.invalid, 1);
+}
+
+#[test]
+fn stats_carry_histogram_quantiles() {
+    let engine = Engine::start(config(2, 64));
+    for seed in 0..20 {
+        engine
+            .request(&SolveSpec::seeded(10, seed, SolveMode::Direct))
+            .unwrap();
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.requests, 20);
+    assert!(stats.latency_p50_us > 0.0, "{stats:?}");
+    assert!(stats.latency_p50_us <= stats.latency_p90_us);
+    assert!(stats.latency_p90_us <= stats.latency_p99_us);
+    assert!(stats.latency_p99_us <= stats.latency_p999_us);
+    assert!(stats.latency_min_us <= stats.latency_p50_us);
+    assert!(stats.latency_p999_us <= stats.latency_max_us);
+}
+
+#[test]
+fn metrics_over_wire_is_valid_prometheus() {
+    let engine = Arc::new(Engine::start(config(2, 64)));
+    let server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client
+        .solve(SolveSpec::seeded(15, 1, SolveMode::MeanField))
+        .unwrap();
+    client
+        .solve(SolveSpec::seeded(15, 1, SolveMode::MeanField))
+        .unwrap();
+    let text = client.metrics_text().unwrap();
+    let parsed = share_obs::prometheus::validate_exposition(&text).expect("valid exposition");
+    assert!(parsed.histograms >= 1, "{parsed:?}");
+    assert!(text.contains("share_requests_total 2"), "{text}");
+    assert!(text.contains("share_cache_hits_total 1"));
+    assert!(text.contains("share_solve_latency_seconds_bucket{mode=\"mean_field\""));
+    assert!(text.contains("share_solver_stage_seconds_count{stage=\"stage2\"} 1"));
+    assert!(text.contains("share_cache_entries 1"));
+    server.stop();
+}
+
+#[test]
+fn metrics_http_endpoint_serves_exposition() {
+    use std::io::{Read, Write};
+
+    let engine = Arc::new(Engine::start(config(2, 64)));
+    engine
+        .request(&SolveSpec::seeded(9, 3, SolveMode::Direct))
+        .unwrap();
+    let server = serve_metrics(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    write!(stream, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("HTTP head/body split");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+    assert!(head.contains("text/plain; version=0.0.4"));
+    share_obs::prometheus::validate_exposition(body).expect("valid exposition");
+    assert!(body.contains("share_requests_total 1"), "{body}");
+    server.stop();
 }
 
 #[test]

@@ -110,6 +110,14 @@ pub fn solve_best_response<G: NashGame + ?Sized>(
             profile[i] = new;
         }
         if residual <= opts.tol {
+            share_obs::obs_debug!(
+                target: "share_game::best_response",
+                "inner_nash_converged",
+                "players" => n,
+                "rounds" => round,
+                "residual" => residual,
+                "reason" => "converged"
+            );
             return Ok(BrResult {
                 profile,
                 rounds: round,
@@ -117,6 +125,13 @@ pub fn solve_best_response<G: NashGame + ?Sized>(
             });
         }
     }
+    share_obs::obs_warn!(
+        target: "share_game::best_response",
+        "inner_nash_no_convergence",
+        "players" => n,
+        "rounds" => opts.max_rounds,
+        "reason" => "max_rounds"
+    );
     Err(GameError::NoConvergence {
         rounds: opts.max_rounds,
         residual: f64::NAN,

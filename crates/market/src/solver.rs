@@ -16,6 +16,7 @@
 
 use crate::allocation::allocate;
 use crate::error::Result;
+use crate::meanfield::theorem51_bounds;
 use crate::params::MarketParams;
 use crate::profit::{broker_profit, buyer_profit, seller_profit, total_dataset_quality};
 use crate::stage1::{buyer_profit_at, p_m_numeric, p_m_star};
@@ -25,6 +26,10 @@ use serde::{Deserialize, Serialize};
 use share_game::best_response::BrOptions;
 use share_game::verify::deviation_report;
 use share_numerics::optimize::grid::maximize_scan;
+use share_obs::{self as obs, Level};
+
+/// Tracing target for the solver's per-stage spans.
+const TARGET: &str = "share_market::solver";
 
 /// How a solution was obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -104,16 +109,67 @@ fn assemble(
     })
 }
 
+/// Wall-clock nanoseconds spent in each backward-induction stage of one
+/// solve. Produced by the `*_timed` solver variants; the serving engine
+/// feeds these into its per-stage latency histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Stage 1 (buyer price `p^M`) time, nanoseconds.
+    pub stage1_ns: u64,
+    /// Stage 2 (broker price `p^D`) time, nanoseconds.
+    pub stage2_ns: u64,
+    /// Stage 3 (seller fidelities `τ`) time, nanoseconds.
+    pub stage3_ns: u64,
+}
+
+impl StageTimings {
+    /// Total time across the three stages, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.stage1_ns
+            .saturating_add(self.stage2_ns)
+            .saturating_add(self.stage3_ns)
+    }
+}
+
 /// Solve the SNE analytically by backward induction (Eqs. 27 → 25 → 20).
 ///
 /// # Errors
 /// Propagates parameter validation and stage errors.
 pub fn solve(params: &MarketParams) -> Result<SneSolution> {
+    solve_timed(params).map(|(s, _)| s)
+}
+
+/// [`solve`] with per-stage wall-clock timings and `stage1`/`stage2`/
+/// `stage3` tracing spans (target `share_market::solver`, debug level).
+///
+/// # Errors
+/// Same as [`solve`].
+pub fn solve_timed(params: &MarketParams) -> Result<(SneSolution, StageTimings)> {
     params.validate()?;
+    let mut sp = obs::span(Level::Debug, TARGET, "stage1");
     let p_m = p_m_star(params)?;
+    sp.record("p_m", p_m);
+    let stage1_ns = sp.finish();
+
+    let mut sp = obs::span(Level::Debug, TARGET, "stage2");
     let p_d = p_d_star(params.buyer.v, p_m);
+    sp.record("p_d", p_d);
+    let stage2_ns = sp.finish();
+
+    let mut sp = obs::span(Level::Debug, TARGET, "stage3");
     let tau = tau_direct(params, p_d)?;
-    assemble(params, p_m, p_d, tau, SolveMethod::Analytic)
+    sp.record("m", params.m());
+    let stage3_ns = sp.finish();
+
+    let timings = StageTimings {
+        stage1_ns,
+        stage2_ns,
+        stage3_ns,
+    };
+    Ok((
+        assemble(params, p_m, p_d, tau, SolveMethod::Analytic)?,
+        timings,
+    ))
 }
 
 /// Solve the SNE with the Stage-3 mean-field approximation (Eq. 23):
@@ -125,11 +181,63 @@ pub fn solve(params: &MarketParams) -> Result<SneSolution> {
 /// # Errors
 /// Propagates parameter validation and stage errors.
 pub fn solve_mean_field(params: &MarketParams) -> Result<SneSolution> {
+    solve_mean_field_timed(params).map(|(s, _)| s)
+}
+
+/// [`solve_mean_field`] with per-stage timings and tracing spans. The
+/// Stage-3 span also emits a `mean_field_bound` event carrying the
+/// Theorem 5.1 approximation-error band for this market size, so traces
+/// show how much accuracy the O(m) shortcut trades away.
+///
+/// # Errors
+/// Same as [`solve_mean_field`].
+pub fn solve_mean_field_timed(params: &MarketParams) -> Result<(SneSolution, StageTimings)> {
     params.validate()?;
+    let mut sp = obs::span(Level::Debug, TARGET, "stage1");
     let p_m = p_m_star(params)?;
+    sp.record("p_m", p_m);
+    let stage1_ns = sp.finish();
+
+    let mut sp = obs::span(Level::Debug, TARGET, "stage2");
     let p_d = p_d_star(params.buyer.v, p_m);
+    sp.record("p_d", p_d);
+    let stage2_ns = sp.finish();
+
+    let mut sp = obs::span(Level::Debug, TARGET, "stage3");
     let tau = tau_mean_field(params, p_d)?;
-    assemble(params, p_m, p_d, tau, SolveMethod::MeanField)
+    sp.record("m", params.m());
+    sp.record("mean_field", true);
+    let stage3_ns = sp.finish();
+
+    if obs::enabled(Level::Debug, TARGET) {
+        let m = params.m();
+        let (lower, upper) = theorem51_bounds(m);
+        let tau_bar_mf = params
+            .weights
+            .iter()
+            .zip(&tau)
+            .map(|(w, t)| w * t)
+            .sum::<f64>()
+            / m as f64;
+        share_obs::obs_debug!(
+            target: TARGET,
+            "mean_field_bound",
+            "m" => m,
+            "tau_bar_mf" => tau_bar_mf,
+            "bound_lower" => lower,
+            "bound_upper" => upper
+        );
+    }
+
+    let timings = StageTimings {
+        stage1_ns,
+        stage2_ns,
+        stage3_ns,
+    };
+    Ok((
+        assemble(params, p_m, p_d, tau, SolveMethod::MeanField)?,
+        timings,
+    ))
 }
 
 /// Solve the SNE numerically: Stage 1 scans `p^M`, Stage 2 (inside the
@@ -140,14 +248,44 @@ pub fn solve_mean_field(params: &MarketParams) -> Result<SneSolution> {
 /// # Errors
 /// Propagates stage and optimizer errors.
 pub fn solve_numeric(params: &MarketParams) -> Result<SneSolution> {
+    solve_numeric_timed(params).map(|(s, _)| s)
+}
+
+/// [`solve_numeric`] with per-stage timings and tracing spans. Stage 1/2
+/// additionally emit golden-section iteration counts and bracketing
+/// failures from inside [`p_m_numeric`]/[`p_d_numeric`].
+///
+/// # Errors
+/// Same as [`solve_numeric`].
+pub fn solve_numeric_timed(params: &MarketParams) -> Result<(SneSolution, StageTimings)> {
     params.validate()?;
+    let mut sp = obs::span(Level::Debug, TARGET, "stage1");
     // Bracket: 4× the analytic interior solution is generous; fall back to a
     // fixed cap when the closed form is unavailable.
     let cap = p_m_star(params).map(|p| 4.0 * p).unwrap_or(1.0);
     let (p_m, _) = p_m_numeric(params, cap)?;
+    sp.record("p_m", p_m);
+    let stage1_ns = sp.finish();
+
+    let mut sp = obs::span(Level::Debug, TARGET, "stage2");
     let (p_d, _) = p_d_numeric(params, p_m, 2.0 * params.buyer.v * p_m.max(1e-12))?;
+    sp.record("p_d", p_d);
+    let stage2_ns = sp.finish();
+
+    let mut sp = obs::span(Level::Debug, TARGET, "stage3");
     let tau = tau_direct(params, p_d)?;
-    assemble(params, p_m, p_d, tau, SolveMethod::Numeric)
+    sp.record("m", params.m());
+    let stage3_ns = sp.finish();
+
+    let timings = StageTimings {
+        stage1_ns,
+        stage2_ns,
+        stage3_ns,
+    };
+    Ok((
+        assemble(params, p_m, p_d, tau, SolveMethod::Numeric)?,
+        timings,
+    ))
 }
 
 /// Def. 4.2 verification report: the best unilateral improvement each party
@@ -351,5 +489,58 @@ mod tests {
         let s = solve(&params).unwrap();
         assert_eq!(s.tau.len(), 1);
         assert!((s.chi[0] - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timed_solves_match_untimed_and_time_every_stage() {
+        let params = market(40, 12);
+        let plain = solve(&params).unwrap();
+        let (timed, t) = solve_timed(&params).unwrap();
+        assert_eq!(plain.p_m, timed.p_m);
+        assert_eq!(plain.p_d, timed.p_d);
+        assert_eq!(plain.tau, timed.tau);
+        // Instants are monotonically measured even with tracing disabled.
+        assert!(t.stage1_ns > 0 && t.stage3_ns > 0, "{t:?}");
+        assert_eq!(t.total_ns(), t.stage1_ns + t.stage2_ns + t.stage3_ns);
+
+        let (n, tn) = solve_numeric_timed(&params).unwrap();
+        assert_eq!(n.method, SolveMethod::Numeric);
+        assert!(tn.stage1_ns > 0);
+
+        let (mf, tm) = solve_mean_field_timed(&params).unwrap();
+        assert_eq!(mf.method, SolveMethod::MeanField);
+        assert!(tm.stage3_ns > 0);
+    }
+
+    #[test]
+    fn solver_emits_stage_spans_when_tracing_enabled() {
+        use share_obs::subscriber::MemorySubscriber;
+        use std::sync::Arc;
+        // Global dispatcher state: install, solve, then reset. Runs in its
+        // own process group of assertions; tolerant of concurrent tests by
+        // filtering on this target only.
+        let sink = Arc::new(MemorySubscriber::new());
+        share_obs::add_subscriber(sink.clone());
+        share_obs::set_filter(share_obs::EnvFilter::parse("share_market::solver=debug"));
+        let params = market(10, 13);
+        let _ = solve_mean_field_timed(&params).unwrap();
+        share_obs::clear_subscribers();
+        share_obs::set_filter(share_obs::EnvFilter::off());
+
+        let events = sink.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        for expected in ["stage1", "stage2", "stage3", "mean_field_bound"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        let bound = events
+            .iter()
+            .find(|e| e.name == "mean_field_bound" && e.field_f64("m") == Some(10.0))
+            .expect("mean_field_bound event for this market");
+        let (lo, hi) = theorem51_bounds(10);
+        assert_eq!(bound.field_f64("bound_lower"), Some(lo));
+        assert_eq!(bound.field_f64("bound_upper"), Some(hi));
+        let stage1 = events.iter().find(|e| e.name == "stage1").unwrap();
+        assert!(stage1.elapsed_ns.is_some());
+        assert!(stage1.field_f64("p_m").unwrap() > 0.0);
     }
 }

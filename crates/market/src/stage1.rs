@@ -17,7 +17,7 @@ use crate::params::MarketParams;
 use crate::profit::{buyer_profit, total_dataset_quality};
 use crate::stage2::p_d_star;
 use crate::stage3;
-use share_numerics::optimize::grid::maximize_scan;
+use share_numerics::optimize::grid::maximize_scan_traced;
 
 /// The aggregates `c₁`, `c₂` of §5.1.3.
 pub fn coefficients(params: &MarketParams) -> (f64, f64) {
@@ -69,7 +69,15 @@ pub fn buyer_profit_at(params: &MarketParams, p_m: f64) -> Result<f64> {
 /// Propagates Stage-3 and optimizer errors.
 pub fn p_m_numeric(params: &MarketParams, p_m_max: f64) -> Result<(f64, f64)> {
     let obj = |p_m: f64| buyer_profit_at(params, p_m).unwrap_or(f64::NEG_INFINITY);
-    let (x, v) = maximize_scan(obj, 0.0, p_m_max, 96, 1e-12)?;
+    let (x, v, stats) = maximize_scan_traced(obj, 0.0, p_m_max, 96, 1e-12)?;
+    share_obs::obs_trace!(
+        target: "share_market::stage1",
+        "p_m_scan",
+        "p_m" => x,
+        "grid_evals" => stats.grid_evals,
+        "golden_iterations" => stats.golden_iterations,
+        "bracket_failed" => stats.bracket_failed
+    );
     Ok((x, v))
 }
 

@@ -19,7 +19,7 @@ use crate::error::Result;
 use crate::params::MarketParams;
 use crate::profit::{broker_profit, total_dataset_quality};
 use crate::stage3;
-use share_numerics::optimize::grid::maximize_scan;
+use share_numerics::optimize::grid::maximize_scan_traced;
 
 /// Closed-form Stage-2 strategy (paper Eq. 25): `p^D* = v·p^M / 2`.
 #[inline]
@@ -53,7 +53,15 @@ pub fn broker_profit_at(params: &MarketParams, p_m: f64, p_d: f64) -> Result<f64
 /// Propagates Stage-3 and optimizer errors.
 pub fn p_d_numeric(params: &MarketParams, p_m: f64, p_d_max: f64) -> Result<(f64, f64)> {
     let obj = |p_d: f64| broker_profit_at(params, p_m, p_d).unwrap_or(f64::NEG_INFINITY);
-    let (x, v) = maximize_scan(obj, 0.0, p_d_max, 64, 1e-12)?;
+    let (x, v, stats) = maximize_scan_traced(obj, 0.0, p_d_max, 64, 1e-12)?;
+    share_obs::obs_trace!(
+        target: "share_market::stage2",
+        "p_d_scan",
+        "p_d" => x,
+        "grid_evals" => stats.grid_evals,
+        "golden_iterations" => stats.golden_iterations,
+        "bracket_failed" => stats.bracket_failed
+    );
     Ok((x, v))
 }
 

@@ -112,7 +112,7 @@ pub fn tau_direct_linear_chi(
     let mut total: f64 = params.weights.iter().zip(&tau).map(|(w, t)| w * t).sum();
     const DAMPING: f64 = 0.5;
     #[allow(clippy::needless_range_loop)] // τ is read and written at index i
-    for _ in 0..max_iter {
+    for iter in 0..max_iter {
         let mut delta = 0.0f64;
         let mut scale = 0.0f64;
         for i in 0..m {
@@ -132,9 +132,22 @@ pub fn tau_direct_linear_chi(
         // under the Theorem 5.1 rescaling, so an absolute criterion would
         // demand ever more iterations at large m.
         if delta <= tol.max(1e-12 * scale) {
+            share_obs::obs_trace!(
+                target: "share_market::stage3",
+                "linear_chi_fixed_point",
+                "m" => m,
+                "iterations" => iter + 1,
+                "residual" => delta
+            );
             return Ok(tau.into_iter().map(|t| t.clamp(0.0, 1.0)).collect());
         }
     }
+    share_obs::obs_warn!(
+        target: "share_market::stage3",
+        "linear_chi_fixed_point_diverged",
+        "m" => m,
+        "max_iter" => max_iter
+    );
     Err(MarketError::InvalidParameter {
         name: "tau_direct_linear_chi",
         reason: format!("fixed point did not converge within {max_iter} iterations"),

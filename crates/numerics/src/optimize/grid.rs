@@ -54,6 +54,23 @@ pub fn logspace(lo: f64, hi: f64, n: usize) -> Result<Vec<f64>> {
     Ok(out)
 }
 
+/// Work accounting for one [`maximize_scan_traced`] run, for observability
+/// instrumentation (iteration-count metrics, bracketing-failure counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanStats {
+    /// Objective evaluations spent on the coarse grid.
+    pub grid_evals: usize,
+    /// Golden-section iterations spent refining (0 when refinement was
+    /// skipped or discarded).
+    pub golden_iterations: usize,
+    /// Whether golden-section refinement ran and its result was kept.
+    pub refined: bool,
+    /// Whether the peak could not be bracketed (degenerate cell, or the
+    /// refined value lost to the raw grid point) and the grid answer was
+    /// returned as-is.
+    pub bracket_failed: bool,
+}
+
 /// Coarse-to-fine maximization: scan `n_grid` points on `[lo, hi]`, then
 /// refine around the best cell with golden-section search. Robust to mild
 /// multimodality that pure golden-section would mishandle.
@@ -62,13 +79,33 @@ pub fn logspace(lo: f64, hi: f64, n: usize) -> Result<Vec<f64>> {
 /// Propagates [`linspace`] and golden-section errors;
 /// [`NumericsError::NonFinite`] when every grid evaluation is NaN.
 pub fn maximize_scan<F: FnMut(f64) -> f64>(
-    mut f: F,
+    f: F,
     lo: f64,
     hi: f64,
     n_grid: usize,
     tol: f64,
 ) -> Result<(f64, f64)> {
+    maximize_scan_traced(f, lo, hi, n_grid, tol).map(|(x, v, _)| (x, v))
+}
+
+/// [`maximize_scan`] that also reports how much work it did and whether the
+/// peak bracketed cleanly. Same optimization behaviour bit for bit; callers
+/// that don't need [`ScanStats`] should keep using [`maximize_scan`].
+///
+/// # Errors
+/// Same as [`maximize_scan`].
+pub fn maximize_scan_traced<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    n_grid: usize,
+    tol: f64,
+) -> Result<(f64, f64, ScanStats)> {
     let grid = linspace(lo, hi, n_grid.max(3))?;
+    let mut stats = ScanStats {
+        grid_evals: grid.len(),
+        ..ScanStats::default()
+    };
     let mut best_i = None;
     let mut best_v = f64::NEG_INFINITY;
     for (i, &x) in grid.iter().enumerate() {
@@ -86,13 +123,17 @@ pub fn maximize_scan<F: FnMut(f64) -> f64>(
     let a = grid[i.saturating_sub(1)];
     let b = grid[(i + 1).min(grid.len() - 1)];
     if a >= b {
-        return Ok((grid[i], best_v));
+        stats.bracket_failed = true;
+        return Ok((grid[i], best_v, stats));
     }
     let r = super::golden::maximize(f, a, b, super::golden::GoldenOptions { tol, max_iter: 200 })?;
+    stats.golden_iterations = r.iterations;
     if r.value >= best_v {
-        Ok((r.x, r.value))
+        stats.refined = true;
+        Ok((r.x, r.value, stats))
     } else {
-        Ok((grid[i], best_v))
+        stats.bracket_failed = true;
+        Ok((grid[i], best_v, stats))
     }
 }
 
@@ -157,6 +198,28 @@ mod tests {
             maximize_scan(|_| f64::NAN, 0.0, 1.0, 10, 1e-9),
             Err(NumericsError::NonFinite { .. })
         ));
+    }
+
+    #[test]
+    fn traced_scan_matches_untraced_and_reports_work() {
+        let f = |x: f64| -(x - 0.31) * (x - 0.31); // peak off the 0.05-step grid
+        let (x0, v0) = maximize_scan(f, 0.0, 1.0, 21, 1e-12).unwrap();
+        let (x1, v1, stats) = maximize_scan_traced(f, 0.0, 1.0, 21, 1e-12).unwrap();
+        assert_eq!(x0, x1);
+        assert_eq!(v0, v1);
+        assert_eq!(stats.grid_evals, 21);
+        assert!(stats.refined);
+        assert!(stats.golden_iterations > 0);
+        assert!(!stats.bracket_failed);
+    }
+
+    #[test]
+    fn traced_scan_stats_are_exclusive() {
+        // Whatever path the boundary-peak case takes, exactly one of
+        // refined / bracket_failed is set.
+        let (_, _, stats) = maximize_scan_traced(|x| x, 0.0, 1.0, 3, 1e-9).unwrap();
+        assert_eq!(stats.grid_evals, 3);
+        assert!(stats.refined ^ stats.bracket_failed);
     }
 
     #[test]

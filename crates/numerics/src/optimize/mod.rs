@@ -15,5 +15,5 @@ pub mod newton;
 pub use bisect::{find_root, BisectOptions};
 pub use brent::{brent_root, BrentOptions};
 pub use golden::{maximize, GoldenOptions, GoldenResult};
-pub use grid::{linspace, logspace, maximize_scan};
+pub use grid::{linspace, logspace, maximize_scan, maximize_scan_traced, ScanStats};
 pub use newton::{derivative, maximize_newton, second_derivative, NewtonOptions, NewtonResult};

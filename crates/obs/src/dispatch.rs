@@ -1,0 +1,292 @@
+//! The global dispatcher: filter + subscriber registry + ring-buffer journal.
+//!
+//! Emission path: [`enabled`] is the cheap pre-check (macro-guarded call
+//! sites skip field materialization entirely when it fails), then
+//! [`emit_parts`] builds the [`Event`] and [`dispatch`](self) fans it out to
+//! every subscriber and into the bounded journal.
+//!
+//! The journal keeps the last N events (default 1024) regardless of which
+//! subscribers are installed, so a process can answer "what just happened"
+//! after the fact via [`recent_events`].
+
+use crate::event::{now_us, thread_label, Event, EventKind, Value};
+use crate::filter::EnvFilter;
+use crate::level::Level;
+use crate::span::current_span_id;
+use crate::subscriber::{StderrSubscriber, Subscriber};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// The environment variable [`init_from_env`] reads.
+pub const ENV_VAR: &str = "SHARE_LOG";
+
+const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
+
+struct Inner {
+    filter: EnvFilter,
+    subscribers: Vec<Arc<dyn Subscriber>>,
+}
+
+struct Journal {
+    capacity: usize,
+    buf: VecDeque<Event>,
+}
+
+fn state() -> &'static RwLock<Inner> {
+    static STATE: OnceLock<RwLock<Inner>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        RwLock::new(Inner {
+            filter: EnvFilter::off(),
+            subscribers: Vec::new(),
+        })
+    })
+}
+
+fn journal() -> &'static Mutex<Journal> {
+    static JOURNAL: OnceLock<Mutex<Journal>> = OnceLock::new();
+    JOURNAL.get_or_init(|| {
+        Mutex::new(Journal {
+            capacity: DEFAULT_JOURNAL_CAPACITY,
+            buf: VecDeque::new(),
+        })
+    })
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static INITIALIZED: AtomicBool = AtomicBool::new(false);
+
+/// Allocate a process-unique span id.
+pub(crate) fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Whether an event at `level` under `target` would actually go anywhere:
+/// at least one subscriber is installed and the filter admits it. Call sites
+/// (the `obs_*!` macros, [`span`](crate::span::span)) use this to skip all
+/// event-construction work on the cold path.
+pub fn enabled(level: Level, target: &str) -> bool {
+    let inner = match state().read() {
+        Ok(g) => g,
+        Err(_) => return false,
+    };
+    !inner.subscribers.is_empty() && inner.filter.enabled(level, target)
+}
+
+/// Install a subscriber. Subscribers stack: every enabled event reaches all
+/// of them, in installation order, on the emitting thread.
+pub fn add_subscriber(subscriber: Arc<dyn Subscriber>) {
+    if let Ok(mut inner) = state().write() {
+        inner.subscribers.push(subscriber);
+    }
+}
+
+/// Remove every installed subscriber (the filter is untouched).
+pub fn clear_subscribers() {
+    if let Ok(mut inner) = state().write() {
+        inner.subscribers.clear();
+    }
+}
+
+/// Replace the active filter.
+pub fn set_filter(filter: EnvFilter) {
+    if let Ok(mut inner) = state().write() {
+        inner.filter = filter;
+    }
+}
+
+/// Resize the in-memory journal; `0` disables it. Existing entries beyond
+/// the new capacity are discarded, oldest first.
+pub fn set_journal_capacity(capacity: usize) {
+    if let Ok(mut j) = journal().lock() {
+        j.capacity = capacity;
+        while j.buf.len() > capacity {
+            j.buf.pop_front();
+        }
+    }
+}
+
+/// The journal contents, oldest first.
+pub fn recent_events() -> Vec<Event> {
+    journal()
+        .lock()
+        .map(|j| j.buf.iter().cloned().collect())
+        .unwrap_or_default()
+}
+
+/// One-shot convenience initialization from the [`ENV_VAR`] (`SHARE_LOG`)
+/// environment variable: when set and non-empty, installs a
+/// [`StderrSubscriber`] with the parsed filter and returns `true`. A no-op
+/// (returning `false`) when the variable is unset/empty or when a previous
+/// call already initialized the dispatcher.
+pub fn init_from_env() -> bool {
+    let Some(filter) = EnvFilter::from_env(ENV_VAR) else {
+        return false;
+    };
+    if INITIALIZED.swap(true, Ordering::SeqCst) {
+        return false;
+    }
+    set_filter(filter);
+    add_subscriber(Arc::new(StderrSubscriber::new()));
+    true
+}
+
+/// Build and dispatch a point-in-time event. Call sites normally go through
+/// the [`obs_event!`](crate::obs_event) macros, which guard on [`enabled`]
+/// first; calling this directly always dispatches (subject to subscribers
+/// being present).
+pub fn emit_parts(level: Level, target: &str, message: String, fields: Vec<(String, Value)>) {
+    dispatch(Event {
+        timestamp_us: now_us(),
+        level,
+        target: target.to_string(),
+        name: message,
+        kind: EventKind::Event,
+        thread: thread_label(),
+        span_id: None,
+        parent_id: current_span_id(),
+        elapsed_ns: None,
+        fields,
+    });
+}
+
+/// Fan a fully-built event out to the journal and every subscriber.
+pub(crate) fn dispatch(event: Event) {
+    if let Ok(mut j) = journal().lock() {
+        if j.capacity > 0 {
+            if j.buf.len() == j.capacity {
+                j.buf.pop_front();
+            }
+            j.buf.push_back(event.clone());
+        }
+    }
+    if let Ok(inner) = state().read() {
+        for sub in &inner.subscribers {
+            sub.on_event(&event);
+        }
+    }
+}
+
+/// Restore the dispatcher to its pristine state: no subscribers, filter off,
+/// journal emptied at default capacity, env-init latch cleared. Tests that
+/// exercise the global dispatcher should call this before and after.
+pub fn reset_for_tests() {
+    if let Ok(mut inner) = state().write() {
+        inner.subscribers.clear();
+        inner.filter = EnvFilter::off();
+    }
+    if let Ok(mut j) = journal().lock() {
+        j.capacity = DEFAULT_JOURNAL_CAPACITY;
+        j.buf.clear();
+    }
+    INITIALIZED.store(false, Ordering::SeqCst);
+}
+
+/// Serializes tests that touch the global dispatcher state across this
+/// crate's test modules (`cargo test` runs them on multiple threads).
+#[cfg(test)]
+pub(crate) fn tests_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subscriber::MemorySubscriber;
+
+    #[test]
+    fn disabled_without_subscribers_or_filter() {
+        let _guard = tests_lock();
+        reset_for_tests();
+        assert!(!enabled(Level::Error, "x"));
+        set_filter(EnvFilter::at(Level::Trace));
+        assert!(!enabled(Level::Error, "x"), "no subscriber yet");
+        add_subscriber(Arc::new(MemorySubscriber::new()));
+        assert!(enabled(Level::Error, "x"));
+        reset_for_tests();
+        assert!(!enabled(Level::Error, "x"));
+    }
+
+    #[test]
+    fn events_reach_all_subscribers_and_journal() {
+        let _guard = tests_lock();
+        reset_for_tests();
+        let a = Arc::new(MemorySubscriber::new());
+        let b = Arc::new(MemorySubscriber::new());
+        add_subscriber(a.clone());
+        add_subscriber(b.clone());
+        set_filter(EnvFilter::at(Level::Debug));
+
+        crate::obs_info!(target: "t", "hello", "n" => 1_u64);
+        crate::obs_trace!(target: "t", "filtered out");
+
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        let journal = recent_events();
+        assert_eq!(journal.len(), 1);
+        assert_eq!(journal[0].name, "hello");
+        assert_eq!(journal[0].field_f64("n"), Some(1.0));
+        reset_for_tests();
+    }
+
+    #[test]
+    fn journal_is_bounded_and_resizable() {
+        let _guard = tests_lock();
+        reset_for_tests();
+        add_subscriber(Arc::new(MemorySubscriber::new()));
+        set_filter(EnvFilter::at(Level::Info));
+        set_journal_capacity(3);
+        for i in 0..10_u64 {
+            crate::obs_info!(target: "t", "e", "i" => i);
+        }
+        let recent = recent_events();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].field_f64("i"), Some(7.0));
+        assert_eq!(recent[2].field_f64("i"), Some(9.0));
+        set_journal_capacity(1);
+        assert_eq!(recent_events().len(), 1);
+        set_journal_capacity(0);
+        assert!(recent_events().is_empty());
+        crate::obs_info!(target: "t", "dropped");
+        assert!(recent_events().is_empty());
+        reset_for_tests();
+    }
+
+    #[test]
+    fn init_from_env_reads_share_log_once() {
+        let _guard = tests_lock();
+        reset_for_tests();
+        // Unset → no-op.
+        std::env::remove_var(ENV_VAR);
+        assert!(!init_from_env());
+        // Set → installs stderr subscriber with the parsed filter.
+        std::env::set_var(ENV_VAR, "share_test_target=debug");
+        assert!(init_from_env());
+        assert!(enabled(Level::Debug, "share_test_target::x"));
+        assert!(!enabled(Level::Error, "elsewhere"));
+        // Second call is a no-op.
+        assert!(!init_from_env());
+        std::env::remove_var(ENV_VAR);
+        reset_for_tests();
+    }
+
+    #[test]
+    fn emitted_events_adopt_enclosing_span() {
+        let _guard = tests_lock();
+        reset_for_tests();
+        let sink = Arc::new(MemorySubscriber::new());
+        add_subscriber(sink.clone());
+        set_filter(EnvFilter::at(Level::Trace));
+        let s = crate::span(Level::Info, "t", "parent");
+        crate::obs_info!(target: "t", "child event");
+        let parent_ns = s.finish();
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].parent_id, events[1].span_id);
+        assert_eq!(events[1].elapsed_ns, Some(parent_ns));
+        reset_for_tests();
+    }
+}

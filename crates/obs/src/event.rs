@@ -1,0 +1,196 @@
+//! Structured events: a message plus typed fields, stamped with wall-clock
+//! time, thread identity and span lineage.
+
+use crate::level::Level;
+use std::fmt;
+
+/// A typed field value. Keeps common scalar types unboxed so subscribers can
+/// render numbers without re-parsing strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => f.write_str(v),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// What kind of record an [`Event`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A point-in-time structured log event.
+    Event,
+    /// The close of a timing span; `elapsed_ns` is set.
+    SpanClose,
+}
+
+/// One structured record flowing through the dispatcher.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Microseconds since the UNIX epoch.
+    pub timestamp_us: u64,
+    /// Severity.
+    pub level: Level,
+    /// Module-path-style origin (e.g. `share_engine::worker`).
+    pub target: String,
+    /// Event message, or the span name for [`EventKind::SpanClose`].
+    pub name: String,
+    /// Record kind.
+    pub kind: EventKind,
+    /// Name of the emitting thread, or `thread-<id>` when unnamed.
+    pub thread: String,
+    /// Id of the closing span (span closes only).
+    pub span_id: Option<u64>,
+    /// Id of the enclosing span on this thread, if any.
+    pub parent_id: Option<u64>,
+    /// Span wall-clock duration (span closes only).
+    pub elapsed_ns: Option<u64>,
+    /// Typed key/value payload.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Look up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Numeric view of a field (`U64`/`I64`/`F64` widened to `f64`).
+    pub fn field_f64(&self, key: &str) -> Option<f64> {
+        match self.field(key)? {
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// The current thread's display name.
+pub(crate) fn thread_label() -> String {
+    let t = std::thread::current();
+    match t.name() {
+        Some(n) => n.to_string(),
+        None => format!("{:?}", t.id()).replace("ThreadId", "thread-"),
+    }
+}
+
+/// Microseconds since the UNIX epoch, saturating at 0 for clocks before it.
+pub(crate) fn now_us() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event_with(fields: Vec<(String, Value)>) -> Event {
+        Event {
+            timestamp_us: 0,
+            level: Level::Info,
+            target: "t".into(),
+            name: "n".into(),
+            kind: EventKind::Event,
+            thread: "main".into(),
+            span_id: None,
+            parent_id: None,
+            elapsed_ns: None,
+            fields,
+        }
+    }
+
+    #[test]
+    fn value_conversions_and_display() {
+        assert_eq!(Value::from(3_u64).to_string(), "3");
+        assert_eq!(Value::from(-2_i32).to_string(), "-2");
+        assert_eq!(Value::from(0.5).to_string(), "0.5");
+        assert_eq!(Value::from(true).to_string(), "true");
+        assert_eq!(Value::from("x").to_string(), "x");
+        assert_eq!(Value::from(7_usize), Value::U64(7));
+    }
+
+    #[test]
+    fn field_lookup_and_numeric_widening() {
+        let e = event_with(vec![
+            ("a".into(), Value::U64(2)),
+            ("b".into(), Value::F64(1.5)),
+            ("c".into(), Value::Str("s".into())),
+        ]);
+        assert_eq!(e.field_f64("a"), Some(2.0));
+        assert_eq!(e.field_f64("b"), Some(1.5));
+        assert_eq!(e.field_f64("c"), None);
+        assert_eq!(e.field("missing"), None);
+    }
+
+    #[test]
+    fn clock_and_thread_label_are_sane() {
+        assert!(now_us() > 1_500_000_000_000_000); // after 2017
+        assert!(!thread_label().is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! `SHARE_LOG`-style filtering by level and target.
+//!
+//! A filter is a comma-separated list of directives:
+//!
+//! ```text
+//! SHARE_LOG=debug                               # everything at debug
+//! SHARE_LOG=info,share_market=trace             # info default, trace under share_market
+//! SHARE_LOG=warn,share_engine::worker=debug     # per-module override
+//! SHARE_LOG=off                                 # nothing at all
+//! ```
+//!
+//! A bare level sets the default; `target=level` directives override it for
+//! every event whose target equals the directive target or starts with it
+//! followed by `::` (module-path prefix matching). The *longest* matching
+//! directive wins.
+
+use crate::level::Level;
+
+/// One parsed `target=level` (or bare default-level) directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Directive {
+    /// Empty for the default directive.
+    target: String,
+    /// `None` means "off".
+    level: Option<Level>,
+}
+
+/// A parsed level/target filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvFilter {
+    directives: Vec<Directive>,
+}
+
+impl Default for EnvFilter {
+    /// Everything off — the state before any configuration.
+    fn default() -> Self {
+        EnvFilter::off()
+    }
+}
+
+impl EnvFilter {
+    /// A filter that admits nothing.
+    pub fn off() -> Self {
+        Self {
+            directives: vec![Directive {
+                target: String::new(),
+                level: None,
+            }],
+        }
+    }
+
+    /// A filter admitting everything up to `level` for every target.
+    pub fn at(level: Level) -> Self {
+        Self {
+            directives: vec![Directive {
+                target: String::new(),
+                level: Some(level),
+            }],
+        }
+    }
+
+    /// Parse a directive list. Unparseable directives are ignored (an env
+    /// filter must never panic the process it observes); an empty or
+    /// all-invalid string yields [`EnvFilter::off`].
+    pub fn parse(spec: &str) -> Self {
+        let mut directives = Vec::new();
+        for raw in spec.split(',') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let (target, level_str) = match raw.split_once('=') {
+                Some((t, l)) => (t.trim().to_string(), l.trim()),
+                None => (String::new(), raw),
+            };
+            let level = if level_str.eq_ignore_ascii_case("off") {
+                None
+            } else {
+                match level_str.parse::<Level>() {
+                    Ok(l) => Some(l),
+                    Err(_) => continue, // ignore malformed directives
+                }
+            };
+            directives.push(Directive { target, level });
+        }
+        if directives.is_empty() {
+            return EnvFilter::off();
+        }
+        // Ensure there is always a default directive to fall back to.
+        if !directives.iter().any(|d| d.target.is_empty()) {
+            directives.push(Directive {
+                target: String::new(),
+                level: None,
+            });
+        }
+        Self { directives }
+    }
+
+    /// Read and parse the given environment variable; `None` when it is
+    /// unset or empty.
+    pub fn from_env(var: &str) -> Option<Self> {
+        match std::env::var(var) {
+            Ok(v) if !v.trim().is_empty() => Some(EnvFilter::parse(&v)),
+            _ => None,
+        }
+    }
+
+    /// Whether an event at `level` under `target` passes the filter.
+    pub fn enabled(&self, level: Level, target: &str) -> bool {
+        let mut best_len: Option<usize> = None;
+        let mut best_level: Option<Level> = None;
+        for d in &self.directives {
+            let matches = d.target.is_empty()
+                || target == d.target
+                || (target.len() > d.target.len()
+                    && target.starts_with(&d.target)
+                    && target[d.target.len()..].starts_with("::"));
+            if matches && best_len.map_or(true, |l| d.target.len() >= l) {
+                best_len = Some(d.target.len());
+                best_level = d.level;
+            }
+        }
+        best_level.is_some_and(|max| level <= max)
+    }
+
+    /// The most verbose level any directive admits (`None` when fully off).
+    /// Useful as a cheap pre-check before building an event.
+    pub fn max_level(&self) -> Option<Level> {
+        self.directives.iter().filter_map(|d| d.level).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_level_applies_everywhere() {
+        let f = EnvFilter::parse("debug");
+        assert!(f.enabled(Level::Debug, "anything"));
+        assert!(f.enabled(Level::Error, "share_engine::worker"));
+        assert!(!f.enabled(Level::Trace, "anything"));
+    }
+
+    #[test]
+    fn target_directive_overrides_default() {
+        let f = EnvFilter::parse("info,share_market=trace");
+        assert!(f.enabled(Level::Trace, "share_market"));
+        assert!(f.enabled(Level::Trace, "share_market::solver"));
+        assert!(!f.enabled(Level::Trace, "share_market_extra")); // not a module prefix
+        assert!(!f.enabled(Level::Debug, "share_engine"));
+        assert!(f.enabled(Level::Info, "share_engine"));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let f = EnvFilter::parse("share_engine=error,share_engine::worker=trace");
+        assert!(f.enabled(Level::Trace, "share_engine::worker"));
+        assert!(f.enabled(Level::Trace, "share_engine::worker::inner"));
+        assert!(!f.enabled(Level::Warn, "share_engine::server"));
+        assert!(f.enabled(Level::Error, "share_engine::server"));
+    }
+
+    #[test]
+    fn off_and_empty_admit_nothing() {
+        assert!(!EnvFilter::off().enabled(Level::Error, "x"));
+        assert!(!EnvFilter::parse("").enabled(Level::Error, "x"));
+        assert!(!EnvFilter::parse("off").enabled(Level::Error, "x"));
+        assert!(!EnvFilter::parse("garbage!!").enabled(Level::Error, "x"));
+    }
+
+    #[test]
+    fn per_target_off_with_default_on() {
+        let f = EnvFilter::parse("debug,noisy=off");
+        assert!(f.enabled(Level::Debug, "quiet"));
+        assert!(!f.enabled(Level::Error, "noisy"));
+        assert!(!f.enabled(Level::Error, "noisy::sub"));
+    }
+
+    #[test]
+    fn directives_without_default_fall_back_to_off() {
+        let f = EnvFilter::parse("share_market=debug");
+        assert!(f.enabled(Level::Debug, "share_market::stage1"));
+        assert!(!f.enabled(Level::Error, "share_engine"));
+    }
+
+    #[test]
+    fn max_level_reports_most_verbose() {
+        assert_eq!(EnvFilter::parse("info").max_level(), Some(Level::Info));
+        assert_eq!(
+            EnvFilter::parse("warn,x=trace").max_level(),
+            Some(Level::Trace)
+        );
+        assert_eq!(EnvFilter::off().max_level(), None);
+    }
+}

@@ -1,0 +1,391 @@
+//! Lock-free log-bucketed latency histograms with bounded-error quantiles.
+//!
+//! Layout (HdrHistogram-style): values below 64 ns get one exact bucket
+//! each; above that, every power-of-two octave is split into 32 sub-buckets,
+//! so any recorded value lands in a bucket whose width is at most 1/32 of
+//! its magnitude — quantile estimates carry at most ~3.2% relative error.
+//! All 2^64 nanosecond inputs are representable in 1920 buckets with no
+//! clamping, and `count`/`sum`/`min`/`max` are tracked exactly alongside.
+//!
+//! All mutation is `fetch_add`/`fetch_min`/`fetch_max` on atomics: recording
+//! is wait-free and safe from any number of threads through `&self`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: 2^5 = 32 sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+const SUB_COUNT: u64 = 1 << SUB_BITS; // 32
+/// 64 exact buckets + 58 octaves (2^6 .. 2^63) × 32 sub-buckets.
+const NUM_BUCKETS: usize = 64 + 58 * SUB_COUNT as usize; // 1920
+
+/// Bucket index for a value in nanoseconds.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 64 {
+        v as usize
+    } else {
+        // Highest set bit h is in 6..=63 here.
+        let h = 63 - v.leading_zeros();
+        let sub = (v >> (h - SUB_BITS)) & (SUB_COUNT - 1);
+        (64 + (h - 6) as u64 * SUB_COUNT + sub) as usize
+    }
+}
+
+/// Midpoint representative of a bucket, in nanoseconds. Exact for the 64
+/// low buckets; the octave-bucket midpoint everywhere else.
+fn bucket_representative(idx: usize) -> u64 {
+    if idx < 64 {
+        idx as u64
+    } else {
+        let h = 6 + ((idx - 64) as u32 / SUB_COUNT as u32);
+        let sub = (idx - 64) as u64 % SUB_COUNT;
+        let width = 1_u64 << (h - SUB_BITS);
+        let lower = (1_u64 << h) + sub * width;
+        lower + width / 2
+    }
+}
+
+/// A concurrent log-bucketed histogram of nanosecond durations.
+pub struct LogHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value (nanoseconds).
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.min.fetch_min(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record a [`Duration`] (saturating to `u64::MAX` ns).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Exact number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of recorded values, in nanoseconds (wrapping on overflow,
+    /// which needs ~584 years of accumulated latency).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact minimum recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Exact maximum recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Exact arithmetic mean in nanoseconds, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) in nanoseconds. Bounded
+    /// relative error ≤ ~3.2% from the bucket scheme; additionally clamped
+    /// into the exact observed `[min, max]`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        quantile_from_counts(&counts, q, self.min(), self.max())
+    }
+
+    /// A point-in-time copy for rendering and analysis. Taken bucket by
+    /// bucket without a global lock, so totals can be transiently off by
+    /// in-flight recordings; quiescent histograms snapshot exactly.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(usize, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((i, c))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum_ns: self.sum(),
+            min_ns: self.min(),
+            max_ns: self.max(),
+            buckets,
+        }
+    }
+}
+
+/// Shared quantile walk over dense or sparse bucket counts.
+fn quantile_walk<I: Iterator<Item = (usize, u64)>>(
+    occupied: I,
+    total: u64,
+    q: f64,
+    min: u64,
+    max: u64,
+) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Rank of the target observation, 1-based: the smallest rank r such
+    // that at least a q-fraction of observations are <= it.
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0_u64;
+    for (idx, c) in occupied {
+        cum += c;
+        if cum >= rank {
+            return bucket_representative(idx).clamp(min, max);
+        }
+    }
+    max
+}
+
+fn quantile_from_counts(counts: &[u64], q: f64, min: u64, max: u64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    quantile_walk(
+        counts.iter().enumerate().map(|(i, &c)| (i, c)),
+        total,
+        q,
+        min,
+        max,
+    )
+}
+
+/// A point-in-time view of a [`LogHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Exact number of recorded values.
+    pub count: u64,
+    /// Exact sum of recorded values, nanoseconds.
+    pub sum_ns: u64,
+    /// Exact minimum, nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Exact maximum, nanoseconds (0 when empty).
+    pub max_ns: u64,
+    /// `(bucket_index, count)` for every non-empty bucket, ascending index.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Total count across buckets (equals `count` when quiescent).
+    pub fn bucket_total(&self) -> u64 {
+        self.buckets.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Mean in nanoseconds, or 0.0 when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile in nanoseconds (see
+    /// [`LogHistogram::quantile`]).
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_walk(
+            self.buckets.iter().copied(),
+            self.bucket_total(),
+            q,
+            self.min_ns,
+            self.max_ns,
+        )
+    }
+
+    /// Midpoint representative (ns) of a bucket index, for mapping buckets
+    /// onto external bound schemes (e.g. Prometheus `le` bounds).
+    pub fn representative_ns(idx: usize) -> u64 {
+        bucket_representative(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LogHistogram::new();
+        for v in 0..64 {
+            h.record(v);
+        }
+        for v in 0..64_u64 {
+            assert_eq!(bucket_index(v), v as usize);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.sum(), (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0_usize;
+        let mut v = 1_u64;
+        while v < u64::MAX / 2 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index not monotone at {v}");
+            assert!(idx < NUM_BUCKETS);
+            last = idx;
+            v = v.saturating_mul(2).saturating_add(v / 3 + 1);
+        }
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn representative_lies_in_its_own_bucket() {
+        for v in [
+            0_u64,
+            1,
+            63,
+            64,
+            65,
+            100,
+            1_000,
+            123_456,
+            1_000_000,
+            987_654_321,
+            u64::MAX / 3,
+        ] {
+            let idx = bucket_index(v);
+            let rep = bucket_representative(idx);
+            assert_eq!(
+                bucket_index(rep),
+                idx,
+                "representative {rep} escaped bucket of {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let h = LogHistogram::new();
+        for v in [1_500_u64, 25_000, 750_000, 3_000_000, 45_000_000] {
+            let single = LogHistogram::new();
+            single.record(v);
+            let est = single.quantile(0.5);
+            let err = (est as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 31.0, "error {err} too large for {v}");
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_clamped() {
+        let h = LogHistogram::new();
+        for i in 1..=1000_u64 {
+            h.record(i * 1_000); // 1µs .. 1ms
+        }
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0];
+        let mut prev = 0;
+        for &q in &qs {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile not monotone at {q}");
+            assert!(v >= h.min() && v <= h.max());
+            prev = v;
+        }
+        // p50 of uniform 1µs..1ms is ~500µs, within bucket error.
+        let p50 = h.quantile(0.5) as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.05, "p50={p50}");
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.05, "p99={p99}");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        let snap = h.snapshot();
+        assert!(snap.buckets.is_empty());
+        assert_eq!(snap.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn snapshot_matches_live_histogram() {
+        let h = LogHistogram::new();
+        for v in [5_u64, 5, 70, 10_000, 10_050, 999_999_999] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.bucket_total(), 6);
+        assert_eq!(snap.min_ns, 5);
+        assert_eq!(snap.max_ns, 999_999_999);
+        assert_eq!(snap.sum_ns, h.sum());
+        for &q in &[0.25, 0.5, 0.9] {
+            assert_eq!(snap.quantile(q), h.quantile(q));
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        use std::sync::Arc;
+        let h = Arc::new(LogHistogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1_000_u64 {
+                        h.record(1 + t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 8_000);
+        assert_eq!(h.snapshot().bucket_total(), 8_000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 7 * 10_000 + 1_000);
+    }
+}

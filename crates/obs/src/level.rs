@@ -1,0 +1,95 @@
+//! Severity levels, ordered from `Error` (most severe, least verbose) to
+//! `Trace` (least severe, most verbose).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Event severity. Numeric order follows verbosity: `Error < Trace`, so a
+/// filter set to level `L` admits every event with `level <= L`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// The operation failed.
+    Error = 1,
+    /// Something unexpected that the system recovered from.
+    Warn = 2,
+    /// High-level lifecycle milestones.
+    Info = 3,
+    /// Per-request / per-solve diagnostics.
+    Debug = 4,
+    /// Inner-loop detail (iteration-level).
+    Trace = 5,
+}
+
+impl Level {
+    /// Canonical lowercase name (`"error"` … `"trace"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Fixed-width uppercase name for text log alignment.
+    pub fn padded(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN ",
+            Level::Info => "INFO ",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!("unknown level `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_verbosity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn parse_roundtrip_and_aliases() {
+        for l in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(l.as_str().parse::<Level>().unwrap(), l);
+        }
+        assert_eq!("WARNING".parse::<Level>().unwrap(), Level::Warn);
+        assert_eq!(" Debug ".parse::<Level>().unwrap(), Level::Debug);
+        assert!("verbose".parse::<Level>().is_err());
+    }
+}

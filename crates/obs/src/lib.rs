@@ -1,0 +1,153 @@
+//! # share-obs
+//!
+//! Zero-dependency (std-only) observability for the Share stack: the
+//! telemetry substrate the ROADMAP's "heavy traffic from millions of users"
+//! north star needs to diagnose tail latency, cache efficacy and per-stage
+//! solver cost at runtime.
+//!
+//! ## Architecture
+//!
+//! | Module | Role |
+//! |--------|------|
+//! | [`level`] | severity levels (`error` … `trace`) |
+//! | [`filter`] | `SHARE_LOG`-style level/target env filtering |
+//! | [`event`] | structured events: message + typed fields + thread + span lineage |
+//! | [`span`] | thread-aware RAII timing spans (close events carry `elapsed_ns`) |
+//! | [`subscriber`] | pluggable sinks: stderr text, JSON lines, in-memory (tests) |
+//! | [`dispatch`] | the global dispatcher + bounded ring-buffer journal |
+//! | [`hist`] | log-bucketed latency histograms with bounded-error quantiles |
+//! | [`metrics`] | counters, gauges and a metrics [`Registry`](metrics::Registry) |
+//! | [`prometheus`] | Prometheus text-format (0.0.4) rendering and validation |
+//!
+//! ## Tracing example
+//!
+//! ```
+//! use share_obs::{self as obs, Level};
+//!
+//! let sink = std::sync::Arc::new(obs::subscriber::MemorySubscriber::new());
+//! obs::add_subscriber(sink.clone());
+//! obs::set_filter(obs::filter::EnvFilter::parse("debug"));
+//!
+//! {
+//!     let mut span = obs::span(Level::Debug, "my_app::solver", "stage1");
+//!     span.record("p_m", 0.036);
+//! } // drop emits a close event carrying elapsed_ns
+//!
+//! share_obs::obs_debug!(target: "my_app::solver", "converged", "iterations" => 17_u64);
+//!
+//! let events = sink.events();
+//! assert_eq!(events.len(), 2);
+//! assert_eq!(events[0].name, "stage1");
+//! assert!(events[0].elapsed_ns.is_some());
+//! # obs::reset_for_tests();
+//! ```
+//!
+//! ## Metrics example
+//!
+//! ```
+//! use share_obs::metrics::Registry;
+//! use std::time::Duration;
+//!
+//! let registry = Registry::new();
+//! let hits = registry.counter("cache_hits_total", "Cache hits.");
+//! let lat = registry.histogram("latency_seconds", "Service latency.");
+//! hits.inc();
+//! lat.record_duration(Duration::from_micros(250));
+//! let text = registry.render();
+//! assert!(text.contains("# TYPE cache_hits_total counter"));
+//! assert!(text.contains("latency_seconds_bucket"));
+//! share_obs::prometheus::validate_exposition(&text).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dispatch;
+pub mod event;
+pub mod filter;
+pub mod hist;
+pub mod level;
+pub mod metrics;
+pub mod prometheus;
+pub mod span;
+pub mod subscriber;
+
+pub use dispatch::{
+    add_subscriber, clear_subscribers, emit_parts, enabled, init_from_env, recent_events,
+    reset_for_tests, set_filter, set_journal_capacity,
+};
+pub use event::{Event, EventKind, Value};
+pub use filter::EnvFilter;
+pub use hist::{HistogramSnapshot, LogHistogram};
+pub use level::Level;
+pub use span::{span, SpanGuard};
+pub use subscriber::{JsonLinesSubscriber, MemorySubscriber, StderrSubscriber, Subscriber};
+
+/// Emit a structured event at an explicit [`Level`].
+///
+/// The message is a single `Display` expression; data rides in `key => value`
+/// fields (values go through [`Value::from`]). The body is skipped entirely
+/// when the level/target is filtered out.
+///
+/// ```
+/// # use share_obs::Level;
+/// share_obs::obs_event!(target: "demo", Level::Info, "started", "workers" => 4_u64);
+/// ```
+#[macro_export]
+macro_rules! obs_event {
+    (target: $target:expr, $lvl:expr, $msg:expr $(,)?) => {
+        if $crate::enabled($lvl, $target) {
+            $crate::emit_parts($lvl, $target, ::std::string::ToString::to_string(&$msg), ::std::vec::Vec::new());
+        }
+    };
+    (target: $target:expr, $lvl:expr, $msg:expr, $($k:expr => $v:expr),+ $(,)?) => {
+        if $crate::enabled($lvl, $target) {
+            $crate::emit_parts(
+                $lvl,
+                $target,
+                ::std::string::ToString::to_string(&$msg),
+                ::std::vec![$((::std::string::ToString::to_string(&$k), $crate::Value::from($v))),+],
+            );
+        }
+    };
+}
+
+/// [`obs_event!`] at [`Level::Error`].
+#[macro_export]
+macro_rules! obs_error {
+    (target: $target:expr, $($rest:tt)+) => {
+        $crate::obs_event!(target: $target, $crate::Level::Error, $($rest)+)
+    };
+}
+
+/// [`obs_event!`] at [`Level::Warn`].
+#[macro_export]
+macro_rules! obs_warn {
+    (target: $target:expr, $($rest:tt)+) => {
+        $crate::obs_event!(target: $target, $crate::Level::Warn, $($rest)+)
+    };
+}
+
+/// [`obs_event!`] at [`Level::Info`].
+#[macro_export]
+macro_rules! obs_info {
+    (target: $target:expr, $($rest:tt)+) => {
+        $crate::obs_event!(target: $target, $crate::Level::Info, $($rest)+)
+    };
+}
+
+/// [`obs_event!`] at [`Level::Debug`].
+#[macro_export]
+macro_rules! obs_debug {
+    (target: $target:expr, $($rest:tt)+) => {
+        $crate::obs_event!(target: $target, $crate::Level::Debug, $($rest)+)
+    };
+}
+
+/// [`obs_event!`] at [`Level::Trace`].
+#[macro_export]
+macro_rules! obs_trace {
+    (target: $target:expr, $($rest:tt)+) => {
+        $crate::obs_event!(target: $target, $crate::Level::Trace, $($rest)+)
+    };
+}

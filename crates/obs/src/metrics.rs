@@ -1,0 +1,435 @@
+//! Counters, gauges and the metrics [`Registry`].
+//!
+//! A registry owns named metric *families*; each family holds one metric per
+//! distinct label set. Handles are `Arc`s, so instrumented code keeps cheap
+//! clones and never goes back through the registry on the hot path.
+//! Registration is idempotent: asking for an existing `(name, labels)` pair
+//! returns the same underlying metric.
+
+use crate::hist::LogHistogram;
+use crate::prometheus;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Create a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A floating-point gauge (goes up and down), stored as `f64` bits in an
+/// atomic so reads and writes are lock-free.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// Create a gauge at zero.
+    pub fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0.0_f64.to_bits()),
+        }
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `d` (may be negative) via a CAS loop.
+    pub fn add(&self, d: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + d).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Subtract one.
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// The kind of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// Latency histogram (rendered with Prometheus `le` buckets).
+    Histogram,
+}
+
+impl MetricKind {
+    /// Prometheus `# TYPE` keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LogHistogram>),
+}
+
+struct MetricEntry {
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    metrics: Vec<MetricEntry>,
+}
+
+/// A collection of metric families, rendered together as one Prometheus
+/// text exposition. Families render in registration order.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or fetch) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a counter with labels.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.with_entry(
+            name,
+            help,
+            MetricKind::Counter,
+            labels,
+            |existing| match existing {
+                Some(Metric::Counter(c)) => Ok(Arc::clone(c)),
+                Some(_) => unreachable!("kind checked by with_entry"),
+                None => {
+                    let c = Arc::new(Counter::new());
+                    Err((Metric::Counter(Arc::clone(&c)), c))
+                }
+            },
+        )
+    }
+
+    /// Register (or fetch) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a gauge with labels.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.with_entry(
+            name,
+            help,
+            MetricKind::Gauge,
+            labels,
+            |existing| match existing {
+                Some(Metric::Gauge(g)) => Ok(Arc::clone(g)),
+                Some(_) => unreachable!("kind checked by with_entry"),
+                None => {
+                    let g = Arc::new(Gauge::new());
+                    Err((Metric::Gauge(Arc::clone(&g)), g))
+                }
+            },
+        )
+    }
+
+    /// Register (or fetch) an unlabelled latency histogram (nanosecond
+    /// recordings, rendered in seconds).
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<LogHistogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a latency histogram with labels.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<LogHistogram> {
+        self.with_entry(
+            name,
+            help,
+            MetricKind::Histogram,
+            labels,
+            |existing| match existing {
+                Some(Metric::Histogram(h)) => Ok(Arc::clone(h)),
+                Some(_) => unreachable!("kind checked by with_entry"),
+                None => {
+                    let h = Arc::new(LogHistogram::new());
+                    Err((Metric::Histogram(Arc::clone(&h)), h))
+                }
+            },
+        )
+    }
+
+    /// Check-and-insert under one lock: finds (creating if needed) the
+    /// family for `name`, asserts its kind, then either hands the existing
+    /// entry for `labels` to `f` (`Ok` → returned as-is) or inserts the
+    /// `(Metric, handle)` pair `f` built (`Err` → metric stored, handle
+    /// returned). Holding the lock across both halves makes registration
+    /// race-free: concurrent callers always end up sharing one metric.
+    fn with_entry<T>(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        f: impl FnOnce(Option<&Metric>) -> Result<T, (Metric, T)>,
+    ) -> T {
+        let mut families = self.families.lock().unwrap_or_else(|p| p.into_inner());
+        let idx = match families.iter().position(|fam| fam.name == name) {
+            Some(i) => {
+                assert!(
+                    families[i].kind == kind,
+                    "metric `{name}` already registered as {} (requested {})",
+                    families[i].kind.as_str(),
+                    kind.as_str()
+                );
+                i
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    metrics: Vec::new(),
+                });
+                families.len() - 1
+            }
+        };
+        let family = &mut families[idx];
+        let existing = family
+            .metrics
+            .iter()
+            .find(|e| labels_eq(&e.labels, labels))
+            .map(|e| &e.metric);
+        match f(existing) {
+            Ok(handle) => handle,
+            Err((metric, handle)) => {
+                family.metrics.push(MetricEntry {
+                    labels: labels
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.to_string()))
+                        .collect(),
+                    metric,
+                });
+                handle
+            }
+        }
+    }
+
+    /// Render the whole registry in Prometheus text format 0.0.4.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = String::with_capacity(1024);
+        for f in families.iter() {
+            out.push_str(&format!(
+                "# HELP {} {}\n# TYPE {} {}\n",
+                f.name,
+                prometheus::escape_help(&f.help),
+                f.name,
+                f.kind.as_str()
+            ));
+            for entry in &f.metrics {
+                match &entry.metric {
+                    Metric::Counter(c) => {
+                        out.push_str(&prometheus::render_sample(
+                            &f.name,
+                            &entry.labels,
+                            c.get() as f64,
+                        ));
+                    }
+                    Metric::Gauge(g) => {
+                        out.push_str(&prometheus::render_sample(&f.name, &entry.labels, g.get()));
+                    }
+                    Metric::Histogram(h) => {
+                        out.push_str(&prometheus::render_histogram(
+                            &f.name,
+                            &entry.labels,
+                            &h.snapshot(),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn labels_eq(a: &[(String, String)], b: &[(&str, &str)]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|((ak, av), (bk, bv))| ak == bk && av == bv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.set(2.5);
+        g.inc();
+        g.dec();
+        g.add(-0.5);
+        assert!((g.get() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_concurrent_adds_do_not_lose_updates() {
+        let g = Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        g.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.get(), 40_000.0);
+    }
+
+    #[test]
+    fn registration_is_idempotent_per_label_set() {
+        let r = Registry::new();
+        let a = r.counter("hits_total", "Hits.");
+        let b = r.counter("hits_total", "Hits.");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same underlying counter");
+
+        let direct = r.counter_with("solves_total", "Solves.", &[("mode", "direct")]);
+        let numeric = r.counter_with("solves_total", "Solves.", &[("mode", "numeric")]);
+        direct.add(3);
+        numeric.add(5);
+        assert_eq!(
+            r.counter_with("solves_total", "Solves.", &[("mode", "direct")])
+                .get(),
+            3
+        );
+        assert_eq!(
+            r.counter_with("solves_total", "Solves.", &[("mode", "numeric")])
+                .get(),
+            5
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x_total", "X.");
+        let _ = r.gauge("x_total", "X as gauge.");
+    }
+
+    #[test]
+    fn render_covers_all_kinds_and_validates() {
+        let r = Registry::new();
+        r.counter("requests_total", "Total requests.").add(7);
+        r.gauge("queue_depth", "Jobs queued.").set(3.0);
+        let h = r.histogram_with(
+            "latency_seconds",
+            "Service latency.",
+            &[("stage", "stage1")],
+        );
+        h.record(250_000); // 250µs
+        h.record(1_500_000); // 1.5ms
+
+        let text = r.render();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total 7\n"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth 3\n"));
+        assert!(text.contains("# TYPE latency_seconds histogram"));
+        assert!(text.contains("latency_seconds_bucket{stage=\"stage1\",le=\"+Inf\"} 2"));
+        assert!(text.contains("latency_seconds_count{stage=\"stage1\"} 2"));
+        let stats = prometheus::validate_exposition(&text).expect("valid exposition");
+        assert_eq!(stats.families, 3);
+        assert_eq!(stats.histograms, 1);
+    }
+}

@@ -1,0 +1,494 @@
+//! Prometheus text exposition format 0.0.4: rendering helpers and a strict
+//! validator.
+//!
+//! Rendering maps this crate's metrics onto the classic scrape format:
+//! counters and gauges become single samples; a [`LogHistogram`] snapshot is
+//! re-bucketed onto a fixed ladder of `le` bounds in **seconds** (recordings
+//! are nanoseconds) with the cumulative `_bucket`/`_sum`/`_count` triplet.
+//!
+//! [`validate_exposition`] is the other direction: it parses an exposition
+//! line by line — every line must be a well-formed `# HELP`, `# TYPE` or
+//! sample — and cross-checks samples against declared types. CI uses it to
+//! fail the build when the metrics endpoint regresses.
+//!
+//! [`LogHistogram`]: crate::hist::LogHistogram
+
+use crate::hist::HistogramSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The `le` bucket bounds (seconds) every histogram renders with, spanning
+/// 1µs to 10s; an implicit `+Inf` bucket follows. Log-ish 1–2.5–5 ladder:
+/// 22 bounds keeps scrapes small while the underlying [`LogHistogram`]
+/// retains ~3%-error quantiles independent of this coarsening.
+///
+/// [`LogHistogram`]: crate::hist::LogHistogram
+pub const LE_BOUNDS_SECONDS: &[f64] = &[
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+    5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// Escape a `# HELP` text: backslashes and newlines.
+pub fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value: backslashes, double quotes and newlines.
+pub fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Format a sample value the way Prometheus expects (`+Inf`, `-Inf`, `NaN`,
+/// otherwise shortest `f64` text).
+pub fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render `{k="v",...}` for a label set; empty string for no labels.
+pub fn format_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// One `name{labels} value` sample line.
+pub fn render_sample(name: &str, labels: &[(String, String)], value: f64) -> String {
+    format!("{name}{} {}\n", format_labels(labels), format_value(value))
+}
+
+/// Render a histogram snapshot as the cumulative
+/// `_bucket`/`_sum`/`_count` triplet over [`LE_BOUNDS_SECONDS`].
+pub fn render_histogram(
+    name: &str,
+    labels: &[(String, String)],
+    snap: &HistogramSnapshot,
+) -> String {
+    // Count of observations per le bound (non-cumulative first).
+    let mut per_bound = vec![0_u64; LE_BOUNDS_SECONDS.len() + 1]; // last = +Inf
+    for &(idx, count) in &snap.buckets {
+        let sec = HistogramSnapshot::representative_ns(idx) as f64 / 1e9;
+        let slot = LE_BOUNDS_SECONDS
+            .iter()
+            .position(|&b| sec <= b)
+            .unwrap_or(LE_BOUNDS_SECONDS.len());
+        per_bound[slot] += count;
+    }
+    let mut out = String::with_capacity(per_bound.len() * 48);
+    let mut cum = 0_u64;
+    for (i, &c) in per_bound.iter().enumerate() {
+        cum += c;
+        let le = if i < LE_BOUNDS_SECONDS.len() {
+            format_value(LE_BOUNDS_SECONDS[i])
+        } else {
+            "+Inf".to_string()
+        };
+        let mut with_le: Vec<(String, String)> = labels.to_vec();
+        with_le.push(("le".to_string(), le));
+        let _ = writeln!(out, "{name}_bucket{} {cum}", format_labels(&with_le));
+    }
+    let _ = writeln!(
+        out,
+        "{name}_sum{} {}",
+        format_labels(labels),
+        format_value(snap.sum_ns as f64 / 1e9)
+    );
+    let _ = writeln!(out, "{name}_count{} {}", format_labels(labels), snap.count);
+    out
+}
+
+/// Summary statistics from a validated exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExpositionStats {
+    /// Number of metric families (`# TYPE` lines).
+    pub families: usize,
+    /// Number of sample lines.
+    pub samples: usize,
+    /// Number of histogram families.
+    pub histograms: usize,
+}
+
+/// Strictly validate a Prometheus text exposition: every non-empty line must
+/// be a well-formed `# HELP`, `# TYPE` or sample; sample names must belong
+/// to a family with a declared type (histogram samples may use the
+/// `_bucket`/`_sum`/`_count` suffixes, and `_bucket` samples must carry an
+/// `le` label); each histogram family must expose a `+Inf` bucket, `_sum`
+/// and `_count`. Returns summary statistics, or a message naming the first
+/// offending line.
+pub fn validate_exposition(text: &str) -> Result<ExpositionStats, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // Per histogram family: (saw +Inf bucket, saw _sum, saw _count).
+    let mut hist_parts: BTreeMap<String, (bool, bool, bool)> = BTreeMap::new();
+    let mut stats = ExpositionStats::default();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _help) = rest
+                .split_once(' ')
+                .map(|(n, h)| (n, Some(h)))
+                .unwrap_or((rest, None));
+            if !is_metric_name(name) {
+                return Err(format!("line {lineno}: bad metric name in HELP: `{name}`"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!("line {lineno}: malformed TYPE line"));
+            };
+            if !is_metric_name(name) {
+                return Err(format!("line {lineno}: bad metric name in TYPE: `{name}`"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {lineno}: unknown metric type `{kind}`"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {lineno}: duplicate TYPE for `{name}`"));
+            }
+            stats.families += 1;
+            if kind == "histogram" {
+                stats.histograms += 1;
+                hist_parts.insert(name.to_string(), (false, false, false));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!(
+                "line {lineno}: comment is neither `# HELP` nor `# TYPE`"
+            ));
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let (name, labels, value_part) =
+            parse_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let mut value_fields = value_part.split_whitespace();
+        let Some(value_str) = value_fields.next() else {
+            return Err(format!("line {lineno}: sample has no value"));
+        };
+        let value = parse_prometheus_float(value_str)
+            .ok_or_else(|| format!("line {lineno}: unparseable value `{value_str}`"))?;
+        if let Some(ts) = value_fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(format!("line {lineno}: unparseable timestamp `{ts}`"));
+            }
+        }
+        if value_fields.next().is_some() {
+            return Err(format!("line {lineno}: trailing tokens after sample"));
+        }
+
+        // Resolve the family this sample belongs to.
+        let family = resolve_family(&name, &types)
+            .ok_or_else(|| format!("line {lineno}: sample `{name}` has no TYPE declaration"))?;
+        if types.get(&family).map(String::as_str) == Some("histogram") {
+            let entry = hist_parts.entry(family.clone()).or_default();
+            if name == format!("{family}_bucket") {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| format!("line {lineno}: histogram bucket without `le` label"))?;
+                if le == "+Inf" {
+                    entry.0 = true;
+                }
+            } else if name == format!("{family}_sum") {
+                entry.1 = true;
+            } else if name == format!("{family}_count") {
+                entry.2 = true;
+            }
+        }
+        stats.samples += 1;
+        let _ = value; // parsed for validity only
+    }
+
+    for (family, &(inf, sum, count)) in &hist_parts {
+        if !(inf && sum && count) {
+            return Err(format!(
+                "histogram `{family}` incomplete: +Inf bucket={inf}, _sum={sum}, _count={count}"
+            ));
+        }
+    }
+    Ok(stats)
+}
+
+/// Map a sample name to its declared family: exact match, or histogram /
+/// summary suffix match.
+fn resolve_family(name: &str, types: &BTreeMap<String, String>) -> Option<String> {
+    if types.contains_key(name) {
+        return Some(name.to_string());
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if let Some(kind) = types.get(base) {
+                let ok = if suffix == "_bucket" {
+                    kind == "histogram"
+                } else {
+                    kind == "histogram" || kind == "summary"
+                };
+                if ok {
+                    return Some(base.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_prometheus_float(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse::<f64>().ok(),
+    }
+}
+
+type Labels = Vec<(String, String)>;
+
+/// Split a sample line into `(name, labels, rest-after-labels)`.
+fn parse_sample(line: &str) -> Result<(String, Labels, &str), String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_whitespace())
+        .unwrap_or(line.len());
+    let name = &line[..name_end];
+    if !is_metric_name(name) {
+        return Err(format!("bad sample metric name `{name}`"));
+    }
+    let rest = &line[name_end..];
+    if let Some(after_brace) = rest.strip_prefix('{') {
+        let (labels, consumed) = parse_labels(after_brace)?;
+        Ok((name.to_string(), labels, &after_brace[consumed..]))
+    } else {
+        Ok((name.to_string(), Vec::new(), rest))
+    }
+}
+
+/// Parse `k="v",...}` (the opening brace already consumed); returns the
+/// labels and the byte offset just past the closing brace.
+fn parse_labels(s: &str) -> Result<(Labels, usize), String> {
+    let mut labels = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    loop {
+        // Allow `}` immediately (empty label set or trailing comma).
+        if i >= bytes.len() {
+            return Err("unterminated label set".to_string());
+        }
+        if bytes[i] == b'}' {
+            return Ok((labels, i + 1));
+        }
+        // Label name.
+        let start = i;
+        while i < bytes.len()
+            && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b':')
+        {
+            i += 1;
+        }
+        if i == start {
+            return Err(format!("bad label name at byte {i}"));
+        }
+        let key = s[start..i].to_string();
+        if i >= bytes.len() || bytes[i] != b'=' {
+            return Err(format!("expected `=` after label `{key}`"));
+        }
+        i += 1;
+        if i >= bytes.len() || bytes[i] != b'"' {
+            return Err(format!("expected opening quote for label `{key}`"));
+        }
+        i += 1;
+        // Quoted value with escapes.
+        let mut value = String::new();
+        loop {
+            if i >= bytes.len() {
+                return Err(format!("unterminated value for label `{key}`"));
+            }
+            match bytes[i] {
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                b'\\' => {
+                    i += 1;
+                    if i >= bytes.len() {
+                        return Err("dangling escape in label value".to_string());
+                    }
+                    match bytes[i] {
+                        b'\\' => value.push('\\'),
+                        b'"' => value.push('"'),
+                        b'n' => value.push('\n'),
+                        other => {
+                            return Err(format!("bad escape `\\{}`", other as char));
+                        }
+                    }
+                    i += 1;
+                }
+                _ => {
+                    // Advance one UTF-8 char.
+                    let ch_len = utf8_len(bytes[i]);
+                    value.push_str(&s[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+        }
+        labels.push((key, value));
+        // Separator.
+        if i < bytes.len() && bytes[i] == b',' {
+            i += 1;
+        }
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LogHistogram;
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(0.25), "0.25");
+    }
+
+    #[test]
+    fn histogram_rendering_is_cumulative_and_complete() {
+        let h = LogHistogram::new();
+        h.record(500); // 0.5µs → le 1e-6
+        h.record(40_000); // 40µs → le 5e-5
+        h.record(40_000);
+        h.record(30_000_000_000); // 30s → +Inf only
+        let labels = vec![("stage".to_string(), "stage1".to_string())];
+        let text = render_histogram("lat_seconds", &labels, &h.snapshot());
+        assert!(text.contains("lat_seconds_bucket{stage=\"stage1\",le=\"0.000001\"} 1\n"));
+        assert!(text.contains("lat_seconds_bucket{stage=\"stage1\",le=\"10\"} 3\n"));
+        assert!(text.contains("lat_seconds_bucket{stage=\"stage1\",le=\"+Inf\"} 4\n"));
+        assert!(text.contains("lat_seconds_count{stage=\"stage1\"} 4\n"));
+        // Cumulative counts never decrease.
+        let mut prev = 0_u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_exposition() {
+        let text = "\
+# HELP requests_total Total requests.
+# TYPE requests_total counter
+requests_total 42
+# HELP queue_depth Current queue depth.
+# TYPE queue_depth gauge
+queue_depth{shard=\"a b\"} 3.5
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le=\"0.001\"} 1
+lat_seconds_bucket{le=\"+Inf\"} 2
+lat_seconds_sum 0.123
+lat_seconds_count 2
+";
+        let stats = validate_exposition(text).expect("valid");
+        assert_eq!(stats.families, 3);
+        assert_eq!(stats.samples, 6);
+        assert_eq!(stats.histograms, 1);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_exposition("# BOGUS comment\n").is_err());
+        assert!(validate_exposition("# TYPE x flavor\n").is_err());
+        assert!(validate_exposition("orphan_sample 1\n").is_err());
+        assert!(
+            validate_exposition("# TYPE x counter\nx notanumber\n").is_err(),
+            "bad value"
+        );
+        assert!(
+            validate_exposition("# TYPE x counter\nx{l=\"unterminated} 1\n").is_err(),
+            "unterminated label"
+        );
+        assert!(
+            validate_exposition("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n")
+                .is_err(),
+            "histogram without _sum"
+        );
+        assert!(
+            validate_exposition("# TYPE h histogram\nh_bucket 1\nh_sum 0\nh_count 1\n").is_err(),
+            "bucket without le"
+        );
+    }
+
+    #[test]
+    fn validator_handles_escapes_and_timestamps() {
+        let text = "\
+# TYPE g gauge
+g{msg=\"quote \\\" slash \\\\ nl \\n\"} 1 1712345678000
+g NaN
+g +Inf
+";
+        let stats = validate_exposition(text).expect("valid");
+        assert_eq!(stats.samples, 3);
+    }
+
+    #[test]
+    fn round_trip_render_validate() {
+        let labels = vec![("mode".to_string(), "mean_field".to_string())];
+        let h = LogHistogram::new();
+        for i in 1..200_u64 {
+            h.record(i * 7_919);
+        }
+        let mut text = String::new();
+        text.push_str("# HELP solve_seconds Solve latency.\n# TYPE solve_seconds histogram\n");
+        text.push_str(&render_histogram("solve_seconds", &labels, &h.snapshot()));
+        text.push_str(&render_sample("solve_seconds_created", &labels, 1.0));
+        // _created is not a histogram suffix → needs its own TYPE to pass.
+        let err = validate_exposition(&text);
+        assert!(err.is_err(), "undeclared sample must fail");
+        let text = text.replace("solve_seconds_created{mode=\"mean_field\"} 1\n", "");
+        let stats = validate_exposition(&text).expect("valid");
+        assert_eq!(stats.histograms, 1);
+        // le ladder + +Inf + sum + count.
+        assert_eq!(stats.samples, LE_BOUNDS_SECONDS.len() + 3);
+    }
+}

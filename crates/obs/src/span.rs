@@ -1,0 +1,197 @@
+//! Thread-aware RAII timing spans.
+//!
+//! A span measures the wall-clock time between its creation and its drop (or
+//! explicit [`SpanGuard::finish`]) and emits one [`EventKind::SpanClose`]
+//! event carrying `elapsed_ns`, the span's recorded fields, and its parent
+//! span id (spans nest per thread via a thread-local stack). Events emitted
+//! while a span is open carry its id as `parent_id`, so subscribers can
+//! reconstruct the tree.
+//!
+//! Creation is cheap when the span's level/target is filtered out: the guard
+//! still measures elapsed time (so callers can use [`SpanGuard::finish`] for
+//! timing) but touches no global state and emits nothing.
+
+use crate::dispatch;
+use crate::event::{now_us, thread_label, Event, EventKind, Value};
+use crate::level::Level;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The id of the innermost open span on this thread, if any.
+pub(crate) fn current_span_id() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Open a timing span. Bind the guard to a named variable — `let _ = ...`
+/// drops it immediately and times nothing.
+pub fn span(level: Level, target: &'static str, name: &'static str) -> SpanGuard {
+    let enabled = dispatch::enabled(level, target);
+    let (id, parent_id) = if enabled {
+        let id = dispatch::next_span_id();
+        let parent = current_span_id();
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        (Some(id), parent)
+    } else {
+        (None, None)
+    };
+    SpanGuard {
+        level,
+        target,
+        name,
+        id,
+        parent_id,
+        start: Instant::now(),
+        fields: Vec::new(),
+        closed: false,
+        _not_send: PhantomData,
+    }
+}
+
+/// An open span; emits its close event when dropped or finished.
+pub struct SpanGuard {
+    level: Level,
+    target: &'static str,
+    name: &'static str,
+    /// `None` when the span is filtered out (timing still works).
+    id: Option<u64>,
+    parent_id: Option<u64>,
+    start: Instant,
+    fields: Vec<(String, Value)>,
+    closed: bool,
+    /// Spans manipulate a thread-local stack, so the guard must stay on the
+    /// thread that opened it.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// Attach a field, included in the close event.
+    pub fn record(&mut self, key: &str, value: impl Into<Value>) {
+        if self.id.is_some() {
+            self.fields.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Whether this span passed the filter at creation.
+    pub fn is_enabled(&self) -> bool {
+        self.id.is_some()
+    }
+
+    /// Close the span now, returning its elapsed nanoseconds (measured even
+    /// when the span is filtered out).
+    pub fn finish(mut self) -> u64 {
+        self.close()
+    }
+
+    fn close(&mut self) -> u64 {
+        let elapsed_ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if self.closed {
+            return elapsed_ns;
+        }
+        self.closed = true;
+        if let Some(id) = self.id {
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                // Robust to out-of-order drops: remove this id wherever it is.
+                if let Some(pos) = stack.iter().rposition(|&x| x == id) {
+                    stack.remove(pos);
+                }
+            });
+            dispatch::dispatch(Event {
+                timestamp_us: now_us(),
+                level: self.level,
+                target: self.target.to_string(),
+                name: self.name.to_string(),
+                kind: EventKind::SpanClose,
+                thread: thread_label(),
+                span_id: Some(id),
+                parent_id: self.parent_id,
+                elapsed_ns: Some(elapsed_ns),
+                fields: std::mem::take(&mut self.fields),
+            });
+        }
+        elapsed_ns
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::EnvFilter;
+    use crate::subscriber::MemorySubscriber;
+    use std::sync::Arc;
+
+    // Serialized via dispatch::tests_lock to avoid global-state races with
+    // other test modules.
+    #[test]
+    fn spans_nest_and_emit_close_events() {
+        let _guard = dispatch::tests_lock();
+        dispatch::reset_for_tests();
+        let sink = Arc::new(MemorySubscriber::new());
+        dispatch::add_subscriber(sink.clone());
+        dispatch::set_filter(EnvFilter::at(Level::Trace));
+
+        {
+            let mut outer = span(Level::Debug, "t::outer", "outer");
+            outer.record("k", 1_u64);
+            assert!(outer.is_enabled());
+            {
+                let inner = span(Level::Debug, "t::inner", "inner");
+                assert!(inner.is_enabled());
+                crate::obs_debug!(target: "t::inner", "inside");
+            }
+        }
+
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        // Order: plain event, inner close, outer close.
+        assert_eq!(events[0].name, "inside");
+        assert_eq!(events[1].name, "inner");
+        assert_eq!(events[2].name, "outer");
+        let outer_id = events[2].span_id.unwrap();
+        let inner_id = events[1].span_id.unwrap();
+        assert_eq!(events[0].parent_id, Some(inner_id));
+        assert_eq!(events[1].parent_id, Some(outer_id));
+        assert_eq!(events[2].parent_id, None);
+        assert!(events[1].elapsed_ns.is_some());
+        assert_eq!(events[2].field_f64("k"), Some(1.0));
+        assert_eq!(events[1].kind, EventKind::SpanClose);
+        dispatch::reset_for_tests();
+    }
+
+    #[test]
+    fn finish_returns_elapsed_once() {
+        let _guard = dispatch::tests_lock();
+        dispatch::reset_for_tests();
+        let sink = Arc::new(MemorySubscriber::new());
+        dispatch::add_subscriber(sink.clone());
+        dispatch::set_filter(EnvFilter::at(Level::Trace));
+
+        let s = span(Level::Info, "t", "timed");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let ns = s.finish();
+        assert!(ns >= 1_000_000, "elapsed {ns}ns");
+        assert_eq!(sink.events().len(), 1, "finish then drop emits once");
+        dispatch::reset_for_tests();
+    }
+
+    #[test]
+    fn disabled_spans_still_time_but_emit_nothing() {
+        let _guard = dispatch::tests_lock();
+        dispatch::reset_for_tests(); // no subscribers → disabled
+        let s = span(Level::Error, "t", "dark");
+        assert!(!s.is_enabled());
+        let _ns = s.finish();
+        assert!(current_span_id().is_none());
+    }
+}

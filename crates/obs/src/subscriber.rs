@@ -1,0 +1,364 @@
+//! Event sinks: where dispatched events go.
+//!
+//! Three built-ins cover the common deployments: [`StderrSubscriber`] for
+//! human-readable terminal logs, [`JsonLinesSubscriber`] for machine-ingested
+//! NDJSON, and [`MemorySubscriber`] for tests and in-process aggregation
+//! (the bench harness reads span timings out of one).
+
+use crate::event::{Event, EventKind, Value};
+use std::fmt::Write as _;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// A sink for dispatched events. Implementations must be cheap and must not
+/// emit events themselves (the dispatcher does not guard against recursion).
+pub trait Subscriber: Send + Sync {
+    /// Receive one event. Called on the emitting thread.
+    fn on_event(&self, event: &Event);
+}
+
+// ---------------------------------------------------------------------------
+// stderr text
+// ---------------------------------------------------------------------------
+
+/// Human-readable single-line text to stderr:
+///
+/// ```text
+/// 2026-08-07T12:00:00.123456Z DEBUG worker-0 share_engine::worker: solve_done mode=numeric elapsed=1.234ms
+/// ```
+#[derive(Debug, Default)]
+pub struct StderrSubscriber;
+
+impl StderrSubscriber {
+    /// Create the subscriber.
+    pub fn new() -> Self {
+        StderrSubscriber
+    }
+}
+
+impl Subscriber for StderrSubscriber {
+    fn on_event(&self, event: &Event) {
+        let mut line = String::with_capacity(96);
+        let _ = write!(
+            line,
+            "{} {} {} {}: {}",
+            format_timestamp_us(event.timestamp_us),
+            event.level.padded(),
+            event.thread,
+            event.target,
+            event.name
+        );
+        for (k, v) in &event.fields {
+            let _ = write!(line, " {k}={v}");
+        }
+        if event.kind == EventKind::SpanClose {
+            if let Some(ns) = event.elapsed_ns {
+                let _ = write!(line, " elapsed={}", format_elapsed_ns(ns));
+            }
+        }
+        let stderr = std::io::stderr();
+        let mut out = stderr.lock();
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+/// RFC 3339 UTC timestamp with microsecond precision from epoch-microseconds.
+pub(crate) fn format_timestamp_us(us: u64) -> String {
+    let secs = (us / 1_000_000) as i64;
+    let micros = us % 1_000_000;
+    let days = secs.div_euclid(86_400);
+    let sod = secs.rem_euclid(86_400);
+    let (year, month, day) = civil_from_days(days);
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}.{micros:06}Z",
+        sod / 3600,
+        (sod / 60) % 60,
+        sod % 60
+    )
+}
+
+/// Gregorian date from days since 1970-01-01 (Howard Hinnant's algorithm).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Human-scaled duration: `417ns`, `12.3µs`, `1.234ms`, `2.500s`.
+pub(crate) fn format_elapsed_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON lines
+// ---------------------------------------------------------------------------
+
+/// One JSON object per event, newline-delimited, to an arbitrary writer.
+pub struct JsonLinesSubscriber {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonLinesSubscriber {
+    /// Write JSON lines to the given sink.
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Write JSON lines to stderr.
+    pub fn stderr() -> Self {
+        Self::new(Box::new(std::io::stderr()))
+    }
+}
+
+impl Subscriber for JsonLinesSubscriber {
+    fn on_event(&self, event: &Event) {
+        let line = event_to_json(event);
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = writeln!(w, "{line}");
+        }
+    }
+}
+
+/// Serialize an event as a single-line JSON object (hand-rolled: this crate
+/// is std-only by design).
+pub fn event_to_json(event: &Event) -> String {
+    let mut s = String::with_capacity(160);
+    s.push('{');
+    let _ = write!(s, "\"ts_us\":{}", event.timestamp_us);
+    let _ = write!(s, ",\"level\":\"{}\"", event.level.as_str());
+    let _ = write!(s, ",\"target\":\"{}\"", escape_json(&event.target));
+    let _ = write!(s, ",\"name\":\"{}\"", escape_json(&event.name));
+    let kind = match event.kind {
+        EventKind::Event => "event",
+        EventKind::SpanClose => "span_close",
+    };
+    let _ = write!(s, ",\"kind\":\"{kind}\"");
+    let _ = write!(s, ",\"thread\":\"{}\"", escape_json(&event.thread));
+    if let Some(id) = event.span_id {
+        let _ = write!(s, ",\"span_id\":{id}");
+    }
+    if let Some(id) = event.parent_id {
+        let _ = write!(s, ",\"parent_id\":{id}");
+    }
+    if let Some(ns) = event.elapsed_ns {
+        let _ = write!(s, ",\"elapsed_ns\":{ns}");
+    }
+    if !event.fields.is_empty() {
+        s.push_str(",\"fields\":{");
+        for (i, (k, v)) in event.fields.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":", escape_json(k));
+            match v {
+                Value::U64(n) => {
+                    let _ = write!(s, "{n}");
+                }
+                Value::I64(n) => {
+                    let _ = write!(s, "{n}");
+                }
+                Value::F64(x) if x.is_finite() => {
+                    let _ = write!(s, "{x}");
+                }
+                Value::F64(x) => {
+                    let _ = write!(s, "\"{x}\"");
+                }
+                Value::Bool(b) => {
+                    let _ = write!(s, "{b}");
+                }
+                Value::Str(t) => {
+                    let _ = write!(s, "\"{}\"", escape_json(t));
+                }
+            }
+        }
+        s.push('}');
+    }
+    s.push('}');
+    s
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// in-memory
+// ---------------------------------------------------------------------------
+
+/// Collects events in memory; the test and aggregation sink.
+#[derive(Default)]
+pub struct MemorySubscriber {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySubscriber {
+    /// Create an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of every event seen so far, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().map(|e| e.clone()).unwrap_or_default()
+    }
+
+    /// Drain and return every event seen so far.
+    pub fn take(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .map(|mut e| std::mem::take(&mut *e))
+            .unwrap_or_default()
+    }
+
+    /// Number of events collected.
+    pub fn len(&self) -> usize {
+        self.events.lock().map(|e| e.len()).unwrap_or(0)
+    }
+
+    /// Whether no events have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discard collected events.
+    pub fn clear(&self) {
+        if let Ok(mut e) = self.events.lock() {
+            e.clear();
+        }
+    }
+}
+
+impl Subscriber for MemorySubscriber {
+    fn on_event(&self, event: &Event) {
+        if let Ok(mut e) = self.events.lock() {
+            e.push(event.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::Level;
+
+    fn sample_event() -> Event {
+        Event {
+            timestamp_us: 1_754_568_000_123_456, // 2025-08-07T12:00:00.123456Z
+            level: Level::Debug,
+            target: "share_engine::worker".into(),
+            name: "solve_done".into(),
+            kind: EventKind::SpanClose,
+            thread: "worker-0".into(),
+            span_id: Some(7),
+            parent_id: Some(3),
+            elapsed_ns: Some(1_234_000),
+            fields: vec![
+                ("mode".into(), Value::Str("numeric".into())),
+                ("iters".into(), Value::U64(17)),
+                ("residual".into(), Value::F64(1e-12)),
+                ("quoted".into(), Value::Str("a\"b\nc".into())),
+            ],
+        }
+    }
+
+    #[test]
+    fn timestamp_formatting_is_rfc3339_utc() {
+        assert_eq!(format_timestamp_us(0), "1970-01-01T00:00:00.000000Z");
+        assert_eq!(
+            format_timestamp_us(1_754_568_000_123_456),
+            "2025-08-07T12:00:00.123456Z"
+        );
+        // Leap-year day.
+        assert_eq!(
+            format_timestamp_us(1_709_164_800_000_000),
+            "2024-02-29T00:00:00.000000Z"
+        );
+    }
+
+    #[test]
+    fn elapsed_formatting_scales_units() {
+        assert_eq!(format_elapsed_ns(417), "417ns");
+        assert_eq!(format_elapsed_ns(12_300), "12.3µs");
+        assert_eq!(format_elapsed_ns(1_234_000), "1.234ms");
+        assert_eq!(format_elapsed_ns(2_500_000_000), "2.500s");
+    }
+
+    #[test]
+    fn json_lines_escape_and_round_trip_shape() {
+        let json = event_to_json(&sample_event());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"level\":\"debug\""));
+        assert!(json.contains("\"kind\":\"span_close\""));
+        assert!(json.contains("\"span_id\":7"));
+        assert!(json.contains("\"elapsed_ns\":1234000"));
+        assert!(json.contains("\"iters\":17"));
+        assert!(json.contains("\"quoted\":\"a\\\"b\\nc\""));
+        // No raw control characters survive escaping.
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn json_subscriber_writes_one_line_per_event() {
+        let buf: Vec<u8> = Vec::new();
+        let shared = std::sync::Arc::new(Mutex::new(buf));
+        struct SharedWriter(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sub = JsonLinesSubscriber::new(Box::new(SharedWriter(shared.clone())));
+        sub.on_event(&sample_event());
+        sub.on_event(&sample_event());
+        let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn memory_subscriber_collects_and_drains() {
+        let sub = MemorySubscriber::new();
+        assert!(sub.is_empty());
+        sub.on_event(&sample_event());
+        sub.on_event(&sample_event());
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.events().len(), 2);
+        let drained = sub.take();
+        assert_eq!(drained.len(), 2);
+        assert!(sub.is_empty());
+    }
+}

@@ -12,21 +12,48 @@
 //!    times each; only the first visit of each market pays for a solve;
 //! 3. **deadlines** — a request with `deadline_ms = 0` comes back as a
 //!    structured `deadline_expired` error instead of an answer;
-//! 4. **metrics + graceful shutdown** — a `stats` request reads the counters
-//!    over the wire, then a `shutdown` request stops the accept loop.
+//! 4. **observability** — a `stats` request reads the counters and latency
+//!    quantiles over the wire, the Prometheus scrape endpoint is curled and
+//!    its exposition strictly validated, then a `shutdown` request stops
+//!    the accept loop.
+//!
+//! Run with `SHARE_LOG=debug` to watch the request lifecycle and solver
+//! stage spans stream to stderr while the traffic runs.
 //!
 //! ```sh
-//! cargo run --release --example engine_serving
+//! SHARE_LOG=debug cargo run --release --example engine_serving
 //! ```
 
 use share::engine::{
-    serve_tcp, Client, Engine, EngineConfig, RequestBody, ResponseBody, SolveMode, SolveSpec,
+    serve_metrics, serve_tcp, Client, Engine, EngineConfig, RequestBody, ResponseBody, SolveMode,
+    SolveSpec,
 };
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::thread;
 
+/// Scrape the Prometheus endpoint like `curl` would: one GET, read to EOF,
+/// split the HTTP head from the exposition body.
+fn scrape(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics endpoint");
+    write!(stream, "GET /metrics HTTP/1.0\r\n\r\n").expect("send scrape request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read scrape");
+    let (head, body) = response.split_once("\r\n\r\n").expect("HTTP head/body");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "wrong content type: {head}"
+    );
+    body.to_string()
+}
+
 fn main() {
-    // --- 1. Deploy: engine + TCP server on an ephemeral port -------------
+    // Honor SHARE_LOG so the request lifecycle is visible on stderr.
+    share::obs::init_from_env();
+
+    // --- 1. Deploy: engine + TCP server + scrape endpoint -----------------
     let engine = Arc::new(Engine::start(EngineConfig {
         workers: 2,
         queue_capacity: 256,
@@ -34,7 +61,11 @@ fn main() {
     }));
     let server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0").expect("bind loopback");
     let addr = server.local_addr();
-    println!("share-engine listening on {addr}");
+    let metrics = serve_metrics(Arc::clone(&engine), "127.0.0.1:0").expect("bind metrics");
+    println!(
+        "share-engine listening on {addr}, metrics on http://{}/",
+        metrics.local_addr()
+    );
 
     // --- 2. Dedup: pipeline 12 identical expensive solves ----------------
     // `send` does not wait, so all 12 hit the server while the first is
@@ -110,7 +141,53 @@ fn main() {
         stats.requests,
         "every request is solved, cached, deduped or expired"
     );
+    // The snapshot now carries histogram quantiles; under 100+ requests they
+    // must be populated and ordered.
+    assert!(stats.latency_p50_us > 0.0, "{stats}");
+    assert!(stats.latency_p50_us <= stats.latency_p99_us);
+    assert!(stats.latency_p99_us <= stats.latency_max_us);
 
+    // --- 6. Prometheus scrape: strict 0.0.4 validation --------------------
+    let exposition = scrape(metrics.local_addr());
+    let parsed = share::obs::prometheus::validate_exposition(&exposition)
+        .expect("exposition must parse under strict validation");
+    assert!(
+        parsed.families >= 13 && parsed.histograms >= 3,
+        "thin exposition: {parsed:?}"
+    );
+    // Counters visible over NDJSON `stats` and over the scrape endpoint
+    // must agree (traffic is quiescent now).
+    let line = |name: &str| -> f64 {
+        exposition
+            .lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .unwrap_or_else(|| panic!("{name} missing from exposition"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(line("share_requests_total") as u64, stats.requests);
+    assert_eq!(line("share_solves_total") as u64, stats.solves);
+    assert_eq!(line("share_deduped_total") as u64, stats.deduped);
+    assert!(exposition.contains("share_request_latency_seconds_bucket{le="));
+    assert!(exposition.contains("share_solver_stage_seconds_bucket{stage=\"stage1\""));
+    assert!(exposition.contains("share_solve_latency_seconds_bucket{mode=\"numeric\""));
+    println!(
+        "scraped {} bytes of valid Prometheus exposition ({} families, {} histograms)",
+        exposition.len(),
+        parsed.families,
+        parsed.histograms
+    );
+    let preview: Vec<&str> = exposition
+        .lines()
+        .filter(|l| l.contains("share_request_latency_seconds"))
+        .take(6)
+        .collect();
+    println!("scrape excerpt:\n{}", preview.join("\n"));
+
+    metrics.stop();
     let ack = pipelined.shutdown_server().expect("shutdown");
     assert_eq!(ack.body, ResponseBody::Shutdown);
     server.wait();

@@ -8,12 +8,18 @@
 //! share params --m 100 --seed 42                  # emit a params JSON for editing
 //! share solve  --config market.json               # solve an edited configuration
 //! share serve  --tcp 127.0.0.1:7878 --workers 4   # NDJSON serving engine (or stdio)
+//! share serve  --tcp 127.0.0.1:7878 --metrics-addr 127.0.0.1:9184  # + Prometheus scrape endpoint
 //! share request --addr 127.0.0.1:7878 --m 50 --seed 1 --mode mean_field
-//! share request --addr 127.0.0.1:7878 --stats    # metrics snapshot
+//! share request --addr 127.0.0.1:7878 --stats    # metrics snapshot (with latency quantiles)
+//! share request --addr 127.0.0.1:7878 --metrics  # raw Prometheus exposition
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
 //! dependency set at the workspace baseline.
+//!
+//! Tracing is controlled by the `SHARE_LOG` environment variable (e.g.
+//! `SHARE_LOG=debug` or `SHARE_LOG=share_engine=debug,share_market=trace`);
+//! events go to stderr so they never corrupt the stdio protocol stream.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -293,6 +299,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let engine = Arc::new(Engine::start(config));
     // Status goes to stderr: on stdio transport, stdout is the protocol
     // stream and must carry nothing but NDJSON responses.
+    let metrics_server = match args.options.get("metrics-addr") {
+        Some(addr) => {
+            let server = share::engine::serve_metrics(Arc::clone(&engine), addr)
+                .map_err(|e| format!("bind metrics {addr}: {e}"))?;
+            eprintln!("share-engine metrics on http://{}/", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
     if let Some(addr) = args.options.get("tcp") {
         let server =
             serve_tcp(Arc::clone(&engine), addr).map_err(|e| format!("bind {addr}: {e}"))?;
@@ -303,6 +318,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             "share-engine serving NDJSON on stdio; send {{\"kind\":\"shutdown\"}} or EOF to stop"
         );
         serve_stdio(&engine);
+    }
+    if let Some(server) = metrics_server {
+        server.stop();
     }
     let stats = engine.shutdown();
     eprintln!("{stats}");
@@ -317,6 +335,13 @@ fn cmd_request(args: &Args) -> Result<(), String> {
         .get("addr")
         .ok_or("--addr HOST:PORT is required")?;
     let mut client = Client::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    if args.has_flag("metrics") {
+        let text = client
+            .metrics_text()
+            .map_err(|e| format!("metrics request: {e}"))?;
+        print!("{text}");
+        return Ok(());
+    }
     let resp = if args.has_flag("stats") {
         client.call(RequestBody::Stats)
     } else if args.has_flag("shutdown") {
@@ -366,10 +391,12 @@ fn cmd_params(args: &Args) -> Result<(), String> {
 
 const USAGE: &str = "usage: share_cli <solve|verify|sweep|trade|params|serve|request> [--m N] \
 [--seed S] [--config file.json] [--json] [--param theta1 --lo .. --hi .. --points ..] \
-[--rounds R --n N] [--tcp ADDR --workers W --queue Q --cache C --tol T] \
-[--addr HOST:PORT --mode direct|mean_field|numeric --deadline-ms MS --stats --shutdown]";
+[--rounds R --n N] [--tcp ADDR --workers W --queue Q --cache C --tol T --metrics-addr ADDR] \
+[--addr HOST:PORT --mode direct|mean_field|numeric --deadline-ms MS --stats --metrics \
+--shutdown] (set SHARE_LOG=debug for tracing on stderr)";
 
 fn run() -> Result<(), String> {
+    share::obs::init_from_env();
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&raw)?;
     match args.command.as_str() {

@@ -16,6 +16,7 @@
 //! | [`ml`] | datasets, linear regression, explained variance — the data product |
 //! | [`datagen`] | synthetic CCPP generation, augmentation, quality scoring, seller partitioning |
 //! | [`numerics`] | dense linear algebra, 1-D optimization, statistics |
+//! | [`obs`] | observability: tracing spans, latency histograms with quantiles, Prometheus text exposition |
 //!
 //! ## Quickstart
 //!
@@ -50,4 +51,5 @@ pub use share_ldp as ldp;
 pub use share_market as market;
 pub use share_ml as ml;
 pub use share_numerics as numerics;
+pub use share_obs as obs;
 pub use share_valuation as valuation;
