@@ -6,10 +6,12 @@
 //!   request after the first is served from the equilibrium cache. The gap
 //!   is the whole value proposition of caching equilibria.
 //! - `engine_workers`: drains a batch of 16 distinct numerical solves
-//!   through pools of 1 vs 4 workers.
+//!   through pools of 1, 4 and 8 workers via `Engine::solve_batch` — the
+//!   same fan-out the NDJSON `batch` request takes.
+//! - `engine_cache_shards`: pure warm-hit replay against a single-lock
+//!   (1-shard) and an 8-shard cache.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use crossbeam::channel::bounded;
 use share_engine::{Engine, EngineConfig, SolveMode, SolveSpec};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,7 +52,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_workers");
     g.sample_size(10);
     const JOBS: usize = 16;
-    for &workers in &[1usize, 4] {
+    for &workers in &[1usize, 4, 8] {
         let engine = Engine::start(EngineConfig {
             workers,
             queue_capacity: 64,
@@ -61,17 +63,14 @@ fn bench_worker_scaling(c: &mut Criterion) {
             &engine,
             |b, engine| {
                 b.iter(|| {
-                    let (tx, rx) = bounded(JOBS);
-                    for i in 0..JOBS {
-                        // Distinct markets: no caching or dedup, pure solving.
-                        let spec = SolveSpec::seeded(50, fresh_seed(), SolveMode::Numeric);
-                        engine.submit(i as u64, &spec, &tx);
-                    }
-                    drop(tx);
-                    let replies: Vec<_> = rx.iter().collect();
-                    assert_eq!(replies.len(), JOBS);
-                    for reply in &replies {
-                        assert!(reply.result.is_ok());
+                    // Distinct markets: no caching or dedup, pure solving.
+                    let specs: Vec<SolveSpec> = (0..JOBS)
+                        .map(|_| SolveSpec::seeded(50, fresh_seed(), SolveMode::Numeric))
+                        .collect();
+                    let results = engine.solve_batch(&specs);
+                    assert_eq!(results.len(), JOBS);
+                    for result in &results {
+                        assert!(result.is_ok());
                     }
                 });
             },
@@ -80,5 +79,38 @@ fn bench_worker_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cold_vs_warm, bench_worker_scaling);
+fn bench_cache_shards(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_cache_shards");
+    g.sample_size(20);
+    const MARKETS: usize = 32;
+    for &shards in &[1usize, 8] {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            cache_capacity: 64,
+            cache_shards: shards,
+            ..EngineConfig::default()
+        });
+        let specs: Vec<SolveSpec> = (0..MARKETS)
+            .map(|i| SolveSpec::seeded(50, i as u64, SolveMode::Direct))
+            .collect();
+        for spec in &specs {
+            engine.request(spec).unwrap();
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(shards), &engine, |b, engine| {
+            b.iter(|| {
+                for spec in &specs {
+                    black_box(engine.request(spec).unwrap());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cold_vs_warm,
+    bench_worker_scaling,
+    bench_cache_shards
+);
 criterion_main!(benches);

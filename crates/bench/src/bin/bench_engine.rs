@@ -4,6 +4,7 @@
 //! ```sh
 //! cargo run -p share-bench --release --bin bench_engine
 //! cargo run -p share-bench --release --bin bench_engine -- --markets 200 --m 400
+//! cargo run -p share-bench --release --bin bench_engine -- --smoke
 //! ```
 //!
 //! The run drives an in-process engine through a **cold** pass (every
@@ -14,6 +15,12 @@
 //! from the solver's tracing spans via a `MemorySubscriber` — the same
 //! span stream `SHARE_LOG=debug` prints — so the figures in the artifact
 //! are exactly what the instrumentation reports in production.
+//!
+//! Two scaling sections follow: **cache_scaling** replays pure warm hits
+//! from several reader threads against a single-lock (1-shard) and a
+//! sharded cache, and **batch_fanout** times one `batch` request's fan-out
+//! across 1/4/8 workers. `--smoke` shrinks every dimension so CI can run
+//! the full code path in seconds.
 //!
 //! Output: `bench_results/BENCH_engine.json`.
 
@@ -58,6 +65,25 @@ struct StageSummary {
     mean_ns: f64,
 }
 
+/// Warm-hit throughput with several reader threads at one shard count.
+#[derive(Debug, Serialize)]
+struct CacheScalingEntry {
+    shards: usize,
+    reader_threads: usize,
+    hits: u64,
+    elapsed_ns: u64,
+    hits_per_sec: f64,
+}
+
+/// Wall-clock of one cold `batch` fan-out at a worker-pool size.
+#[derive(Debug, Serialize)]
+struct BatchFanoutEntry {
+    workers: usize,
+    batch: usize,
+    elapsed_ns: u64,
+    requests_per_sec: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     /// Distinct markets in each pass.
@@ -66,6 +92,8 @@ struct BenchReport {
     m: usize,
     solve_mode: &'static str,
     workers: usize,
+    /// Whether the shrunken CI dimensions were used.
+    smoke: bool,
     cold: LatencySummary,
     warm: LatencySummary,
     /// Cache speedup: cold mean service time over warm mean service time.
@@ -73,8 +101,114 @@ struct BenchReport {
     stage1: StageSummary,
     stage2: StageSummary,
     stage3: StageSummary,
+    /// Single-lock (1 shard) vs sharded warm-hit throughput.
+    cache_scaling: Vec<CacheScalingEntry>,
+    /// Batch fan-out throughput at 1/4/8 workers.
+    batch_fanout: Vec<BatchFanoutEntry>,
     /// Final engine counters, as served by the `stats` wire request.
     stats: share_engine::StatsSnapshot,
+}
+
+fn ns(d: std::time::Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Warm a cache with `markets` entries, then replay pure hits from
+/// `reader_threads` threads, once per shard count: the single-lock baseline
+/// against the hash-partitioned cache under identical load.
+fn bench_cache_scaling(markets: usize, m: usize, rounds: usize) -> Vec<CacheScalingEntry> {
+    let reader_threads = 4;
+    [1usize, 8]
+        .iter()
+        .map(|&shards| {
+            let engine = Arc::new(Engine::start(EngineConfig {
+                workers: 2,
+                queue_capacity: markets.max(16),
+                cache_capacity: markets.max(16),
+                cache_shards: shards,
+                ..EngineConfig::default()
+            }));
+            let specs: Vec<SolveSpec> = (0..markets)
+                .map(|i| SolveSpec::seeded(m, 5000 + i as u64, SolveMode::Direct))
+                .collect();
+            for spec in &specs {
+                engine.request(spec).expect("warm-up solve");
+            }
+            let specs = Arc::new(specs);
+            let t0 = Instant::now();
+            let readers: Vec<_> = (0..reader_threads)
+                .map(|_| {
+                    let engine = Arc::clone(&engine);
+                    let specs = Arc::clone(&specs);
+                    std::thread::spawn(move || {
+                        for _ in 0..rounds {
+                            for spec in specs.iter() {
+                                engine.request(spec).expect("warm hit");
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for r in readers {
+                r.join().expect("reader thread");
+            }
+            let elapsed = t0.elapsed();
+            engine.shutdown();
+            let hits = (reader_threads * rounds * markets) as u64;
+            let entry = CacheScalingEntry {
+                shards,
+                reader_threads,
+                hits,
+                elapsed_ns: ns(elapsed),
+                hits_per_sec: hits as f64 / elapsed.as_secs_f64().max(1e-9),
+            };
+            println!(
+                "cache scaling: {} shard(s), {} readers, {:.0} hits/s",
+                entry.shards, entry.reader_threads, entry.hits_per_sec
+            );
+            entry
+        })
+        .collect()
+}
+
+/// Time one cold batch fan-out per worker-pool size. Every pool gets its
+/// own engine and a disjoint seed range, so each batch pays full solves.
+fn bench_batch_fanout(batch: usize, m: usize) -> Vec<BatchFanoutEntry> {
+    [1usize, 4, 8]
+        .iter()
+        .map(|&workers| {
+            let engine = Engine::start(EngineConfig {
+                workers,
+                queue_capacity: batch.max(16),
+                cache_capacity: batch.max(16),
+                ..EngineConfig::default()
+            });
+            let specs: Vec<SolveSpec> = (0..batch)
+                .map(|i| {
+                    SolveSpec::seeded(m, (100_000 * workers + 9000 + i) as u64, SolveMode::Direct)
+                })
+                .collect();
+            let t0 = Instant::now();
+            let results = engine.solve_batch(&specs);
+            let elapsed = t0.elapsed();
+            engine.shutdown();
+            assert!(
+                results.iter().all(Result::is_ok),
+                "batch failures at {workers} workers"
+            );
+            let entry = BatchFanoutEntry {
+                workers,
+                batch,
+                elapsed_ns: ns(elapsed),
+                requests_per_sec: batch as f64 / elapsed.as_secs_f64().max(1e-9),
+            };
+            println!(
+                "batch fan-out: {} worker(s), batch {}, {:.0} req/s",
+                entry.workers, entry.batch, entry.requests_per_sec
+            );
+            entry
+        })
+        .collect()
 }
 
 fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
@@ -87,9 +221,12 @@ fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let markets = arg_usize(&args, "--markets", 64);
-    let m = arg_usize(&args, "--m", 200);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let markets = arg_usize(&args, "--markets", if smoke { 16 } else { 64 });
+    let m = arg_usize(&args, "--m", if smoke { 50 } else { 200 });
     let workers = arg_usize(&args, "--workers", 2);
+    let rounds = arg_usize(&args, "--rounds", if smoke { 5 } else { 50 });
+    let batch = arg_usize(&args, "--batch", if smoke { 32 } else { 100 });
 
     // Capture the solver's stage spans in memory; the filter keeps the
     // stream limited to what the stage aggregation needs.
@@ -168,17 +305,26 @@ fn main() {
     );
     assert_eq!(stage1.spans as usize, markets, "one stage1 span per solve");
 
+    // The scaling sections run their own engines; keep the span sink quiet
+    // so their solves don't skew the per-stage aggregates above.
+    share_obs::set_filter(EnvFilter::off());
+    let cache_scaling = bench_cache_scaling(markets, m, rounds);
+    let batch_fanout = bench_batch_fanout(batch, m);
+
     let report = BenchReport {
         markets,
         m,
         solve_mode: "direct",
         workers,
+        smoke,
         cold_over_warm_mean: cold.mean_ns / warm.mean_ns.max(1.0),
         cold,
         warm,
         stage1,
         stage2,
         stage3,
+        cache_scaling,
+        batch_fanout,
         stats,
     };
     let path = results_dir().join("BENCH_engine.json");

@@ -1,12 +1,23 @@
-//! A small LRU cache for solved equilibria.
+//! Equilibrium caches: a small single-threaded LRU plus the sharded
+//! concurrent cache the engine serves from.
 //!
-//! Capacity-bounded map with least-recently-used eviction. Recency is a
-//! monotonic tick bumped on every hit; eviction scans for the minimum tick,
-//! which is O(capacity) but irrelevant next to a solve (the cache holds at
-//! most a few thousand entries and eviction happens once per insertion).
+//! [`LruCache`] is a capacity-bounded map with least-recently-used
+//! eviction. Recency is a monotonic tick bumped on every hit and insert
+//! (misses leave it untouched); eviction scans for the minimum tick, which
+//! is O(capacity) but irrelevant next to a solve (a shard holds at most a
+//! few thousand entries and eviction happens once per insertion).
+//!
+//! [`ShardedCache`] hash-partitions keys across `N` independently locked
+//! LRU shards so concurrent submission threads and workers contend only
+//! when they touch the same shard, instead of serializing on one global
+//! mutex. Shard choice is deterministic (`SipHash` with fixed keys), so a
+//! key always lands on the same shard and per-shard LRU order is exactly
+//! the single-cache order restricted to that shard.
 
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 
 struct Entry<V> {
     value: V,
@@ -30,14 +41,19 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
         }
     }
 
-    /// Look up `key`, refreshing its recency on a hit.
+    /// Look up `key`, refreshing its recency on a hit. A miss leaves the
+    /// recency tick untouched: an earlier version bumped it on every
+    /// lookup, so miss-heavy traffic burned through tick space without
+    /// changing any entry's relative order.
     pub fn get(&mut self, key: &K) -> Option<V> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(key).map(|e| {
-            e.tick = tick;
-            e.value.clone()
-        })
+        match self.map.get_mut(key) {
+            Some(e) => {
+                self.tick += 1;
+                e.tick = self.tick;
+                Some(e.value.clone())
+            }
+            None => None,
+        }
     }
 
     /// Insert (or overwrite) `key`, evicting the least-recently-used entry
@@ -66,6 +82,72 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+}
+
+/// A concurrent LRU cache: keys are hash-partitioned across independently
+/// locked [`LruCache`] shards.
+///
+/// The total capacity is split evenly across shards (each shard gets
+/// `ceil(capacity / shards)`, minimum 1), so a pathological key
+/// distribution can evict slightly earlier than a single cache of the
+/// same capacity would — the price of lock-splitting the hot path.
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<LruCache<K, V>>>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
+    /// Create a cache of `capacity` total entries split across `shards`
+    /// independently locked LRU shards (both clamped to at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.max(1).div_ceil(shards);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// The shard `key` deterministically lands on.
+    fn shard(&self, key: &K) -> &Mutex<LruCache<K, V>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let idx = (hasher.finish() % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Look up `key`, refreshing its recency within its shard on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().get(key)
+    }
+
+    /// Insert (or overwrite) `key`, evicting its shard's least-recently-
+    /// used entry if that shard is full.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key).lock().insert(key, value);
+    }
+
+    /// Total resident entries across all shards. Takes the shard locks one
+    /// at a time, so the sum is a consistent-enough snapshot, not an
+    /// atomic one.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Resident entries per shard, in shard order (for stats and tests).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().len()).collect()
     }
 }
 
@@ -115,5 +197,82 @@ mod tests {
         assert_eq!(c.get(&1), Some(10));
         c.insert(2, 20);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn misses_do_not_advance_recency() {
+        // Regression: `get` used to bump the tick on misses too, so a
+        // miss-heavy interleaving burned tick space between legitimate
+        // recency updates. Eviction order must be driven by hits and
+        // inserts alone, no matter how many misses land in between.
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        // Touch 1 so 2 is LRU, then hammer misses.
+        assert_eq!(c.get(&1), Some(10));
+        for probe in 100..1100 {
+            assert_eq!(c.get(&probe), None);
+        }
+        // After 1000 interleaved misses, inserting a new key must still
+        // evict 2 (the least recently *hit* entry), not 1.
+        c.insert(3, 30);
+        assert_eq!(c.get(&2), None, "LRU entry must be evicted after misses");
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+    }
+
+    #[test]
+    fn sharded_basic_hit_miss_len() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(64, 8);
+        assert!(c.is_empty());
+        assert_eq!(c.shards(), 8);
+        for k in 0..32 {
+            c.insert(k, k * 10);
+        }
+        assert_eq!(c.len(), 32);
+        for k in 0..32 {
+            assert_eq!(c.get(&k), Some(k * 10));
+        }
+        assert_eq!(c.get(&999), None);
+        assert_eq!(c.shard_lens().iter().sum::<usize>(), 32);
+    }
+
+    #[test]
+    fn sharded_clamps_degenerate_config() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(0, 0);
+        assert_eq!(c.shards(), 1);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(c.len(), 1, "capacity 0 clamps to 1 entry");
+    }
+
+    #[test]
+    fn sharded_capacity_splits_across_shards() {
+        // 4 shards × ceil(8/4) = 2 entries per shard. Whatever the key
+        // distribution, no shard exceeds its slice and the total stays
+        // within shards × per-shard capacity.
+        let c: ShardedCache<u32, u32> = ShardedCache::new(8, 4);
+        for k in 0..1000 {
+            c.insert(k, k);
+        }
+        assert!(c.len() <= 8, "len {} exceeds total capacity", c.len());
+        for (i, len) in c.shard_lens().into_iter().enumerate() {
+            assert!(len <= 2, "shard {i} holds {len} > 2 entries");
+        }
+    }
+
+    #[test]
+    fn sharded_same_key_same_shard() {
+        // Overwrites must land on the resident entry, not a second shard.
+        let c: ShardedCache<u64, u64> = ShardedCache::new(100, 16);
+        for round in 0..5u64 {
+            for k in 0..20u64 {
+                c.insert(k, k + round);
+            }
+        }
+        assert_eq!(c.len(), 20);
+        for k in 0..20u64 {
+            assert_eq!(c.get(&k), Some(k + 4));
+        }
     }
 }

@@ -1,5 +1,5 @@
-//! The serving engine: bounded job queue, worker pool, equilibrium cache
-//! and in-flight request deduplication.
+//! The serving engine: bounded job queue, worker pool, sharded equilibrium
+//! cache and in-flight request deduplication.
 //!
 //! Life of a request (see [`Engine::submit`]):
 //!
@@ -14,7 +14,7 @@
 //! Workers drain the queue, honor per-request deadlines, publish solutions
 //! to the cache and fan replies out to every attached waiter.
 
-use crate::cache::LruCache;
+use crate::cache::ShardedCache;
 use crate::error::{EngineError, Result};
 use crate::metrics::{Metrics, StatsSnapshot};
 use crate::quantize::{quantize, CacheKey, QuantizerConfig};
@@ -44,8 +44,12 @@ pub struct EngineConfig {
     /// Bounded job-queue capacity; submissions beyond it are rejected with
     /// [`EngineError::Overloaded`].
     pub queue_capacity: usize,
-    /// Equilibrium cache capacity (entries).
+    /// Equilibrium cache capacity (entries), split across `cache_shards`.
     pub cache_capacity: usize,
+    /// Independently locked cache shards. `1` restores the old
+    /// single-mutex cache; more shards let concurrent submitters and
+    /// workers hit the cache without serializing on one lock.
+    pub cache_shards: usize,
     /// Cache-key quantization tolerances.
     pub quantizer: QuantizerConfig,
 }
@@ -58,6 +62,7 @@ impl Default for EngineConfig {
                 .unwrap_or(4),
             queue_capacity: 256,
             cache_capacity: 1024,
+            cache_shards: 8,
             quantizer: QuantizerConfig::default(),
         }
     }
@@ -151,7 +156,7 @@ pub(crate) struct Job {
 pub(crate) struct Shared {
     pub(crate) config: EngineConfig,
     pub(crate) metrics: Metrics,
-    pub(crate) cache: Mutex<LruCache<CacheKey, SolveSummary>>,
+    pub(crate) cache: ShardedCache<CacheKey, SolveSummary>,
     pub(crate) inflight: Mutex<HashMap<CacheKey, Vec<Waiter>>>,
     pub(crate) job_tx: Mutex<Option<Sender<Job>>>,
     pub(crate) closed: AtomicBool,
@@ -166,6 +171,41 @@ impl Shared {
             result,
         });
     }
+
+    /// Debug-build enforcement of the quantizer's soundness contract
+    /// ([`QuantizerConfig::price_tol`]): a cache-served equilibrium must
+    /// price the *requested* market within `price_tol` of a fresh solve.
+    /// Release builds skip the extra solve; debug builds (tests, CI) fail
+    /// loudly on any violation instead of silently serving a wrong price.
+    #[cfg(debug_assertions)]
+    pub(crate) fn debug_verify_price_tol(
+        &self,
+        params: &MarketParams,
+        mode: SolveMode,
+        hit: &SolveSummary,
+    ) {
+        use share_market::solver::{solve, solve_mean_field, solve_numeric};
+        let fresh = match mode {
+            SolveMode::Direct => solve(params),
+            SolveMode::MeanField => solve_mean_field(params),
+            SolveMode::Numeric => solve_numeric(params),
+        };
+        // A market that no longer solves cannot violate a price bound.
+        let Ok(sol) = fresh else { return };
+        let tol = self.config.quantizer.price_tol;
+        debug_assert!(
+            (sol.p_m - hit.p_m).abs() < tol,
+            "price_tol contract violated: cached p_m {} vs fresh {} (tol {tol})",
+            hit.p_m,
+            sol.p_m
+        );
+        debug_assert!(
+            (sol.p_d - hit.p_d).abs() < tol,
+            "price_tol contract violated: cached p_d {} vs fresh {} (tol {tol})",
+            hit.p_d,
+            sol.p_d
+        );
+    }
 }
 
 /// The concurrent market-serving engine.
@@ -179,13 +219,14 @@ impl Engine {
     pub fn start(config: EngineConfig) -> Self {
         let (job_tx, job_rx) = bounded::<Job>(config.queue_capacity.max(1));
         let shared = Arc::new(Shared {
-            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
             inflight: Mutex::new(HashMap::new()),
             job_tx: Mutex::new(Some(job_tx)),
             closed: AtomicBool::new(false),
             metrics: Metrics::new(),
             config,
         });
+        shared.metrics.set_cache_shards(shared.cache.shards());
         let workers = (0..shared.config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -201,7 +242,8 @@ impl Engine {
             "engine_started",
             "workers" => shared.config.workers,
             "queue_capacity" => shared.config.queue_capacity,
-            "cache_capacity" => shared.config.cache_capacity
+            "cache_capacity" => shared.config.cache_capacity,
+            "cache_shards" => shared.cache.shards()
         );
         Self {
             shared,
@@ -246,9 +288,11 @@ impl Engine {
         };
         let key = quantize(&params, spec.mode, shared.config.quantizer.param_tol);
 
-        if let Some(mut hit) = shared.cache.lock().get(&key) {
+        if let Some(mut hit) = shared.cache.get(&key) {
             shared.metrics.inc_cache_hits();
             share_obs::obs_debug!(target: TARGET, "cache_hit", "id" => id, "m" => hit.m);
+            #[cfg(debug_assertions)]
+            shared.debug_verify_price_tol(&params, spec.mode, &hit);
             hit.cached = true;
             shared.reply(&waiter, Ok(hit));
             return;
@@ -320,6 +364,35 @@ impl Engine {
         rx.recv().map_err(|_| EngineError::ShuttingDown)?.result
     }
 
+    /// Solve a batch: fan every sub-request across the worker pool
+    /// concurrently, block until all replies arrive, and return one result
+    /// per spec **in submission order**. Sub-requests keep their individual
+    /// semantics — cache hits answer immediately, identical in-flight
+    /// specs coalesce, per-item deadlines are honored, and a full queue
+    /// rejects the overflow with [`EngineError::Overloaded`] rather than
+    /// stalling the rest of the batch.
+    pub fn solve_batch(&self, specs: &[SolveSpec]) -> Vec<Result<SolveSummary>> {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let (tx, rx) = bounded::<Reply>(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            self.submit(i as u64, spec, &tx);
+        }
+        drop(tx);
+        // Replies arrive in completion order; slot them back by id. The
+        // channel disconnects once every waiter has been answered and
+        // dropped, so this drains without counting.
+        let mut results: Vec<Result<SolveSummary>> =
+            vec![Err(EngineError::ShuttingDown); specs.len()];
+        for reply in rx {
+            if let Some(slot) = results.get_mut(reply.id as usize) {
+                *slot = reply.result;
+            }
+        }
+        results
+    }
+
     /// Point-in-time metrics snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.metrics.snapshot()
@@ -328,8 +401,9 @@ impl Engine {
     /// Render every engine metric as a Prometheus text exposition (0.0.4),
     /// refreshing the cache-size gauge first.
     pub fn render_prometheus(&self) -> String {
-        let entries = self.shared.cache.lock().len();
-        self.shared.metrics.set_cache_entries(entries);
+        self.shared
+            .metrics
+            .set_cache_entries(self.shared.cache.len());
         self.shared.metrics.render_prometheus()
     }
 

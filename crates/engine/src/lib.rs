@@ -13,8 +13,8 @@
 //! |--------|------|
 //! | [`spec`] | request specs: seeded or explicit markets, solver mode, deadline |
 //! | [`quantize`] | tolerance-bucketed cache keys so near-identical markets coalesce |
-//! | [`cache`] | LRU equilibrium cache |
-//! | [`engine`] | worker pool, bounded job queue, in-flight dedup, backpressure |
+//! | [`cache`] | sharded concurrent LRU equilibrium cache |
+//! | [`engine`] | worker pool, bounded job queue, in-flight dedup, backpressure, batch fan-out |
 //! | [`metrics`] | counters, gauges and latency histograms (p50/p90/p99/p99.9) with Prometheus exposition |
 //! | [`protocol`] | newline-delimited JSON wire protocol (solve/batch/stats/metrics/ping/shutdown) |
 //! | [`server`] | stdio and TCP servers with graceful shutdown, plus a Prometheus scrape listener |
@@ -52,6 +52,7 @@ pub mod server;
 pub mod spec;
 mod worker;
 
+pub use cache::{LruCache, ShardedCache};
 pub use client::Client;
 pub use engine::{Engine, EngineConfig, Reply, SolveSummary};
 pub use error::{EngineError, Result};

@@ -39,6 +39,7 @@ pub struct Metrics {
     queue_depth: Arc<Gauge>,
     inflight_solves: Arc<Gauge>,
     cache_entries: Arc<Gauge>,
+    cache_shards: Arc<Gauge>,
     uptime_seconds: Arc<Gauge>,
     cache_hit_ratio: Arc<Gauge>,
 
@@ -109,8 +110,14 @@ impl Metrics {
             "share_inflight_solves",
             "Solver runs currently executing on workers.",
         );
-        let cache_entries =
-            registry.gauge("share_cache_entries", "Entries in the equilibrium cache.");
+        let cache_entries = registry.gauge(
+            "share_cache_entries",
+            "Entries in the equilibrium cache (all shards).",
+        );
+        let cache_shards = registry.gauge(
+            "share_cache_shards",
+            "Independently locked shards in the equilibrium cache.",
+        );
         let uptime_seconds =
             registry.gauge("share_uptime_seconds", "Seconds since the engine started.");
         let cache_hit_ratio = registry.gauge(
@@ -173,6 +180,7 @@ impl Metrics {
             queue_depth,
             inflight_solves,
             cache_entries,
+            cache_shards,
             uptime_seconds,
             cache_hit_ratio,
             service_latency,
@@ -236,9 +244,15 @@ impl Metrics {
     pub fn inflight_dec(&self) {
         self.inflight_solves.dec();
     }
-    /// Refresh the cache-size gauge (called with the cache lock's `len`).
+    /// Refresh the cache-size gauge (called with the sharded cache's
+    /// aggregate `len`).
     pub fn set_cache_entries(&self, entries: usize) {
         self.cache_entries.set(entries as f64);
+    }
+
+    /// Record the (static) shard count of the equilibrium cache.
+    pub fn set_cache_shards(&self, shards: usize) {
+        self.cache_shards.set(shards as f64);
     }
 
     /// Record one request's service latency (submission to reply).
@@ -477,6 +491,7 @@ mod tests {
         m.queue_depth_inc();
         m.queue_depth_dec(Duration::from_micros(7));
         m.set_cache_entries(12);
+        m.set_cache_shards(8);
 
         let text = m.render_prometheus();
         let stats = share_obs::prometheus::validate_exposition(&text).expect("valid exposition");
@@ -485,6 +500,7 @@ mod tests {
         assert!(text.contains("# TYPE share_requests_total counter"));
         assert!(text.contains("share_requests_total 1"));
         assert!(text.contains("share_cache_entries 12"));
+        assert!(text.contains("share_cache_shards 8"));
         assert!(text.contains("share_request_latency_seconds_bucket"));
         assert!(text.contains("share_solve_latency_seconds_bucket{mode=\"numeric\""));
         assert!(text.contains("share_solver_stage_seconds_bucket{stage=\"stage1\""));

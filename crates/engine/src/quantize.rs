@@ -46,9 +46,14 @@ pub struct CacheKey {
 
 impl CacheKey {
     /// Seller count encoded in this key (each seller contributes a λ and an
-    /// ω bucket after the 11 buyer/broker buckets).
-    pub fn m(&self) -> usize {
-        (self.buckets.len() - 11) / 2
+    /// ω bucket after the 11 buyer/broker buckets), or `None` for a
+    /// malformed key with fewer than the 11 fixed buckets. An earlier
+    /// version subtracted unchecked and panicked on underflow.
+    pub fn m(&self) -> Option<usize> {
+        self.buckets
+            .len()
+            .checked_sub(11)
+            .map(|sellers| sellers / 2)
     }
 }
 
@@ -99,7 +104,37 @@ mod tests {
         let a = quantize(&p, SolveMode::Direct, 1e-6);
         let b = quantize(&p.clone(), SolveMode::Direct, 1e-6);
         assert_eq!(a, b);
-        assert_eq!(a.m(), 10);
+        assert_eq!(a.m(), Some(10));
+    }
+
+    #[test]
+    fn short_keys_report_no_seller_count_instead_of_panicking() {
+        // Regression: `m()` underflowed (and panicked) for keys with fewer
+        // than the 11 fixed buyer/broker buckets. Such keys cannot come
+        // out of `quantize` on a validated market, but a malformed or
+        // hand-built key must degrade to `None`, not abort the process.
+        let short = CacheKey {
+            mode: SolveMode::Direct,
+            loss_model: LossModel::Quadratic,
+            n_pieces: 500,
+            buckets: vec![0; 3],
+        };
+        assert_eq!(short.m(), None);
+        let empty = CacheKey {
+            mode: SolveMode::Direct,
+            loss_model: LossModel::Quadratic,
+            n_pieces: 500,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.m(), None);
+        // Exactly the fixed buckets: zero sellers, not a panic.
+        let fixed_only = CacheKey {
+            mode: SolveMode::Direct,
+            loss_model: LossModel::Quadratic,
+            n_pieces: 500,
+            buckets: vec![0; 11],
+        };
+        assert_eq!(fixed_only.m(), Some(0));
     }
 
     #[test]

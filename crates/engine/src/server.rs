@@ -18,7 +18,7 @@
 use crate::engine::{Engine, Reply};
 use crate::protocol::{encode_response, parse_request, RequestBody, ResponseBody, WireResponse};
 use crate::spec::SolveSpec;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -40,25 +40,24 @@ fn handle_batch(
     requests: Vec<SolveSpec>,
     resp_tx: &Sender<WireResponse>,
 ) {
-    if requests.is_empty() {
-        let _ = resp_tx.send(WireResponse {
-            id,
-            body: ResponseBody::Batch {
-                results: Vec::new(),
-            },
-        });
-        return;
-    }
-    let (tx, rx) = bounded::<Reply>(requests.len());
-    for (i, spec) in requests.iter().enumerate() {
-        engine.submit(i as u64, spec, &tx);
-    }
-    drop(tx);
+    let engine = Arc::clone(engine);
     let resp_tx = resp_tx.clone();
-    // Collect off-thread so slow solves don't block the request reader.
+    // Fan out and collect off-thread so the reader keeps draining pipelined
+    // requests while the batch is in flight. `solve_batch` spreads the
+    // sub-requests across the whole worker pool and hands back the results
+    // in submission order, so each inner response's `id` is its position.
     thread::spawn(move || {
-        let mut results: Vec<WireResponse> = rx.iter().map(WireResponse::from_reply).collect();
-        results.sort_by_key(|r| r.id);
+        let results: Vec<WireResponse> = engine
+            .solve_batch(&requests)
+            .into_iter()
+            .enumerate()
+            .map(|(i, result)| {
+                WireResponse::from_reply(Reply {
+                    id: i as u64,
+                    result,
+                })
+            })
+            .collect();
         let _ = resp_tx.send(WireResponse {
             id,
             body: ResponseBody::Batch { results },

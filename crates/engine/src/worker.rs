@@ -88,13 +88,15 @@ fn process(shared: &Shared, job: Job) {
     }
 
     // A racing submission may have solved this key already (miss-then-queue
-    // happens outside the cache lock); answer from the cache if so.
-    let cached = shared.cache.lock().get(&job.key);
+    // happens outside the cache locks); answer from the cache if so.
+    let cached = shared.cache.get(&job.key);
     let result = match cached {
         Some(mut hit) => {
             // The job's originating request ends up cache-served after all;
             // count it so the per-request accounting stays exhaustive.
             shared.metrics.inc_cache_hits();
+            #[cfg(debug_assertions)]
+            shared.debug_verify_price_tol(&job.params, job.mode, &hit);
             hit.cached = true;
             Ok(hit)
         }
@@ -102,7 +104,7 @@ fn process(shared: &Shared, job: Job) {
             let result = run_solver(shared, &job.params, job.mode);
             if let Ok(summary) = &result {
                 shared.metrics.inc_solves();
-                shared.cache.lock().insert(job.key.clone(), summary.clone());
+                shared.cache.insert(job.key.clone(), summary.clone());
             }
             result
         }

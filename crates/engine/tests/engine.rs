@@ -8,7 +8,7 @@
 use crossbeam::channel::bounded;
 use share_engine::{
     serve_metrics, serve_tcp, Client, Engine, EngineConfig, EngineError, RequestBody, ResponseBody,
-    SolveMode, SolveSpec,
+    ShardedCache, SolveMode, SolveSpec,
 };
 use std::sync::Arc;
 
@@ -241,6 +241,134 @@ fn metrics_http_endpoint_serves_exposition() {
     share_obs::prometheus::validate_exposition(body).expect("valid exposition");
     assert!(body.contains("share_requests_total 1"), "{body}");
     server.stop();
+}
+
+#[test]
+fn sharded_cache_survives_concurrent_stress() {
+    // 8 threads hammer disjoint key ranges, then every thread reads back
+    // both its own keys and a neighbor's: no insert may be lost and no hit
+    // may return another key's value. Capacity exceeds the total insert
+    // count so eviction cannot explain a miss.
+    let cache = Arc::new(ShardedCache::<u64, u64>::new(8192, 8));
+    let threads: Vec<_> = (0..8u64)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let key = t * 1000 + i;
+                    cache.insert(key, key * 3);
+                }
+                // Re-read own range while other threads still write.
+                for i in 0..500u64 {
+                    let key = t * 1000 + i;
+                    assert_eq!(cache.get(&key), Some(key * 3), "lost insert {key}");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(cache.len(), 4000, "inserts lost: {:?}", cache.shard_lens());
+    assert_eq!(cache.shard_lens().iter().sum::<usize>(), cache.len());
+    for key in 0..8000u64 {
+        let expect = (key % 1000 < 500).then_some(key * 3);
+        assert_eq!(cache.get(&key), expect, "key {key}");
+    }
+}
+
+#[test]
+fn solve_batch_preserves_submission_order() {
+    // Distinct market sizes across the batch: each reply slot must carry
+    // the market submitted at that position, whatever order the pool
+    // finished them in.
+    for workers in [1usize, 4] {
+        let engine = Engine::start(config(workers, 256));
+        let specs: Vec<SolveSpec> = (0..32)
+            .map(|i| SolveSpec::seeded(5 + i, i as u64, SolveMode::Direct))
+            .collect();
+        let results = engine.solve_batch(&specs);
+        assert_eq!(results.len(), 32);
+        for (i, r) in results.iter().enumerate() {
+            let summary = r.as_ref().expect("batch item failed");
+            assert_eq!(summary.m, 5 + i, "workers {workers} slot {i}");
+        }
+        engine.shutdown();
+    }
+}
+
+#[test]
+fn solve_batch_on_empty_input_returns_empty() {
+    let engine = Engine::start(config(1, 16));
+    assert!(engine.solve_batch(&[]).is_empty());
+    engine.shutdown();
+}
+
+#[test]
+fn batch_mixing_expired_and_live_deadlines_answers_each_correctly() {
+    // Alternate already-expired (0 ms) and generous deadlines over distinct
+    // markets: expired slots must fail with the structured deadline error,
+    // live slots must solve, and neither may leak into the other's slot.
+    let engine = Engine::start(config(2, 256));
+    let specs: Vec<SolveSpec> = (0..16)
+        .map(|i| {
+            let mut spec = SolveSpec::seeded(5 + i, 100 + i as u64, SolveMode::Direct);
+            spec.deadline_ms = Some(if i % 2 == 0 { 0 } else { 60_000 });
+            spec
+        })
+        .collect();
+    let results = engine.solve_batch(&specs);
+    assert_eq!(results.len(), 16);
+    for (i, r) in results.iter().enumerate() {
+        if i % 2 == 0 {
+            assert_eq!(
+                r.as_ref().unwrap_err(),
+                &EngineError::DeadlineExpired,
+                "slot {i} should have expired"
+            );
+        } else {
+            assert_eq!(r.as_ref().expect("live slot failed").m, 5 + i, "slot {i}");
+        }
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.deadline_expired, 8);
+    assert_eq!(stats.solves, 8, "expired jobs must not be solved");
+}
+
+#[test]
+fn cache_shards_splits_entries_and_keeps_hits_exact() {
+    // Same traffic against 1-shard and 8-shard engines: identical results
+    // and identical hit accounting — sharding must be invisible except for
+    // lock spread.
+    let mut summaries = Vec::new();
+    for shards in [1usize, 8] {
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_shards: shards,
+            ..EngineConfig::default()
+        });
+        let mut batch = Vec::new();
+        for seed in 0..12u64 {
+            let spec = SolveSpec::seeded(10, seed, SolveMode::Direct);
+            engine.request(&spec).unwrap();
+            batch.push(spec);
+        }
+        // Revisit every market: all 12 must now be cache hits.
+        let revisit: Vec<f64> = engine
+            .solve_batch(&batch)
+            .into_iter()
+            .map(|r| {
+                let s = r.unwrap();
+                assert!(s.cached);
+                s.p_m
+            })
+            .collect();
+        let stats = engine.shutdown();
+        assert_eq!(stats.cache_hits, 12, "shards {shards}: {stats:?}");
+        summaries.push(revisit);
+    }
+    assert_eq!(summaries[0], summaries[1], "sharding changed results");
 }
 
 #[test]

@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use share_engine::quantize::quantize;
-use share_engine::{QuantizerConfig, SolveMode};
+use share_engine::{Engine, EngineConfig, QuantizerConfig, SolveMode, SolveSpec};
 use share_market::params::{BrokerParams, BuyerParams, LossModel, MarketParams, SellerParams};
 use share_market::solver::solve;
 
@@ -98,6 +98,57 @@ proptest! {
         prop_assert_ne!(
             quantize(&a, SolveMode::Direct, cfg.param_tol),
             quantize(&b, SolveMode::Direct, cfg.param_tol)
+        );
+    }
+
+    /// End-to-end cache-hit soundness: when a perturbed market is served
+    /// from another market's cached entry, the served prices are still
+    /// within `price_tol` of the perturbed market's true equilibrium. This
+    /// drives the whole submit → cache → reply path (and, in debug builds,
+    /// the engine's own `debug_assert!` re-solve on every hit).
+    #[test]
+    fn cache_served_prices_stay_within_price_tol(
+        lambdas in proptest::collection::vec(0.05..1.0f64, 1..6),
+        theta1 in 0.2..0.8f64,
+        eps in proptest::collection::vec(-4e-7..4e-7f64, 7),
+    ) {
+        let cfg = QuantizerConfig::default();
+        let m = lambdas.len();
+        let weights = vec![1.0 / m as f64; m];
+        let a = market_from(&lambdas, &weights, theta1, 0.5);
+        let lambdas_b: Vec<f64> = lambdas
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| l + eps[i])
+            .collect();
+        let b = market_from(&lambdas_b, &weights, theta1 + eps[6], 0.5);
+        prop_assume!(
+            quantize(&a, SolveMode::Direct, cfg.param_tol)
+                == quantize(&b, SolveMode::Direct, cfg.param_tol)
+        );
+
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 16,
+            ..EngineConfig::default()
+        });
+        let first = engine
+            .request(&SolveSpec::explicit(a, SolveMode::Direct))
+            .unwrap();
+        let second = engine
+            .request(&SolveSpec::explicit(b.clone(), SolveMode::Direct))
+            .unwrap();
+        engine.shutdown();
+        prop_assert!(!first.cached && second.cached);
+
+        let fresh = solve(&b).unwrap();
+        prop_assert!(
+            (second.p_m - fresh.p_m).abs() < cfg.price_tol,
+            "cache-served p_m {} vs fresh {}", second.p_m, fresh.p_m
+        );
+        prop_assert!(
+            (second.p_d - fresh.p_d).abs() < cfg.price_tol,
+            "cache-served p_d {} vs fresh {}", second.p_d, fresh.p_d
         );
     }
 

@@ -10,16 +10,27 @@
 //! −1/(6m²)  <  τ̄^DD − τ̄^MF  <  1/m − 2/(3m²)
 //! ```
 
-use crate::error::Result;
+use crate::error::{MarketError, Result};
 use crate::params::MarketParams;
 use crate::stage3::{tau_direct_linear_chi, tau_mean_field};
 use serde::{Deserialize, Serialize};
 use share_valuation::weights::rescale_for_mean_field;
 
 /// The mean-field state `τ̄ = Σ ω_i·τ_i / m` (paper Eq. 21).
-pub fn mean_field_state(weights: &[f64], tau: &[f64]) -> f64 {
+///
+/// # Errors
+/// [`MarketError::SellerCountMismatch`] when `weights` and `tau` disagree
+/// in length. An earlier version zip-truncated silently, so a caller that
+/// passed a short strategy vector got a plausible-looking but wrong τ̄.
+pub fn mean_field_state(weights: &[f64], tau: &[f64]) -> Result<f64> {
+    if weights.len() != tau.len() {
+        return Err(MarketError::SellerCountMismatch {
+            expected: weights.len(),
+            got: tau.len(),
+        });
+    }
     let m = weights.len().max(1) as f64;
-    weights.iter().zip(tau).map(|(w, t)| w * t).sum::<f64>() / m
+    Ok(weights.iter().zip(tau).map(|(w, t)| w * t).sum::<f64>() / m)
 }
 
 /// Theorem 5.1 interval `(lower, upper)` for `τ̄^DD − τ̄^MF` at seller count
@@ -68,8 +79,8 @@ pub fn measure_mean_field_error(params: &MarketParams, p_d: f64) -> Result<MeanF
     scaled.weights = w;
     let dd = tau_direct_linear_chi(&scaled, p_d, 2000, 1e-14)?;
     let mf = tau_mean_field(&scaled, p_d)?;
-    let tau_bar_dd = mean_field_state(&scaled.weights, &dd);
-    let tau_bar_mf = mean_field_state(&scaled.weights, &mf);
+    let tau_bar_dd = mean_field_state(&scaled.weights, &dd)?;
+    let tau_bar_mf = mean_field_state(&scaled.weights, &mf)?;
     let (lower_bound, upper_bound) = theorem51_bounds(scaled.m());
     let max_strategy_gap = dd
         .iter()
@@ -118,8 +129,26 @@ mod tests {
 
     #[test]
     fn mean_field_state_formula() {
-        let s = mean_field_state(&[1.0, 2.0], &[0.5, 0.25]);
+        let s = mean_field_state(&[1.0, 2.0], &[0.5, 0.25]).unwrap();
         assert!((s - (0.5 + 0.5) / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mean_field_state_rejects_mismatched_lengths() {
+        // Regression: mismatched `weights`/`tau` used to zip-truncate into
+        // a silently wrong τ̄; now it is a structured error either way
+        // around.
+        let err = mean_field_state(&[1.0, 2.0, 3.0], &[0.5, 0.25]).unwrap_err();
+        assert!(matches!(
+            err,
+            MarketError::SellerCountMismatch {
+                expected: 3,
+                got: 2
+            }
+        ));
+        assert!(mean_field_state(&[1.0], &[0.5, 0.25]).is_err());
+        // Degenerate but consistent: both empty is a valid (0) state.
+        assert_eq!(mean_field_state(&[], &[]).unwrap(), 0.0);
     }
 
     #[test]

@@ -2,13 +2,17 @@
 //!
 //! Each sweep varies one parameter, re-solves the SNE at every grid point,
 //! and records the strategies `(p^M*, p^D*, τ₁*, τ₂*)` and the profits
-//! `(Φ, Ω, Ψ₁, Ψ₂)` — the two panels of each figure.
+//! `(Φ, Ω, Ψ₁, Ψ₂)` — the two panels of each figure. Grid points are
+//! independent, so sweeps fan out across threads via
+//! [`share_numerics::parallel`]; results come back in grid order either
+//! way.
 
 use crate::error::Result;
 use crate::params::MarketParams;
 use crate::solver::{solve, SneSolution};
 use serde::{Deserialize, Serialize};
 use share_numerics::optimize::grid::linspace;
+use share_numerics::parallel::{auto_threads, try_parallel_map};
 
 /// One grid point of a parameter sweep: the varied value, the equilibrium
 /// strategies and the profits.
@@ -60,17 +64,15 @@ fn run_sweep<F>(
     apply: F,
 ) -> Result<Vec<InfluencePoint>>
 where
-    F: Fn(&mut MarketParams, f64),
+    F: Fn(&mut MarketParams, f64) + Sync,
 {
     let grid = linspace(lo, hi, points.max(2))?;
-    let mut out = Vec::with_capacity(grid.len());
-    for x in grid {
+    try_parallel_map(&grid, auto_threads(grid.len()), |_, &x| {
         let mut params = base.clone();
         apply(&mut params, x);
         let sol = solve(&params)?;
-        out.push(InfluencePoint::from_solution(x, &sol));
-    }
-    Ok(out)
+        Ok(InfluencePoint::from_solution(x, &sol))
+    })
 }
 
 /// Fig. 4: sweep the buyer's dataset-quality concern `θ₁` (with

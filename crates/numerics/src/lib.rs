@@ -4,7 +4,8 @@
 //! stack](https://github.com/share-market/share): dense linear algebra
 //! (row-major [`Matrix`], Cholesky/LU/QR factorizations, least squares),
 //! one-dimensional optimization (golden-section, safeguarded Newton,
-//! bisection, grid scanning) and descriptive statistics.
+//! bisection, grid scanning), descriptive statistics, and chunked
+//! fork-join parallelism over slices ([`parallel`]).
 //!
 //! The crate has **zero dependencies** and is the foundation every other
 //! `share-*` crate builds on. Scope is intentionally narrow: only what the
@@ -35,6 +36,7 @@ pub mod error;
 pub mod lstsq;
 pub mod matrix;
 pub mod optimize;
+pub mod parallel;
 pub mod stats;
 pub mod stats_online;
 pub mod vector;

@@ -1,0 +1,206 @@
+//! Chunked fork-join parallelism over slices.
+//!
+//! One home for the small amount of thread orchestration the workspace
+//! needs: split `n` independent tasks into contiguous chunks, run each
+//! chunk on a scoped `std::thread`, and reassemble the results in input
+//! order. Callers that previously hand-rolled worker splits (Monte-Carlo
+//! Shapley sampling, parameter sweeps, batch solving) all route through
+//! [`parallel_map`] / [`try_parallel_map`] so the splitting, ordering and
+//! panic-propagation logic lives in exactly one place.
+//!
+//! Built on `std::thread::scope` only — no dependencies, no global pool.
+//! A worker panic propagates to the caller when the scope joins, so a bug
+//! in a task closure fails loudly instead of silently dropping results.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// A sensible worker count for `items` independent tasks: the machine's
+/// available parallelism, but never more threads than tasks (and at
+/// least 1).
+pub fn auto_threads(items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(items.max(1))
+}
+
+/// Split `0..len` into `chunks` contiguous ranges whose sizes differ by at
+/// most one, earlier ranges taking the extra elements. `chunks` is clamped
+/// to `1..=max(len, 1)`, so the result is never empty and never contains
+/// an empty range unless `len == 0`.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.clamp(1, len.max(1));
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Map `f` over `items` on up to `threads` scoped worker threads,
+/// returning the results in input order (`f` also receives each item's
+/// index). `threads <= 1`, or fewer than two items, runs inline with no
+/// thread spawned. Panics in `f` propagate to the caller.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let ranges = chunk_ranges(n, threads);
+    let mut chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                scope.spawn(move || {
+                    let start = range.start;
+                    items[range]
+                        .iter()
+                        .enumerate()
+                        .map(|(offset, t)| f(start + offset, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for chunk in &mut chunks {
+        out.append(chunk);
+    }
+    out
+}
+
+/// Fallible [`parallel_map`]: every item runs (errors do not cancel the
+/// other chunks), then the first error in input order is returned.
+///
+/// # Errors
+/// The error `f` produced for the earliest failing item.
+pub fn try_parallel_map<T, R, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    parallel_map(items, threads, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 2, 7, 8, 9, 100] {
+            for chunks in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, chunks);
+                assert!(!ranges.is_empty());
+                assert_eq!(ranges.first().unwrap().start, 0);
+                assert_eq!(ranges.last().unwrap().end, len);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "len {len} chunks {chunks}");
+                    // Earlier chunks are never smaller than later ones.
+                    assert!(w[0].len() >= w[1].len());
+                }
+                // Sizes differ by at most one.
+                let sizes: Vec<usize> = ranges.iter().map(Range::len).collect();
+                let max = sizes.iter().max().unwrap();
+                let min = sizes.iter().min().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn map_preserves_order_and_indices() {
+        let items: Vec<u64> = (0..97).collect();
+        for threads in [1usize, 2, 4, 16] {
+            let out = parallel_map(&items, threads, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 2
+            });
+            let want: Vec<u64> = items.iter().map(|x| x * 2).collect();
+            assert_eq!(out, want, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u32> = vec![];
+        assert!(parallel_map(&none, 8, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[5u32], 8, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = parallel_map(&[1u32, 2, 3], 64, |_, &x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(&items, 8, |_, &x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 1000);
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn try_map_returns_first_error_in_input_order() {
+        let items: Vec<i32> = (0..50).collect();
+        let result: Result<Vec<i32>, String> = try_parallel_map(&items, 4, |_, &x| {
+            if x == 13 || x == 40 {
+                Err(format!("bad {x}"))
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(result.unwrap_err(), "bad 13");
+    }
+
+    #[test]
+    fn try_map_ok_collects_everything() {
+        let items: Vec<i32> = (0..20).collect();
+        let result: Result<Vec<i32>, String> = try_parallel_map(&items, 3, |_, &x| Ok(x + 1));
+        assert_eq!(result.unwrap(), (1..=20).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel_map worker panicked")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        let _ = parallel_map(&items, 4, |_, &x| {
+            assert!(x != 5, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn auto_threads_bounds() {
+        assert_eq!(auto_threads(0), 1);
+        assert_eq!(auto_threads(1), 1);
+        assert!(auto_threads(1_000_000) >= 1);
+        assert!(auto_threads(3) <= 3);
+    }
+}

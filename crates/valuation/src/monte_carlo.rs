@@ -6,8 +6,9 @@
 //! `U(pred_π(i) ∪ {i}) − U(pred_π(i))` is an unbiased draw of her Shapley
 //! value. Features:
 //!
-//! - **parallel sampling** across `threads` workers (crossbeam scoped
-//!   threads, per-worker RNG streams derived from the master seed);
+//! - **parallel sampling** across `threads` workers (chunked scoped
+//!   threads via [`share_numerics::parallel`], per-worker RNG streams
+//!   derived from the master seed);
 //! - **truncation** (TMC-Shapley): once a prefix's utility is within
 //!   `truncation_tol` of the grand-coalition utility, remaining marginals in
 //!   that permutation are recorded as zero, skipping expensive evaluations;
@@ -20,6 +21,7 @@ use crate::utility::CoalitionUtility;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
+use share_numerics::parallel::try_parallel_map;
 
 /// Options for [`shapley_monte_carlo`].
 #[derive(Debug, Clone, Copy)]
@@ -73,28 +75,20 @@ pub fn shapley_monte_carlo<U: CoalitionUtility>(u: &U, opts: McOptions) -> Resul
         sample_worker(u, opts, opts.permutations, &mut rng, &mut acc)?;
         finalize(acc, opts)
     } else {
-        // Split permutations across workers; each gets an independent stream.
+        // Split permutations across workers; each gets an independent RNG
+        // stream keyed by its worker index, so the estimate is deterministic
+        // for a fixed (seed, threads) pair regardless of scheduling.
         let per = opts.permutations / threads;
         let extra = opts.permutations % threads;
-        let results = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
-                let count = per + usize::from(t < extra);
-                handles.push(scope.spawn(move |_| {
-                    let mut rng = StdRng::seed_from_u64(
-                        opts.seed
-                            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)),
-                    );
-                    let mut acc = vec![0.0f64; m];
-                    sample_worker(u, opts, count, &mut rng, &mut acc).map(|()| acc)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shapley worker panicked"))
-                .collect::<Result<Vec<_>>>()
-        })
-        .expect("crossbeam scope panicked")?;
+        let counts: Vec<usize> = (0..threads).map(|t| per + usize::from(t < extra)).collect();
+        let results = try_parallel_map(&counts, threads, |t, &count| {
+            let mut rng = StdRng::seed_from_u64(
+                opts.seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)),
+            );
+            let mut acc = vec![0.0f64; m];
+            sample_worker(u, opts, count, &mut rng, &mut acc).map(|()| acc)
+        })?;
 
         let mut acc = vec![0.0f64; m];
         for part in results {

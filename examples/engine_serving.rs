@@ -12,7 +12,10 @@
 //!    times each; only the first visit of each market pays for a solve;
 //! 3. **deadlines** — a request with `deadline_ms = 0` comes back as a
 //!    structured `deadline_expired` error instead of an answer;
-//! 4. **observability** — a `stats` request reads the counters and latency
+//! 4. **batch fan-out** — one `batch` wire request spreads 16 distinct
+//!    solves across the whole worker pool and returns the results in
+//!    submission order;
+//! 5. **observability** — a `stats` request reads the counters and latency
 //!    quantiles over the wire, the Prometheus scrape endpoint is curled and
 //!    its exposition strictly validated, then a `shutdown` request stops
 //!    the accept loop.
@@ -57,6 +60,9 @@ fn main() {
     let engine = Arc::new(Engine::start(EngineConfig {
         workers: 2,
         queue_capacity: 256,
+        // Hash-partitioned equilibrium cache: 8 independently locked shards
+        // keep warm hits from serializing on one mutex (1 = single lock).
+        cache_shards: 8,
         ..EngineConfig::default()
     }));
     let server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0").expect("bind loopback");
@@ -129,7 +135,32 @@ fn main() {
         other => panic!("expected a deadline error, got {other:?}"),
     }
 
-    // --- 5. Metrics over the wire + graceful shutdown ---------------------
+    // --- 5. Batch: one wire request fans across the worker pool -----------
+    let batch: Vec<SolveSpec> = (0..16)
+        .map(|i| SolveSpec::seeded(20 + i, 900 + i as u64, SolveMode::Direct))
+        .collect();
+    let resp = pipelined
+        .call(RequestBody::Batch {
+            requests: batch.clone(),
+        })
+        .expect("batch");
+    let ResponseBody::Batch { results } = resp.body else {
+        panic!("expected a batch response");
+    };
+    assert_eq!(results.len(), batch.len());
+    for (i, inner) in results.iter().enumerate() {
+        assert_eq!(inner.id as usize, i, "batch reply out of order");
+        let ResponseBody::Solve { result } = &inner.body else {
+            panic!("batch item {i} failed: {inner:?}");
+        };
+        assert_eq!(result.m, 20 + i, "slot {i} answered the wrong market");
+    }
+    println!(
+        "one batch request fanned {} distinct solves across the pool, order preserved",
+        results.len()
+    );
+
+    // --- 6. Metrics over the wire + graceful shutdown ---------------------
     let stats = pipelined.stats().expect("stats");
     println!("\nwire `stats` snapshot:\n{stats}");
     assert!(stats.requests >= 100, "drove {} requests", stats.requests);
@@ -147,7 +178,7 @@ fn main() {
     assert!(stats.latency_p50_us <= stats.latency_p99_us);
     assert!(stats.latency_p99_us <= stats.latency_max_us);
 
-    // --- 6. Prometheus scrape: strict 0.0.4 validation --------------------
+    // --- 7. Prometheus scrape: strict 0.0.4 validation --------------------
     let exposition = scrape(metrics.local_addr());
     let parsed = share::obs::prometheus::validate_exposition(&exposition)
         .expect("exposition must parse under strict validation");

@@ -291,10 +291,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         workers: args.usize_opt("workers", defaults.workers)?,
         queue_capacity: args.usize_opt("queue", defaults.queue_capacity)?,
         cache_capacity: args.usize_opt("cache", defaults.cache_capacity)?,
+        cache_shards: args.usize_opt("cache-shards", defaults.cache_shards)?,
         quantizer,
     };
     if config.workers == 0 {
         return Err("--workers must be at least 1".to_string());
+    }
+    if config.cache_shards == 0 {
+        return Err("--cache-shards must be at least 1".to_string());
     }
     let engine = Arc::new(Engine::start(config));
     // Status goes to stderr: on stdio transport, stdout is the protocol
@@ -391,7 +395,8 @@ fn cmd_params(args: &Args) -> Result<(), String> {
 
 const USAGE: &str = "usage: share_cli <solve|verify|sweep|trade|params|serve|request> [--m N] \
 [--seed S] [--config file.json] [--json] [--param theta1 --lo .. --hi .. --points ..] \
-[--rounds R --n N] [--tcp ADDR --workers W --queue Q --cache C --tol T --metrics-addr ADDR] \
+[--rounds R --n N] [--tcp ADDR --workers W --queue Q --cache C --cache-shards S --tol T \
+--metrics-addr ADDR] \
 [--addr HOST:PORT --mode direct|mean_field|numeric --deadline-ms MS --stats --metrics \
 --shutdown] (set SHARE_LOG=debug for tracing on stderr)";
 
