@@ -19,14 +19,20 @@
 //! Two scaling sections follow: **cache_scaling** replays pure warm hits
 //! from several reader threads against a single-lock (1-shard) and a
 //! sharded cache, and **batch_fanout** times one `batch` request's fan-out
-//! across 1/4/8 workers. `--smoke` shrinks every dimension so CI can run
-//! the full code path in seconds.
+//! across 1/4/8 workers. A **fault_tolerance** section then slams one
+//! batch into an engine running a panic-injecting fault plan with shed and
+//! degrade watermarks armed, and records how the traffic split between
+//! full-fidelity solves, mean-field degraded answers, load-shed
+//! rejections, and worker panics. `--smoke` shrinks every dimension so CI
+//! can run the full code path in seconds.
 //!
 //! Output: `bench_results/BENCH_engine.json`.
 
 use serde::Serialize;
 use share_bench::results_dir;
-use share_engine::{Engine, EngineConfig, SolveMode, SolveSpec};
+use share_engine::{
+    Engine, EngineConfig, EngineError, FaultPlan, ResilienceConfig, SolveMode, SolveSpec,
+};
 use share_obs::{EnvFilter, LogHistogram, MemorySubscriber};
 use std::sync::Arc;
 use std::time::Instant;
@@ -84,6 +90,24 @@ struct BatchFanoutEntry {
     requests_per_sec: f64,
 }
 
+/// How one batch's traffic split when the engine was degrading and
+/// shedding under an injected fault plan.
+#[derive(Debug, Serialize)]
+struct FaultToleranceSummary {
+    batch: usize,
+    /// Requests answered by the requested solver path, full fidelity.
+    full_fidelity: usize,
+    /// Requests answered by the mean-field fallback, tagged with the
+    /// Theorem 5.1 bound.
+    degraded: usize,
+    /// Requests rejected at the shed watermark with `overloaded`.
+    shed: usize,
+    /// Requests lost to an injected worker panic (typed reply, no hang).
+    panicked: usize,
+    worker_restarts: u64,
+    elapsed_ns: u64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     /// Distinct markets in each pass.
@@ -105,6 +129,8 @@ struct BenchReport {
     cache_scaling: Vec<CacheScalingEntry>,
     /// Batch fan-out throughput at 1/4/8 workers.
     batch_fanout: Vec<BatchFanoutEntry>,
+    /// Traffic split under an injected fault plan with shed + degrade armed.
+    fault_tolerance: FaultToleranceSummary,
     /// Final engine counters, as served by the `stats` wire request.
     stats: share_engine::StatsSnapshot,
 }
@@ -211,6 +237,77 @@ fn bench_batch_fanout(batch: usize, m: usize) -> Vec<BatchFanoutEntry> {
         .collect()
 }
 
+/// One shed/degrade scenario: fan a full batch into a 2-worker engine
+/// whose fault plan panics 20% of primary solves, with the degrade
+/// watermark at queue depth 2 and the shed gate at a quarter of the batch.
+/// Every slot must come back as exactly one of: a full-fidelity solve, a
+/// Theorem 5.1-tagged mean-field answer, a typed `overloaded` rejection,
+/// or a typed `worker_panic` — never a hang, never a missing reply.
+fn bench_fault_tolerance(batch: usize, m: usize) -> FaultToleranceSummary {
+    let engine = Engine::start(EngineConfig {
+        workers: 2,
+        queue_capacity: batch.max(16),
+        cache_capacity: batch.max(16),
+        resilience: ResilienceConfig {
+            shed_queue_depth: Some((batch / 4).max(4)),
+            degrade_queue_depth: Some(2),
+            ..ResilienceConfig::default()
+        },
+        faults: Some(FaultPlan::parse("seed=77,panic=0.2").expect("fault plan")),
+        ..EngineConfig::default()
+    });
+    let specs: Vec<SolveSpec> = (0..batch)
+        .map(|i| SolveSpec::seeded(m, 700_000 + i as u64, SolveMode::Direct))
+        .collect();
+    let t0 = Instant::now();
+    let results = engine.solve_batch(&specs);
+    let elapsed = t0.elapsed();
+    let stats = engine.shutdown();
+
+    let (mut full_fidelity, mut degraded, mut shed, mut panicked) = (0, 0, 0, 0);
+    for r in &results {
+        match r {
+            Ok(s) if s.degraded.is_some() => degraded += 1,
+            Ok(_) => full_fidelity += 1,
+            Err(EngineError::Overloaded { .. }) => shed += 1,
+            Err(EngineError::WorkerPanic(_)) => panicked += 1,
+            Err(e) => panic!("unexpected batch outcome under faults: {e}"),
+        }
+    }
+    assert_eq!(
+        full_fidelity + degraded + shed + panicked,
+        batch,
+        "every batch slot must hold exactly one typed outcome"
+    );
+    assert!(
+        degraded > 0,
+        "queue pressure past the watermark must degrade some solves"
+    );
+    for r in results.iter().flatten() {
+        if let Some(info) = &r.degraded {
+            assert!(
+                info.bound_upper > 0.0 && info.bound_lower < 0.0,
+                "degraded replies must carry the Theorem 5.1 bound: {info:?}"
+            );
+        }
+    }
+    let entry = FaultToleranceSummary {
+        batch,
+        full_fidelity,
+        degraded,
+        shed,
+        panicked,
+        worker_restarts: stats.worker_restarts,
+        elapsed_ns: ns(elapsed),
+    };
+    println!(
+        "fault tolerance: batch {} → {} full, {} degraded, {} shed, {} panicked ({} worker restarts)",
+        entry.batch, entry.full_fidelity, entry.degraded, entry.shed, entry.panicked,
+        entry.worker_restarts
+    );
+    entry
+}
+
 fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
     args.iter()
         .position(|a| a == key)
@@ -310,6 +407,7 @@ fn main() {
     share_obs::set_filter(EnvFilter::off());
     let cache_scaling = bench_cache_scaling(markets, m, rounds);
     let batch_fanout = bench_batch_fanout(batch, m);
+    let fault_tolerance = bench_fault_tolerance(batch, m);
 
     let report = BenchReport {
         markets,
@@ -325,6 +423,7 @@ fn main() {
         stage3,
         cache_scaling,
         batch_fanout,
+        fault_tolerance,
         stats,
     };
     let path = results_dir().join("BENCH_engine.json");

@@ -1,35 +1,264 @@
-//! A minimal blocking TCP client for the wire protocol.
+//! A resilient blocking TCP client for the wire protocol.
 //!
 //! Supports both call-and-wait usage ([`Client::call`]) and explicit
 //! pipelining ([`Client::send`] many requests, then [`Client::recv`] the
 //! responses as they stream back, matching on `id`).
+//!
+//! ## Resilience
+//!
+//! - **Socket timeouts**: every stream carries read/write timeouts
+//!   (default 30 s), so a server that dies mid-reply surfaces as a
+//!   `TimedOut`/`WouldBlock` error instead of blocking the caller forever.
+//! - **Retry with backoff**: with a [`RetryPolicy`] configured,
+//!   [`Client::call`] retries transient failures — connection I/O errors,
+//!   `worker_panic`, `deadline_expired`, and `overloaded` (honoring the
+//!   server's `retry_after_ms` hint) — under capped exponential backoff
+//!   with deterministic seeded jitter.
+//! - **Reconnect**: an I/O failure marks the connection dead; the next
+//!   attempt dials the server again (the resolved addresses are kept), so
+//!   a dropped connection costs one retry, not the client.
+//!
+//! Retry activity is visible two ways: [`Client::client_stats`] for
+//! programmatic access, and [`Client::render_prometheus`] for a validated
+//! text exposition (`share_client_retries_total`,
+//! `share_client_reconnects_total`, `share_client_giveups_total`, and the
+//! `share_client_retry_backoff_seconds` histogram).
 
+use crate::fault::splitmix64;
 use crate::metrics::StatsSnapshot;
 use crate::protocol::{RequestBody, ResponseBody, WireRequest, WireResponse};
 use crate::spec::SolveSpec;
+use share_obs::hist::LogHistogram;
+use share_obs::metrics::{Counter, Registry};
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Retry policy for transient failures: capped exponential backoff with
+/// deterministic seeded jitter (attempt `n` sleeps
+/// `min(base·2ⁿ, max)·(1 + jitter·u)` with `u ∈ [0,1)` drawn from `seed`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff growth cap.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]` added on top of the exponential term.
+    pub jitter: f64,
+    /// Seed of the jitter stream — same seed, same backoff schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.2,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to sleep before retry number `attempt` (0-based).
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(2u32.saturating_pow(attempt.min(20)))
+            .min(self.max_backoff);
+        let u = (splitmix64(self.seed ^ (0xB0FF ^ u64::from(attempt)).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 11)
+            as f64
+            / (1u64 << 53) as f64;
+        exp.mul_f64(1.0 + self.jitter.clamp(0.0, 1.0) * u)
+    }
+}
+
+/// Client construction parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientConfig {
+    /// Socket read timeout; `None` restores the old block-forever reads.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout.
+    pub write_timeout: Option<Duration>,
+    /// Retry policy for [`Client::call`]; `None` fails fast on the first
+    /// error (but timeouts still apply).
+    pub retry: Option<RetryPolicy>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            retry: None,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// The default config with the default [`RetryPolicy`] enabled.
+    pub fn with_retries() -> Self {
+        Self {
+            retry: Some(RetryPolicy::default()),
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters of the client's own resilience activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Top-level calls issued through [`Client::call`].
+    pub requests: u64,
+    /// Attempts beyond the first, across all calls.
+    pub retries: u64,
+    /// Times a dead connection was re-dialed.
+    pub reconnects: u64,
+    /// Calls that exhausted their retry budget without success.
+    pub giveups: u64,
+    /// Total time spent sleeping in backoff, in milliseconds.
+    pub backoff_ms_total: u64,
+}
+
+struct ClientMetrics {
+    registry: Registry,
+    retries: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    giveups: Arc<Counter>,
+    backoff: Arc<LogHistogram>,
+}
+
+impl ClientMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let retries = registry.counter(
+            "share_client_retries_total",
+            "Call attempts beyond the first (transient failures retried).",
+        );
+        let reconnects = registry.counter(
+            "share_client_reconnects_total",
+            "Dead connections re-dialed before a retry.",
+        );
+        let giveups = registry.counter(
+            "share_client_giveups_total",
+            "Calls that exhausted the retry budget without success.",
+        );
+        let backoff = registry.histogram(
+            "share_client_retry_backoff_seconds",
+            "Backoff slept before each retry.",
+        );
+        Self {
+            registry,
+            retries,
+            reconnects,
+            giveups,
+            backoff,
+        }
+    }
+}
+
+/// What a failed attempt means for the retry loop.
+enum Attempt {
+    /// Final answer (success or a non-retryable error response).
+    Done(io::Result<WireResponse>),
+    /// Transient wire error; the optional hint is the server's
+    /// `retry_after_ms`.
+    RetryWire(WireResponse, Option<u64>),
+    /// Transient I/O error; the connection is dead and must be re-dialed.
+    RetryIo(io::Error),
+}
+
+/// `true` for I/O failures that a fresh connection can plausibly cure.
+fn io_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
+
+/// Wire error codes worth retrying: the request was fine, the serving
+/// attempt failed.
+fn wire_transient(code: &str) -> bool {
+    matches!(code, "worker_panic" | "overloaded" | "deadline_expired")
+}
 
 /// A connected wire-protocol client.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    config: ClientConfig,
+    /// Resolved server addresses, kept for reconnects.
+    addrs: Vec<SocketAddr>,
+    /// Set when an I/O error poisoned the connection; the next retrying
+    /// call re-dials before sending.
+    dead: bool,
+    stats: ClientStats,
+    metrics: ClientMetrics,
 }
 
 impl Client {
-    /// Connect to a running server.
+    /// Connect with the default config: 30 s socket timeouts, no retries.
     ///
     /// # Errors
     /// Propagates connection I/O errors.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
-        let writer = TcpStream::connect(addr)?;
-        let reader = BufReader::new(writer.try_clone()?);
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with an explicit [`ClientConfig`].
+    ///
+    /// # Errors
+    /// Propagates connection and address-resolution I/O errors.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, config: ClientConfig) -> io::Result<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let (reader, writer) = Self::dial(&addrs, &config)?;
         Ok(Self {
             reader,
             writer,
             next_id: 1,
+            config,
+            addrs,
+            dead: false,
+            stats: ClientStats::default(),
+            metrics: ClientMetrics::new(),
         })
+    }
+
+    fn dial(
+        addrs: &[SocketAddr],
+        config: &ClientConfig,
+    ) -> io::Result<(BufReader<TcpStream>, TcpStream)> {
+        let writer = TcpStream::connect(addrs)?;
+        writer.set_read_timeout(config.read_timeout)?;
+        writer.set_write_timeout(config.write_timeout)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok((reader, writer))
+    }
+
+    /// Drop the (possibly poisoned) connection and dial the server again.
+    /// Any buffered partial line is discarded with the old reader, so the
+    /// stream realigns on a clean line boundary.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let (reader, writer) = Self::dial(&self.addrs, &self.config)?;
+        self.reader = reader;
+        self.writer = writer;
+        self.dead = false;
+        self.stats.reconnects += 1;
+        self.metrics.reconnects.inc();
+        Ok(())
     }
 
     /// Send one request without waiting; returns the id assigned to it.
@@ -49,7 +278,8 @@ impl Client {
     /// Receive the next response line (whatever its id).
     ///
     /// # Errors
-    /// I/O errors, `UnexpectedEof` on a closed connection, `InvalidData` on
+    /// I/O errors (including `TimedOut`/`WouldBlock` once the read timeout
+    /// elapses), `UnexpectedEof` on a closed connection, `InvalidData` on
     /// an unparseable response.
     pub fn recv(&mut self) -> io::Result<WireResponse> {
         let mut line = String::new();
@@ -69,19 +299,87 @@ impl Client {
         }
     }
 
-    /// Send a request and block until *its* response arrives (skipping any
-    /// earlier pipelined responses is the caller's concern — `call` expects
-    /// exclusive use of the connection).
+    /// One send-and-wait attempt, classified for the retry loop.
+    fn attempt(&mut self, body: RequestBody) -> Attempt {
+        if self.dead {
+            if let Err(e) = self.reconnect() {
+                return Attempt::RetryIo(e);
+            }
+        }
+        let once = (|| -> io::Result<WireResponse> {
+            let id = self.send(body)?;
+            loop {
+                let resp = self.recv()?;
+                if resp.id == id {
+                    return Ok(resp);
+                }
+            }
+        })();
+        match once {
+            Err(e) => {
+                self.dead = true;
+                if io_transient(e.kind()) {
+                    Attempt::RetryIo(e)
+                } else {
+                    Attempt::Done(Err(e))
+                }
+            }
+            Ok(resp) => match &resp.body {
+                ResponseBody::Error {
+                    code,
+                    retry_after_ms,
+                    ..
+                } if wire_transient(code) => {
+                    let hint = *retry_after_ms;
+                    Attempt::RetryWire(resp, hint)
+                }
+                _ => Attempt::Done(Ok(resp)),
+            },
+        }
+    }
+
+    /// Send a request and block until *its* response arrives (`call`
+    /// expects exclusive use of the connection). With a [`RetryPolicy`]
+    /// configured, transient failures — I/O errors (the connection is
+    /// re-dialed), `worker_panic`, `deadline_expired`, and `overloaded`
+    /// (sleeping at least the server's `retry_after_ms` hint) — are
+    /// retried under capped jittered backoff; the budget exhausted, the
+    /// last outcome is returned as-is.
     ///
     /// # Errors
     /// Propagates [`Client::send`] / [`Client::recv`] errors.
     pub fn call(&mut self, body: RequestBody) -> io::Result<WireResponse> {
-        let id = self.send(body)?;
+        self.stats.requests += 1;
+        let Some(policy) = self.config.retry.clone() else {
+            return match self.attempt(body) {
+                Attempt::Done(r) => r,
+                Attempt::RetryWire(resp, _) => Ok(resp),
+                Attempt::RetryIo(e) => Err(e),
+            };
+        };
+        let mut attempt_no = 0u32;
         loop {
-            let resp = self.recv()?;
-            if resp.id == id {
-                return Ok(resp);
+            let outcome = self.attempt(body.clone());
+            let (last_result, hint) = match outcome {
+                Attempt::Done(r) => return r,
+                Attempt::RetryWire(resp, hint) => (Ok(resp), hint),
+                Attempt::RetryIo(e) => (Err(e), None),
+            };
+            if attempt_no >= policy.max_retries {
+                self.stats.giveups += 1;
+                self.metrics.giveups.inc();
+                return last_result;
             }
+            let mut backoff = policy.backoff(attempt_no);
+            if let Some(ms) = hint {
+                backoff = backoff.max(Duration::from_millis(ms));
+            }
+            self.stats.retries += 1;
+            self.stats.backoff_ms_total += backoff.as_millis().min(u64::MAX as u128) as u64;
+            self.metrics.retries.inc();
+            self.metrics.backoff.record_duration(backoff);
+            std::thread::sleep(backoff);
+            attempt_no += 1;
         }
     }
 
@@ -131,5 +429,85 @@ impl Client {
     /// Propagates [`Client::call`] errors.
     pub fn shutdown_server(&mut self) -> io::Result<WireResponse> {
         self.call(RequestBody::Shutdown)
+    }
+
+    /// This client's own resilience counters (retries, reconnects, ...).
+    pub fn client_stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Render the client-side resilience metrics (retry/reconnect/giveup
+    /// counters and the backoff histogram) as a Prometheus text exposition.
+    pub fn render_prometheus(&self) -> String {
+        self.metrics.registry.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_is_deterministic() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            jitter: 0.2,
+            seed: 42,
+        };
+        let seq: Vec<Duration> = (0..8).map(|n| p.backoff(n)).collect();
+        // Same policy, same schedule.
+        assert_eq!(seq, (0..8).map(|n| p.backoff(n)).collect::<Vec<_>>());
+        // Exponential base: each step's floor doubles until the cap.
+        assert!(seq[0] >= Duration::from_millis(10) && seq[0] <= Duration::from_millis(12));
+        assert!(seq[1] >= Duration::from_millis(20) && seq[1] <= Duration::from_millis(24));
+        assert!(seq[2] >= Duration::from_millis(40) && seq[2] <= Duration::from_millis(48));
+        // Capped (plus at most the jitter fraction).
+        for d in &seq[5..] {
+            assert!(*d <= Duration::from_millis(240), "{d:?} exceeds jittered cap");
+        }
+        // A different seed jitters differently.
+        let q = RetryPolicy { seed: 43, ..p };
+        assert_ne!(
+            (0..8).map(|n| p.backoff(n)).collect::<Vec<_>>(),
+            (0..8).map(|n| q.backoff(n)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn transient_classification_matches_the_failure_modes() {
+        for kind in [
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionAborted,
+            io::ErrorKind::ConnectionRefused,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::WouldBlock,
+        ] {
+            assert!(io_transient(kind), "{kind:?} must be retryable");
+        }
+        assert!(!io_transient(io::ErrorKind::InvalidData));
+        assert!(!io_transient(io::ErrorKind::PermissionDenied));
+
+        for code in ["worker_panic", "overloaded", "deadline_expired"] {
+            assert!(wire_transient(code), "{code} must be retryable");
+        }
+        assert!(!wire_transient("invalid_request"));
+        assert!(!wire_transient("solver_error"));
+        assert!(!wire_transient("shutting_down"));
+    }
+
+    #[test]
+    fn client_metrics_render_validates() {
+        let m = ClientMetrics::new();
+        m.retries.inc();
+        m.backoff.record_duration(Duration::from_millis(15));
+        let text = m.registry.render();
+        let stats = share_obs::prometheus::validate_exposition(&text).expect("valid exposition");
+        assert!(stats.families >= 4);
+        assert!(text.contains("share_client_retries_total 1"));
+        assert!(text.contains("share_client_retry_backoff_seconds_bucket"));
     }
 }

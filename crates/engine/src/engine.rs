@@ -16,11 +16,12 @@
 
 use crate::cache::ShardedCache;
 use crate::error::{EngineError, Result};
+use crate::fault::{FaultPlan, FaultSite, FaultState};
 use crate::metrics::{Metrics, StatsSnapshot};
 use crate::quantize::{quantize, CacheKey, QuantizerConfig};
 use crate::spec::{SolveMode, SolveSpec};
-use crate::worker::worker_loop;
-use crossbeam::channel::{bounded, Sender, TrySendError};
+use crate::supervisor::{spawn_worker, supervisor_loop, SupervisorMsg};
+use crossbeam::channel::{bounded, unbounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use share_market::params::MarketParams;
@@ -52,6 +53,11 @@ pub struct EngineConfig {
     pub cache_shards: usize,
     /// Cache-key quantization tolerances.
     pub quantizer: QuantizerConfig,
+    /// Fault-tolerance knobs: worker restarts, load shedding, degradation.
+    pub resilience: ResilienceConfig,
+    /// Optional fault-injection plan for chaos tests and benches. `None`
+    /// (the default) injects nothing.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -64,8 +70,79 @@ impl Default for EngineConfig {
             cache_capacity: 1024,
             cache_shards: 8,
             quantizer: QuantizerConfig::default(),
+            resilience: ResilienceConfig::default(),
+            faults: None,
         }
     }
+}
+
+/// Fault-tolerance configuration. The defaults change nothing about the
+/// engine's pre-existing behavior: shedding and proactive degradation are
+/// off until a watermark is set, and only the (previously fatal) worker
+/// panic and solver-error paths gain recovery.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// How many dead workers the supervisor will respawn before giving up
+    /// and letting the pool shrink.
+    pub restart_budget: usize,
+    /// Load-shedding watermark: when the job queue is at least this deep,
+    /// *new* work is rejected with [`EngineError::Overloaded`] before it
+    /// is enqueued (dedup joins onto in-flight solves stay admitted —
+    /// they cost nothing). `None` disables the gate; the bounded queue
+    /// itself still backpressures when full.
+    pub shed_queue_depth: Option<usize>,
+    /// Base of the `retry_after_ms` hint on shed replies; scaled up with
+    /// queue depth per worker.
+    pub shed_retry_after_ms: u64,
+    /// Fall back to `solve_mean_field` when the direct/numeric path
+    /// reports a solver error (the reply is tagged with the Theorem 5.1
+    /// error bound).
+    pub degrade_on_error: bool,
+    /// Proactively degrade direct/numeric solves to mean-field when the
+    /// queue is at least this deep. `None` disables.
+    pub degrade_queue_depth: Option<usize>,
+    /// Proactively degrade direct/numeric solves that waited longer than
+    /// this in the queue. `None` disables.
+    pub degrade_queue_wait_ms: Option<u64>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            restart_budget: 1024,
+            shed_queue_depth: None,
+            shed_retry_after_ms: 25,
+            degrade_on_error: true,
+            degrade_queue_depth: None,
+            degrade_queue_wait_ms: None,
+        }
+    }
+}
+
+/// Why a reply was served by the mean-field degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DegradeReason {
+    /// The direct/numeric solver reported an error; mean-field answered.
+    SolverError,
+    /// The engine was under shed-level queue pressure.
+    Shed,
+    /// The job exceeded its queue-wait time budget.
+    TimeBudget,
+}
+
+/// Fidelity tag on a degraded reply: why the mean-field path answered and
+/// the Theorem 5.1 bound on the approximation error it introduces, so
+/// callers can judge whether the degraded equilibrium is usable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradeInfo {
+    /// What pushed this request down the ladder.
+    pub reason: DegradeReason,
+    /// Theorem 5.1 lower bound on the mean-field fidelity error for this
+    /// market's seller count (`-1/(6m²)`).
+    pub bound_lower: f64,
+    /// Theorem 5.1 upper bound (`1/m − 2/(3m²)`).
+    pub bound_upper: f64,
 }
 
 /// Wire-friendly summary of one solved equilibrium.
@@ -99,6 +176,12 @@ pub struct SolveSummary {
     pub cached: bool,
     /// Wall-clock of the underlying solver run, in microseconds.
     pub solve_micros: u64,
+    /// Set when the degradation ladder answered with `solve_mean_field`
+    /// instead of the requested solver path; carries the Theorem 5.1
+    /// fidelity bound. Absent (and omitted on the wire) for full-fidelity
+    /// replies. Degraded replies are never cached.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub degraded: Option<DegradeInfo>,
 }
 
 impl SolveSummary {
@@ -122,6 +205,7 @@ impl SolveSummary {
             tau_max,
             cached: false,
             solve_micros,
+            degraded: None,
         }
     }
 }
@@ -160,9 +244,19 @@ pub(crate) struct Shared {
     pub(crate) inflight: Mutex<HashMap<CacheKey, Vec<Waiter>>>,
     pub(crate) job_tx: Mutex<Option<Sender<Job>>>,
     pub(crate) closed: AtomicBool,
+    /// Live fault-injection state, present when a plan is configured.
+    pub(crate) faults: Option<FaultState>,
 }
 
 impl Shared {
+    /// Suggested client back-off for a shed reply: the configured base
+    /// scaled by queue depth per worker, capped at ten seconds.
+    pub(crate) fn retry_after_hint(&self) -> u64 {
+        let depth = self.metrics.queue_depth() as u64;
+        let workers = self.config.workers.max(1) as u64;
+        (self.config.resilience.shed_retry_after_ms * (1 + depth / workers)).min(10_000)
+    }
+
     /// Deliver a reply to one waiter, recording its service latency.
     pub(crate) fn reply(&self, waiter: &Waiter, result: Result<SolveSummary>) {
         self.metrics.record_latency(waiter.enqueued.elapsed());
@@ -211,43 +305,81 @@ impl Shared {
 /// The concurrent market-serving engine.
 pub struct Engine {
     shared: Arc<Shared>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+    sup_tx: Sender<SupervisorMsg>,
+}
+
+/// Keep injected worker panics (recognizable by their payload) from
+/// spamming stderr through the default panic hook; every other panic still
+/// reaches the previous hook untouched. Installed once, process-wide, the
+/// first time an engine starts with panic injection enabled.
+fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .is_some_and(|msg| msg.contains("injected worker panic"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
 }
 
 impl Engine {
-    /// Start an engine: build the queue and cache and spawn the worker pool.
+    /// Start an engine: build the queue and cache, spawn the worker pool
+    /// and its supervisor.
     pub fn start(config: EngineConfig) -> Self {
+        if config.faults.is_some_and(|f| f.panic_rate > 0.0) {
+            silence_injected_panics();
+        }
         let (job_tx, job_rx) = bounded::<Job>(config.queue_capacity.max(1));
+        let (sup_tx, sup_rx) = unbounded::<SupervisorMsg>();
         let shared = Arc::new(Shared {
             cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
             inflight: Mutex::new(HashMap::new()),
             job_tx: Mutex::new(Some(job_tx)),
             closed: AtomicBool::new(false),
             metrics: Metrics::new(),
+            faults: config.faults.map(FaultState::new),
             config,
         });
         shared.metrics.set_cache_shards(shared.cache.shards());
-        let workers = (0..shared.config.workers)
+        let workers: Vec<JoinHandle<()>> = (0..shared.config.workers)
             .map(|i| {
-                let shared = Arc::clone(&shared);
-                let rx = job_rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("share-engine-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &rx))
-                    .expect("spawn worker thread")
+                spawn_worker(&shared, &job_rx, &sup_tx, i).expect("spawn worker thread")
             })
             .collect();
+        let workers = Arc::new(Mutex::new(workers));
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let handles = Arc::clone(&workers);
+            let sup_tx = sup_tx.clone();
+            std::thread::Builder::new()
+                .name("share-engine-supervisor".to_string())
+                .spawn(move || supervisor_loop(&shared, &job_rx, &sup_rx, &sup_tx, &handles))
+                .expect("spawn supervisor thread")
+        };
         share_obs::obs_info!(
             target: TARGET,
             "engine_started",
             "workers" => shared.config.workers,
             "queue_capacity" => shared.config.queue_capacity,
             "cache_capacity" => shared.config.cache_capacity,
-            "cache_shards" => shared.cache.shards()
+            "cache_shards" => shared.cache.shards(),
+            "restart_budget" => shared.config.resilience.restart_budget
         );
         Self {
             shared,
-            workers: Mutex::new(workers),
+            workers,
+            supervisor: Mutex::new(Some(supervisor)),
+            sup_tx,
         }
     }
 
@@ -312,6 +444,25 @@ impl Engine {
                 waiters.push(waiter);
                 return;
             }
+            // Load-shedding admission gate: joining an in-flight solve
+            // (above) is free and always admitted, but *new* solver work is
+            // shed once the queue is past the watermark — failing fast with
+            // a retry hint beats queueing work that will miss its deadline.
+            if let Some(watermark) = shared.config.resilience.shed_queue_depth {
+                if shared.metrics.queue_depth() >= watermark {
+                    drop(inflight);
+                    let retry_after_ms = shared.retry_after_hint();
+                    shared.metrics.inc_shed();
+                    share_obs::obs_debug!(
+                        target: TARGET,
+                        "shed",
+                        "id" => id,
+                        "retry_after_ms" => retry_after_ms
+                    );
+                    shared.reply(&waiter, Err(EngineError::Overloaded { retry_after_ms }));
+                    return;
+                }
+            }
             inflight.insert(key.clone(), vec![waiter]);
         }
 
@@ -338,14 +489,16 @@ impl Engine {
         }
         if let Err(e) = send_result {
             let error = match e {
-                TrySendError::Full(_) => EngineError::Overloaded,
+                TrySendError::Full(_) => EngineError::Overloaded {
+                    retry_after_ms: shared.retry_after_hint(),
+                },
                 TrySendError::Disconnected(_) => EngineError::ShuttingDown,
             };
             // Fail everyone attached to the entry we just created (more
             // waiters may have joined between the two locks).
             let waiters = shared.inflight.lock().remove(&key).unwrap_or_default();
             for w in &waiters {
-                if error == EngineError::Overloaded {
+                if matches!(error, EngineError::Overloaded { .. }) {
                     shared.metrics.inc_rejected();
                     share_obs::obs_debug!(target: TARGET, "rejected", "id" => w.id);
                 }
@@ -424,11 +577,30 @@ impl Engine {
         self.stats()
     }
 
+    /// Consult the fault plan's connection-drop site (used by the servers;
+    /// counts the injection when it fires).
+    pub(crate) fn should_drop_connection(&self) -> bool {
+        self.shared.faults.as_ref().is_some_and(|f| {
+            let hit = f.roll(FaultSite::ConnDrop);
+            if hit {
+                self.shared.metrics.inc_fault_injection(FaultSite::ConnDrop);
+            }
+            hit
+        })
+    }
+
     fn shutdown_impl(&self) {
         let already_closed = self.shared.closed.swap(true, Ordering::SeqCst);
         // Dropping the sender disconnects the channel; workers finish the
         // jobs already queued, then exit.
         *self.shared.job_tx.lock() = None;
+        // Stop the supervisor first so a worker dying while we drain is
+        // not respawned into a closing engine (its death notice is simply
+        // never read).
+        let _ = self.sup_tx.send(SupervisorMsg::Shutdown);
+        if let Some(h) = self.supervisor.lock().take() {
+            let _ = h.join();
+        }
         let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
         for h in handles {
             let _ = h.join();

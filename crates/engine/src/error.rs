@@ -9,9 +9,14 @@ use std::fmt;
 /// Errors produced while accepting, queueing or solving a request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
-    /// The bounded job queue is full; the request was rejected rather than
-    /// buffered unboundedly (backpressure).
-    Overloaded,
+    /// The engine shed the request — the job queue is full or past its
+    /// load-shedding watermark. The request was rejected rather than
+    /// buffered unboundedly (backpressure); `retry_after_ms` hints when a
+    /// retry is likely to be admitted.
+    Overloaded {
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// The request's deadline passed before a solution could be produced.
     DeadlineExpired,
     /// The engine is shutting down and no longer accepts work.
@@ -20,17 +25,41 @@ pub enum EngineError {
     InvalidRequest(String),
     /// The solver failed on a well-formed request.
     Solver(String),
+    /// The worker running this solve panicked. The request was *not*
+    /// dropped — every attached waiter receives this reply — and the
+    /// supervisor respawns the worker. Transient: safe to retry.
+    WorkerPanic(String),
 }
 
 impl EngineError {
     /// Stable machine-readable error code used on the wire.
     pub fn code(&self) -> &'static str {
         match self {
-            EngineError::Overloaded => "overloaded",
+            EngineError::Overloaded { .. } => "overloaded",
             EngineError::DeadlineExpired => "deadline_expired",
             EngineError::ShuttingDown => "shutting_down",
             EngineError::InvalidRequest(_) => "invalid_request",
             EngineError::Solver(_) => "solver_error",
+            EngineError::WorkerPanic(_) => "worker_panic",
+        }
+    }
+
+    /// `true` for errors a client may reasonably retry: the request itself
+    /// was fine, the engine just couldn't serve it this time.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            EngineError::Overloaded { .. }
+                | EngineError::DeadlineExpired
+                | EngineError::WorkerPanic(_)
+        )
+    }
+
+    /// The `retry_after_ms` hint carried by [`EngineError::Overloaded`].
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            EngineError::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
         }
     }
 }
@@ -38,11 +67,15 @@ impl EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::Overloaded => write!(f, "job queue full, request rejected"),
+            EngineError::Overloaded { retry_after_ms } => write!(
+                f,
+                "engine overloaded, request shed (retry after {retry_after_ms}ms)"
+            ),
             EngineError::DeadlineExpired => write!(f, "deadline expired before completion"),
             EngineError::ShuttingDown => write!(f, "engine is shutting down"),
             EngineError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
             EngineError::Solver(reason) => write!(f, "solver failure: {reason}"),
+            EngineError::WorkerPanic(reason) => write!(f, "worker panicked mid-solve: {reason}"),
         }
     }
 }
@@ -59,11 +92,12 @@ mod tests {
     #[test]
     fn codes_are_stable_and_distinct() {
         let all = [
-            EngineError::Overloaded,
+            EngineError::Overloaded { retry_after_ms: 25 },
             EngineError::DeadlineExpired,
             EngineError::ShuttingDown,
             EngineError::InvalidRequest("x".into()),
             EngineError::Solver("y".into()),
+            EngineError::WorkerPanic("z".into()),
         ];
         let codes: Vec<&str> = all.iter().map(|e| e.code()).collect();
         assert_eq!(
@@ -73,9 +107,25 @@ mod tests {
                 "deadline_expired",
                 "shutting_down",
                 "invalid_request",
-                "solver_error"
+                "solver_error",
+                "worker_panic"
             ]
         );
+    }
+
+    #[test]
+    fn transient_classification_and_retry_hint() {
+        assert!(EngineError::Overloaded { retry_after_ms: 50 }.is_transient());
+        assert!(EngineError::WorkerPanic("boom".into()).is_transient());
+        assert!(EngineError::DeadlineExpired.is_transient());
+        assert!(!EngineError::InvalidRequest("bad".into()).is_transient());
+        assert!(!EngineError::Solver("nan".into()).is_transient());
+        assert!(!EngineError::ShuttingDown.is_transient());
+        assert_eq!(
+            EngineError::Overloaded { retry_after_ms: 50 }.retry_after_ms(),
+            Some(50)
+        );
+        assert_eq!(EngineError::DeadlineExpired.retry_after_ms(), None);
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Deterministic fault injection for chaos testing the serving stack.
+//!
+//! A [`FaultPlan`] describes *which* faults to inject and *how often*; the
+//! engine owns one [`FaultState`] built from it and consults it at four
+//! sites:
+//!
+//! | site | effect |
+//! |------|--------|
+//! | worker panic | the solver closure panics mid-solve; the worker converts it into a typed `worker_panic` reply and dies, and the supervisor respawns it |
+//! | solve latency | the solve sleeps for `latency_ms` first, building queue pressure so shedding and degradation trip |
+//! | solver divergence | a direct/numeric solve reports a solver error, exercising the mean-field degradation ladder |
+//! | connection drop | the server closes a connection after reading a request, without replying |
+//!
+//! Decisions are **seeded and deterministic**: each site keeps its own
+//! sequence counter, and the `n`-th decision at a site is a pure function
+//! of `(seed, site, n)` (a splitmix64 hash compared against the rate).
+//! Thread interleaving changes *which request* draws decision `n`, but the
+//! number of injections over `N` draws is identical run to run — chaos
+//! tests and benches can assert on aggregate fault counts under a fixed
+//! seed.
+//!
+//! Plans parse from the compact `--fault-plan`/`SHARE_FAULT_PLAN` syntax:
+//!
+//! ```text
+//! seed=42,panic=0.25,drop=0.25,latency=0.1,latency_ms=50,diverge=0.1
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where a fault decision is being made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Panic inside the solver closure (worker dies, supervisor respawns).
+    WorkerPanic,
+    /// Artificial latency added to a solve.
+    SolveLatency,
+    /// A direct/numeric solve forced to report divergence.
+    Divergence,
+    /// A server connection closed after reading a request.
+    ConnDrop,
+}
+
+impl FaultSite {
+    /// Every injection site, in metric-label order.
+    pub const ALL: [FaultSite; 4] = [
+        FaultSite::WorkerPanic,
+        FaultSite::SolveLatency,
+        FaultSite::Divergence,
+        FaultSite::ConnDrop,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::WorkerPanic => 0,
+            FaultSite::SolveLatency => 1,
+            FaultSite::Divergence => 2,
+            FaultSite::ConnDrop => 3,
+        }
+    }
+
+    /// Stable name, used as the `kind` label of
+    /// `share_fault_injections_total`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultSite::WorkerPanic => "worker_panic",
+            FaultSite::SolveLatency => "solve_latency",
+            FaultSite::Divergence => "divergence",
+            FaultSite::ConnDrop => "conn_drop",
+        }
+    }
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// All rates are probabilities in `[0, 1]`; `0` disables the site. The
+/// default plan injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// Seed for the per-site decision streams.
+    #[serde(default)]
+    pub seed: u64,
+    /// Probability that a solve panics mid-run.
+    #[serde(default)]
+    pub panic_rate: f64,
+    /// Probability that a solve sleeps for [`FaultPlan::latency_ms`] first.
+    #[serde(default)]
+    pub latency_rate: f64,
+    /// Artificial latency per injected-slow solve, in milliseconds.
+    #[serde(default)]
+    pub latency_ms: u64,
+    /// Probability that a direct/numeric solve reports divergence.
+    #[serde(default)]
+    pub diverge_rate: f64,
+    /// Probability that the server drops a connection after a request.
+    #[serde(default)]
+    pub drop_rate: f64,
+}
+
+impl FaultPlan {
+    /// `true` when no site can ever fire.
+    pub fn is_noop(&self) -> bool {
+        self.panic_rate <= 0.0
+            && (self.latency_rate <= 0.0 || self.latency_ms == 0)
+            && self.diverge_rate <= 0.0
+            && self.drop_rate <= 0.0
+    }
+
+    fn rate(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::WorkerPanic => self.panic_rate,
+            FaultSite::SolveLatency => self.latency_rate,
+            FaultSite::Divergence => self.diverge_rate,
+            FaultSite::ConnDrop => self.drop_rate,
+        }
+    }
+
+    /// Parse the compact `key=value,key=value` plan syntax used by the
+    /// `--fault-plan` CLI flag and the `SHARE_FAULT_PLAN` env variable.
+    ///
+    /// Keys: `seed` (u64), `panic`, `latency`, `diverge`, `drop` (rates in
+    /// `[0,1]`), `latency_ms` (u64). Unknown keys and out-of-range rates
+    /// are rejected.
+    ///
+    /// # Errors
+    /// A human-readable description of the first malformed entry.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for entry in s.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault plan entry `{entry}` is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let rate = |v: &str| -> Result<f64, String> {
+                let x: f64 = v
+                    .parse()
+                    .map_err(|_| format!("fault plan {key}: `{v}` is not a number"))?;
+                if !(0.0..=1.0).contains(&x) {
+                    return Err(format!("fault plan {key}: rate `{v}` must be in [0, 1]"));
+                }
+                Ok(x)
+            };
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("fault plan seed: `{value}` is not a u64"))?;
+                }
+                "latency_ms" => {
+                    plan.latency_ms = value
+                        .parse()
+                        .map_err(|_| format!("fault plan latency_ms: `{value}` is not a u64"))?;
+                }
+                "panic" => plan.panic_rate = rate(value)?,
+                "latency" => plan.latency_rate = rate(value)?,
+                "diverge" => plan.diverge_rate = rate(value)?,
+                "drop" => plan.drop_rate = rate(value)?,
+                other => {
+                    return Err(format!(
+                        "fault plan: unknown key `{other}` (expected \
+                         seed|panic|latency|latency_ms|diverge|drop)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer — enough to turn
+/// `(seed, site, n)` into an independent uniform draw. Also drives the
+/// client's deterministic backoff jitter.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Live injection state: the plan plus per-site sequence and hit counters.
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    seq: [AtomicU64; 4],
+    injected: [AtomicU64; 4],
+}
+
+impl FaultState {
+    /// Build the live state for a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            seq: Default::default(),
+            injected: Default::default(),
+        }
+    }
+
+    /// The plan this state was built from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Draw the next decision for `site`: `true` means inject. The `n`-th
+    /// draw at a site is deterministic in `(seed, site, n)`.
+    pub fn roll(&self, site: FaultSite) -> bool {
+        let rate = self.plan.rate(site);
+        if rate <= 0.0 {
+            return false;
+        }
+        let idx = site.index();
+        let n = self.seq[idx].fetch_add(1, Ordering::Relaxed);
+        let h = splitmix64(
+            self.plan
+                .seed
+                .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                .wrapping_add(0x1000_0001 * (idx as u64 + 1))
+                .wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        // Top 53 bits → uniform in [0, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let hit = u < rate;
+        if hit {
+            self.injected[idx].fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Injections so far at `site`.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.injected[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Decisions drawn so far at `site`.
+    pub fn drawn(&self, site: FaultSite) -> u64 {
+        self.seq[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// The configured artificial solve latency (0 disables).
+    pub fn latency_ms(&self) -> u64 {
+        self.plan.latency_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_plan_roundtrips_fields() {
+        let plan =
+            FaultPlan::parse("seed=42, panic=0.25, drop=0.25, latency=0.1, latency_ms=50, diverge=0.1")
+                .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.panic_rate, 0.25);
+        assert_eq!(plan.drop_rate, 0.25);
+        assert_eq!(plan.latency_rate, 0.1);
+        assert_eq!(plan.latency_ms, 50);
+        assert_eq!(plan.diverge_rate, 0.1);
+        assert!(!plan.is_noop());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        for bad in [
+            "panic",               // no value
+            "panic=1.5",           // rate out of range
+            "panic=-0.1",          // negative rate
+            "panic=NaN",           // non-finite
+            "frobnicate=1",        // unknown key
+            "seed=abc",            // non-integer seed
+            "latency_ms=-1",       // negative duration
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_noop() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_noop());
+        assert_eq!(plan, FaultPlan::default());
+        // latency without latency_ms still injects nothing observable.
+        assert!(FaultPlan::parse("latency=0.5").unwrap().is_noop());
+    }
+
+    #[test]
+    fn decision_stream_is_deterministic_per_seed() {
+        let plan = FaultPlan {
+            seed: 7,
+            panic_rate: 0.25,
+            drop_rate: 0.5,
+            ..FaultPlan::default()
+        };
+        let a = FaultState::new(plan);
+        let b = FaultState::new(plan);
+        let draws_a: Vec<bool> = (0..512).map(|_| a.roll(FaultSite::WorkerPanic)).collect();
+        let draws_b: Vec<bool> = (0..512).map(|_| b.roll(FaultSite::WorkerPanic)).collect();
+        assert_eq!(draws_a, draws_b, "same seed must give the same stream");
+        assert_eq!(
+            a.injected(FaultSite::WorkerPanic),
+            b.injected(FaultSite::WorkerPanic)
+        );
+
+        let c = FaultState::new(FaultPlan { seed: 8, ..plan });
+        let draws_c: Vec<bool> = (0..512).map(|_| c.roll(FaultSite::WorkerPanic)).collect();
+        assert_ne!(draws_a, draws_c, "different seeds must diverge");
+    }
+
+    #[test]
+    fn injection_frequency_tracks_rate() {
+        let state = FaultState::new(FaultPlan {
+            seed: 1,
+            panic_rate: 0.25,
+            ..FaultPlan::default()
+        });
+        for _ in 0..4096 {
+            state.roll(FaultSite::WorkerPanic);
+        }
+        let hits = state.injected(FaultSite::WorkerPanic) as f64;
+        let freq = hits / 4096.0;
+        assert!((freq - 0.25).abs() < 0.03, "rate 0.25 but observed {freq}");
+        // Disabled sites never fire and never advance their stream.
+        assert_eq!(state.injected(FaultSite::Divergence), 0);
+        assert!(!state.roll(FaultSite::Divergence));
+        assert_eq!(state.drawn(FaultSite::Divergence), 0);
+    }
+
+    #[test]
+    fn sites_draw_independent_streams() {
+        let plan = FaultPlan {
+            seed: 3,
+            panic_rate: 0.5,
+            drop_rate: 0.5,
+            ..FaultPlan::default()
+        };
+        let state = FaultState::new(plan);
+        let panics: Vec<bool> = (0..256).map(|_| state.roll(FaultSite::WorkerPanic)).collect();
+        let drops: Vec<bool> = (0..256).map(|_| state.roll(FaultSite::ConnDrop)).collect();
+        assert_ne!(panics, drops, "sites must not share a stream");
+        let _ = FaultSite::ALL; // all sites are addressable
+    }
+}

@@ -14,7 +14,8 @@
 //! | [`spec`] | request specs: seeded or explicit markets, solver mode, deadline |
 //! | [`quantize`] | tolerance-bucketed cache keys so near-identical markets coalesce |
 //! | [`cache`] | sharded concurrent LRU equilibrium cache |
-//! | [`engine`] | worker pool, bounded job queue, in-flight dedup, backpressure, batch fan-out |
+//! | [`engine`] | worker pool, bounded job queue, in-flight dedup, backpressure, load shedding, batch fan-out |
+//! | [`fault`] | seeded deterministic fault injection (panics, latency, divergence, connection drops) |
 //! | [`metrics`] | counters, gauges and latency histograms (p50/p90/p99/p99.9) with Prometheus exposition |
 //! | [`protocol`] | newline-delimited JSON wire protocol (solve/batch/stats/metrics/ping/shutdown) |
 //! | [`server`] | stdio and TCP servers with graceful shutdown, plus a Prometheus scrape listener |
@@ -45,17 +46,22 @@ pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod protocol;
 pub mod quantize;
 pub mod server;
 pub mod spec;
+mod supervisor;
 mod worker;
 
 pub use cache::{LruCache, ShardedCache};
-pub use client::Client;
-pub use engine::{Engine, EngineConfig, Reply, SolveSummary};
+pub use client::{Client, ClientConfig, ClientStats, RetryPolicy};
+pub use engine::{
+    DegradeInfo, DegradeReason, Engine, EngineConfig, Reply, ResilienceConfig, SolveSummary,
+};
 pub use error::{EngineError, Result};
+pub use fault::{FaultPlan, FaultSite};
 pub use metrics::{Metrics, StatsSnapshot};
 pub use protocol::{RequestBody, ResponseBody, WireRequest, WireResponse};
 pub use quantize::QuantizerConfig;

@@ -13,6 +13,7 @@
 //! histograms track queue wait, per-mode solve latency and per-stage solver
 //! cost (stage1/stage2/stage3 of the backward induction).
 
+use crate::fault::FaultSite;
 use crate::spec::SolveMode;
 use serde::{Deserialize, Serialize};
 use share_market::solver::StageTimings;
@@ -35,6 +36,14 @@ pub struct Metrics {
     rejected: Arc<Counter>,
     deadline_expired: Arc<Counter>,
     invalid: Arc<Counter>,
+    worker_panics: Arc<Counter>,
+    worker_restarts: Arc<Counter>,
+    requests_shed: Arc<Counter>,
+    requests_degraded: Arc<Counter>,
+    fault_worker_panic: Arc<Counter>,
+    fault_solve_latency: Arc<Counter>,
+    fault_divergence: Arc<Counter>,
+    fault_conn_drop: Arc<Counter>,
 
     queue_depth: Arc<Gauge>,
     inflight_solves: Arc<Gauge>,
@@ -101,6 +110,43 @@ impl Metrics {
             "Requests whose deadline expired before completion.",
         );
         let invalid = registry.counter("share_invalid_total", "Malformed requests.");
+        let worker_panics = registry.counter(
+            "share_worker_panics_total",
+            "Solver panics caught by the worker guard (injected or real).",
+        );
+        let worker_restarts = registry.counter(
+            "share_worker_restarts_total",
+            "Dead workers respawned by the supervisor.",
+        );
+        let requests_shed = registry.counter(
+            "share_requests_shed_total",
+            "Requests rejected by the load-shedding admission gate.",
+        );
+        let requests_degraded = registry.counter(
+            "share_requests_degraded_total",
+            "Requests answered by the mean-field degradation ladder.",
+        );
+        let fault_help = "Faults injected by the active fault plan, by kind.";
+        let fault_worker_panic = registry.counter_with(
+            "share_fault_injections_total",
+            fault_help,
+            &[("kind", "worker_panic")],
+        );
+        let fault_solve_latency = registry.counter_with(
+            "share_fault_injections_total",
+            fault_help,
+            &[("kind", "solve_latency")],
+        );
+        let fault_divergence = registry.counter_with(
+            "share_fault_injections_total",
+            fault_help,
+            &[("kind", "divergence")],
+        );
+        let fault_conn_drop = registry.counter_with(
+            "share_fault_injections_total",
+            fault_help,
+            &[("kind", "conn_drop")],
+        );
 
         let queue_depth = registry.gauge(
             "share_queue_depth",
@@ -177,6 +223,14 @@ impl Metrics {
             rejected,
             deadline_expired,
             invalid,
+            worker_panics,
+            worker_restarts,
+            requests_shed,
+            requests_degraded,
+            fault_worker_panic,
+            fault_solve_latency,
+            fault_divergence,
+            fault_conn_drop,
             queue_depth,
             inflight_solves,
             cache_entries,
@@ -226,6 +280,35 @@ impl Metrics {
     pub fn inc_invalid(&self) {
         self.invalid.inc();
     }
+    /// Count a solver panic caught by the worker guard.
+    pub fn inc_worker_panics(&self) {
+        self.worker_panics.inc();
+    }
+    /// Count a dead worker respawned by the supervisor.
+    pub fn inc_worker_restarts(&self) {
+        self.worker_restarts.inc();
+    }
+    /// Worker restarts so far (tests and the supervisor's budget log).
+    pub fn worker_restarts(&self) -> u64 {
+        self.worker_restarts.get()
+    }
+    /// Count a request rejected by the load-shedding admission gate.
+    pub fn inc_shed(&self) {
+        self.requests_shed.inc();
+    }
+    /// Count a request answered by the mean-field degradation ladder.
+    pub fn inc_degraded(&self) {
+        self.requests_degraded.inc();
+    }
+    /// Count one injected fault under its `kind` label.
+    pub fn inc_fault_injection(&self, site: FaultSite) {
+        match site {
+            FaultSite::WorkerPanic => self.fault_worker_panic.inc(),
+            FaultSite::SolveLatency => self.fault_solve_latency.inc(),
+            FaultSite::Divergence => self.fault_divergence.inc(),
+            FaultSite::ConnDrop => self.fault_conn_drop.inc(),
+        }
+    }
 
     /// A job entered the solve queue.
     pub fn queue_depth_inc(&self) {
@@ -235,6 +318,11 @@ impl Metrics {
     pub fn queue_depth_dec(&self, waited: Duration) {
         self.queue_depth.dec();
         self.queue_wait.record_duration(waited);
+    }
+    /// Jobs currently waiting in the solve queue (the admission gate and
+    /// the degradation ladder read this watermark).
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.get().max(0.0) as usize
     }
     /// A solver run started on a worker.
     pub fn inflight_inc(&self) {
@@ -296,6 +384,10 @@ impl Metrics {
             rejected: self.rejected.get(),
             deadline_expired: self.deadline_expired.get(),
             invalid: self.invalid.get(),
+            worker_panics: self.worker_panics.get(),
+            worker_restarts: self.worker_restarts.get(),
+            requests_shed: self.requests_shed.get(),
+            requests_degraded: self.requests_degraded.get(),
             latency_min_us: to_us(hist.min_ns),
             latency_mean_us: hist.mean_ns() / 1e3,
             latency_max_us: to_us(hist.max_ns),
@@ -337,6 +429,19 @@ pub struct StatsSnapshot {
     pub deadline_expired: u64,
     /// Malformed requests.
     pub invalid: u64,
+    /// Solver panics caught by the worker guard. Defaults to 0 when
+    /// deserializing replies from pre-fault-tolerance servers.
+    #[serde(default)]
+    pub worker_panics: u64,
+    /// Dead workers respawned by the supervisor.
+    #[serde(default)]
+    pub worker_restarts: u64,
+    /// Requests rejected by the load-shedding admission gate.
+    #[serde(default)]
+    pub requests_shed: u64,
+    /// Requests answered by the mean-field degradation ladder.
+    #[serde(default)]
+    pub requests_degraded: u64,
     /// Minimum service latency (µs) over replied requests.
     pub latency_min_us: f64,
     /// Mean service latency (µs) over replied requests.
@@ -374,6 +479,11 @@ impl std::fmt::Display for StatsSnapshot {
             self.latency_min_us,
             self.latency_mean_us,
             self.latency_max_us
+        )?;
+        writeln!(
+            f,
+            "worker_panics={} worker_restarts={} shed={} degraded={}",
+            self.worker_panics, self.worker_restarts, self.requests_shed, self.requests_degraded
         )?;
         write!(
             f,
@@ -493,9 +603,23 @@ mod tests {
         m.set_cache_entries(12);
         m.set_cache_shards(8);
 
+        m.inc_worker_panics();
+        m.inc_worker_restarts();
+        m.inc_shed();
+        m.inc_degraded();
+        m.inc_fault_injection(FaultSite::WorkerPanic);
+        m.inc_fault_injection(FaultSite::ConnDrop);
+
         let text = m.render_prometheus();
         let stats = share_obs::prometheus::validate_exposition(&text).expect("valid exposition");
         assert!(stats.families >= 13, "families {stats:?}");
+        assert!(text.contains("share_worker_panics_total 1"));
+        assert!(text.contains("share_worker_restarts_total 1"));
+        assert!(text.contains("share_requests_shed_total 1"));
+        assert!(text.contains("share_requests_degraded_total 1"));
+        assert!(text.contains("share_fault_injections_total{kind=\"worker_panic\"} 1"));
+        assert!(text.contains("share_fault_injections_total{kind=\"conn_drop\"} 1"));
+        assert!(text.contains("share_fault_injections_total{kind=\"divergence\"} 0"));
         assert!(stats.histograms >= 4);
         assert!(text.contains("# TYPE share_requests_total counter"));
         assert!(text.contains("share_requests_total 1"));

@@ -109,6 +109,10 @@ pub enum ResponseBody {
         code: String,
         /// Human-readable message.
         message: String,
+        /// Back-off hint carried by `overloaded` (shed) errors, absent on
+        /// every other code and on replies from older servers.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        retry_after_ms: Option<u64>,
     },
 }
 
@@ -120,6 +124,7 @@ impl WireResponse {
             body: ResponseBody::Error {
                 code: error.code().to_string(),
                 message: error.to_string(),
+                retry_after_ms: error.retry_after_ms(),
             },
         }
     }
@@ -150,8 +155,18 @@ pub fn parse_request(line: &str) -> crate::error::Result<WireRequest> {
 }
 
 /// Encode one response as its wire line (without the trailing newline).
+///
+/// Serialization cannot fail for the types in [`ResponseBody`] (serde_json
+/// maps non-finite floats to `null`), but a connection thread must never
+/// panic on output either — an impossible failure degrades to a literal
+/// `internal` error line carrying the same id.
 pub fn encode_response(resp: &WireResponse) -> String {
-    serde_json::to_string(resp).expect("wire responses always serialize")
+    serde_json::to_string(resp).unwrap_or_else(|_| {
+        format!(
+            r#"{{"id":{},"kind":"error","code":"internal","message":"response failed to serialize"}}"#,
+            resp.id
+        )
+    })
 }
 
 #[cfg(test)]
@@ -208,12 +223,29 @@ mod tests {
 
     #[test]
     fn error_response_carries_stable_code() {
-        let resp = WireResponse::from_error(3, &EngineError::Overloaded);
+        let resp = WireResponse::from_error(3, &EngineError::Overloaded { retry_after_ms: 40 });
         assert!(!resp.is_ok());
         let line = encode_response(&resp);
         assert!(line.contains(r#""code":"overloaded""#), "{line}");
+        assert!(line.contains(r#""retry_after_ms":40"#), "{line}");
         let back: WireResponse = serde_json::from_str(&line).unwrap();
         assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn non_shed_errors_omit_the_retry_hint() {
+        let resp = WireResponse::from_error(1, &EngineError::WorkerPanic("boom".into()));
+        let line = encode_response(&resp);
+        assert!(line.contains(r#""code":"worker_panic""#), "{line}");
+        assert!(!line.contains("retry_after_ms"), "{line}");
+        // Error lines from pre-fault-tolerance servers (no hint field)
+        // still deserialize.
+        let legacy = r#"{"id":2,"kind":"error","code":"overloaded","message":"full"}"#;
+        let back: WireResponse = serde_json::from_str(legacy).unwrap();
+        match back.body {
+            ResponseBody::Error { retry_after_ms, .. } => assert_eq!(retry_after_ms, None),
+            other => panic!("wrong body: {other:?}"),
+        }
     }
 
     #[test]

@@ -41,28 +41,37 @@ fn handle_batch(
     resp_tx: &Sender<WireResponse>,
 ) {
     let engine = Arc::clone(engine);
-    let resp_tx = resp_tx.clone();
+    let batch_tx = resp_tx.clone();
     // Fan out and collect off-thread so the reader keeps draining pipelined
     // requests while the batch is in flight. `solve_batch` spreads the
     // sub-requests across the whole worker pool and hands back the results
     // in submission order, so each inner response's `id` is its position.
-    thread::spawn(move || {
-        let results: Vec<WireResponse> = engine
-            .solve_batch(&requests)
-            .into_iter()
-            .enumerate()
-            .map(|(i, result)| {
-                WireResponse::from_reply(Reply {
-                    id: i as u64,
-                    result,
+    let spawned = thread::Builder::new()
+        .name("share-engine-batch".to_string())
+        .spawn(move || {
+            let results: Vec<WireResponse> = engine
+                .solve_batch(&requests)
+                .into_iter()
+                .enumerate()
+                .map(|(i, result)| {
+                    WireResponse::from_reply(Reply {
+                        id: i as u64,
+                        result,
+                    })
                 })
-            })
-            .collect();
-        let _ = resp_tx.send(WireResponse {
-            id,
-            body: ResponseBody::Batch { results },
+                .collect();
+            let _ = batch_tx.send(WireResponse {
+                id,
+                body: ResponseBody::Batch { results },
+            });
         });
-    });
+    if spawned.is_err() {
+        // Thread exhaustion: answer rather than silently dropping the batch.
+        let _ = resp_tx.send(WireResponse::from_error(
+            id,
+            &crate::error::EngineError::Overloaded { retry_after_ms: 100 },
+        ));
+    }
 }
 
 /// Serve one connection's request stream. Returns `true` when the client
@@ -87,6 +96,19 @@ fn serve_connection<R: BufRead>(
         let line = line.trim();
         if line.is_empty() {
             continue;
+        }
+        // Fault plan: drop the connection after reading a request, without
+        // replying to it. Replies already in flight for this connection
+        // still flush below; the just-read request is discarded — exactly
+        // the half-served failure clients must survive. (The accept loop
+        // is untouched: the *server* never goes down.)
+        if engine.should_drop_connection() {
+            share_obs::obs_debug!(
+                target: "share_engine::server",
+                "injected_conn_drop",
+                "id" => 0_u64
+            );
+            break;
         }
         match parse_request(line) {
             Err(e) => {
@@ -207,10 +229,13 @@ pub fn serve_tcp(engine: Arc<Engine>, addr: &str) -> io::Result<TcpServer> {
                 let Ok(stream) = incoming else { continue };
                 let engine = Arc::clone(&engine);
                 let conn_stop = Arc::clone(&accept_stop);
-                thread::spawn(move || handle_tcp_connection(engine, stream, conn_stop, local));
+                // Thread exhaustion closes this connection (the client sees
+                // EOF and may retry) instead of killing the accept loop.
+                let _ = thread::Builder::new()
+                    .name("share-engine-conn".to_string())
+                    .spawn(move || handle_tcp_connection(engine, stream, conn_stop, local));
             }
-        })
-        .expect("spawn accept thread");
+        })?;
     Ok(TcpServer {
         addr: local,
         stop,
@@ -296,8 +321,7 @@ pub fn serve_metrics(engine: Arc<Engine>, addr: &str) -> io::Result<MetricsServe
                 let Ok(stream) = incoming else { continue };
                 handle_metrics_connection(&engine, stream);
             }
-        })
-        .expect("spawn metrics accept thread");
+        })?;
     Ok(MetricsServer {
         addr: local,
         stop,

@@ -63,6 +63,16 @@ pub enum MarketSpec {
     Explicit(Box<MarketParams>),
 }
 
+/// Largest seller count a wire request may ask for. Materializing a seeded
+/// market allocates `O(m)` state *before* validation, so an absurd `m`
+/// from an untrusted line would OOM the server; 1e6 sellers is two orders
+/// of magnitude past the paper's largest experiment.
+pub const MAX_WIRE_SELLERS: usize = 1_000_000;
+
+/// Largest `n_pieces` override a wire request may ask for (the solver's
+/// piecewise loop is `O(n_pieces)` per evaluation).
+pub const MAX_WIRE_PIECES: usize = 10_000_000;
+
 impl MarketSpec {
     /// Build (and validate) the concrete [`MarketParams`] this spec denotes.
     ///
@@ -79,6 +89,21 @@ impl MarketSpec {
                 if *m == 0 {
                     return Err(EngineError::InvalidRequest(
                         "seeded spec needs m > 0".to_string(),
+                    ));
+                }
+                if *m > MAX_WIRE_SELLERS {
+                    return Err(EngineError::InvalidRequest(format!(
+                        "seeded spec m={m} exceeds the serving cap of {MAX_WIRE_SELLERS}"
+                    )));
+                }
+                if n_pieces.is_some_and(|n| n > MAX_WIRE_PIECES) {
+                    return Err(EngineError::InvalidRequest(format!(
+                        "n_pieces override exceeds the serving cap of {MAX_WIRE_PIECES}"
+                    )));
+                }
+                if v.is_some_and(|v| !v.is_finite()) {
+                    return Err(EngineError::InvalidRequest(
+                        "v override must be finite".to_string(),
                     ));
                 }
                 let mut rng = StdRng::seed_from_u64(*seed);
@@ -164,6 +189,40 @@ mod tests {
         let p = spec.materialize().unwrap();
         assert_eq!(p.buyer.n_pieces, 250);
         assert_eq!(p.buyer.v, 0.9);
+    }
+
+    #[test]
+    fn absurd_wire_sizes_are_rejected_before_allocation() {
+        let huge_m = MarketSpec::Seeded {
+            m: usize::MAX,
+            seed: 1,
+            n_pieces: None,
+            v: None,
+        };
+        assert!(matches!(
+            huge_m.materialize(),
+            Err(EngineError::InvalidRequest(_))
+        ));
+        let huge_n = MarketSpec::Seeded {
+            m: 3,
+            seed: 1,
+            n_pieces: Some(usize::MAX),
+            v: None,
+        };
+        assert!(matches!(
+            huge_n.materialize(),
+            Err(EngineError::InvalidRequest(_))
+        ));
+        let nan_v = MarketSpec::Seeded {
+            m: 3,
+            seed: 1,
+            n_pieces: None,
+            v: Some(f64::NAN),
+        };
+        assert!(matches!(
+            nan_v.materialize(),
+            Err(EngineError::InvalidRequest(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Worker supervision: respawn solver workers that die to a panic.
+//!
+//! Workers follow let-it-crash: a panic that reaches the worker guard is
+//! converted into typed [`WorkerPanic`](crate::EngineError::WorkerPanic)
+//! replies for every attached waiter, and the worker thread then exits
+//! after posting a death notice here. The supervisor respawns it in the
+//! same slot — up to [`restart_budget`](crate::engine::ResilienceConfig::
+//! restart_budget) times — keeping the pool at full strength under
+//! injected or real solver panics. Every respawn increments
+//! `share_worker_restarts_total`.
+
+use crate::engine::{Job, Shared};
+use crate::worker::worker_loop;
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Tracing target of the supervision events.
+const TARGET: &str = "share_engine::supervisor";
+
+/// Messages from workers (and the engine) to the supervisor.
+pub(crate) enum SupervisorMsg {
+    /// The worker in this slot died to a panic and needs a replacement.
+    WorkerDied(usize),
+    /// The engine is shutting down; stop supervising.
+    Shutdown,
+}
+
+/// Spawn one worker thread for `slot`.
+pub(crate) fn spawn_worker(
+    shared: &Arc<Shared>,
+    job_rx: &Receiver<Job>,
+    sup_tx: &Sender<SupervisorMsg>,
+    slot: usize,
+) -> std::io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    let rx = job_rx.clone();
+    let sup_tx = sup_tx.clone();
+    std::thread::Builder::new()
+        .name(format!("share-engine-worker-{slot}"))
+        .spawn(move || worker_loop(&shared, &rx, slot, &sup_tx))
+}
+
+/// Supervisor thread body: replace dead workers until told to stop or the
+/// restart budget runs dry.
+pub(crate) fn supervisor_loop(
+    shared: &Arc<Shared>,
+    job_rx: &Receiver<Job>,
+    sup_rx: &Receiver<SupervisorMsg>,
+    sup_tx: &Sender<SupervisorMsg>,
+    handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let budget = shared.config.resilience.restart_budget;
+    let mut restarts = 0usize;
+    while let Ok(msg) = sup_rx.recv() {
+        let slot = match msg {
+            SupervisorMsg::Shutdown => break,
+            SupervisorMsg::WorkerDied(slot) => slot,
+        };
+        if shared.closed.load(Ordering::SeqCst) {
+            continue;
+        }
+        if restarts >= budget {
+            share_obs::obs_warn!(
+                target: TARGET,
+                "restart_budget_exhausted",
+                "slot" => slot,
+                "budget" => budget
+            );
+            continue;
+        }
+        restarts += 1;
+        match spawn_worker(shared, job_rx, sup_tx, slot) {
+            Ok(h) => {
+                shared.metrics.inc_worker_restarts();
+                share_obs::obs_info!(
+                    target: TARGET,
+                    "worker_respawned",
+                    "slot" => slot,
+                    "restarts" => restarts
+                );
+                handles.lock().push(h);
+            }
+            Err(e) => {
+                // Thread creation failed (OS resources); the pool shrinks
+                // by one but the engine stays up.
+                share_obs::obs_warn!(
+                    target: TARGET,
+                    "worker_respawn_failed",
+                    "slot" => slot,
+                    "error" => e.to_string()
+                );
+            }
+        }
+    }
+}

@@ -4,51 +4,201 @@
 //! Each worker observes the queue wait of every job it dequeues, wraps the
 //! actual solver run in a `solve` span, and feeds the per-mode solve
 //! latency and per-stage (stage1/stage2/stage3) histograms from the
-//! solver's own [`StageTimings`].
+//! solver's own [`StageTimings`](share_market::solver::StageTimings).
+//!
+//! ## Fault tolerance
+//!
+//! The solver runs inside `catch_unwind`: a panic (injected by the fault
+//! plan or real) becomes a typed [`EngineError::WorkerPanic`] reply for
+//! *every* waiter attached to the job — the in-flight dedup slot is
+//! released, nothing is stranded — and the worker thread then exits so
+//! the supervisor can respawn it (let-it-crash).
+//!
+//! Direct/numeric solves go through a **degradation ladder**: when the
+//! queue is past the degrade watermark, the job overstayed its queue-wait
+//! budget, or the primary solver errors, the worker answers with
+//! `solve_mean_field` instead (Theorem 5.1 makes this principled — the
+//! approximation error is bounded by `O(1/m)`), tagging the reply with
+//! [`DegradeInfo`] so callers can judge fidelity. Degraded summaries are
+//! **never cached**: the cache key promises the requested solver path
+//! within `price_tol`, which a mean-field answer does not honor.
 
-use crate::engine::{Job, Shared, SolveSummary, Waiter};
+use crate::engine::{DegradeInfo, DegradeReason, Job, Shared, SolveSummary, Waiter};
 use crate::error::{EngineError, Result};
+use crate::fault::FaultSite;
 use crate::spec::SolveMode;
-use crossbeam::channel::Receiver;
+use crate::supervisor::SupervisorMsg;
+use crossbeam::channel::{Receiver, Sender};
+use share_market::meanfield::theorem51_bounds;
 use share_market::params::MarketParams;
 use share_market::solver::{solve_mean_field_timed, solve_numeric_timed, solve_timed};
 use share_obs::{self as obs, Level};
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// Tracing target of the worker lifecycle events.
 const TARGET: &str = "share_engine::worker";
 
-/// Run the chosen solver path, recording solve/stage histograms.
-fn run_solver(shared: &Shared, params: &MarketParams, mode: SolveMode) -> Result<SolveSummary> {
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// Run the requested solver path under the panic guard, with fault
+/// injection applied. `Err(msg)` means the solve panicked (the message is
+/// the panic payload); the inner result is the ordinary solver outcome.
+fn run_primary(
+    shared: &Shared,
+    params: &MarketParams,
+    mode: SolveMode,
+) -> std::result::Result<Result<SolveSummary>, String> {
     let mut sp = obs::span(Level::Debug, TARGET, "solve");
     sp.record("m", params.m() as u64);
     sp.record("mode", mode.as_str());
     shared.metrics.inflight_inc();
     let t0 = Instant::now();
-    let outcome = match mode {
-        SolveMode::Direct => solve_timed(params),
-        SolveMode::MeanField => solve_mean_field_timed(params),
-        SolveMode::Numeric => solve_numeric_timed(params),
-    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(faults) = &shared.faults {
+            if faults.latency_ms() > 0 && faults.roll(FaultSite::SolveLatency) {
+                shared.metrics.inc_fault_injection(FaultSite::SolveLatency);
+                std::thread::sleep(Duration::from_millis(faults.latency_ms()));
+            }
+            if faults.roll(FaultSite::WorkerPanic) {
+                shared.metrics.inc_fault_injection(FaultSite::WorkerPanic);
+                panic!(
+                    "injected worker panic (fault plan seed {})",
+                    faults.plan().seed
+                );
+            }
+            if mode != SolveMode::MeanField && faults.roll(FaultSite::Divergence) {
+                shared.metrics.inc_fault_injection(FaultSite::Divergence);
+                return Err(EngineError::Solver(
+                    "injected solver divergence (fault plan)".to_string(),
+                ));
+            }
+        }
+        match mode {
+            SolveMode::Direct => solve_timed(params),
+            SolveMode::MeanField => solve_mean_field_timed(params),
+            SolveMode::Numeric => solve_numeric_timed(params),
+        }
+        .map_err(|e| EngineError::Solver(e.to_string()))
+    }));
     let elapsed = t0.elapsed();
     shared.metrics.inflight_dec();
     shared.metrics.record_solve_latency(mode, elapsed);
+    let solver_result = match outcome {
+        Err(payload) => {
+            shared.metrics.inc_worker_panics();
+            let msg = panic_message(&*payload);
+            share_obs::obs_warn!(
+                target: TARGET,
+                "solve_panicked",
+                "mode" => mode.as_str(),
+                "message" => msg.clone()
+            );
+            return Err(msg);
+        }
+        Ok(r) => r,
+    };
+    Ok(solver_result.map(|(sol, timings)| {
+        shared.metrics.record_stage_timings(&timings);
+        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        sp.record("solve_micros", micros);
+        sp.finish();
+        share_obs::obs_debug!(
+            target: TARGET,
+            "solve_done",
+            "m" => sol.tau.len(),
+            "mode" => mode.as_str(),
+            "solve_micros" => micros,
+            "stage1_ns" => timings.stage1_ns,
+            "stage2_ns" => timings.stage2_ns,
+            "stage3_ns" => timings.stage3_ns
+        );
+        SolveSummary::from_solution(&sol, micros)
+    }))
+}
+
+/// The degradation ladder's fallback rung: answer with `solve_mean_field`
+/// and tag the summary with the Theorem 5.1 fidelity bound. No fault
+/// injection applies here — the fallback is the recovery path.
+fn degrade_to_mean_field(
+    shared: &Shared,
+    params: &MarketParams,
+    reason: DegradeReason,
+) -> Result<SolveSummary> {
+    shared.metrics.inflight_inc();
+    let t0 = Instant::now();
+    let outcome = solve_mean_field_timed(params);
+    let elapsed = t0.elapsed();
+    shared.metrics.inflight_dec();
+    shared
+        .metrics
+        .record_solve_latency(SolveMode::MeanField, elapsed);
     let (sol, timings) = outcome.map_err(|e| EngineError::Solver(e.to_string()))?;
     shared.metrics.record_stage_timings(&timings);
     let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
-    sp.record("solve_micros", micros);
-    sp.finish();
-    share_obs::obs_debug!(
+    let mut summary = SolveSummary::from_solution(&sol, micros);
+    let (bound_lower, bound_upper) = theorem51_bounds(summary.m.max(1));
+    summary.degraded = Some(DegradeInfo {
+        reason,
+        bound_lower,
+        bound_upper,
+    });
+    share_obs::obs_info!(
         target: TARGET,
-        "solve_done",
-        "m" => sol.tau.len(),
-        "mode" => mode.as_str(),
-        "solve_micros" => micros,
-        "stage1_ns" => timings.stage1_ns,
-        "stage2_ns" => timings.stage2_ns,
-        "stage3_ns" => timings.stage3_ns
+        "degraded_to_mean_field",
+        "m" => summary.m,
+        "reason" => format!("{reason:?}"),
+        "bound_upper" => bound_upper
     );
-    Ok(SolveSummary::from_solution(&sol, micros))
+    Ok(summary)
+}
+
+/// Solve one job through the degradation ladder. The boolean is `true`
+/// when the solve panicked and the worker must die after fanning out.
+fn solve_job(shared: &Shared, job: &Job) -> (Result<SolveSummary>, bool) {
+    let resilience = &shared.config.resilience;
+    if job.mode != SolveMode::MeanField {
+        // Proactive rungs: under shed-level queue pressure, or past the
+        // queue-wait budget, skip the expensive path entirely.
+        let proactive = resilience
+            .degrade_queue_depth
+            .filter(|&wm| shared.metrics.queue_depth() >= wm)
+            .map(|_| DegradeReason::Shed)
+            .or_else(|| {
+                resilience
+                    .degrade_queue_wait_ms
+                    .filter(|&ms| job.enqueued_at.elapsed() > Duration::from_millis(ms))
+                    .map(|_| DegradeReason::TimeBudget)
+            });
+        if let Some(reason) = proactive {
+            if let Ok(summary) = degrade_to_mean_field(shared, &job.params, reason) {
+                return (Ok(summary), false);
+            }
+        }
+    }
+    match run_primary(shared, &job.params, job.mode) {
+        Err(panic_msg) => (Err(EngineError::WorkerPanic(panic_msg)), true),
+        Ok(Ok(summary)) => (Ok(summary), false),
+        Ok(Err(primary_err)) => {
+            if job.mode != SolveMode::MeanField && resilience.degrade_on_error {
+                if let Ok(summary) =
+                    degrade_to_mean_field(shared, &job.params, DegradeReason::SolverError)
+                {
+                    return (Ok(summary), false);
+                }
+            }
+            (Err(primary_err), false)
+        }
+    }
 }
 
 /// Split off the waiters whose deadline has already passed.
@@ -66,7 +216,10 @@ fn expire(shared: &Shared, expired: &[Waiter]) {
     }
 }
 
-fn process(shared: &Shared, job: Job) {
+/// Process one job end to end. Returns `true` when the solve panicked and
+/// the worker must exit for respawn (the waiters have already been
+/// answered and the dedup slot released by then).
+fn process(shared: &Shared, job: Job) -> bool {
     // Deadline pre-check: requests that already expired get a structured
     // error now; if nobody is left waiting, skip the solve entirely.
     let now = Instant::now();
@@ -84,13 +237,13 @@ fn process(shared: &Shared, job: Job) {
         has_live
     };
     if !has_live {
-        return;
+        return false;
     }
 
     // A racing submission may have solved this key already (miss-then-queue
     // happens outside the cache locks); answer from the cache if so.
     let cached = shared.cache.get(&job.key);
-    let result = match cached {
+    let (result, panicked) = match cached {
         Some(mut hit) => {
             // The job's originating request ends up cache-served after all;
             // count it so the per-request accounting stays exhaustive.
@@ -98,15 +251,20 @@ fn process(shared: &Shared, job: Job) {
             #[cfg(debug_assertions)]
             shared.debug_verify_price_tol(&job.params, job.mode, &hit);
             hit.cached = true;
-            Ok(hit)
+            (Ok(hit), false)
         }
         None => {
-            let result = run_solver(shared, &job.params, job.mode);
+            let (result, panicked) = solve_job(shared, &job);
             if let Ok(summary) = &result {
                 shared.metrics.inc_solves();
-                shared.cache.insert(job.key.clone(), summary.clone());
+                // Degraded answers are mean-field stand-ins; caching them
+                // under the requested mode's key would serve out-of-
+                // tolerance prices to future full-fidelity requests.
+                if summary.degraded.is_none() {
+                    shared.cache.insert(job.key.clone(), summary.clone());
+                }
             }
-            result
+            (result, panicked)
         }
     };
 
@@ -116,15 +274,56 @@ fn process(shared: &Shared, job: Job) {
     let (live, expired) = split_expired(waiters, now);
     expire(shared, &expired);
     for w in &live {
+        if matches!(&result, Ok(s) if s.degraded.is_some()) {
+            shared.metrics.inc_degraded();
+        }
         shared.reply(w, result.clone());
     }
+    panicked
 }
 
 /// Worker thread body: process jobs until the queue disconnects (engine
-/// shutdown drains the queue first, so this is a graceful exit).
-pub(crate) fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
+/// shutdown drains the queue first, so that is a graceful exit) or a solve
+/// panics — then reply `WorkerPanic` to the stranded waiters, notify the
+/// supervisor, and die so a fresh worker can take the slot.
+pub(crate) fn worker_loop(
+    shared: &Shared,
+    rx: &Receiver<Job>,
+    slot: usize,
+    sup_tx: &Sender<SupervisorMsg>,
+) {
     while let Ok(job) = rx.recv() {
         shared.metrics.queue_depth_dec(job.enqueued_at.elapsed());
-        process(shared, job);
+        let key = job.key.clone();
+        match catch_unwind(AssertUnwindSafe(|| process(shared, job))) {
+            Ok(false) => continue,
+            Ok(true) => {
+                // The solver panicked inside its own guard: every waiter
+                // already holds a WorkerPanic reply and the dedup slot is
+                // free. Die and let the supervisor respawn the slot.
+                share_obs::obs_warn!(target: TARGET, "worker_died", "slot" => slot);
+                let _ = sup_tx.send(SupervisorMsg::WorkerDied(slot));
+                return;
+            }
+            Err(payload) => {
+                // Last-resort guard: the panic escaped `process` itself
+                // (outside the solver guard). Release the job's dedup slot
+                // and answer its waiters so nothing hangs, then die.
+                shared.metrics.inc_worker_panics();
+                let msg = panic_message(&*payload);
+                share_obs::obs_warn!(
+                    target: TARGET,
+                    "worker_died_unguarded",
+                    "slot" => slot,
+                    "message" => msg.clone()
+                );
+                let waiters = shared.inflight.lock().remove(&key).unwrap_or_default();
+                for w in &waiters {
+                    shared.reply(w, Err(EngineError::WorkerPanic(msg.clone())));
+                }
+                let _ = sup_tx.send(SupervisorMsg::WorkerDied(slot));
+                return;
+            }
+        }
     }
 }

@@ -1,0 +1,531 @@
+//! Chaos suite: the fault-injection harness driving the fault-tolerance
+//! layer end to end, under a **fixed seed** so every run exercises the same
+//! injection schedule.
+//!
+//! The core guarantees under test:
+//!
+//! - **exactly one reply per request** over the wire while workers panic
+//!   and are respawned — zero hangs, zero silent drops, zero server exits;
+//! - a retrying [`Client`] **converges to 100% success** against a server
+//!   injecting worker panics *and* connection drops;
+//! - degraded replies carry the Theorem 5.1 fidelity bound and are never
+//!   cached;
+//! - the load-shedding gate rejects with a usable `retry_after_ms` hint;
+//! - a worker panic mid-solve releases the in-flight dedup slot;
+//! - a dead or silent server surfaces as an I/O error, never a hang;
+//! - garbage NDJSON gets one structured `invalid_request` reply per line
+//!   and the connection stays usable.
+
+use share_engine::fault::FaultState;
+use share_engine::{
+    serve_tcp, Client, ClientConfig, DegradeReason, Engine, EngineConfig, EngineError, FaultPlan,
+    FaultSite, RequestBody, ResilienceConfig, ResponseBody, RetryPolicy, SolveMode, SolveSpec,
+};
+use share_market::meanfield::theorem51_bounds;
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn chaos_config(workers: usize, plan: FaultPlan) -> EngineConfig {
+    EngineConfig {
+        workers,
+        queue_capacity: 1024,
+        faults: Some(plan),
+        ..EngineConfig::default()
+    }
+}
+
+/// 25% injected worker panics over ≥200 pipelined wire requests across
+/// concurrent connections: every id gets **exactly one** reply (success or
+/// a typed `worker_panic` error), the supervisor keeps the pool alive, and
+/// the server never goes down.
+#[test]
+fn every_wire_request_gets_exactly_one_reply_under_panics() {
+    let plan = FaultPlan::parse("seed=42,panic=0.25").unwrap();
+    let engine = Arc::new(Engine::start(chaos_config(4, plan)));
+    let server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 60;
+    let clients: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                // Pipeline every request up front; distinct (m, seed) pairs
+                // so each one is real solver work, not a cache hit.
+                for i in 0..PER_THREAD {
+                    let id = t * PER_THREAD + i;
+                    writeln!(
+                        writer,
+                        r#"{{"kind":"solve","id":{id},"spec":{{"m":{m},"seed":{seed}}}}}"#,
+                        m = 5 + (i % 6),
+                        seed = 1000 + id,
+                    )
+                    .unwrap();
+                }
+                writer.flush().unwrap();
+                let mut seen = HashSet::new();
+                let mut line = String::new();
+                while seen.len() < PER_THREAD as usize {
+                    line.clear();
+                    let n = reader.read_line(&mut line).expect("reply within timeout");
+                    assert_ne!(n, 0, "server closed mid-stream after {} replies", seen.len());
+                    let v: serde_json::Value = serde_json::from_str(line.trim()).unwrap();
+                    let id = v["id"].as_u64().expect("reply id");
+                    assert!(seen.insert(id), "id {id} answered twice");
+                    let kind = v["kind"].as_str().unwrap();
+                    if kind == "error" {
+                        assert_eq!(v["code"], "worker_panic", "unexpected error: {line}");
+                    } else {
+                        assert_eq!(kind, "solve", "{line}");
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+    let mut all: HashSet<u64> = HashSet::new();
+    for c in clients {
+        let seen = c.join().expect("client thread");
+        assert!(all.is_disjoint(&seen));
+        all.extend(seen);
+    }
+    assert_eq!(all.len(), (THREADS * PER_THREAD) as usize);
+
+    // The seeded schedule injected panics and the supervisor recovered the
+    // pool; the exposition carries the whole story and stays valid.
+    let stats = engine.stats();
+    assert!(stats.worker_panics > 0, "{stats:?}");
+    assert!(stats.worker_restarts > 0, "{stats:?}");
+    let text = engine.render_prometheus();
+    let parsed = share_obs::prometheus::validate_exposition(&text).expect("valid exposition");
+    assert!(parsed.families >= 13);
+    assert!(text.contains("share_worker_restarts_total"), "{text}");
+    assert!(
+        !text.contains("share_fault_injections_total{kind=\"worker_panic\"} 0"),
+        "panic injections must be counted"
+    );
+    server.stop();
+    engine.shutdown();
+}
+
+/// Worker panics *and* connection drops at 25% each: retrying clients
+/// reconnect and re-send until every one of ≥200 requests succeeds.
+#[test]
+fn retrying_clients_converge_to_full_success_under_panics_and_drops() {
+    let plan = FaultPlan::parse("seed=7,panic=0.25,drop=0.25").unwrap();
+    let engine = Arc::new(Engine::start(chaos_config(2, plan)));
+    let server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 60;
+    let clients: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let config = ClientConfig {
+                    read_timeout: Some(Duration::from_secs(10)),
+                    write_timeout: Some(Duration::from_secs(10)),
+                    retry: Some(RetryPolicy {
+                        // Failure odds per attempt are ~44% (panic ∪ drop);
+                        // 21 attempts push the per-request failure odds
+                        // below 1e-7 — "100% success" is the expectation,
+                        // not a coin flip.
+                        max_retries: 20,
+                        base_backoff: Duration::from_millis(2),
+                        max_backoff: Duration::from_millis(50),
+                        jitter: 0.2,
+                        seed: t,
+                    }),
+                };
+                let mut client = Client::connect_with(addr, config).expect("connect");
+                for i in 0..PER_THREAD {
+                    let spec =
+                        SolveSpec::seeded(5 + (i % 4) as usize, 9000 + t * PER_THREAD + i, SolveMode::Direct);
+                    let resp = client.solve(spec).expect("call failed past retry budget");
+                    assert!(
+                        resp.is_ok(),
+                        "request did not converge: {:?}",
+                        resp.body
+                    );
+                }
+                // Client-side resilience metrics render as a valid
+                // exposition, retry histogram included.
+                let text = client.render_prometheus();
+                share_obs::prometheus::validate_exposition(&text).expect("valid exposition");
+                assert!(text.contains("share_client_retry_backoff_seconds_bucket"));
+                client.client_stats()
+            })
+        })
+        .collect();
+    let mut retries = 0;
+    let mut reconnects = 0;
+    for c in clients {
+        let stats = c.join().expect("client thread");
+        assert_eq!(stats.requests, PER_THREAD);
+        assert_eq!(stats.giveups, 0, "{stats:?}");
+        retries += stats.retries;
+        reconnects += stats.reconnects;
+    }
+    // A quarter of requests panic and a quarter of reads hit a dropped
+    // connection; both recovery paths must actually have fired.
+    assert!(retries > 0, "no retries under a 25%/25% fault plan");
+    assert!(reconnects > 0, "drops must force reconnects");
+    server.stop();
+    engine.shutdown();
+}
+
+/// Forced solver divergence sends direct solves down the degradation
+/// ladder: the reply is mean-field, tagged with the Theorem 5.1 bound for
+/// the market's seller count, counted, and **never cached**.
+#[test]
+fn divergence_degrades_to_mean_field_with_theorem51_bound() {
+    let plan = FaultPlan::parse("seed=3,diverge=1.0").unwrap();
+    let engine = Engine::start(chaos_config(1, plan));
+    let spec = SolveSpec::seeded(40, 11, SolveMode::Direct);
+
+    for round in 0..2 {
+        let summary = engine.request(&spec).expect("ladder must answer");
+        let info = summary.degraded.expect("reply must be tagged degraded");
+        assert_eq!(info.reason, DegradeReason::SolverError);
+        let (lo, hi) = theorem51_bounds(summary.m);
+        assert_eq!(info.bound_lower, lo);
+        assert_eq!(info.bound_upper, hi);
+        assert!(info.bound_upper > 0.0 && info.bound_lower < 0.0);
+        // A degraded stand-in must not be served as a cached full-fidelity
+        // answer on the next round.
+        assert!(!summary.cached, "round {round} served a cached degraded reply");
+    }
+    // Mean-field requests are already the fallback; divergence never
+    // applies to them and they stay full fidelity.
+    let mf = engine
+        .request(&SolveSpec::seeded(40, 11, SolveMode::MeanField))
+        .unwrap();
+    assert!(mf.degraded.is_none());
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.requests_degraded, 2, "{stats:?}");
+    assert_eq!(stats.cache_hits, 0, "{stats:?}");
+}
+
+/// Proactive rung: with the degrade watermark at zero queue depth, direct
+/// solves are answered by mean-field immediately, tagged `shed`.
+#[test]
+fn degrade_watermark_preempts_expensive_solves() {
+    let engine = Engine::start(EngineConfig {
+        workers: 1,
+        resilience: ResilienceConfig {
+            degrade_queue_depth: Some(0),
+            ..ResilienceConfig::default()
+        },
+        ..EngineConfig::default()
+    });
+    let summary = engine
+        .request(&SolveSpec::seeded(30, 5, SolveMode::Direct))
+        .unwrap();
+    let info = summary.degraded.expect("watermark 0 must degrade everything");
+    assert_eq!(info.reason, DegradeReason::Shed);
+    assert_eq!(
+        (info.bound_lower, info.bound_upper),
+        theorem51_bounds(summary.m)
+    );
+    let stats = engine.shutdown();
+    assert_eq!(stats.requests_degraded, 1);
+}
+
+/// The admission gate sheds new work past the queue-depth watermark with a
+/// typed `overloaded` reply carrying a positive `retry_after_ms`, while
+/// dedup joins onto in-flight work stay admitted.
+#[test]
+fn load_shedding_gate_rejects_with_retry_hint_but_admits_dedup_joins() {
+    // No workers: queued jobs never drain, so the depth is fully ours.
+    let engine = Engine::start(EngineConfig {
+        workers: 0,
+        queue_capacity: 64,
+        resilience: ResilienceConfig {
+            shed_queue_depth: Some(1),
+            ..ResilienceConfig::default()
+        },
+        ..EngineConfig::default()
+    });
+    let (tx, rx) = crossbeam::channel::bounded(8);
+    // First spec enqueues (depth 0 → 1).
+    engine.submit(1, &SolveSpec::seeded(5, 1, SolveMode::Direct), &tx);
+    // A duplicate of in-flight work joins for free, even past the gate.
+    engine.submit(2, &SolveSpec::seeded(5, 1, SolveMode::Direct), &tx);
+    // New work now hits the watermark and is shed immediately.
+    engine.submit(3, &SolveSpec::seeded(5, 2, SolveMode::Direct), &tx);
+    let reply = rx.recv_timeout(Duration::from_secs(5)).expect("shed reply");
+    assert_eq!(reply.id, 3);
+    match reply.result {
+        Err(EngineError::Overloaded { retry_after_ms }) => {
+            assert!(retry_after_ms > 0, "hint must be usable");
+        }
+        other => panic!("expected shed, got {other:?}"),
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.requests_shed, 1, "{stats:?}");
+    assert_eq!(stats.deduped, 1, "{stats:?}");
+    engine.shutdown();
+}
+
+/// Regression (dedup-slot leak): a worker panic mid-solve answers **every**
+/// waiter coalesced onto the job and releases the in-flight entry, so later
+/// identical submissions are served fresh instead of hanging.
+#[test]
+fn worker_panic_releases_the_dedup_slot_and_answers_all_waiters() {
+    let plan = FaultPlan::parse("seed=1,panic=1.0").unwrap();
+    let engine = Engine::start(chaos_config(1, plan));
+    let spec = SolveSpec::seeded(6, 77, SolveMode::Direct);
+    let (tx, rx) = crossbeam::channel::bounded(8);
+    engine.submit(1, &spec, &tx);
+    engine.submit(2, &spec, &tx);
+    for _ in 0..2 {
+        let reply = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("panicked solve must still answer");
+        assert!(
+            matches!(reply.result, Err(EngineError::WorkerPanic(_))),
+            "{:?}",
+            reply.result
+        );
+    }
+    // The slot is free and the respawned worker serves the key again: a
+    // third identical submission gets its own (panicked) answer rather
+    // than attaching to a ghost entry forever.
+    engine.submit(3, &spec, &tx);
+    let reply = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("dedup slot leaked: third submission hung");
+    assert_eq!(reply.id, 3);
+    assert!(matches!(reply.result, Err(EngineError::WorkerPanic(_))));
+    let stats = engine.shutdown();
+    assert!(stats.worker_panics >= 2, "{stats:?}");
+    assert!(stats.worker_restarts >= 1, "{stats:?}");
+}
+
+/// Exhausting the restart budget stops respawns without killing the
+/// engine: submissions still get typed answers from the surviving path.
+#[test]
+fn restart_budget_exhaustion_degrades_but_never_hangs() {
+    let plan = FaultPlan::parse("seed=2,panic=1.0").unwrap();
+    let engine = Engine::start(EngineConfig {
+        workers: 1,
+        resilience: ResilienceConfig {
+            restart_budget: 2,
+            ..ResilienceConfig::default()
+        },
+        faults: Some(plan),
+        ..EngineConfig::default()
+    });
+    // Workers 1 + budget 2 → three lives; drive them all to their deaths.
+    for seed in 0..3 {
+        let r = engine.request(&SolveSpec::seeded(5, 200 + seed, SolveMode::Direct));
+        assert!(matches!(r, Err(EngineError::WorkerPanic(_))), "{r:?}");
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.worker_restarts, 2, "{stats:?}");
+    assert_eq!(stats.worker_panics, 3, "{stats:?}");
+}
+
+/// The engine-level injection schedule is a pure function of the plan:
+/// identical seeded runs inject identically, and the counts match a
+/// straight replay of the decision stream.
+#[test]
+fn fault_schedule_is_deterministic_across_engine_runs() {
+    let plan = FaultPlan::parse("seed=9,panic=0.3").unwrap();
+    let run = || {
+        let engine = Engine::start(chaos_config(1, plan));
+        // Distinct markets: every request is one solve, one panic draw.
+        for seed in 0..64 {
+            let _ = engine.request(&SolveSpec::seeded(5, 500 + seed, SolveMode::Direct));
+        }
+        engine.shutdown().worker_panics
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same plan must inject the same schedule");
+    // And both equal the plan's raw decision stream.
+    let replay = FaultState::new(plan);
+    let expected = (0..64).filter(|_| replay.roll(FaultSite::WorkerPanic)).count() as u64;
+    assert_eq!(first, expected);
+    assert!(expected > 0, "seed 9 at 30% must fire within 64 draws");
+}
+
+/// Regression (client hang): a server that dies after reading the request
+/// surfaces as `UnexpectedEof` — the old client blocked forever here.
+#[test]
+fn client_sees_eof_not_hang_when_server_dies_mid_reply() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let killer = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        // Read the request, then drop the connection without replying.
+        let _ = reader.read_line(&mut line);
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let err = client
+        .call(RequestBody::Ping)
+        .expect_err("dead server must error, not hang");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
+    killer.join().unwrap();
+}
+
+/// Regression (client hang): a server that accepts and then goes silent —
+/// connection open, no bytes — trips the read timeout instead of blocking
+/// the caller forever.
+#[test]
+fn client_read_timeout_fires_on_a_silent_server() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let holder = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        // Hold the connection open, silently, until the client gives up.
+        std::thread::sleep(Duration::from_secs(2));
+        drop(stream);
+    });
+    let config = ClientConfig {
+        read_timeout: Some(Duration::from_millis(200)),
+        write_timeout: Some(Duration::from_millis(200)),
+        retry: None,
+    };
+    let mut client = Client::connect_with(addr, config).expect("connect");
+    let start = std::time::Instant::now();
+    let err = client
+        .call(RequestBody::Ping)
+        .expect_err("silent server must time out");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+        ),
+        "{err}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "timeout took {:?}",
+        start.elapsed()
+    );
+    holder.join().unwrap();
+}
+
+/// Fuzz-style robustness: seeded garbage NDJSON lines each get exactly one
+/// structured `invalid_request` reply, the connection survives all of
+/// them, and a well-formed request afterwards is still answered.
+#[test]
+fn garbage_ndjson_lines_get_structured_errors_and_never_kill_the_connection() {
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    }));
+    let server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // Adversarial fixtures plus seeded pseudo-random printable garbage
+    // (deterministic: splitmix-style LCG, no time or RNG state involved).
+    let mut fuzz: Vec<String> = vec![
+        "{not json".to_string(),
+        "}{".to_string(),
+        "null".to_string(),
+        "[1,2,3]".to_string(),
+        "123456789".to_string(),
+        r#""just a string""#.to_string(),
+        r#"{"kind":"frobnicate","id":1}"#.to_string(),
+        r#"{"kind":"solve"}"#.to_string(),
+        r#"{"kind":"solve","id":2,"spec":{"m":0,"seed":1}}"#.to_string(),
+        r#"{"kind":"solve","id":3,"spec":{"m":999999999999,"seed":1}}"#.to_string(),
+        r#"{"id":4}"#.to_string(),
+        "\u{7f}\u{1}\u{2}binary-ish".to_string(),
+    ];
+    let mut state = 0x9E37_79B9_u64;
+    for _ in 0..48 {
+        let mut line = String::new();
+        for _ in 0..24 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Printable ASCII, minus nothing: '{' and '"' included on
+            // purpose so some lines look almost like JSON.
+            let c = (32 + (state >> 33) % 95) as u8 as char;
+            line.push(c);
+        }
+        fuzz.push(line);
+    }
+    let garbage_count = fuzz.len();
+    for line in &fuzz {
+        writeln!(writer, "{line}").unwrap();
+    }
+    writer.flush().unwrap();
+
+    let mut line = String::new();
+    for i in 0..garbage_count {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("error reply");
+        assert_ne!(n, 0, "connection died after {i} garbage lines");
+        assert!(
+            line.contains(r#""code":"invalid_request""#),
+            "garbage line {i} got: {line}"
+        );
+    }
+
+    // The connection is still a working protocol stream.
+    writeln!(
+        writer,
+        r#"{{"kind":"solve","id":900,"spec":{{"m":8,"seed":4}}}}"#
+    )
+    .unwrap();
+    writer.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let v: serde_json::Value = serde_json::from_str(line.trim()).unwrap();
+    assert_eq!(v["id"], 900);
+    assert_eq!(v["kind"], "solve", "{line}");
+
+    let stats = engine.stats();
+    assert!(stats.invalid >= garbage_count as u64 - 2, "{stats:?}");
+    server.stop();
+    engine.shutdown();
+}
+
+/// A batch submitted over the wire under panic injection still returns one
+/// result per entry, in order — failed slots are typed, not missing.
+#[test]
+fn wire_batches_stay_positionally_complete_under_panics() {
+    let plan = FaultPlan::parse("seed=5,panic=0.5").unwrap();
+    let engine = Arc::new(Engine::start(chaos_config(2, plan)));
+    let server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let requests: Vec<SolveSpec> = (0..16)
+        .map(|i| SolveSpec::seeded(5 + i % 3, 3000 + i as u64, SolveMode::Direct))
+        .collect();
+    let resp = client.call(RequestBody::Batch { requests }).unwrap();
+    let ResponseBody::Batch { results } = resp.body else {
+        panic!("expected batch response, got {:?}", resp.body);
+    };
+    assert_eq!(results.len(), 16);
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.id, i as u64, "slot {i} out of order");
+        match &r.body {
+            ResponseBody::Solve { result } => assert_eq!(result.m, 5 + i % 3),
+            ResponseBody::Error { code, .. } => assert_eq!(code, "worker_panic", "slot {i}"),
+            other => panic!("slot {i}: {other:?}"),
+        }
+    }
+    server.stop();
+    engine.shutdown();
+}

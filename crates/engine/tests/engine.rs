@@ -32,7 +32,11 @@ fn backpressure_rejects_when_queue_is_full() {
     engine.submit(3, &SolveSpec::seeded(5, 3, SolveMode::Direct), &tx);
     let reply = rx.recv().expect("rejection reply");
     assert_eq!(reply.id, 3);
-    assert_eq!(reply.result, Err(EngineError::Overloaded));
+    assert!(
+        matches!(reply.result, Err(EngineError::Overloaded { .. })),
+        "{:?}",
+        reply.result
+    );
     let stats = engine.stats();
     assert_eq!(stats.rejected, 1);
     assert_eq!(stats.requests, 3);

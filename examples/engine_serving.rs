@@ -15,7 +15,11 @@
 //! 4. **batch fan-out** — one `batch` wire request spreads 16 distinct
 //!    solves across the whole worker pool and returns the results in
 //!    submission order;
-//! 5. **observability** — a `stats` request reads the counters and latency
+//! 5. **fault tolerance** — a second engine runs under an injected fault
+//!    plan (30% worker panics, 20% connection drops); a retrying client
+//!    reconnects and backs off until every request succeeds, while the
+//!    supervisor respawns the panicked workers behind the scenes;
+//! 6. **observability** — a `stats` request reads the counters and latency
 //!    quantiles over the wire, the Prometheus scrape endpoint is curled and
 //!    its exposition strictly validated, then a `shutdown` request stops
 //!    the accept loop.
@@ -28,8 +32,8 @@
 //! ```
 
 use share::engine::{
-    serve_metrics, serve_tcp, Client, Engine, EngineConfig, RequestBody, ResponseBody, SolveMode,
-    SolveSpec,
+    serve_metrics, serve_tcp, Client, ClientConfig, Engine, EngineConfig, FaultPlan, RequestBody,
+    ResponseBody, RetryPolicy, SolveMode, SolveSpec,
 };
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -160,7 +164,50 @@ fn main() {
         results.len()
     );
 
-    // --- 6. Metrics over the wire + graceful shutdown ---------------------
+    // --- 6. Fault tolerance: chaos engine + retrying client ---------------
+    // A second engine under an injected fault plan: 30% of solves panic
+    // their worker (the supervisor respawns it), 20% of requests get their
+    // connection dropped before a reply. A client with retries enabled
+    // rides through all of it.
+    let chaos_engine = Arc::new(Engine::start(EngineConfig {
+        workers: 2,
+        faults: Some(FaultPlan::parse("seed=42,panic=0.3,drop=0.2").expect("plan")),
+        ..EngineConfig::default()
+    }));
+    let chaos_server = serve_tcp(Arc::clone(&chaos_engine), "127.0.0.1:0").expect("bind chaos");
+    // A deep retry budget with short backoffs: at 30% panics + 20% drops a
+    // single attempt fails ~44% of the time, so 20 retries push the odds of
+    // giving up on any request below 1e-7.
+    let survivor_config = ClientConfig {
+        retry: Some(RetryPolicy {
+            max_retries: 20,
+            base_backoff: std::time::Duration::from_millis(2),
+            max_backoff: std::time::Duration::from_millis(50),
+            ..RetryPolicy::default()
+        }),
+        ..ClientConfig::default()
+    };
+    let mut survivor = Client::connect_with(chaos_server.local_addr(), survivor_config)
+        .expect("connect chaos");
+    for i in 0..30u64 {
+        let resp = survivor
+            .solve(SolveSpec::seeded(10 + (i % 5) as usize, 5000 + i, SolveMode::Direct))
+            .expect("retry budget exhausted");
+        assert!(resp.is_ok(), "request {i} did not converge: {resp:?}");
+    }
+    let survivor_stats = survivor.client_stats();
+    chaos_server.stop();
+    let chaos_stats = chaos_engine.shutdown();
+    println!(
+        "chaos engine: 30/30 requests succeeded through {} worker panics ({} respawns) and {} reconnects ({} retries, {} ms backed off)",
+        chaos_stats.worker_panics,
+        chaos_stats.worker_restarts,
+        survivor_stats.reconnects,
+        survivor_stats.retries,
+        survivor_stats.backoff_ms_total
+    );
+
+    // --- 7. Metrics over the wire + graceful shutdown ---------------------
     let stats = pipelined.stats().expect("stats");
     println!("\nwire `stats` snapshot:\n{stats}");
     assert!(stats.requests >= 100, "drove {} requests", stats.requests);
@@ -178,7 +225,7 @@ fn main() {
     assert!(stats.latency_p50_us <= stats.latency_p99_us);
     assert!(stats.latency_p99_us <= stats.latency_max_us);
 
-    // --- 7. Prometheus scrape: strict 0.0.4 validation --------------------
+    // --- 8. Prometheus scrape: strict 0.0.4 validation --------------------
     let exposition = scrape(metrics.local_addr());
     let parsed = share::obs::prometheus::validate_exposition(&exposition)
         .expect("exposition must parse under strict validation");

@@ -12,6 +12,8 @@
 //! share request --addr 127.0.0.1:7878 --m 50 --seed 1 --mode mean_field
 //! share request --addr 127.0.0.1:7878 --stats    # metrics snapshot (with latency quantiles)
 //! share request --addr 127.0.0.1:7878 --metrics  # raw Prometheus exposition
+//! share serve --tcp 127.0.0.1:7878 --fault-plan seed=42,panic=0.25,drop=0.25  # chaos mode
+//! share request --addr 127.0.0.1:7878 --m 50 --seed 1 --retries 5 --timeout-ms 5000
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
@@ -275,6 +277,24 @@ fn parse_mode(args: &Args) -> Result<share::engine::SolveMode, String> {
     }
 }
 
+/// Resolve the fault-injection plan from `--fault-plan` (preferred) or the
+/// `SHARE_FAULT_PLAN` environment variable, so chaos tests, benches and CI
+/// all share one knob. Absent both, no faults are injected.
+fn load_fault_plan(args: &Args) -> Result<Option<share::engine::FaultPlan>, String> {
+    use share::engine::FaultPlan;
+    let spec = match args.options.get("fault-plan") {
+        Some(s) => Some(s.clone()),
+        None => std::env::var("SHARE_FAULT_PLAN").ok(),
+    };
+    match spec {
+        None => Ok(None),
+        Some(s) => {
+            let plan = FaultPlan::parse(&s).map_err(|e| format!("--fault-plan: {e}"))?;
+            Ok(if plan.is_noop() { None } else { Some(plan) })
+        }
+    }
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     use share::engine::{serve_stdio, serve_tcp, Engine, EngineConfig, QuantizerConfig};
     use std::sync::Arc;
@@ -287,12 +307,26 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
         quantizer.param_tol = tol;
     }
+    let mut resilience = defaults.resilience;
+    resilience.restart_budget = args.usize_opt("restart-budget", resilience.restart_budget)?;
+    if args.options.contains_key("shed-at") {
+        resilience.shed_queue_depth = Some(args.usize_opt("shed-at", 0)?);
+    }
+    if args.options.contains_key("degrade-at") {
+        resilience.degrade_queue_depth = Some(args.usize_opt("degrade-at", 0)?);
+    }
+    let faults = load_fault_plan(args)?;
+    if let Some(plan) = &faults {
+        eprintln!("share-engine fault plan active: {plan:?}");
+    }
     let config = EngineConfig {
         workers: args.usize_opt("workers", defaults.workers)?,
         queue_capacity: args.usize_opt("queue", defaults.queue_capacity)?,
         cache_capacity: args.usize_opt("cache", defaults.cache_capacity)?,
         cache_shards: args.usize_opt("cache-shards", defaults.cache_shards)?,
         quantizer,
+        resilience,
+        faults,
     };
     if config.workers == 0 {
         return Err("--workers must be at least 1".to_string());
@@ -332,13 +366,31 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_request(args: &Args) -> Result<(), String> {
-    use share::engine::{Client, MarketSpec, RequestBody, SolveSpec};
+    use share::engine::{Client, ClientConfig, MarketSpec, RequestBody, RetryPolicy, SolveSpec};
+    use std::time::Duration;
 
     let addr = args
         .options
         .get("addr")
         .ok_or("--addr HOST:PORT is required")?;
-    let mut client = Client::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut config = ClientConfig::default();
+    if let Some(ms) = args.options.get("timeout-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--timeout-ms: `{ms}` is not an integer"))?;
+        let timeout = (ms > 0).then(|| Duration::from_millis(ms));
+        config.read_timeout = timeout;
+        config.write_timeout = timeout;
+    }
+    if args.options.contains_key("retries") || args.has_flag("retries") {
+        config.retry = Some(RetryPolicy {
+            max_retries: args.usize_opt("retries", RetryPolicy::default().max_retries as usize)?
+                as u32,
+            ..RetryPolicy::default()
+        });
+    }
+    let mut client = Client::connect_with(addr.as_str(), config)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
     if args.has_flag("metrics") {
         let text = client
             .metrics_text()
@@ -396,9 +448,11 @@ fn cmd_params(args: &Args) -> Result<(), String> {
 const USAGE: &str = "usage: share_cli <solve|verify|sweep|trade|params|serve|request> [--m N] \
 [--seed S] [--config file.json] [--json] [--param theta1 --lo .. --hi .. --points ..] \
 [--rounds R --n N] [--tcp ADDR --workers W --queue Q --cache C --cache-shards S --tol T \
---metrics-addr ADDR] \
-[--addr HOST:PORT --mode direct|mean_field|numeric --deadline-ms MS --stats --metrics \
---shutdown] (set SHARE_LOG=debug for tracing on stderr)";
+--metrics-addr ADDR --shed-at DEPTH --degrade-at DEPTH --restart-budget N \
+--fault-plan seed=S,panic=P,drop=P,latency=P,latency_ms=MS,diverge=P] \
+[--addr HOST:PORT --mode direct|mean_field|numeric --deadline-ms MS --retries N \
+--timeout-ms MS --stats --metrics --shutdown] \
+(SHARE_LOG=debug for tracing; SHARE_FAULT_PLAN as --fault-plan fallback)";
 
 fn run() -> Result<(), String> {
     share::obs::init_from_env();

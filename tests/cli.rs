@@ -53,6 +53,16 @@ fn request_without_server_fails_cleanly() {
 }
 
 #[test]
+fn malformed_fault_plans_fail_before_binding() {
+    for plan in ["panic=2.0", "seed=x", "frobnicate=1", "panic"] {
+        let out = share_cli(&["serve", "--fault-plan", plan]);
+        assert!(!out.status.success(), "plan `{plan}` must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.starts_with("error: --fault-plan"), "{stderr}");
+    }
+}
+
+#[test]
 fn solve_runs_end_to_end() {
     let out = share_cli(&["solve", "--m", "8", "--seed", "3"]);
     assert!(
