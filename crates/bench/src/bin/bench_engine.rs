@@ -23,8 +23,11 @@
 //! batch into an engine running a panic-injecting fault plan with shed and
 //! degrade watermarks armed, and records how the traffic split between
 //! full-fidelity solves, mean-field degraded answers, load-shed
-//! rejections, and worker panics. `--smoke` shrinks every dimension so CI
-//! can run the full code path in seconds.
+//! rejections, and worker panics. A **connection_scaling** section (unix)
+//! opens 16/256/1024 NDJSON TCP connections against the event-loop server
+//! and records warm-request p99 per tier, asserting the process thread
+//! count stays at `reactors + workers + 2` throughout. `--smoke` shrinks
+//! every dimension so CI can run the full code path in seconds.
 //!
 //! Output: `bench_results/BENCH_engine.json`.
 
@@ -90,6 +93,21 @@ struct BatchFanoutEntry {
     requests_per_sec: f64,
 }
 
+/// Warm-cache request p99 over the event-loop TCP server with one tier's
+/// worth of concurrent connections open, plus the process thread count
+/// observed while they were all connected (the reactor pool keeps it flat).
+#[derive(Debug, Serialize)]
+struct ConnectionScalingEntry {
+    connections: usize,
+    reactors: usize,
+    requests: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    /// Process thread count with every connection open (`None` where the
+    /// platform offers no cheap way to read it).
+    threads: Option<usize>,
+}
+
 /// How one batch's traffic split when the engine was degrading and
 /// shedding under an injected fault plan.
 #[derive(Debug, Serialize)]
@@ -129,6 +147,9 @@ struct BenchReport {
     cache_scaling: Vec<CacheScalingEntry>,
     /// Batch fan-out throughput at 1/4/8 workers.
     batch_fanout: Vec<BatchFanoutEntry>,
+    /// Warm-request p99 over the event-loop TCP server at 16/256/1024
+    /// open connections, with the fixed-thread-pool assertion applied.
+    connection_scaling: Vec<ConnectionScalingEntry>,
     /// Traffic split under an injected fault plan with shed + degrade armed.
     fault_tolerance: FaultToleranceSummary,
     /// Final engine counters, as served by the `stats` wire request.
@@ -308,6 +329,220 @@ fn bench_fault_tolerance(batch: usize, m: usize) -> FaultToleranceSummary {
     entry
 }
 
+/// Raise the soft `RLIMIT_NOFILE` to its hard ceiling so the 1,024-connection
+/// tier fits (client + server end per connection) under the common 1,024
+/// default. Returns the soft limit in effect afterwards.
+#[cfg(unix)]
+mod rlimit {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    const RLIMIT_NOFILE: i32 = 7;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    const RLIMIT_NOFILE: i32 = 8;
+
+    pub fn raise_nofile() -> u64 {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+            return 1024;
+        }
+        if lim.cur < lim.max {
+            let want = RLimit {
+                cur: lim.max,
+                max: lim.max,
+            };
+            if unsafe { setrlimit(RLIMIT_NOFILE, &want) } == 0 {
+                return want.cur;
+            }
+        }
+        lim.cur
+    }
+}
+
+/// Threads in this process, from `/proc/self/status` (Linux only; the
+/// thread-count assertion is skipped elsewhere).
+#[cfg(all(unix, target_os = "linux"))]
+fn process_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+fn process_threads() -> Option<usize> {
+    None
+}
+
+/// Warm-cache request latency over the NDJSON TCP path as the number of
+/// open connections grows. Each tier gets a fresh 2-reactor/2-worker
+/// server; with every connection of the tier open, a small driver pool
+/// round-trips one request per connection at a time, so the p99 reflects
+/// the event loop's fan-in/fan-out cost — the solves themselves are pure
+/// cache hits. The thread-count assertion is the point: 1,024 connections
+/// must not cost more threads than 16 did.
+#[cfg(unix)]
+fn bench_connection_scaling(tiers: &[usize], rounds: usize) -> Vec<ConnectionScalingEntry> {
+    use share_engine::{serve_tcp_with, MarketSpec, RequestBody, WireRequest, WireResponse};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    const REACTORS: usize = 2;
+    const WORKERS: usize = 2;
+    const DRIVERS: usize = 8;
+    const M: usize = 20;
+    const WARM_SEEDS: u64 = 8;
+
+    let limit = rlimit::raise_nofile();
+    let baseline = process_threads();
+    tiers
+        .iter()
+        .map(|&want| {
+            // Two descriptors per connection live in this process (client
+            // and server end); leave slack for everything else.
+            let connections = want.min((limit.saturating_sub(128) / 2) as usize).max(4);
+            let engine = Arc::new(Engine::start(EngineConfig {
+                workers: WORKERS,
+                queue_capacity: 4096,
+                cache_capacity: 64,
+                ..EngineConfig::default()
+            }));
+            for seed in 0..WARM_SEEDS {
+                engine
+                    .request(&SolveSpec::seeded(M, 31_000 + seed, SolveMode::Direct))
+                    .expect("warm-up solve");
+            }
+            let server =
+                serve_tcp_with(Arc::clone(&engine), "127.0.0.1:0", REACTORS).expect("bind");
+            let addr = server.local_addr();
+
+            let streams: Vec<TcpStream> = (0..connections)
+                .map(|_| {
+                    let deadline = Instant::now() + std::time::Duration::from_secs(20);
+                    loop {
+                        match TcpStream::connect(addr) {
+                            Ok(s) => break s,
+                            Err(e) => {
+                                assert!(Instant::now() < deadline, "connect: {e}");
+                                std::thread::sleep(std::time::Duration::from_millis(10));
+                            }
+                        }
+                    }
+                })
+                .collect();
+            // Every connection of the tier is now open; the reactor pool
+            // must have absorbed them without spawning anything.
+            let threads = process_threads();
+            if let (Some(before), Some(now)) = (baseline, threads) {
+                assert!(
+                    now <= before + REACTORS + WORKERS + 2,
+                    "{connections} connections grew the thread count {before} -> {now}; \
+                     the reactor pool must stay fixed"
+                );
+            }
+
+            let hist = Arc::new(LogHistogram::new());
+            let chunk = streams.len().div_ceil(DRIVERS);
+            let mut chunks: Vec<Vec<TcpStream>> = Vec::new();
+            let mut it = streams.into_iter();
+            loop {
+                let c: Vec<TcpStream> = it.by_ref().take(chunk).collect();
+                if c.is_empty() {
+                    break;
+                }
+                chunks.push(c);
+            }
+            let drivers: Vec<_> = chunks
+                .into_iter()
+                .enumerate()
+                .map(|(d, conns)| {
+                    let hist = Arc::clone(&hist);
+                    std::thread::spawn(move || {
+                        for (c, stream) in conns.into_iter().enumerate() {
+                            stream
+                                .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                                .expect("read timeout");
+                            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                            let mut stream = stream;
+                            for r in 0..rounds {
+                                let id = ((d * 100_000 + c) * 100 + r) as u64;
+                                let req = WireRequest {
+                                    id,
+                                    body: RequestBody::Solve {
+                                        spec: MarketSpec::Seeded {
+                                            m: M,
+                                            seed: 31_000 + id % WARM_SEEDS,
+                                            n_pieces: None,
+                                            v: None,
+                                        },
+                                        mode: SolveMode::Direct,
+                                        deadline_ms: None,
+                                    },
+                                };
+                                let mut line = serde_json::to_string(&req).expect("encode request");
+                                line.push('\n');
+                                let t0 = Instant::now();
+                                stream.write_all(line.as_bytes()).expect("send");
+                                let mut reply = String::new();
+                                reader.read_line(&mut reply).expect("recv");
+                                hist.record_duration(t0.elapsed());
+                                let resp: WireResponse =
+                                    serde_json::from_str(reply.trim()).expect("decode reply");
+                                assert_eq!(resp.id, id, "reply must match the request");
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for d in drivers {
+                d.join().expect("driver thread");
+            }
+            server.stop();
+            engine.shutdown();
+
+            let requests = hist.count();
+            assert_eq!(
+                requests,
+                (connections * rounds) as u64,
+                "every request must get exactly one reply"
+            );
+            let entry = ConnectionScalingEntry {
+                connections,
+                reactors: REACTORS,
+                requests,
+                p50_ns: hist.quantile(0.50),
+                p99_ns: hist.quantile(0.99),
+                threads,
+            };
+            println!(
+                "connection scaling: {} connections, p99 {:.1}µs, {} threads",
+                entry.connections,
+                entry.p99_ns as f64 / 1e3,
+                entry
+                    .threads
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "?".into())
+            );
+            entry
+        })
+        .collect()
+}
+
+#[cfg(not(unix))]
+fn bench_connection_scaling(_tiers: &[usize], _rounds: usize) -> Vec<ConnectionScalingEntry> {
+    Vec::new()
+}
+
 fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
     args.iter()
         .position(|a| a == key)
@@ -408,6 +643,12 @@ fn main() {
     let cache_scaling = bench_cache_scaling(markets, m, rounds);
     let batch_fanout = bench_batch_fanout(batch, m);
     let fault_tolerance = bench_fault_tolerance(batch, m);
+    let conn_tiers: &[usize] = if smoke {
+        &[8, 32, 64]
+    } else {
+        &[16, 256, 1024]
+    };
+    let connection_scaling = bench_connection_scaling(conn_tiers, if smoke { 2 } else { 4 });
 
     let report = BenchReport {
         markets,
@@ -423,6 +664,7 @@ fn main() {
         stage3,
         cache_scaling,
         batch_fanout,
+        connection_scaling,
         fault_tolerance,
         stats,
     };

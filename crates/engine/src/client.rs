@@ -71,8 +71,9 @@ impl RetryPolicy {
             .base_backoff
             .saturating_mul(2u32.saturating_pow(attempt.min(20)))
             .min(self.max_backoff);
-        let u = (splitmix64(self.seed ^ (0xB0FF ^ u64::from(attempt)).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 11)
-            as f64
+        let u = (splitmix64(
+            self.seed ^ (0xB0FF ^ u64::from(attempt)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ) >> 11) as f64
             / (1u64 << 53) as f64;
         exp.mul_f64(1.0 + self.jitter.clamp(0.0, 1.0) * u)
     }
@@ -465,7 +466,10 @@ mod tests {
         assert!(seq[2] >= Duration::from_millis(40) && seq[2] <= Duration::from_millis(48));
         // Capped (plus at most the jitter fraction).
         for d in &seq[5..] {
-            assert!(*d <= Duration::from_millis(240), "{d:?} exceeds jittered cap");
+            assert!(
+                *d <= Duration::from_millis(240),
+                "{d:?} exceeds jittered cap"
+            );
         }
         // A different seed jitters differently.
         let q = RetryPolicy { seed: 43, ..p };

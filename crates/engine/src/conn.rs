@@ -1,0 +1,306 @@
+//! Per-connection state for the event-loop TCP server: nonblocking
+//! read/write buffers with incremental NDJSON line framing.
+//!
+//! A [`Conn`] owns one nonblocking socket. Bytes read off the wire
+//! accumulate in a read buffer until a full line is framed; each complete
+//! line is dispatched with exactly the semantics of the legacy
+//! thread-per-connection loop in [`server`](crate::server): lines are
+//! trimmed, empty lines are skipped, the connection-drop fault site is
+//! rolled once per request line, malformed requests are answered with an
+//! `id: 0` error, and a `shutdown` request is acknowledged before the rest
+//! of the stream is discarded. Responses — whether produced inline
+//! (stats/metrics/ping/errors) or routed back from the worker pool — are
+//! appended to a write buffer that the reactor flushes whenever the socket
+//! accepts bytes, so a slow-reading peer never blocks the reactor thread.
+
+use crate::engine::{Engine, ReplySink};
+use crate::protocol::{encode_response, parse_request, RequestBody, ResponseBody, WireResponse};
+use crate::reactor::{BatchSink, Routed, RoutedSink, Waker};
+use crate::spec::SolveSpec;
+use crossbeam::channel::Sender;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Tracing target of the event-loop connection events (shared with the
+/// legacy loop so the chaos suite's log assertions hold on both paths).
+const TARGET: &str = "share_engine::server";
+
+/// Everything a connection needs to dispatch one request line: the engine,
+/// the reactor's reply-routing channel and waker, and the server stop flag
+/// a `shutdown` request must raise.
+pub(crate) struct ConnCtx<'a> {
+    /// The shared engine.
+    pub(crate) engine: &'a Arc<Engine>,
+    /// Completed replies are routed here, tagged with the connection token.
+    pub(crate) routed_tx: &'a Sender<Routed>,
+    /// Wakes the owning reactor when a routed reply lands.
+    pub(crate) waker: &'a Arc<Waker>,
+    /// The accept loop's stop flag; a `shutdown` request raises it.
+    pub(crate) stop: &'a Arc<AtomicBool>,
+    /// The listener's own address, used to wake the blocking accept loop.
+    pub(crate) local_addr: SocketAddr,
+}
+
+/// One nonblocking NDJSON connection owned by a reactor thread.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    /// Reactor-pool-unique token; routed replies carry it back.
+    pub(crate) token: u64,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// How much of `write_buf` has already been written to the socket.
+    write_pos: usize,
+    /// Replies still owed by the engine (solve submissions + batches).
+    pub(crate) inflight: usize,
+    /// The read side is done: EOF, read error, an injected connection
+    /// drop, or a `shutdown` request. In-flight replies still flush.
+    pub(crate) read_closed: bool,
+    /// The connection failed hard (write error); close it immediately.
+    pub(crate) dead: bool,
+}
+
+/// First position of `needle` in `haystack`.
+fn find_byte(needle: u8, haystack: &[u8]) -> Option<usize> {
+    haystack.iter().position(|&b| b == needle)
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream, token: u64) -> Self {
+        Self {
+            stream,
+            token,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            inflight: 0,
+            read_closed: false,
+            dead: false,
+        }
+    }
+
+    pub(crate) fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    /// Bytes queued but not yet accepted by the socket.
+    pub(crate) fn wants_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// A connection can be reaped once its read side is done, every
+    /// submitted request has been answered, and the answers are flushed.
+    pub(crate) fn can_close(&self) -> bool {
+        self.dead || (self.read_closed && self.inflight == 0 && !self.wants_write())
+    }
+
+    /// Append one encoded response line to the write buffer.
+    pub(crate) fn queue_response(&mut self, resp: &WireResponse) {
+        self.write_buf
+            .extend_from_slice(encode_response(resp).as_bytes());
+        self.write_buf.push(b'\n');
+    }
+
+    /// Write as much of the buffered output as the socket accepts. A hard
+    /// write error marks the connection dead (the legacy writer thread
+    /// likewise stopped on its first failed write).
+    pub(crate) fn flush(&mut self) {
+        while self.wants_write() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if !self.wants_write() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        } else if self.write_pos > 4096 {
+            // Compact so a long-lived slow reader doesn't pin memory.
+            self.write_buf.drain(..self.write_pos);
+            self.write_pos = 0;
+        }
+    }
+
+    /// Drain the socket until it would block, framing and dispatching every
+    /// complete NDJSON line as it arrives.
+    pub(crate) fn handle_readable(&mut self, ctx: &ConnCtx<'_>) {
+        let mut scratch = [0u8; 8192];
+        loop {
+            if self.read_closed || self.dead {
+                return;
+            }
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    // EOF delivers a trailing unterminated line, exactly
+                    // like `BufRead::lines` on the legacy path.
+                    if !self.read_buf.is_empty() {
+                        let tail = std::mem::take(&mut self.read_buf);
+                        self.dispatch_raw_line(&tail, ctx);
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&scratch[..n]);
+                    self.process_buffered_lines(ctx);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Read error: stop reading but flush in-flight replies,
+                    // as the legacy loop did when `lines()` failed.
+                    self.read_closed = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Frame and dispatch every complete line currently buffered.
+    fn process_buffered_lines(&mut self, ctx: &ConnCtx<'_>) {
+        let mut consumed = 0;
+        while !self.read_closed && !self.dead {
+            let Some(nl) = find_byte(b'\n', &self.read_buf[consumed..]) else {
+                break;
+            };
+            let end = consumed + nl;
+            // `BufRead::lines` strips a trailing CR along with the LF.
+            let line_end = if end > consumed && self.read_buf[end - 1] == b'\r' {
+                end - 1
+            } else {
+                end
+            };
+            let line: Vec<u8> = self.read_buf[consumed..line_end].to_vec();
+            consumed = end + 1;
+            self.dispatch_raw_line(&line, ctx);
+        }
+        self.read_buf.drain(..consumed);
+    }
+
+    /// Process one framed request line with the legacy loop's semantics.
+    fn dispatch_raw_line(&mut self, raw: &[u8], ctx: &ConnCtx<'_>) {
+        let Ok(text) = std::str::from_utf8(raw) else {
+            // The legacy reader's `lines()` iterator failed on invalid
+            // UTF-8 and stopped serving the connection.
+            self.read_closed = true;
+            return;
+        };
+        let line = text.trim();
+        if line.is_empty() {
+            return;
+        }
+        // Fault plan: drop the connection after reading a request, without
+        // replying to it. Replies already in flight still flush before the
+        // connection closes; the rest of the input stream is discarded.
+        if ctx.engine.should_drop_connection() {
+            share_obs::obs_debug!(target: TARGET, "injected_conn_drop", "id" => 0_u64);
+            self.read_closed = true;
+            return;
+        }
+        match parse_request(line) {
+            Err(e) => {
+                ctx.engine.note_invalid();
+                self.queue_response(&WireResponse::from_error(0, &e));
+            }
+            Ok(req) => match req.body {
+                RequestBody::Solve {
+                    spec,
+                    mode,
+                    deadline_ms,
+                } => {
+                    let solve = SolveSpec {
+                        spec,
+                        mode,
+                        deadline_ms,
+                    };
+                    self.inflight += 1;
+                    ctx.engine.submit_sink(
+                        req.id,
+                        &solve,
+                        ReplySink::Routed(RoutedSink {
+                            token: self.token,
+                            tx: ctx.routed_tx.clone(),
+                            waker: Arc::clone(ctx.waker),
+                        }),
+                    );
+                }
+                RequestBody::Batch { requests } => {
+                    if requests.is_empty() {
+                        self.queue_response(&WireResponse {
+                            id: req.id,
+                            body: ResponseBody::Batch {
+                                results: Vec::new(),
+                            },
+                        });
+                    } else {
+                        // Fan the batch across the worker pool without a
+                        // collector thread: the sink fills slots as replies
+                        // complete and emits the aggregate response when
+                        // the last one lands. Sub-request ids are their
+                        // positions, as on the legacy path.
+                        self.inflight += 1;
+                        let sink = BatchSink::new(
+                            self.token,
+                            req.id,
+                            requests.len(),
+                            ctx.routed_tx.clone(),
+                            Arc::clone(ctx.waker),
+                        );
+                        for (i, spec) in requests.iter().enumerate() {
+                            ctx.engine.submit_sink(
+                                i as u64,
+                                spec,
+                                ReplySink::Batch(Arc::clone(&sink)),
+                            );
+                        }
+                    }
+                }
+                RequestBody::Stats => {
+                    self.queue_response(&WireResponse {
+                        id: req.id,
+                        body: ResponseBody::Stats {
+                            stats: ctx.engine.stats(),
+                        },
+                    });
+                }
+                RequestBody::Metrics => {
+                    self.queue_response(&WireResponse {
+                        id: req.id,
+                        body: ResponseBody::Metrics {
+                            text: ctx.engine.render_prometheus(),
+                        },
+                    });
+                }
+                RequestBody::Ping => {
+                    self.queue_response(&WireResponse {
+                        id: req.id,
+                        body: ResponseBody::Pong,
+                    });
+                }
+                RequestBody::Shutdown => {
+                    self.queue_response(&WireResponse {
+                        id: req.id,
+                        body: ResponseBody::Shutdown,
+                    });
+                    self.read_closed = true;
+                    if !ctx.stop.swap(true, Ordering::SeqCst) {
+                        // Wake the blocking accept loop so it observes the
+                        // stop flag (same trick as the legacy path).
+                        let _ = TcpStream::connect(ctx.local_addr);
+                    }
+                }
+            },
+        }
+    }
+}

@@ -219,12 +219,43 @@ pub struct Reply {
     pub result: Result<SolveSummary>,
 }
 
+/// Where a reply goes once the engine produces it. The public [`Engine::submit`]
+/// path delivers over a channel; the event-loop TCP server instead routes
+/// replies back onto the owning reactor connection (tagged with its token)
+/// or into a batch aggregation sink — no forwarder thread either way.
+pub(crate) enum ReplySink {
+    /// Deliver on a crossbeam channel (in-process callers, stdio, legacy).
+    Channel(Sender<Reply>),
+    /// Route onto a reactor connection and wake its event loop.
+    #[cfg(unix)]
+    Routed(crate::reactor::RoutedSink),
+    /// Fill one slot of an aggregating NDJSON batch.
+    #[cfg(unix)]
+    Batch(Arc<crate::reactor::BatchSink>),
+}
+
+impl ReplySink {
+    /// Deliver one reply. Like the legacy channel send, delivery to a
+    /// receiver that has gone away is silently dropped.
+    pub(crate) fn send(&self, reply: Reply) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(reply);
+            }
+            #[cfg(unix)]
+            ReplySink::Routed(sink) => sink.send(reply),
+            #[cfg(unix)]
+            ReplySink::Batch(sink) => sink.send(reply),
+        }
+    }
+}
+
 /// A request waiting for a solve to finish.
 pub(crate) struct Waiter {
     pub(crate) id: u64,
     pub(crate) deadline: Option<Instant>,
     pub(crate) enqueued: Instant,
-    pub(crate) tx: Sender<Reply>,
+    pub(crate) tx: ReplySink,
 }
 
 /// A queued unit of solver work.
@@ -260,7 +291,7 @@ impl Shared {
     /// Deliver a reply to one waiter, recording its service latency.
     pub(crate) fn reply(&self, waiter: &Waiter, result: Result<SolveSummary>) {
         self.metrics.record_latency(waiter.enqueued.elapsed());
-        let _ = waiter.tx.send(Reply {
+        waiter.tx.send(Reply {
             id: waiter.id,
             result,
         });
@@ -352,9 +383,7 @@ impl Engine {
         });
         shared.metrics.set_cache_shards(shared.cache.shards());
         let workers: Vec<JoinHandle<()>> = (0..shared.config.workers)
-            .map(|i| {
-                spawn_worker(&shared, &job_rx, &sup_tx, i).expect("spawn worker thread")
-            })
+            .map(|i| spawn_worker(&shared, &job_rx, &sup_tx, i).expect("spawn worker thread"))
             .collect();
         let workers = Arc::new(Mutex::new(workers));
         let supervisor = {
@@ -389,6 +418,14 @@ impl Engine {
     /// have room for every outstanding reply (replies are never dropped on a
     /// live channel; a disconnected receiver is silently ignored).
     pub fn submit(&self, id: u64, spec: &SolveSpec, reply_tx: &Sender<Reply>) {
+        self.submit_sink(id, spec, ReplySink::Channel(reply_tx.clone()));
+    }
+
+    /// [`submit`](Self::submit) with an arbitrary reply destination: the
+    /// event-loop server routes replies straight onto reactor connections
+    /// and batch sinks through here. The exactly-one-reply contract is
+    /// identical.
+    pub(crate) fn submit_sink(&self, id: u64, spec: &SolveSpec, sink: ReplySink) {
         let enqueued = Instant::now();
         let shared = &self.shared;
         shared.metrics.inc_requests();
@@ -398,7 +435,7 @@ impl Engine {
                 .deadline_ms
                 .map(|ms| enqueued + Duration::from_millis(ms)),
             enqueued,
-            tx: reply_tx.clone(),
+            tx: sink,
         };
         if shared.closed.load(Ordering::SeqCst) {
             shared.reply(&waiter, Err(EngineError::ShuttingDown));

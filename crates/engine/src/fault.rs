@@ -247,9 +247,10 @@ mod tests {
 
     #[test]
     fn parse_full_plan_roundtrips_fields() {
-        let plan =
-            FaultPlan::parse("seed=42, panic=0.25, drop=0.25, latency=0.1, latency_ms=50, diverge=0.1")
-                .unwrap();
+        let plan = FaultPlan::parse(
+            "seed=42, panic=0.25, drop=0.25, latency=0.1, latency_ms=50, diverge=0.1",
+        )
+        .unwrap();
         assert_eq!(plan.seed, 42);
         assert_eq!(plan.panic_rate, 0.25);
         assert_eq!(plan.drop_rate, 0.25);
@@ -262,13 +263,13 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_entries() {
         for bad in [
-            "panic",               // no value
-            "panic=1.5",           // rate out of range
-            "panic=-0.1",          // negative rate
-            "panic=NaN",           // non-finite
-            "frobnicate=1",        // unknown key
-            "seed=abc",            // non-integer seed
-            "latency_ms=-1",       // negative duration
+            "panic",         // no value
+            "panic=1.5",     // rate out of range
+            "panic=-0.1",    // negative rate
+            "panic=NaN",     // non-finite
+            "frobnicate=1",  // unknown key
+            "seed=abc",      // non-integer seed
+            "latency_ms=-1", // negative duration
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must be rejected");
         }
@@ -334,7 +335,9 @@ mod tests {
             ..FaultPlan::default()
         };
         let state = FaultState::new(plan);
-        let panics: Vec<bool> = (0..256).map(|_| state.roll(FaultSite::WorkerPanic)).collect();
+        let panics: Vec<bool> = (0..256)
+            .map(|_| state.roll(FaultSite::WorkerPanic))
+            .collect();
         let drops: Vec<bool> = (0..256).map(|_| state.roll(FaultSite::ConnDrop)).collect();
         assert_ne!(panics, drops, "sites must not share a stream");
         let _ = FaultSite::ALL; // all sites are addressable

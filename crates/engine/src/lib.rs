@@ -19,6 +19,8 @@
 //! | [`metrics`] | counters, gauges and latency histograms (p50/p90/p99/p99.9) with Prometheus exposition |
 //! | [`protocol`] | newline-delimited JSON wire protocol (solve/batch/stats/metrics/ping/shutdown) |
 //! | [`server`] | stdio and TCP servers with graceful shutdown, plus a Prometheus scrape listener |
+//! | `reactor` | fixed-pool nonblocking event loop (epoll/poll) with pipe wakeups and reply routing |
+//! | `conn` | per-connection nonblocking buffers + incremental NDJSON framing |
 //! | [`client`] | blocking TCP client with pipelining support |
 //!
 //! ## Example
@@ -44,12 +46,16 @@
 
 pub mod cache;
 pub mod client;
+#[cfg(unix)]
+mod conn;
 pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod metrics;
 pub mod protocol;
 pub mod quantize;
+#[cfg(unix)]
+mod reactor;
 pub mod server;
 pub mod spec;
 mod supervisor;
@@ -65,5 +71,8 @@ pub use fault::{FaultPlan, FaultSite};
 pub use metrics::{Metrics, StatsSnapshot};
 pub use protocol::{RequestBody, ResponseBody, WireRequest, WireResponse};
 pub use quantize::QuantizerConfig;
-pub use server::{serve_metrics, serve_stdio, serve_tcp, MetricsServer, TcpServer};
+pub use server::{
+    default_reactors, serve_metrics, serve_stdio, serve_tcp, serve_tcp_with, MetricsServer,
+    TcpServer,
+};
 pub use spec::{MarketSpec, SolveMode, SolveSpec};

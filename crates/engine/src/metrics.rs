@@ -51,6 +51,8 @@ pub struct Metrics {
     cache_shards: Arc<Gauge>,
     uptime_seconds: Arc<Gauge>,
     cache_hit_ratio: Arc<Gauge>,
+    connections_open: Arc<Gauge>,
+    reactor_wakeups: Arc<Counter>,
 
     service_latency: Arc<LogHistogram>,
     queue_wait: Arc<LogHistogram>,
@@ -170,6 +172,14 @@ impl Metrics {
             "share_cache_hit_ratio",
             "Cache hits over cache lookups since start (0 when no lookups).",
         );
+        let connections_open = registry.gauge(
+            "share_connections_open",
+            "NDJSON TCP connections currently registered with the reactor pool.",
+        );
+        let reactor_wakeups = registry.counter(
+            "share_reactor_wakeups_total",
+            "Reactor event-loop wakeups delivered through the self-pipe.",
+        );
 
         let service_latency = registry.histogram(
             "share_request_latency_seconds",
@@ -237,6 +247,8 @@ impl Metrics {
             cache_shards,
             uptime_seconds,
             cache_hit_ratio,
+            connections_open,
+            reactor_wakeups,
             service_latency,
             queue_wait,
             solve_direct,
@@ -341,6 +353,35 @@ impl Metrics {
     /// Record the (static) shard count of the equilibrium cache.
     pub fn set_cache_shards(&self, shards: usize) {
         self.cache_shards.set(shards as f64);
+    }
+
+    /// A connection was registered with a reactor.
+    pub fn inc_connections_open(&self) {
+        self.connections_open.inc();
+    }
+    /// A connection was closed and deregistered.
+    pub fn dec_connections_open(&self) {
+        self.connections_open.dec();
+    }
+    /// Connections currently open on the reactor pool (tests and the
+    /// soak suite poll this).
+    pub fn connections_open(&self) -> usize {
+        self.connections_open.get().max(0.0) as usize
+    }
+    /// Count one self-pipe wakeup delivered to a reactor.
+    pub fn inc_reactor_wakeups(&self) {
+        self.reactor_wakeups.inc();
+    }
+    /// Per-reactor gauge of connections owned by reactor `reactor`,
+    /// labeled `{reactor="<idx>"}`. Register-or-fetch: calling twice for
+    /// the same index returns the same gauge.
+    pub fn reactor_connections_gauge(&self, reactor: usize) -> Arc<Gauge> {
+        let idx = reactor.to_string();
+        self.registry.gauge_with(
+            "share_reactor_connections",
+            "NDJSON TCP connections currently owned by each reactor thread.",
+            &[("reactor", idx.as_str())],
+        )
     }
 
     /// Record one request's service latency (submission to reply).
@@ -610,6 +651,16 @@ mod tests {
         m.inc_fault_injection(FaultSite::WorkerPanic);
         m.inc_fault_injection(FaultSite::ConnDrop);
 
+        m.inc_connections_open();
+        m.inc_connections_open();
+        m.dec_connections_open();
+        assert_eq!(m.connections_open(), 1);
+        m.inc_reactor_wakeups();
+        let r0 = m.reactor_connections_gauge(0);
+        r0.set(1.0);
+        // Register-or-fetch: the same index must return the same gauge.
+        assert_eq!(m.reactor_connections_gauge(0).get(), 1.0);
+
         let text = m.render_prometheus();
         let stats = share_obs::prometheus::validate_exposition(&text).expect("valid exposition");
         assert!(stats.families >= 13, "families {stats:?}");
@@ -625,6 +676,9 @@ mod tests {
         assert!(text.contains("share_requests_total 1"));
         assert!(text.contains("share_cache_entries 12"));
         assert!(text.contains("share_cache_shards 8"));
+        assert!(text.contains("share_connections_open 1"));
+        assert!(text.contains("share_reactor_wakeups_total 1"));
+        assert!(text.contains("share_reactor_connections{reactor=\"0\"} 1"));
         assert!(text.contains("share_request_latency_seconds_bucket"));
         assert!(text.contains("share_solve_latency_seconds_bucket{mode=\"numeric\""));
         assert!(text.contains("share_solver_stage_seconds_bucket{stage=\"stage1\""));

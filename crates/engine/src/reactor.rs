@@ -1,0 +1,846 @@
+//! A from-scratch nonblocking event loop for the TCP server: a fixed pool
+//! of reactor threads, each owning an OS readiness queue (epoll on Linux,
+//! poll(2) elsewhere on unix) plus a wakeup pipe, serving every connection
+//! assigned to it without spawning per-connection threads.
+//!
+//! ## How a request flows
+//!
+//! The accept thread round-robins each accepted socket to a reactor over
+//! an injection queue and pokes that reactor's wakeup pipe. The reactor
+//! registers the (nonblocking) socket and reads request lines as they
+//! arrive ([`Conn`] does the incremental framing). Solve submissions go to
+//! the engine with a [`RoutedSink`]: when a worker completes the job, the
+//! reply is converted to a wire response, pushed onto the reactor's routed
+//! queue tagged with the connection token, and the wakeup pipe is written —
+//! the reactor wakes (if parked in `epoll_wait`), appends the response to
+//! the right connection's write buffer and flushes it. No forwarder or
+//! writer threads exist; the thread count is `reactors + workers +
+//! supervisor + accept`, independent of connection count.
+//!
+//! Batches aggregate through a [`BatchSink`] the same way — slots fill as
+//! sub-solves complete and the last one emits the combined response — so
+//! the legacy per-batch collector thread is gone too.
+//!
+//! ## Why a pipe
+//!
+//! Workers must be able to interrupt a reactor parked in `epoll_wait`.
+//! A byte written to the self-pipe makes its read end readable, which is
+//! exactly an event the poller can wait on alongside the sockets. The
+//! write never blocks: the pipe is nonblocking, and a full pipe already
+//! guarantees a pending wakeup.
+
+use crate::conn::{Conn, ConnCtx};
+use crate::engine::{Engine, Reply, SolveSummary};
+use crate::error::{EngineError, Result};
+use crate::protocol::{ResponseBody, WireResponse};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use share_obs::metrics::Gauge;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::RawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tracing target of the reactor lifecycle events.
+const TARGET: &str = "share_engine::reactor";
+
+/// Poller token reserved for the wakeup pipe.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// How long a reactor parks in the poller before re-checking the drain
+/// flag (a pure backstop: wakeups arrive through the pipe).
+const PARK_MS: i32 = 250;
+
+/// How long a draining reactor waits for in-flight replies and pending
+/// writes to flush before force-closing the stragglers.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// One completed wire response routed back to the connection that owns the
+/// token.
+pub(crate) type Routed = (u64, WireResponse);
+
+/// Raw syscall bindings. Kept deliberately tiny: a nonblocking self-pipe
+/// (all unix) and the readiness queue (epoll on Linux/Android, poll(2) on
+/// the other unixes).
+mod sys {
+    use std::io;
+    use std::os::raw::c_int;
+
+    extern "C" {
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    const F_GETFL: c_int = 3;
+    const F_SETFL: c_int = 4;
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    const O_NONBLOCK: c_int = 0o4000;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    const O_NONBLOCK: c_int = 0x0004;
+
+    /// A nonblocking self-pipe: the read end parks in the poller, the
+    /// write end is poked by whoever needs the reactor's attention.
+    pub(super) struct WakePipe {
+        read_fd: c_int,
+        write_fd: c_int,
+    }
+
+    impl WakePipe {
+        pub(super) fn new() -> io::Result<Self> {
+            let mut fds: [c_int; 2] = [0; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+                if flags < 0 || unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+                    let err = io::Error::last_os_error();
+                    unsafe {
+                        close(fds[0]);
+                        close(fds[1]);
+                    }
+                    return Err(err);
+                }
+            }
+            Ok(Self {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            })
+        }
+
+        pub(super) fn read_fd(&self) -> c_int {
+            self.read_fd
+        }
+
+        /// Write one byte; a full pipe means a wakeup is already pending,
+        /// so every failure is ignorable.
+        pub(super) fn notify(&self) {
+            let byte = [1u8];
+            let _ = unsafe { write(self.write_fd, byte.as_ptr(), 1) };
+        }
+
+        /// Drain all pending wakeup bytes. Returns `true` when at least
+        /// one byte was read (i.e. this park was ended by a wakeup).
+        pub(super) fn drain(&self) -> bool {
+            let mut buf = [0u8; 64];
+            let mut any = false;
+            loop {
+                let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+                if n <= 0 {
+                    // Nonblocking: a negative return here is EAGAIN (or a
+                    // terminal error, equally a reason to stop draining).
+                    break;
+                }
+                any = true;
+                if (n as usize) < buf.len() {
+                    break;
+                }
+            }
+            any
+        }
+    }
+
+    impl Drop for WakePipe {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.read_fd);
+                close(self.write_fd);
+            }
+        }
+    }
+
+    // Both pipe ends are plain file descriptors, safe to use from any
+    // thread; the byte stream carries no data, only "wake up".
+    unsafe impl Send for WakePipe {}
+    unsafe impl Sync for WakePipe {}
+
+    /// One readiness report from the poller.
+    pub(super) struct Event {
+        pub(super) token: u64,
+        pub(super) readable: bool,
+        pub(super) writable: bool,
+    }
+
+    /// What a registered descriptor should be watched for.
+    #[derive(Clone, Copy)]
+    pub(super) struct Interest {
+        pub(super) read: bool,
+        pub(super) write: bool,
+    }
+
+    // ---- epoll backend (Linux) -----------------------------------------
+
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    pub(super) use epoll::Poller;
+
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    mod epoll {
+        use super::{Event, Interest};
+        use std::io;
+        use std::os::raw::c_int;
+
+        // Linux packs epoll_event on x86-64 (12 bytes); every other
+        // architecture uses natural alignment (16 bytes).
+        #[repr(C)]
+        #[cfg_attr(target_arch = "x86_64", repr(packed))]
+        struct EpollEvent {
+            events: u32,
+            data: u64,
+        }
+
+        extern "C" {
+            fn epoll_create1(flags: c_int) -> c_int;
+            fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+            fn epoll_wait(
+                epfd: c_int,
+                events: *mut EpollEvent,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+            fn close(fd: c_int) -> c_int;
+        }
+
+        const EPOLL_CLOEXEC: c_int = 0o2000000;
+        const EPOLL_CTL_ADD: c_int = 1;
+        const EPOLL_CTL_DEL: c_int = 2;
+        const EPOLL_CTL_MOD: c_int = 3;
+        const EPOLLIN: u32 = 0x001;
+        const EPOLLOUT: u32 = 0x004;
+        const EPOLLERR: u32 = 0x008;
+        const EPOLLHUP: u32 = 0x010;
+        const EPOLLRDHUP: u32 = 0x2000;
+
+        fn mask(interest: Interest) -> u32 {
+            let mut m = EPOLLRDHUP;
+            if interest.read {
+                m |= EPOLLIN;
+            }
+            if interest.write {
+                m |= EPOLLOUT;
+            }
+            m
+        }
+
+        pub(in super::super) struct Poller {
+            epfd: c_int,
+            buf: Vec<EpollEvent>,
+        }
+
+        impl Poller {
+            pub(in super::super) fn new() -> io::Result<Self> {
+                let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+                if epfd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                let mut buf = Vec::new();
+                buf.resize_with(256, || EpollEvent { events: 0, data: 0 });
+                Ok(Self { epfd, buf })
+            }
+
+            fn ctl(&self, op: c_int, fd: c_int, events: u32, data: u64) -> io::Result<()> {
+                let mut ev = EpollEvent { events, data };
+                if unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) } != 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+
+            pub(in super::super) fn add(
+                &mut self,
+                fd: c_int,
+                token: u64,
+                interest: Interest,
+            ) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_ADD, fd, mask(interest), token)
+            }
+
+            pub(in super::super) fn modify(
+                &mut self,
+                fd: c_int,
+                token: u64,
+                interest: Interest,
+            ) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_MOD, fd, mask(interest), token)
+            }
+
+            pub(in super::super) fn remove(&mut self, fd: c_int) {
+                let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+            }
+
+            /// Park until readiness, a wakeup, or `timeout_ms`. Readiness
+            /// reports land in `events` (cleared first). Error/hangup
+            /// conditions surface as readable+writable so the owning
+            /// connection's next read/write observes the failure.
+            pub(in super::super) fn wait(
+                &mut self,
+                events: &mut Vec<Event>,
+                timeout_ms: i32,
+            ) -> io::Result<()> {
+                events.clear();
+                let n = loop {
+                    let n = unsafe {
+                        epoll_wait(
+                            self.epfd,
+                            self.buf.as_mut_ptr(),
+                            self.buf.len() as c_int,
+                            timeout_ms,
+                        )
+                    };
+                    if n >= 0 {
+                        break n as usize;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.kind() != io::ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                };
+                for entry in self.buf.iter().take(n) {
+                    // Copy out of the (possibly packed) buffer entry.
+                    let flags = entry.events;
+                    let token = entry.data;
+                    let broken = flags & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                    events.push(Event {
+                        token,
+                        readable: flags & EPOLLIN != 0 || broken,
+                        writable: flags & EPOLLOUT != 0 || broken,
+                    });
+                }
+                Ok(())
+            }
+        }
+
+        impl Drop for Poller {
+            fn drop(&mut self) {
+                unsafe {
+                    close(self.epfd);
+                }
+            }
+        }
+    }
+
+    // ---- poll(2) backend (other unix) ----------------------------------
+
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    pub(super) use fallback::Poller;
+
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    mod fallback {
+        use super::{Event, Interest};
+        use std::collections::HashMap;
+        use std::io;
+        use std::os::raw::c_int;
+
+        #[repr(C)]
+        struct PollFd {
+            fd: c_int,
+            events: i16,
+            revents: i16,
+        }
+
+        #[cfg(any(target_os = "macos", target_os = "ios"))]
+        type Nfds = u32;
+        #[cfg(not(any(target_os = "macos", target_os = "ios")))]
+        type Nfds = u64;
+
+        extern "C" {
+            fn poll(fds: *mut PollFd, nfds: Nfds, timeout: c_int) -> c_int;
+        }
+
+        const POLLIN: i16 = 0x001;
+        const POLLOUT: i16 = 0x004;
+        const POLLERR: i16 = 0x008;
+        const POLLHUP: i16 = 0x010;
+        const POLLNVAL: i16 = 0x020;
+
+        /// poll(2) rebuilds the descriptor array on every wait; fine for
+        /// the non-Linux fallback.
+        pub(in super::super) struct Poller {
+            registered: HashMap<c_int, (u64, Interest)>,
+        }
+
+        impl Poller {
+            pub(in super::super) fn new() -> io::Result<Self> {
+                Ok(Self {
+                    registered: HashMap::new(),
+                })
+            }
+
+            pub(in super::super) fn add(
+                &mut self,
+                fd: c_int,
+                token: u64,
+                interest: Interest,
+            ) -> io::Result<()> {
+                self.registered.insert(fd, (token, interest));
+                Ok(())
+            }
+
+            pub(in super::super) fn modify(
+                &mut self,
+                fd: c_int,
+                token: u64,
+                interest: Interest,
+            ) -> io::Result<()> {
+                self.registered.insert(fd, (token, interest));
+                Ok(())
+            }
+
+            pub(in super::super) fn remove(&mut self, fd: c_int) {
+                self.registered.remove(&fd);
+            }
+
+            pub(in super::super) fn wait(
+                &mut self,
+                events: &mut Vec<Event>,
+                timeout_ms: i32,
+            ) -> io::Result<()> {
+                events.clear();
+                let mut fds: Vec<PollFd> = self
+                    .registered
+                    .iter()
+                    .map(|(&fd, &(_, interest))| {
+                        let mut ev = 0i16;
+                        if interest.read {
+                            ev |= POLLIN;
+                        }
+                        if interest.write {
+                            ev |= POLLOUT;
+                        }
+                        PollFd {
+                            fd,
+                            events: ev,
+                            revents: 0,
+                        }
+                    })
+                    .collect();
+                let n = loop {
+                    let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout_ms) };
+                    if n >= 0 {
+                        break n;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.kind() != io::ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                };
+                if n == 0 {
+                    return Ok(());
+                }
+                for pfd in &fds {
+                    if pfd.revents == 0 {
+                        continue;
+                    }
+                    let Some(&(token, _)) = self.registered.get(&pfd.fd) else {
+                        continue;
+                    };
+                    let broken = pfd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+                    events.push(Event {
+                        token,
+                        readable: pfd.revents & POLLIN != 0 || broken,
+                        writable: pfd.revents & POLLOUT != 0 || broken,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Wakes one reactor from wherever it is parked. Cloned (via `Arc`) into
+/// every in-flight reply sink, so the pipe outlives the reactor's own
+/// shutdown and a late reply can never write a dangling descriptor.
+pub(crate) struct Waker {
+    pipe: sys::WakePipe,
+}
+
+impl Waker {
+    fn new() -> io::Result<Self> {
+        Ok(Self {
+            pipe: sys::WakePipe::new()?,
+        })
+    }
+
+    /// Poke the reactor.
+    pub(crate) fn wake(&self) {
+        self.pipe.notify();
+    }
+
+    fn read_fd(&self) -> RawFd {
+        self.pipe.read_fd()
+    }
+
+    fn drain(&self) -> bool {
+        self.pipe.drain()
+    }
+}
+
+/// Routes one engine reply back onto the reactor connection identified by
+/// `token`, then wakes the reactor so it flushes the response.
+pub(crate) struct RoutedSink {
+    pub(crate) token: u64,
+    pub(crate) tx: Sender<Routed>,
+    pub(crate) waker: Arc<Waker>,
+}
+
+impl RoutedSink {
+    pub(crate) fn send(&self, reply: Reply) {
+        let _ = self.tx.send((self.token, WireResponse::from_reply(reply)));
+        self.waker.wake();
+    }
+}
+
+/// Aggregates one NDJSON `batch` request without a collector thread: each
+/// sub-request's reply fills its slot (sub-ids are positions, as on the
+/// legacy path), and the final reply emits the combined response onto the
+/// owning connection's routed queue.
+pub(crate) struct BatchSink {
+    token: u64,
+    /// The outer request id the combined response answers.
+    batch_id: u64,
+    slots: Mutex<Vec<Option<Result<SolveSummary>>>>,
+    remaining: AtomicUsize,
+    tx: Sender<Routed>,
+    waker: Arc<Waker>,
+}
+
+impl BatchSink {
+    pub(crate) fn new(
+        token: u64,
+        batch_id: u64,
+        len: usize,
+        tx: Sender<Routed>,
+        waker: Arc<Waker>,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            token,
+            batch_id,
+            slots: Mutex::new(vec![None; len]),
+            remaining: AtomicUsize::new(len),
+            tx,
+            waker,
+        })
+    }
+
+    pub(crate) fn send(&self, reply: Reply) {
+        let filled = {
+            let mut slots = self.slots.lock();
+            match slots.get_mut(reply.id as usize) {
+                // The engine's exactly-one-reply contract makes a double
+                // fill impossible; guard anyway so a violation cannot
+                // underflow `remaining` and emit a half-empty batch.
+                Some(slot) if slot.is_none() => {
+                    *slot = Some(reply.result);
+                    true
+                }
+                _ => false,
+            }
+        };
+        if filled && self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let results: Vec<WireResponse> = self
+                .slots
+                .lock()
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    WireResponse::from_reply(Reply {
+                        id: i as u64,
+                        result: slot.take().unwrap_or(Err(EngineError::ShuttingDown)),
+                    })
+                })
+                .collect();
+            let _ = self.tx.send((
+                self.token,
+                WireResponse {
+                    id: self.batch_id,
+                    body: ResponseBody::Batch { results },
+                },
+            ));
+            self.waker.wake();
+        }
+    }
+}
+
+/// The accept thread's handle to one reactor.
+struct ReactorHandle {
+    inject_tx: Sender<TcpStream>,
+    waker: Arc<Waker>,
+}
+
+/// A fixed pool of reactor threads serving every TCP connection.
+pub(crate) struct ReactorPool {
+    reactors: Vec<ReactorHandle>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    drain: Arc<AtomicBool>,
+    next: AtomicUsize,
+}
+
+impl ReactorPool {
+    /// Spawn `reactors` event-loop threads for the server at `local_addr`.
+    pub(crate) fn start(
+        engine: &Arc<Engine>,
+        reactors: usize,
+        local_addr: SocketAddr,
+        stop: &Arc<AtomicBool>,
+    ) -> io::Result<Self> {
+        let reactors = reactors.max(1);
+        let drain = Arc::new(AtomicBool::new(false));
+        let mut pool = Vec::with_capacity(reactors);
+        let mut handles = Vec::with_capacity(reactors);
+        for idx in 0..reactors {
+            let waker = Arc::new(Waker::new()?);
+            let (inject_tx, inject_rx) = unbounded::<TcpStream>();
+            let (routed_tx, routed_rx) = unbounded::<Routed>();
+            let thread_engine = Arc::clone(engine);
+            let thread_waker = Arc::clone(&waker);
+            let thread_drain = Arc::clone(&drain);
+            let thread_stop = Arc::clone(stop);
+            let handle = thread::Builder::new()
+                .name(format!("share-engine-reactor-{idx}"))
+                .spawn(move || {
+                    run_reactor(
+                        idx,
+                        &thread_engine,
+                        &inject_rx,
+                        routed_tx,
+                        &routed_rx,
+                        &thread_waker,
+                        &thread_drain,
+                        &thread_stop,
+                        local_addr,
+                    );
+                })?;
+            pool.push(ReactorHandle { inject_tx, waker });
+            handles.push(handle);
+        }
+        share_obs::obs_info!(
+            target: TARGET,
+            "reactor_pool_started",
+            "reactors" => reactors,
+            "addr" => local_addr.to_string()
+        );
+        Ok(Self {
+            reactors: pool,
+            handles: Mutex::new(handles),
+            drain,
+            next: AtomicUsize::new(0),
+        })
+    }
+
+    /// Hand one accepted connection to the next reactor (round-robin).
+    pub(crate) fn dispatch(&self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.reactors.len();
+        let handle = &self.reactors[idx];
+        if handle.inject_tx.send(stream).is_ok() {
+            handle.waker.wake();
+        }
+    }
+
+    /// Drain and join every reactor: stop reading new requests, flush all
+    /// in-flight replies and pending writes, close the connections, exit.
+    /// Idempotent; safe to call from `stop()` and `Drop` both.
+    pub(crate) fn shutdown(&self) {
+        self.drain.store(true, Ordering::SeqCst);
+        for r in &self.reactors {
+            r.waker.wake();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One reactor thread: park on readiness, frame and dispatch request
+/// lines, route completed replies onto their connections, flush.
+#[allow(clippy::too_many_arguments)]
+fn run_reactor(
+    idx: usize,
+    engine: &Arc<Engine>,
+    inject_rx: &Receiver<TcpStream>,
+    routed_tx: Sender<Routed>,
+    routed_rx: &Receiver<Routed>,
+    waker: &Arc<Waker>,
+    drain: &Arc<AtomicBool>,
+    stop: &Arc<AtomicBool>,
+    local_addr: SocketAddr,
+) {
+    let mut poller = match sys::Poller::new() {
+        Ok(p) => p,
+        Err(e) => {
+            share_obs::obs_warn!(
+                target: TARGET,
+                "reactor_poller_failed",
+                "reactor" => idx,
+                "error" => e.to_string()
+            );
+            return;
+        }
+    };
+    if poller
+        .add(
+            waker.read_fd(),
+            WAKE_TOKEN,
+            sys::Interest {
+                read: true,
+                write: false,
+            },
+        )
+        .is_err()
+    {
+        return;
+    }
+    let metrics = engine.metrics();
+    let conns_gauge: Arc<Gauge> = metrics.reactor_connections_gauge(idx);
+    let mut next_token: u64 = (idx as u64) << 48;
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut events: Vec<sys::Event> = Vec::new();
+    let mut touched: Vec<u64> = Vec::new();
+    let mut drain_since: Option<Instant> = None;
+    let ctx = ConnCtx {
+        engine,
+        routed_tx: &routed_tx,
+        waker,
+        stop,
+        local_addr,
+    };
+
+    loop {
+        if poller.wait(&mut events, PARK_MS).is_err() {
+            // A transient poller failure: back off briefly rather than
+            // spinning; the park timeout keeps the loop live either way.
+            thread::sleep(Duration::from_millis(10));
+        }
+
+        touched.clear();
+        for ev in &events {
+            if ev.token == WAKE_TOKEN {
+                if waker.drain() {
+                    metrics.inc_reactor_wakeups();
+                }
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.token) else {
+                continue;
+            };
+            if ev.readable {
+                conn.handle_readable(&ctx);
+            }
+            if ev.writable {
+                conn.flush();
+            }
+            touched.push(ev.token);
+        }
+
+        // Adopt connections the accept thread handed over.
+        while let Ok(stream) = inject_rx.try_recv() {
+            let token = next_token;
+            next_token += 1;
+            let conn = Conn::new(stream, token);
+            if poller
+                .add(
+                    conn.fd(),
+                    token,
+                    sys::Interest {
+                        read: true,
+                        write: false,
+                    },
+                )
+                .is_err()
+            {
+                continue; // dropping the stream closes the socket
+            }
+            metrics.inc_connections_open();
+            conns.insert(token, conn);
+            // Level-triggered readiness: bytes that arrived before
+            // registration surface on the next poller wait.
+            touched.push(token);
+        }
+
+        // Route completed replies onto their connections.
+        while let Ok((token, resp)) = routed_rx.try_recv() {
+            if let Some(conn) = conns.get_mut(&token) {
+                conn.queue_response(&resp);
+                conn.inflight = conn.inflight.saturating_sub(1);
+                touched.push(token);
+            }
+            // A reply for a connection that already died is dropped, just
+            // as the legacy forwarder dropped sends to a gone writer.
+        }
+
+        let draining = drain.load(Ordering::SeqCst);
+        if draining && drain_since.is_none() {
+            drain_since = Some(Instant::now());
+            touched.extend(conns.keys().copied());
+        }
+        let drain_expired = draining && drain_since.is_some_and(|t| t.elapsed() > DRAIN_GRACE);
+        if drain_expired {
+            // Force-close must reach even connections with no readiness
+            // events (e.g. a peer that stopped reading our writes).
+            touched.extend(conns.keys().copied());
+        }
+
+        touched.sort_unstable();
+        touched.dedup();
+        for &token in &touched {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            if draining {
+                // Stop reading; in-flight replies still flush below.
+                conn.read_closed = true;
+                if drain_expired {
+                    conn.dead = true;
+                }
+            }
+            conn.flush();
+            if conn.can_close() {
+                poller.remove(conn.fd());
+                metrics.dec_connections_open();
+                conns.remove(&token);
+            } else {
+                let _ = poller.modify(
+                    conn.fd(),
+                    token,
+                    sys::Interest {
+                        read: !conn.read_closed,
+                        write: conn.wants_write(),
+                    },
+                );
+            }
+        }
+        conns_gauge.set(conns.len() as f64);
+
+        if draining && conns.is_empty() && inject_rx.is_empty() {
+            break;
+        }
+    }
+    // Late hand-offs after the drain decision: close them.
+    while let Ok(stream) = inject_rx.try_recv() {
+        drop(stream);
+    }
+    conns_gauge.set(0.0);
+    share_obs::obs_info!(target: TARGET, "reactor_stopped", "reactor" => idx);
+}
+
+/// Pool-unique token source sanity check (tokens are namespaced by
+/// reactor index in the top 16 bits, so two reactors can never collide).
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn token_namespaces_do_not_collide() {
+        let r0_first: u64 = 0u64 << 48;
+        let r1_first: u64 = 1u64 << 48;
+        assert!(r1_first - r0_first > 1 << 40, "per-reactor token space");
+        assert_ne!(super::WAKE_TOKEN, r0_first);
+    }
+}

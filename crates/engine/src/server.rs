@@ -1,10 +1,20 @@
 //! NDJSON servers over stdio and TCP.
 //!
-//! Both servers share one connection loop: a reader thread parses request
-//! lines and feeds the engine, a writer thread owns the output stream, and
-//! a forwarder turns engine [`Reply`]s into wire responses as solves
-//! complete (so responses to pipelined requests stream back out of order,
-//! correlated by `id`).
+//! The TCP server runs on a fixed event-loop pool (unix): an accept thread
+//! round-robins nonblocking sockets across `reactors` threads, each owning
+//! a readiness queue ([`reactor`](crate::reactor)) and the per-connection
+//! read/write buffers ([`conn`](crate::conn)). Engine [`Reply`]s completed
+//! by the worker pool are routed back onto the owning connection through a
+//! wakeup pipe, so responses to pipelined requests stream back out of
+//! order, correlated by `id` — and the process thread count is
+//! `reactors + workers + supervisor + accept`, independent of how many
+//! connections are open.
+//!
+//! Stdio serving (and TCP on non-unix platforms) keeps the original
+//! blocking loop: a reader thread parses request lines and feeds the
+//! engine, a writer thread owns the output stream, and a forwarder turns
+//! replies into wire responses as solves complete. The wire semantics are
+//! identical on both paths.
 //!
 //! Shutdown is graceful everywhere: a `shutdown` request is acknowledged,
 //! in-flight replies for the connection are flushed before it closes, and
@@ -17,6 +27,8 @@
 
 use crate::engine::{Engine, Reply};
 use crate::protocol::{encode_response, parse_request, RequestBody, ResponseBody, WireResponse};
+#[cfg(unix)]
+use crate::reactor::ReactorPool;
 use crate::spec::SolveSpec;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -69,7 +81,9 @@ fn handle_batch(
         // Thread exhaustion: answer rather than silently dropping the batch.
         let _ = resp_tx.send(WireResponse::from_error(
             id,
-            &crate::error::EngineError::Overloaded { retry_after_ms: 100 },
+            &crate::error::EngineError::Overloaded {
+                retry_after_ms: 100,
+            },
         ));
     }
 }
@@ -182,14 +196,19 @@ pub fn serve_stdio(engine: &Arc<Engine>) -> bool {
     wants_shutdown
 }
 
-/// A running TCP server (one reader thread per connection feeding the
-/// shared engine queue).
+/// A running TCP server: an accept thread feeding a fixed reactor pool
+/// (unix), or one reader thread per connection on other platforms.
 pub struct TcpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Mutex<Option<thread::JoinHandle<()>>>,
+    #[cfg(unix)]
+    pool: Option<Arc<ReactorPool>>,
 }
 
+/// Legacy thread-per-connection handler (stdio shares `serve_connection`;
+/// TCP uses this only on non-unix platforms).
+#[cfg_attr(unix, allow(dead_code))]
 fn handle_tcp_connection(
     engine: Arc<Engine>,
     stream: TcpStream,
@@ -210,37 +229,88 @@ fn handle_tcp_connection(
     }
 }
 
-/// Bind `addr` (e.g. `127.0.0.1:0`) and serve the engine over TCP.
+/// Default reactor-thread count: enough parallelism to spread socket work
+/// without approaching the worker pool's share of the cores.
+pub fn default_reactors() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2)
+        .max(1)
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0`) and serve the engine over TCP with the
+/// default reactor count.
 ///
 /// # Errors
 /// I/O errors from binding the listener.
 pub fn serve_tcp(engine: Arc<Engine>, addr: &str) -> io::Result<TcpServer> {
+    serve_tcp_with(engine, addr, default_reactors())
+}
+
+/// Bind `addr` and serve the engine over TCP on a fixed pool of `reactors`
+/// event-loop threads (clamped to at least 1). On non-unix platforms the
+/// reactor count is ignored and the legacy thread-per-connection path
+/// serves instead.
+///
+/// # Errors
+/// I/O errors from binding the listener or spawning the reactor pool.
+pub fn serve_tcp_with(engine: Arc<Engine>, addr: &str, reactors: usize) -> io::Result<TcpServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let accept_stop = Arc::clone(&stop);
-    let accept = thread::Builder::new()
-        .name("share-engine-accept".to_string())
-        .spawn(move || {
-            for incoming in listener.incoming() {
-                if accept_stop.load(Ordering::SeqCst) {
-                    break;
+
+    #[cfg(unix)]
+    {
+        let pool = Arc::new(ReactorPool::start(&engine, reactors, local, &stop)?);
+        let accept_stop = Arc::clone(&stop);
+        let accept_pool = Arc::clone(&pool);
+        let accept = thread::Builder::new()
+            .name("share-engine-accept".to_string())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = incoming else { continue };
+                    accept_pool.dispatch(stream);
                 }
-                let Ok(stream) = incoming else { continue };
-                let engine = Arc::clone(&engine);
-                let conn_stop = Arc::clone(&accept_stop);
-                // Thread exhaustion closes this connection (the client sees
-                // EOF and may retry) instead of killing the accept loop.
-                let _ = thread::Builder::new()
-                    .name("share-engine-conn".to_string())
-                    .spawn(move || handle_tcp_connection(engine, stream, conn_stop, local));
-            }
-        })?;
-    Ok(TcpServer {
-        addr: local,
-        stop,
-        accept: Mutex::new(Some(accept)),
-    })
+            })?;
+        Ok(TcpServer {
+            addr: local,
+            stop,
+            accept: Mutex::new(Some(accept)),
+            pool: Some(pool),
+        })
+    }
+
+    #[cfg(not(unix))]
+    {
+        let _ = reactors;
+        let accept_stop = Arc::clone(&stop);
+        let accept = thread::Builder::new()
+            .name("share-engine-accept".to_string())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = incoming else { continue };
+                    let engine = Arc::clone(&engine);
+                    let conn_stop = Arc::clone(&accept_stop);
+                    // Thread exhaustion closes this connection (the client
+                    // sees EOF and may retry) instead of killing the accept
+                    // loop.
+                    let _ = thread::Builder::new()
+                        .name("share-engine-conn".to_string())
+                        .spawn(move || handle_tcp_connection(engine, stream, conn_stop, local));
+                }
+            })?;
+        Ok(TcpServer {
+            addr: local,
+            stop,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
 }
 
 impl TcpServer {
@@ -249,13 +319,17 @@ impl TcpServer {
         self.addr
     }
 
-    /// Ask the accept loop to stop and wait for it to exit. Already-open
-    /// connections finish their in-flight work independently.
+    /// Stop accepting, then drain the reactors: in-flight replies flush to
+    /// their connections before the sockets close and the pool joins.
     pub fn stop(&self) {
         if !self.stop.swap(true, Ordering::SeqCst) {
             let _ = TcpStream::connect(self.addr);
         }
         self.wait();
+        #[cfg(unix)]
+        if let Some(pool) = &self.pool {
+            pool.shutdown();
+        }
     }
 
     /// Block until the accept loop exits (via [`TcpServer::stop`] or a
@@ -281,9 +355,13 @@ pub struct MetricsServer {
 }
 
 fn handle_metrics_connection(engine: &Arc<Engine>, mut stream: TcpStream) {
+    // Both directions are bounded: the handler runs inline on the accept
+    // thread, so a scraper that connects and goes silent (or stops reading
+    // the response) must not pin the listener past these timeouts.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_millis(250)));
     // Drain (at most) one request head so well-behaved HTTP clients don't
     // see a reset; the reply is the same whatever was asked.
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
     let mut scratch = [0u8; 4096];
     let _ = io::Read::read(&mut stream, &mut scratch);
     let body = engine.render_prometheus();

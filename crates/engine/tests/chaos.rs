@@ -77,7 +77,12 @@ fn every_wire_request_gets_exactly_one_reply_under_panics() {
                 while seen.len() < PER_THREAD as usize {
                     line.clear();
                     let n = reader.read_line(&mut line).expect("reply within timeout");
-                    assert_ne!(n, 0, "server closed mid-stream after {} replies", seen.len());
+                    assert_ne!(
+                        n,
+                        0,
+                        "server closed mid-stream after {} replies",
+                        seen.len()
+                    );
                     let v: serde_json::Value = serde_json::from_str(line.trim()).unwrap();
                     let id = v["id"].as_u64().expect("reply id");
                     assert!(seen.insert(id), "id {id} answered twice");
@@ -148,14 +153,13 @@ fn retrying_clients_converge_to_full_success_under_panics_and_drops() {
                 };
                 let mut client = Client::connect_with(addr, config).expect("connect");
                 for i in 0..PER_THREAD {
-                    let spec =
-                        SolveSpec::seeded(5 + (i % 4) as usize, 9000 + t * PER_THREAD + i, SolveMode::Direct);
-                    let resp = client.solve(spec).expect("call failed past retry budget");
-                    assert!(
-                        resp.is_ok(),
-                        "request did not converge: {:?}",
-                        resp.body
+                    let spec = SolveSpec::seeded(
+                        5 + (i % 4) as usize,
+                        9000 + t * PER_THREAD + i,
+                        SolveMode::Direct,
                     );
+                    let resp = client.solve(spec).expect("call failed past retry budget");
+                    assert!(resp.is_ok(), "request did not converge: {:?}", resp.body);
                 }
                 // Client-side resilience metrics render as a valid
                 // exposition, retry histogram included.
@@ -202,7 +206,10 @@ fn divergence_degrades_to_mean_field_with_theorem51_bound() {
         assert!(info.bound_upper > 0.0 && info.bound_lower < 0.0);
         // A degraded stand-in must not be served as a cached full-fidelity
         // answer on the next round.
-        assert!(!summary.cached, "round {round} served a cached degraded reply");
+        assert!(
+            !summary.cached,
+            "round {round} served a cached degraded reply"
+        );
     }
     // Mean-field requests are already the fallback; divergence never
     // applies to them and they stay full fidelity.
@@ -231,7 +238,9 @@ fn degrade_watermark_preempts_expensive_solves() {
     let summary = engine
         .request(&SolveSpec::seeded(30, 5, SolveMode::Direct))
         .unwrap();
-    let info = summary.degraded.expect("watermark 0 must degrade everything");
+    let info = summary
+        .degraded
+        .expect("watermark 0 must degrade everything");
     assert_eq!(info.reason, DegradeReason::Shed);
     assert_eq!(
         (info.bound_lower, info.bound_upper),
@@ -355,7 +364,9 @@ fn fault_schedule_is_deterministic_across_engine_runs() {
     assert_eq!(first, second, "same plan must inject the same schedule");
     // And both equal the plan's raw decision stream.
     let replay = FaultState::new(plan);
-    let expected = (0..64).filter(|_| replay.roll(FaultSite::WorkerPanic)).count() as u64;
+    let expected = (0..64)
+        .filter(|_| replay.roll(FaultSite::WorkerPanic))
+        .count() as u64;
     assert_eq!(first, expected);
     assert!(expected > 0, "seed 9 at 30% must fire within 64 draws");
 }
@@ -527,5 +538,116 @@ fn wire_batches_stay_positionally_complete_under_panics() {
         }
     }
     server.stop();
+    engine.shutdown();
+}
+
+/// Slowloris: a client dribbling one NDJSON request out byte-by-byte (with
+/// pauses) must not pin a reactor — concurrent well-behaved clients on the
+/// same fixed pool keep getting answered throughout, and the dribbled
+/// request itself completes once its newline finally lands.
+#[cfg(unix)]
+#[test]
+fn slowloris_byte_by_byte_writer_does_not_starve_others() {
+    use share_engine::serve_tcp_with;
+
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 2,
+        queue_capacity: 1024,
+        ..EngineConfig::default()
+    }));
+    // One reactor on purpose: if a dribbling connection could pin the
+    // event loop, every other connection on this reactor would stall.
+    let server = serve_tcp_with(Arc::clone(&engine), "127.0.0.1:0", 1).expect("bind");
+    let addr = server.local_addr();
+
+    let slow = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let line = r#"{"kind":"solve","id":7777,"spec":{"m":9,"seed":4242}}"#;
+        for b in line.as_bytes() {
+            stream.write_all(std::slice::from_ref(b)).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        stream.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        BufReader::new(stream).read_line(&mut reply).unwrap();
+        let v: serde_json::Value = serde_json::from_str(reply.trim()).unwrap();
+        assert_eq!(v["id"], 7777);
+        assert_eq!(v["kind"], "solve", "{reply}");
+    });
+
+    // While the slow writer dribbles (~100ms of pauses), fast clients on
+    // the same reactor must be served promptly — if the dribble pinned
+    // the loop, each of these would stall behind it.
+    for i in 0..20u64 {
+        let mut client = Client::connect(addr).expect("connect");
+        let resp = client
+            .solve(SolveSpec::seeded(
+                5 + (i % 3) as usize,
+                i % 4,
+                SolveMode::Direct,
+            ))
+            .expect("fast client served while slowloris dribbles");
+        assert!(resp.is_ok(), "{resp:?}");
+    }
+    slow.join().expect("slow client");
+    server.stop();
+    engine.shutdown();
+}
+
+/// Slowloris stall: a connection that sends half a request line and then
+/// goes silent forever must not hold the (single) reactor hostage or leak
+/// its connection slot past shutdown. Other clients stay served; the
+/// stalled connection is force-closed by the drain deadline at stop time
+/// at the latest.
+#[cfg(unix)]
+#[test]
+fn slowloris_mid_line_stall_does_not_pin_the_reactor() {
+    use share_engine::serve_tcp_with;
+
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 2,
+        queue_capacity: 1024,
+        ..EngineConfig::default()
+    }));
+    let server = serve_tcp_with(Arc::clone(&engine), "127.0.0.1:0", 1).expect("bind");
+    let addr = server.local_addr();
+
+    // Park three connections mid-line: bytes framed, no newline, then
+    // silence. The reactor must treat them as idle, not busy.
+    let stalled: Vec<TcpStream> = (0..3)
+        .map(|i| {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            let partial = format!(r#"{{"kind":"solve","id":{i},"spec":{{"m":9,"se"#);
+            stream.write_all(partial.as_bytes()).unwrap();
+            stream.flush().unwrap();
+            stream
+        })
+        .collect();
+
+    // The single reactor still serves full request/reply cycles.
+    let mut client = Client::connect(addr).expect("connect");
+    for seed in 0..10u64 {
+        let resp = client
+            .solve(SolveSpec::seeded(6, seed, SolveMode::Direct))
+            .expect("live client served despite stalled peers");
+        assert!(resp.is_ok(), "{resp:?}");
+    }
+    drop(client);
+
+    // Shutdown converges: the stalled connections hold no in-flight work,
+    // so the drain closes them immediately (well before the force-close
+    // deadline) and `stop` returns.
+    let begun = std::time::Instant::now();
+    server.stop();
+    assert!(
+        begun.elapsed() < Duration::from_secs(10),
+        "drain hung on stalled connections: {:?}",
+        begun.elapsed()
+    );
+    drop(stalled);
     engine.shutdown();
 }

@@ -389,3 +389,43 @@ fn deadline_over_wire_expires() {
     }
     server.stop();
 }
+
+/// Regression: the metrics handler runs inline on its accept thread, so a
+/// scraper that connects and then goes silent (never sends a request head,
+/// never reads the body) must release the thread via the read/write
+/// timeouts instead of pinning the listener — the next scrape must still
+/// be answered promptly.
+#[test]
+fn metrics_endpoint_survives_silent_scraper() {
+    use std::io::{Read, Write};
+
+    let engine = Arc::new(Engine::start(config(1, 16)));
+    engine
+        .request(&SolveSpec::seeded(8, 2, SolveMode::Direct))
+        .unwrap();
+    let server = serve_metrics(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+
+    // Silent scraper: holds the connection open, sends and reads nothing.
+    let silent = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+
+    let begun = std::time::Instant::now();
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    write!(stream, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    // One 250ms read timeout (plus scheduling slack) bounds the wait; 5s
+    // of headroom keeps slow CI from flaking while still catching a
+    // handler that blocks until the silent peer disconnects.
+    assert!(
+        begun.elapsed() < std::time::Duration::from_secs(5),
+        "silent scraper delayed the next scrape by {:?}",
+        begun.elapsed()
+    );
+    let (_, body) = response
+        .split_once("\r\n\r\n")
+        .expect("HTTP head/body split");
+    share_obs::prometheus::validate_exposition(body).expect("valid exposition");
+    assert!(body.contains("share_requests_total 1"), "{body}");
+    drop(silent);
+    server.stop();
+}

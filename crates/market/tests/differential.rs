@@ -1,0 +1,119 @@
+//! Differential solver suite: the three solver paths the engine can answer
+//! with — direct closed forms, nested numeric maximization, and the
+//! mean-field decoupling — must agree on randomized markets.
+//!
+//! This is what makes the serving engine's degradation ladder sound: when
+//! load pushes a request from the direct path onto `solve_mean_field`, the
+//! fallback answer is provably close to the answer it replaced — numeric
+//! within the solver's own tolerance, mean-field within the Theorem 5.1
+//! band `(−1/6m², 1/m − 2/3m²)`.
+
+use proptest::prelude::*;
+use share_market::meanfield::{measure_mean_field_error, theorem51_bounds};
+use share_market::params::{BrokerParams, BuyerParams, LossModel, MarketParams, SellerParams};
+use share_market::solver::{solve, solve_mean_field, solve_numeric, SolveMethod};
+
+/// Randomized market draw, same envelope as the invariant proptests: up to
+/// 24 sellers with heterogeneous privacy sensitivities and weights.
+fn params_strategy() -> impl Strategy<Value = MarketParams> {
+    (
+        2usize..24,
+        proptest::collection::vec(0.02..1.0f64, 24),
+        proptest::collection::vec(0.05..2.0f64, 24),
+        100usize..2000,
+        0.1..0.95f64,
+        0.1..0.9f64,
+        0.05..3.0f64,
+        10.0..500.0f64,
+    )
+        .prop_map(
+            |(m, lambdas, weights, n, v, theta1, rho1, rho2)| MarketParams {
+                buyer: BuyerParams {
+                    n_pieces: n,
+                    v,
+                    theta1,
+                    theta2: 1.0 - theta1,
+                    rho1,
+                    rho2,
+                },
+                broker: BrokerParams::paper_defaults(),
+                sellers: lambdas[..m]
+                    .iter()
+                    .map(|&lambda| SellerParams { lambda })
+                    .collect(),
+                weights: weights[..m].to_vec(),
+                loss_model: LossModel::Quadratic,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Numeric vs direct: the nested golden-section path must land on the
+    /// closed-form equilibrium within the solver's documented tolerance
+    /// (prices), and the induced qualities must track accordingly.
+    #[test]
+    fn numeric_equilibrium_matches_direct(params in params_strategy()) {
+        let a = solve(&params).unwrap();
+        let n = solve_numeric(&params).unwrap();
+        prop_assert_eq!(a.method, SolveMethod::Analytic);
+        prop_assert_eq!(n.method, SolveMethod::Numeric);
+        prop_assert!(
+            (a.p_m - n.p_m).abs() < 2e-3 * a.p_m,
+            "p_m diverged: analytic {} vs numeric {}", a.p_m, n.p_m
+        );
+        prop_assert!(
+            (a.p_d - n.p_d).abs() < 5e-3 * a.p_d,
+            "p_d diverged: analytic {} vs numeric {}", a.p_d, n.p_d
+        );
+        prop_assert!(
+            (a.q_d - n.q_d).abs() < 2e-2 * (1.0 + a.q_d.abs()),
+            "q_d diverged: analytic {} vs numeric {}", a.q_d, n.q_d
+        );
+    }
+
+    /// Mean-field vs direct, upper stages: Stage 1/2 share the closed
+    /// forms, so the approximation must leave the prices untouched — the
+    /// entire fidelity loss is confined to the sellers' inner game.
+    #[test]
+    fn mean_field_preserves_upper_stage_prices(params in params_strategy()) {
+        let a = solve(&params).unwrap();
+        let mf = solve_mean_field(&params).unwrap();
+        prop_assert_eq!(mf.method, SolveMethod::MeanField);
+        prop_assert!(
+            (a.p_m - mf.p_m).abs() < 1e-12 * (1.0 + a.p_m),
+            "p_m must be identical: {} vs {}", a.p_m, mf.p_m
+        );
+        prop_assert!(
+            (a.p_d - mf.p_d).abs() < 1e-12 * (1.0 + a.p_d),
+            "p_d must be identical: {} vs {}", a.p_d, mf.p_d
+        );
+        prop_assert!(mf.tau.iter().all(|t| (0.0..=1.0).contains(t)));
+    }
+
+    /// Mean-field vs direct, inner game: under the `L = λχτ²` loss the
+    /// measured error `τ̄^DD − τ̄^MF` must sit inside the Theorem 5.1 band
+    /// for every market draw and data price.
+    #[test]
+    fn mean_field_error_within_theorem51_band(
+        params in params_strategy(),
+        p_d in 0.005..0.1f64,
+    ) {
+        let mut params = params;
+        params.loss_model = LossModel::LinearChi;
+        let e = measure_mean_field_error(&params, p_d).unwrap();
+        let (lo, hi) = theorem51_bounds(params.sellers.len());
+        prop_assert_eq!(e.lower_bound, lo);
+        prop_assert_eq!(e.upper_bound, hi);
+        prop_assert!(
+            e.within_bounds(),
+            "m={}: error {} outside ({}, {})",
+            params.sellers.len(), e.error, e.lower_bound, e.upper_bound
+        );
+        // The band is the worst case; the per-seller strategies themselves
+        // must stay finite and feasible after rescaling.
+        prop_assert!(e.max_strategy_gap.is_finite());
+        prop_assert!(e.max_strategy_gap >= 0.0);
+    }
+}

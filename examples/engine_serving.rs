@@ -187,11 +187,15 @@ fn main() {
         }),
         ..ClientConfig::default()
     };
-    let mut survivor = Client::connect_with(chaos_server.local_addr(), survivor_config)
-        .expect("connect chaos");
+    let mut survivor =
+        Client::connect_with(chaos_server.local_addr(), survivor_config).expect("connect chaos");
     for i in 0..30u64 {
         let resp = survivor
-            .solve(SolveSpec::seeded(10 + (i % 5) as usize, 5000 + i, SolveMode::Direct))
+            .solve(SolveSpec::seeded(
+                10 + (i % 5) as usize,
+                5000 + i,
+                SolveMode::Direct,
+            ))
             .expect("retry budget exhausted");
         assert!(resp.is_ok(), "request {i} did not converge: {resp:?}");
     }

@@ -296,7 +296,9 @@ fn load_fault_plan(args: &Args) -> Result<Option<share::engine::FaultPlan>, Stri
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    use share::engine::{serve_stdio, serve_tcp, Engine, EngineConfig, QuantizerConfig};
+    use share::engine::{
+        default_reactors, serve_stdio, serve_tcp_with, Engine, EngineConfig, QuantizerConfig,
+    };
     use std::sync::Arc;
 
     let defaults = EngineConfig::default();
@@ -347,10 +349,20 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         None => None,
     };
     if let Some(addr) = args.options.get("tcp") {
-        let server =
-            serve_tcp(Arc::clone(&engine), addr).map_err(|e| format!("bind {addr}: {e}"))?;
-        eprintln!("share-engine listening on {}", server.local_addr());
+        let reactors = args.usize_opt("reactors", default_reactors())?;
+        if reactors == 0 {
+            return Err("--reactors must be at least 1".to_string());
+        }
+        let server = serve_tcp_with(Arc::clone(&engine), addr, reactors)
+            .map_err(|e| format!("bind {addr}: {e}"))?;
+        eprintln!(
+            "share-engine listening on {} ({reactors} reactors)",
+            server.local_addr()
+        );
         server.wait();
+        // Drain the reactor pool (flushing in-flight replies) before the
+        // engine itself shuts down.
+        server.stop();
     } else {
         eprintln!(
             "share-engine serving NDJSON on stdio; send {{\"kind\":\"shutdown\"}} or EOF to stop"
@@ -389,8 +401,8 @@ fn cmd_request(args: &Args) -> Result<(), String> {
             ..RetryPolicy::default()
         });
     }
-    let mut client = Client::connect_with(addr.as_str(), config)
-        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut client =
+        Client::connect_with(addr.as_str(), config).map_err(|e| format!("connect {addr}: {e}"))?;
     if args.has_flag("metrics") {
         let text = client
             .metrics_text()
@@ -447,7 +459,7 @@ fn cmd_params(args: &Args) -> Result<(), String> {
 
 const USAGE: &str = "usage: share_cli <solve|verify|sweep|trade|params|serve|request> [--m N] \
 [--seed S] [--config file.json] [--json] [--param theta1 --lo .. --hi .. --points ..] \
-[--rounds R --n N] [--tcp ADDR --workers W --queue Q --cache C --cache-shards S --tol T \
+[--rounds R --n N] [--tcp ADDR --reactors R --workers W --queue Q --cache C --cache-shards S --tol T \
 --metrics-addr ADDR --shed-at DEPTH --degrade-at DEPTH --restart-budget N \
 --fault-plan seed=S,panic=P,drop=P,latency=P,latency_ms=MS,diverge=P] \
 [--addr HOST:PORT --mode direct|mean_field|numeric --deadline-ms MS --retries N \
