@@ -26,8 +26,11 @@
 //! rejections, and worker panics. A **connection_scaling** section (unix)
 //! opens 16/256/1024 NDJSON TCP connections against the event-loop server
 //! and records warm-request p99 per tier, asserting the process thread
-//! count stays at `reactors + workers + 2` throughout. `--smoke` shrinks
-//! every dimension so CI can run the full code path in seconds.
+//! count stays at `reactors + workers + 2` throughout. A
+//! **cluster_scaling** section routes warm hits through the
+//! consistent-hash cluster router at 1/2/3 engine nodes, measuring the
+//! forwarding hop's cost and its flatness in the node count. `--smoke`
+//! shrinks every dimension so CI can run the full code path in seconds.
 //!
 //! Output: `bench_results/BENCH_engine.json`.
 
@@ -108,6 +111,18 @@ struct ConnectionScalingEntry {
     threads: Option<usize>,
 }
 
+/// Warm routed-request latency through the cluster router at one node
+/// count: what the extra hop plus ownership hashing costs, and that the
+/// cost stays flat as nodes join (the hop count is always one).
+#[derive(Debug, Serialize)]
+struct ClusterScalingEntry {
+    nodes: usize,
+    requests: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    requests_per_sec: f64,
+}
+
 /// How one batch's traffic split when the engine was degrading and
 /// shedding under an injected fault plan.
 #[derive(Debug, Serialize)]
@@ -150,6 +165,9 @@ struct BenchReport {
     /// Warm-request p99 over the event-loop TCP server at 16/256/1024
     /// open connections, with the fixed-thread-pool assertion applied.
     connection_scaling: Vec<ConnectionScalingEntry>,
+    /// Warm routed-request latency through the cluster router at 1/2/3
+    /// engine nodes (the forwarding hop's cost, flat in the node count).
+    cluster_scaling: Vec<ClusterScalingEntry>,
     /// Traffic split under an injected fault plan with shed + degrade armed.
     fault_tolerance: FaultToleranceSummary,
     /// Final engine counters, as served by the `stats` wire request.
@@ -543,6 +561,119 @@ fn bench_connection_scaling(_tiers: &[usize], _rounds: usize) -> Vec<ConnectionS
     Vec::new()
 }
 
+/// Warm-hit request latency through the cluster router at 1/2/3 engine
+/// nodes. Every spec is pre-warmed through the router, so the measured
+/// time is pure routing overhead: parse, quantize, hash, forward over a
+/// pooled connection, relay the cached reply. The interesting read is the
+/// *flatness* across node counts — consistent-hash routing costs one hop
+/// no matter how many nodes own the keyspace.
+fn bench_cluster_scaling(rounds: usize) -> Vec<ClusterScalingEntry> {
+    use share_cluster::{serve_router, RouterConfig};
+    use share_engine::{serve_tcp, Client, ClientConfig};
+
+    const M: usize = 20;
+    const SPECS: usize = 12;
+    const DRIVERS: usize = 4;
+
+    [1usize, 2, 3]
+        .iter()
+        .map(|&nodes| {
+            let engines: Vec<Arc<Engine>> = (0..nodes)
+                .map(|i| {
+                    Arc::new(Engine::start(EngineConfig {
+                        workers: 2,
+                        node_id: Some(format!("bench-n{i}")),
+                        ..EngineConfig::default()
+                    }))
+                })
+                .collect();
+            let servers: Vec<_> = engines
+                .iter()
+                .map(|e| serve_tcp(Arc::clone(e), "127.0.0.1:0").expect("bind node"))
+                .collect();
+            let peers: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+            let router = serve_router(
+                RouterConfig {
+                    peers,
+                    health_interval: std::time::Duration::from_millis(250),
+                    ..RouterConfig::default()
+                },
+                "127.0.0.1:0",
+            )
+            .expect("start router");
+            let router_addr = router.local_addr().to_string();
+
+            let specs: Vec<SolveSpec> = (0..SPECS)
+                .map(|i| SolveSpec::seeded(M, 41_000 + i as u64, SolveMode::Direct))
+                .collect();
+            let mut warm =
+                Client::connect_with(router_addr.as_str(), ClientConfig::default())
+                    .expect("connect to router");
+            for spec in &specs {
+                let resp = warm.solve(spec.clone()).expect("pre-warm routed solve");
+                assert!(resp.is_ok(), "pre-warm rejected: {resp:?}");
+            }
+
+            let hist = Arc::new(LogHistogram::new());
+            let specs = Arc::new(specs);
+            let t0 = Instant::now();
+            let drivers: Vec<_> = (0..DRIVERS)
+                .map(|_| {
+                    let hist = Arc::clone(&hist);
+                    let specs = Arc::clone(&specs);
+                    let addr = router_addr.clone();
+                    std::thread::spawn(move || {
+                        let mut client =
+                            Client::connect_with(addr.as_str(), ClientConfig::default())
+                                .expect("connect to router");
+                        for _ in 0..rounds {
+                            for spec in specs.iter() {
+                                let t = Instant::now();
+                                let resp = client.solve(spec.clone()).expect("routed warm hit");
+                                hist.record_duration(t.elapsed());
+                                assert!(resp.is_ok(), "routed warm hit rejected: {resp:?}");
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for d in drivers {
+                d.join().expect("driver thread");
+            }
+            let elapsed = t0.elapsed();
+
+            router.stop();
+            for s in &servers {
+                s.stop();
+            }
+            for e in &engines {
+                e.shutdown();
+            }
+
+            let requests = hist.count();
+            assert_eq!(
+                requests,
+                (DRIVERS * rounds * SPECS) as u64,
+                "every routed request must get exactly one reply"
+            );
+            let entry = ClusterScalingEntry {
+                nodes,
+                requests,
+                p50_ns: hist.quantile(0.50),
+                p99_ns: hist.quantile(0.99),
+                requests_per_sec: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+            };
+            println!(
+                "cluster scaling: {} nodes, p99 {:.1}µs, {:.0} req/s",
+                entry.nodes,
+                entry.p99_ns as f64 / 1e3,
+                entry.requests_per_sec
+            );
+            entry
+        })
+        .collect()
+}
+
 fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
     args.iter()
         .position(|a| a == key)
@@ -649,6 +780,7 @@ fn main() {
         &[16, 256, 1024]
     };
     let connection_scaling = bench_connection_scaling(conn_tiers, if smoke { 2 } else { 4 });
+    let cluster_scaling = bench_cluster_scaling(if smoke { 5 } else { 50 });
 
     let report = BenchReport {
         markets,
@@ -665,6 +797,7 @@ fn main() {
         cache_scaling,
         batch_fanout,
         connection_scaling,
+        cluster_scaling,
         fault_tolerance,
         stats,
     };

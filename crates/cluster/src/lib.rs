@@ -1,0 +1,63 @@
+//! # share-cluster
+//!
+//! The cluster tier of the Share serving stack: scale the engine past one
+//! process by partitioning the *keyspace* across N engine nodes.
+//!
+//! A single engine already shards its equilibrium cache across locks; this
+//! crate shards it across processes. A consistent-hash [`ring`] (virtual
+//! nodes, process-stable hashing) assigns every
+//! [`CacheKey`](share_engine::CacheKey) an owning node, and the [`router`]
+//! — an NDJSON front-end speaking exactly the engine's wire protocol —
+//! forwards each request to its owner over [`pool`]ed connections. Every
+//! occurrence of a market therefore lands on the same node: the cluster's
+//! caches stay disjoint and their union behaves like one cache N times the
+//! size, with no cross-node invalidation protocol at all.
+//!
+//! [`membership`] keeps the ring honest: periodic health probes evict
+//! unreachable nodes (their keyspace falls to ring neighbors) and readmit
+//! them when they recover; a failed forward evicts immediately. Paired
+//! with the engine's warm-cache snapshot/restore
+//! ([`share_engine::snapshot`]), a killed node comes back serving its
+//! owned keyspace from cache, not cold.
+//!
+//! | Module | Role |
+//! |--------|------|
+//! | [`ring`] | consistent-hash ring: virtual nodes, deterministic placement, minimal movement |
+//! | [`pool`] | per-node pooled NDJSON client connections |
+//! | [`membership`] | health-checked ring membership with eviction/readmission |
+//! | [`router`] | the forwarding front-end + its Prometheus scrape listener |
+//! | [`metrics`] | `share_cluster_*` metric families |
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use share_cluster::{serve_router, RouterConfig};
+//!
+//! let router = serve_router(
+//!     RouterConfig {
+//!         peers: vec!["127.0.0.1:7001".into(), "127.0.0.1:7002".into()],
+//!         ..RouterConfig::default()
+//!     },
+//!     "127.0.0.1:7000",
+//! )
+//! .unwrap();
+//! println!("routing on {}", router.local_addr());
+//! router.wait();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod membership;
+pub mod metrics;
+pub mod pool;
+pub mod ring;
+pub mod router;
+
+pub use membership::{start_health_checker, HealthChecker, Membership};
+pub use metrics::ClusterMetrics;
+pub use pool::NodePool;
+pub use ring::{stable_str_hash, HashRing};
+pub use router::{
+    serve_router, serve_router_metrics, Router, RouterConfig, RouterMetricsServer,
+};

@@ -1,0 +1,295 @@
+//! Health-checked ring membership.
+//!
+//! A [`Membership`] owns the cluster's [`HashRing`] plus the up/down state
+//! of every configured peer. Nodes leave the ring two ways — a failed
+//! periodic probe, or a failed forward reported by the router (so a dead
+//! node stops receiving traffic immediately, not an interval later) — and
+//! rejoin the only way: by passing a probe. Every transition updates the
+//! `share_cluster_*` gauges and counters and is logged.
+
+use crate::metrics::ClusterMetrics;
+use crate::pool::NodePool;
+use crate::ring::HashRing;
+use parking_lot::{Mutex, RwLock};
+use share_engine::{Client, ClientConfig, RequestBody, ResponseBody};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Tracing target of membership transitions.
+const TARGET: &str = "share_cluster::membership";
+
+/// The cluster's membership state: configured peers, the live ring, and
+/// per-node health.
+pub struct Membership {
+    peers: Vec<String>,
+    ring: RwLock<HashRing>,
+    metrics: Arc<ClusterMetrics>,
+    pool: Arc<NodePool>,
+    probe_timeout: Duration,
+}
+
+impl Membership {
+    /// Build the membership over `peers`, all initially admitted to the
+    /// ring (the first probe pass — and any failed forward — corrects
+    /// optimism within one health interval).
+    pub fn new(
+        peers: &[String],
+        vnodes: usize,
+        metrics: Arc<ClusterMetrics>,
+        pool: Arc<NodePool>,
+        probe_timeout: Duration,
+    ) -> Arc<Self> {
+        let mut ring = HashRing::new(vnodes);
+        for p in peers {
+            ring.add(p);
+            metrics.node_up(p).set(1.0);
+        }
+        metrics.peer_nodes.set(peers.len() as f64);
+        metrics.healthy_nodes.set(ring.len() as f64);
+        Arc::new(Self {
+            peers: peers.to_vec(),
+            ring: RwLock::new(ring),
+            metrics,
+            pool,
+            probe_timeout,
+        })
+    }
+
+    /// The configured peer list (healthy or not).
+    pub fn peers(&self) -> &[String] {
+        &self.peers
+    }
+
+    /// The node currently owning `key_hash`, or `None` when every peer is
+    /// evicted.
+    pub fn owner(&self, key_hash: u64) -> Option<String> {
+        self.ring.read().owner(key_hash).map(str::to_string)
+    }
+
+    /// Nodes currently in the ring.
+    pub fn healthy(&self) -> Vec<String> {
+        self.ring.read().nodes().to_vec()
+    }
+
+    /// `true` when `node` is currently in the ring.
+    pub fn is_healthy(&self, node: &str) -> bool {
+        self.ring.read().contains(node)
+    }
+
+    /// Remove `node` from the ring (its keyspace falls to the survivors).
+    /// Idempotent; returns `true` on an actual transition.
+    pub fn evict(&self, node: &str, reason: &str) -> bool {
+        let removed = {
+            let mut ring = self.ring.write();
+            let removed = ring.remove(node);
+            if removed {
+                self.metrics.healthy_nodes.set(ring.len() as f64);
+            }
+            removed
+        };
+        if removed {
+            self.metrics.evictions.inc();
+            self.metrics.node_up(node).set(0.0);
+            self.pool.discard_node(node);
+            share_obs::obs_warn!(
+                target: TARGET,
+                "node_evicted",
+                "node" => node.to_string(),
+                "reason" => reason.to_string()
+            );
+        }
+        removed
+    }
+
+    /// Re-add `node` to the ring (it reclaims its keyspace). Idempotent;
+    /// returns `true` on an actual transition.
+    pub fn readmit(&self, node: &str) -> bool {
+        let added = {
+            let mut ring = self.ring.write();
+            let added = ring.add(node);
+            if added {
+                self.metrics.healthy_nodes.set(ring.len() as f64);
+            }
+            added
+        };
+        if added {
+            self.metrics.readmissions.inc();
+            self.metrics.node_up(node).set(1.0);
+            share_obs::obs_info!(
+                target: TARGET,
+                "node_readmitted",
+                "node" => node.to_string()
+            );
+        }
+        added
+    }
+
+    /// The router's failure report: a forward to `node` failed with an I/O
+    /// error, so take it out of rotation now rather than an interval later.
+    pub fn report_failure(&self, node: &str) {
+        self.evict(node, "forward_failed");
+    }
+
+    /// One liveness probe: fresh short-timeout connection + `ping`.
+    /// A probe must never ride a pooled connection — those can be stale in
+    /// exactly the way the probe is meant to detect.
+    pub fn probe(&self, node: &str) -> bool {
+        self.metrics.health_checks.inc();
+        let config = ClientConfig {
+            read_timeout: Some(self.probe_timeout),
+            write_timeout: Some(self.probe_timeout),
+            retry: None,
+        };
+        match Client::connect_with(node, config) {
+            Ok(mut client) => matches!(
+                client.call(RequestBody::Ping).map(|r| r.body),
+                Ok(ResponseBody::Pong)
+            ),
+            Err(_) => false,
+        }
+    }
+
+    /// One health pass over every configured peer: failed probes evict,
+    /// passed probes readmit.
+    pub fn check_all(&self) {
+        for node in &self.peers {
+            if self.probe(node) {
+                self.readmit(node);
+            } else {
+                self.evict(node, "probe_failed");
+            }
+        }
+    }
+}
+
+/// A running periodic health checker (see [`start_health_checker`]).
+pub struct HealthChecker {
+    stop: Arc<AtomicBool>,
+    handle: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl HealthChecker {
+    /// Ask the checker loop to stop and wait for it to exit.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HealthChecker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Spawn a thread probing every peer each `interval`.
+///
+/// # Errors
+/// Propagates thread-spawn failures.
+pub fn start_health_checker(
+    membership: Arc<Membership>,
+    interval: Duration,
+) -> std::io::Result<HealthChecker> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let loop_stop = Arc::clone(&stop);
+    let handle = thread::Builder::new()
+        .name("share-cluster-health".to_string())
+        .spawn(move || {
+            while !loop_stop.load(Ordering::SeqCst) {
+                membership.check_all();
+                // Sleep in small slices so stop() returns promptly.
+                let mut remaining = interval;
+                while !remaining.is_zero() && !loop_stop.load(Ordering::SeqCst) {
+                    let slice = remaining.min(Duration::from_millis(25));
+                    thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+            }
+        })?;
+    Ok(HealthChecker {
+        stop,
+        handle: Mutex::new(Some(handle)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::stable_str_hash;
+
+    fn membership(peers: &[&str]) -> Arc<Membership> {
+        let metrics = Arc::new(ClusterMetrics::new());
+        let pool = Arc::new(NodePool::new(ClientConfig::default()));
+        let peers: Vec<String> = peers.iter().map(|s| s.to_string()).collect();
+        Membership::new(&peers, 64, metrics, pool, Duration::from_millis(250))
+    }
+
+    #[test]
+    fn starts_with_all_peers_admitted() {
+        let m = membership(&["n1", "n2", "n3"]);
+        assert_eq!(m.healthy().len(), 3);
+        assert!(m.is_healthy("n2"));
+        assert!(m.owner(stable_str_hash("k")).is_some());
+        let text = m.metrics.render();
+        assert!(text.contains("share_cluster_healthy_nodes 3\n"), "{text}");
+        assert!(text.contains("share_cluster_peer_nodes 3\n"), "{text}");
+    }
+
+    #[test]
+    fn evict_and_readmit_transition_once_and_update_metrics() {
+        let m = membership(&["n1", "n2"]);
+        assert!(m.evict("n1", "test"));
+        assert!(!m.evict("n1", "test"), "second eviction is a no-op");
+        assert!(!m.is_healthy("n1"));
+        assert_eq!(m.healthy(), vec!["n2".to_string()]);
+        let text = m.metrics.render();
+        assert!(text.contains("share_cluster_healthy_nodes 1\n"), "{text}");
+        assert!(text.contains("share_cluster_evictions_total 1\n"), "{text}");
+        assert!(text.contains("share_cluster_node_up{node=\"n1\"} 0\n"), "{text}");
+
+        assert!(m.readmit("n1"));
+        assert!(!m.readmit("n1"), "second readmission is a no-op");
+        assert!(m.is_healthy("n1"));
+        let text = m.metrics.render();
+        assert!(text.contains("share_cluster_healthy_nodes 2\n"), "{text}");
+        assert!(
+            text.contains("share_cluster_readmissions_total 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("share_cluster_node_up{node=\"n1\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn eviction_reroutes_the_evicted_keyspace_only() {
+        let m = membership(&["n1", "n2", "n3"]);
+        let hashes: Vec<u64> = (0..2000u64)
+            .map(|i| stable_str_hash(&format!("k{i}")))
+            .collect();
+        let before: Vec<String> = hashes.iter().map(|&h| m.owner(h).unwrap()).collect();
+        m.report_failure("n1");
+        for (h, owner_before) in hashes.iter().zip(&before) {
+            let after = m.owner(*h).unwrap();
+            if owner_before != "n1" {
+                assert_eq!(&after, owner_before);
+            } else {
+                assert_ne!(after, "n1");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_of_an_unreachable_node_fails_fast() {
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let m = membership(&[dead.as_str()]);
+        assert!(!m.probe(&dead));
+        m.check_all();
+        assert!(m.healthy().is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! The router's own metric families: ring membership, health-check
+//! activity, and per-node forwarding counters.
+
+use share_obs::metrics::{Counter, Gauge, Registry};
+use std::sync::Arc;
+
+/// Metric handles for one router process, rendered together as a
+/// Prometheus text exposition (scraped via the router's HTTP listener or
+/// the NDJSON `metrics` request).
+pub struct ClusterMetrics {
+    registry: Registry,
+    /// Nodes currently in the ring (healthy and receiving traffic).
+    pub(crate) healthy_nodes: Arc<Gauge>,
+    /// Nodes the router is configured with, healthy or not.
+    pub(crate) peer_nodes: Arc<Gauge>,
+    /// Health-check probes issued.
+    pub(crate) health_checks: Arc<Counter>,
+    /// Nodes removed from the ring (failed probe or failed forward).
+    pub(crate) evictions: Arc<Counter>,
+    /// Nodes re-added to the ring after a successful probe.
+    pub(crate) readmissions: Arc<Counter>,
+    /// Request lines accepted by the router front-end.
+    pub(crate) requests: Arc<Counter>,
+    /// Batches split across more than one owning node.
+    pub(crate) batch_splits: Arc<Counter>,
+    /// Requests answered `node_unavailable` after exhausting live owners.
+    pub(crate) unroutable: Arc<Counter>,
+}
+
+impl Default for ClusterMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterMetrics {
+    /// Register the router's metric families in a fresh registry.
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        let healthy_nodes = registry.gauge(
+            "share_cluster_healthy_nodes",
+            "Engine nodes currently in the ring and receiving traffic.",
+        );
+        let peer_nodes = registry.gauge(
+            "share_cluster_peer_nodes",
+            "Engine nodes the router is configured with, healthy or not.",
+        );
+        let health_checks = registry.counter(
+            "share_cluster_health_checks_total",
+            "Health-check probes issued to peer nodes.",
+        );
+        let evictions = registry.counter(
+            "share_cluster_evictions_total",
+            "Times a node was removed from the ring (failed probe or forward).",
+        );
+        let readmissions = registry.counter(
+            "share_cluster_readmissions_total",
+            "Times an evicted node passed a probe and rejoined the ring.",
+        );
+        let requests = registry.counter(
+            "share_cluster_requests_total",
+            "Request lines accepted by the router front-end.",
+        );
+        let batch_splits = registry.counter(
+            "share_cluster_batch_splits_total",
+            "Batch requests split across more than one owning node.",
+        );
+        let unroutable = registry.counter(
+            "share_cluster_unroutable_total",
+            "Requests answered node_unavailable after exhausting live owners.",
+        );
+        Self {
+            registry,
+            healthy_nodes,
+            peer_nodes,
+            health_checks,
+            evictions,
+            readmissions,
+            requests,
+            batch_splits,
+            unroutable,
+        }
+    }
+
+    /// Liveness gauge (1 up / 0 down) for one peer node.
+    pub(crate) fn node_up(&self, node: &str) -> Arc<Gauge> {
+        self.registry.gauge_with(
+            "share_cluster_node_up",
+            "1 when the labelled node is in the ring, 0 while evicted.",
+            &[("node", node)],
+        )
+    }
+
+    /// Forwarded-request counter for one peer node.
+    pub(crate) fn forwards(&self, node: &str) -> Arc<Counter> {
+        self.registry.counter_with(
+            "share_cluster_forwards_total",
+            "Requests forwarded to the labelled node.",
+            &[("node", node)],
+        )
+    }
+
+    /// Forward-failure counter for one peer node.
+    pub(crate) fn forward_errors(&self, node: &str) -> Arc<Counter> {
+        self.registry.counter_with(
+            "share_cluster_forward_errors_total",
+            "Forwards to the labelled node that failed with an I/O error.",
+            &[("node", node)],
+        )
+    }
+
+    /// Render every family as Prometheus text exposition format 0.0.4.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_register_and_render() {
+        let m = ClusterMetrics::new();
+        m.peer_nodes.set(3.0);
+        m.healthy_nodes.set(2.0);
+        m.node_up("127.0.0.1:7001").set(1.0);
+        m.node_up("127.0.0.1:7002").set(0.0);
+        m.forwards("127.0.0.1:7001").add(5);
+        m.forward_errors("127.0.0.1:7002").inc();
+        m.evictions.inc();
+        let text = m.render();
+        assert!(text.contains("share_cluster_healthy_nodes 2\n"), "{text}");
+        assert!(text.contains("share_cluster_peer_nodes 3\n"), "{text}");
+        assert!(
+            text.contains("share_cluster_node_up{node=\"127.0.0.1:7001\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("share_cluster_forwards_total{node=\"127.0.0.1:7001\"} 5\n"),
+            "{text}"
+        );
+        assert!(text.contains("share_cluster_evictions_total 1\n"), "{text}");
+        let stats =
+            share_obs::prometheus::validate_exposition(&text).expect("valid exposition");
+        assert!(stats.families >= 8);
+    }
+
+    #[test]
+    fn per_node_handles_are_idempotent() {
+        let m = ClusterMetrics::new();
+        m.forwards("n1").inc();
+        m.forwards("n1").inc();
+        assert_eq!(m.forwards("n1").get(), 2);
+        assert_eq!(m.forwards("n2").get(), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Pooled NDJSON client connections, one stack of idle clients per node.
+//!
+//! Forwarding threads check a [`Client`] out for the duration of one
+//! request and check it back in on success, so a router serving K
+//! concurrent connections holds at most K sockets per node and reuses
+//! them across requests. A forward that fails drops its client instead of
+//! returning it (the connection is poisoned), and evicting a node discards
+//! its whole idle stack so a readmitted node starts from fresh sockets.
+
+use parking_lot::Mutex;
+use share_engine::{Client, ClientConfig};
+use std::collections::HashMap;
+use std::io;
+
+/// Default cap on idle connections retained per node.
+const DEFAULT_MAX_IDLE: usize = 8;
+
+/// A per-node pool of idle [`Client`] connections.
+pub struct NodePool {
+    config: ClientConfig,
+    max_idle: usize,
+    idle: Mutex<HashMap<String, Vec<Client>>>,
+}
+
+impl NodePool {
+    /// A pool dialing nodes with `config` (retries should be disabled —
+    /// the router owns failover policy, see the router's forward loop).
+    pub fn new(config: ClientConfig) -> Self {
+        Self::with_max_idle(config, DEFAULT_MAX_IDLE)
+    }
+
+    /// A pool retaining at most `max_idle` idle connections per node.
+    pub fn with_max_idle(config: ClientConfig, max_idle: usize) -> Self {
+        Self {
+            config,
+            max_idle,
+            idle: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Pop an idle connection to `node`, or dial a fresh one.
+    ///
+    /// # Errors
+    /// Connection I/O errors from the dial.
+    pub fn checkout(&self, node: &str) -> io::Result<Client> {
+        if let Some(client) = self
+            .idle
+            .lock()
+            .get_mut(node)
+            .and_then(|stack| stack.pop())
+        {
+            return Ok(client);
+        }
+        Client::connect_with(node, self.config.clone())
+    }
+
+    /// Return a healthy connection to the pool. Beyond the idle cap the
+    /// connection is simply dropped (closed).
+    pub fn checkin(&self, node: &str, client: Client) {
+        let mut idle = self.idle.lock();
+        let stack = idle.entry(node.to_string()).or_default();
+        if stack.len() < self.max_idle {
+            stack.push(client);
+        }
+    }
+
+    /// Drop every idle connection to `node` (called on eviction, so a
+    /// readmitted node is re-dialed rather than reached over sockets that
+    /// may be half-dead).
+    pub fn discard_node(&self, node: &str) {
+        self.idle.lock().remove(node);
+    }
+
+    /// Idle connections currently pooled for `node`.
+    pub fn idle_count(&self, node: &str) -> usize {
+        self.idle.lock().get(node).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn checkout_checkin_reuses_connections() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let pool = NodePool::new(ClientConfig::default());
+        assert_eq!(pool.idle_count(&addr), 0);
+        let c = pool.checkout(&addr).unwrap();
+        pool.checkin(&addr, c);
+        assert_eq!(pool.idle_count(&addr), 1);
+        let _c = pool.checkout(&addr).unwrap();
+        assert_eq!(pool.idle_count(&addr), 0, "idle connection was reused");
+    }
+
+    #[test]
+    fn idle_cap_bounds_the_stack_and_discard_empties_it() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let pool = NodePool::with_max_idle(ClientConfig::default(), 2);
+        let clients: Vec<Client> = (0..3).map(|_| pool.checkout(&addr).unwrap()).collect();
+        for c in clients {
+            pool.checkin(&addr, c);
+        }
+        assert_eq!(pool.idle_count(&addr), 2, "cap enforced");
+        pool.discard_node(&addr);
+        assert_eq!(pool.idle_count(&addr), 0);
+    }
+
+    #[test]
+    fn checkout_to_a_dead_node_errors() {
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let pool = NodePool::new(ClientConfig::default());
+        assert!(pool.checkout(&dead).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! The ring maps 64-bit key hashes (from
+//! [`CacheKey::stable_hash`](share_engine::CacheKey::stable_hash)) to node
+//! ids. Each node contributes `vnodes` points on the ring, placed by a
+//! process-stable string hash of `"<node>#<i>"`; a key is owned by the
+//! first point clockwise from its hash. Two properties follow:
+//!
+//! - **Determinism**: ring placement depends only on the node-id strings
+//!   and the vnode count, never on insertion order, process, build, or
+//!   `std` hasher seeds — every router (and every test) that configures
+//!   the same members computes the same owners.
+//! - **Minimal movement**: removing a node reassigns only the keys it
+//!   owned (they fall to the next point clockwise); adding a node steals
+//!   roughly `keys/N` keys from the others and moves nothing else. The
+//!   crate's property tests pin both bounds.
+
+/// A process-stable hash of a string: FNV-1a 64 over the bytes, finished
+/// with a splitmix64 avalanche. The same construction as
+/// [`CacheKey::stable_hash`](share_engine::CacheKey::stable_hash), so ring
+/// placement shares its stability guarantees.
+pub fn stable_str_hash(s: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring: a sorted list of `(point, node)` pairs, `vnodes`
+/// points per member node.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    vnodes: usize,
+    /// Member node ids, kept sorted (the ring is order-insensitive, but a
+    /// canonical order makes [`HashRing::nodes`] deterministic too).
+    nodes: Vec<String>,
+    /// Ring points, sorted by `(hash, node)` — the node tiebreak makes
+    /// point collisions (astronomically rare but possible) deterministic.
+    points: Vec<(u64, String)>,
+}
+
+impl HashRing {
+    /// An empty ring placing `vnodes` points per node (clamped to ≥ 1).
+    pub fn new(vnodes: usize) -> Self {
+        Self {
+            vnodes: vnodes.max(1),
+            nodes: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Points contributed by each member node.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no nodes are in the ring.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Member node ids, sorted.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// `true` when `node` is a member.
+    pub fn contains(&self, node: &str) -> bool {
+        self.nodes.binary_search_by(|n| n.as_str().cmp(node)).is_ok()
+    }
+
+    /// Add a member. Returns `false` (and changes nothing) when the node
+    /// is already present.
+    pub fn add(&mut self, node: &str) -> bool {
+        match self.nodes.binary_search_by(|n| n.as_str().cmp(node)) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.nodes.insert(pos, node.to_string());
+                self.rebuild();
+                true
+            }
+        }
+    }
+
+    /// Remove a member. Returns `false` when the node was not present.
+    pub fn remove(&mut self, node: &str) -> bool {
+        match self.nodes.binary_search_by(|n| n.as_str().cmp(node)) {
+            Ok(pos) => {
+                self.nodes.remove(pos);
+                self.rebuild();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Recompute the sorted point list from the member set. O(N·V·log(N·V)),
+    /// paid only on membership change — lookups stay a binary search.
+    fn rebuild(&mut self) {
+        self.points.clear();
+        self.points.reserve(self.nodes.len() * self.vnodes);
+        for node in &self.nodes {
+            for i in 0..self.vnodes {
+                let point = stable_str_hash(&format!("{node}#{i}"));
+                self.points.push((point, node.clone()));
+            }
+        }
+        self.points
+            .sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    }
+
+    /// The node owning `key_hash`: the first ring point at or clockwise of
+    /// the hash, wrapping past the top. `None` on an empty ring.
+    pub fn owner(&self, key_hash: u64) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let idx = self
+            .points
+            .partition_point(|&(p, _)| p < key_hash)
+            .checked_rem(self.points.len())
+            .expect("non-empty point list");
+        Some(self.points[idx].1.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(names: &[&str]) -> HashRing {
+        let mut r = HashRing::new(64);
+        for n in names {
+            r.add(n);
+        }
+        r
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let r = HashRing::new(64);
+        assert!(r.is_empty());
+        assert_eq!(r.owner(42), None);
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let r = ring(&["a"]);
+        for h in [0u64, 1, u64::MAX / 2, u64::MAX] {
+            assert_eq!(r.owner(h), Some("a"));
+        }
+    }
+
+    #[test]
+    fn placement_is_insertion_order_independent() {
+        let a = ring(&["n1", "n2", "n3"]);
+        let b = ring(&["n3", "n1", "n2"]);
+        for h in (0..10_000u64).map(|i| stable_str_hash(&i.to_string())) {
+            assert_eq!(a.owner(h), b.owner(h));
+        }
+        assert_eq!(a.nodes(), b.nodes());
+    }
+
+    #[test]
+    fn add_and_remove_are_idempotent() {
+        let mut r = ring(&["a", "b"]);
+        assert!(!r.add("a"));
+        assert_eq!(r.len(), 2);
+        assert!(r.remove("a"));
+        assert!(!r.remove("a"));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains("b") && !r.contains("a"));
+    }
+
+    #[test]
+    fn removal_moves_only_the_removed_nodes_keys() {
+        let mut r = ring(&["n1", "n2", "n3"]);
+        let hashes: Vec<u64> = (0..5_000u64)
+            .map(|i| stable_str_hash(&format!("key{i}")))
+            .collect();
+        let before: Vec<String> = hashes
+            .iter()
+            .map(|&h| r.owner(h).unwrap().to_string())
+            .collect();
+        r.remove("n2");
+        for (h, owner_before) in hashes.iter().zip(&before) {
+            let after = r.owner(*h).unwrap();
+            if owner_before != "n2" {
+                assert_eq!(after, owner_before, "unowned key moved on removal");
+            } else {
+                assert_ne!(after, "n2");
+            }
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_nodes() {
+        let r = ring(&["n1", "n2", "n3", "n4"]);
+        let mut counts = std::collections::HashMap::new();
+        let total = 20_000u64;
+        for i in 0..total {
+            let owner = r.owner(stable_str_hash(&format!("k{i}"))).unwrap();
+            *counts.entry(owner.to_string()).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts.len(), 4, "every node owns some keyspace");
+        let ideal = total / 4;
+        for (node, n) in counts {
+            assert!(
+                n > ideal / 3 && n < ideal * 3,
+                "node {node} owns {n} of {total} keys — too far from ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn stable_str_hash_is_pinned() {
+        // Ring placement is a wire-level protocol between routers: if this
+        // value changes, mixed-version clusters split keyspace ownership.
+        assert_eq!(stable_str_hash(""), 0xc381_7c01_6ba4_ff30);
+        assert_ne!(stable_str_hash("a"), stable_str_hash("b"));
+        assert_ne!(stable_str_hash("n1#0"), stable_str_hash("n1#1"));
+    }
+}

@@ -1,0 +1,525 @@
+//! The cluster front-end: an NDJSON server that forwards each request to
+//! the engine node owning its cache key.
+//!
+//! The router speaks exactly the engine's wire protocol, so existing
+//! clients point at it unchanged. Each `solve` is quantized with the same
+//! tolerances the nodes use, hashed with
+//! [`CacheKey::stable_hash`](share_engine::CacheKey::stable_hash), and
+//! forwarded over a pooled connection to the ring owner — so every
+//! occurrence of a given market lands on the same node and the cluster's
+//! aggregate cache behaves like one large sharded cache. Batches are split
+//! by owner, forwarded as sub-batches, and reassembled in submission
+//! order.
+//!
+//! A forward that fails evicts the node immediately
+//! ([`Membership::report_failure`]) and retries against the reassigned
+//! owner; when no live owner remains the client receives a
+//! `node_unavailable` error, which [`Client`](share_engine::Client)'s
+//! retry machinery treats as transient — so retrying clients converge to
+//! success as soon as the health checker (or the next forward) has fixed
+//! the ring. Every request line is answered exactly once, whatever the
+//! forwarding path did.
+
+use crate::membership::{start_health_checker, HealthChecker, Membership};
+use crate::metrics::ClusterMetrics;
+use crate::pool::NodePool;
+use parking_lot::Mutex;
+use share_engine::error::EngineError;
+use share_engine::protocol::{encode_response, parse_request};
+use share_engine::spec::{MarketSpec, SolveSpec};
+use share_engine::{
+    quantize, ClientConfig, QuantizerConfig, RequestBody, ResponseBody, SolveMode, WireResponse,
+};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Tracing target of router lifecycle events.
+const TARGET: &str = "share_cluster::router";
+
+/// Router construction parameters.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Engine node addresses (`host:port`) forming the cluster.
+    pub peers: Vec<String>,
+    /// Ring points per node (more points, smoother key distribution).
+    pub vnodes: usize,
+    /// Delay between health-check passes over the peers.
+    pub health_interval: Duration,
+    /// Connect/read/write timeout of one health probe.
+    pub probe_timeout: Duration,
+    /// Client config for forwarding connections. Leave `retry` unset: the
+    /// router owns failover (evict + re-forward), and nested retries would
+    /// multiply worst-case latency.
+    pub forward: ClientConfig,
+    /// Quantizer tolerances used to compute ownership keys. Must match the
+    /// engine nodes' configuration, or the router and the nodes will
+    /// disagree about which requests coalesce.
+    pub quantizer: QuantizerConfig,
+    /// How many owners to try before answering `node_unavailable` (each
+    /// failed attempt evicts the failed node and reroutes).
+    pub max_forward_attempts: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            peers: Vec::new(),
+            vnodes: 64,
+            health_interval: Duration::from_millis(500),
+            probe_timeout: Duration::from_millis(500),
+            forward: ClientConfig::default(),
+            quantizer: QuantizerConfig::default(),
+            max_forward_attempts: 2,
+        }
+    }
+}
+
+/// Shared state of the serving threads.
+struct RouterCtx {
+    membership: Arc<Membership>,
+    pool: Arc<NodePool>,
+    metrics: Arc<ClusterMetrics>,
+    quantizer: QuantizerConfig,
+    max_attempts: usize,
+    /// `retry_after_ms` hint on `node_unavailable` replies — the health
+    /// interval, since that bounds how stale the ring can be.
+    retry_hint_ms: u64,
+}
+
+/// The ring-ownership hash of one solve request.
+fn key_hash(
+    spec: &MarketSpec,
+    mode: SolveMode,
+    config: &QuantizerConfig,
+) -> Result<u64, EngineError> {
+    let params = spec.materialize()?;
+    Ok(quantize(&params, mode, config.param_tol).stable_hash())
+}
+
+/// Forward one request over a pooled connection. On success the connection
+/// returns to the pool; on failure it is dropped (poisoned).
+fn forward_once(ctx: &RouterCtx, node: &str, body: RequestBody) -> io::Result<WireResponse> {
+    let mut client = ctx.pool.checkout(node)?;
+    match client.call(body) {
+        Ok(resp) => {
+            ctx.pool.checkin(node, client);
+            Ok(resp)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Route one solve to its owning node, retrying across reassigned owners.
+fn route_solve(
+    ctx: &RouterCtx,
+    id: u64,
+    spec: MarketSpec,
+    mode: SolveMode,
+    deadline_ms: Option<u64>,
+) -> WireResponse {
+    let hash = match key_hash(&spec, mode, &ctx.quantizer) {
+        Ok(h) => h,
+        Err(e) => return WireResponse::from_error(id, &e),
+    };
+    let body = RequestBody::Solve {
+        spec,
+        mode,
+        deadline_ms,
+    };
+    let mut last_node = "(no live nodes)".to_string();
+    for _ in 0..ctx.max_attempts {
+        let Some(node) = ctx.membership.owner(hash) else {
+            break;
+        };
+        match forward_once(ctx, &node, body.clone()) {
+            Ok(mut resp) => {
+                resp.id = id;
+                ctx.metrics.forwards(&node).inc();
+                return resp;
+            }
+            Err(_) => {
+                ctx.metrics.forward_errors(&node).inc();
+                ctx.membership.report_failure(&node);
+                last_node = node;
+            }
+        }
+    }
+    ctx.metrics.unroutable.inc();
+    WireResponse::from_error(
+        id,
+        &EngineError::NodeUnavailable {
+            node: last_node,
+            retry_after_ms: ctx.retry_hint_ms,
+        },
+    )
+}
+
+/// Route a batch: split by owning node, forward the sub-batches, reassemble
+/// results in submission order (each inner response's `id` is its original
+/// position, exactly as a single engine node numbers them).
+fn route_batch(ctx: &RouterCtx, id: u64, requests: Vec<SolveSpec>) -> WireResponse {
+    let n = requests.len();
+    let mut results: Vec<Option<WireResponse>> = (0..n).map(|_| None).collect();
+    // (original position, ownership hash, spec) for every routable entry.
+    let mut pending: Vec<(usize, u64, SolveSpec)> = Vec::with_capacity(n);
+    for (i, sp) in requests.into_iter().enumerate() {
+        match key_hash(&sp.spec, sp.mode, &ctx.quantizer) {
+            Ok(h) => pending.push((i, h, sp)),
+            Err(e) => results[i] = Some(WireResponse::from_error(i as u64, &e)),
+        }
+    }
+    let mut round = 0;
+    while !pending.is_empty() && round < ctx.max_attempts {
+        round += 1;
+        let mut groups: BTreeMap<String, Vec<(usize, u64, SolveSpec)>> = BTreeMap::new();
+        let mut ringless: Vec<(usize, u64, SolveSpec)> = Vec::new();
+        for item in pending.drain(..) {
+            match ctx.membership.owner(item.1) {
+                Some(node) => groups.entry(node).or_default().push(item),
+                None => ringless.push(item),
+            }
+        }
+        if groups.len() > 1 {
+            ctx.metrics.batch_splits.inc();
+        }
+        for (node, items) in groups {
+            let sub: Vec<SolveSpec> = items.iter().map(|(_, _, sp)| sp.clone()).collect();
+            match forward_once(ctx, &node, RequestBody::Batch { requests: sub }) {
+                Ok(WireResponse {
+                    body: ResponseBody::Batch { results: sub_res },
+                    ..
+                }) if sub_res.len() == items.len() => {
+                    ctx.metrics.forwards(&node).inc();
+                    for ((i, _, _), mut resp) in items.into_iter().zip(sub_res) {
+                        resp.id = i as u64;
+                        results[i] = Some(resp);
+                    }
+                }
+                Ok(_) => {
+                    // The node answered but not with a matching batch: a
+                    // protocol violation, not a liveness failure — answer
+                    // these entries rather than re-forwarding them.
+                    ctx.metrics.forwards(&node).inc();
+                    for (i, _, _) in items {
+                        results[i] = Some(WireResponse::from_error(
+                            i as u64,
+                            &EngineError::Internal(format!(
+                                "node {node} answered a batch with a non-batch reply"
+                            )),
+                        ));
+                    }
+                }
+                Err(_) => {
+                    ctx.metrics.forward_errors(&node).inc();
+                    ctx.membership.report_failure(&node);
+                    // Next round reroutes these against the updated ring.
+                    pending.extend(items);
+                }
+            }
+        }
+        // An empty ring cannot improve within this request; fail the rest.
+        pending.extend(ringless);
+        if ctx.membership.healthy().is_empty() {
+            break;
+        }
+    }
+    for (i, _, _) in pending {
+        ctx.metrics.unroutable.inc();
+        results[i] = Some(WireResponse::from_error(
+            i as u64,
+            &EngineError::NodeUnavailable {
+                node: "(no live nodes)".to_string(),
+                retry_after_ms: ctx.retry_hint_ms,
+            },
+        ));
+    }
+    WireResponse {
+        id,
+        body: ResponseBody::Batch {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every batch slot answered"))
+                .collect(),
+        },
+    }
+}
+
+/// Serve one client connection. Returns `true` when the client asked the
+/// router to shut down.
+fn serve_router_connection<R: BufRead, W: Write>(
+    ctx: &RouterCtx,
+    reader: R,
+    mut writer: W,
+) -> bool {
+    let mut respond = |resp: &WireResponse| -> bool {
+        writeln!(writer, "{}", encode_response(resp)).is_ok() && writer.flush().is_ok()
+    };
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        ctx.metrics.requests.inc();
+        let resp = match parse_request(line) {
+            Err(e) => WireResponse::from_error(0, &e),
+            Ok(req) => match req.body {
+                RequestBody::Solve {
+                    spec,
+                    mode,
+                    deadline_ms,
+                } => route_solve(ctx, req.id, spec, mode, deadline_ms),
+                RequestBody::Batch { requests } => route_batch(ctx, req.id, requests),
+                RequestBody::Ping => WireResponse {
+                    id: req.id,
+                    body: ResponseBody::Pong,
+                },
+                RequestBody::Metrics => WireResponse {
+                    id: req.id,
+                    body: ResponseBody::Metrics {
+                        text: ctx.metrics.render(),
+                    },
+                },
+                RequestBody::Stats | RequestBody::NodeInfo | RequestBody::Snapshot => {
+                    // Node-scoped introspection has no aggregate answer at
+                    // the router; callers address an engine node directly.
+                    WireResponse::from_error(
+                        req.id,
+                        &EngineError::InvalidRequest(
+                            "request is node-scoped; send it to an engine node, not the router"
+                                .to_string(),
+                        ),
+                    )
+                }
+                RequestBody::Shutdown => {
+                    let _ = respond(&WireResponse {
+                        id: req.id,
+                        body: ResponseBody::Shutdown,
+                    });
+                    return true;
+                }
+            },
+        };
+        if !respond(&resp) {
+            break;
+        }
+    }
+    false
+}
+
+/// A running cluster router: the NDJSON front-end, its health checker, and
+/// its membership state.
+pub struct Router {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Mutex<Option<thread::JoinHandle<()>>>,
+    membership: Arc<Membership>,
+    metrics: Arc<ClusterMetrics>,
+    health: HealthChecker,
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0`) and serve the cluster front-end.
+///
+/// # Errors
+/// I/O errors from binding the listener or spawning threads.
+pub fn serve_router(config: RouterConfig, addr: &str) -> io::Result<Router> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let metrics = Arc::new(ClusterMetrics::new());
+    let pool = Arc::new(NodePool::new(config.forward.clone()));
+    let membership = Membership::new(
+        &config.peers,
+        config.vnodes,
+        Arc::clone(&metrics),
+        Arc::clone(&pool),
+        config.probe_timeout,
+    );
+    let health = start_health_checker(Arc::clone(&membership), config.health_interval)?;
+    let ctx = Arc::new(RouterCtx {
+        membership: Arc::clone(&membership),
+        pool,
+        metrics: Arc::clone(&metrics),
+        quantizer: config.quantizer,
+        max_attempts: config.max_forward_attempts.max(1),
+        retry_hint_ms: config.health_interval.as_millis().min(u64::MAX as u128) as u64,
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    share_obs::obs_info!(
+        target: TARGET,
+        "router_started",
+        "addr" => local.to_string(),
+        "peers" => config.peers.len() as u64
+    );
+    let accept = thread::Builder::new()
+        .name("share-cluster-accept".to_string())
+        .spawn(move || {
+            for incoming in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = incoming else { continue };
+                let conn_ctx = Arc::clone(&ctx);
+                let conn_stop = Arc::clone(&accept_stop);
+                // Thread exhaustion closes this connection (the client sees
+                // EOF and may retry) instead of killing the accept loop.
+                let _ = thread::Builder::new()
+                    .name("share-cluster-conn".to_string())
+                    .spawn(move || {
+                        let Ok(read_half) = stream.try_clone() else {
+                            return;
+                        };
+                        let wants_shutdown = serve_router_connection(
+                            &conn_ctx,
+                            BufReader::new(read_half),
+                            stream,
+                        );
+                        if wants_shutdown && !conn_stop.swap(true, Ordering::SeqCst) {
+                            // Wake the blocking accept loop so it observes
+                            // the stop flag.
+                            let _ = TcpStream::connect(local);
+                        }
+                    });
+            }
+        })?;
+    Ok(Router {
+        addr: local,
+        stop,
+        accept: Mutex::new(Some(accept)),
+        membership,
+        metrics,
+        health,
+    })
+}
+
+impl Router {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The cluster membership (ring state, eviction/readmission).
+    pub fn membership(&self) -> &Arc<Membership> {
+        &self.membership
+    }
+
+    /// The router's metric families.
+    pub fn metrics(&self) -> &Arc<ClusterMetrics> {
+        &self.metrics
+    }
+
+    /// Render the router's Prometheus text exposition.
+    pub fn render_prometheus(&self) -> String {
+        self.metrics.render()
+    }
+
+    /// Stop the health checker and the accept loop, and wait for both.
+    /// Connections already being served drain on their own threads.
+    pub fn stop(&self) {
+        self.health.stop();
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+        self.wait();
+    }
+
+    /// Block until the accept loop exits (via [`Router::stop`] or a client
+    /// `shutdown` request).
+    pub fn wait(&self) {
+        if let Some(h) = self.accept.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A running HTTP scrape endpoint for the router's metrics (see
+/// [`serve_router_metrics`]).
+pub struct RouterMetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+/// Bind `addr` and answer every connection with the router's Prometheus
+/// exposition over minimal HTTP/1.0, mirroring the engine's
+/// [`serve_metrics`](share_engine::serve_metrics) listener.
+///
+/// # Errors
+/// I/O errors from binding the listener.
+pub fn serve_router_metrics(
+    metrics: Arc<ClusterMetrics>,
+    addr: &str,
+) -> io::Result<RouterMetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    share_obs::obs_info!(
+        target: TARGET,
+        "router_metrics_listener_started",
+        "addr" => local.to_string()
+    );
+    let accept = thread::Builder::new()
+        .name("share-cluster-metrics".to_string())
+        .spawn(move || {
+            for incoming in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = incoming else { continue };
+                // Bounded both ways: the handler runs inline on the accept
+                // thread, so a silent scraper must not pin the listener.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                let mut scratch = [0u8; 4096];
+                let _ = stream.read(&mut scratch);
+                let body = metrics.render();
+                let head = format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                    body.len()
+                );
+                let _ = stream.write_all(head.as_bytes());
+                let _ = stream.write_all(body.as_bytes());
+                let _ = stream.flush();
+            }
+        })?;
+    Ok(RouterMetricsServer {
+        addr: local,
+        stop,
+        accept: Mutex::new(Some(accept)),
+    })
+}
+
+impl RouterMetricsServer {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the accept loop to stop and wait for it to exit.
+    pub fn stop(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(h) = self.accept.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RouterMetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

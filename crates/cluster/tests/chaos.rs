@@ -1,0 +1,278 @@
+//! Cluster chaos test: kill an engine node mid-load and assert that
+//! retrying clients converge to 100% success with exactly one reply per
+//! request, that the ring settles at the surviving nodes, and that the
+//! killed node — restarted on its snapshot — serves its first owned-key
+//! request as a cache hit.
+
+use share_cluster::{serve_router, serve_router_metrics, Router, RouterConfig};
+use share_engine::{
+    quantize, serve_tcp, Client, ClientConfig, Engine, EngineConfig, QuantizerConfig,
+    ResponseBody, RetryPolicy, SolveMode, SolveSpec, TcpServer,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One in-process engine node: engine + TCP server + snapshot path, with
+/// kill (graceful: drains, snapshots) and restart on the same address.
+struct LocalNode {
+    addr: String,
+    node_id: String,
+    snapshot: PathBuf,
+    engine: Option<Arc<Engine>>,
+    server: Option<TcpServer>,
+}
+
+impl LocalNode {
+    fn config(&self) -> EngineConfig {
+        EngineConfig {
+            workers: 2,
+            node_id: Some(self.node_id.clone()),
+            snapshot_path: Some(self.snapshot.clone()),
+            ..EngineConfig::default()
+        }
+    }
+
+    fn start(node_id: &str, snapshot: PathBuf) -> Self {
+        let mut node = Self {
+            addr: String::new(),
+            node_id: node_id.to_string(),
+            snapshot,
+            engine: None,
+            server: None,
+        };
+        let engine = Arc::new(Engine::start(node.config()));
+        let server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0").expect("bind node");
+        node.addr = server.local_addr().to_string();
+        node.engine = Some(engine);
+        node.server = Some(server);
+        node
+    }
+
+    /// Stop serving and shut the engine down (which writes the snapshot).
+    fn kill(&mut self) {
+        if let Some(server) = self.server.take() {
+            server.stop();
+        }
+        if let Some(engine) = self.engine.take() {
+            engine.shutdown();
+        }
+    }
+
+    /// Come back on the same address and snapshot (a respawned process).
+    fn restart(&mut self) {
+        assert!(self.engine.is_none(), "restart of a live node");
+        let engine = Arc::new(Engine::start(self.config()));
+        let server = serve_tcp(Arc::clone(&engine), &self.addr).expect("rebind node");
+        self.engine = Some(engine);
+        self.server = Some(server);
+    }
+}
+
+impl Drop for LocalNode {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn owner_of(router: &Router, spec: &SolveSpec) -> String {
+    let params = spec.spec.materialize().expect("valid spec");
+    let key = quantize(&params, spec.mode, QuantizerConfig::default().param_tol);
+    router
+        .membership()
+        .owner(key.stable_hash())
+        .expect("non-empty ring")
+}
+
+fn retrying_client(router_addr: &str, seed: u64) -> Client {
+    Client::connect_with(
+        router_addr,
+        ClientConfig {
+            retry: Some(RetryPolicy {
+                max_retries: 12,
+                base_backoff: Duration::from_millis(25),
+                max_backoff: Duration::from_millis(500),
+                jitter: 0.2,
+                seed,
+            }),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect to router")
+}
+
+fn wait_until(deadline: Duration, mut ok: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if ok() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+    ok()
+}
+
+/// Scrape the router's HTTP metrics listener the way CI (or Prometheus)
+/// would.
+fn scrape(addr: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics listener");
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("send scrape");
+    let mut text = String::new();
+    let _ = stream.read_to_string(&mut text);
+    text
+}
+
+#[test]
+fn node_kill_mid_load_converges_and_restart_serves_warm() {
+    let dir = std::env::temp_dir().join(format!("share-cluster-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+
+    // Three engine nodes with per-node snapshot files.
+    let mut nodes: Vec<LocalNode> = (0..3)
+        .map(|i| LocalNode::start(&format!("n{i}"), dir.join(format!("n{i}.snapshot"))))
+        .collect();
+    let peers: Vec<String> = nodes.iter().map(|n| n.addr.clone()).collect();
+
+    let router = serve_router(
+        RouterConfig {
+            peers,
+            vnodes: 64,
+            health_interval: Duration::from_millis(100),
+            probe_timeout: Duration::from_millis(250),
+            max_forward_attempts: 3,
+            ..RouterConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("start router");
+    let router_addr = router.local_addr().to_string();
+    let metrics_http = serve_router_metrics(Arc::clone(router.metrics()), "127.0.0.1:0")
+        .expect("start metrics listener");
+
+    // A fixed-seed request population spread across the ring.
+    let specs: Vec<SolveSpec> = (0..24)
+        .map(|i| SolveSpec::seeded(4 + (i % 12), 1000 + i as u64, SolveMode::Direct))
+        .collect();
+
+    // Pre-warm every key through the router, so each owner caches its own
+    // keyspace (and will carry it into its shutdown snapshot).
+    let mut warm = retrying_client(&router_addr, 7);
+    for spec in &specs {
+        let resp = warm.solve(spec.clone()).expect("pre-warm solve");
+        assert!(resp.is_ok(), "pre-warm rejected: {resp:?}");
+    }
+
+    // The node owning specs[0] is the one we'll kill; remember that the
+    // victim spec really is in its keyspace while all three are healthy.
+    let victim_spec = specs[0].clone();
+    let victim_addr = owner_of(&router, &victim_spec);
+    let victim_idx = nodes
+        .iter()
+        .position(|n| n.addr == victim_addr)
+        .expect("victim is one of ours");
+
+    // Concurrent retrying load while the victim dies.
+    let total_per_thread = 40;
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let addr = router_addr.clone();
+            let specs = specs.clone();
+            thread::spawn(move || {
+                let mut client = retrying_client(&addr, 100 + t as u64);
+                let mut successes = 0usize;
+                for i in 0..total_per_thread {
+                    let spec = specs[(t * 13 + i * 7) % specs.len()].clone();
+                    // Exactly-one-reply: `call` returns one response per
+                    // request, correlated by id; a duplicate or dropped
+                    // reply would desynchronize every later call on this
+                    // connection.
+                    match client.solve(spec) {
+                        Ok(resp) if resp.is_ok() => successes += 1,
+                        other => panic!("load call failed after retries: {other:?}"),
+                    }
+                }
+                successes
+            })
+        })
+        .collect();
+
+    // Kill the victim mid-load (drains in-flight replies, then snapshots).
+    thread::sleep(Duration::from_millis(150));
+    nodes[victim_idx].kill();
+
+    let successes: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    assert_eq!(
+        successes,
+        4 * total_per_thread,
+        "every request must eventually succeed"
+    );
+
+    // The ring settles at the two survivors (forward failures evict
+    // immediately; the health checker keeps it that way).
+    assert!(
+        wait_until(Duration::from_secs(5), || router
+            .membership()
+            .healthy()
+            .len()
+            == 2),
+        "ring did not settle at 2 healthy nodes: {:?}",
+        router.membership().healthy()
+    );
+    let text = scrape(&metrics_http.local_addr().to_string());
+    assert!(
+        text.contains("share_cluster_healthy_nodes 2"),
+        "metrics scrape missing settled ring:\n{text}"
+    );
+
+    // The victim's snapshot exists and carries its warm keyspace.
+    assert!(
+        nodes[victim_idx].snapshot.exists(),
+        "graceful kill must write a snapshot"
+    );
+
+    // Restart the victim; the health checker readmits it.
+    nodes[victim_idx].restart();
+    assert!(
+        wait_until(Duration::from_secs(10), || router
+            .membership()
+            .healthy()
+            .len()
+            == 3),
+        "restarted node was not readmitted"
+    );
+
+    // First owned-key request against the restarted node is a cache hit:
+    // the snapshot restored its warm keyspace.
+    let mut direct = Client::connect_with(&nodes[victim_idx].addr, ClientConfig::default())
+        .expect("connect to restarted node");
+    let info = direct.node_info().expect("node_info");
+    assert_eq!(info.node_id, format!("n{victim_idx}"));
+    assert!(
+        info.cache_entries > 0,
+        "restart restored no cache entries: {info:?}"
+    );
+    match direct.solve(victim_spec.clone()).expect("direct solve").body {
+        ResponseBody::Solve { result } => {
+            assert!(
+                result.cached,
+                "first owned-key request after restore must be a cache hit"
+            );
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    // And through the router, the victim's keyspace routes to it again.
+    let mut through = retrying_client(&router_addr, 9);
+    let resp = through.solve(victim_spec).expect("routed solve");
+    assert!(resp.is_ok(), "{resp:?}");
+
+    metrics_http.stop();
+    router.stop();
+    drop(nodes);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,147 @@
+//! Property tests of the consistent-hash ring's two contracts:
+//!
+//! 1. **Determinism across processes**: ownership is a pure function of
+//!    the member-id strings and the vnode count — insertion order,
+//!    process, and `std` hasher seeds play no part.
+//! 2. **Minimal movement**: a join steals about `keys/N` keys and moves
+//!    nothing else; a leave moves only the leaver's keys.
+
+use proptest::prelude::*;
+use share_cluster::{stable_str_hash, HashRing};
+use std::collections::HashMap;
+
+/// A small set of distinct node ids.
+fn node_ids(max: usize) -> impl Strategy<Value = Vec<String>> {
+    prop::collection::btree_set("[a-z]{1,8}", 2..=max)
+        .prop_map(|set| set.into_iter().map(|s| format!("node-{s}")).collect())
+}
+
+fn build(nodes: &[String], vnodes: usize) -> HashRing {
+    let mut ring = HashRing::new(vnodes);
+    for n in nodes {
+        ring.add(n);
+    }
+    ring
+}
+
+fn owners(ring: &HashRing, hashes: &[u64]) -> Vec<String> {
+    hashes
+        .iter()
+        .map(|&h| ring.owner(h).expect("non-empty ring").to_string())
+        .collect()
+}
+
+fn key_hashes(count: usize, seed: u64) -> Vec<u64> {
+    (0..count as u64)
+        .map(|i| stable_str_hash(&format!("key-{seed}-{i}")))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same members, any insertion order → identical ownership. This is
+    /// what lets two router processes (or a router and a test) agree on
+    /// owners without ever talking to each other.
+    #[test]
+    fn ownership_is_deterministic_across_orderings(
+        nodes in node_ids(6),
+        perm_seed in 0u64..1000,
+        key_seed in 0u64..1000,
+    ) {
+        let ring_a = build(&nodes, 64);
+        // A cheap deterministic permutation of the insertion order.
+        let mut shuffled = nodes.clone();
+        let n = shuffled.len();
+        for i in 0..n {
+            let j = (stable_str_hash(&format!("{perm_seed}-{i}")) as usize) % n;
+            shuffled.swap(i, j);
+        }
+        let ring_b = build(&shuffled, 64);
+        let hashes = key_hashes(500, key_seed);
+        prop_assert_eq!(owners(&ring_a, &hashes), owners(&ring_b, &hashes));
+    }
+
+    /// A leave moves exactly the leaver's keys: every key owned by a
+    /// survivor keeps its owner.
+    #[test]
+    fn leave_moves_only_the_leavers_keys(
+        nodes in node_ids(6),
+        victim_idx in any::<prop::sample::Index>(),
+        key_seed in 0u64..1000,
+    ) {
+        let victim = nodes[victim_idx.index(nodes.len())].clone();
+        let mut ring = build(&nodes, 64);
+        let hashes = key_hashes(1000, key_seed);
+        let before = owners(&ring, &hashes);
+        ring.remove(&victim);
+        let after = owners(&ring, &hashes);
+        for ((h, b), a) in hashes.iter().zip(&before).zip(&after) {
+            if b != &victim {
+                prop_assert_eq!(a, b, "key {:#x} moved although its owner stayed", h);
+            } else {
+                prop_assert_ne!(a, &victim);
+            }
+        }
+    }
+
+    /// A join steals roughly its fair share — at most `keys/N` plus slack
+    /// for hash-placement variance — and moves nothing between survivors.
+    #[test]
+    fn join_movement_is_bounded_by_fair_share_plus_slack(
+        nodes in node_ids(5),
+        key_seed in 0u64..1000,
+    ) {
+        let joiner = "node-zzjoiner".to_string();
+        prop_assume!(!nodes.contains(&joiner));
+        let mut ring = build(&nodes, 128);
+        let keys = 2000usize;
+        let hashes = key_hashes(keys, key_seed);
+        let before = owners(&ring, &hashes);
+        ring.add(&joiner);
+        let after = owners(&ring, &hashes);
+        let n_after = nodes.len() + 1;
+        let mut moved = 0usize;
+        for (b, a) in before.iter().zip(&after) {
+            if a != b {
+                // Every movement must be *to* the joiner; survivors never
+                // trade keys among themselves.
+                prop_assert_eq!(a, &joiner);
+                moved += 1;
+            }
+        }
+        // Fair share is keys/n_after; allow 3x slack for the variance of
+        // 128-vnode placement (the bound is intentionally loose so the
+        // test pins the structure, not the luck of one hash function).
+        let fair = keys / n_after;
+        prop_assert!(
+            moved <= fair * 3 + 50,
+            "join moved {} keys; fair share {} (+slack)",
+            moved,
+            fair
+        );
+    }
+
+    /// Every node owns a nonzero share of a large keyspace (no starved
+    /// node), and shares are within a loose factor of fair.
+    #[test]
+    fn load_spread_has_no_starved_nodes(nodes in node_ids(5)) {
+        let ring = build(&nodes, 128);
+        let hashes = key_hashes(4000, 7);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for o in owners(&ring, &hashes) {
+            *counts.entry(o).or_default() += 1;
+        }
+        prop_assert_eq!(counts.len(), nodes.len());
+        let fair = 4000 / nodes.len();
+        for (node, c) in counts {
+            prop_assert!(
+                c >= fair / 5,
+                "node {} owns only {} of 4000 keys (fair {})",
+                node,
+                c,
+                fair
+            );
+        }
+    }
+}

@@ -17,6 +17,9 @@
 //! - **Reconnect**: an I/O failure marks the connection dead; the next
 //!   attempt dials the server again (the resolved addresses are kept), so
 //!   a dropped connection costs one retry, not the client.
+//! - **Failover**: [`Client::connect_multi`] takes several endpoints;
+//!   dials rotate from the last-good address, so a dead server shifts
+//!   traffic to the next one instead of failing the client.
 //!
 //! Retry activity is visible two ways: [`Client::client_stats`] for
 //! programmatic access, and [`Client::render_prometheus`] for a validated
@@ -124,6 +127,9 @@ pub struct ClientStats {
     pub giveups: u64,
     /// Total time spent sleeping in backoff, in milliseconds.
     pub backoff_ms_total: u64,
+    /// Dials that landed on a different address than the preferred one
+    /// (multi-address failover).
+    pub failovers: u64,
 }
 
 struct ClientMetrics {
@@ -131,6 +137,7 @@ struct ClientMetrics {
     retries: Arc<Counter>,
     reconnects: Arc<Counter>,
     giveups: Arc<Counter>,
+    failovers: Arc<Counter>,
     backoff: Arc<LogHistogram>,
 }
 
@@ -149,6 +156,10 @@ impl ClientMetrics {
             "share_client_giveups_total",
             "Calls that exhausted the retry budget without success.",
         );
+        let failovers = registry.counter(
+            "share_client_failovers_total",
+            "Dials that fell back to a non-preferred address.",
+        );
         let backoff = registry.histogram(
             "share_client_retry_backoff_seconds",
             "Backoff slept before each retry.",
@@ -158,6 +169,7 @@ impl ClientMetrics {
             retries,
             reconnects,
             giveups,
+            failovers,
             backoff,
         }
     }
@@ -190,9 +202,14 @@ fn io_transient(kind: io::ErrorKind) -> bool {
 }
 
 /// Wire error codes worth retrying: the request was fine, the serving
-/// attempt failed.
+/// attempt failed. `node_unavailable` comes from a cluster router whose
+/// owning node just died — by the retry, the health checker has usually
+/// evicted it and the ring routes the key to a live node.
 fn wire_transient(code: &str) -> bool {
-    matches!(code, "worker_panic" | "overloaded" | "deadline_expired")
+    matches!(
+        code,
+        "worker_panic" | "overloaded" | "deadline_expired" | "node_unavailable"
+    )
 }
 
 /// A connected wire-protocol client.
@@ -201,8 +218,12 @@ pub struct Client {
     writer: TcpStream,
     next_id: u64,
     config: ClientConfig,
-    /// Resolved server addresses, kept for reconnects.
+    /// Resolved server addresses, kept for reconnects and failover.
     addrs: Vec<SocketAddr>,
+    /// Index into `addrs` of the last address that accepted a connection;
+    /// dials start here and rotate, so a dead primary stops costing a
+    /// failed connect on every reconnect.
+    preferred: usize,
     /// Set when an I/O error poisoned the connection; the next retrying
     /// call re-dials before sending.
     dead: bool,
@@ -225,35 +246,93 @@ impl Client {
     /// Propagates connection and address-resolution I/O errors.
     pub fn connect_with<A: ToSocketAddrs>(addr: A, config: ClientConfig) -> io::Result<Self> {
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
-        let (reader, writer) = Self::dial(&addrs, &config)?;
+        Self::from_addrs(addrs, config)
+    }
+
+    /// Connect to the first reachable of several endpoints (each resolved
+    /// independently), with failover: if the connected address later dies,
+    /// reconnects rotate through the remaining addresses instead of
+    /// re-dialing the dead one, and `share_client_failovers_total` counts
+    /// each dial that lands off the preferred address.
+    ///
+    /// Endpoints that fail to *resolve* are skipped (a cluster client must
+    /// come up while one DNS name is broken); connecting fails only when no
+    /// endpoint yields a reachable address.
+    ///
+    /// # Errors
+    /// The last connection error when every address is unreachable, or
+    /// `InvalidInput` when no endpoint resolves at all.
+    pub fn connect_multi<A: ToSocketAddrs>(endpoints: &[A], config: ClientConfig) -> io::Result<Self> {
+        let mut addrs: Vec<SocketAddr> = Vec::new();
+        for ep in endpoints {
+            if let Ok(resolved) = ep.to_socket_addrs() {
+                addrs.extend(resolved);
+            }
+        }
+        Self::from_addrs(addrs, config)
+    }
+
+    fn from_addrs(addrs: Vec<SocketAddr>, config: ClientConfig) -> io::Result<Self> {
+        let (reader, writer, preferred) = Self::dial(&addrs, 0, &config)?;
+        let metrics = ClientMetrics::new();
+        let mut stats = ClientStats::default();
+        if preferred != 0 {
+            stats.failovers += 1;
+            metrics.failovers.inc();
+        }
         Ok(Self {
             reader,
             writer,
             next_id: 1,
             config,
             addrs,
+            preferred,
             dead: false,
-            stats: ClientStats::default(),
-            metrics: ClientMetrics::new(),
+            stats,
+            metrics,
         })
     }
 
+    /// Try each address once, starting at `start` and rotating, returning
+    /// the streams and the index that accepted.
     fn dial(
         addrs: &[SocketAddr],
+        start: usize,
         config: &ClientConfig,
-    ) -> io::Result<(BufReader<TcpStream>, TcpStream)> {
-        let writer = TcpStream::connect(addrs)?;
-        writer.set_read_timeout(config.read_timeout)?;
-        writer.set_write_timeout(config.write_timeout)?;
-        let reader = BufReader::new(writer.try_clone()?);
-        Ok((reader, writer))
+    ) -> io::Result<(BufReader<TcpStream>, TcpStream, usize)> {
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no server addresses resolved",
+            ));
+        }
+        let mut last_err = None;
+        for i in 0..addrs.len() {
+            let idx = (start + i) % addrs.len();
+            match TcpStream::connect(addrs[idx]) {
+                Ok(writer) => {
+                    writer.set_read_timeout(config.read_timeout)?;
+                    writer.set_write_timeout(config.write_timeout)?;
+                    let reader = BufReader::new(writer.try_clone()?);
+                    return Ok((reader, writer, idx));
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("non-empty address list"))
     }
 
-    /// Drop the (possibly poisoned) connection and dial the server again.
-    /// Any buffered partial line is discarded with the old reader, so the
+    /// Drop the (possibly poisoned) connection and dial again, starting
+    /// from the last-good address and failing over to the others. Any
+    /// buffered partial line is discarded with the old reader, so the
     /// stream realigns on a clean line boundary.
     fn reconnect(&mut self) -> io::Result<()> {
-        let (reader, writer) = Self::dial(&self.addrs, &self.config)?;
+        let (reader, writer, idx) = Self::dial(&self.addrs, self.preferred, &self.config)?;
+        if idx != self.preferred {
+            self.stats.failovers += 1;
+            self.metrics.failovers.inc();
+        }
+        self.preferred = idx;
         self.reader = reader;
         self.writer = writer;
         self.dead = false;
@@ -432,6 +511,44 @@ impl Client {
         self.call(RequestBody::Shutdown)
     }
 
+    /// Fetch the server's cluster identity and cache occupancy.
+    ///
+    /// # Errors
+    /// `InvalidData` when the server answers with anything but node info
+    /// (e.g. a pre-cluster server that doesn't know the request kind).
+    pub fn node_info(&mut self) -> io::Result<crate::engine::NodeInfo> {
+        match self.call(RequestBody::NodeInfo)?.body {
+            ResponseBody::NodeInfo { info } => Ok(info),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected node_info response, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Ask the server to write its warm-cache snapshot now; returns the
+    /// entry count written.
+    ///
+    /// # Errors
+    /// `InvalidData` on an unexpected response kind, `Other` when the
+    /// server reports a snapshot failure.
+    pub fn snapshot_server(&mut self) -> io::Result<usize> {
+        match self.call(RequestBody::Snapshot)?.body {
+            ResponseBody::Snapshot { entries } => Ok(entries),
+            ResponseBody::Error { message, .. } => Err(io::Error::other(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected snapshot response, got {other:?}"),
+            )),
+        }
+    }
+
+    /// The address of the currently preferred (last successfully dialed)
+    /// server.
+    pub fn connected_addr(&self) -> Option<SocketAddr> {
+        self.addrs.get(self.preferred).copied()
+    }
+
     /// This client's own resilience counters (retries, reconnects, ...).
     pub fn client_stats(&self) -> ClientStats {
         self.stats
@@ -495,12 +612,48 @@ mod tests {
         assert!(!io_transient(io::ErrorKind::InvalidData));
         assert!(!io_transient(io::ErrorKind::PermissionDenied));
 
-        for code in ["worker_panic", "overloaded", "deadline_expired"] {
+        for code in [
+            "worker_panic",
+            "overloaded",
+            "deadline_expired",
+            "node_unavailable",
+        ] {
             assert!(wire_transient(code), "{code} must be retryable");
         }
         assert!(!wire_transient("invalid_request"));
         assert!(!wire_transient("solver_error"));
         assert!(!wire_transient("shutting_down"));
+    }
+
+    #[test]
+    fn connect_multi_fails_over_to_a_live_address() {
+        use std::net::TcpListener;
+        // A port that was bound and released: connecting to it refuses.
+        let dead_addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let live = TcpListener::bind("127.0.0.1:0").unwrap();
+        let live_addr = live.local_addr().unwrap();
+        let client =
+            Client::connect_multi(&[dead_addr, live_addr], ClientConfig::default()).unwrap();
+        assert_eq!(client.connected_addr(), Some(live_addr));
+        assert_eq!(client.client_stats().failovers, 1);
+        assert!(client
+            .render_prometheus()
+            .contains("share_client_failovers_total 1"));
+    }
+
+    #[test]
+    fn connect_multi_with_no_reachable_address_errors() {
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        assert!(Client::connect_multi(&[dead], ClientConfig::default()).is_err());
+        let empty: &[std::net::SocketAddr] = &[];
+        let err = Client::connect_multi(empty, ClientConfig::default()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]

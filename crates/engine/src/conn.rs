@@ -288,6 +288,30 @@ impl Conn {
                         body: ResponseBody::Pong,
                     });
                 }
+                RequestBody::NodeInfo => {
+                    self.queue_response(&WireResponse {
+                        id: req.id,
+                        body: ResponseBody::NodeInfo {
+                            info: ctx.engine.node_info(),
+                        },
+                    });
+                }
+                RequestBody::Snapshot => {
+                    // The write runs inline on the reactor thread: snapshot
+                    // requests are rare operator actions and the cache is
+                    // bounded, so the stall is acceptable.
+                    let resp = match ctx.engine.write_snapshot() {
+                        Ok(entries) => WireResponse {
+                            id: req.id,
+                            body: ResponseBody::Snapshot { entries },
+                        },
+                        Err(e) => WireResponse::from_error(
+                            req.id,
+                            &crate::error::EngineError::Internal(e.to_string()),
+                        ),
+                    };
+                    self.queue_response(&resp);
+                }
                 RequestBody::Shutdown => {
                     self.queue_response(&WireResponse {
                         id: req.id,

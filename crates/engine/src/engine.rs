@@ -58,6 +58,15 @@ pub struct EngineConfig {
     /// Optional fault-injection plan for chaos tests and benches. `None`
     /// (the default) injects nothing.
     pub faults: Option<FaultPlan>,
+    /// Warm-cache snapshot file. When set, the engine restores the cache
+    /// from this path at start (a missing or stale file starts cold) and
+    /// writes the cache back on graceful shutdown, so a respawned node
+    /// serves its owned keyspace warm. `None` (the default) disables both.
+    pub snapshot_path: Option<std::path::PathBuf>,
+    /// Cluster identity of this engine process. When set, every sample of
+    /// the Prometheus exposition is stamped with a `node="<id>"` label and
+    /// the id is reported by the `node_info` wire request.
+    pub node_id: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +81,8 @@ impl Default for EngineConfig {
             quantizer: QuantizerConfig::default(),
             resilience: ResilienceConfig::default(),
             faults: None,
+            snapshot_path: None,
+            node_id: None,
         }
     }
 }
@@ -208,6 +219,27 @@ impl SolveSummary {
             degraded: None,
         }
     }
+}
+
+/// Identity and cache occupancy of one engine process, served by the
+/// `node_info` wire request. The cluster router and operators use it to
+/// check which process answered and how warm it is.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeInfo {
+    /// Configured node id, or `"unnamed"` when the engine runs outside a
+    /// cluster.
+    pub node_id: String,
+    /// Entries currently resident in the equilibrium cache (all shards).
+    pub cache_entries: usize,
+    /// Shard count of the equilibrium cache.
+    pub cache_shards: usize,
+    /// Solver worker threads configured.
+    pub workers: usize,
+    /// Requests accepted since start.
+    pub requests: u64,
+    /// Configured snapshot path, if warm restarts are enabled.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub snapshot_path: Option<String>,
 }
 
 /// One reply to one submitted request.
@@ -382,6 +414,35 @@ impl Engine {
             config,
         });
         shared.metrics.set_cache_shards(shared.cache.shards());
+        if let Some(id) = &shared.config.node_id {
+            shared.metrics.set_node_label(id);
+        }
+        // Warm restart: reload the cache a previous incarnation drained to
+        // disk. Failures degrade to a cold start — a node must come up.
+        if let Some(path) = &shared.config.snapshot_path {
+            match crate::snapshot::read_snapshot(path) {
+                Ok(entries) if !entries.is_empty() => {
+                    let n = shared.cache.restore(entries);
+                    shared.metrics.add_snapshot_restored(n);
+                    shared.metrics.set_cache_entries(shared.cache.len());
+                    share_obs::obs_info!(
+                        target: TARGET,
+                        "snapshot_restored",
+                        "path" => path.display().to_string(),
+                        "entries" => n
+                    );
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    share_obs::obs_warn!(
+                        target: TARGET,
+                        "snapshot_restore_failed",
+                        "path" => path.display().to_string(),
+                        "error" => e.to_string()
+                    );
+                }
+            }
+        }
         let workers: Vec<JoinHandle<()>> = (0..shared.config.workers)
             .map(|i| spawn_worker(&shared, &job_rx, &sup_tx, i).expect("spawn worker thread"))
             .collect();
@@ -602,6 +663,46 @@ impl Engine {
         &self.shared.metrics
     }
 
+    /// Identity and cache occupancy of this engine process (the `node_info`
+    /// wire request).
+    pub fn node_info(&self) -> NodeInfo {
+        NodeInfo {
+            node_id: self
+                .shared
+                .config
+                .node_id
+                .clone()
+                .unwrap_or_else(|| "unnamed".to_string()),
+            cache_entries: self.shared.cache.len(),
+            cache_shards: self.shared.cache.shards(),
+            workers: self.shared.config.workers,
+            requests: self.shared.metrics.snapshot().requests,
+            snapshot_path: self
+                .shared
+                .config
+                .snapshot_path
+                .as_ref()
+                .map(|p| p.display().to_string()),
+        }
+    }
+
+    /// Serialize the current cache contents to the configured snapshot
+    /// path (the `snapshot` wire request; also runs automatically on
+    /// graceful shutdown). Returns the number of entries written, or 0
+    /// with no side effect when no snapshot path is configured.
+    ///
+    /// # Errors
+    /// Any I/O failure writing the snapshot file.
+    pub fn write_snapshot(&self) -> std::io::Result<usize> {
+        let Some(path) = &self.shared.config.snapshot_path else {
+            return Ok(0);
+        };
+        let entries = self.shared.cache.export();
+        let n = crate::snapshot::write_snapshot(path, &entries)?;
+        self.shared.metrics.inc_snapshot_writes();
+        Ok(n)
+    }
+
     /// Record a protocol-level malformed request (used by the servers).
     pub(crate) fn note_invalid(&self) {
         self.shared.metrics.inc_invalid();
@@ -655,6 +756,18 @@ impl Engine {
             self.shared.reply(w, Err(EngineError::ShuttingDown));
         }
         if !already_closed {
+            // Drain-time warm snapshot: the workers have exited, so the
+            // cache is quiescent. A failed write is logged, not fatal —
+            // shutdown must complete either way.
+            if self.shared.config.snapshot_path.is_some() {
+                if let Err(e) = self.write_snapshot() {
+                    share_obs::obs_warn!(
+                        target: TARGET,
+                        "snapshot_write_failed",
+                        "error" => e.to_string()
+                    );
+                }
+            }
             let s = self.shared.metrics.snapshot();
             share_obs::obs_info!(
                 target: TARGET,
@@ -731,6 +844,32 @@ mod tests {
             Err(EngineError::InvalidRequest(_))
         ));
         assert_eq!(engine.stats().invalid, 1);
+    }
+
+    #[test]
+    fn shutdown_snapshot_restores_warm_on_restart() {
+        let dir = std::env::temp_dir().join(format!("share-engine-snap-{}", std::process::id()));
+        let path = dir.join("node.snap");
+        let config = EngineConfig {
+            workers: 2,
+            snapshot_path: Some(path.clone()),
+            node_id: Some("n0".to_string()),
+            ..EngineConfig::default()
+        };
+        let spec = SolveSpec::seeded(12, 7, SolveMode::Direct);
+        {
+            let engine = Engine::start(config.clone());
+            assert!(!engine.request(&spec).unwrap().cached);
+            engine.shutdown();
+        }
+        // A respawned engine on the same path must answer the same key
+        // from cache on the *first* request.
+        let engine = Engine::start(config);
+        assert!(engine.metrics().snapshot_restored() >= 1);
+        let again = engine.request(&spec).unwrap();
+        assert!(again.cached, "restored node must serve a warm hit");
+        assert_eq!(engine.node_info().node_id, "n0");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -29,6 +29,20 @@ pub enum EngineError {
     /// dropped — every attached waiter receives this reply — and the
     /// supervisor respawns the worker. Transient: safe to retry.
     WorkerPanic(String),
+    /// A cluster router could not reach the engine node that owns this
+    /// request's key. Transient: the health checker evicts the dead node,
+    /// the ring reassigns its keyspace, and a retry lands on the new
+    /// owner. `retry_after_ms` hints at the health-check cadence.
+    NodeUnavailable {
+        /// The unreachable node's address or id, for diagnostics.
+        node: String,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A server-side failure outside the request itself (e.g. a snapshot
+    /// write failed). Not transient: retrying the same operation is
+    /// unlikely to succeed until an operator intervenes.
+    Internal(String),
 }
 
 impl EngineError {
@@ -41,6 +55,8 @@ impl EngineError {
             EngineError::InvalidRequest(_) => "invalid_request",
             EngineError::Solver(_) => "solver_error",
             EngineError::WorkerPanic(_) => "worker_panic",
+            EngineError::NodeUnavailable { .. } => "node_unavailable",
+            EngineError::Internal(_) => "internal",
         }
     }
 
@@ -52,13 +68,16 @@ impl EngineError {
             EngineError::Overloaded { .. }
                 | EngineError::DeadlineExpired
                 | EngineError::WorkerPanic(_)
+                | EngineError::NodeUnavailable { .. }
         )
     }
 
-    /// The `retry_after_ms` hint carried by [`EngineError::Overloaded`].
+    /// The `retry_after_ms` hint carried by [`EngineError::Overloaded`]
+    /// and [`EngineError::NodeUnavailable`].
     pub fn retry_after_ms(&self) -> Option<u64> {
         match self {
-            EngineError::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+            EngineError::Overloaded { retry_after_ms }
+            | EngineError::NodeUnavailable { retry_after_ms, .. } => Some(*retry_after_ms),
             _ => None,
         }
     }
@@ -76,6 +95,14 @@ impl fmt::Display for EngineError {
             EngineError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
             EngineError::Solver(reason) => write!(f, "solver failure: {reason}"),
             EngineError::WorkerPanic(reason) => write!(f, "worker panicked mid-solve: {reason}"),
+            EngineError::NodeUnavailable {
+                node,
+                retry_after_ms,
+            } => write!(
+                f,
+                "owning node {node} unavailable (retry after {retry_after_ms}ms)"
+            ),
+            EngineError::Internal(reason) => write!(f, "internal error: {reason}"),
         }
     }
 }
@@ -98,6 +125,11 @@ mod tests {
             EngineError::InvalidRequest("x".into()),
             EngineError::Solver("y".into()),
             EngineError::WorkerPanic("z".into()),
+            EngineError::NodeUnavailable {
+                node: "n1".into(),
+                retry_after_ms: 100,
+            },
+            EngineError::Internal("w".into()),
         ];
         let codes: Vec<&str> = all.iter().map(|e| e.code()).collect();
         assert_eq!(
@@ -108,7 +140,9 @@ mod tests {
                 "shutting_down",
                 "invalid_request",
                 "solver_error",
-                "worker_panic"
+                "worker_panic",
+                "node_unavailable",
+                "internal"
             ]
         );
     }
@@ -121,6 +155,13 @@ mod tests {
         assert!(!EngineError::InvalidRequest("bad".into()).is_transient());
         assert!(!EngineError::Solver("nan".into()).is_transient());
         assert!(!EngineError::ShuttingDown.is_transient());
+        let unavailable = EngineError::NodeUnavailable {
+            node: "127.0.0.1:7901".into(),
+            retry_after_ms: 150,
+        };
+        assert!(unavailable.is_transient());
+        assert_eq!(unavailable.retry_after_ms(), Some(150));
+        assert!(!EngineError::Internal("disk full".into()).is_transient());
         assert_eq!(
             EngineError::Overloaded { retry_after_ms: 50 }.retry_after_ms(),
             Some(50)

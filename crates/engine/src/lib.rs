@@ -17,7 +17,8 @@
 //! | [`engine`] | worker pool, bounded job queue, in-flight dedup, backpressure, load shedding, batch fan-out |
 //! | [`fault`] | seeded deterministic fault injection (panics, latency, divergence, connection drops) |
 //! | [`metrics`] | counters, gauges and latency histograms (p50/p90/p99/p99.9) with Prometheus exposition |
-//! | [`protocol`] | newline-delimited JSON wire protocol (solve/batch/stats/metrics/ping/shutdown) |
+//! | [`protocol`] | newline-delimited JSON wire protocol (solve/batch/stats/metrics/ping/node_info/snapshot/shutdown) |
+//! | [`snapshot`] | warm-cache snapshot files: drain to disk, restore on start |
 //! | [`server`] | stdio and TCP servers with graceful shutdown, plus a Prometheus scrape listener |
 //! | `reactor` | fixed-pool nonblocking event loop (epoll/poll) with pipe wakeups and reply routing |
 //! | `conn` | per-connection nonblocking buffers + incremental NDJSON framing |
@@ -57,6 +58,7 @@ pub mod quantize;
 #[cfg(unix)]
 mod reactor;
 pub mod server;
+pub mod snapshot;
 pub mod spec;
 mod supervisor;
 mod worker;
@@ -64,13 +66,14 @@ mod worker;
 pub use cache::{LruCache, ShardedCache};
 pub use client::{Client, ClientConfig, ClientStats, RetryPolicy};
 pub use engine::{
-    DegradeInfo, DegradeReason, Engine, EngineConfig, Reply, ResilienceConfig, SolveSummary,
+    DegradeInfo, DegradeReason, Engine, EngineConfig, NodeInfo, Reply, ResilienceConfig,
+    SolveSummary,
 };
 pub use error::{EngineError, Result};
 pub use fault::{FaultPlan, FaultSite};
 pub use metrics::{Metrics, StatsSnapshot};
 pub use protocol::{RequestBody, ResponseBody, WireRequest, WireResponse};
-pub use quantize::QuantizerConfig;
+pub use quantize::{quantize, CacheKey, QuantizerConfig};
 pub use server::{
     default_reactors, serve_metrics, serve_stdio, serve_tcp, serve_tcp_with, MetricsServer,
     TcpServer,

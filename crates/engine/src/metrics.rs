@@ -44,6 +44,8 @@ pub struct Metrics {
     fault_solve_latency: Arc<Counter>,
     fault_divergence: Arc<Counter>,
     fault_conn_drop: Arc<Counter>,
+    snapshot_restored: Arc<Counter>,
+    snapshot_writes: Arc<Counter>,
 
     queue_depth: Arc<Gauge>,
     inflight_solves: Arc<Gauge>,
@@ -149,6 +151,14 @@ impl Metrics {
             fault_help,
             &[("kind", "conn_drop")],
         );
+        let snapshot_restored = registry.counter(
+            "share_snapshot_entries_restored_total",
+            "Cache entries loaded from a warm snapshot at engine start.",
+        );
+        let snapshot_writes = registry.counter(
+            "share_snapshot_writes_total",
+            "Cache snapshots written to disk (on drain or by request).",
+        );
 
         let queue_depth = registry.gauge(
             "share_queue_depth",
@@ -241,6 +251,8 @@ impl Metrics {
             fault_solve_latency,
             fault_divergence,
             fault_conn_drop,
+            snapshot_restored,
+            snapshot_writes,
             queue_depth,
             inflight_solves,
             cache_entries,
@@ -353,6 +365,27 @@ impl Metrics {
     /// Record the (static) shard count of the equilibrium cache.
     pub fn set_cache_shards(&self, shards: usize) {
         self.cache_shards.set(shards as f64);
+    }
+
+    /// Count `n` cache entries restored from a warm snapshot.
+    pub fn add_snapshot_restored(&self, n: usize) {
+        self.snapshot_restored.add(n as u64);
+    }
+    /// Entries restored from a warm snapshot so far (tests poll this).
+    pub fn snapshot_restored(&self) -> u64 {
+        self.snapshot_restored.get()
+    }
+    /// Count one cache snapshot written to disk.
+    pub fn inc_snapshot_writes(&self) {
+        self.snapshot_writes.inc();
+    }
+
+    /// Stamp every rendered sample of this engine's exposition with a
+    /// `node="<id>"` label, so scrapes from a cluster's N engine
+    /// processes stay distinguishable after aggregation. Rendering-only;
+    /// call once at startup when the node learns its identity.
+    pub fn set_node_label(&self, node_id: &str) {
+        self.registry.set_const_labels(&[("node", node_id)]);
     }
 
     /// A connection was registered with a reactor.
@@ -684,6 +717,17 @@ mod tests {
         assert!(text.contains("share_solver_stage_seconds_bucket{stage=\"stage1\""));
         assert!(text.contains("share_solver_stage_seconds_count{stage=\"stage3\"} 1"));
         assert!(text.contains("share_uptime_seconds"));
+    }
+
+    #[test]
+    fn node_label_stamps_exposition() {
+        let m = Metrics::new();
+        m.inc_requests();
+        m.set_node_label("n2");
+        let text = m.render_prometheus();
+        assert!(text.contains("share_requests_total{node=\"n2\"} 1"));
+        assert!(text.contains("share_fault_injections_total{node=\"n2\",kind=\"worker_panic\"} 0"));
+        share_obs::prometheus::validate_exposition(&text).expect("valid exposition");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! ← {"id":4,"kind":"shutdown"}
 //! ```
 
-use crate::engine::{Reply, SolveSummary};
+use crate::engine::{NodeInfo, Reply, SolveSummary};
 use crate::error::EngineError;
 use crate::metrics::StatsSnapshot;
 use crate::spec::{MarketSpec, SolveMode, SolveSpec};
@@ -60,6 +60,11 @@ pub enum RequestBody {
     Metrics,
     /// Liveness probe.
     Ping,
+    /// Fetch this engine process's cluster identity and cache occupancy.
+    NodeInfo,
+    /// Ask the engine to write its warm-cache snapshot to the configured
+    /// path now (normally written automatically on graceful shutdown).
+    Snapshot,
     /// Ask the server to shut down gracefully.
     Shutdown,
 }
@@ -101,6 +106,16 @@ pub enum ResponseBody {
     },
     /// Reply to a ping.
     Pong,
+    /// Node identity and cache occupancy.
+    NodeInfo {
+        /// The reporting process's identity.
+        info: NodeInfo,
+    },
+    /// Acknowledgement of a snapshot request.
+    Snapshot {
+        /// Cache entries written (0 when no snapshot path is configured).
+        entries: usize,
+    },
     /// Acknowledgement of a shutdown request.
     Shutdown,
     /// A structured error.
@@ -201,6 +216,8 @@ mod tests {
             (r#"{"kind":"stats"}"#, RequestBody::Stats),
             (r#"{"kind":"metrics"}"#, RequestBody::Metrics),
             (r#"{"kind":"ping"}"#, RequestBody::Ping),
+            (r#"{"kind":"node_info"}"#, RequestBody::NodeInfo),
+            (r#"{"kind":"snapshot"}"#, RequestBody::Snapshot),
             (r#"{"kind":"shutdown"}"#, RequestBody::Shutdown),
         ] {
             let req = parse_request(line).unwrap();
@@ -246,6 +263,27 @@ mod tests {
             ResponseBody::Error { retry_after_ms, .. } => assert_eq!(retry_after_ms, None),
             other => panic!("wrong body: {other:?}"),
         }
+    }
+
+    #[test]
+    fn node_info_response_roundtrip() {
+        let resp = WireResponse {
+            id: 4,
+            body: ResponseBody::NodeInfo {
+                info: NodeInfo {
+                    node_id: "n1".to_string(),
+                    cache_entries: 12,
+                    cache_shards: 8,
+                    workers: 2,
+                    requests: 99,
+                    snapshot_path: Some("/tmp/n1.snap".to_string()),
+                },
+            },
+        };
+        let line = encode_response(&resp);
+        assert!(line.contains(r#""kind":"node_info""#), "{line}");
+        let back: WireResponse = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! of magnitude of headroom for the solver's parameter sensitivity.
 
 use crate::spec::SolveMode;
+use serde::{Deserialize, Serialize};
 use share_market::params::{LossModel, MarketParams};
 
 /// Quantization tolerances.
@@ -36,7 +37,10 @@ impl Default for QuantizerConfig {
 
 /// A quantized market identity: solver mode, discrete fields, and the bucket
 /// indices of every continuous parameter.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Serializable so warm cache shards can be snapshotted to disk and
+/// restored by a respawned node (see the engine's snapshot hooks).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CacheKey {
     mode: SolveMode,
     loss_model: LossModel,
@@ -54,6 +58,46 @@ impl CacheKey {
             .len()
             .checked_sub(11)
             .map(|sellers| sellers / 2)
+    }
+
+    /// A hash of this key that is stable across processes, builds and
+    /// compiler releases — unlike `std`'s `DefaultHasher`, whose SipHash
+    /// keys are unspecified. The cluster tier's consistent-hash ring uses
+    /// this value to assign keyspace ownership, so two routers (or a
+    /// router and a test) must agree on it byte-for-byte.
+    ///
+    /// FNV-1a over a canonical field encoding, finished with a splitmix64
+    /// avalanche so nearby bucket vectors still scatter across the ring.
+    pub fn stable_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        let mode_tag: u8 = match self.mode {
+            SolveMode::Direct => 0,
+            SolveMode::MeanField => 1,
+            SolveMode::Numeric => 2,
+        };
+        let loss_tag: u8 = match self.loss_model {
+            LossModel::Quadratic => 0,
+            LossModel::LinearChi => 1,
+        };
+        eat(&[mode_tag, loss_tag]);
+        eat(&(self.n_pieces as u64).to_le_bytes());
+        eat(&(self.buckets.len() as u64).to_le_bytes());
+        for &b in &self.buckets {
+            eat(&b.to_le_bytes());
+        }
+        // splitmix64 finalizer.
+        let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 }
 
@@ -180,6 +224,53 @@ mod tests {
             quantize(&p, SolveMode::Direct, 1e-6),
             quantize(&l, SolveMode::Direct, 1e-6)
         );
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_discriminating() {
+        let p = market(10, 3);
+        let a = quantize(&p, SolveMode::Direct, 1e-6);
+        let b = quantize(&p.clone(), SolveMode::Direct, 1e-6);
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        assert_ne!(
+            a.stable_hash(),
+            quantize(&p, SolveMode::Numeric, 1e-6).stable_hash()
+        );
+        let mut q = p.clone();
+        q.sellers[0].lambda += 0.1;
+        assert_ne!(
+            a.stable_hash(),
+            quantize(&q, SolveMode::Direct, 1e-6).stable_hash()
+        );
+    }
+
+    #[test]
+    fn stable_hash_matches_pinned_golden_value() {
+        // The ring protocol depends on this value being identical in every
+        // process that computes it. If this test breaks, the hash changed
+        // and rolling upgrades of a cluster would split keyspace ownership.
+        let key = CacheKey {
+            mode: SolveMode::Direct,
+            loss_model: LossModel::Quadratic,
+            n_pieces: 500,
+            buckets: vec![1, -2, 3, -4, 5, -6, 7, -8, 9, -10, 11, 12, -13],
+        };
+        assert_eq!(key.stable_hash(), GOLDEN_STABLE_HASH);
+    }
+
+    /// Pinned output of `stable_hash` for the key above; computed once and
+    /// frozen. Do not "fix" this constant to make the test pass — a
+    /// mismatch means the wire-level ownership function changed.
+    const GOLDEN_STABLE_HASH: u64 = 0xc8c7_3169_a453_fe8d;
+
+    #[test]
+    fn serde_round_trip_preserves_key_and_hash() {
+        let p = market(6, 9);
+        let key = quantize(&p, SolveMode::MeanField, 1e-6);
+        let json = serde_json::to_string(&key).expect("serialize");
+        let back: CacheKey = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(key, back);
+        assert_eq!(key.stable_hash(), back.stable_hash());
     }
 
     #[test]

@@ -167,6 +167,27 @@ fn serve_connection<R: BufRead>(
                         body: ResponseBody::Pong,
                     });
                 }
+                RequestBody::NodeInfo => {
+                    let _ = resp_tx.send(WireResponse {
+                        id: req.id,
+                        body: ResponseBody::NodeInfo {
+                            info: engine.node_info(),
+                        },
+                    });
+                }
+                RequestBody::Snapshot => {
+                    let resp = match engine.write_snapshot() {
+                        Ok(entries) => WireResponse {
+                            id: req.id,
+                            body: ResponseBody::Snapshot { entries },
+                        },
+                        Err(e) => WireResponse::from_error(
+                            req.id,
+                            &crate::error::EngineError::Internal(e.to_string()),
+                        ),
+                    };
+                    let _ = resp_tx.send(resp);
+                }
                 RequestBody::Shutdown => {
                     let _ = resp_tx.send(WireResponse {
                         id: req.id,

@@ -1,0 +1,208 @@
+//! Warm-cache snapshot format: serialize the equilibrium cache to disk on
+//! drain, reload it on start, so a respawned node doesn't begin cold.
+//!
+//! The format is versioned NDJSON-in-a-file: a one-line JSON header
+//! followed by one `{key, value}` line per cache entry, least-recently-
+//! used first (so restoring in file order reproduces LRU order; see
+//! [`ShardedCache::export`](crate::cache::ShardedCache::export)). Writes
+//! go through a `.tmp` sibling and an atomic rename, so a crash mid-write
+//! leaves the previous snapshot intact rather than a truncated one.
+//!
+//! Version mismatches and per-entry parse failures are non-fatal: a node
+//! restarting across an upgrade starts cold instead of refusing to start.
+
+use crate::engine::SolveSummary;
+use crate::quantize::CacheKey;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Tracing target for snapshot lifecycle events.
+const TARGET: &str = "share_engine::snapshot";
+
+/// Current snapshot format version. Bump on any incompatible change to
+/// [`CacheKey`] or [`SolveSummary`] serialization.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// First line of every snapshot file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Header {
+    version: u32,
+    entries: usize,
+}
+
+/// One cache entry on disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Line {
+    key: CacheKey,
+    value: SolveSummary,
+}
+
+/// Write `entries` to `path` (header + one line per entry) via a temp file
+/// and atomic rename. Returns the number of entries written.
+///
+/// # Errors
+/// Any I/O failure creating, writing or renaming the file.
+pub fn write_snapshot(path: &Path, entries: &[(CacheKey, SolveSummary)]) -> io::Result<usize> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let file = fs::File::create(&tmp)?;
+        let mut w = BufWriter::new(file);
+        let header = Header {
+            version: SNAPSHOT_VERSION,
+            entries: entries.len(),
+        };
+        serde_json::to_writer(&mut w, &header).map_err(io::Error::other)?;
+        w.write_all(b"\n")?;
+        for (key, value) in entries {
+            let line = Line {
+                key: key.clone(),
+                value: value.clone(),
+            };
+            serde_json::to_writer(&mut w, &line).map_err(io::Error::other)?;
+            w.write_all(b"\n")?;
+        }
+        w.flush()?;
+    }
+    fs::rename(&tmp, path)?;
+    share_obs::obs_info!(
+        target: TARGET,
+        "snapshot_written",
+        "path" => path.display().to_string(),
+        "entries" => entries.len()
+    );
+    Ok(entries.len())
+}
+
+/// Read a snapshot from `path`. A missing file yields an empty vector (a
+/// first boot is not an error); so do a version mismatch and individually
+/// corrupt entry lines — the node starts (partially) cold and says so in
+/// the structured log.
+///
+/// # Errors
+/// I/O failures other than `NotFound`.
+pub fn read_snapshot(path: &Path) -> io::Result<Vec<(CacheKey, SolveSummary)>> {
+    let file = match fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut lines = BufReader::new(file).lines();
+    let header: Header = match lines.next() {
+        Some(Ok(first)) => match serde_json::from_str(&first) {
+            Ok(h) => h,
+            Err(_) => {
+                share_obs::obs_warn!(
+                    target: TARGET,
+                    "snapshot_header_unreadable",
+                    "path" => path.display().to_string()
+                );
+                return Ok(Vec::new());
+            }
+        },
+        _ => return Ok(Vec::new()),
+    };
+    if header.version != SNAPSHOT_VERSION {
+        share_obs::obs_warn!(
+            target: TARGET,
+            "snapshot_version_mismatch",
+            "path" => path.display().to_string(),
+            "found" => header.version,
+            "expected" => SNAPSHOT_VERSION
+        );
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::with_capacity(header.entries);
+    let mut skipped = 0_usize;
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Line>(&line) {
+            Ok(l) => out.push((l.key, l.value)),
+            Err(_) => skipped += 1,
+        }
+    }
+    if skipped > 0 {
+        share_obs::obs_warn!(
+            target: TARGET,
+            "snapshot_entries_skipped",
+            "path" => path.display().to_string(),
+            "skipped" => skipped
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::quantize;
+    use crate::spec::{SolveMode, SolveSpec};
+
+    fn sample_entries(n: usize) -> Vec<(CacheKey, SolveSummary)> {
+        (0..n)
+            .map(|i| {
+                let spec = SolveSpec::seeded(5 + i, i as u64, SolveMode::Direct);
+                let params = spec.spec.materialize().unwrap();
+                let key = quantize(&params, spec.mode, 1e-6);
+                let sol = share_market::solver::solve(&params).unwrap();
+                (key, SolveSummary::from_solution(&sol, 42))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_entries_in_order() {
+        let dir = std::env::temp_dir().join(format!("share-snap-{}", std::process::id()));
+        let path = dir.join("node.snap");
+        let entries = sample_entries(4);
+        assert_eq!(write_snapshot(&path, &entries).unwrap(), 4);
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back.len(), 4);
+        for ((k1, v1), (k2, v2)) in entries.iter().zip(&back) {
+            assert_eq!(k1, k2);
+            assert_eq!(v1.p_m, v2.p_m);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_empty_not_error() {
+        let path = Path::new("/nonexistent-share-snapshot-dir/na.snap");
+        assert!(read_snapshot(path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn version_mismatch_and_garbage_start_cold() {
+        let dir = std::env::temp_dir().join(format!("share-snap-v-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.snap");
+        fs::write(&path, "{\"version\":999,\"entries\":1}\n{}\n").unwrap();
+        assert!(read_snapshot(&path).unwrap().is_empty());
+        fs::write(&path, "not json at all\n").unwrap();
+        assert!(read_snapshot(&path).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_lines_are_skipped_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("share-snap-c-{}", std::process::id()));
+        let path = dir.join("partial.snap");
+        let entries = sample_entries(3);
+        write_snapshot(&path, &entries).unwrap();
+        // Append a corrupt line; the three good entries must survive.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"key\":\"garbage\"}\n");
+        fs::write(&path, text).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap().len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

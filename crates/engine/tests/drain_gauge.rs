@@ -1,0 +1,75 @@
+//! Regression test: `share_connections_open` must return to zero when a
+//! drain force-closes a stalled connection.
+//!
+//! A connection whose peer never receives its reply (here: the engine has
+//! zero workers, so a submitted solve never completes and the connection
+//! keeps `inflight > 0` forever) cannot drain gracefully. The reactor's
+//! shutdown path force-closes it after the drain grace period — and that
+//! close path must decrement the open-connections gauge exactly like a
+//! graceful close, or every drain under load leaks a permanent unit of
+//! `share_connections_open` and capacity dashboards drift upward forever.
+
+#![cfg(unix)]
+
+use share_engine::{serve_tcp, Engine, EngineConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn wait_until(deadline: Duration, mut ok: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if ok() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    ok()
+}
+
+#[test]
+fn force_closed_drain_decrements_connections_open() {
+    // No workers: submitted solves queue forever, pinning the connection
+    // in the "replies owed" state that only a force-close can clear.
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 0,
+        ..EngineConfig::default()
+    }));
+    let server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let mut stalled = TcpStream::connect(addr).expect("connect");
+    stalled
+        .write_all(b"{\"kind\":\"solve\",\"id\":1,\"spec\":{\"m\":5,\"seed\":1}}\n")
+        .expect("send solve");
+    stalled.flush().expect("flush");
+
+    assert!(
+        wait_until(Duration::from_secs(2), || engine
+            .metrics()
+            .connections_open()
+            == 1),
+        "connection never registered; gauge at {}",
+        engine.metrics().connections_open()
+    );
+
+    // Drain. The solve can never complete, so the reactor must force-close
+    // the connection after the grace period (5s) — and the gauge must come
+    // back to zero.
+    server.stop();
+    assert_eq!(
+        engine.metrics().connections_open(),
+        0,
+        "force-close during drain leaked the open-connections gauge"
+    );
+    let text = engine.render_prometheus();
+    assert!(
+        text.contains("share_connections_open 0"),
+        "exposition disagrees with the gauge:\n{text}"
+    );
+    // Keep the stalled client socket alive until after the drain so the
+    // peer really was "stalled", not closed.
+    drop(stalled);
+    engine.shutdown();
+}

@@ -140,15 +140,50 @@ struct Family {
 
 /// A collection of metric families, rendered together as one Prometheus
 /// text exposition. Families render in registration order.
+///
+/// A registry may carry *const labels* — a label set stamped onto every
+/// rendered sample (prepended before any per-metric labels). Cluster
+/// deployments use this to tag a node's whole exposition with
+/// `node="<id>"` so scrapes from N engine processes stay distinguishable
+/// after aggregation.
 #[derive(Default)]
 pub struct Registry {
     families: Mutex<Vec<Family>>,
+    const_labels: Mutex<Vec<(String, String)>>,
 }
 
 impl Registry {
     /// Create an empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty registry whose every rendered sample carries
+    /// `labels` (e.g. `[("node", "n1")]`).
+    pub fn with_const_labels(labels: &[(&str, &str)]) -> Self {
+        let r = Self::new();
+        r.set_const_labels(labels);
+        r
+    }
+
+    /// Replace the const labels stamped onto every rendered sample.
+    /// Affects rendering only; registration/lookup keys are untouched, so
+    /// instrumented code can set this at any point (typically once at
+    /// startup, when the node learns its identity).
+    pub fn set_const_labels(&self, labels: &[(&str, &str)]) {
+        let mut cl = self.const_labels.lock().unwrap_or_else(|p| p.into_inner());
+        *cl = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+    }
+
+    /// The const labels currently stamped onto rendered samples.
+    pub fn const_labels(&self) -> Vec<(String, String)> {
+        self.const_labels
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// Register (or fetch) an unlabelled counter.
@@ -291,8 +326,10 @@ impl Registry {
         }
     }
 
-    /// Render the whole registry in Prometheus text format 0.0.4.
+    /// Render the whole registry in Prometheus text format 0.0.4. Const
+    /// labels (if any) are prepended to every sample's label set.
     pub fn render(&self) -> String {
+        let const_labels = self.const_labels();
         let families = self.families.lock().unwrap_or_else(|p| p.into_inner());
         let mut out = String::with_capacity(1024);
         for f in families.iter() {
@@ -304,23 +341,24 @@ impl Registry {
                 f.kind.as_str()
             ));
             for entry in &f.metrics {
+                let labels: Vec<(String, String)> = if const_labels.is_empty() {
+                    entry.labels.clone()
+                } else {
+                    const_labels
+                        .iter()
+                        .cloned()
+                        .chain(entry.labels.iter().cloned())
+                        .collect()
+                };
                 match &entry.metric {
                     Metric::Counter(c) => {
-                        out.push_str(&prometheus::render_sample(
-                            &f.name,
-                            &entry.labels,
-                            c.get() as f64,
-                        ));
+                        out.push_str(&prometheus::render_sample(&f.name, &labels, c.get() as f64));
                     }
                     Metric::Gauge(g) => {
-                        out.push_str(&prometheus::render_sample(&f.name, &entry.labels, g.get()));
+                        out.push_str(&prometheus::render_sample(&f.name, &labels, g.get()));
                     }
                     Metric::Histogram(h) => {
-                        out.push_str(&prometheus::render_histogram(
-                            &f.name,
-                            &entry.labels,
-                            &h.snapshot(),
-                        ));
+                        out.push_str(&prometheus::render_histogram(&f.name, &labels, &h.snapshot()));
                     }
                 }
             }
@@ -397,6 +435,28 @@ mod tests {
                 .get(),
             5
         );
+    }
+
+    #[test]
+    fn const_labels_stamp_every_sample() {
+        let r = Registry::with_const_labels(&[("node", "n1")]);
+        r.counter("requests_total", "Total requests.").add(2);
+        r.counter_with("solves_total", "Solves.", &[("mode", "direct")])
+            .inc();
+        let h = r.histogram("latency_seconds", "Latency.");
+        h.record(1_000_000);
+
+        let text = r.render();
+        assert!(text.contains("requests_total{node=\"n1\"} 2\n"));
+        assert!(text.contains("solves_total{node=\"n1\",mode=\"direct\"} 1\n"));
+        assert!(text.contains("latency_seconds_bucket{node=\"n1\",le=\"+Inf\"} 1"));
+        assert!(text.contains("latency_seconds_count{node=\"n1\"} 1"));
+        let stats = prometheus::validate_exposition(&text).expect("valid exposition");
+        assert_eq!(stats.families, 3);
+
+        // Re-labelling affects rendering only; handles stay live.
+        r.set_const_labels(&[]);
+        assert!(r.render().contains("requests_total 2\n"));
     }
 
     #[test]

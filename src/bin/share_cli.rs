@@ -14,6 +14,8 @@
 //! share request --addr 127.0.0.1:7878 --metrics  # raw Prometheus exposition
 //! share serve --tcp 127.0.0.1:7878 --fault-plan seed=42,panic=0.25,drop=0.25  # chaos mode
 //! share request --addr 127.0.0.1:7878 --m 50 --seed 1 --retries 5 --timeout-ms 5000
+//! share serve --tcp 127.0.0.1:7878 --node-id n0 --snapshot-path n0.snapshot  # cluster node
+//! share cluster --listen 127.0.0.1:7979 --peers 127.0.0.1:7878,127.0.0.1:7879
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
@@ -47,7 +49,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         Some(cmd) if !cmd.starts_with("--") => args.command = cmd.clone(),
         _ => {
             return Err(
-                "expected a subcommand (solve|verify|sweep|trade|params|serve|request)".to_string(),
+                "expected a subcommand (solve|verify|sweep|trade|params|serve|request|cluster)"
+                    .to_string(),
             )
         }
     }
@@ -329,6 +332,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         quantizer,
         resilience,
         faults,
+        snapshot_path: args.options.get("snapshot-path").map(std::path::PathBuf::from),
+        node_id: args.options.get("node-id").cloned(),
     };
     if config.workers == 0 {
         return Err("--workers must be at least 1".to_string());
@@ -448,6 +453,85 @@ fn cmd_request(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_cluster(args: &Args) -> Result<(), String> {
+    use share::cluster::{serve_router, serve_router_metrics, RouterConfig};
+    use share::engine::QuantizerConfig;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let peers: Vec<String> = args
+        .options
+        .get("peers")
+        .ok_or("--peers HOST:PORT,HOST:PORT,... is required")?
+        .split(',')
+        .map(|p| p.trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect();
+    if peers.is_empty() {
+        return Err("--peers lists no nodes".to_string());
+    }
+    // The router quantizes keys exactly like the nodes do; a mismatched
+    // --tol would route a key to one node and cache it under another.
+    let mut quantizer = QuantizerConfig::default();
+    if let Some(tol) = args.f64_opt("tol")? {
+        if tol <= 0.0 {
+            return Err("--tol must be positive".to_string());
+        }
+        quantizer.param_tol = tol;
+    }
+    let defaults = RouterConfig::default();
+    let config = RouterConfig {
+        peers,
+        vnodes: args.usize_opt("vnodes", defaults.vnodes)?,
+        health_interval: Duration::from_millis(args.u64_opt(
+            "health-interval-ms",
+            defaults.health_interval.as_millis() as u64,
+        )?),
+        probe_timeout: Duration::from_millis(args.u64_opt(
+            "probe-timeout-ms",
+            defaults.probe_timeout.as_millis() as u64,
+        )?),
+        quantizer,
+        max_forward_attempts: args
+            .usize_opt("max-forward-attempts", defaults.max_forward_attempts)?,
+        forward: defaults.forward,
+    };
+    if config.vnodes == 0 {
+        return Err("--vnodes must be at least 1".to_string());
+    }
+    if config.max_forward_attempts == 0 {
+        return Err("--max-forward-attempts must be at least 1".to_string());
+    }
+    let listen = args
+        .options
+        .get("listen")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:7979");
+    let n_peers = config.peers.len();
+    let router = serve_router(config, listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    eprintln!(
+        "share-cluster router on {} ({n_peers} peers)",
+        router.local_addr()
+    );
+    let metrics_server = match args.options.get("metrics-addr") {
+        Some(addr) => {
+            let server = serve_router_metrics(Arc::clone(router.metrics()), addr)
+                .map_err(|e| format!("bind metrics {addr}: {e}"))?;
+            eprintln!("share-cluster metrics on http://{}/", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+    // Blocks until a client sends {"kind":"shutdown"}.
+    router.wait();
+    if let Some(server) = metrics_server {
+        server.stop();
+    }
+    router.stop();
+    eprintln!("share-cluster router stopped");
+    Ok(())
+}
+
 fn cmd_params(args: &Args) -> Result<(), String> {
     let params = load_params(args)?;
     println!(
@@ -457,13 +541,16 @@ fn cmd_params(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: share_cli <solve|verify|sweep|trade|params|serve|request> [--m N] \
+const USAGE: &str = "usage: share_cli <solve|verify|sweep|trade|params|serve|request|cluster> [--m N] \
 [--seed S] [--config file.json] [--json] [--param theta1 --lo .. --hi .. --points ..] \
 [--rounds R --n N] [--tcp ADDR --reactors R --workers W --queue Q --cache C --cache-shards S --tol T \
 --metrics-addr ADDR --shed-at DEPTH --degrade-at DEPTH --restart-budget N \
+--node-id ID --snapshot-path FILE \
 --fault-plan seed=S,panic=P,drop=P,latency=P,latency_ms=MS,diverge=P] \
 [--addr HOST:PORT --mode direct|mean_field|numeric --deadline-ms MS --retries N \
 --timeout-ms MS --stats --metrics --shutdown] \
+[--listen ADDR --peers A,B,C --vnodes N --health-interval-ms MS --probe-timeout-ms MS \
+--max-forward-attempts N] \
 (SHARE_LOG=debug for tracing; SHARE_FAULT_PLAN as --fault-plan fallback)";
 
 fn run() -> Result<(), String> {
@@ -478,6 +565,7 @@ fn run() -> Result<(), String> {
         "params" => cmd_params(&args),
         "serve" => cmd_serve(&args),
         "request" => cmd_request(&args),
+        "cluster" => cmd_cluster(&args),
         other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
     }
 }

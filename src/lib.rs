@@ -10,6 +10,7 @@
 //! |-------|----------|
 //! | [`market`] | the paper's contribution: profit functions, the three-stage game, SNE solving/verification, Algorithm 1 trading dynamics, parameter sweeps, the broker-leading extension |
 //! | [`engine`] | concurrent market-serving engine: worker pool, equilibrium cache with tolerance-bucketed keys, request dedup, NDJSON wire protocol over stdio/TCP |
+//! | [`cluster`] | cluster tier: consistent-hash request router across engine nodes, health-checked membership, pooled forwarding, per-node cache snapshot/restore |
 //! | [`game`] | generic Nash best-response dynamics, bilevel Stackelberg solving, ε-equilibrium verification |
 //! | [`ldp`] | local differential privacy: Laplace/Gaussian/randomized-response mechanisms, the fidelity map of Eq. 10, budget accounting |
 //! | [`valuation`] | Shapley values (exact + Monte-Carlo permutation sampling), seller-weight maintenance |
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub use share_cluster as cluster;
 pub use share_datagen as datagen;
 pub use share_engine as engine;
 pub use share_game as game;
