@@ -496,6 +496,7 @@ fn bench_connection_scaling(tiers: &[usize], rounds: usize) -> Vec<ConnectionSca
                                 let id = ((d * 100_000 + c) * 100 + r) as u64;
                                 let req = WireRequest {
                                     id,
+                                    trace: None,
                                     body: RequestBody::Solve {
                                         spec: MarketSpec::Seeded {
                                             m: M,

@@ -1,0 +1,363 @@
+//! Cluster-wide metrics federation: one scrape answers for the whole
+//! cluster.
+//!
+//! A [`Federator`] renders the router's own exposition merged with every
+//! healthy engine node's (fetched over pooled NDJSON `metrics` requests).
+//! Families keep a single `# HELP`/`# TYPE` header however many nodes
+//! export them; every sample gains a `node` label naming its origin
+//! (samples that already carry one — the router's per-node counters —
+//! keep theirs). Two cluster rollups are appended so dashboards get the
+//! headline numbers without recomputing them from the merged raw series:
+//!
+//! - `share_cluster_p99_ms` — the cluster-wide p99 service latency in
+//!   milliseconds, computed from the merged
+//!   `share_request_latency_seconds` buckets across all nodes.
+//! - `share_cluster_cache_hit_ratio{node=...}` — each node's cache hit
+//!   ratio, `hits / (hits + misses)`.
+//!
+//! The merged output passes the strict
+//! [`validate_exposition`](share_obs::prometheus::validate_exposition)
+//! checker — CI scrapes the federated endpoint and fails the build when it
+//! regresses.
+
+use crate::membership::Membership;
+use crate::metrics::ClusterMetrics;
+use crate::pool::NodePool;
+use share_obs::prometheus::{format_labels, format_value, parse_sample};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Renders the federated exposition for one router (see module docs).
+pub struct Federator {
+    membership: Arc<Membership>,
+    pool: Arc<NodePool>,
+    metrics: Arc<ClusterMetrics>,
+}
+
+impl Federator {
+    /// A federator scraping `membership`'s healthy nodes over `pool`,
+    /// merging their families with the router's own `metrics`.
+    pub fn new(
+        membership: Arc<Membership>,
+        pool: Arc<NodePool>,
+        metrics: Arc<ClusterMetrics>,
+    ) -> Self {
+        Self {
+            membership,
+            pool,
+            metrics,
+        }
+    }
+
+    /// Scrape every healthy node and render the merged exposition.
+    /// Unreachable peers are skipped — a scrape must not fail because one
+    /// node is mid-restart; its series simply go absent, which is exactly
+    /// what a per-node scrape would show.
+    pub fn render(&self) -> String {
+        let mut sources = vec![("router".to_string(), self.metrics.render())];
+        for node in self.membership.healthy() {
+            let Ok(mut client) = self.pool.checkout(&node) else {
+                continue;
+            };
+            if let Ok(text) = client.metrics_text() {
+                self.pool.checkin(&node, client);
+                sources.push((node, text));
+            }
+        }
+        merge_expositions(&sources)
+    }
+}
+
+/// One merged metric family: deduplicated headers plus every node's
+/// samples in arrival order.
+#[derive(Default)]
+struct Family {
+    help: Option<String>,
+    typ: Option<String>,
+    samples: Vec<String>,
+}
+
+/// Get-or-create `name`'s family, tracking first-seen order.
+fn family<'a>(
+    families: &'a mut BTreeMap<String, Family>,
+    order: &mut Vec<String>,
+    name: &str,
+) -> &'a mut Family {
+    if !families.contains_key(name) {
+        order.push(name.to_string());
+    }
+    families.entry(name.to_string()).or_default()
+}
+
+/// Merge `(node, exposition)` sources into one exposition (see module
+/// docs). Pure text-level: unparseable sample lines are dropped rather
+/// than poisoning the whole scrape.
+pub fn merge_expositions(sources: &[(String, String)]) -> String {
+    let mut order: Vec<String> = Vec::new();
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    for (node, text) in sources {
+        // The family the most recent HELP/TYPE header named, so histogram
+        // `_bucket`/`_sum`/`_count` samples group under their base family.
+        let mut current = String::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                current = name.to_string();
+                let fam = family(&mut families, &mut order, name);
+                if fam.help.is_none() {
+                    fam.help = Some(line.to_string());
+                }
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                current = name.to_string();
+                let fam = family(&mut families, &mut order, name);
+                if fam.typ.is_none() {
+                    fam.typ = Some(line.to_string());
+                }
+            } else {
+                let Ok((name, mut labels, rest)) = parse_sample(line) else {
+                    continue;
+                };
+                let key = if !current.is_empty() && name.starts_with(current.as_str()) {
+                    current.clone()
+                } else {
+                    name.clone()
+                };
+                if !labels.iter().any(|(k, _)| k == "node") {
+                    labels.insert(0, ("node".to_string(), node.clone()));
+                }
+                let fam = family(&mut families, &mut order, &key);
+                fam.samples.push(format!(
+                    "{name}{} {}",
+                    format_labels(&labels),
+                    rest.trim_start()
+                ));
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for name in &order {
+        let fam = &families[name];
+        if let Some(h) = &fam.help {
+            out.push_str(h);
+            out.push('\n');
+        }
+        if let Some(t) = &fam.typ {
+            out.push_str(t);
+            out.push('\n');
+        }
+        for s in &fam.samples {
+            out.push_str(s);
+            out.push('\n');
+        }
+    }
+
+    // Rollups, computed from the raw per-node sources.
+    out.push_str(
+        "# HELP share_cluster_p99_ms Cluster-wide p99 service latency (ms), merged across nodes.\n# TYPE share_cluster_p99_ms gauge\n",
+    );
+    out.push_str(&format!(
+        "share_cluster_p99_ms {}\n",
+        format_value(cluster_p99_ms(sources))
+    ));
+    let ratios = cache_hit_ratios(sources);
+    if !ratios.is_empty() {
+        out.push_str(
+            "# HELP share_cluster_cache_hit_ratio Per-node equilibrium cache hit ratio.\n# TYPE share_cluster_cache_hit_ratio gauge\n",
+        );
+        for (node, ratio) in ratios {
+            let labels = vec![("node".to_string(), node)];
+            out.push_str(&format!(
+                "share_cluster_cache_hit_ratio{} {}\n",
+                format_labels(&labels),
+                format_value(ratio)
+            ));
+        }
+    }
+    out
+}
+
+/// Cluster-wide p99 service latency in milliseconds: merge every node's
+/// cumulative `share_request_latency_seconds` buckets (same fixed `le`
+/// ladder on every node) and take the upper bound of the bucket where the
+/// cumulative count first reaches 99% of the total. 0 when no node has
+/// observed a request yet.
+fn cluster_p99_ms(sources: &[(String, String)]) -> f64 {
+    let mut merged: Vec<(f64, u64)> = Vec::new();
+    for (_, text) in sources {
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let Ok((name, labels, rest)) = parse_sample(line) else {
+                continue;
+            };
+            if name != "share_request_latency_seconds_bucket" {
+                continue;
+            }
+            let Some(le) = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .and_then(|(_, v)| v.parse::<f64>().ok())
+            else {
+                continue;
+            };
+            let Some(count) = rest
+                .split_whitespace()
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            match merged.iter_mut().find(|(b, _)| *b == le) {
+                Some(slot) => slot.1 += count,
+                None => merged.push((le, count)),
+            }
+        }
+    }
+    merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let total = merged.last().map_or(0, |&(_, c)| c);
+    if total == 0 {
+        return 0.0;
+    }
+    let threshold = ((total as f64) * 0.99).ceil() as u64;
+    for &(le, cum) in &merged {
+        if cum >= threshold {
+            return if le.is_finite() {
+                le * 1000.0
+            } else {
+                f64::INFINITY
+            };
+        }
+    }
+    0.0
+}
+
+/// Per-node cache hit ratio from each source's plain hit/miss counters.
+/// Sources without the counters (the router itself) are skipped.
+fn cache_hit_ratios(sources: &[(String, String)]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for (node, text) in sources {
+        let hits = plain_sample(text, "share_cache_hits_total");
+        let misses = plain_sample(text, "share_cache_misses_total");
+        if let (Some(h), Some(m)) = (hits, misses) {
+            let denom = h + m;
+            out.push((node.clone(), if denom > 0.0 { h / denom } else { 0.0 }));
+        }
+    }
+    out
+}
+
+/// The value of `metric`'s unlabelled sample in `text`, if present.
+fn plain_sample(text: &str, metric: &str) -> Option<f64> {
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let Ok((name, labels, rest)) = parse_sample(line) else {
+            continue;
+        };
+        if name == metric && labels.is_empty() {
+            return rest.split_whitespace().next()?.parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node_text(hits: u64, misses: u64, b1: u64, b2: u64, binf: u64) -> String {
+        format!(
+            "# HELP share_cache_hits_total Cache hits.\n\
+             # TYPE share_cache_hits_total counter\n\
+             share_cache_hits_total {hits}\n\
+             # HELP share_cache_misses_total Cache misses.\n\
+             # TYPE share_cache_misses_total counter\n\
+             share_cache_misses_total {misses}\n\
+             # HELP share_request_latency_seconds Service latency.\n\
+             # TYPE share_request_latency_seconds histogram\n\
+             share_request_latency_seconds_bucket{{le=\"0.001\"}} {b1}\n\
+             share_request_latency_seconds_bucket{{le=\"0.1\"}} {b2}\n\
+             share_request_latency_seconds_bucket{{le=\"+Inf\"}} {binf}\n\
+             share_request_latency_seconds_sum 1.5\n\
+             share_request_latency_seconds_count {binf}\n"
+        )
+    }
+
+    #[test]
+    fn merges_node_labels_dedupes_headers_and_validates() {
+        let router = "# HELP share_cluster_requests_total Request lines.\n\
+                      # TYPE share_cluster_requests_total counter\n\
+                      share_cluster_requests_total 7\n\
+                      # HELP share_cluster_node_up 1 when up.\n\
+                      # TYPE share_cluster_node_up gauge\n\
+                      share_cluster_node_up{node=\"n1\"} 1\n";
+        let sources = vec![
+            ("router".to_string(), router.to_string()),
+            ("n1".to_string(), node_text(30, 10, 90, 99, 100)),
+            ("n2".to_string(), node_text(5, 5, 180, 198, 200)),
+        ];
+        let text = merge_expositions(&sources);
+        let stats =
+            share_obs::prometheus::validate_exposition(&text).expect("valid federated exposition");
+        assert!(stats.histograms >= 1);
+        // The router's own samples are labelled node="router"; samples that
+        // already carried a node label keep it untouched.
+        assert!(
+            text.contains("share_cluster_requests_total{node=\"router\"} 7\n"),
+            "{text}"
+        );
+        assert!(text.contains("share_cluster_node_up{node=\"n1\"} 1\n"), "{text}");
+        // Both engine nodes' series survive under distinct labels, with a
+        // single header pair per family.
+        assert!(text.contains("share_cache_hits_total{node=\"n1\"} 30\n"), "{text}");
+        assert!(text.contains("share_cache_hits_total{node=\"n2\"} 5\n"), "{text}");
+        assert_eq!(
+            text.matches("# TYPE share_cache_hits_total counter\n").count(),
+            1
+        );
+        assert_eq!(
+            text.matches("# TYPE share_request_latency_seconds histogram\n")
+                .count(),
+            1
+        );
+        assert!(
+            text.contains("share_request_latency_seconds_bucket{node=\"n2\",le=\"+Inf\"} 200\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn rollups_report_merged_p99_and_per_node_hit_ratio() {
+        let sources = vec![
+            ("n1".to_string(), node_text(30, 10, 90, 99, 100)),
+            ("n2".to_string(), node_text(5, 5, 180, 198, 200)),
+        ];
+        let text = merge_expositions(&sources);
+        // Merged buckets: 270 @ 1ms, 297 @ 100ms, 300 total; 99% of 300 is
+        // 297, first reached at le=0.1 → 100ms.
+        assert!(text.contains("share_cluster_p99_ms 100\n"), "{text}");
+        assert!(
+            text.contains("share_cluster_cache_hit_ratio{node=\"n1\"} 0.75\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("share_cluster_cache_hit_ratio{node=\"n2\"} 0.5\n"),
+            "{text}"
+        );
+        share_obs::prometheus::validate_exposition(&text).expect("rollups validate");
+    }
+
+    #[test]
+    fn empty_cluster_still_renders_a_valid_exposition() {
+        let text = merge_expositions(&[]);
+        assert!(text.contains("share_cluster_p99_ms 0\n"), "{text}");
+        share_obs::prometheus::validate_exposition(&text).expect("valid");
+    }
+}

@@ -27,6 +27,16 @@
 //! | [`membership`] | health-checked ring membership with eviction/readmission |
 //! | [`router`] | the forwarding front-end + its Prometheus scrape listener |
 //! | [`metrics`] | `share_cluster_*` metric families |
+//! | [`federate`] | cluster-wide merged Prometheus exposition + rollups |
+//!
+//! The router also anchors **distributed tracing**: every `solve`/`batch`
+//! line mints (or adopts, when the client sent a `trace` field) a
+//! [`TraceContext`](share_obs::TraceContext), records
+//! `router_recv → pool_checkout → forward` spans, and stamps the forward
+//! span's context on the wire so each engine's `engine_request` hop
+//! parents under it. A `trace` request against the router merges the kept
+//! spans of the router and every healthy node into complete cross-node
+//! waterfalls (`share_cli trace --addr <router> --slowest 5`).
 //!
 //! ## Example
 //!
@@ -48,16 +58,19 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod federate;
 pub mod membership;
 pub mod metrics;
 pub mod pool;
 pub mod ring;
 pub mod router;
 
+pub use federate::{merge_expositions, Federator};
 pub use membership::{start_health_checker, HealthChecker, Membership};
 pub use metrics::ClusterMetrics;
 pub use pool::NodePool;
 pub use ring::{stable_str_hash, HashRing};
 pub use router::{
-    serve_router, serve_router_metrics, Router, RouterConfig, RouterMetricsServer,
+    serve_router, serve_router_metrics, serve_router_metrics_federated, Router, RouterConfig,
+    RouterMetricsServer,
 };

@@ -37,6 +37,16 @@ impl ClusterMetrics {
     /// Register the router's metric families in a fresh registry.
     pub fn new() -> Self {
         let registry = Registry::new();
+        registry
+            .gauge_with(
+                "share_build_info",
+                "Build identity of this process (value is always 1).",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("git_sha", option_env!("SHARE_GIT_SHA").unwrap_or("unknown")),
+                ],
+            )
+            .set(1.0);
         let healthy_nodes = registry.gauge(
             "share_cluster_healthy_nodes",
             "Engine nodes currently in the ring and receiving traffic.",

@@ -29,14 +29,16 @@ use share_engine::protocol::{encode_response, parse_request};
 use share_engine::spec::{MarketSpec, SolveSpec};
 use share_engine::{
     quantize, ClientConfig, QuantizerConfig, RequestBody, ResponseBody, SolveMode, WireResponse,
+    WireSpan, WireTrace,
 };
-use std::collections::BTreeMap;
+use share_obs::{HopSpan, SpanRecord, TraceContext};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tracing target of router lifecycle events.
 const TARGET: &str = "share_cluster::router";
@@ -103,9 +105,55 @@ fn key_hash(
 
 /// Forward one request over a pooled connection. On success the connection
 /// returns to the pool; on failure it is dropped (poisoned).
-fn forward_once(ctx: &RouterCtx, node: &str, body: RequestBody) -> io::Result<WireResponse> {
-    let mut client = ctx.pool.checkout(node)?;
-    match client.call(body) {
+///
+/// When the request is traced, records a `pool_checkout` child span and a
+/// `forward` child span (annotated with the target node), and stamps the
+/// forward span's context on the wire so the receiving engine's hop root
+/// parents under it.
+fn forward_once(
+    ctx: &RouterCtx,
+    node: &str,
+    body: RequestBody,
+    hop: Option<&HopSpan>,
+) -> io::Result<WireResponse> {
+    let checkout_start = Instant::now();
+    let checked = ctx.pool.checkout(node);
+    if let Some(h) = hop {
+        let mut annotations = vec![("node".to_string(), node.to_string())];
+        if checked.is_err() {
+            annotations.push(("error".to_string(), "dial".to_string()));
+        }
+        h.child_at(
+            "pool_checkout",
+            checkout_start,
+            checkout_start.elapsed(),
+            annotations,
+        );
+    }
+    let mut client = checked?;
+    // Mint the forward span's context before the call so the wire carries
+    // it; record the span itself once the duration is known.
+    let forward_ctx = hop.map(|h| h.ctx.child());
+    let wire = forward_ctx.as_ref().map(TraceContext::to_wire);
+    let forward_start = Instant::now();
+    let result = client.call_traced(body, wire);
+    if let (Some(h), Some(fctx)) = (hop, forward_ctx) {
+        let mut annotations = vec![("node".to_string(), node.to_string())];
+        if result.is_err() {
+            annotations.push(("error".to_string(), "io".to_string()));
+        }
+        share_obs::trace::record_span(SpanRecord {
+            trace_id: fctx.trace_id,
+            span_id: fctx.span_id,
+            parent_span_id: h.ctx.span_id,
+            name: "forward".to_string(),
+            node: "router".to_string(),
+            start_us: share_obs::trace::anchored_us(forward_start),
+            duration_ns: forward_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            annotations,
+        });
+    }
+    match result {
         Ok(resp) => {
             ctx.pool.checkin(node, client);
             Ok(resp)
@@ -121,6 +169,7 @@ fn route_solve(
     spec: MarketSpec,
     mode: SolveMode,
     deadline_ms: Option<u64>,
+    hop: &HopSpan,
 ) -> WireResponse {
     let hash = match key_hash(&spec, mode, &ctx.quantizer) {
         Ok(h) => h,
@@ -136,7 +185,7 @@ fn route_solve(
         let Some(node) = ctx.membership.owner(hash) else {
             break;
         };
-        match forward_once(ctx, &node, body.clone()) {
+        match forward_once(ctx, &node, body.clone(), Some(hop)) {
             Ok(mut resp) => {
                 resp.id = id;
                 ctx.metrics.forwards(&node).inc();
@@ -162,7 +211,7 @@ fn route_solve(
 /// Route a batch: split by owning node, forward the sub-batches, reassemble
 /// results in submission order (each inner response's `id` is its original
 /// position, exactly as a single engine node numbers them).
-fn route_batch(ctx: &RouterCtx, id: u64, requests: Vec<SolveSpec>) -> WireResponse {
+fn route_batch(ctx: &RouterCtx, id: u64, requests: Vec<SolveSpec>, hop: &HopSpan) -> WireResponse {
     let n = requests.len();
     let mut results: Vec<Option<WireResponse>> = (0..n).map(|_| None).collect();
     // (original position, ownership hash, spec) for every routable entry.
@@ -189,7 +238,7 @@ fn route_batch(ctx: &RouterCtx, id: u64, requests: Vec<SolveSpec>) -> WireRespon
         }
         for (node, items) in groups {
             let sub: Vec<SolveSpec> = items.iter().map(|(_, _, sp)| sp.clone()).collect();
-            match forward_once(ctx, &node, RequestBody::Batch { requests: sub }) {
+            match forward_once(ctx, &node, RequestBody::Batch { requests: sub }, Some(hop)) {
                 Ok(WireResponse {
                     body: ResponseBody::Batch { results: sub_res },
                     ..
@@ -240,12 +289,95 @@ fn route_batch(ctx: &RouterCtx, id: u64, requests: Vec<SolveSpec>) -> WireRespon
     }
     WireResponse {
         id,
+        trace: None,
         body: ResponseBody::Batch {
             results: results
                 .into_iter()
                 .map(|r| r.expect("every batch slot answered"))
                 .collect(),
         },
+    }
+}
+
+/// Answer a `trace` query with spans merged cluster-wide: the router's own
+/// kept ring plus every healthy engine node's, deduplicated by
+/// `(node, span_id)` and ordered by start time within each trace.
+fn route_trace(
+    ctx: &RouterCtx,
+    id: u64,
+    trace_id: Option<String>,
+    slowest_n: Option<usize>,
+) -> WireResponse {
+    let mut merged: BTreeMap<String, Vec<WireSpan>> = BTreeMap::new();
+    let mut seen: BTreeSet<(String, String, u64)> = BTreeSet::new();
+    let mut absorb = |traces: Vec<WireTrace>,
+                      merged: &mut BTreeMap<String, Vec<WireSpan>>,
+                      seen: &mut BTreeSet<(String, String, u64)>| {
+        for t in traces {
+            let spans = merged.entry(t.trace_id.clone()).or_default();
+            for s in t.spans {
+                if seen.insert((t.trace_id.clone(), s.node.clone(), s.span_id)) {
+                    spans.push(s);
+                }
+            }
+        }
+    };
+
+    // The router's own spans (hop roots, pool_checkout, forward).
+    let mut local = Vec::new();
+    if let Some(tid) = trace_id.as_deref().and_then(share_obs::trace::parse_trace_id) {
+        if let Some(spans) = share_obs::trace::get_trace(tid) {
+            local.push(WireTrace::from_spans(tid, &spans));
+        }
+    }
+    if let Some(n) = slowest_n {
+        for (tid, spans) in share_obs::trace::slowest(n) {
+            local.push(WireTrace::from_spans(tid, &spans));
+        }
+    }
+    absorb(local, &mut merged, &mut seen);
+
+    // Every healthy node's spans; unreachable peers are skipped (traces
+    // are best-effort diagnostics, not part of the serving path).
+    for node in ctx.membership.healthy() {
+        let Ok(mut client) = ctx.pool.checkout(&node) else {
+            continue;
+        };
+        if let Ok(traces) = client.trace(trace_id.clone(), slowest_n) {
+            ctx.pool.checkin(&node, client);
+            absorb(traces, &mut merged, &mut seen);
+        }
+    }
+
+    let mut traces: Vec<WireTrace> = merged
+        .into_iter()
+        .map(|(tid, mut spans)| {
+            spans.sort_by_key(|s| (s.start_us, s.span_id));
+            WireTrace { trace_id: tid, spans }
+        })
+        .collect();
+    // Rank by root-span duration (falling back to the longest span) so a
+    // `--slowest N` query answers with the N slowest end-to-end requests,
+    // not whichever N ids sort first.
+    let rank = |t: &WireTrace| -> u64 {
+        t.spans
+            .iter()
+            .filter(|s| s.parent_span_id == 0)
+            .map(|s| s.duration_ns)
+            .max()
+            .or_else(|| t.spans.iter().map(|s| s.duration_ns).max())
+            .unwrap_or(0)
+    };
+    traces.sort_by(|a, b| rank(b).cmp(&rank(a)));
+    if let Some(n) = slowest_n {
+        if trace_id.is_none() {
+            traces.truncate(n);
+        }
+    }
+    WireResponse {
+        id,
+        trace: None,
+        body: ResponseBody::Trace { traces },
     }
 }
 
@@ -273,14 +405,41 @@ fn serve_router_connection<R: BufRead, W: Write>(
                     spec,
                     mode,
                     deadline_ms,
-                } => route_solve(ctx, req.id, spec, mode, deadline_ms),
-                RequestBody::Batch { requests } => route_batch(ctx, req.id, requests),
+                } => {
+                    // Adopt the client's context or mint a fresh root: the
+                    // router is where cluster traces begin.
+                    let hop = HopSpan::adopt_or_mint(
+                        req.trace.as_deref().and_then(TraceContext::from_wire),
+                        "router_recv",
+                        "router",
+                    );
+                    let mut resp = route_solve(ctx, req.id, spec, mode, deadline_ms, &hop);
+                    resp.trace = Some(hop.ctx.to_wire());
+                    hop.finish(Vec::new());
+                    resp
+                }
+                RequestBody::Batch { requests } => {
+                    let hop = HopSpan::adopt_or_mint(
+                        req.trace.as_deref().and_then(TraceContext::from_wire),
+                        "router_recv",
+                        "router",
+                    );
+                    let mut resp = route_batch(ctx, req.id, requests, &hop);
+                    resp.trace = Some(hop.ctx.to_wire());
+                    hop.finish(Vec::new());
+                    resp
+                }
+                RequestBody::Trace { trace_id, slowest } => {
+                    route_trace(ctx, req.id, trace_id, slowest)
+                }
                 RequestBody::Ping => WireResponse {
                     id: req.id,
+                    trace: req.trace.clone(),
                     body: ResponseBody::Pong,
                 },
                 RequestBody::Metrics => WireResponse {
                     id: req.id,
+                    trace: req.trace.clone(),
                     body: ResponseBody::Metrics {
                         text: ctx.metrics.render(),
                     },
@@ -299,6 +458,7 @@ fn serve_router_connection<R: BufRead, W: Write>(
                 RequestBody::Shutdown => {
                     let _ = respond(&WireResponse {
                         id: req.id,
+                        trace: req.trace.clone(),
                         body: ResponseBody::Shutdown,
                     });
                     return true;
@@ -319,6 +479,7 @@ pub struct Router {
     stop: Arc<AtomicBool>,
     accept: Mutex<Option<thread::JoinHandle<()>>>,
     membership: Arc<Membership>,
+    pool: Arc<NodePool>,
     metrics: Arc<ClusterMetrics>,
     health: HealthChecker,
 }
@@ -342,7 +503,7 @@ pub fn serve_router(config: RouterConfig, addr: &str) -> io::Result<Router> {
     let health = start_health_checker(Arc::clone(&membership), config.health_interval)?;
     let ctx = Arc::new(RouterCtx {
         membership: Arc::clone(&membership),
-        pool,
+        pool: Arc::clone(&pool),
         metrics: Arc::clone(&metrics),
         quantizer: config.quantizer,
         max_attempts: config.max_forward_attempts.max(1),
@@ -392,6 +553,7 @@ pub fn serve_router(config: RouterConfig, addr: &str) -> io::Result<Router> {
         stop,
         accept: Mutex::new(Some(accept)),
         membership,
+        pool,
         metrics,
         health,
     })
@@ -416,6 +578,18 @@ impl Router {
     /// Render the router's Prometheus text exposition.
     pub fn render_prometheus(&self) -> String {
         self.metrics.render()
+    }
+
+    /// A [`Federator`](crate::federate::Federator) over this router's
+    /// membership and connection pool: renders the cluster-wide merged
+    /// exposition (every healthy node's families under `node` labels, plus
+    /// cluster rollups).
+    pub fn federator(&self) -> crate::federate::Federator {
+        crate::federate::Federator::new(
+            Arc::clone(&self.membership),
+            Arc::clone(&self.pool),
+            Arc::clone(&self.metrics),
+        )
     }
 
     /// Stop the health checker and the accept loop, and wait for both.
@@ -461,6 +635,31 @@ pub fn serve_router_metrics(
     metrics: Arc<ClusterMetrics>,
     addr: &str,
 ) -> io::Result<RouterMetricsServer> {
+    serve_metrics_with(move || metrics.render(), addr)
+}
+
+/// Bind `addr` and answer every scrape with the **federated** exposition:
+/// the router's families plus every healthy engine node's, merged under
+/// `node` labels with cluster rollups (see [`crate::federate`]).
+///
+/// Each scrape fans out to the healthy peers over pooled connections, so
+/// federated scrapes cost one round-trip per node; point one Prometheus at
+/// this listener instead of N node listeners.
+///
+/// # Errors
+/// I/O errors from binding the listener.
+pub fn serve_router_metrics_federated(
+    federator: crate::federate::Federator,
+    addr: &str,
+) -> io::Result<RouterMetricsServer> {
+    serve_metrics_with(move || federator.render(), addr)
+}
+
+/// The shared HTTP/1.0 scrape loop behind both metrics listeners.
+fn serve_metrics_with<F>(render: F, addr: &str) -> io::Result<RouterMetricsServer>
+where
+    F: Fn() -> String + Send + 'static,
+{
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -484,7 +683,7 @@ pub fn serve_router_metrics(
                 let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
                 let mut scratch = [0u8; 4096];
                 let _ = stream.read(&mut scratch);
-                let body = metrics.render();
+                let body = render();
                 let head = format!(
                     "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
                     body.len()

@@ -1,0 +1,328 @@
+//! End-to-end tracing and metrics-federation tests against a live router
+//! with in-process engine nodes: a single traced request must produce a
+//! complete cross-node waterfall (router hop + engine hop), traced batches
+//! must fan out with one forward span per owning node, and the federated
+//! exposition must validate strictly with per-node labels and rollups.
+
+use share_cluster::{serve_router, RouterConfig};
+use share_engine::{
+    serve_tcp, Client, ClientConfig, Engine, EngineConfig, RequestBody, ResponseBody, SolveMode,
+    SolveSpec, TcpServer, WireSpan, WireTrace,
+};
+use share_obs::TraceContext;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Cluster {
+    _engines: Vec<Arc<Engine>>,
+    servers: Vec<TcpServer>,
+    router: share_cluster::Router,
+}
+
+fn start_cluster(n: usize) -> Cluster {
+    let mut engines = Vec::new();
+    let mut servers = Vec::new();
+    let mut peers = Vec::new();
+    for i in 0..n {
+        let engine = Arc::new(Engine::start(EngineConfig {
+            workers: 2,
+            node_id: Some(format!("n{i}")),
+            ..EngineConfig::default()
+        }));
+        let server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0").expect("bind node");
+        peers.push(server.local_addr().to_string());
+        engines.push(engine);
+        servers.push(server);
+    }
+    let router = serve_router(
+        RouterConfig {
+            peers,
+            health_interval: Duration::from_millis(200),
+            ..RouterConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("start router");
+    Cluster {
+        _engines: engines,
+        servers,
+        router,
+    }
+}
+
+fn client(cluster: &Cluster) -> Client {
+    Client::connect_with(
+        cluster.router.local_addr().to_string(),
+        ClientConfig::default(),
+    )
+    .expect("connect to router")
+}
+
+/// A head-sampled context with a fixed trace id, so every hop keeps the
+/// trace deterministically, independent of the process-global sampler
+/// state shared with the other tests in this binary.
+fn fixed_ctx(trace_id: u128) -> TraceContext {
+    TraceContext {
+        trace_id,
+        span_id: 0,
+        sampled: true,
+    }
+}
+
+fn fetch_trace(c: &mut Client, trace_id: u128) -> WireTrace {
+    let hex = format!("{trace_id:032x}");
+    let traces = c.trace(Some(hex.clone()), None).expect("trace query");
+    traces
+        .into_iter()
+        .find(|t| t.trace_id == hex)
+        .expect("queried trace was kept")
+}
+
+fn spans_named<'a>(t: &'a WireTrace, name: &str) -> Vec<&'a WireSpan> {
+    t.spans.iter().filter(|s| s.name == name).collect()
+}
+
+#[test]
+fn traced_solve_produces_complete_cross_node_waterfall() {
+    let cluster = start_cluster(2);
+    let mut c = client(&cluster);
+    let ctx = fixed_ctx(0xC1_0001);
+    let spec = SolveSpec::seeded(9, 31_337, SolveMode::Direct);
+    let resp = c
+        .call_traced(
+            RequestBody::Solve {
+                spec: spec.spec,
+                mode: spec.mode,
+                deadline_ms: None,
+            },
+            Some(ctx.to_wire()),
+        )
+        .expect("traced solve");
+    assert!(matches!(resp.body, ResponseBody::Solve { ref result } if result.is_ok()));
+    let echoed = TraceContext::from_wire(&resp.trace.expect("router stamps the reply"))
+        .expect("well-formed trace field");
+    assert_eq!(echoed.trace_id, ctx.trace_id);
+
+    let trace = fetch_trace(&mut c, ctx.trace_id);
+
+    // Router hop: the root, on node "router", with checkout and forward
+    // children.
+    let roots = spans_named(&trace, "router_recv");
+    assert_eq!(roots.len(), 1, "exactly one router hop: {:?}", trace.spans);
+    let root = roots[0];
+    assert_eq!(root.node, "router");
+    assert_eq!(root.parent_span_id, 0, "client's root context adopted");
+    let checkouts = spans_named(&trace, "pool_checkout");
+    let forwards = spans_named(&trace, "forward");
+    assert_eq!(checkouts.len(), 1, "one checkout for one solve");
+    assert_eq!(forwards.len(), 1, "one forward for one solve");
+    let forward = forwards[0];
+    assert_eq!(forward.parent_span_id, root.span_id);
+    let peer_addrs: Vec<String> = cluster
+        .servers
+        .iter()
+        .map(|s| s.local_addr().to_string())
+        .collect();
+    assert!(
+        forward
+            .annotations
+            .iter()
+            .any(|(k, v)| k == "node" && peer_addrs.contains(v)),
+        "forward span names the target node: {:?}",
+        forward.annotations
+    );
+
+    // Engine hop: parented under the forward span, on an engine node, with
+    // its own children — the complete cross-process waterfall.
+    let engine_hops = spans_named(&trace, "engine_request");
+    assert_eq!(engine_hops.len(), 1, "one engine hop for one solve");
+    let engine_hop = engine_hops[0];
+    assert_eq!(
+        engine_hop.parent_span_id, forward.span_id,
+        "engine hop parents under the router's forward span"
+    );
+    assert!(engine_hop.node.starts_with('n'), "engine node id recorded");
+    assert!(
+        !spans_named(&trace, "solve").is_empty(),
+        "solver span crossed the wire into the merged waterfall"
+    );
+
+    // Durations: children start within their parent, never outlast it, and
+    // sequential children sum to at most the parent.
+    for (parent, kids) in [
+        (root, vec![checkouts[0], forward]),
+        (
+            engine_hop,
+            trace
+                .spans
+                .iter()
+                .filter(|s| s.parent_span_id == engine_hop.span_id)
+                .collect(),
+        ),
+    ] {
+        let mut total = 0_u64;
+        for child in &kids {
+            assert!(
+                child.start_us >= parent.start_us,
+                "{} starts before its parent {}",
+                child.name,
+                parent.name
+            );
+            assert!(child.duration_ns <= parent.duration_ns);
+            total += child.duration_ns;
+        }
+        assert!(
+            total <= parent.duration_ns,
+            "children of {} overlap: {total} > {}",
+            parent.name,
+            parent.duration_ns
+        );
+    }
+    // The two router children are non-overlapping and ordered: the
+    // connection is checked out before the forward starts.
+    assert!(checkouts[0].start_us <= forward.start_us);
+}
+
+#[test]
+fn traced_batch_forwards_once_per_owner_and_preserves_order() {
+    let cluster = start_cluster(2);
+    let mut c = client(&cluster);
+    let ctx = fixed_ctx(0xC1_0002);
+    let requests: Vec<SolveSpec> = (0..8)
+        .map(|i| SolveSpec::seeded(3 + i, 2_000 + i as u64, SolveMode::Direct))
+        .collect();
+    let resp = c
+        .call_traced(
+            RequestBody::Batch {
+                requests: requests.clone(),
+            },
+            Some(ctx.to_wire()),
+        )
+        .expect("traced batch");
+    match resp.body {
+        ResponseBody::Batch { results } => {
+            assert_eq!(results.len(), requests.len());
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(r.id, i as u64, "submission order preserved");
+                assert!(r.is_ok(), "entry {i} failed: {r:?}");
+            }
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    let trace = fetch_trace(&mut c, ctx.trace_id);
+    let roots = spans_named(&trace, "router_recv");
+    assert_eq!(roots.len(), 1, "one parent span per batch");
+    let forwards = spans_named(&trace, "forward");
+    let owners: BTreeSet<&String> = forwards
+        .iter()
+        .flat_map(|f| f.annotations.iter())
+        .filter(|(k, _)| k == "node")
+        .map(|(_, v)| v)
+        .collect();
+    assert_eq!(
+        forwards.len(),
+        owners.len(),
+        "exactly one forward span per owning node: {forwards:?}"
+    );
+    assert!(
+        (1..=2).contains(&owners.len()),
+        "8 keys over 2 nodes land on 1 or 2 owners"
+    );
+    for f in &forwards {
+        assert_eq!(f.parent_span_id, roots[0].span_id, "forwards fan out from the parent");
+    }
+    // Every engine hop in the waterfall parents under one of the forwards.
+    let forward_ids: BTreeSet<u64> = forwards.iter().map(|f| f.span_id).collect();
+    let engine_hops = spans_named(&trace, "engine_request");
+    assert!(!engine_hops.is_empty(), "engine hops crossed the wire");
+    for hop in engine_hops {
+        assert!(
+            forward_ids.contains(&hop.parent_span_id),
+            "engine hop with unknown parent: {hop:?}"
+        );
+    }
+}
+
+#[test]
+fn slowest_query_through_router_returns_merged_waterfalls() {
+    let cluster = start_cluster(2);
+    let mut c = client(&cluster);
+    let ctx = fixed_ctx(0xC1_0003);
+    let spec = SolveSpec::seeded(7, 555, SolveMode::Direct);
+    c.call_traced(
+        RequestBody::Solve {
+            spec: spec.spec,
+            mode: spec.mode,
+            deadline_ms: None,
+        },
+        Some(ctx.to_wire()),
+    )
+    .expect("traced solve");
+    // A generous N so concurrent tests in this binary (sharing the global
+    // ring) cannot push our trace out of the answer.
+    let traces = c.trace(None, Some(64)).expect("slowest query");
+    let ours = traces
+        .iter()
+        .find(|t| t.trace_id == format!("{:032x}", ctx.trace_id))
+        .expect("our trace ranked among the slowest");
+    assert!(
+        ours.spans.iter().any(|s| s.node == "router"),
+        "router hop present"
+    );
+    assert!(
+        ours.spans.iter().any(|s| s.node.starts_with('n')),
+        "engine hop present"
+    );
+}
+
+#[test]
+fn federated_exposition_validates_with_node_labels_and_rollups() {
+    let cluster = start_cluster(2);
+    let mut c = client(&cluster);
+    // Produce traffic so engine latency histograms and cache counters are
+    // non-empty; the repeat solves create cache hits for the ratio rollup.
+    for _ in 0..2 {
+        for i in 0..4_usize {
+            let spec = SolveSpec::seeded(5 + i, 9_000 + i as u64, SolveMode::Direct);
+            let resp = c.solve(spec).expect("solve");
+            assert!(matches!(resp.body, ResponseBody::Solve { ref result } if result.is_ok()));
+        }
+    }
+    let text = cluster.router.federator().render();
+    let stats = share_obs::prometheus::validate_exposition(&text)
+        .unwrap_or_else(|e| panic!("federated exposition invalid: {e}\n{text}"));
+    assert!(stats.histograms >= 1, "engine histograms federated");
+
+    // Per-node labels: every engine's families appear under its address;
+    // the router's own under node="router".
+    for server in &cluster.servers {
+        let addr = server.local_addr().to_string();
+        assert!(
+            text.contains(&format!("share_requests_total{{node=\"{addr}\"}}")),
+            "missing engine series for {addr}:\n{text}"
+        );
+        assert!(
+            text.contains(&format!("share_cluster_cache_hit_ratio{{node=\"{addr}\"}}")),
+            "missing hit-ratio rollup for {addr}:\n{text}"
+        );
+    }
+    assert!(
+        text.contains("share_cluster_requests_total{node=\"router\"}"),
+        "{text}"
+    );
+    assert!(text.contains("share_cluster_p99_ms "), "{text}");
+
+    // share_build_info federates from the router and both engines under
+    // one header pair.
+    assert_eq!(
+        text.matches("# TYPE share_build_info gauge\n").count(),
+        1,
+        "{text}"
+    );
+    assert!(
+        text.matches("share_build_info{").count() >= 3,
+        "router + both engines export build info:\n{text}"
+    );
+}

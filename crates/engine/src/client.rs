@@ -29,7 +29,7 @@
 
 use crate::fault::splitmix64;
 use crate::metrics::StatsSnapshot;
-use crate::protocol::{RequestBody, ResponseBody, WireRequest, WireResponse};
+use crate::protocol::{RequestBody, ResponseBody, WireRequest, WireResponse, WireTrace};
 use crate::spec::SolveSpec;
 use share_obs::hist::LogHistogram;
 use share_obs::metrics::{Counter, Registry};
@@ -346,10 +346,23 @@ impl Client {
     /// # Errors
     /// Propagates write I/O errors.
     pub fn send(&mut self, body: RequestBody) -> io::Result<u64> {
+        self.send_traced(body, None)
+    }
+
+    /// [`send`](Self::send) with an optional wire-form trace context
+    /// attached (the cluster router stamps its forward span here).
+    ///
+    /// # Errors
+    /// Propagates write I/O errors.
+    pub fn send_traced(&mut self, body: RequestBody, trace: Option<&str>) -> io::Result<u64> {
         let id = self.next_id;
         self.next_id += 1;
-        let line = serde_json::to_string(&WireRequest { id, body })
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let line = serde_json::to_string(&WireRequest {
+            id,
+            trace: trace.map(str::to_string),
+            body,
+        })
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         writeln!(self.writer, "{line}")?;
         self.writer.flush()?;
         Ok(id)
@@ -380,14 +393,14 @@ impl Client {
     }
 
     /// One send-and-wait attempt, classified for the retry loop.
-    fn attempt(&mut self, body: RequestBody) -> Attempt {
+    fn attempt(&mut self, body: RequestBody, trace: Option<&str>) -> Attempt {
         if self.dead {
             if let Err(e) = self.reconnect() {
                 return Attempt::RetryIo(e);
             }
         }
         let once = (|| -> io::Result<WireResponse> {
-            let id = self.send(body)?;
+            let id = self.send_traced(body, trace)?;
             loop {
                 let resp = self.recv()?;
                 if resp.id == id {
@@ -429,9 +442,23 @@ impl Client {
     /// # Errors
     /// Propagates [`Client::send`] / [`Client::recv`] errors.
     pub fn call(&mut self, body: RequestBody) -> io::Result<WireResponse> {
+        self.call_traced(body, None)
+    }
+
+    /// [`call`](Self::call) with an optional wire-form trace context: every
+    /// attempt (including retries) carries it, so the serving hop always
+    /// links back to the caller's span.
+    ///
+    /// # Errors
+    /// Propagates [`Client::send`] / [`Client::recv`] errors.
+    pub fn call_traced(
+        &mut self,
+        body: RequestBody,
+        trace: Option<String>,
+    ) -> io::Result<WireResponse> {
         self.stats.requests += 1;
         let Some(policy) = self.config.retry.clone() else {
-            return match self.attempt(body) {
+            return match self.attempt(body, trace.as_deref()) {
                 Attempt::Done(r) => r,
                 Attempt::RetryWire(resp, _) => Ok(resp),
                 Attempt::RetryIo(e) => Err(e),
@@ -439,7 +466,7 @@ impl Client {
         };
         let mut attempt_no = 0u32;
         loop {
-            let outcome = self.attempt(body.clone());
+            let outcome = self.attempt(body.clone(), trace.as_deref());
             let (last_result, hint) = match outcome {
                 Attempt::Done(r) => return r,
                 Attempt::RetryWire(resp, hint) => (Ok(resp), hint),
@@ -499,6 +526,26 @@ impl Client {
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("expected metrics response, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetch kept traces from the server's tail-sampled ring: the trace
+    /// named by `trace_id` (32 hex digits), and/or the `slowest` slowest.
+    ///
+    /// # Errors
+    /// `InvalidData` when the server answers with anything but traces
+    /// (e.g. a pre-tracing server that doesn't know the request kind).
+    pub fn trace(
+        &mut self,
+        trace_id: Option<String>,
+        slowest: Option<usize>,
+    ) -> io::Result<Vec<WireTrace>> {
+        match self.call(RequestBody::Trace { trace_id, slowest })?.body {
+            ResponseBody::Trace { traces } => Ok(traces),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected trace response, got {other:?}"),
             )),
         }
     }

@@ -14,7 +14,9 @@
 //! accepts bytes, so a slow-reading peer never blocks the reactor thread.
 
 use crate::engine::{Engine, ReplySink};
-use crate::protocol::{encode_response, parse_request, RequestBody, ResponseBody, WireResponse};
+use crate::protocol::{
+    encode_response, local_trace_response, parse_request, RequestBody, ResponseBody, WireResponse,
+};
 use crate::reactor::{BatchSink, Routed, RoutedSink, Waker};
 use crate::spec::SolveSpec;
 use crossbeam::channel::Sender;
@@ -224,8 +226,12 @@ impl Conn {
                         mode,
                         deadline_ms,
                     };
+                    let trace = req
+                        .trace
+                        .as_deref()
+                        .and_then(share_obs::TraceContext::from_wire);
                     self.inflight += 1;
-                    ctx.engine.submit_sink(
+                    ctx.engine.submit_sink_traced(
                         req.id,
                         &solve,
                         ReplySink::Routed(RoutedSink {
@@ -233,12 +239,14 @@ impl Conn {
                             tx: ctx.routed_tx.clone(),
                             waker: Arc::clone(ctx.waker),
                         }),
+                        trace,
                     );
                 }
                 RequestBody::Batch { requests } => {
                     if requests.is_empty() {
                         self.queue_response(&WireResponse {
                             id: req.id,
+                            trace: req.trace.clone(),
                             body: ResponseBody::Batch {
                                 results: Vec::new(),
                             },
@@ -249,19 +257,25 @@ impl Conn {
                         // complete and emits the aggregate response when
                         // the last one lands. Sub-request ids are their
                         // positions, as on the legacy path.
+                        let trace = req
+                            .trace
+                            .as_deref()
+                            .and_then(share_obs::TraceContext::from_wire);
                         self.inflight += 1;
                         let sink = BatchSink::new(
                             self.token,
                             req.id,
                             requests.len(),
+                            req.trace.clone(),
                             ctx.routed_tx.clone(),
                             Arc::clone(ctx.waker),
                         );
                         for (i, spec) in requests.iter().enumerate() {
-                            ctx.engine.submit_sink(
+                            ctx.engine.submit_sink_traced(
                                 i as u64,
                                 spec,
                                 ReplySink::Batch(Arc::clone(&sink)),
+                                trace,
                             );
                         }
                     }
@@ -269,6 +283,7 @@ impl Conn {
                 RequestBody::Stats => {
                     self.queue_response(&WireResponse {
                         id: req.id,
+                        trace: req.trace.clone(),
                         body: ResponseBody::Stats {
                             stats: ctx.engine.stats(),
                         },
@@ -277,6 +292,7 @@ impl Conn {
                 RequestBody::Metrics => {
                     self.queue_response(&WireResponse {
                         id: req.id,
+                        trace: req.trace.clone(),
                         body: ResponseBody::Metrics {
                             text: ctx.engine.render_prometheus(),
                         },
@@ -285,16 +301,25 @@ impl Conn {
                 RequestBody::Ping => {
                     self.queue_response(&WireResponse {
                         id: req.id,
+                        trace: req.trace.clone(),
                         body: ResponseBody::Pong,
                     });
                 }
                 RequestBody::NodeInfo => {
                     self.queue_response(&WireResponse {
                         id: req.id,
+                        trace: req.trace.clone(),
                         body: ResponseBody::NodeInfo {
                             info: ctx.engine.node_info(),
                         },
                     });
+                }
+                RequestBody::Trace { trace_id, slowest } => {
+                    self.queue_response(&local_trace_response(
+                        req.id,
+                        trace_id.as_deref(),
+                        slowest,
+                    ));
                 }
                 RequestBody::Snapshot => {
                     // The write runs inline on the reactor thread: snapshot
@@ -303,6 +328,7 @@ impl Conn {
                     let resp = match ctx.engine.write_snapshot() {
                         Ok(entries) => WireResponse {
                             id: req.id,
+                            trace: req.trace.clone(),
                             body: ResponseBody::Snapshot { entries },
                         },
                         Err(e) => WireResponse::from_error(
@@ -315,6 +341,7 @@ impl Conn {
                 RequestBody::Shutdown => {
                     self.queue_response(&WireResponse {
                         id: req.id,
+                        trace: req.trace.clone(),
                         body: ResponseBody::Shutdown,
                     });
                     self.read_closed = true;

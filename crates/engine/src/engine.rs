@@ -247,6 +247,9 @@ pub struct NodeInfo {
 pub struct Reply {
     /// The id the request was submitted under.
     pub id: u64,
+    /// Wire-form trace context of the engine hop that served this request
+    /// (echoed on the NDJSON response); `None` for untraced requests.
+    pub trace: Option<String>,
     /// The outcome.
     pub result: Result<SolveSummary>,
 }
@@ -288,6 +291,9 @@ pub(crate) struct Waiter {
     pub(crate) deadline: Option<Instant>,
     pub(crate) enqueued: Instant,
     pub(crate) tx: ReplySink,
+    /// Open engine-hop span for traced requests; finished (and run through
+    /// the tail sampler) when the reply is delivered.
+    pub(crate) trace: Option<share_obs::HopSpan>,
 }
 
 /// A queued unit of solver work.
@@ -297,6 +303,9 @@ pub(crate) struct Job {
     pub(crate) mode: SolveMode,
     /// When the job entered the queue; workers observe the queue wait.
     pub(crate) enqueued_at: Instant,
+    /// Hop-root context of the first traced waiter; workers record their
+    /// `queue_wait`/`solve` child spans under it.
+    pub(crate) trace: Option<share_obs::TraceContext>,
 }
 
 /// State shared between the submission path and the workers.
@@ -320,11 +329,37 @@ impl Shared {
         (self.config.resilience.shed_retry_after_ms * (1 + depth / workers)).min(10_000)
     }
 
-    /// Deliver a reply to one waiter, recording its service latency.
+    /// Deliver a reply to one waiter, recording its service latency. For
+    /// traced requests this also finishes the engine-hop span — the reply
+    /// outcome (cache hit, degradation, error code) rides as annotations,
+    /// the tail sampler decides whether the trace is kept, and the hop's
+    /// wire context is echoed on the reply.
     pub(crate) fn reply(&self, waiter: &Waiter, result: Result<SolveSummary>) {
         self.metrics.record_latency(waiter.enqueued.elapsed());
+        let trace = waiter.trace.as_ref().map(|hop| {
+            let mut extra: Vec<(String, String)> = Vec::new();
+            match &result {
+                Ok(summary) => {
+                    if summary.cached {
+                        extra.push(("cache".to_string(), "hit".to_string()));
+                    }
+                    if let Some(d) = &summary.degraded {
+                        let reason = match d.reason {
+                            DegradeReason::SolverError => "solver_error",
+                            DegradeReason::Shed => "shed",
+                            DegradeReason::TimeBudget => "time_budget",
+                        };
+                        extra.push(("degraded".to_string(), reason.to_string()));
+                    }
+                }
+                Err(e) => extra.push(("error".to_string(), e.code().to_string())),
+            }
+            hop.finish(extra);
+            hop.ctx.to_wire()
+        });
         waiter.tx.send(Reply {
             id: waiter.id,
+            trace,
             result,
         });
     }
@@ -482,21 +517,55 @@ impl Engine {
         self.submit_sink(id, spec, ReplySink::Channel(reply_tx.clone()));
     }
 
+    /// [`submit`](Self::submit) carrying an adopted trace context: the
+    /// engine opens an `engine_request` hop span under the caller's span
+    /// and the reply echoes the hop's wire context.
+    pub(crate) fn submit_traced(
+        &self,
+        id: u64,
+        spec: &SolveSpec,
+        reply_tx: &Sender<Reply>,
+        trace: Option<share_obs::TraceContext>,
+    ) {
+        self.submit_sink_traced(id, spec, ReplySink::Channel(reply_tx.clone()), trace);
+    }
+
     /// [`submit`](Self::submit) with an arbitrary reply destination: the
     /// event-loop server routes replies straight onto reactor connections
     /// and batch sinks through here. The exactly-one-reply contract is
     /// identical.
     pub(crate) fn submit_sink(&self, id: u64, spec: &SolveSpec, sink: ReplySink) {
+        self.submit_sink_traced(id, spec, sink, None);
+    }
+
+    /// The full submission path. `trace`, when present, is the upstream
+    /// caller's context (router forward span or client root); the engine
+    /// hop is opened under it and finished when the reply is delivered.
+    pub(crate) fn submit_sink_traced(
+        &self,
+        id: u64,
+        spec: &SolveSpec,
+        sink: ReplySink,
+        trace: Option<share_obs::TraceContext>,
+    ) {
         let enqueued = Instant::now();
         let shared = &self.shared;
         shared.metrics.inc_requests();
-        let waiter = Waiter {
+        let hop = trace.map(|ctx| {
+            share_obs::HopSpan::adopt(
+                ctx,
+                "engine_request",
+                shared.config.node_id.as_deref().unwrap_or("engine"),
+            )
+        });
+        let mut waiter = Waiter {
             id,
             deadline: spec
                 .deadline_ms
                 .map(|ms| enqueued + Duration::from_millis(ms)),
             enqueued,
             tx: sink,
+            trace: hop,
         };
         if shared.closed.load(Ordering::SeqCst) {
             shared.reply(&waiter, Err(EngineError::ShuttingDown));
@@ -529,6 +598,7 @@ impl Engine {
         }
         shared.metrics.inc_cache_misses();
 
+        let job_trace;
         {
             let mut inflight = shared.inflight.lock();
             if let Some(waiters) = inflight.get_mut(&key) {
@@ -539,6 +609,9 @@ impl Engine {
                     "id" => id,
                     "waiters" => waiters.len() + 1
                 );
+                if let Some(hop) = waiter.trace.as_mut() {
+                    hop.annotate("dedup", "joined");
+                }
                 waiters.push(waiter);
                 return;
             }
@@ -557,10 +630,16 @@ impl Engine {
                         "id" => id,
                         "retry_after_ms" => retry_after_ms
                     );
+                    if let Some(hop) = waiter.trace.as_mut() {
+                        hop.annotate("shed", "true");
+                    }
                     shared.reply(&waiter, Err(EngineError::Overloaded { retry_after_ms }));
                     return;
                 }
             }
+            // The first waiter's hop context travels with the job so the
+            // worker can attach its `queue_wait`/`solve` child spans.
+            job_trace = waiter.trace.as_ref().map(|h| h.ctx);
             inflight.insert(key.clone(), vec![waiter]);
         }
 
@@ -572,12 +651,14 @@ impl Engine {
                     params,
                     mode: spec.mode,
                     enqueued_at: Instant::now(),
+                    trace: job_trace,
                 }),
                 None => Err(TrySendError::Disconnected(Job {
                     key: key.clone(),
                     params,
                     mode: spec.mode,
                     enqueued_at: Instant::now(),
+                    trace: job_trace,
                 })),
             }
         };
@@ -623,12 +704,23 @@ impl Engine {
     /// rejects the overflow with [`EngineError::Overloaded`] rather than
     /// stalling the rest of the batch.
     pub fn solve_batch(&self, specs: &[SolveSpec]) -> Vec<Result<SolveSummary>> {
+        self.solve_batch_traced(specs, None)
+    }
+
+    /// [`solve_batch`](Self::solve_batch) under an adopted trace context:
+    /// every sub-request opens its own `engine_request` hop span as a child
+    /// of the caller's span.
+    pub(crate) fn solve_batch_traced(
+        &self,
+        specs: &[SolveSpec],
+        trace: Option<share_obs::TraceContext>,
+    ) -> Vec<Result<SolveSummary>> {
         if specs.is_empty() {
             return Vec::new();
         }
         let (tx, rx) = bounded::<Reply>(specs.len());
         for (i, spec) in specs.iter().enumerate() {
-            self.submit(i as u64, spec, &tx);
+            self.submit_traced(i as u64, spec, &tx, trace);
         }
         drop(tx);
         // Replies arrive in completion order; slot them back by id. The

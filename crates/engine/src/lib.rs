@@ -72,7 +72,7 @@ pub use engine::{
 pub use error::{EngineError, Result};
 pub use fault::{FaultPlan, FaultSite};
 pub use metrics::{Metrics, StatsSnapshot};
-pub use protocol::{RequestBody, ResponseBody, WireRequest, WireResponse};
+pub use protocol::{RequestBody, ResponseBody, WireRequest, WireResponse, WireSpan, WireTrace};
 pub use quantize::{quantize, CacheKey, QuantizerConfig};
 pub use server::{
     default_reactors, serve_metrics, serve_stdio, serve_tcp, serve_tcp_with, MetricsServer,

@@ -191,6 +191,20 @@ impl Metrics {
             "Reactor event-loop wakeups delivered through the self-pipe.",
         );
 
+        // Build identity: always 1; the interesting data is in the labels.
+        // The git sha comes from the SHARE_GIT_SHA env var at compile time
+        // (CI exports it), "unknown" on plain local builds.
+        registry
+            .gauge_with(
+                "share_build_info",
+                "Build identity of this process (value is always 1).",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("git_sha", option_env!("SHARE_GIT_SHA").unwrap_or("unknown")),
+                ],
+            )
+            .set(1.0);
+
         let service_latency = registry.histogram(
             "share_request_latency_seconds",
             "End-to-end service latency, submission to reply.",

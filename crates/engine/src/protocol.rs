@@ -28,6 +28,12 @@ pub struct WireRequest {
     /// Client-chosen correlation id (echoed on the response).
     #[serde(default)]
     pub id: u64,
+    /// Optional distributed-tracing context in
+    /// [`share_obs::TraceContext`] wire form
+    /// (`<trace_id>-<span_id>-<flags>`, hex). Absent → the request is
+    /// untraced at this hop (routers mint a fresh context).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<String>,
     /// The request payload, tagged by `kind`.
     #[serde(flatten)]
     pub body: RequestBody,
@@ -65,6 +71,18 @@ pub enum RequestBody {
     /// Ask the engine to write its warm-cache snapshot to the configured
     /// path now (normally written automatically on graceful shutdown).
     Snapshot,
+    /// Fetch kept traces from the tail-sampled trace ring: one by id, or
+    /// the N slowest. Routers merge their own spans with every healthy
+    /// peer's, so one request returns the cross-node waterfall.
+    Trace {
+        /// A 32-hex-digit trace id to fetch.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace_id: Option<String>,
+        /// Return the N slowest kept traces instead (by hop-root
+        /// duration, descending). Ignored when `trace_id` is set.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        slowest: Option<usize>,
+    },
     /// Ask the server to shut down gracefully.
     Shutdown,
 }
@@ -74,6 +92,11 @@ pub enum RequestBody {
 pub struct WireResponse {
     /// Correlation id echoed from the request.
     pub id: u64,
+    /// Echo of the trace context this hop recorded under (wire form),
+    /// so callers learn the trace id of router-minted traces. Absent on
+    /// untraced requests.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<String>,
     /// The response payload, tagged by `kind`.
     #[serde(flatten)]
     pub body: ResponseBody,
@@ -116,6 +139,12 @@ pub enum ResponseBody {
         /// Cache entries written (0 when no snapshot path is configured).
         entries: usize,
     },
+    /// Kept traces from the tail-sampled ring.
+    Trace {
+        /// The matching traces (empty when the id was dropped by the
+        /// sampler or aged out).
+        traces: Vec<WireTrace>,
+    },
     /// Acknowledgement of a shutdown request.
     Shutdown,
     /// A structured error.
@@ -131,11 +160,97 @@ pub enum ResponseBody {
     },
 }
 
+/// One trace on the wire: its id (hex) and every span any queried node
+/// kept for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireTrace {
+    /// 32-hex-digit trace id.
+    pub trace_id: String,
+    /// The kept spans, in recording order per node.
+    pub spans: Vec<WireSpan>,
+}
+
+/// Serde mirror of [`share_obs::SpanRecord`] (span ids are u64 — fine as
+/// JSON numbers — but the 128-bit trace id rides as hex on [`WireTrace`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireSpan {
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id (0 = trace root).
+    pub parent_span_id: u64,
+    /// Span name (`router_recv`, `engine_request`, `solve`, …).
+    pub name: String,
+    /// Node that recorded the span.
+    pub node: String,
+    /// Monotonic-anchored unix microseconds at span start.
+    pub start_us: u64,
+    /// Duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Cache/degrade/shed/stage annotations.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub annotations: Vec<(String, String)>,
+}
+
+impl WireSpan {
+    /// Convert a locally recorded span to its wire form.
+    pub fn from_record(rec: &share_obs::SpanRecord) -> Self {
+        WireSpan {
+            span_id: rec.span_id,
+            parent_span_id: rec.parent_span_id,
+            name: rec.name.clone(),
+            node: rec.node.clone(),
+            start_us: rec.start_us,
+            duration_ns: rec.duration_ns,
+            annotations: rec.annotations.clone(),
+        }
+    }
+}
+
+impl WireTrace {
+    /// Build the wire form of one kept trace.
+    pub fn from_spans(trace_id: u128, spans: &[share_obs::SpanRecord]) -> Self {
+        WireTrace {
+            trace_id: share_obs::trace::format_trace_id(trace_id),
+            spans: spans.iter().map(WireSpan::from_record).collect(),
+        }
+    }
+}
+
+/// Answer a `trace` request from this process's kept-trace ring: the trace
+/// named by `trace_id` (if kept), plus the `slowest_n` slowest kept traces.
+/// Both servers and the cluster router use this for their local spans.
+pub(crate) fn local_trace_response(
+    id: u64,
+    trace_id: Option<&str>,
+    slowest_n: Option<usize>,
+) -> WireResponse {
+    let mut traces = Vec::new();
+    if let Some(tid) = trace_id.and_then(share_obs::trace::parse_trace_id) {
+        if let Some(spans) = share_obs::trace::get_trace(tid) {
+            traces.push(WireTrace::from_spans(tid, &spans));
+        }
+    }
+    if let Some(n) = slowest_n {
+        for (tid, spans) in share_obs::trace::slowest(n) {
+            let hex = share_obs::trace::format_trace_id(tid);
+            if !traces.iter().any(|t: &WireTrace| t.trace_id == hex) {
+                traces.push(WireTrace::from_spans(tid, &spans));
+            }
+        }
+    }
+    WireResponse {
+        id,
+        trace: None,
+        body: ResponseBody::Trace { traces },
+    }
+}
+
 impl WireResponse {
     /// Build the wire form of an engine error.
     pub fn from_error(id: u64, error: &EngineError) -> Self {
         Self {
             id,
+            trace: None,
             body: ResponseBody::Error {
                 code: error.code().to_string(),
                 message: error.to_string(),
@@ -144,15 +259,19 @@ impl WireResponse {
         }
     }
 
-    /// Build the wire form of an engine reply.
+    /// Build the wire form of an engine reply, echoing its trace context.
     pub fn from_reply(reply: Reply) -> Self {
-        match reply.result {
+        let trace = reply.trace;
+        let mut resp = match reply.result {
             Ok(result) => Self {
                 id: reply.id,
+                trace: None,
                 body: ResponseBody::Solve { result },
             },
             Err(e) => Self::from_error(reply.id, &e),
-        }
+        };
+        resp.trace = trace;
+        resp
     }
 
     /// `true` unless this is an error response.
@@ -269,6 +388,7 @@ mod tests {
     fn node_info_response_roundtrip() {
         let resp = WireResponse {
             id: 4,
+            trace: None,
             body: ResponseBody::NodeInfo {
                 info: NodeInfo {
                     node_id: "n1".to_string(),
@@ -284,6 +404,117 @@ mod tests {
         assert!(line.contains(r#""kind":"node_info""#), "{line}");
         let back: WireResponse = serde_json::from_str(&line).unwrap();
         assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn trace_field_roundtrips_and_stays_off_the_wire_when_absent() {
+        // Untraced requests/replies must serialize byte-identically to
+        // the pre-tracing protocol.
+        let req = parse_request(r#"{"kind":"ping","id":1}"#).unwrap();
+        assert_eq!(req.trace, None);
+        assert!(!serde_json::to_string(&req).unwrap().contains("trace"));
+        let resp = WireResponse {
+            id: 1,
+            trace: None,
+            body: ResponseBody::Pong,
+        };
+        assert!(!encode_response(&resp).contains("trace"));
+
+        let ctx = share_obs::TraceContext {
+            trace_id: 0xabcd,
+            span_id: 7,
+            sampled: true,
+        };
+        let line = format!(
+            r#"{{"kind":"solve","id":2,"trace":"{}","spec":{{"m":5,"seed":1}}}}"#,
+            ctx.to_wire()
+        );
+        let req = parse_request(&line).unwrap();
+        assert_eq!(
+            req.trace.as_deref().and_then(share_obs::TraceContext::from_wire),
+            Some(ctx)
+        );
+        let encoded = serde_json::to_string(&req).unwrap();
+        assert_eq!(parse_request(&encoded).unwrap(), req);
+    }
+
+    #[test]
+    fn trace_kind_roundtrip() {
+        let req = parse_request(r#"{"kind":"trace","id":3,"slowest":2}"#).unwrap();
+        assert_eq!(
+            req.body,
+            RequestBody::Trace {
+                trace_id: None,
+                slowest: Some(2)
+            }
+        );
+        let by_id = parse_request(&format!(
+            r#"{{"kind":"trace","trace_id":"{}"}}"#,
+            share_obs::trace::format_trace_id(0xfeed)
+        ))
+        .unwrap();
+        match &by_id.body {
+            RequestBody::Trace { trace_id, slowest } => {
+                assert_eq!(
+                    trace_id.as_deref().and_then(share_obs::trace::parse_trace_id),
+                    Some(0xfeed)
+                );
+                assert_eq!(*slowest, None);
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+
+        let rec = share_obs::SpanRecord {
+            trace_id: 0xfeed,
+            span_id: 11,
+            parent_span_id: 0,
+            name: "router_recv".into(),
+            node: "router".into(),
+            start_us: 1_000,
+            duration_ns: 2_000_000,
+            annotations: vec![("cache".into(), "hit".into())],
+        };
+        let resp = WireResponse {
+            id: 3,
+            trace: None,
+            body: ResponseBody::Trace {
+                traces: vec![WireTrace::from_spans(0xfeed, &[rec])],
+            },
+        };
+        let line = encode_response(&resp);
+        assert!(line.contains(r#""kind":"trace""#), "{line}");
+        let back: WireResponse = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
+        match back.body {
+            ResponseBody::Trace { traces } => {
+                assert_eq!(traces[0].spans[0].name, "router_recv");
+                assert_eq!(
+                    traces[0].spans[0].annotations,
+                    vec![("cache".to_string(), "hit".to_string())]
+                );
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reply_trace_echo_survives_both_result_arms() {
+        let wire = share_obs::TraceContext {
+            trace_id: 1,
+            span_id: 2,
+            sampled: false,
+        }
+        .to_wire();
+        let err_reply = Reply {
+            id: 5,
+            trace: Some(wire.clone()),
+            result: Err(EngineError::WorkerPanic("boom".into())),
+        };
+        let resp = WireResponse::from_reply(err_reply);
+        assert_eq!(resp.trace, Some(wire.clone()));
+        assert!(!resp.is_ok());
+        let line = encode_response(&resp);
+        assert!(line.contains(&format!(r#""trace":"{wire}""#)), "{line}");
     }
 
     #[test]

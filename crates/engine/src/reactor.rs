@@ -30,8 +30,8 @@
 //! guarantees a pending wakeup.
 
 use crate::conn::{Conn, ConnCtx};
-use crate::engine::{Engine, Reply, SolveSummary};
-use crate::error::{EngineError, Result};
+use crate::engine::{Engine, Reply};
+use crate::error::EngineError;
 use crate::protocol::{ResponseBody, WireResponse};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -504,7 +504,10 @@ pub(crate) struct BatchSink {
     token: u64,
     /// The outer request id the combined response answers.
     batch_id: u64,
-    slots: Mutex<Vec<Option<Result<SolveSummary>>>>,
+    /// Wire-form trace of the batch request, echoed on the combined
+    /// response (sub-replies keep their own per-item engine-hop traces).
+    trace: Option<String>,
+    slots: Mutex<Vec<Option<Reply>>>,
     remaining: AtomicUsize,
     tx: Sender<Routed>,
     waker: Arc<Waker>,
@@ -515,13 +518,15 @@ impl BatchSink {
         token: u64,
         batch_id: u64,
         len: usize,
+        trace: Option<String>,
         tx: Sender<Routed>,
         waker: Arc<Waker>,
     ) -> Arc<Self> {
         Arc::new(Self {
             token,
             batch_id,
-            slots: Mutex::new(vec![None; len]),
+            trace,
+            slots: Mutex::new(std::iter::repeat_with(|| None).take(len).collect()),
             remaining: AtomicUsize::new(len),
             tx,
             waker,
@@ -529,14 +534,15 @@ impl BatchSink {
     }
 
     pub(crate) fn send(&self, reply: Reply) {
+        let slot_idx = reply.id as usize;
         let filled = {
             let mut slots = self.slots.lock();
-            match slots.get_mut(reply.id as usize) {
+            match slots.get_mut(slot_idx) {
                 // The engine's exactly-one-reply contract makes a double
                 // fill impossible; guard anyway so a violation cannot
                 // underflow `remaining` and emit a half-empty batch.
                 Some(slot) if slot.is_none() => {
-                    *slot = Some(reply.result);
+                    *slot = Some(reply);
                     true
                 }
                 _ => false,
@@ -549,16 +555,18 @@ impl BatchSink {
                 .iter_mut()
                 .enumerate()
                 .map(|(i, slot)| {
-                    WireResponse::from_reply(Reply {
+                    WireResponse::from_reply(slot.take().unwrap_or(Reply {
                         id: i as u64,
-                        result: slot.take().unwrap_or(Err(EngineError::ShuttingDown)),
-                    })
+                        trace: None,
+                        result: Err(EngineError::ShuttingDown),
+                    }))
                 })
                 .collect();
             let _ = self.tx.send((
                 self.token,
                 WireResponse {
                     id: self.batch_id,
+                    trace: self.trace.clone(),
                     body: ResponseBody::Batch { results },
                 },
             ));

@@ -26,7 +26,9 @@
 //! at it directly without speaking NDJSON.
 
 use crate::engine::{Engine, Reply};
-use crate::protocol::{encode_response, parse_request, RequestBody, ResponseBody, WireResponse};
+use crate::protocol::{
+    encode_response, local_trace_response, parse_request, RequestBody, ResponseBody, WireResponse,
+};
 #[cfg(unix)]
 use crate::reactor::ReactorPool;
 use crate::spec::SolveSpec;
@@ -50,6 +52,7 @@ fn handle_batch(
     engine: &Arc<Engine>,
     id: u64,
     requests: Vec<SolveSpec>,
+    trace: Option<String>,
     resp_tx: &Sender<WireResponse>,
 ) {
     let engine = Arc::clone(engine);
@@ -61,19 +64,24 @@ fn handle_batch(
     let spawned = thread::Builder::new()
         .name("share-engine-batch".to_string())
         .spawn(move || {
+            let ctx = trace
+                .as_deref()
+                .and_then(share_obs::TraceContext::from_wire);
             let results: Vec<WireResponse> = engine
-                .solve_batch(&requests)
+                .solve_batch_traced(&requests, ctx)
                 .into_iter()
                 .enumerate()
                 .map(|(i, result)| {
                     WireResponse::from_reply(Reply {
                         id: i as u64,
+                        trace: None,
                         result,
                     })
                 })
                 .collect();
             let _ = batch_tx.send(WireResponse {
                 id,
+                trace,
                 body: ResponseBody::Batch { results },
             });
         });
@@ -140,14 +148,19 @@ fn serve_connection<R: BufRead>(
                         mode,
                         deadline_ms,
                     };
-                    engine.submit(req.id, &solve, &reply_tx);
+                    let trace = req
+                        .trace
+                        .as_deref()
+                        .and_then(share_obs::TraceContext::from_wire);
+                    engine.submit_traced(req.id, &solve, &reply_tx, trace);
                 }
                 RequestBody::Batch { requests } => {
-                    handle_batch(engine, req.id, requests, resp_tx);
+                    handle_batch(engine, req.id, requests, req.trace, resp_tx);
                 }
                 RequestBody::Stats => {
                     let _ = resp_tx.send(WireResponse {
                         id: req.id,
+                        trace: req.trace,
                         body: ResponseBody::Stats {
                             stats: engine.stats(),
                         },
@@ -156,6 +169,7 @@ fn serve_connection<R: BufRead>(
                 RequestBody::Metrics => {
                     let _ = resp_tx.send(WireResponse {
                         id: req.id,
+                        trace: req.trace,
                         body: ResponseBody::Metrics {
                             text: engine.render_prometheus(),
                         },
@@ -164,21 +178,31 @@ fn serve_connection<R: BufRead>(
                 RequestBody::Ping => {
                     let _ = resp_tx.send(WireResponse {
                         id: req.id,
+                        trace: req.trace,
                         body: ResponseBody::Pong,
                     });
                 }
                 RequestBody::NodeInfo => {
                     let _ = resp_tx.send(WireResponse {
                         id: req.id,
+                        trace: req.trace,
                         body: ResponseBody::NodeInfo {
                             info: engine.node_info(),
                         },
                     });
                 }
+                RequestBody::Trace { trace_id, slowest } => {
+                    let _ = resp_tx.send(local_trace_response(
+                        req.id,
+                        trace_id.as_deref(),
+                        slowest,
+                    ));
+                }
                 RequestBody::Snapshot => {
                     let resp = match engine.write_snapshot() {
                         Ok(entries) => WireResponse {
                             id: req.id,
+                            trace: req.trace,
                             body: ResponseBody::Snapshot { entries },
                         },
                         Err(e) => WireResponse::from_error(
@@ -191,6 +215,7 @@ fn serve_connection<R: BufRead>(
                 RequestBody::Shutdown => {
                     let _ = resp_tx.send(WireResponse {
                         id: req.id,
+                        trace: req.trace,
                         body: ResponseBody::Shutdown,
                     });
                     wants_shutdown = true;

@@ -39,6 +39,36 @@ use std::time::{Duration, Instant};
 /// Tracing target of the worker lifecycle events.
 const TARGET: &str = "share_engine::worker";
 
+/// Record one child span of a traced job's engine hop (`ctx` is the hop
+/// root the submission path stored on the [`Job`]). The span is buffered
+/// in the trace ring's pending set; it survives only if the hop root is
+/// kept by the tail sampler.
+fn record_trace_child(
+    trace: Option<&obs::TraceContext>,
+    shared: &Shared,
+    name: &str,
+    start: Instant,
+    duration: Duration,
+    annotations: Vec<(String, String)>,
+) {
+    let Some(ctx) = trace else { return };
+    let child = ctx.child();
+    obs::trace::record_span(obs::SpanRecord {
+        trace_id: ctx.trace_id,
+        span_id: child.span_id,
+        parent_span_id: ctx.span_id,
+        name: name.to_string(),
+        node: shared
+            .config
+            .node_id
+            .clone()
+            .unwrap_or_else(|| "engine".to_string()),
+        start_us: obs::trace::anchored_us(start),
+        duration_ns: duration.as_nanos().min(u64::MAX as u128) as u64,
+        annotations,
+    });
+}
+
 /// Best-effort text of a caught panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -57,6 +87,7 @@ fn run_primary(
     shared: &Shared,
     params: &MarketParams,
     mode: SolveMode,
+    trace: Option<&obs::TraceContext>,
 ) -> std::result::Result<Result<SolveSummary>, String> {
     let mut sp = obs::span(Level::Debug, TARGET, "solve");
     sp.record("m", params.m() as u64);
@@ -109,6 +140,19 @@ fn run_primary(
     };
     Ok(solver_result.map(|(sol, timings)| {
         shared.metrics.record_stage_timings(&timings);
+        record_trace_child(
+            trace,
+            shared,
+            "solve",
+            t0,
+            elapsed,
+            vec![
+                ("mode".to_string(), mode.as_str().to_string()),
+                ("stage1_ns".to_string(), timings.stage1_ns.to_string()),
+                ("stage2_ns".to_string(), timings.stage2_ns.to_string()),
+                ("stage3_ns".to_string(), timings.stage3_ns.to_string()),
+            ],
+        );
         let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
         sp.record("solve_micros", micros);
         sp.finish();
@@ -133,6 +177,7 @@ fn degrade_to_mean_field(
     shared: &Shared,
     params: &MarketParams,
     reason: DegradeReason,
+    trace: Option<&obs::TraceContext>,
 ) -> Result<SolveSummary> {
     shared.metrics.inflight_inc();
     let t0 = Instant::now();
@@ -144,6 +189,17 @@ fn degrade_to_mean_field(
         .record_solve_latency(SolveMode::MeanField, elapsed);
     let (sol, timings) = outcome.map_err(|e| EngineError::Solver(e.to_string()))?;
     shared.metrics.record_stage_timings(&timings);
+    record_trace_child(
+        trace,
+        shared,
+        "solve",
+        t0,
+        elapsed,
+        vec![
+            ("mode".to_string(), "mean_field".to_string()),
+            ("degraded".to_string(), format!("{reason:?}")),
+        ],
+    );
     let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
     let mut summary = SolveSummary::from_solution(&sol, micros);
     let (bound_lower, bound_upper) = theorem51_bounds(summary.m.max(1));
@@ -180,19 +236,23 @@ fn solve_job(shared: &Shared, job: &Job) -> (Result<SolveSummary>, bool) {
                     .map(|_| DegradeReason::TimeBudget)
             });
         if let Some(reason) = proactive {
-            if let Ok(summary) = degrade_to_mean_field(shared, &job.params, reason) {
+            if let Ok(summary) = degrade_to_mean_field(shared, &job.params, reason, job.trace.as_ref())
+            {
                 return (Ok(summary), false);
             }
         }
     }
-    match run_primary(shared, &job.params, job.mode) {
+    match run_primary(shared, &job.params, job.mode, job.trace.as_ref()) {
         Err(panic_msg) => (Err(EngineError::WorkerPanic(panic_msg)), true),
         Ok(Ok(summary)) => (Ok(summary), false),
         Ok(Err(primary_err)) => {
             if job.mode != SolveMode::MeanField && resilience.degrade_on_error {
-                if let Ok(summary) =
-                    degrade_to_mean_field(shared, &job.params, DegradeReason::SolverError)
-                {
+                if let Ok(summary) = degrade_to_mean_field(
+                    shared,
+                    &job.params,
+                    DegradeReason::SolverError,
+                    job.trace.as_ref(),
+                ) {
                     return (Ok(summary), false);
                 }
             }
@@ -220,6 +280,15 @@ fn expire(shared: &Shared, expired: &[Waiter]) {
 /// the worker must exit for respawn (the waiters have already been
 /// answered and the dedup slot released by then).
 fn process(shared: &Shared, job: Job) -> bool {
+    // The queue wait is over the moment a worker picks the job up.
+    record_trace_child(
+        job.trace.as_ref(),
+        shared,
+        "queue_wait",
+        job.enqueued_at,
+        job.enqueued_at.elapsed(),
+        Vec::new(),
+    );
     // Deadline pre-check: requests that already expired get a structured
     // error now; if nobody is left waiting, skip the solve entirely.
     let now = Instant::now();

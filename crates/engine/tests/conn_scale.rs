@@ -91,6 +91,7 @@ fn connect_with_retry(addr: SocketAddr) -> TcpStream {
 fn solve_line(id: u64, m: usize, seed: u64) -> String {
     let req = WireRequest {
         id,
+        trace: None,
         body: RequestBody::Solve {
             spec: MarketSpec::Seeded {
                 m,
@@ -108,6 +109,7 @@ fn solve_line(id: u64, m: usize, seed: u64) -> String {
 fn batch_line(id: u64, seeds: &[u64]) -> String {
     let req = WireRequest {
         id,
+        trace: None,
         body: RequestBody::Batch {
             requests: seeds
                 .iter()

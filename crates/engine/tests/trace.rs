@@ -1,0 +1,172 @@
+//! Distributed-tracing integration tests against a live TCP engine: wire
+//! propagation of the trace context, per-hop span recording, outcome
+//! annotations, and the `trace` wire kind.
+
+use share_engine::{serve_tcp, Client, ClientConfig, Engine, EngineConfig, RequestBody};
+use share_engine::{ResponseBody, SolveMode, SolveSpec, WireTrace};
+use share_obs::TraceContext;
+use std::sync::Arc;
+
+fn start_node(node_id: &str) -> (Arc<Engine>, share_engine::TcpServer) {
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 2,
+        node_id: Some(node_id.to_string()),
+        ..EngineConfig::default()
+    }));
+    let server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0").expect("bind node");
+    (engine, server)
+}
+
+/// A head-sampled context with a fixed trace id: every hop keeps it, so
+/// the test is deterministic regardless of the process-global sampler
+/// configuration (other tests in this binary share the tracer).
+fn fixed_ctx(trace_id: u128) -> TraceContext {
+    TraceContext {
+        trace_id,
+        span_id: 0,
+        sampled: true,
+    }
+}
+
+fn solve_body(m: usize, seed: u64) -> RequestBody {
+    let spec = SolveSpec::seeded(m, seed, SolveMode::Direct);
+    RequestBody::Solve {
+        spec: spec.spec,
+        mode: spec.mode,
+        deadline_ms: spec.deadline_ms,
+    }
+}
+
+fn fetch_trace(client: &mut Client, trace_id: u128) -> WireTrace {
+    let hex = format!("{trace_id:032x}");
+    let traces = client.trace(Some(hex.clone()), None).expect("trace query");
+    traces
+        .into_iter()
+        .find(|t| t.trace_id == hex)
+        .expect("queried trace was kept")
+}
+
+#[test]
+fn traced_solve_records_engine_hop_with_children_and_annotations() {
+    let (_engine, server) = start_node("trace-node");
+    let mut c = Client::connect_with(server.local_addr().to_string(), ClientConfig::default())
+        .expect("connect");
+    let ctx = fixed_ctx(0xA11CE_0001);
+
+    let resp = c
+        .call_traced(solve_body(12, 777), Some(ctx.to_wire()))
+        .expect("traced solve");
+    assert!(matches!(resp.body, ResponseBody::Solve { ref result } if result.is_ok()));
+    let wire = resp.trace.expect("traced request must echo a trace context");
+    let echoed = TraceContext::from_wire(&wire).expect("well-formed trace field");
+    assert_eq!(echoed.trace_id, ctx.trace_id, "hop stays in the same trace");
+    assert!(echoed.sampled, "sampled flag survives the round trip");
+
+    let trace = fetch_trace(&mut c, ctx.trace_id);
+    let hop = trace
+        .spans
+        .iter()
+        .find(|s| s.name == "engine_request")
+        .expect("engine hop recorded");
+    assert_eq!(hop.node, "trace-node");
+    assert_eq!(
+        hop.parent_span_id, 0,
+        "hop adopted the client's root context"
+    );
+    assert_eq!(hop.span_id, echoed.span_id, "reply echoes the hop span");
+    let queue_wait = trace
+        .spans
+        .iter()
+        .find(|s| s.name == "queue_wait")
+        .expect("queue_wait child recorded");
+    let solve = trace
+        .spans
+        .iter()
+        .find(|s| s.name == "solve")
+        .expect("solve child recorded");
+    for child in [queue_wait, solve] {
+        assert_eq!(child.parent_span_id, hop.span_id, "child of the hop root");
+        assert!(child.start_us >= hop.start_us, "child starts within parent");
+        assert!(
+            child.duration_ns <= hop.duration_ns,
+            "child cannot outlast its parent"
+        );
+    }
+    assert!(
+        queue_wait.duration_ns + solve.duration_ns <= hop.duration_ns,
+        "sequential children must fit inside the hop: {} + {} > {}",
+        queue_wait.duration_ns,
+        solve.duration_ns,
+        hop.duration_ns
+    );
+    assert!(
+        solve
+            .annotations
+            .iter()
+            .any(|(k, v)| k == "mode" && v == "direct"),
+        "solve span names its solver mode: {:?}",
+        solve.annotations
+    );
+    assert!(
+        solve.annotations.iter().any(|(k, _)| k == "stage1_ns"),
+        "solve span carries stage timings"
+    );
+}
+
+#[test]
+fn cache_hits_annotate_the_hop_root() {
+    let (_engine, server) = start_node("cache-node");
+    let mut c = Client::connect_with(server.local_addr().to_string(), ClientConfig::default())
+        .expect("connect");
+    // Warm the cache untraced, then hit it traced.
+    let warm = c.call(solve_body(10, 4242)).expect("warm solve");
+    assert!(matches!(warm.body, ResponseBody::Solve { ref result } if result.is_ok()));
+    let ctx = fixed_ctx(0xA11CE_0002);
+    let resp = c
+        .call_traced(solve_body(10, 4242), Some(ctx.to_wire()))
+        .expect("traced cache hit");
+    match resp.body {
+        ResponseBody::Solve { result } => {
+            assert!(result.expect("solve ok").cached, "second solve hits cache")
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+    let trace = fetch_trace(&mut c, ctx.trace_id);
+    let hop = trace
+        .spans
+        .iter()
+        .find(|s| s.name == "engine_request")
+        .expect("engine hop recorded");
+    assert!(
+        hop.annotations
+            .iter()
+            .any(|(k, v)| k == "cache" && v == "hit"),
+        "cache hit annotated on the hop: {:?}",
+        hop.annotations
+    );
+}
+
+#[test]
+fn untraced_requests_carry_no_trace_field() {
+    let (_engine, server) = start_node("plain-node");
+    let mut c = Client::connect_with(server.local_addr().to_string(), ClientConfig::default())
+        .expect("connect");
+    let resp = c.call(solve_body(8, 99)).expect("solve");
+    assert!(
+        resp.trace.is_none(),
+        "engines never mint: an untraced request stays untraced"
+    );
+    let pong = c.call(RequestBody::Ping).expect("ping");
+    assert!(pong.trace.is_none());
+}
+
+#[test]
+fn trace_query_for_unknown_id_answers_empty() {
+    let (_engine, server) = start_node("empty-node");
+    let mut c = Client::connect_with(server.local_addr().to_string(), ClientConfig::default())
+        .expect("connect");
+    let traces = c
+        .trace(Some(format!("{:032x}", 0xDEAD_BEEF_u128)), None)
+        .expect("trace query");
+    assert!(traces.is_empty(), "unknown id matches nothing: {traces:?}");
+}

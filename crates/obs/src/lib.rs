@@ -18,6 +18,7 @@
 //! | [`hist`] | log-bucketed latency histograms with bounded-error quantiles |
 //! | [`metrics`] | counters, gauges and a metrics [`Registry`](metrics::Registry) |
 //! | [`prometheus`] | Prometheus text-format (0.0.4) rendering and validation |
+//! | [`trace`] | distributed tracing: wire contexts, hop spans, tail-sampled trace ring |
 //!
 //! ## Tracing example
 //!
@@ -71,6 +72,7 @@ pub mod metrics;
 pub mod prometheus;
 pub mod span;
 pub mod subscriber;
+pub mod trace;
 
 pub use dispatch::{
     add_subscriber, clear_subscribers, emit_parts, enabled, init_from_env, recent_events,
@@ -82,6 +84,7 @@ pub use hist::{HistogramSnapshot, LogHistogram};
 pub use level::Level;
 pub use span::{span, SpanGuard};
 pub use subscriber::{JsonLinesSubscriber, MemorySubscriber, StderrSubscriber, Subscriber};
+pub use trace::{HopSpan, SpanRecord, TraceConfig, TraceContext};
 
 /// Emit a structured event at an explicit [`Level`].
 ///

@@ -274,10 +274,14 @@ fn parse_prometheus_float(s: &str) -> Option<f64> {
     }
 }
 
-type Labels = Vec<(String, String)>;
+/// A parsed label set: `(name, value)` pairs in source order.
+pub type Labels = Vec<(String, String)>;
 
-/// Split a sample line into `(name, labels, rest-after-labels)`.
-fn parse_sample(line: &str) -> Result<(String, Labels, &str), String> {
+/// Split a sample line into `(name, labels, rest-after-labels)` — the rest
+/// is the value (and optional timestamp), whitespace-prefixed. Public so
+/// downstream mergers (cluster metrics federation) can rewrite label sets
+/// without reimplementing the exposition grammar.
+pub fn parse_sample(line: &str) -> Result<(String, Labels, &str), String> {
     let name_end = line
         .find(|c: char| c == '{' || c.is_whitespace())
         .unwrap_or(line.len());

@@ -101,6 +101,13 @@ impl SpanGuard {
                     stack.remove(pos);
                 }
             });
+            // Re-consult the filter at close: passing it at creation must
+            // not grandfather the close event past a filter that has since
+            // tightened — span records obey `SHARE_LOG` exactly like
+            // ordinary events.
+            if !dispatch::enabled(self.level, self.target) {
+                return elapsed_ns;
+            }
             dispatch::dispatch(Event {
                 timestamp_us: now_us(),
                 level: self.level,
@@ -182,6 +189,34 @@ mod tests {
         let ns = s.finish();
         assert!(ns >= 1_000_000, "elapsed {ns}ns");
         assert_eq!(sink.events().len(), 1, "finish then drop emits once");
+        dispatch::reset_for_tests();
+    }
+
+    #[test]
+    fn span_close_respects_filter_tightened_after_creation() {
+        // Regression: span-close events used to bypass the `SHARE_LOG`
+        // filter — a span created while `debug` was enabled would emit its
+        // close even after the filter tightened to `error`.
+        let _guard = dispatch::tests_lock();
+        dispatch::reset_for_tests();
+        let sink = Arc::new(MemorySubscriber::new());
+        dispatch::add_subscriber(sink.clone());
+        dispatch::set_filter(EnvFilter::at(Level::Debug));
+
+        let open = span(Level::Debug, "t::filtered", "tightened");
+        assert!(open.is_enabled(), "passed the filter at creation");
+        dispatch::set_filter(EnvFilter::at(Level::Error));
+        drop(open);
+        assert!(
+            sink.events().is_empty(),
+            "span close must honor the filter in force when it closes"
+        );
+
+        // And a span that still passes the filter at close emits normally.
+        dispatch::set_filter(EnvFilter::at(Level::Debug));
+        drop(span(Level::Debug, "t::filtered", "kept"));
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(sink.events()[0].name, "kept");
         dispatch::reset_for_tests();
     }
 

@@ -1,0 +1,736 @@
+//! Distributed tracing: wire-propagated trace contexts, per-hop span
+//! records, and a tail-sampling trace ring.
+//!
+//! A [`TraceContext`] is 128 bits of trace identity plus the caller's span
+//! id and a sampled flag, rendered to a compact hex wire form
+//! (`<trace_id:032x>-<span_id:016x>-<flags:02x>`) that rides an optional
+//! `trace` field on every NDJSON request/reply. Contexts are minted
+//! deterministically: a splitmix64 stream over `(seed, counter)`, so the
+//! same seed and request schedule produce the same trace ids — no
+//! wall-clock or OS entropy anywhere in the identity path.
+//!
+//! Each process buffers the [`SpanRecord`]s of in-flight traces in a
+//! bounded pending map; when the local *hop root* span finishes
+//! ([`finish_hop`]), the tail sampler decides: keep the trace if its hop
+//! was slower than the configured threshold ([`TraceConfig::slow_ms`]), or
+//! if the context carries the deterministic 1-in-N head sample
+//! ([`TraceConfig::head_every`]). Kept traces land in a bounded ring
+//! ([`TraceConfig::capacity`]) queryable by id ([`get_trace`]) or by local
+//! hop duration ([`slowest`]) — the `trace` wire kind serves straight from
+//! this ring.
+//!
+//! Timestamps are monotonic-anchored: one `(SystemTime, Instant)` anchor
+//! pair is captured on first use, and every span start is the anchor's unix
+//! microseconds plus a monotonic delta ([`anchored_us`]). Spans on one
+//! process therefore order and subtract exactly; cross-node skew is bounded
+//! by clock sync, never by mid-run wall-clock jumps.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Local copy of splitmix64 (obs is dependency-free): a high-quality
+/// 64-bit mixer, bijective, so distinct counters never collide.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Wire-propagated trace identity: which trace a request belongs to, which
+/// span on the sender is its parent, and whether the head sampler already
+/// decided to keep it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// 128-bit trace id shared by every hop of one request.
+    pub trace_id: u128,
+    /// The sender's span id — the parent of whatever span the receiver
+    /// opens for its own hop.
+    pub span_id: u64,
+    /// Head-sample flag: when set, every hop keeps this trace regardless
+    /// of its duration.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// Mint a fresh root context from the process-global deterministic
+    /// stream: trace and span ids are splitmix64 over `(seed, counter)`,
+    /// and the sampled flag is the 1-in-N head sample
+    /// ([`TraceConfig::head_every`]).
+    pub fn mint() -> TraceContext {
+        let s = state();
+        let n = s.mint_counter.fetch_add(1, Ordering::Relaxed);
+        let seed = s.seed.load(Ordering::Relaxed);
+        let hi = splitmix64(seed ^ splitmix64(n));
+        let lo = splitmix64(seed.wrapping_add(0xA5A5_A5A5_A5A5_A5A5) ^ splitmix64(n));
+        let head_every = s.head_every.load(Ordering::Relaxed);
+        TraceContext {
+            trace_id: ((hi as u128) << 64) | lo as u128,
+            span_id: splitmix64(hi ^ lo),
+            sampled: head_every > 0 && n % head_every == 0,
+        }
+    }
+
+    /// A child context: same trace id and sampled flag, fresh span id.
+    pub fn child(&self) -> TraceContext {
+        let n = state().span_counter.fetch_add(1, Ordering::Relaxed);
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: splitmix64((self.trace_id as u64) ^ self.span_id ^ splitmix64(n)),
+            sampled: self.sampled,
+        }
+    }
+
+    /// Render the compact wire form `trace_id-span_id-flags` (hex).
+    pub fn to_wire(&self) -> String {
+        format!(
+            "{:032x}-{:016x}-{:02x}",
+            self.trace_id,
+            self.span_id,
+            u8::from(self.sampled)
+        )
+    }
+
+    /// Parse the wire form produced by [`TraceContext::to_wire`]; `None`
+    /// on any malformed input (a bad trace field must never fail a
+    /// request).
+    pub fn from_wire(s: &str) -> Option<TraceContext> {
+        let mut parts = s.split('-');
+        let (t, sp, fl) = (parts.next()?, parts.next()?, parts.next()?);
+        if parts.next().is_some() || t.len() != 32 || sp.len() != 16 || fl.len() != 2 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id: u128::from_str_radix(t, 16).ok()?,
+            span_id: u64::from_str_radix(sp, 16).ok()?,
+            sampled: u8::from_str_radix(fl, 16).ok()? & 1 == 1,
+        })
+    }
+}
+
+/// Parse a bare 32-hex-digit trace id (as printed by `share_cli trace`).
+pub fn parse_trace_id(s: &str) -> Option<u128> {
+    let s = s.trim();
+    if s.len() != 32 {
+        return None;
+    }
+    u128::from_str_radix(s, 16).ok()
+}
+
+/// Render a trace id the way [`parse_trace_id`] reads it.
+pub fn format_trace_id(id: u128) -> String {
+    format!("{id:032x}")
+}
+
+/// One finished span of one hop of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace_id: u128,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id; `0` marks a trace root (a hop root's parent is the
+    /// *sender's* span, so only the first hop's root has parent 0).
+    pub parent_span_id: u64,
+    /// Span name, e.g. `router_recv`, `engine_request`, `solve`.
+    pub name: String,
+    /// The node that recorded the span (`router`, `n0`, …).
+    pub node: String,
+    /// Monotonic-anchored unix microseconds at span start.
+    pub start_us: u64,
+    /// Span duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Free-form annotations: cache/degrade/shed outcomes, stage timings.
+    pub annotations: Vec<(String, String)>,
+}
+
+/// Tail-sampler and ring configuration; applied with [`configure`].
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Keep 1 in `head_every` minted traces unconditionally; 0 disables
+    /// head sampling.
+    pub head_every: u64,
+    /// Keep any trace whose local hop ran at least this many milliseconds;
+    /// 0 keeps every trace (useful for tests/CI), [`u64::MAX`] keeps none
+    /// by slowness.
+    pub slow_ms: u64,
+    /// Seed of the deterministic id stream.
+    pub seed: u64,
+    /// Kept-trace ring capacity (traces, not spans).
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            head_every: 128,
+            slow_ms: 100,
+            seed: 0x5_4A2E,
+            capacity: 256,
+        }
+    }
+}
+
+/// One kept trace: the spans of every local hop that decided to keep it.
+struct KeptTrace {
+    trace_id: u128,
+    /// Slowest local hop-root duration — the `slowest` sort key.
+    root_duration_ns: u64,
+    spans: Vec<SpanRecord>,
+}
+
+/// Pending (hop not yet finished) spans may only buffer for this many
+/// distinct traces before the oldest is discarded — a lost hop root must
+/// not leak its children forever.
+const PENDING_TRACES_MAX: usize = 1024;
+
+struct TraceState {
+    seed: AtomicU64,
+    head_every: AtomicU64,
+    slow_ns: AtomicU64,
+    capacity: AtomicUsize,
+    mint_counter: AtomicU64,
+    span_counter: AtomicU64,
+    /// Buffered children keyed by trace id, with FIFO eviction order.
+    pending: Mutex<(HashMap<u128, Vec<SpanRecord>>, VecDeque<u128>)>,
+    kept: Mutex<VecDeque<KeptTrace>>,
+}
+
+fn state() -> &'static TraceState {
+    static STATE: OnceLock<TraceState> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let d = TraceConfig::default();
+        TraceState {
+            seed: AtomicU64::new(d.seed),
+            head_every: AtomicU64::new(d.head_every),
+            slow_ns: AtomicU64::new(d.slow_ms.saturating_mul(1_000_000)),
+            capacity: AtomicUsize::new(d.capacity),
+            mint_counter: AtomicU64::new(0),
+            span_counter: AtomicU64::new(0),
+            pending: Mutex::new((HashMap::new(), VecDeque::new())),
+            kept: Mutex::new(VecDeque::new()),
+        }
+    })
+}
+
+/// Apply a [`TraceConfig`] to the process-global tracer. Callable any
+/// number of times (tests reconfigure freely); does not clear existing
+/// rings — use [`reset`] for that.
+pub fn configure(config: &TraceConfig) {
+    let s = state();
+    s.seed.store(config.seed, Ordering::Relaxed);
+    s.head_every.store(config.head_every, Ordering::Relaxed);
+    s.slow_ns.store(
+        config.slow_ms.saturating_mul(1_000_000),
+        Ordering::Relaxed,
+    );
+    s.capacity.store(config.capacity.max(1), Ordering::Relaxed);
+}
+
+/// Clear rings and id counters — a fresh deterministic run (tests).
+pub fn reset() {
+    let s = state();
+    s.mint_counter.store(0, Ordering::Relaxed);
+    s.span_counter.store(0, Ordering::Relaxed);
+    {
+        let mut p = s.pending.lock().expect("trace pending lock");
+        p.0.clear();
+        p.1.clear();
+    }
+    s.kept.lock().expect("trace kept lock").clear();
+}
+
+/// The process anchor: unix microseconds paired with the [`Instant`] they
+/// were captured at.
+fn anchor() -> &'static (u64, Instant) {
+    static ANCHOR: OnceLock<(u64, Instant)> = OnceLock::new();
+    ANCHOR.get_or_init(|| {
+        let unix_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        (unix_us, Instant::now())
+    })
+}
+
+/// Monotonic-anchored unix microseconds for `at`: the anchor's wall clock
+/// plus (or minus) a purely monotonic delta.
+pub fn anchored_us(at: Instant) -> u64 {
+    let &(unix_us, anchor_at) = anchor();
+    if at >= anchor_at {
+        unix_us.saturating_add((at - anchor_at).as_micros().min(u64::MAX as u128) as u64)
+    } else {
+        unix_us.saturating_sub((anchor_at - at).as_micros().min(u64::MAX as u128) as u64)
+    }
+}
+
+/// Monotonic-anchored unix microseconds for "now".
+pub fn now_anchored_us() -> u64 {
+    anchored_us(Instant::now())
+}
+
+/// Buffer a finished non-root span; it is retained only if the hop root
+/// later decides to keep the trace.
+pub fn record_span(record: SpanRecord) {
+    let s = state();
+    let mut p = s.pending.lock().expect("trace pending lock");
+    let (map, fifo) = &mut *p;
+    match map.get_mut(&record.trace_id) {
+        Some(spans) => spans.push(record),
+        None => {
+            if fifo.len() >= PENDING_TRACES_MAX {
+                if let Some(old) = fifo.pop_front() {
+                    map.remove(&old);
+                }
+            }
+            fifo.push_back(record.trace_id);
+            map.insert(record.trace_id, vec![record]);
+        }
+    }
+}
+
+/// Finish this process's hop of a trace: `root` is the hop-root span. The
+/// tail sampler keeps the trace (root + its buffered children) when the
+/// context was head-sampled or the hop was slow; otherwise every buffered
+/// span of the trace is dropped.
+pub fn finish_hop(root: SpanRecord, sampled: bool) {
+    let s = state();
+    let keep = sampled || root.duration_ns >= s.slow_ns.load(Ordering::Relaxed);
+    let buffered = {
+        let mut p = s.pending.lock().expect("trace pending lock");
+        let (map, fifo) = &mut *p;
+        let buffered = map.remove(&root.trace_id);
+        if buffered.is_some() {
+            fifo.retain(|id| *id != root.trace_id);
+        }
+        buffered
+    };
+    if !keep {
+        return;
+    }
+    let mut spans = buffered.unwrap_or_default();
+    let root_duration_ns = root.duration_ns;
+    let trace_id = root.trace_id;
+    spans.push(root);
+    let mut kept = s.kept.lock().expect("trace kept lock");
+    // A later hop of an already-kept trace merges in (single-process
+    // clusters in tests share this ring across router + engines).
+    if let Some(existing) = kept.iter_mut().find(|k| k.trace_id == trace_id) {
+        existing.spans.extend(spans);
+        existing.root_duration_ns = existing.root_duration_ns.max(root_duration_ns);
+        return;
+    }
+    kept.push_back(KeptTrace {
+        trace_id,
+        root_duration_ns,
+        spans,
+    });
+    let cap = s.capacity.load(Ordering::Relaxed).max(1);
+    while kept.len() > cap {
+        kept.pop_front();
+    }
+}
+
+/// The kept spans of `trace_id`, or `None` if the tail sampler dropped it
+/// (or it aged out of the ring).
+pub fn get_trace(trace_id: u128) -> Option<Vec<SpanRecord>> {
+    let kept = state().kept.lock().expect("trace kept lock");
+    kept.iter()
+        .find(|k| k.trace_id == trace_id)
+        .map(|k| k.spans.clone())
+}
+
+/// The `n` slowest kept traces (by local hop-root duration, descending),
+/// each as `(trace_id, spans)`.
+pub fn slowest(n: usize) -> Vec<(u128, Vec<SpanRecord>)> {
+    let kept = state().kept.lock().expect("trace kept lock");
+    let mut ranked: Vec<(u64, u128)> = kept
+        .iter()
+        .map(|k| (k.root_duration_ns, k.trace_id))
+        .collect();
+    ranked.sort_by(|a, b| b.cmp(a));
+    ranked
+        .into_iter()
+        .take(n)
+        .filter_map(|(_, id)| {
+            kept.iter()
+                .find(|k| k.trace_id == id)
+                .map(|k| (id, k.spans.clone()))
+        })
+        .collect()
+}
+
+/// All kept trace ids, oldest first (tests/debugging).
+pub fn kept_trace_ids() -> Vec<u128> {
+    state()
+        .kept
+        .lock()
+        .expect("trace kept lock")
+        .iter()
+        .map(|k| k.trace_id)
+        .collect()
+}
+
+/// An open hop-root span: the unit the tail sampler decides on. Created
+/// when a traced request enters a process, finished when its reply leaves.
+///
+/// The hop opens a fresh child span id under the wire context's span, so
+/// cross-process parent links line up: sender `forward` span → receiver
+/// hop root.
+#[derive(Debug, Clone)]
+pub struct HopSpan {
+    /// This hop's context (`span_id` is the hop root); forward it (via
+    /// [`TraceContext::child`]) to downstream calls.
+    pub ctx: TraceContext,
+    parent_span_id: u64,
+    name: &'static str,
+    node: String,
+    start: Instant,
+    annotations: Vec<(String, String)>,
+}
+
+impl HopSpan {
+    /// Open a hop under an adopted wire context.
+    pub fn adopt(parent: TraceContext, name: &'static str, node: &str) -> HopSpan {
+        HopSpan {
+            ctx: parent.child(),
+            parent_span_id: parent.span_id,
+            name,
+            node: node.to_string(),
+            start: Instant::now(),
+            annotations: Vec::new(),
+        }
+    }
+
+    /// Adopt `parent` when present, otherwise mint a fresh root trace
+    /// (what the router does for untraced client requests).
+    pub fn adopt_or_mint(parent: Option<TraceContext>, name: &'static str, node: &str) -> HopSpan {
+        match parent {
+            Some(ctx) => HopSpan::adopt(ctx, name, node),
+            None => {
+                let ctx = TraceContext::mint();
+                HopSpan {
+                    ctx,
+                    parent_span_id: 0,
+                    name,
+                    node: node.to_string(),
+                    start: Instant::now(),
+                    annotations: Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// Attach an annotation to the hop-root span.
+    pub fn annotate(&mut self, key: &str, value: impl Into<String>) {
+        self.annotations.push((key.to_string(), value.into()));
+    }
+
+    /// When the hop started (for child spans that began with it).
+    pub fn started_at(&self) -> Instant {
+        self.start
+    }
+
+    /// Record a child span of this hop from explicit instants.
+    pub fn child_at(
+        &self,
+        name: &str,
+        start: Instant,
+        duration: Duration,
+        annotations: Vec<(String, String)>,
+    ) -> TraceContext {
+        let ctx = self.ctx.child();
+        record_span(SpanRecord {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_span_id: self.ctx.span_id,
+            name: name.to_string(),
+            node: self.node.clone(),
+            start_us: anchored_us(start),
+            duration_ns: duration.as_nanos().min(u64::MAX as u128) as u64,
+            annotations,
+        });
+        ctx
+    }
+
+    /// Finish the hop: emit the root record and run the tail-sampling
+    /// decision. Extra annotations (reply outcome) are appended to the
+    /// ones recorded while the hop was open.
+    pub fn finish(&self, extra: Vec<(String, String)>) {
+        let mut annotations = self.annotations.clone();
+        annotations.extend(extra);
+        finish_hop(
+            SpanRecord {
+                trace_id: self.ctx.trace_id,
+                span_id: self.ctx.span_id,
+                parent_span_id: self.parent_span_id,
+                name: self.name.to_string(),
+                node: self.node.clone(),
+                start_us: anchored_us(self.start),
+                duration_ns: self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                annotations,
+            },
+            self.ctx.sampled,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn wire_roundtrip_and_rejects_garbage() {
+        let ctx = TraceContext {
+            trace_id: 0x0123_4567_89ab_cdef_0011_2233_4455_6677,
+            span_id: 0xdead_beef_cafe_f00d,
+            sampled: true,
+        };
+        let wire = ctx.to_wire();
+        assert_eq!(TraceContext::from_wire(&wire), Some(ctx));
+        assert!(TraceContext::from_wire("").is_none());
+        assert!(TraceContext::from_wire("xyz").is_none());
+        assert!(TraceContext::from_wire("0123-4567-89").is_none());
+        assert!(TraceContext::from_wire(&wire[1..]).is_none());
+        let unsampled = TraceContext {
+            sampled: false,
+            ..ctx
+        };
+        assert_eq!(
+            TraceContext::from_wire(&unsampled.to_wire()),
+            Some(unsampled)
+        );
+    }
+
+    #[test]
+    fn minting_is_deterministic_for_a_seed() {
+        let _g = test_guard();
+        configure(&TraceConfig {
+            seed: 7,
+            head_every: 4,
+            ..TraceConfig::default()
+        });
+        reset();
+        let first: Vec<TraceContext> = (0..8).map(|_| TraceContext::mint()).collect();
+        reset();
+        let second: Vec<TraceContext> = (0..8).map(|_| TraceContext::mint()).collect();
+        assert_eq!(first, second);
+        // 1-in-4 head sample, starting at counter 0.
+        let sampled: Vec<bool> = first.iter().map(|c| c.sampled).collect();
+        assert_eq!(
+            sampled,
+            vec![true, false, false, false, true, false, false, false]
+        );
+        // Distinct counters give distinct ids.
+        let mut ids: Vec<u128> = first.iter().map(|c| c.trace_id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+        configure(&TraceConfig::default());
+    }
+
+    #[test]
+    fn tail_sampler_keeps_slow_and_head_sampled_hops() {
+        let _g = test_guard();
+        configure(&TraceConfig {
+            slow_ms: 50,
+            head_every: 0,
+            ..TraceConfig::default()
+        });
+        reset();
+        let mk = |trace_id: u128, duration_ms: u64| SpanRecord {
+            trace_id,
+            span_id: 1,
+            parent_span_id: 0,
+            name: "hop".into(),
+            node: "n0".into(),
+            start_us: 0,
+            duration_ns: duration_ms * 1_000_000,
+            annotations: vec![],
+        };
+        finish_hop(mk(1, 10), false); // fast, unsampled → dropped
+        finish_hop(mk(2, 60), false); // slow → kept
+        finish_hop(mk(3, 10), true); // head-sampled → kept
+        assert!(get_trace(1).is_none());
+        assert!(get_trace(2).is_some());
+        assert!(get_trace(3).is_some());
+        let slowest_ids: Vec<u128> = slowest(10).into_iter().map(|(id, _)| id).collect();
+        assert_eq!(slowest_ids, vec![2, 3]);
+        configure(&TraceConfig::default());
+        reset();
+    }
+
+    #[test]
+    fn children_flush_with_kept_root_and_drop_otherwise() {
+        let _g = test_guard();
+        configure(&TraceConfig {
+            slow_ms: 0, // keep everything…
+            head_every: 0,
+            ..TraceConfig::default()
+        });
+        reset();
+        let child = |trace_id: u128, span_id: u64| SpanRecord {
+            trace_id,
+            span_id,
+            parent_span_id: 9,
+            name: "child".into(),
+            node: "n0".into(),
+            start_us: 0,
+            duration_ns: 5,
+            annotations: vec![],
+        };
+        record_span(child(7, 1));
+        record_span(child(7, 2));
+        let root = SpanRecord {
+            trace_id: 7,
+            span_id: 9,
+            parent_span_id: 0,
+            name: "hop".into(),
+            node: "n0".into(),
+            start_us: 0,
+            duration_ns: 50,
+            annotations: vec![],
+        };
+        finish_hop(root, false);
+        assert_eq!(get_trace(7).map(|s| s.len()), Some(3));
+
+        // …but a dropped root discards its buffered children too.
+        configure(&TraceConfig {
+            slow_ms: u64::MAX,
+            head_every: 0,
+            ..TraceConfig::default()
+        });
+        record_span(child(8, 1));
+        finish_hop(
+            SpanRecord {
+                trace_id: 8,
+                span_id: 9,
+                parent_span_id: 0,
+                name: "hop".into(),
+                node: "n0".into(),
+                start_us: 0,
+                duration_ns: 50,
+                annotations: vec![],
+            },
+            false,
+        );
+        assert!(get_trace(8).is_none());
+        configure(&TraceConfig::default());
+        reset();
+    }
+
+    #[test]
+    fn kept_ring_is_bounded() {
+        let _g = test_guard();
+        configure(&TraceConfig {
+            slow_ms: 0,
+            head_every: 0,
+            capacity: 4,
+            ..TraceConfig::default()
+        });
+        reset();
+        for i in 0..10u128 {
+            finish_hop(
+                SpanRecord {
+                    trace_id: 100 + i,
+                    span_id: 1,
+                    parent_span_id: 0,
+                    name: "hop".into(),
+                    node: "n0".into(),
+                    start_us: 0,
+                    duration_ns: 1,
+                    annotations: vec![],
+                },
+                false,
+            );
+        }
+        let ids = kept_trace_ids();
+        assert_eq!(ids, vec![106, 107, 108, 109]);
+        configure(&TraceConfig::default());
+        reset();
+    }
+
+    #[test]
+    fn tail_sampling_is_deterministic_across_runs() {
+        // Satellite: same seed + same request schedule ⇒ identical
+        // kept-trace ids. Durations are all "fast" so only the
+        // deterministic head sample decides.
+        let _g = test_guard();
+        let run = || -> Vec<u128> {
+            configure(&TraceConfig {
+                seed: 42,
+                head_every: 4,
+                slow_ms: u64::MAX,
+                capacity: 64,
+            });
+            reset();
+            for _ in 0..32 {
+                let hop = HopSpan::adopt_or_mint(None, "router_recv", "router");
+                hop.finish(vec![]);
+            }
+            kept_trace_ids()
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first.len(), 8, "1-in-4 of 32 requests");
+        assert_eq!(first, second, "kept-trace ids must be schedule-determined");
+        configure(&TraceConfig::default());
+        reset();
+    }
+
+    #[test]
+    fn hop_span_links_children_and_remote_parent() {
+        let _g = test_guard();
+        configure(&TraceConfig {
+            slow_ms: 0,
+            head_every: 0,
+            ..TraceConfig::default()
+        });
+        reset();
+        let remote = TraceContext::mint();
+        let mut hop = HopSpan::adopt(remote, "engine_request", "n1");
+        hop.annotate("cache", "miss");
+        let t0 = Instant::now();
+        hop.child_at(
+            "queue_wait",
+            t0,
+            Duration::from_micros(5),
+            vec![("depth".into(), "1".into())],
+        );
+        hop.finish(vec![("mode".into(), "direct".into())]);
+        let spans = get_trace(remote.trace_id).expect("kept");
+        assert_eq!(spans.len(), 2);
+        let root = spans.iter().find(|s| s.name == "engine_request").unwrap();
+        let child = spans.iter().find(|s| s.name == "queue_wait").unwrap();
+        assert_eq!(root.parent_span_id, remote.span_id);
+        assert_eq!(child.parent_span_id, root.span_id);
+        assert_eq!(child.trace_id, root.trace_id);
+        assert!(root
+            .annotations
+            .contains(&("cache".to_string(), "miss".to_string())));
+        assert!(root
+            .annotations
+            .contains(&("mode".to_string(), "direct".to_string())));
+        configure(&TraceConfig::default());
+        reset();
+    }
+
+    #[test]
+    fn anchored_timestamps_are_monotonic() {
+        let a = now_anchored_us();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = now_anchored_us();
+        assert!(b >= a + 1_000, "anchored clock must advance: {a} → {b}");
+        let past = Instant::now() - Duration::from_millis(5);
+        assert!(anchored_us(past) < now_anchored_us());
+    }
+}

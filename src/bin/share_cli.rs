@@ -16,6 +16,11 @@
 //! share request --addr 127.0.0.1:7878 --m 50 --seed 1 --retries 5 --timeout-ms 5000
 //! share serve --tcp 127.0.0.1:7878 --node-id n0 --snapshot-path n0.snapshot  # cluster node
 //! share cluster --listen 127.0.0.1:7979 --peers 127.0.0.1:7878,127.0.0.1:7879
+//! share cluster --listen 127.0.0.1:7979 --peers ... --metrics-addr 127.0.0.1:9185 --federate
+//! share serve --tcp 127.0.0.1:7878 --trace-slow-ms 50      # keep traces slower than 50ms
+//! share request --addr 127.0.0.1:7979 --m 50 --seed 1 --traced   # mint a client-side trace
+//! share trace --addr 127.0.0.1:7979 --slowest 3            # cross-node waterfalls
+//! share trace --addr 127.0.0.1:7979 --id <32-hex-trace-id>
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
@@ -49,7 +54,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         Some(cmd) if !cmd.starts_with("--") => args.command = cmd.clone(),
         _ => {
             return Err(
-                "expected a subcommand (solve|verify|sweep|trade|params|serve|request|cluster)"
+                "expected a subcommand (solve|verify|sweep|trade|params|serve|request|cluster|trace)"
                     .to_string(),
             )
         }
@@ -298,12 +303,29 @@ fn load_fault_plan(args: &Args) -> Result<Option<share::engine::FaultPlan>, Stri
     }
 }
 
+/// Apply the shared tracing knobs (`--trace-slow-ms`, `--trace-sample-every`,
+/// `--trace-seed`) to the process-wide tracer. Both `serve` and `cluster`
+/// call this before binding, so a node started with `--trace-slow-ms 0`
+/// keeps every hop (what the CI cluster job does).
+fn configure_tracing(args: &Args) -> Result<(), String> {
+    use share::obs::TraceConfig;
+    let defaults = TraceConfig::default();
+    share::obs::trace::configure(&TraceConfig {
+        slow_ms: args.u64_opt("trace-slow-ms", defaults.slow_ms)?,
+        head_every: args.u64_opt("trace-sample-every", defaults.head_every)?,
+        seed: args.u64_opt("trace-seed", defaults.seed)?,
+        ..defaults
+    });
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     use share::engine::{
         default_reactors, serve_stdio, serve_tcp_with, Engine, EngineConfig, QuantizerConfig,
     };
     use std::sync::Arc;
 
+    configure_tracing(args)?;
     let defaults = EngineConfig::default();
     let mut quantizer = QuantizerConfig::default();
     if let Some(tol) = args.f64_opt("tol")? {
@@ -383,7 +405,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_request(args: &Args) -> Result<(), String> {
-    use share::engine::{Client, ClientConfig, MarketSpec, RequestBody, RetryPolicy, SolveSpec};
+    use share::engine::{Client, ClientConfig, MarketSpec, RequestBody, RetryPolicy};
     use std::time::Duration;
 
     let addr = args
@@ -435,11 +457,22 @@ fn cmd_request(args: &Args) -> Result<(), String> {
             None => None,
             Some(_) => Some(args.u64_opt("deadline-ms", 0)?),
         };
-        client.solve(SolveSpec {
+        let body = RequestBody::Solve {
             spec,
             mode: parse_mode(args)?,
             deadline_ms,
-        })
+        };
+        if args.has_flag("traced") {
+            // Force the head-sample flag so every hop keeps this trace —
+            // a hand-issued traced request is meant to be inspected with
+            // `share trace --id ...` afterwards.
+            let mut ctx = share::obs::TraceContext::mint();
+            ctx.sampled = true;
+            eprintln!("trace id: {:032x}", ctx.trace_id);
+            client.call_traced(body, Some(ctx.to_wire()))
+        } else {
+            client.call(body)
+        }
     }
     .map_err(|e| e.to_string())?;
     println!(
@@ -454,11 +487,14 @@ fn cmd_request(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_cluster(args: &Args) -> Result<(), String> {
-    use share::cluster::{serve_router, serve_router_metrics, RouterConfig};
+    use share::cluster::{
+        serve_router, serve_router_metrics, serve_router_metrics_federated, RouterConfig,
+    };
     use share::engine::QuantizerConfig;
     use std::sync::Arc;
     use std::time::Duration;
 
+    configure_tracing(args)?;
     let peers: Vec<String> = args
         .options
         .get("peers")
@@ -515,9 +551,24 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
     );
     let metrics_server = match args.options.get("metrics-addr") {
         Some(addr) => {
-            let server = serve_router_metrics(Arc::clone(router.metrics()), addr)
-                .map_err(|e| format!("bind metrics {addr}: {e}"))?;
-            eprintln!("share-cluster metrics on http://{}/", server.local_addr());
+            // --federate answers each scrape with every healthy node's
+            // families merged under `node` labels plus cluster rollups;
+            // without it the endpoint exposes the router's own families.
+            let server = if args.has_flag("federate") {
+                serve_router_metrics_federated(router.federator(), addr)
+            } else {
+                serve_router_metrics(Arc::clone(router.metrics()), addr)
+            }
+            .map_err(|e| format!("bind metrics {addr}: {e}"))?;
+            eprintln!(
+                "share-cluster metrics on http://{}/{}",
+                server.local_addr(),
+                if args.has_flag("federate") {
+                    " (federated)"
+                } else {
+                    ""
+                }
+            );
             Some(server)
         }
         None => None,
@@ -532,6 +583,110 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Fetch and render cross-node trace waterfalls from a server or router.
+///
+/// `--id <32-hex>` fetches one trace; `--slowest N` the N slowest kept
+/// ones (the default, with N=1). Against a router the spans are already
+/// merged cluster-wide, so the tree shows router and engine hops together.
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    use share::engine::{Client, ClientConfig};
+
+    let addr = args
+        .options
+        .get("addr")
+        .ok_or("--addr HOST:PORT is required")?;
+    let id = args.options.get("id").cloned();
+    let slowest = if args.options.contains_key("slowest") {
+        Some(args.usize_opt("slowest", 1)?)
+    } else if id.is_none() {
+        Some(1)
+    } else {
+        None
+    };
+    let mut client = Client::connect_with(addr.as_str(), ClientConfig::default())
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let traces = client
+        .trace(id.clone(), slowest)
+        .map_err(|e| format!("trace request: {e}"))?;
+    if traces.is_empty() {
+        match id {
+            Some(id) => return Err(format!("no kept trace matches id {id}")),
+            None => {
+                println!("no kept traces (is tracing keeping anything? try --trace-slow-ms 0)");
+                return Ok(());
+            }
+        }
+    }
+    for t in &traces {
+        render_trace(t);
+    }
+    Ok(())
+}
+
+/// Print one trace as an aligned waterfall tree: spans indented under
+/// their parents, per-hop durations right-aligned, annotations trailing.
+fn render_trace(t: &share::engine::WireTrace) {
+    use share::engine::WireSpan;
+    use std::collections::{HashMap, HashSet};
+
+    let present: HashSet<u64> = t.spans.iter().map(|s| s.span_id).collect();
+    let mut children: HashMap<u64, Vec<&WireSpan>> = HashMap::new();
+    let mut roots: Vec<&WireSpan> = Vec::new();
+    for s in &t.spans {
+        // Spans whose parent wasn't kept anywhere render as roots rather
+        // than vanishing (a node may have rotated its ring meanwhile).
+        if s.parent_span_id != 0 && present.contains(&s.parent_span_id) {
+            children.entry(s.parent_span_id).or_default().push(s);
+        } else {
+            roots.push(s);
+        }
+    }
+    for kids in children.values_mut() {
+        kids.sort_by_key(|s| (s.start_us, s.span_id));
+    }
+    roots.sort_by_key(|s| (s.start_us, s.span_id));
+    let total_ns = roots.iter().map(|s| s.duration_ns).max().unwrap_or(0);
+    println!(
+        "trace {}  ({} spans, {:.3} ms)",
+        t.trace_id,
+        t.spans.len(),
+        total_ns as f64 / 1e6
+    );
+    for root in roots {
+        render_span(root, 0, &children);
+    }
+    println!();
+}
+
+/// Recursive step of [`render_trace`].
+fn render_span(
+    s: &share::engine::WireSpan,
+    depth: usize,
+    children: &std::collections::HashMap<u64, Vec<&share::engine::WireSpan>>,
+) {
+    let label = format!("{:width$}{}", "", s.name, width = 2 + depth * 2);
+    let ann = if s.annotations.is_empty() {
+        String::new()
+    } else {
+        let kv: Vec<String> = s
+            .annotations
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!("  [{}]", kv.join(" "))
+    };
+    println!(
+        "{label:<30} {:<16} {:>10.3} ms{ann}",
+        s.node,
+        s.duration_ns as f64 / 1e6
+    );
+    if let Some(kids) = children.get(&s.span_id) {
+        for k in kids {
+            render_span(k, depth + 1, children);
+        }
+    }
+}
+
 fn cmd_params(args: &Args) -> Result<(), String> {
     let params = load_params(args)?;
     println!(
@@ -541,17 +696,19 @@ fn cmd_params(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: share_cli <solve|verify|sweep|trade|params|serve|request|cluster> [--m N] \
+const USAGE: &str = "usage: share_cli <solve|verify|sweep|trade|params|serve|request|cluster|trace> [--m N] \
 [--seed S] [--config file.json] [--json] [--param theta1 --lo .. --hi .. --points ..] \
 [--rounds R --n N] [--tcp ADDR --reactors R --workers W --queue Q --cache C --cache-shards S --tol T \
 --metrics-addr ADDR --shed-at DEPTH --degrade-at DEPTH --restart-budget N \
 --node-id ID --snapshot-path FILE \
+--trace-slow-ms MS --trace-sample-every N --trace-seed S \
 --fault-plan seed=S,panic=P,drop=P,latency=P,latency_ms=MS,diverge=P] \
 [--addr HOST:PORT --mode direct|mean_field|numeric --deadline-ms MS --retries N \
---timeout-ms MS --stats --metrics --shutdown] \
+--timeout-ms MS --stats --metrics --shutdown --traced] \
 [--listen ADDR --peers A,B,C --vnodes N --health-interval-ms MS --probe-timeout-ms MS \
---max-forward-attempts N] \
-(SHARE_LOG=debug for tracing; SHARE_FAULT_PLAN as --fault-plan fallback)";
+--max-forward-attempts N --federate] \
+[trace --addr HOST:PORT --id HEX32 | --slowest N] \
+(SHARE_LOG=debug for event logs; SHARE_FAULT_PLAN as --fault-plan fallback)";
 
 fn run() -> Result<(), String> {
     share::obs::init_from_env();
@@ -566,6 +723,7 @@ fn run() -> Result<(), String> {
         "serve" => cmd_serve(&args),
         "request" => cmd_request(&args),
         "cluster" => cmd_cluster(&args),
+        "trace" => cmd_trace(&args),
         other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
     }
 }
