@@ -29,8 +29,11 @@
 //! count stays at `reactors + workers + 2` throughout. A
 //! **cluster_scaling** section routes warm hits through the
 //! consistent-hash cluster router at 1/2/3 engine nodes, measuring the
-//! forwarding hop's cost and its flatness in the node count. `--smoke`
-//! shrinks every dimension so CI can run the full code path in seconds.
+//! forwarding hop's cost and its flatness in the node count. A
+//! **failover** section reruns the routed warm-hit pass on a healthy
+//! 3-node cluster at R=1, R=2, and R=2 with a 25 ms hedge armed, pricing
+//! the resilience machinery's no-fault overhead. `--smoke` shrinks every
+//! dimension so CI can run the full code path in seconds.
 //!
 //! Output: `bench_results/BENCH_engine.json`.
 
@@ -123,6 +126,20 @@ struct ClusterScalingEntry {
     requests_per_sec: f64,
 }
 
+/// Warm routed-request latency through a 3-node cluster at one
+/// resilience setting: what replica chains and hedging cost on the fast
+/// path, where no failover actually happens.
+#[derive(Debug, Serialize)]
+struct FailoverEntry {
+    replicas: usize,
+    /// Hedge budget in milliseconds (`None` = hedging disabled).
+    hedge_ms: Option<u64>,
+    requests: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    requests_per_sec: f64,
+}
+
 /// How one batch's traffic split when the engine was degrading and
 /// shedding under an injected fault plan.
 #[derive(Debug, Serialize)]
@@ -168,6 +185,9 @@ struct BenchReport {
     /// Warm routed-request latency through the cluster router at 1/2/3
     /// engine nodes (the forwarding hop's cost, flat in the node count).
     cluster_scaling: Vec<ClusterScalingEntry>,
+    /// Fast-path cost of the resilience features on a healthy 3-node
+    /// cluster: R=1 vs R=2, hedging off vs on.
+    failover: Vec<FailoverEntry>,
     /// Traffic split under an injected fault plan with shed + degrade armed.
     fault_tolerance: FaultToleranceSummary,
     /// Final engine counters, as served by the `stats` wire request.
@@ -607,9 +627,8 @@ fn bench_cluster_scaling(rounds: usize) -> Vec<ClusterScalingEntry> {
             let specs: Vec<SolveSpec> = (0..SPECS)
                 .map(|i| SolveSpec::seeded(M, 41_000 + i as u64, SolveMode::Direct))
                 .collect();
-            let mut warm =
-                Client::connect_with(router_addr.as_str(), ClientConfig::default())
-                    .expect("connect to router");
+            let mut warm = Client::connect_with(router_addr.as_str(), ClientConfig::default())
+                .expect("connect to router");
             for spec in &specs {
                 let resp = warm.solve(spec.clone()).expect("pre-warm routed solve");
                 assert!(resp.is_ok(), "pre-warm rejected: {resp:?}");
@@ -673,6 +692,125 @@ fn bench_cluster_scaling(rounds: usize) -> Vec<ClusterScalingEntry> {
             entry
         })
         .collect()
+}
+
+/// Warm routed-request latency on a healthy 3-node cluster at each
+/// resilience setting. Nothing fails here on purpose: the section prices
+/// what replica chains (R=2 vs R=1) and an armed hedge timer add to the
+/// fast path, so a regression in the no-fault overhead of failover
+/// machinery shows up as a latency diff, not an anecdote.
+fn bench_failover(rounds: usize) -> Vec<FailoverEntry> {
+    use share_cluster::{serve_router, RouterConfig};
+    use share_engine::{serve_tcp, Client, ClientConfig};
+
+    const M: usize = 20;
+    const SPECS: usize = 12;
+    const DRIVERS: usize = 4;
+    const NODES: usize = 3;
+
+    [
+        (1usize, None),
+        (2, None),
+        (2, Some(std::time::Duration::from_millis(25))),
+    ]
+    .iter()
+    .map(|&(replicas, hedge)| {
+        let engines: Vec<Arc<Engine>> = (0..NODES)
+            .map(|i| {
+                Arc::new(Engine::start(EngineConfig {
+                    workers: 2,
+                    node_id: Some(format!("failover-n{i}")),
+                    ..EngineConfig::default()
+                }))
+            })
+            .collect();
+        let servers: Vec<_> = engines
+            .iter()
+            .map(|e| serve_tcp(Arc::clone(e), "127.0.0.1:0").expect("bind node"))
+            .collect();
+        let peers: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+        let router = serve_router(
+            RouterConfig {
+                peers,
+                health_interval: std::time::Duration::from_millis(250),
+                replicas,
+                hedge,
+                ..RouterConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("start router");
+        let router_addr = router.local_addr().to_string();
+
+        let specs: Vec<SolveSpec> = (0..SPECS)
+            .map(|i| SolveSpec::seeded(M, 43_000 + i as u64, SolveMode::Direct))
+            .collect();
+        let mut warm = Client::connect_with(router_addr.as_str(), ClientConfig::default())
+            .expect("connect to router");
+        for spec in &specs {
+            let resp = warm.solve(spec.clone()).expect("pre-warm routed solve");
+            assert!(resp.is_ok(), "pre-warm rejected: {resp:?}");
+        }
+
+        let hist = Arc::new(LogHistogram::new());
+        let specs = Arc::new(specs);
+        let t0 = Instant::now();
+        let drivers: Vec<_> = (0..DRIVERS)
+            .map(|_| {
+                let hist = Arc::clone(&hist);
+                let specs = Arc::clone(&specs);
+                let addr = router_addr.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect_with(addr.as_str(), ClientConfig::default())
+                        .expect("connect to router");
+                    for _ in 0..rounds {
+                        for spec in specs.iter() {
+                            let t = Instant::now();
+                            let resp = client.solve(spec.clone()).expect("routed warm hit");
+                            hist.record_duration(t.elapsed());
+                            assert!(resp.is_ok(), "routed warm hit rejected: {resp:?}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for d in drivers {
+            d.join().expect("driver thread");
+        }
+        let elapsed = t0.elapsed();
+
+        router.stop();
+        for s in &servers {
+            s.stop();
+        }
+        for e in &engines {
+            e.shutdown();
+        }
+
+        let requests = hist.count();
+        assert_eq!(
+            requests,
+            (DRIVERS * rounds * SPECS) as u64,
+            "every routed request must get exactly one reply"
+        );
+        let entry = FailoverEntry {
+            replicas,
+            hedge_ms: hedge.map(|d| d.as_millis() as u64),
+            requests,
+            p50_ns: hist.quantile(0.50),
+            p99_ns: hist.quantile(0.99),
+            requests_per_sec: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        };
+        println!(
+            "failover fast path: R={} hedge={:?}ms, p99 {:.1}µs, {:.0} req/s",
+            entry.replicas,
+            entry.hedge_ms,
+            entry.p99_ns as f64 / 1e3,
+            entry.requests_per_sec
+        );
+        entry
+    })
+    .collect()
 }
 
 fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
@@ -782,6 +920,7 @@ fn main() {
     };
     let connection_scaling = bench_connection_scaling(conn_tiers, if smoke { 2 } else { 4 });
     let cluster_scaling = bench_cluster_scaling(if smoke { 5 } else { 50 });
+    let failover = bench_failover(if smoke { 5 } else { 50 });
 
     let report = BenchReport {
         markets,
@@ -799,6 +938,7 @@ fn main() {
         batch_fanout,
         connection_scaling,
         cluster_scaling,
+        failover,
         fault_tolerance,
         stats,
     };

@@ -1,0 +1,402 @@
+//! Deterministic cluster chaos: seeded fault plans and an in-process
+//! network fault proxy.
+//!
+//! The engine crate injects faults *inside* one node (see
+//! `share_engine::fault`); this module injects them *between* nodes. A
+//! [`ClusterFaultPlan`] expands a seed into a reproducible schedule of
+//! node kills, network partitions, slow links, and membership flapping —
+//! the same seed always yields the same schedule, so a chaos test that
+//! fails in CI replays identically on a laptop. A [`FaultProxy`] sits
+//! between the router and one engine node as a byte-pump TCP proxy whose
+//! mode can be flipped at runtime:
+//!
+//! - [`ProxyMode::Pass`] — bytes flow untouched,
+//! - [`ProxyMode::Black`] — a network partition: connections stay open
+//!   and bytes are **held**, delivered only when the partition heals
+//!   (distinct from a crash, where the peer closes the socket),
+//! - [`ProxyMode::Slow`] — every buffered read is delayed by a fixed
+//!   latency, simulating a degraded link without breaking it.
+//!
+//! Tests route the router's peer list through proxies and drive the plan
+//! (or flip modes directly), then assert on cluster metrics: breaker
+//! opens, failovers, hedge wins, and the hard bound that every client
+//! request still completes.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// The split-mix step used to derive fault schedules (and the router's
+/// retry-hint jitter) from a seed. Identical to the engine's fault
+/// injector, so one seed convention covers both layers.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The kind of fault one [`FaultEvent`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The node process dies: its socket closes and dials are refused
+    /// until the event's duration elapses and the node restarts.
+    Kill,
+    /// The network to the node partitions: connections hang (bytes held)
+    /// until the partition heals.
+    Partition,
+    /// The link to the node degrades: every read is delayed by the given
+    /// latency, but bytes still flow.
+    Slow(Duration),
+    /// The node flaps: it alternates between reachable and unreachable on
+    /// each health probe, exercising readmission hysteresis.
+    Flap,
+}
+
+/// One scheduled fault against one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Offset from the start of the run at which the fault begins.
+    pub at: Duration,
+    /// Index of the victim node in the plan's node list.
+    pub node: usize,
+    /// What happens to it.
+    pub kind: FaultKind,
+    /// How long the fault lasts before healing.
+    pub duration: Duration,
+}
+
+/// A reproducible schedule of cluster faults expanded from a seed.
+#[derive(Debug, Clone)]
+pub struct ClusterFaultPlan {
+    /// The seed the schedule was expanded from (for failure reports).
+    pub seed: u64,
+    /// Events ordered by start offset.
+    pub events: Vec<FaultEvent>,
+}
+
+impl ClusterFaultPlan {
+    /// Expand `seed` into a schedule over `nodes` peers within `horizon`:
+    /// `kills` node kills, `partitions` network partitions, and `slows`
+    /// slow-link episodes, each hitting a seeded victim at a seeded offset
+    /// for a seeded duration (bounded so every fault heals before the
+    /// horizon). The same arguments always produce the same schedule.
+    pub fn generate(
+        seed: u64,
+        nodes: usize,
+        horizon: Duration,
+        kills: usize,
+        partitions: usize,
+        slows: usize,
+    ) -> Self {
+        let mut events = Vec::new();
+        let mut ctr = seed;
+        let mut next = || {
+            ctr = ctr.wrapping_add(1);
+            splitmix64(seed ^ ctr.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        };
+        let horizon_ms = horizon.as_millis().max(1) as u64;
+        let mut push = |kind_tag: usize, count: usize, next: &mut dyn FnMut() -> u64| {
+            for _ in 0..count {
+                if nodes == 0 {
+                    break;
+                }
+                let node = (next() % nodes as u64) as usize;
+                // Fault lasts 10–40% of the horizon and starts early
+                // enough to heal before the end.
+                let duration_ms = horizon_ms / 10 + next() % (horizon_ms * 3 / 10).max(1);
+                let latest_start = horizon_ms.saturating_sub(duration_ms).max(1);
+                let at_ms = next() % latest_start;
+                let kind = match kind_tag {
+                    0 => FaultKind::Kill,
+                    1 => FaultKind::Partition,
+                    _ => FaultKind::Slow(Duration::from_millis(50 + next() % 200)),
+                };
+                events.push(FaultEvent {
+                    at: Duration::from_millis(at_ms),
+                    node,
+                    kind,
+                    duration: Duration::from_millis(duration_ms),
+                });
+            }
+        };
+        push(0, kills, &mut next);
+        push(1, partitions, &mut next);
+        push(2, slows, &mut next);
+        events.sort_by_key(|e| (e.at, e.node));
+        Self { seed, events }
+    }
+}
+
+/// Forwarding behaviour of a [`FaultProxy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProxyMode {
+    /// Bytes flow untouched.
+    Pass,
+    /// Partition: bytes are held (connections hang open) until the mode
+    /// changes back, then delivered.
+    Black,
+    /// Degraded link: each buffered read is delayed by this latency.
+    Slow(Duration),
+}
+
+/// Packed runtime representation of [`ProxyMode`] (tag + slow latency),
+/// shared with the pump threads.
+struct ModeCell {
+    tag: AtomicU8,
+    slow_ms: AtomicU64,
+}
+
+const MODE_PASS: u8 = 0;
+const MODE_BLACK: u8 = 1;
+const MODE_SLOW: u8 = 2;
+
+impl ModeCell {
+    fn store(&self, mode: ProxyMode) {
+        match mode {
+            ProxyMode::Pass => self.tag.store(MODE_PASS, Ordering::SeqCst),
+            ProxyMode::Black => self.tag.store(MODE_BLACK, Ordering::SeqCst),
+            ProxyMode::Slow(d) => {
+                self.slow_ms
+                    .store(d.as_millis().min(u64::MAX as u128) as u64, Ordering::SeqCst);
+                self.tag.store(MODE_SLOW, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn load(&self) -> ProxyMode {
+        match self.tag.load(Ordering::SeqCst) {
+            MODE_BLACK => ProxyMode::Black,
+            MODE_SLOW => {
+                ProxyMode::Slow(Duration::from_millis(self.slow_ms.load(Ordering::SeqCst)))
+            }
+            _ => ProxyMode::Pass,
+        }
+    }
+}
+
+/// An in-process TCP fault proxy in front of one upstream address.
+///
+/// Clients connect to [`FaultProxy::addr`]; each accepted connection dials
+/// the upstream and pumps bytes both ways on paired threads, consulting
+/// the proxy's [`ProxyMode`] before delivering each chunk. Flipping the
+/// mode affects **existing** connections too — a live connection entering
+/// `Black` simply stops making progress, exactly like a partitioned TCP
+/// flow, and resumes (bytes intact) when the partition heals.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    mode: Arc<ModeCell>,
+    stop: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Bind an ephemeral local port proxying to `upstream`, starting in
+    /// [`ProxyMode::Pass`].
+    ///
+    /// # Errors
+    /// I/O errors from binding the listener.
+    pub fn start(upstream: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let upstream = upstream.to_string();
+        let mode = Arc::new(ModeCell {
+            tag: AtomicU8::new(MODE_PASS),
+            slow_ms: AtomicU64::new(0),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_mode = Arc::clone(&mode);
+        let accept_stop = Arc::clone(&stop);
+        let accept = thread::Builder::new()
+            .name("share-fault-proxy".to_string())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(down) = incoming else { continue };
+                    let Ok(up) = TcpStream::connect(&upstream) else {
+                        let _ = down.shutdown(Shutdown::Both);
+                        continue;
+                    };
+                    let (Ok(down_rev), Ok(up_rev)) = (down.try_clone(), up.try_clone()) else {
+                        continue;
+                    };
+                    pump(down, up, Arc::clone(&accept_mode), Arc::clone(&accept_stop));
+                    pump(
+                        up_rev,
+                        down_rev,
+                        Arc::clone(&accept_mode),
+                        Arc::clone(&accept_stop),
+                    );
+                }
+            })?;
+        Ok(Self {
+            addr,
+            mode,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The proxy's listening address — hand this to the router as the
+    /// peer address instead of the upstream's.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Flip the forwarding mode (applies to existing connections too).
+    pub fn set_mode(&self, mode: ProxyMode) {
+        self.mode.store(mode);
+    }
+
+    /// Stop accepting and unblock the accept loop. Existing pump threads
+    /// exit as their connections close or on the stop flag.
+    pub fn stop(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// How often a held (`Black`) pump rechecks the mode, and the read timeout
+/// that keeps pump threads responsive to the stop flag.
+const PUMP_POLL: Duration = Duration::from_millis(10);
+
+/// Spawn one direction of a proxied connection: read from `src`, deliver
+/// to `dst` subject to the shared mode.
+fn pump(mut src: TcpStream, mut dst: TcpStream, mode: Arc<ModeCell>, stop: Arc<AtomicBool>) {
+    let _ = thread::Builder::new()
+        .name("share-fault-pump".to_string())
+        .spawn(move || {
+            let _ = src.set_read_timeout(Some(PUMP_POLL));
+            let mut buf = [0u8; 4096];
+            loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let n = match src.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => n,
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(_) => break,
+                };
+                // Hold the bytes while partitioned; deliver them (in
+                // order) once the partition heals.
+                loop {
+                    match mode.load() {
+                        ProxyMode::Black => {
+                            if stop.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            thread::sleep(PUMP_POLL);
+                        }
+                        ProxyMode::Slow(d) => {
+                            thread::sleep(d);
+                            break;
+                        }
+                        ProxyMode::Pass => break,
+                    }
+                }
+                if dst.write_all(&buf[..n]).is_err() || dst.flush().is_err() {
+                    break;
+                }
+            }
+            let _ = dst.shutdown(Shutdown::Write);
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_in_the_seed() {
+        let horizon = Duration::from_secs(10);
+        let a = ClusterFaultPlan::generate(7, 3, horizon, 2, 2, 1);
+        let b = ClusterFaultPlan::generate(7, 3, horizon, 2, 2, 1);
+        assert_eq!(a.events, b.events, "same seed, same schedule");
+        let c = ClusterFaultPlan::generate(8, 3, horizon, 2, 2, 1);
+        assert_ne!(a.events, c.events, "different seed, different schedule");
+        assert_eq!(a.events.len(), 5);
+        for e in &a.events {
+            assert!(e.node < 3);
+            assert!(
+                e.at + e.duration <= horizon,
+                "fault heals within horizon: {e:?}"
+            );
+        }
+        // Ordered by start offset.
+        for w in a.events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn proxy_passes_blackholes_and_heals() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        // Echo server: one connection, echo bytes back.
+        thread::spawn(move || {
+            let (mut conn, _) = upstream.accept().unwrap();
+            let mut writer = conn.try_clone().unwrap();
+            let mut buf = [0u8; 64];
+            loop {
+                match conn.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if writer.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        let mut proxy = FaultProxy::start(&upstream_addr.to_string()).unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+
+        // Pass: echo round-trips.
+        client.write_all(b"ping\n").unwrap();
+        let mut got = [0u8; 5];
+        client.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"ping\n");
+
+        // Black: bytes are held — the read times out.
+        proxy.set_mode(ProxyMode::Black);
+        client.write_all(b"hold\n").unwrap();
+        let mut held = [0u8; 5];
+        assert!(
+            client.read_exact(&mut held).is_err(),
+            "partitioned read must hang"
+        );
+
+        // Heal: the held bytes are delivered on the same connection.
+        proxy.set_mode(ProxyMode::Pass);
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        client.read_exact(&mut held).unwrap();
+        assert_eq!(&held, b"hold\n", "partition heals with bytes intact");
+        proxy.stop();
+    }
+}

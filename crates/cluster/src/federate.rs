@@ -6,7 +6,7 @@
 //! Families keep a single `# HELP`/`# TYPE` header however many nodes
 //! export them; every sample gains a `node` label naming its origin
 //! (samples that already carry one — the router's per-node counters —
-//! keep theirs). Two cluster rollups are appended so dashboards get the
+//! keep theirs). Cluster rollups are appended so dashboards get the
 //! headline numbers without recomputing them from the merged raw series:
 //!
 //! - `share_cluster_p99_ms` — the cluster-wide p99 service latency in
@@ -14,6 +14,8 @@
 //!   `share_request_latency_seconds` buckets across all nodes.
 //! - `share_cluster_cache_hit_ratio{node=...}` — each node's cache hit
 //!   ratio, `hits / (hits + misses)`.
+//! - `share_cluster_open_breakers` — how many peers' circuit breakers are
+//!   currently not closed (the nodes the router is routing around).
 //!
 //! The merged output passes the strict
 //! [`validate_exposition`](share_obs::prometheus::validate_exposition)
@@ -178,6 +180,13 @@ pub fn merge_expositions(sources: &[(String, String)]) -> String {
             ));
         }
     }
+    out.push_str(
+        "# HELP share_cluster_open_breakers Peer nodes whose circuit breaker is not closed.\n# TYPE share_cluster_open_breakers gauge\n",
+    );
+    out.push_str(&format!(
+        "share_cluster_open_breakers {}\n",
+        format_value(open_breakers(sources) as f64)
+    ));
     out
 }
 
@@ -252,6 +261,35 @@ fn cache_hit_ratios(sources: &[(String, String)]) -> Vec<(String, f64)> {
     out
 }
 
+/// Peer nodes whose `share_cluster_breaker_state` sample is nonzero
+/// (open or half-open) across the raw sources — the headline "how many
+/// nodes is the cluster routing around right now" number.
+fn open_breakers(sources: &[(String, String)]) -> usize {
+    let mut open = 0;
+    for (_, text) in sources {
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let Ok((name, _, rest)) = parse_sample(line) else {
+                continue;
+            };
+            if name != "share_cluster_breaker_state" {
+                continue;
+            }
+            let nonzero = rest
+                .split_whitespace()
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .is_some_and(|v| v != 0.0);
+            if nonzero {
+                open += 1;
+            }
+        }
+    }
+    open
+}
+
 /// The value of `metric`'s unlabelled sample in `text`, if present.
 fn plain_sample(text: &str, metric: &str) -> Option<f64> {
     for line in text.lines() {
@@ -313,13 +351,23 @@ mod tests {
             text.contains("share_cluster_requests_total{node=\"router\"} 7\n"),
             "{text}"
         );
-        assert!(text.contains("share_cluster_node_up{node=\"n1\"} 1\n"), "{text}");
+        assert!(
+            text.contains("share_cluster_node_up{node=\"n1\"} 1\n"),
+            "{text}"
+        );
         // Both engine nodes' series survive under distinct labels, with a
         // single header pair per family.
-        assert!(text.contains("share_cache_hits_total{node=\"n1\"} 30\n"), "{text}");
-        assert!(text.contains("share_cache_hits_total{node=\"n2\"} 5\n"), "{text}");
+        assert!(
+            text.contains("share_cache_hits_total{node=\"n1\"} 30\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("share_cache_hits_total{node=\"n2\"} 5\n"),
+            "{text}"
+        );
         assert_eq!(
-            text.matches("# TYPE share_cache_hits_total counter\n").count(),
+            text.matches("# TYPE share_cache_hits_total counter\n")
+                .count(),
             1
         );
         assert_eq!(
@@ -358,6 +406,20 @@ mod tests {
     fn empty_cluster_still_renders_a_valid_exposition() {
         let text = merge_expositions(&[]);
         assert!(text.contains("share_cluster_p99_ms 0\n"), "{text}");
+        assert!(text.contains("share_cluster_open_breakers 0\n"), "{text}");
+        share_obs::prometheus::validate_exposition(&text).expect("valid");
+    }
+
+    #[test]
+    fn open_breaker_rollup_counts_non_closed_states() {
+        let router = "# HELP share_cluster_breaker_state Breaker state.\n\
+                      # TYPE share_cluster_breaker_state gauge\n\
+                      share_cluster_breaker_state{node=\"n1\"} 0\n\
+                      share_cluster_breaker_state{node=\"n2\"} 1\n\
+                      share_cluster_breaker_state{node=\"n3\"} 2\n";
+        let sources = vec![("router".to_string(), router.to_string())];
+        let text = merge_expositions(&sources);
+        assert!(text.contains("share_cluster_open_breakers 2\n"), "{text}");
         share_obs::prometheus::validate_exposition(&text).expect("valid");
     }
 }

@@ -15,19 +15,30 @@
 //!
 //! [`membership`] keeps the ring honest: periodic health probes evict
 //! unreachable nodes (their keyspace falls to ring neighbors) and readmit
-//! them when they recover; a failed forward evicts immediately. Paired
-//! with the engine's warm-cache snapshot/restore
-//! ([`share_engine::snapshot`]), a killed node comes back serving its
-//! owned keyspace from cache, not cold.
+//! them when they recover, but only through a per-node **circuit breaker**
+//! — a single failed probe or forward counts toward a consecutive-failure
+//! threshold rather than evicting outright, and a flapping node must pass
+//! K consecutive probes before rejoining. Paired with the engine's
+//! warm-cache snapshot/restore ([`share_engine::snapshot`]), a killed node
+//! comes back serving its owned keyspace from cache, not cold.
+//!
+//! With `replicas` ≥ 2 the ring answers each key with an ordered **replica
+//! chain** of distinct owners: the router forwards to the primary, fails
+//! over down the chain on error, optionally **hedges** slow primaries, and
+//! warms the secondary's cache in the background — so losing any single
+//! node degrades latency, not availability (see [`router`]). The [`fault`]
+//! module makes those paths testable: a seeded fault plan plus an
+//! in-process partition/slow-link proxy drive reproducible chaos suites.
 //!
 //! | Module | Role |
 //! |--------|------|
-//! | [`ring`] | consistent-hash ring: virtual nodes, deterministic placement, minimal movement |
-//! | [`pool`] | per-node pooled NDJSON client connections |
-//! | [`membership`] | health-checked ring membership with eviction/readmission |
-//! | [`router`] | the forwarding front-end + its Prometheus scrape listener |
+//! | [`ring`] | consistent-hash ring: virtual nodes, deterministic placement, minimal movement, replica sets |
+//! | [`pool`] | per-node pooled NDJSON client connections with staleness pruning |
+//! | [`membership`] | health-checked ring membership with per-node circuit breakers |
+//! | [`router`] | the forwarding front-end: replica failover, hedging, deadline budgets |
 //! | [`metrics`] | `share_cluster_*` metric families |
 //! | [`federate`] | cluster-wide merged Prometheus exposition + rollups |
+//! | [`fault`] | deterministic chaos: seeded fault plans + partition proxy |
 //!
 //! The router also anchors **distributed tracing**: every `solve`/`batch`
 //! line mints (or adopts, when the client sent a `trace` field) a
@@ -58,6 +69,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod fault;
 pub mod federate;
 pub mod membership;
 pub mod metrics;
@@ -65,8 +77,11 @@ pub mod pool;
 pub mod ring;
 pub mod router;
 
+pub use fault::{ClusterFaultPlan, FaultEvent, FaultKind, FaultProxy, ProxyMode};
 pub use federate::{merge_expositions, Federator};
-pub use membership::{start_health_checker, HealthChecker, Membership};
+pub use membership::{
+    start_health_checker, BreakerConfig, BreakerState, HealthChecker, Membership,
+};
 pub use metrics::ClusterMetrics;
 pub use pool::NodePool;
 pub use ring::{stable_str_hash, HashRing};

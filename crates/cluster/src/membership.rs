@@ -1,17 +1,30 @@
-//! Health-checked ring membership.
+//! Health-checked ring membership with per-node circuit breakers.
 //!
-//! A [`Membership`] owns the cluster's [`HashRing`] plus the up/down state
-//! of every configured peer. Nodes leave the ring two ways — a failed
-//! periodic probe, or a failed forward reported by the router (so a dead
-//! node stops receiving traffic immediately, not an interval later) — and
-//! rejoin the only way: by passing a probe. Every transition updates the
-//! `share_cluster_*` gauges and counters and is logged.
+//! A [`Membership`] owns the cluster's [`HashRing`] plus a circuit breaker
+//! per configured peer:
+//!
+//! - **Closed** — the node is in the ring and receiving traffic. Failed
+//!   forwards and failed probes count *consecutive* failures; reaching
+//!   `failure_threshold` opens the breaker (the node is evicted and its
+//!   pooled connections discarded). Any success resets the count, so a
+//!   node that merely flaps under load is not bounced out of the ring.
+//! - **Open** — the node is out of the ring. The periodic health checker
+//!   probes it with bounded concurrency (one probe in flight per node);
+//!   while a probe runs the breaker reports **half-open**.
+//! - Readmission requires `readmit_successes` *consecutive* probe passes,
+//!   so a node that alternates probe success/failure every interval stays
+//!   evicted instead of oscillating eviction/readmission unboundedly.
+//!
+//! Every transition updates the `share_cluster_*` gauges and counters
+//! (including `share_cluster_breaker_state{node=...}`: 0 closed, 1 open,
+//! 2 half-open) and is logged.
 
 use crate::metrics::ClusterMetrics;
 use crate::pool::NodePool;
 use crate::ring::HashRing;
 use parking_lot::{Mutex, RwLock};
 use share_engine::{Client, ClientConfig, RequestBody, ResponseBody};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -20,20 +33,80 @@ use std::time::Duration;
 /// Tracing target of membership transitions.
 const TARGET: &str = "share_cluster::membership";
 
+/// Circuit-breaker tuning for [`Membership`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures (forward or probe) that open a node's breaker
+    /// and evict it. Clamped to ≥ 1.
+    pub failure_threshold: u32,
+    /// Consecutive probe successes required to close an open breaker and
+    /// readmit the node. Clamped to ≥ 1.
+    pub readmit_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 2,
+            readmit_successes: 2,
+        }
+    }
+}
+
+/// Breaker state of one peer, derived for metrics/traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// In the ring, receiving traffic.
+    Closed,
+    /// Evicted; waiting for probes.
+    Open,
+    /// Evicted with a readmission probe currently in flight.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The gauge encoding of this state (0 closed, 1 open, 2 half-open).
+    fn gauge(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::Open => 1.0,
+            BreakerState::HalfOpen => 2.0,
+        }
+    }
+
+    /// The label used on trace annotations.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Per-node breaker bookkeeping.
+#[derive(Default)]
+struct NodeHealth {
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    /// A half-open probe is in flight (bounds probe concurrency to 1).
+    probing: bool,
+}
+
 /// The cluster's membership state: configured peers, the live ring, and
-/// per-node health.
+/// per-node breaker health.
 pub struct Membership {
     peers: Vec<String>,
     ring: RwLock<HashRing>,
+    health: Mutex<HashMap<String, NodeHealth>>,
+    breaker: BreakerConfig,
     metrics: Arc<ClusterMetrics>,
     pool: Arc<NodePool>,
     probe_timeout: Duration,
 }
 
 impl Membership {
-    /// Build the membership over `peers`, all initially admitted to the
-    /// ring (the first probe pass — and any failed forward — corrects
-    /// optimism within one health interval).
+    /// [`Membership::with_breaker`] under the default [`BreakerConfig`].
     pub fn new(
         peers: &[String],
         vnodes: usize,
@@ -41,16 +114,43 @@ impl Membership {
         pool: Arc<NodePool>,
         probe_timeout: Duration,
     ) -> Arc<Self> {
+        Self::with_breaker(
+            peers,
+            vnodes,
+            metrics,
+            pool,
+            probe_timeout,
+            BreakerConfig::default(),
+        )
+    }
+
+    /// Build the membership over `peers`, all initially admitted to the
+    /// ring with closed breakers (the first probe passes — and any failed
+    /// forwards — correct optimism within one health interval).
+    pub fn with_breaker(
+        peers: &[String],
+        vnodes: usize,
+        metrics: Arc<ClusterMetrics>,
+        pool: Arc<NodePool>,
+        probe_timeout: Duration,
+        breaker: BreakerConfig,
+    ) -> Arc<Self> {
         let mut ring = HashRing::new(vnodes);
         for p in peers {
             ring.add(p);
             metrics.node_up(p).set(1.0);
+            metrics.breaker_state(p).set(BreakerState::Closed.gauge());
         }
         metrics.peer_nodes.set(peers.len() as f64);
         metrics.healthy_nodes.set(ring.len() as f64);
         Arc::new(Self {
             peers: peers.to_vec(),
             ring: RwLock::new(ring),
+            health: Mutex::new(HashMap::new()),
+            breaker: BreakerConfig {
+                failure_threshold: breaker.failure_threshold.max(1),
+                readmit_successes: breaker.readmit_successes.max(1),
+            },
             metrics,
             pool,
             probe_timeout,
@@ -62,10 +162,27 @@ impl Membership {
         &self.peers
     }
 
+    /// The breaker tuning in force.
+    pub fn breaker_config(&self) -> BreakerConfig {
+        self.breaker
+    }
+
     /// The node currently owning `key_hash`, or `None` when every peer is
     /// evicted.
     pub fn owner(&self, key_hash: u64) -> Option<String> {
         self.ring.read().owner(key_hash).map(str::to_string)
+    }
+
+    /// The ordered replica set of `key_hash` over the *live* ring: up to
+    /// `r` distinct healthy nodes, primary first (see
+    /// [`HashRing::owners`]).
+    pub fn owners(&self, key_hash: u64, r: usize) -> Vec<String> {
+        self.ring
+            .read()
+            .owners(key_hash, r)
+            .into_iter()
+            .map(str::to_string)
+            .collect()
     }
 
     /// Nodes currently in the ring.
@@ -78,8 +195,22 @@ impl Membership {
         self.ring.read().contains(node)
     }
 
-    /// Remove `node` from the ring (its keyspace falls to the survivors).
-    /// Idempotent; returns `true` on an actual transition.
+    /// The breaker state of `node` (nodes in the ring are closed).
+    pub fn breaker_state(&self, node: &str) -> BreakerState {
+        if self.is_healthy(node) {
+            return BreakerState::Closed;
+        }
+        let probing = self.health.lock().get(node).is_some_and(|h| h.probing);
+        if probing {
+            BreakerState::HalfOpen
+        } else {
+            BreakerState::Open
+        }
+    }
+
+    /// Remove `node` from the ring (its keyspace falls to the survivors)
+    /// and mark its breaker open. Idempotent; returns `true` on an actual
+    /// transition.
     pub fn evict(&self, node: &str, reason: &str) -> bool {
         let removed = {
             let mut ring = self.ring.write();
@@ -92,6 +223,9 @@ impl Membership {
         if removed {
             self.metrics.evictions.inc();
             self.metrics.node_up(node).set(0.0);
+            self.metrics
+                .breaker_state(node)
+                .set(BreakerState::Open.gauge());
             self.pool.discard_node(node);
             share_obs::obs_warn!(
                 target: TARGET,
@@ -103,8 +237,8 @@ impl Membership {
         removed
     }
 
-    /// Re-add `node` to the ring (it reclaims its keyspace). Idempotent;
-    /// returns `true` on an actual transition.
+    /// Re-add `node` to the ring (it reclaims its keyspace) and close its
+    /// breaker. Idempotent; returns `true` on an actual transition.
     pub fn readmit(&self, node: &str) -> bool {
         let added = {
             let mut ring = self.ring.write();
@@ -115,8 +249,16 @@ impl Membership {
             added
         };
         if added {
+            let mut health = self.health.lock();
+            let h = health.entry(node.to_string()).or_default();
+            h.consecutive_failures = 0;
+            h.consecutive_successes = 0;
+            drop(health);
             self.metrics.readmissions.inc();
             self.metrics.node_up(node).set(1.0);
+            self.metrics
+                .breaker_state(node)
+                .set(BreakerState::Closed.gauge());
             share_obs::obs_info!(
                 target: TARGET,
                 "node_readmitted",
@@ -126,10 +268,34 @@ impl Membership {
         added
     }
 
-    /// The router's failure report: a forward to `node` failed with an I/O
-    /// error, so take it out of rotation now rather than an interval later.
+    /// The router's failure report: a forward to (or probe of) `node`
+    /// failed. Counts one consecutive failure; at the breaker threshold
+    /// the node is evicted and the breaker opens.
     pub fn report_failure(&self, node: &str) {
-        self.evict(node, "forward_failed");
+        let open = {
+            let mut health = self.health.lock();
+            let h = health.entry(node.to_string()).or_default();
+            h.consecutive_successes = 0;
+            h.consecutive_failures = h.consecutive_failures.saturating_add(1);
+            h.consecutive_failures >= self.breaker.failure_threshold
+        };
+        if open && self.evict(node, "breaker_open") {
+            self.metrics.breaker_opens.inc();
+            share_obs::obs_warn!(
+                target: TARGET,
+                "breaker_opened",
+                "node" => node.to_string(),
+                "threshold" => u64::from(self.breaker.failure_threshold)
+            );
+        }
+    }
+
+    /// The router's success report: a forward to `node` completed, so its
+    /// consecutive-failure count resets (breakers open only on *streaks*).
+    pub fn report_success(&self, node: &str) {
+        if let Some(h) = self.health.lock().get_mut(node) {
+            h.consecutive_failures = 0;
+        }
     }
 
     /// One liveness probe: fresh short-timeout connection + `ping`.
@@ -151,15 +317,62 @@ impl Membership {
         }
     }
 
-    /// One health pass over every configured peer: failed probes evict,
-    /// passed probes readmit.
+    /// One health pass over every configured peer.
+    ///
+    /// Healthy (closed) nodes: a failed probe counts toward the breaker
+    /// threshold; a pass resets the streak. Evicted (open) nodes: the
+    /// probe runs half-open with at most one in flight per node, and only
+    /// `readmit_successes` consecutive passes readmit.
     pub fn check_all(&self) {
         for node in &self.peers {
-            if self.probe(node) {
-                self.readmit(node);
-            } else {
-                self.evict(node, "probe_failed");
+            if self.is_healthy(node) {
+                if self.probe(node) {
+                    self.report_success(node);
+                } else {
+                    self.report_failure(node);
+                }
+            } else if self.begin_half_open(node) {
+                let ok = self.probe(node);
+                self.finish_half_open(node, ok);
             }
+        }
+    }
+
+    /// Claim the single half-open probe slot of `node`. Returns `false`
+    /// when a probe is already in flight.
+    fn begin_half_open(&self, node: &str) -> bool {
+        let mut health = self.health.lock();
+        let h = health.entry(node.to_string()).or_default();
+        if h.probing {
+            return false;
+        }
+        h.probing = true;
+        self.metrics
+            .breaker_state(node)
+            .set(BreakerState::HalfOpen.gauge());
+        true
+    }
+
+    /// Record the outcome of a half-open probe; the `readmit_successes`-th
+    /// consecutive pass closes the breaker and readmits the node.
+    fn finish_half_open(&self, node: &str, ok: bool) {
+        let readmittable = {
+            let mut health = self.health.lock();
+            let h = health.entry(node.to_string()).or_default();
+            h.probing = false;
+            if ok {
+                h.consecutive_successes = h.consecutive_successes.saturating_add(1);
+            } else {
+                h.consecutive_successes = 0;
+            }
+            h.consecutive_successes >= self.breaker.readmit_successes
+        };
+        if readmittable {
+            self.readmit(node);
+        } else {
+            self.metrics
+                .breaker_state(node)
+                .set(BreakerState::Open.gauge());
         }
     }
 }
@@ -234,9 +447,14 @@ mod tests {
         assert_eq!(m.healthy().len(), 3);
         assert!(m.is_healthy("n2"));
         assert!(m.owner(stable_str_hash("k")).is_some());
+        assert_eq!(m.breaker_state("n1"), BreakerState::Closed);
         let text = m.metrics.render();
         assert!(text.contains("share_cluster_healthy_nodes 3\n"), "{text}");
         assert!(text.contains("share_cluster_peer_nodes 3\n"), "{text}");
+        assert!(
+            text.contains("share_cluster_breaker_state{node=\"n1\"} 0\n"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -245,22 +463,63 @@ mod tests {
         assert!(m.evict("n1", "test"));
         assert!(!m.evict("n1", "test"), "second eviction is a no-op");
         assert!(!m.is_healthy("n1"));
+        assert_eq!(m.breaker_state("n1"), BreakerState::Open);
         assert_eq!(m.healthy(), vec!["n2".to_string()]);
         let text = m.metrics.render();
         assert!(text.contains("share_cluster_healthy_nodes 1\n"), "{text}");
         assert!(text.contains("share_cluster_evictions_total 1\n"), "{text}");
-        assert!(text.contains("share_cluster_node_up{node=\"n1\"} 0\n"), "{text}");
+        assert!(
+            text.contains("share_cluster_node_up{node=\"n1\"} 0\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("share_cluster_breaker_state{node=\"n1\"} 1\n"),
+            "{text}"
+        );
 
         assert!(m.readmit("n1"));
         assert!(!m.readmit("n1"), "second readmission is a no-op");
         assert!(m.is_healthy("n1"));
+        assert_eq!(m.breaker_state("n1"), BreakerState::Closed);
         let text = m.metrics.render();
         assert!(text.contains("share_cluster_healthy_nodes 2\n"), "{text}");
         assert!(
             text.contains("share_cluster_readmissions_total 1\n"),
             "{text}"
         );
-        assert!(text.contains("share_cluster_node_up{node=\"n1\"} 1\n"), "{text}");
+        assert!(
+            text.contains("share_cluster_node_up{node=\"n1\"} 1\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn breaker_opens_on_consecutive_failures_only() {
+        let m = membership(&["n1", "n2", "n3"]);
+        // One failure, then a success: the streak resets, nothing opens.
+        m.report_failure("n1");
+        m.report_success("n1");
+        m.report_failure("n1");
+        assert!(
+            m.is_healthy("n1"),
+            "interleaved successes keep the breaker closed"
+        );
+        // A clean streak at the threshold (default 2) opens it.
+        m.report_failure("n1");
+        assert!(!m.is_healthy("n1"));
+        assert_eq!(m.breaker_state("n1"), BreakerState::Open);
+        let text = m.metrics.render();
+        assert!(
+            text.contains("share_cluster_breaker_opens_total 1\n"),
+            "{text}"
+        );
+        // Further reports on an open breaker do not re-open it.
+        m.report_failure("n1");
+        let text = m.metrics.render();
+        assert!(
+            text.contains("share_cluster_breaker_opens_total 1\n"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -270,7 +529,9 @@ mod tests {
             .map(|i| stable_str_hash(&format!("k{i}")))
             .collect();
         let before: Vec<String> = hashes.iter().map(|&h| m.owner(h).unwrap()).collect();
-        m.report_failure("n1");
+        for _ in 0..m.breaker_config().failure_threshold {
+            m.report_failure("n1");
+        }
         for (h, owner_before) in hashes.iter().zip(&before) {
             let after = m.owner(*h).unwrap();
             if owner_before != "n1" {
@@ -282,6 +543,21 @@ mod tests {
     }
 
     #[test]
+    fn replica_chain_skips_evicted_nodes() {
+        let m = membership(&["n1", "n2", "n3"]);
+        let h = stable_str_hash("some-key");
+        let chain = m.owners(h, 2);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0], m.owner(h).unwrap());
+        m.evict(&chain[0], "test");
+        let promoted = m.owners(h, 2);
+        assert_eq!(
+            promoted[0], chain[1],
+            "the secondary is promoted when the primary leaves"
+        );
+    }
+
+    #[test]
     fn probe_of_an_unreachable_node_fails_fast() {
         let dead = {
             let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
@@ -289,7 +565,9 @@ mod tests {
         };
         let m = membership(&[dead.as_str()]);
         assert!(!m.probe(&dead));
-        m.check_all();
+        for _ in 0..m.breaker_config().failure_threshold {
+            m.check_all();
+        }
         assert!(m.healthy().is_empty());
     }
 }

@@ -25,6 +25,19 @@ pub struct ClusterMetrics {
     pub(crate) batch_splits: Arc<Counter>,
     /// Requests answered `node_unavailable` after exhausting live owners.
     pub(crate) unroutable: Arc<Counter>,
+    /// Requests that failed on one replica and were retried on another.
+    pub(crate) failovers: Arc<Counter>,
+    /// Hedged forwards fired after the primary exceeded the hedge budget.
+    pub(crate) hedges: Arc<Counter>,
+    /// Hedged forwards whose hedge reply won the race.
+    pub(crate) hedge_wins: Arc<Counter>,
+    /// Per-node circuit breakers that transitioned closed → open.
+    pub(crate) breaker_opens: Arc<Counter>,
+    /// Background forwards warming a secondary replica's cache.
+    pub(crate) replica_warms: Arc<Counter>,
+    /// Requests answered `deadline_expired` before forwarding because the
+    /// routing budget was already spent.
+    pub(crate) deadline_exhausted: Arc<Counter>,
 }
 
 impl Default for ClusterMetrics {
@@ -79,6 +92,30 @@ impl ClusterMetrics {
             "share_cluster_unroutable_total",
             "Requests answered node_unavailable after exhausting live owners.",
         );
+        let failovers = registry.counter(
+            "share_cluster_failovers_total",
+            "Requests that failed on one replica and succeeded on another.",
+        );
+        let hedges = registry.counter(
+            "share_cluster_hedges_total",
+            "Hedged forwards fired after the primary exceeded the hedge budget.",
+        );
+        let hedge_wins = registry.counter(
+            "share_cluster_hedge_wins_total",
+            "Hedged forwards whose hedge reply won the race.",
+        );
+        let breaker_opens = registry.counter(
+            "share_cluster_breaker_opens_total",
+            "Per-node circuit breakers that transitioned closed to open.",
+        );
+        let replica_warms = registry.counter(
+            "share_cluster_replica_warms_total",
+            "Background forwards warming a secondary replica's cache.",
+        );
+        let deadline_exhausted = registry.counter(
+            "share_cluster_deadline_exhausted_total",
+            "Requests answered deadline_expired before forwarding (budget spent).",
+        );
         Self {
             registry,
             healthy_nodes,
@@ -89,6 +126,12 @@ impl ClusterMetrics {
             requests,
             batch_splits,
             unroutable,
+            failovers,
+            hedges,
+            hedge_wins,
+            breaker_opens,
+            replica_warms,
+            deadline_exhausted,
         }
     }
 
@@ -119,6 +162,16 @@ impl ClusterMetrics {
         )
     }
 
+    /// Circuit-breaker state gauge for one peer node: 0 closed, 1 open,
+    /// 2 half-open (probe in flight).
+    pub(crate) fn breaker_state(&self, node: &str) -> Arc<Gauge> {
+        self.registry.gauge_with(
+            "share_cluster_breaker_state",
+            "Circuit breaker of the labelled node: 0 closed, 1 open, 2 half-open.",
+            &[("node", node)],
+        )
+    }
+
     /// Render every family as Prometheus text exposition format 0.0.4.
     pub fn render(&self) -> String {
         self.registry.render()
@@ -139,7 +192,22 @@ mod tests {
         m.forwards("127.0.0.1:7001").add(5);
         m.forward_errors("127.0.0.1:7002").inc();
         m.evictions.inc();
+        m.failovers.inc();
+        m.hedges.add(2);
+        m.hedge_wins.inc();
+        m.breaker_opens.inc();
+        m.breaker_state("127.0.0.1:7002").set(1.0);
         let text = m.render();
+        assert!(text.contains("share_cluster_failovers_total 1\n"), "{text}");
+        assert!(text.contains("share_cluster_hedges_total 2\n"), "{text}");
+        assert!(
+            text.contains("share_cluster_hedge_wins_total 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("share_cluster_breaker_state{node=\"127.0.0.1:7002\"} 1\n"),
+            "{text}"
+        );
         assert!(text.contains("share_cluster_healthy_nodes 2\n"), "{text}");
         assert!(text.contains("share_cluster_peer_nodes 3\n"), "{text}");
         assert!(
@@ -151,8 +219,7 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("share_cluster_evictions_total 1\n"), "{text}");
-        let stats =
-            share_obs::prometheus::validate_exposition(&text).expect("valid exposition");
+        let stats = share_obs::prometheus::validate_exposition(&text).expect("valid exposition");
         assert!(stats.families >= 8);
     }
 

@@ -6,20 +6,41 @@
 //! them across requests. A forward that fails drops its client instead of
 //! returning it (the connection is poisoned), and evicting a node discards
 //! its whole idle stack so a readmitted node starts from fresh sockets.
+//!
+//! Checked-out connections are **validated**: an idle connection older
+//! than the pool's age bound, or one whose socket has gone dead while
+//! pooled (the node restarted and closed it), is pruned and replaced with
+//! a fresh dial instead of being handed to a forward that would fail on
+//! first use.
 
 use parking_lot::Mutex;
 use share_engine::{Client, ClientConfig};
 use std::collections::HashMap;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Default cap on idle connections retained per node.
 const DEFAULT_MAX_IDLE: usize = 8;
+
+/// Default age bound on idle connections: older ones are re-dialed rather
+/// than reused (they sail past any liveness hint a dead peer left behind,
+/// e.g. a silently dropped NAT/conntrack entry).
+const DEFAULT_MAX_IDLE_AGE: Duration = Duration::from_secs(30);
+
+/// One pooled idle connection and when it was checked in.
+struct Idle {
+    client: Client,
+    since: Instant,
+}
 
 /// A per-node pool of idle [`Client`] connections.
 pub struct NodePool {
     config: ClientConfig,
     max_idle: usize,
-    idle: Mutex<HashMap<String, Vec<Client>>>,
+    max_idle_age: Duration,
+    idle: Mutex<HashMap<String, Vec<Idle>>>,
+    pruned: AtomicU64,
 }
 
 impl NodePool {
@@ -31,25 +52,36 @@ impl NodePool {
 
     /// A pool retaining at most `max_idle` idle connections per node.
     pub fn with_max_idle(config: ClientConfig, max_idle: usize) -> Self {
+        Self::with_limits(config, max_idle, DEFAULT_MAX_IDLE_AGE)
+    }
+
+    /// A pool retaining at most `max_idle` idle connections per node, none
+    /// older than `max_idle_age`.
+    pub fn with_limits(config: ClientConfig, max_idle: usize, max_idle_age: Duration) -> Self {
         Self {
             config,
             max_idle,
+            max_idle_age,
             idle: Mutex::new(HashMap::new()),
+            pruned: AtomicU64::new(0),
         }
     }
 
-    /// Pop an idle connection to `node`, or dial a fresh one.
+    /// Pop a **validated** idle connection to `node`, or dial a fresh one.
+    /// Idle connections past the age bound, or whose socket reports dead
+    /// (EOF/error/unsolicited bytes), are pruned and the next candidate
+    /// tried.
     ///
     /// # Errors
     /// Connection I/O errors from the dial.
     pub fn checkout(&self, node: &str) -> io::Result<Client> {
-        if let Some(client) = self
-            .idle
-            .lock()
-            .get_mut(node)
-            .and_then(|stack| stack.pop())
-        {
-            return Ok(client);
+        loop {
+            let candidate = self.idle.lock().get_mut(node).and_then(|stack| stack.pop());
+            let Some(entry) = candidate else { break };
+            if entry.since.elapsed() <= self.max_idle_age && entry.client.probe_liveness() {
+                return Ok(entry.client);
+            }
+            self.pruned.fetch_add(1, Ordering::Relaxed);
         }
         Client::connect_with(node, self.config.clone())
     }
@@ -60,7 +92,10 @@ impl NodePool {
         let mut idle = self.idle.lock();
         let stack = idle.entry(node.to_string()).or_default();
         if stack.len() < self.max_idle {
-            stack.push(client);
+            stack.push(Idle {
+                client,
+                since: Instant::now(),
+            });
         }
     }
 
@@ -74,6 +109,11 @@ impl NodePool {
     /// Idle connections currently pooled for `node`.
     pub fn idle_count(&self, node: &str) -> usize {
         self.idle.lock().get(node).map_or(0, Vec::len)
+    }
+
+    /// Idle connections pruned at checkout (stale age or dead socket).
+    pub fn pruned_count(&self) -> u64 {
+        self.pruned.load(Ordering::Relaxed)
     }
 }
 
@@ -93,6 +133,7 @@ mod tests {
         assert_eq!(pool.idle_count(&addr), 1);
         let _c = pool.checkout(&addr).unwrap();
         assert_eq!(pool.idle_count(&addr), 0, "idle connection was reused");
+        assert_eq!(pool.pruned_count(), 0, "live in-age connection not pruned");
     }
 
     #[test]
@@ -117,5 +158,22 @@ mod tests {
         };
         let pool = NodePool::new(ClientConfig::default());
         assert!(pool.checkout(&dead).is_err());
+    }
+
+    #[test]
+    fn aged_out_idle_connections_are_pruned_not_reused() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let pool = NodePool::with_limits(ClientConfig::default(), 4, Duration::ZERO);
+        let c = pool.checkout(&addr).unwrap();
+        pool.checkin(&addr, c);
+        // Age bound zero: the pooled connection is instantly stale.
+        let _fresh = pool.checkout(&addr).unwrap();
+        assert_eq!(
+            pool.pruned_count(),
+            1,
+            "stale connection pruned at checkout"
+        );
+        assert_eq!(pool.idle_count(&addr), 0);
     }
 }

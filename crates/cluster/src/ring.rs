@@ -78,7 +78,9 @@ impl HashRing {
 
     /// `true` when `node` is a member.
     pub fn contains(&self, node: &str) -> bool {
-        self.nodes.binary_search_by(|n| n.as_str().cmp(node)).is_ok()
+        self.nodes
+            .binary_search_by(|n| n.as_str().cmp(node))
+            .is_ok()
     }
 
     /// Add a member. Returns `false` (and changes nothing) when the node
@@ -133,6 +135,34 @@ impl HashRing {
             .checked_rem(self.points.len())
             .expect("non-empty point list");
         Some(self.points[idx].1.as_str())
+    }
+
+    /// The ordered replica set of `key_hash`: up to `r` **distinct** nodes,
+    /// collected by walking clockwise from the key's point and skipping
+    /// nodes already chosen. `owners(h, 1)` is `owner(h)`; fewer than `r`
+    /// members yields every member.
+    ///
+    /// Because replicas are the *next distinct nodes clockwise*, removing
+    /// the primary promotes the old secondary to primary for the whole of
+    /// the removed keyspace — which is what makes failover (and replica
+    /// cache warming) land on a node that already saw the key.
+    pub fn owners(&self, key_hash: u64, r: usize) -> Vec<&str> {
+        let want = r.min(self.nodes.len());
+        let mut out: Vec<&str> = Vec::with_capacity(want);
+        if want == 0 || self.points.is_empty() {
+            return out;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < key_hash);
+        for k in 0..self.points.len() {
+            let (_, node) = &self.points[(start + k) % self.points.len()];
+            if !out.iter().any(|n| *n == node.as_str()) {
+                out.push(node.as_str());
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
     }
 }
 
@@ -221,6 +251,53 @@ mod tests {
                 n > ideal / 3 && n < ideal * 3,
                 "node {node} owns {n} of {total} keys — too far from ideal {ideal}"
             );
+        }
+    }
+
+    #[test]
+    fn owners_returns_distinct_nodes_with_the_owner_first() {
+        let r = ring(&["n1", "n2", "n3"]);
+        for h in (0..2_000u64).map(|i| stable_str_hash(&format!("k{i}"))) {
+            let owners = r.owners(h, 2);
+            assert_eq!(owners.len(), 2);
+            assert_eq!(owners[0], r.owner(h).unwrap());
+            assert_ne!(owners[0], owners[1]);
+            // Asking for more replicas than members yields every member.
+            let all = r.owners(h, 10);
+            assert_eq!(all.len(), 3);
+            let mut sorted: Vec<&str> = all.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3);
+        }
+        assert!(HashRing::new(64).owners(42, 2).is_empty());
+        assert!(r.owners(42, 0).is_empty());
+    }
+
+    #[test]
+    fn removing_the_primary_promotes_the_secondary() {
+        let mut r = ring(&["n1", "n2", "n3", "n4"]);
+        let hashes: Vec<u64> = (0..2_000u64)
+            .map(|i| stable_str_hash(&format!("k{i}")))
+            .collect();
+        let before: Vec<(String, String)> = hashes
+            .iter()
+            .map(|&h| {
+                let o = r.owners(h, 2);
+                (o[0].to_string(), o[1].to_string())
+            })
+            .collect();
+        r.remove("n2");
+        for (&h, (primary, secondary)) in hashes.iter().zip(&before) {
+            let after = r.owners(h, 2);
+            if primary == "n2" {
+                assert_eq!(
+                    after[0], secondary,
+                    "failover target is the old secondary, whose cache is warm"
+                );
+            } else {
+                assert_eq!(after[0], primary, "unaffected primaries do not move");
+            }
         }
     }
 

@@ -1,5 +1,5 @@
 //! The cluster front-end: an NDJSON server that forwards each request to
-//! the engine node owning its cache key.
+//! the engine nodes owning its cache key.
 //!
 //! The router speaks exactly the engine's wire protocol, so existing
 //! clients point at it unchanged. Each `solve` is quantized with the same
@@ -11,15 +11,28 @@
 //! by owner, forwarded as sub-batches, and reassembled in submission
 //! order.
 //!
-//! A forward that fails evicts the node immediately
-//! ([`Membership::report_failure`]) and retries against the reassigned
-//! owner; when no live owner remains the client receives a
-//! `node_unavailable` error, which [`Client`](share_engine::Client)'s
-//! retry machinery treats as transient — so retrying clients converge to
-//! success as soon as the health checker (or the next forward) has fixed
-//! the ring. Every request line is answered exactly once, whatever the
-//! forwarding path did.
+//! ## Resilience
+//!
+//! With `replicas` ≥ 2 every key has an ordered **replica chain** (see
+//! [`HashRing::owners`](crate::ring::HashRing::owners)); a forward that
+//! fails walks down the chain instead of failing the request, counting a
+//! failure toward the node's circuit breaker
+//! ([`Membership::report_failure`]). Optionally the router **hedges**: if
+//! the primary has not answered within the hedge budget, the same request
+//! is fired at the secondary and the first reply wins (the loser is
+//! abandoned — its connection drains in the background and returns to the
+//! pool). Successful *cold* solves are asynchronously re-forwarded to one
+//! replica (write-through warming), so the failover target already holds
+//! the key in cache when it is promoted.
+//!
+//! The router also subtracts its own elapsed time from the client's
+//! `deadline_ms` before each forward (a dying first hop cannot spend the
+//! whole budget), and `node_unavailable` replies carry a jittered,
+//! backlog-scaled `retry_after_ms` so a crowd of retrying clients fans out
+//! instead of stampeding a readmitted node. Every request line is answered
+//! exactly once, whatever the forwarding path did.
 
+use crate::fault::splitmix64;
 use crate::membership::{start_health_checker, HealthChecker, Membership};
 use crate::metrics::ClusterMetrics;
 use crate::pool::NodePool;
@@ -35,10 +48,12 @@ use share_obs::{HopSpan, SpanRecord, TraceContext};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
+
+use crate::membership::BreakerConfig;
 
 /// Tracing target of router lifecycle events.
 const TARGET: &str = "share_cluster::router";
@@ -55,16 +70,30 @@ pub struct RouterConfig {
     /// Connect/read/write timeout of one health probe.
     pub probe_timeout: Duration,
     /// Client config for forwarding connections. Leave `retry` unset: the
-    /// router owns failover (evict + re-forward), and nested retries would
-    /// multiply worst-case latency.
+    /// router owns failover (replica chain + breaker), and nested retries
+    /// would multiply worst-case latency.
     pub forward: ClientConfig,
     /// Quantizer tolerances used to compute ownership keys. Must match the
     /// engine nodes' configuration, or the router and the nodes will
     /// disagree about which requests coalesce.
     pub quantizer: QuantizerConfig,
-    /// How many owners to try before answering `node_unavailable` (each
-    /// failed attempt evicts the failed node and reroutes).
+    /// How many distinct owners to try before answering
+    /// `node_unavailable` (at least `replicas` are always tried).
     pub max_forward_attempts: usize,
+    /// Replica-chain length per key: the number of distinct owners a
+    /// request may fail over across (1 disables replication).
+    pub replicas: usize,
+    /// Hedge budget: when set, a solve whose primary forward has not
+    /// answered within this duration is also fired at the secondary, and
+    /// the first reply wins. `None` disables hedging.
+    pub hedge: Option<Duration>,
+    /// Per-node circuit-breaker tuning (consecutive failures to open,
+    /// consecutive probe passes to readmit).
+    pub breaker: BreakerConfig,
+    /// Write-through cache warming: asynchronously re-forward each cold
+    /// solve to one replica so the failover target stays hot. Only
+    /// effective with `replicas` ≥ 2.
+    pub warm_replicas: bool,
 }
 
 impl Default for RouterConfig {
@@ -77,7 +106,107 @@ impl Default for RouterConfig {
             forward: ClientConfig::default(),
             quantizer: QuantizerConfig::default(),
             max_forward_attempts: 2,
+            replicas: 2,
+            hedge: None,
+            breaker: BreakerConfig::default(),
+            warm_replicas: true,
         }
+    }
+}
+
+/// Jittered, backlog-scaled `retry_after_ms` hints for `node_unavailable`
+/// replies.
+///
+/// The base hint is the health interval (that bounds how stale the ring
+/// can be). Each outstanding unavailable answer scales the next hint up
+/// (capped at 8× — under a pile-up, clients are told to back off harder),
+/// and a deterministic seeded jitter of up to +50% spreads a crowd of
+/// identically-hinted clients across time instead of stampeding a
+/// readmitted node in lockstep. Hints therefore stay within
+/// `[base, bound()]`.
+pub(crate) struct RetryHinter {
+    base_ms: u64,
+    seed: u64,
+    /// Hints issued (drives the jitter stream).
+    seq: AtomicU64,
+    /// Outstanding unavailable answers: incremented per hint, decremented
+    /// per successfully routed request, so the scale decays as the
+    /// cluster heals.
+    backlog: AtomicU64,
+}
+
+/// Cap on the backlog scale factor.
+const HINT_BACKLOG_CAP: u64 = 8;
+
+impl RetryHinter {
+    pub(crate) fn new(base_ms: u64, seed: u64) -> Self {
+        Self {
+            base_ms: base_ms.max(1),
+            seed,
+            seq: AtomicU64::new(0),
+            backlog: AtomicU64::new(0),
+        }
+    }
+
+    /// The inclusive upper bound any hint can reach.
+    pub(crate) fn bound(&self) -> u64 {
+        let scaled = self.base_ms * HINT_BACKLOG_CAP;
+        scaled + scaled / 2
+    }
+
+    /// The hint for one `node_unavailable` reply (counts toward the
+    /// backlog).
+    pub(crate) fn unavailable(&self) -> u64 {
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        let backlog = self
+            .backlog
+            .fetch_add(1, Ordering::Relaxed)
+            .saturating_add(1);
+        let scaled = self.base_ms * backlog.min(HINT_BACKLOG_CAP);
+        let jitter = splitmix64(self.seed ^ n.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            % (scaled / 2 + 1);
+        scaled + jitter
+    }
+
+    /// A request routed successfully; one unit of backlog drains.
+    pub(crate) fn note_success(&self) {
+        let _ = self
+            .backlog
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+    }
+}
+
+/// Best-effort background forwarder warming replica caches: cold solves
+/// are re-forwarded to one replica off the request path, so a promoted
+/// secondary already holds the keys it inherits. Bounded queue; overflow
+/// drops the warm (it is an optimization, never backpressure).
+struct Warmer {
+    tx: mpsc::SyncSender<(String, RequestBody)>,
+}
+
+impl Warmer {
+    fn start(pool: Arc<NodePool>, metrics: Arc<ClusterMetrics>) -> Self {
+        let (tx, rx) = mpsc::sync_channel::<(String, RequestBody)>(64);
+        // The thread owns only pool/metrics handles and exits when the
+        // last sender (the router ctx) drops.
+        let _ = thread::Builder::new()
+            .name("share-cluster-warm".to_string())
+            .spawn(move || {
+                while let Ok((node, body)) = rx.recv() {
+                    let Ok(mut client) = pool.checkout(&node) else {
+                        continue;
+                    };
+                    if client.call(body).is_ok() {
+                        pool.checkin(&node, client);
+                        metrics.replica_warms.inc();
+                    }
+                }
+            });
+        Self { tx }
+    }
+
+    fn enqueue(&self, node: &str, body: RequestBody) {
+        let _ = self.tx.try_send((node.to_string(), body));
     }
 }
 
@@ -88,9 +217,10 @@ struct RouterCtx {
     metrics: Arc<ClusterMetrics>,
     quantizer: QuantizerConfig,
     max_attempts: usize,
-    /// `retry_after_ms` hint on `node_unavailable` replies — the health
-    /// interval, since that bounds how stale the ring can be.
-    retry_hint_ms: u64,
+    replicas: usize,
+    hedge: Option<Duration>,
+    hints: RetryHinter,
+    warmer: Option<Warmer>,
 }
 
 /// The ring-ownership hash of one solve request.
@@ -106,46 +236,58 @@ fn key_hash(
 /// Forward one request over a pooled connection. On success the connection
 /// returns to the pool; on failure it is dropped (poisoned).
 ///
-/// When the request is traced, records a `pool_checkout` child span and a
-/// `forward` child span (annotated with the target node), and stamps the
-/// forward span's context on the wire so the receiving engine's hop root
-/// parents under it.
+/// When the request is traced (`parent` carries the hop context), records
+/// a `pool_checkout` child span and a `forward` child span (annotated with
+/// the target node, the forwarding `role`, and the node's breaker state),
+/// and stamps the forward span's context on the wire so the receiving
+/// engine's hop root parents under it.
 fn forward_once(
     ctx: &RouterCtx,
     node: &str,
     body: RequestBody,
-    hop: Option<&HopSpan>,
+    parent: Option<TraceContext>,
+    role: &'static str,
 ) -> io::Result<WireResponse> {
     let checkout_start = Instant::now();
     let checked = ctx.pool.checkout(node);
-    if let Some(h) = hop {
+    if let Some(p) = parent {
+        let cctx = p.child();
         let mut annotations = vec![("node".to_string(), node.to_string())];
         if checked.is_err() {
             annotations.push(("error".to_string(), "dial".to_string()));
         }
-        h.child_at(
-            "pool_checkout",
-            checkout_start,
-            checkout_start.elapsed(),
+        share_obs::trace::record_span(SpanRecord {
+            trace_id: p.trace_id,
+            span_id: cctx.span_id,
+            parent_span_id: p.span_id,
+            name: "pool_checkout".to_string(),
+            node: "router".to_string(),
+            start_us: share_obs::trace::anchored_us(checkout_start),
+            duration_ns: checkout_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
             annotations,
-        );
+        });
     }
     let mut client = checked?;
     // Mint the forward span's context before the call so the wire carries
     // it; record the span itself once the duration is known.
-    let forward_ctx = hop.map(|h| h.ctx.child());
+    let forward_ctx = parent.map(|p| p.child());
     let wire = forward_ctx.as_ref().map(TraceContext::to_wire);
+    let breaker = ctx.membership.breaker_state(node);
     let forward_start = Instant::now();
     let result = client.call_traced(body, wire);
-    if let (Some(h), Some(fctx)) = (hop, forward_ctx) {
-        let mut annotations = vec![("node".to_string(), node.to_string())];
+    if let (Some(p), Some(fctx)) = (parent, forward_ctx) {
+        let mut annotations = vec![
+            ("node".to_string(), node.to_string()),
+            ("role".to_string(), role.to_string()),
+            ("breaker".to_string(), breaker.as_str().to_string()),
+        ];
         if result.is_err() {
             annotations.push(("error".to_string(), "io".to_string()));
         }
         share_obs::trace::record_span(SpanRecord {
             trace_id: fctx.trace_id,
             span_id: fctx.span_id,
-            parent_span_id: h.ctx.span_id,
+            parent_span_id: p.span_id,
             name: "forward".to_string(),
             node: "router".to_string(),
             start_us: share_obs::trace::anchored_us(forward_start),
@@ -162,40 +304,204 @@ fn forward_once(
     }
 }
 
-/// Route one solve to its owning node, retrying across reassigned owners.
+/// Outcome of one (possibly hedged) replicated forward.
+enum ForwardOutcome {
+    /// A node answered. `failed` lists nodes whose attempt lost with an
+    /// I/O error before the win arrived.
+    Win {
+        resp: WireResponse,
+        node: String,
+        failed: Vec<String>,
+    },
+    /// Every fired attempt failed.
+    Fail { failed: Vec<String> },
+}
+
+/// Spawn one forward on its own thread, reporting into `tx`. A spawn
+/// failure is reported as an attempt failure rather than panicking the
+/// connection thread.
+fn spawn_forward(
+    ctx: &Arc<RouterCtx>,
+    node: &str,
+    body: &RequestBody,
+    parent: Option<TraceContext>,
+    role: &'static str,
+    tx: mpsc::Sender<(String, io::Result<WireResponse>)>,
+) {
+    let ctx = Arc::clone(ctx);
+    let node_owned = node.to_string();
+    let body = body.clone();
+    let report = tx.clone();
+    let spawned = thread::Builder::new()
+        .name("share-cluster-forward".to_string())
+        .spawn(move || {
+            let result = forward_once(&ctx, &node_owned, body, parent, role);
+            let _ = tx.send((node_owned, result));
+        });
+    if let Err(e) = spawned {
+        // Thread exhaustion: report the attempt as failed so the caller
+        // still makes failover progress.
+        let _ = report.send((node.to_string(), Err(e)));
+    }
+}
+
+/// Forward `body` to `primary`, hedging to `hedge_node` when the primary
+/// exceeds the configured hedge budget. First reply wins; the loser is
+/// abandoned (it drains on its own thread and its connection returns to
+/// the pool).
+fn forward_replicated(
+    ctx: &Arc<RouterCtx>,
+    primary: &str,
+    hedge_node: Option<&str>,
+    body: &RequestBody,
+    parent: Option<TraceContext>,
+) -> ForwardOutcome {
+    let Some((hedge_after, hedge_node)) = ctx.hedge.zip(hedge_node) else {
+        return match forward_once(ctx, primary, body.clone(), parent, "primary") {
+            Ok(resp) => ForwardOutcome::Win {
+                resp,
+                node: primary.to_string(),
+                failed: Vec::new(),
+            },
+            Err(_) => ForwardOutcome::Fail {
+                failed: vec![primary.to_string()],
+            },
+        };
+    };
+    let (tx, rx) = mpsc::channel();
+    spawn_forward(ctx, primary, body, parent, "primary", tx.clone());
+    match rx.recv_timeout(hedge_after) {
+        Ok((node, Ok(resp))) => {
+            return ForwardOutcome::Win {
+                resp,
+                node,
+                failed: Vec::new(),
+            }
+        }
+        // The primary failed fast: fall back to the caller's chain walk
+        // (ordinary failover) rather than burning the hedge here.
+        Ok((node, Err(_))) => return ForwardOutcome::Fail { failed: vec![node] },
+        Err(_) => {}
+    }
+    // Primary is slow: fire the hedge, first reply wins.
+    ctx.metrics.hedges.inc();
+    spawn_forward(ctx, hedge_node, body, parent, "hedge", tx.clone());
+    drop(tx);
+    let hedge_node = hedge_node.to_string();
+    let mut failed = Vec::new();
+    while let Ok((node, result)) = rx.recv() {
+        match result {
+            Ok(resp) => {
+                if node == hedge_node {
+                    ctx.metrics.hedge_wins.inc();
+                }
+                return ForwardOutcome::Win { resp, node, failed };
+            }
+            Err(_) => failed.push(node),
+        }
+    }
+    ForwardOutcome::Fail { failed }
+}
+
+/// The forward deadline left after the router's own elapsed time, or
+/// `Err(())` when the budget is already spent (the request must be
+/// answered `deadline_expired` without a forward).
+fn remaining_budget(deadline_ms: Option<u64>, start: Instant) -> Result<Option<u64>, ()> {
+    match deadline_ms {
+        None => Ok(None),
+        Some(d) => {
+            let elapsed = start.elapsed().as_millis().min(u64::MAX as u128) as u64;
+            if elapsed >= d {
+                Err(())
+            } else {
+                Ok(Some(d - elapsed))
+            }
+        }
+    }
+}
+
+/// Route one solve down its replica chain: primary first, failing over to
+/// the next distinct owner on error, hedging when configured.
 fn route_solve(
-    ctx: &RouterCtx,
+    ctx: &Arc<RouterCtx>,
     id: u64,
     spec: MarketSpec,
     mode: SolveMode,
     deadline_ms: Option<u64>,
     hop: &HopSpan,
 ) -> WireResponse {
+    let start = Instant::now();
     let hash = match key_hash(&spec, mode, &ctx.quantizer) {
         Ok(h) => h,
         Err(e) => return WireResponse::from_error(id, &e),
     };
-    let body = RequestBody::Solve {
-        spec,
-        mode,
-        deadline_ms,
-    };
+    let mut tried: BTreeSet<String> = BTreeSet::new();
     let mut last_node = "(no live nodes)".to_string();
-    for _ in 0..ctx.max_attempts {
-        let Some(node) = ctx.membership.owner(hash) else {
-            break;
+    let attempts = ctx.max_attempts.max(ctx.replicas);
+    while tried.len() < attempts {
+        let chain: Vec<String> = ctx
+            .membership
+            .owners(hash, ctx.replicas)
+            .into_iter()
+            .filter(|n| !tried.contains(n))
+            .collect();
+        let Some(primary) = chain.first() else { break };
+        let remaining = match remaining_budget(deadline_ms, start) {
+            Ok(r) => r,
+            Err(()) => {
+                ctx.metrics.deadline_exhausted.inc();
+                return WireResponse::from_error(id, &EngineError::DeadlineExpired);
+            }
         };
-        match forward_once(ctx, &node, body.clone(), Some(hop)) {
-            Ok(mut resp) => {
-                resp.id = id;
-                ctx.metrics.forwards(&node).inc();
-                return resp;
+        let body = RequestBody::Solve {
+            spec: spec.clone(),
+            mode,
+            deadline_ms: remaining,
+        };
+        let hedge_node = chain.get(1).map(String::as_str);
+        let (win, mut failed) =
+            match forward_replicated(ctx, primary, hedge_node, &body, Some(hop.ctx)) {
+                ForwardOutcome::Win { resp, node, failed } => (Some((resp, node)), failed),
+                ForwardOutcome::Fail { failed } => (None, failed),
+            };
+        if win.is_none() && failed.is_empty() {
+            // Defensive: a fruitless round must still shrink the chain, or
+            // this loop would spin on the same primary forever.
+            failed.push(primary.clone());
+        }
+        let failed_over = !failed.is_empty() || !tried.is_empty();
+        for node in failed {
+            ctx.metrics.forward_errors(&node).inc();
+            ctx.membership.report_failure(&node);
+            last_node = node.clone();
+            tried.insert(node);
+        }
+        if let Some((mut resp, node)) = win {
+            resp.id = id;
+            ctx.metrics.forwards(&node).inc();
+            ctx.membership.report_success(&node);
+            ctx.hints.note_success();
+            if failed_over {
+                ctx.metrics.failovers.inc();
             }
-            Err(_) => {
-                ctx.metrics.forward_errors(&node).inc();
-                ctx.membership.report_failure(&node);
-                last_node = node;
+            if let Some(warmer) = &ctx.warmer {
+                // Warm one replica on cold solves only: cache hits mean
+                // the replica was warmed when the key first cooked.
+                let cold = matches!(&resp.body, ResponseBody::Solve { result } if !result.cached);
+                if cold {
+                    if let Some(peer) = chain.iter().find(|n| **n != node) {
+                        warmer.enqueue(
+                            peer,
+                            RequestBody::Solve {
+                                spec: spec.clone(),
+                                mode,
+                                deadline_ms: None,
+                            },
+                        );
+                    }
+                }
             }
+            return resp;
         }
     }
     ctx.metrics.unroutable.inc();
@@ -203,15 +509,22 @@ fn route_solve(
         id,
         &EngineError::NodeUnavailable {
             node: last_node,
-            retry_after_ms: ctx.retry_hint_ms,
+            retry_after_ms: ctx.hints.unavailable(),
         },
     )
 }
 
 /// Route a batch: split by owning node, forward the sub-batches, reassemble
 /// results in submission order (each inner response's `id` is its original
-/// position, exactly as a single engine node numbers them).
-fn route_batch(ctx: &RouterCtx, id: u64, requests: Vec<SolveSpec>, hop: &HopSpan) -> WireResponse {
+/// position, exactly as a single engine node numbers them). Groups whose
+/// forward fails reroute down the replica chain in later rounds, skipping
+/// nodes that already failed within this request.
+fn route_batch(
+    ctx: &Arc<RouterCtx>,
+    id: u64,
+    requests: Vec<SolveSpec>,
+    hop: &HopSpan,
+) -> WireResponse {
     let n = requests.len();
     let mut results: Vec<Option<WireResponse>> = (0..n).map(|_| None).collect();
     // (original position, ownership hash, spec) for every routable entry.
@@ -222,13 +535,18 @@ fn route_batch(ctx: &RouterCtx, id: u64, requests: Vec<SolveSpec>, hop: &HopSpan
             Err(e) => results[i] = Some(WireResponse::from_error(i as u64, &e)),
         }
     }
+    // Nodes that failed a forward within this batch: rerouting consults
+    // the replica chain minus these, even before the breaker opens.
+    let mut failed: BTreeSet<String> = BTreeSet::new();
     let mut round = 0;
-    while !pending.is_empty() && round < ctx.max_attempts {
+    let rounds = ctx.max_attempts.max(ctx.replicas);
+    while !pending.is_empty() && round < rounds {
         round += 1;
         let mut groups: BTreeMap<String, Vec<(usize, u64, SolveSpec)>> = BTreeMap::new();
         let mut ringless: Vec<(usize, u64, SolveSpec)> = Vec::new();
         for item in pending.drain(..) {
-            match ctx.membership.owner(item.1) {
+            let chain = ctx.membership.owners(item.1, ctx.replicas);
+            match chain.into_iter().find(|n| !failed.contains(n)) {
                 Some(node) => groups.entry(node).or_default().push(item),
                 None => ringless.push(item),
             }
@@ -238,12 +556,23 @@ fn route_batch(ctx: &RouterCtx, id: u64, requests: Vec<SolveSpec>, hop: &HopSpan
         }
         for (node, items) in groups {
             let sub: Vec<SolveSpec> = items.iter().map(|(_, _, sp)| sp.clone()).collect();
-            match forward_once(ctx, &node, RequestBody::Batch { requests: sub }, Some(hop)) {
+            match forward_once(
+                ctx,
+                &node,
+                RequestBody::Batch { requests: sub },
+                Some(hop.ctx),
+                "batch",
+            ) {
                 Ok(WireResponse {
                     body: ResponseBody::Batch { results: sub_res },
                     ..
                 }) if sub_res.len() == items.len() => {
                     ctx.metrics.forwards(&node).inc();
+                    ctx.membership.report_success(&node);
+                    ctx.hints.note_success();
+                    if round > 1 {
+                        ctx.metrics.failovers.inc();
+                    }
                     for ((i, _, _), mut resp) in items.into_iter().zip(sub_res) {
                         resp.id = i as u64;
                         results[i] = Some(resp);
@@ -266,7 +595,8 @@ fn route_batch(ctx: &RouterCtx, id: u64, requests: Vec<SolveSpec>, hop: &HopSpan
                 Err(_) => {
                     ctx.metrics.forward_errors(&node).inc();
                     ctx.membership.report_failure(&node);
-                    // Next round reroutes these against the updated ring.
+                    // Later rounds walk the replica chain past this node.
+                    failed.insert(node);
                     pending.extend(items);
                 }
             }
@@ -283,7 +613,7 @@ fn route_batch(ctx: &RouterCtx, id: u64, requests: Vec<SolveSpec>, hop: &HopSpan
             i as u64,
             &EngineError::NodeUnavailable {
                 node: "(no live nodes)".to_string(),
-                retry_after_ms: ctx.retry_hint_ms,
+                retry_after_ms: ctx.hints.unavailable(),
             },
         ));
     }
@@ -325,7 +655,10 @@ fn route_trace(
 
     // The router's own spans (hop roots, pool_checkout, forward).
     let mut local = Vec::new();
-    if let Some(tid) = trace_id.as_deref().and_then(share_obs::trace::parse_trace_id) {
+    if let Some(tid) = trace_id
+        .as_deref()
+        .and_then(share_obs::trace::parse_trace_id)
+    {
         if let Some(spans) = share_obs::trace::get_trace(tid) {
             local.push(WireTrace::from_spans(tid, &spans));
         }
@@ -353,7 +686,10 @@ fn route_trace(
         .into_iter()
         .map(|(tid, mut spans)| {
             spans.sort_by_key(|s| (s.start_us, s.span_id));
-            WireTrace { trace_id: tid, spans }
+            WireTrace {
+                trace_id: tid,
+                spans,
+            }
         })
         .collect();
     // Rank by root-span duration (falling back to the longest span) so a
@@ -384,7 +720,7 @@ fn route_trace(
 /// Serve one client connection. Returns `true` when the client asked the
 /// router to shut down.
 fn serve_router_connection<R: BufRead, W: Write>(
-    ctx: &RouterCtx,
+    ctx: &Arc<RouterCtx>,
     reader: R,
     mut writer: W,
 ) -> bool {
@@ -493,21 +829,31 @@ pub fn serve_router(config: RouterConfig, addr: &str) -> io::Result<Router> {
     let local = listener.local_addr()?;
     let metrics = Arc::new(ClusterMetrics::new());
     let pool = Arc::new(NodePool::new(config.forward.clone()));
-    let membership = Membership::new(
+    let membership = Membership::with_breaker(
         &config.peers,
         config.vnodes,
         Arc::clone(&metrics),
         Arc::clone(&pool),
         config.probe_timeout,
+        config.breaker,
     );
     let health = start_health_checker(Arc::clone(&membership), config.health_interval)?;
+    let replicas = config.replicas.max(1);
+    let warmer = (config.warm_replicas && replicas > 1)
+        .then(|| Warmer::start(Arc::clone(&pool), Arc::clone(&metrics)));
     let ctx = Arc::new(RouterCtx {
         membership: Arc::clone(&membership),
         pool: Arc::clone(&pool),
         metrics: Arc::clone(&metrics),
         quantizer: config.quantizer,
         max_attempts: config.max_forward_attempts.max(1),
-        retry_hint_ms: config.health_interval.as_millis().min(u64::MAX as u128) as u64,
+        replicas,
+        hedge: config.hedge,
+        hints: RetryHinter::new(
+            config.health_interval.as_millis().min(u64::MAX as u128) as u64,
+            0x5EED_C0DE,
+        ),
+        warmer,
     });
     let stop = Arc::new(AtomicBool::new(false));
     let accept_stop = Arc::clone(&stop);
@@ -515,7 +861,8 @@ pub fn serve_router(config: RouterConfig, addr: &str) -> io::Result<Router> {
         target: TARGET,
         "router_started",
         "addr" => local.to_string(),
-        "peers" => config.peers.len() as u64
+        "peers" => config.peers.len() as u64,
+        "replicas" => replicas as u64
     );
     let accept = thread::Builder::new()
         .name("share-cluster-accept".to_string())
@@ -535,11 +882,8 @@ pub fn serve_router(config: RouterConfig, addr: &str) -> io::Result<Router> {
                         let Ok(read_half) = stream.try_clone() else {
                             return;
                         };
-                        let wants_shutdown = serve_router_connection(
-                            &conn_ctx,
-                            BufReader::new(read_half),
-                            stream,
-                        );
+                        let wants_shutdown =
+                            serve_router_connection(&conn_ctx, BufReader::new(read_half), stream);
                         if wants_shutdown && !conn_stop.swap(true, Ordering::SeqCst) {
                             // Wake the blocking accept loop so it observes
                             // the stop flag.
@@ -720,5 +1064,65 @@ impl RouterMetricsServer {
 impl Drop for RouterMetricsServer {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_hints_jitter_and_stay_within_bounds() {
+        let hints = RetryHinter::new(100, 0x5EED_C0DE);
+        // Consecutive hints at the same backlog level differ (jitter)...
+        let a = hints.unavailable();
+        hints.note_success();
+        let b = hints.unavailable();
+        hints.note_success();
+        assert_ne!(a, b, "consecutive hints must not be identical");
+        // ...and every hint stays within [base, bound].
+        for h in [a, b] {
+            assert!(h >= 100, "hint {h} fell below the base");
+            assert!(h <= hints.bound(), "hint {h} exceeded {}", hints.bound());
+        }
+    }
+
+    #[test]
+    fn retry_hints_scale_with_backlog_and_decay_on_success() {
+        let hints = RetryHinter::new(100, 1);
+        // Without successes the backlog grows, scaling the hint up.
+        let first = hints.unavailable();
+        let mut grew = false;
+        for _ in 0..6 {
+            grew |= hints.unavailable() > first + 50;
+        }
+        assert!(grew, "backlog never scaled the hint up");
+        // Hints are capped however deep the backlog gets.
+        for _ in 0..100 {
+            assert!(hints.unavailable() <= hints.bound());
+        }
+        // Draining the backlog brings hints back near the base.
+        for _ in 0..200 {
+            hints.note_success();
+        }
+        assert!(
+            hints.unavailable() <= 100 + 50,
+            "drained backlog must reset the scale"
+        );
+    }
+
+    #[test]
+    fn deadline_budget_subtracts_elapsed_time() {
+        let start = Instant::now();
+        // No deadline: no budget accounting.
+        assert_eq!(remaining_budget(None, start), Ok(None));
+        // A generous deadline: the remainder is positive and at most d.
+        let r = remaining_budget(Some(60_000), start)
+            .expect("budget left")
+            .expect("bounded");
+        assert!(r <= 60_000 && r > 59_000, "unexpected remainder {r}");
+        // An already-spent budget refuses to forward.
+        let past = Instant::now() - Duration::from_millis(50);
+        assert_eq!(remaining_budget(Some(10), past), Err(()));
     }
 }

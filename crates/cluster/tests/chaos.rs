@@ -6,8 +6,8 @@
 
 use share_cluster::{serve_router, serve_router_metrics, Router, RouterConfig};
 use share_engine::{
-    quantize, serve_tcp, Client, ClientConfig, Engine, EngineConfig, QuantizerConfig,
-    ResponseBody, RetryPolicy, SolveMode, SolveSpec, TcpServer,
+    quantize, serve_tcp, Client, ClientConfig, Engine, EngineConfig, QuantizerConfig, ResponseBody,
+    RetryPolicy, SolveMode, SolveSpec, TcpServer,
 };
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -256,7 +256,11 @@ fn node_kill_mid_load_converges_and_restart_serves_warm() {
         info.cache_entries > 0,
         "restart restored no cache entries: {info:?}"
     );
-    match direct.solve(victim_spec.clone()).expect("direct solve").body {
+    match direct
+        .solve(victim_spec.clone())
+        .expect("direct solve")
+        .body
+    {
         ResponseBody::Solve { result } => {
             assert!(
                 result.cached,

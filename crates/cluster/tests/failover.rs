@@ -1,0 +1,573 @@
+//! Replicated-routing failover suite, driven by the deterministic cluster
+//! fault plan (`share_cluster::fault`).
+//!
+//! Every test is fixed-seed: the victim node and fault timing come from
+//! [`ClusterFaultPlan::generate`], and partitions/slow links are injected
+//! with an in-process [`FaultProxy`], so a failure replays identically.
+//! The common assertion across the suite is the availability contract:
+//! with `replicas` ≥ 2, killing or partitioning any single node mid-load
+//! never surfaces a terminal error to a retrying client — requests fail
+//! over down the replica chain while the breaker opens, and the ring
+//! heals when the node returns.
+
+use share_cluster::{
+    serve_router, ClusterFaultPlan, ClusterMetrics, FaultProxy, Membership, NodePool, ProxyMode,
+    Router, RouterConfig,
+};
+use share_engine::{
+    quantize, serve_tcp, Client, ClientConfig, Engine, EngineConfig, QuantizerConfig, RequestBody,
+    ResponseBody, RetryPolicy, SolveMode, SolveSpec, TcpServer,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One in-process engine node (same harness as `tests/chaos.rs`).
+struct LocalNode {
+    addr: String,
+    node_id: String,
+    snapshot: PathBuf,
+    engine: Option<Arc<Engine>>,
+    server: Option<TcpServer>,
+}
+
+impl LocalNode {
+    fn config(&self) -> EngineConfig {
+        EngineConfig {
+            workers: 2,
+            node_id: Some(self.node_id.clone()),
+            snapshot_path: Some(self.snapshot.clone()),
+            ..EngineConfig::default()
+        }
+    }
+
+    fn start(node_id: &str, snapshot: PathBuf) -> Self {
+        let mut node = Self {
+            addr: String::new(),
+            node_id: node_id.to_string(),
+            snapshot,
+            engine: None,
+            server: None,
+        };
+        let engine = Arc::new(Engine::start(node.config()));
+        let server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0").expect("bind node");
+        node.addr = server.local_addr().to_string();
+        node.engine = Some(engine);
+        node.server = Some(server);
+        node
+    }
+
+    fn kill(&mut self) {
+        if let Some(server) = self.server.take() {
+            server.stop();
+        }
+        if let Some(engine) = self.engine.take() {
+            engine.shutdown();
+        }
+    }
+
+    fn restart(&mut self) {
+        assert!(self.engine.is_none(), "restart of a live node");
+        let engine = Arc::new(Engine::start(self.config()));
+        let server = serve_tcp(Arc::clone(&engine), &self.addr).expect("rebind node");
+        self.engine = Some(engine);
+        self.server = Some(server);
+    }
+}
+
+impl Drop for LocalNode {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn retrying_client(router_addr: &str, seed: u64) -> Client {
+    Client::connect_with(
+        router_addr,
+        ClientConfig {
+            retry: Some(RetryPolicy {
+                max_retries: 12,
+                base_backoff: Duration::from_millis(25),
+                max_backoff: Duration::from_millis(500),
+                jitter: 0.2,
+                seed,
+            }),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect to router")
+}
+
+fn wait_until(deadline: Duration, mut ok: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if ok() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+    ok()
+}
+
+/// The value of `name`'s unlabelled counter sample in a rendered
+/// exposition (0 when absent).
+fn counter(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse::<u64>().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// The address currently owning `spec` through the router's live ring.
+fn owner_of(router: &Router, spec: &SolveSpec) -> String {
+    let params = spec.spec.materialize().expect("valid spec");
+    let key = quantize(&params, spec.mode, QuantizerConfig::default().param_tol);
+    router
+        .membership()
+        .owner(key.stable_hash())
+        .expect("non-empty ring")
+}
+
+/// Forwarding config with timeouts tight enough that a partitioned
+/// (hanging, not refusing) node fails a forward quickly.
+fn tight_forward() -> ClientConfig {
+    ClientConfig {
+        read_timeout: Some(Duration::from_millis(500)),
+        write_timeout: Some(Duration::from_millis(500)),
+        retry: None,
+    }
+}
+
+/// A node killed mid-load (victim and timing chosen by the seeded fault
+/// plan) never costs a request: every retrying client completes, at least
+/// one request demonstrably failed over, the breaker opens, and the
+/// restarted node is readmitted.
+#[test]
+fn plan_driven_node_kill_fails_over_without_losing_requests() {
+    let dir = std::env::temp_dir().join(format!("share-failover-kill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+
+    // Seed 2 over a 1 s horizon schedules: kill node 2 at t=276 ms. The
+    // assertions below only need "some node, mid-load", but the plan makes
+    // the choice reproducible instead of racy.
+    let plan = ClusterFaultPlan::generate(2, 3, Duration::from_secs(1), 1, 0, 0);
+    let kill_at = plan.events[0].at;
+    let victim_idx = plan.events[0].node;
+
+    let mut nodes: Vec<LocalNode> = (0..3)
+        .map(|i| LocalNode::start(&format!("n{i}"), dir.join(format!("n{i}.snapshot"))))
+        .collect();
+    let peers: Vec<String> = nodes.iter().map(|n| n.addr.clone()).collect();
+
+    let router = serve_router(
+        RouterConfig {
+            peers,
+            vnodes: 64,
+            health_interval: Duration::from_millis(100),
+            probe_timeout: Duration::from_millis(250),
+            forward: tight_forward(),
+            max_forward_attempts: 3,
+            replicas: 2,
+            ..RouterConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("start router");
+    let router_addr = router.local_addr().to_string();
+
+    let specs: Vec<SolveSpec> = (0..24)
+        .map(|i| SolveSpec::seeded(4 + (i % 12), 2000 + i as u64, SolveMode::Direct))
+        .collect();
+
+    // 4×40 concurrent retrying clients, paced so the load straddles the
+    // scheduled kill.
+    let total_per_thread = 40;
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let addr = router_addr.clone();
+            let specs = specs.clone();
+            thread::spawn(move || {
+                let mut client = retrying_client(&addr, 300 + t as u64);
+                let mut successes = 0usize;
+                for i in 0..total_per_thread {
+                    let spec = specs[(t * 13 + i * 7) % specs.len()].clone();
+                    match client.solve(spec) {
+                        Ok(resp) if resp.is_ok() => successes += 1,
+                        other => panic!("load call failed after retries: {other:?}"),
+                    }
+                    thread::sleep(Duration::from_millis(10));
+                }
+                successes
+            })
+        })
+        .collect();
+
+    thread::sleep(kill_at);
+    nodes[victim_idx].kill();
+
+    let successes: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    assert_eq!(
+        successes,
+        4 * total_per_thread,
+        "replicated routing must absorb a node kill with zero lost requests"
+    );
+
+    let text = router.metrics().render();
+    assert!(
+        counter(&text, "share_cluster_failovers_total") > 0,
+        "no request recorded a failover:\n{text}"
+    );
+    assert!(
+        counter(&text, "share_cluster_breaker_opens_total") > 0,
+        "the dead node's breaker never opened:\n{text}"
+    );
+    assert_eq!(
+        counter(&text, "share_cluster_unroutable_total"),
+        0,
+        "no request may exhaust the replica chain:\n{text}"
+    );
+    assert!(
+        wait_until(Duration::from_secs(5), || router
+            .membership()
+            .healthy()
+            .len()
+            == 2),
+        "ring did not settle at the survivors"
+    );
+
+    // The victim comes back and earns readmission through consecutive
+    // probe passes.
+    nodes[victim_idx].restart();
+    assert!(
+        wait_until(Duration::from_secs(10), || router
+            .membership()
+            .healthy()
+            .len()
+            == 3),
+        "restarted node was not readmitted"
+    );
+
+    router.stop();
+    drop(nodes);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A network partition (bytes held, connections alive — injected by the
+/// fault proxy per the seeded plan) is absorbed the same way: no request
+/// is lost while the node is dark, and when the partition heals the node
+/// is readmitted with its breaker closed.
+#[test]
+fn plan_driven_partition_heals_with_no_lost_requests() {
+    let dir = std::env::temp_dir().join(format!("share-failover-part-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+
+    // Seed 11 over a 2 s horizon schedules: partition node 0 at t=290 ms
+    // for 772 ms.
+    let plan = ClusterFaultPlan::generate(11, 3, Duration::from_secs(2), 0, 1, 0);
+    let event = plan.events[0].clone();
+
+    let nodes: Vec<LocalNode> = (0..3)
+        .map(|i| LocalNode::start(&format!("p{i}"), dir.join(format!("p{i}.snapshot"))))
+        .collect();
+    // Every node sits behind a proxy; only the plan's victim flips modes.
+    let proxies: Vec<FaultProxy> = nodes
+        .iter()
+        .map(|n| FaultProxy::start(&n.addr).expect("start proxy"))
+        .collect();
+    let peers: Vec<String> = proxies.iter().map(|p| p.addr().to_string()).collect();
+    let victim_peer = peers[event.node].clone();
+
+    let router = serve_router(
+        RouterConfig {
+            peers,
+            vnodes: 64,
+            health_interval: Duration::from_millis(100),
+            probe_timeout: Duration::from_millis(250),
+            forward: tight_forward(),
+            max_forward_attempts: 3,
+            replicas: 2,
+            ..RouterConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("start router");
+    let router_addr = router.local_addr().to_string();
+
+    let specs: Vec<SolveSpec> = (0..24)
+        .map(|i| SolveSpec::seeded(4 + (i % 12), 5000 + i as u64, SolveMode::Direct))
+        .collect();
+
+    let total_per_thread = 30;
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let addr = router_addr.clone();
+            let specs = specs.clone();
+            thread::spawn(move || {
+                let mut client = retrying_client(&addr, 500 + t as u64);
+                let mut successes = 0usize;
+                for i in 0..total_per_thread {
+                    let spec = specs[(t * 11 + i * 5) % specs.len()].clone();
+                    match client.solve(spec) {
+                        Ok(resp) if resp.is_ok() => successes += 1,
+                        other => panic!("load call failed after retries: {other:?}"),
+                    }
+                    thread::sleep(Duration::from_millis(15));
+                }
+                successes
+            })
+        })
+        .collect();
+
+    // Drive the plan: black-hole the victim at its offset, heal after its
+    // duration.
+    thread::sleep(event.at);
+    proxies[event.node].set_mode(ProxyMode::Black);
+    thread::sleep(event.duration);
+    proxies[event.node].set_mode(ProxyMode::Pass);
+
+    let successes: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    assert_eq!(
+        successes,
+        4 * total_per_thread,
+        "a partitioned node must not cost a single request"
+    );
+
+    let text = router.metrics().render();
+    assert!(
+        counter(&text, "share_cluster_failovers_total") > 0,
+        "no request recorded a failover:\n{text}"
+    );
+    assert_eq!(
+        counter(&text, "share_cluster_unroutable_total"),
+        0,
+        "no request may exhaust the replica chain:\n{text}"
+    );
+
+    // The partition healed: the victim earns readmission and its breaker
+    // closes again.
+    assert!(
+        wait_until(Duration::from_secs(10), || router
+            .membership()
+            .healthy()
+            .len()
+            == 3),
+        "partitioned node was not readmitted after healing"
+    );
+    assert_eq!(
+        router.membership().breaker_state(&victim_peer),
+        share_cluster::BreakerState::Closed,
+        "healed node's breaker must close"
+    );
+
+    router.stop();
+    drop(proxies);
+    drop(nodes);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With hedging enabled, a slow (not dead) node loses the race: requests
+/// it owns are answered by the hedged secondary, and
+/// `share_cluster_hedge_wins_total` counts the wins.
+#[test]
+fn hedged_requests_beat_a_slow_node() {
+    let dir = std::env::temp_dir().join(format!("share-failover-hedge-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+
+    let slow_node = LocalNode::start("slow", dir.join("slow.snapshot"));
+    let fast_node = LocalNode::start("fast", dir.join("fast.snapshot"));
+    let slow_proxy = FaultProxy::start(&slow_node.addr).expect("start proxy");
+    // 250 ms per delivered chunk: well under the 1 s probe timeout (the
+    // node stays in the ring — it is slow, not down) and far over the
+    // 25 ms hedge budget.
+    slow_proxy.set_mode(ProxyMode::Slow(Duration::from_millis(250)));
+
+    let router = serve_router(
+        RouterConfig {
+            peers: vec![slow_proxy.addr().to_string(), fast_node.addr.clone()],
+            vnodes: 64,
+            health_interval: Duration::from_millis(200),
+            probe_timeout: Duration::from_secs(1),
+            forward: ClientConfig {
+                read_timeout: Some(Duration::from_secs(5)),
+                write_timeout: Some(Duration::from_secs(5)),
+                retry: None,
+            },
+            max_forward_attempts: 2,
+            replicas: 2,
+            hedge: Some(Duration::from_millis(25)),
+            ..RouterConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("start router");
+
+    // Collect specs owned by the slow node (they exist: with 64 vnodes
+    // each of two nodes owns a substantial keyspace share).
+    let slow_peer = slow_proxy.addr().to_string();
+    let mut slow_owned = Vec::new();
+    let mut i = 0u64;
+    while slow_owned.len() < 5 {
+        let spec = SolveSpec::seeded(4 + (i % 8) as usize, 9000 + i, SolveMode::Direct);
+        if owner_of(&router, &spec) == slow_peer {
+            slow_owned.push(spec);
+        }
+        i += 1;
+        assert!(i < 10_000, "no slow-owned specs found");
+    }
+
+    let mut client = retrying_client(&router.local_addr().to_string(), 42);
+    for spec in slow_owned {
+        let resp = client.solve(spec).expect("hedged solve");
+        assert!(resp.is_ok(), "{resp:?}");
+    }
+
+    let text = router.metrics().render();
+    assert!(
+        counter(&text, "share_cluster_hedges_total") > 0,
+        "hedge never fired against the slow primary:\n{text}"
+    );
+    assert!(
+        counter(&text, "share_cluster_hedge_wins_total") > 0,
+        "hedge never won against the slow primary:\n{text}"
+    );
+    assert_eq!(
+        counter(&text, "share_cluster_breaker_opens_total"),
+        0,
+        "a slow node must not trip the breaker while its probes pass:\n{text}"
+    );
+
+    router.stop();
+    drop(slow_proxy);
+    drop((slow_node, fast_node));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Membership flapping: a node alternating probe success/failure must not
+/// oscillate eviction/readmission. Consecutive-failure counting keeps a
+/// flapper in the ring until it fails a clean streak, and K-consecutive
+/// readmission keeps it out until it passes a clean streak.
+#[test]
+fn flapping_probes_do_not_oscillate_membership() {
+    let dir = std::env::temp_dir().join(format!("share-failover-flap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    let node = LocalNode::start("flappy", dir.join("flappy.snapshot"));
+    let proxy = FaultProxy::start(&node.addr).expect("start proxy");
+
+    let metrics = Arc::new(ClusterMetrics::new());
+    let pool = Arc::new(NodePool::new(ClientConfig::default()));
+    let peers = vec![proxy.addr().to_string()];
+    // No background checker: the test drives check_all() by hand, so the
+    // probe/fault interleaving is exact (the flap pattern of the fault
+    // plan's `FaultKind::Flap`, unrolled deterministically).
+    let membership = Membership::new(
+        &peers,
+        64,
+        Arc::clone(&metrics),
+        pool,
+        Duration::from_millis(250),
+    );
+
+    let flip = |mode| proxy.set_mode(mode);
+
+    // Phase 1 — alternating probe outcomes on a healthy node: consecutive
+    // failures never reach the threshold, so nothing is evicted.
+    for _ in 0..3 {
+        flip(ProxyMode::Pass);
+        membership.check_all();
+        flip(ProxyMode::Black);
+        membership.check_all();
+    }
+    let text = metrics.render();
+    assert_eq!(
+        counter(&text, "share_cluster_evictions_total"),
+        0,
+        "a flapping node was evicted without a failure streak:\n{text}"
+    );
+    assert_eq!(membership.healthy().len(), 1);
+
+    // Phase 2 — a clean failure streak opens the breaker exactly once.
+    flip(ProxyMode::Black);
+    for _ in 0..membership.breaker_config().failure_threshold {
+        membership.check_all();
+    }
+    let text = metrics.render();
+    assert_eq!(counter(&text, "share_cluster_evictions_total"), 1);
+    assert_eq!(counter(&text, "share_cluster_breaker_opens_total"), 1);
+    assert!(membership.healthy().is_empty());
+
+    // Phase 3 — alternating probe outcomes on the evicted node: single
+    // passes never reach the readmission streak, so it stays out (this is
+    // the unbounded-oscillation regression guard).
+    for _ in 0..3 {
+        flip(ProxyMode::Pass);
+        membership.check_all();
+        flip(ProxyMode::Black);
+        membership.check_all();
+    }
+    let text = metrics.render();
+    assert_eq!(
+        counter(&text, "share_cluster_readmissions_total"),
+        0,
+        "a flapping node was readmitted without a success streak:\n{text}"
+    );
+    assert!(membership.healthy().is_empty());
+
+    // Phase 4 — a clean success streak readmits exactly once.
+    flip(ProxyMode::Pass);
+    for _ in 0..membership.breaker_config().readmit_successes {
+        membership.check_all();
+    }
+    let text = metrics.render();
+    assert_eq!(counter(&text, "share_cluster_readmissions_total"), 1);
+    assert_eq!(membership.healthy().len(), 1);
+
+    drop(proxy);
+    drop(node);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Pool staleness regression: a connection pooled before its node
+/// restarted must be pruned at checkout, not handed to a forward that
+/// would fail on first use.
+#[test]
+fn pooled_connections_to_a_restarted_node_are_pruned() {
+    let dir = std::env::temp_dir().join(format!("share-failover-pool-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    let mut node = LocalNode::start("phoenix", dir.join("phoenix.snapshot"));
+    let addr = node.addr.clone();
+
+    let pool = NodePool::new(ClientConfig::default());
+    let mut c = pool.checkout(&addr).expect("initial checkout");
+    assert!(matches!(
+        c.call(RequestBody::Ping).map(|r| r.body),
+        Ok(ResponseBody::Pong)
+    ));
+    pool.checkin(&addr, c);
+    assert_eq!(pool.idle_count(&addr), 1);
+
+    // Restart the node: the pooled socket's peer is gone.
+    node.kill();
+    thread::sleep(Duration::from_millis(500));
+    node.restart();
+
+    // Checkout must detect the dead pooled socket, prune it, and dial
+    // fresh — the returned client works on first use.
+    let mut c = pool.checkout(&addr).expect("checkout after restart");
+    assert!(
+        matches!(
+            c.call(RequestBody::Ping).map(|r| r.body),
+            Ok(ResponseBody::Pong)
+        ),
+        "checkout handed out a dead pooled connection"
+    );
+    assert!(
+        pool.pruned_count() >= 1,
+        "the stale pooled connection was not pruned"
+    );
+
+    drop(node);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -5,6 +5,10 @@
 //!    process, and `std` hasher seeds play no part.
 //! 2. **Minimal movement**: a join steals about `keys/N` keys and moves
 //!    nothing else; a leave moves only the leaver's keys.
+//!
+//! With replication (`owners(h, r)`) both contracts extend: replica sets
+//! are ordered lists of *distinct* members with the owner first, and
+//! removing a key's primary promotes exactly its old secondary.
 
 use proptest::prelude::*;
 use share_cluster::{stable_str_hash, HashRing};
@@ -120,6 +124,57 @@ proptest! {
             moved,
             fair
         );
+    }
+
+    /// Replica sets are ordered, distinct, owner-first, and sized
+    /// `min(r, members)` — for every key, any member count, any `r`.
+    #[test]
+    fn replica_sets_are_distinct_and_owner_first(
+        nodes in node_ids(6),
+        r in 1usize..5,
+        key_seed in 0u64..1000,
+    ) {
+        let ring = build(&nodes, 64);
+        for &h in &key_hashes(300, key_seed) {
+            let set = ring.owners(h, r);
+            prop_assert_eq!(set.len(), r.min(nodes.len()));
+            prop_assert_eq!(set[0], ring.owner(h).expect("non-empty ring"));
+            let mut distinct: Vec<&str> = set.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), set.len(), "replica set repeats a node");
+        }
+    }
+
+    /// Removing a key's primary promotes exactly its old secondary (the
+    /// node failover already forwarded to, whose cache is warm); keys
+    /// whose primary survives keep it.
+    #[test]
+    fn removing_the_primary_promotes_the_old_secondary(
+        nodes in node_ids(6),
+        victim_idx in any::<prop::sample::Index>(),
+        key_seed in 0u64..1000,
+    ) {
+        prop_assume!(nodes.len() >= 3);
+        let victim = nodes[victim_idx.index(nodes.len())].clone();
+        let mut ring = build(&nodes, 64);
+        let hashes = key_hashes(500, key_seed);
+        let before: Vec<Vec<String>> = hashes
+            .iter()
+            .map(|&h| ring.owners(h, 2).iter().map(|s| s.to_string()).collect())
+            .collect();
+        ring.remove(&victim);
+        for (&h, chain) in hashes.iter().zip(&before) {
+            let after = ring.owners(h, 2);
+            if chain[0] == victim {
+                prop_assert_eq!(
+                    after[0], chain[1].as_str(),
+                    "key {:#x}: failover target must be the old secondary", h
+                );
+            } else {
+                prop_assert_eq!(after[0], chain[0].as_str());
+            }
+        }
     }
 
     /// Every node owns a nonzero share of a large keyspace (no starved

@@ -151,7 +151,11 @@ fn protocol_edges_ping_metrics_invalid_and_node_scoped() {
 
     // Node-scoped requests don't aggregate; the router says so instead of
     // guessing a node.
-    for body in [RequestBody::Stats, RequestBody::NodeInfo, RequestBody::Snapshot] {
+    for body in [
+        RequestBody::Stats,
+        RequestBody::NodeInfo,
+        RequestBody::Snapshot,
+    ] {
         let resp = c.call(body).expect("node-scoped answered");
         match resp.body {
             ResponseBody::Error { code, .. } => assert_eq!(code, "invalid_request"),

@@ -231,7 +231,10 @@ fn traced_batch_forwards_once_per_owner_and_preserves_order() {
         "8 keys over 2 nodes land on 1 or 2 owners"
     );
     for f in &forwards {
-        assert_eq!(f.parent_span_id, roots[0].span_id, "forwards fan out from the parent");
+        assert_eq!(
+            f.parent_span_id, roots[0].span_id,
+            "forwards fan out from the parent"
+        );
     }
     // Every engine hop in the waterfall parents under one of the forwards.
     let forward_ids: BTreeSet<u64> = forwards.iter().map(|f| f.span_id).collect();

@@ -80,6 +80,20 @@ impl RetryPolicy {
             / (1u64 << 53) as f64;
         exp.mul_f64(1.0 + self.jitter.clamp(0.0, 1.0) * u)
     }
+
+    /// The backoff floor derived from a server `retry_after_ms` hint:
+    /// the hint stretched by the policy's jitter fraction with a draw from
+    /// a *different* seeded stream than [`RetryPolicy::backoff`], so a
+    /// crowd of clients told "retry after 500 ms" fans out over
+    /// `[500, 500·(1+jitter)]` instead of stampeding the server in
+    /// lockstep.
+    fn hint_floor(&self, ms: u64, attempt: u32) -> Duration {
+        let u = (splitmix64(
+            self.seed ^ (0x41F7 ^ u64::from(attempt)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ) >> 11) as f64
+            / (1u64 << 53) as f64;
+        Duration::from_millis(ms).mul_f64(1.0 + self.jitter.clamp(0.0, 1.0) * u)
+    }
 }
 
 /// Client construction parameters.
@@ -262,7 +276,10 @@ impl Client {
     /// # Errors
     /// The last connection error when every address is unreachable, or
     /// `InvalidInput` when no endpoint resolves at all.
-    pub fn connect_multi<A: ToSocketAddrs>(endpoints: &[A], config: ClientConfig) -> io::Result<Self> {
+    pub fn connect_multi<A: ToSocketAddrs>(
+        endpoints: &[A],
+        config: ClientConfig,
+    ) -> io::Result<Self> {
         let mut addrs: Vec<SocketAddr> = Vec::new();
         for ep in endpoints {
             if let Ok(resolved) = ep.to_socket_addrs() {
@@ -392,6 +409,28 @@ impl Client {
         }
     }
 
+    /// A cheap, non-blocking liveness hint for an *idle* connection: peek
+    /// the socket without consuming. `WouldBlock` (nothing pending) means
+    /// the connection looks alive; EOF, any error, or unsolicited bytes
+    /// (a reply nobody is waiting for — the stream is desynchronized)
+    /// mean it must not be reused. Connection pools call this before
+    /// handing out a pooled client, so a peer restart doesn't poison the
+    /// first forward after it.
+    pub fn probe_liveness(&self) -> bool {
+        if self.dead {
+            return false;
+        }
+        if self.writer.set_nonblocking(true).is_err() {
+            return false;
+        }
+        let mut buf = [0u8; 1];
+        let alive = matches!(
+            self.writer.peek(&mut buf),
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock
+        );
+        self.writer.set_nonblocking(false).is_ok() && alive
+    }
+
     /// One send-and-wait attempt, classified for the retry loop.
     fn attempt(&mut self, body: RequestBody, trace: Option<&str>) -> Attempt {
         if self.dead {
@@ -479,7 +518,7 @@ impl Client {
             }
             let mut backoff = policy.backoff(attempt_no);
             if let Some(ms) = hint {
-                backoff = backoff.max(Duration::from_millis(ms));
+                backoff = backoff.max(policy.hint_floor(ms, attempt_no));
             }
             self.stats.retries += 1;
             self.stats.backoff_ms_total += backoff.as_millis().min(u64::MAX as u128) as u64;
@@ -641,6 +680,28 @@ mod tests {
             (0..8).map(|n| p.backoff(n)).collect::<Vec<_>>(),
             (0..8).map(|n| q.backoff(n)).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn hint_floor_jitters_above_the_server_hint() {
+        let p = RetryPolicy {
+            jitter: 0.2,
+            seed: 7,
+            ..RetryPolicy::default()
+        };
+        let floors: Vec<Duration> = (0..4).map(|n| p.hint_floor(500, n)).collect();
+        for f in &floors {
+            assert!(*f >= Duration::from_millis(500), "{f:?} undercuts the hint");
+            assert!(
+                *f <= Duration::from_millis(600),
+                "{f:?} exceeds hint·(1+jitter)"
+            );
+        }
+        // Different attempts (and different seeds) land on different
+        // points, so hinted clients fan out instead of stampeding.
+        assert!(floors.windows(2).any(|w| w[0] != w[1]));
+        let q = RetryPolicy { seed: 8, ..p };
+        assert_ne!(p.hint_floor(500, 0), q.hint_floor(500, 0));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! share serve --tcp 127.0.0.1:7878 --node-id n0 --snapshot-path n0.snapshot  # cluster node
 //! share cluster --listen 127.0.0.1:7979 --peers 127.0.0.1:7878,127.0.0.1:7879
 //! share cluster --listen 127.0.0.1:7979 --peers ... --metrics-addr 127.0.0.1:9185 --federate
+//! share cluster --listen 127.0.0.1:7979 --peers ... --replicas 2 --hedge-ms 25  # replicated + hedged
+//! share cluster --listen 127.0.0.1:7979 --peers ... --breaker-threshold 2 --readmit-successes 3
 //! share serve --tcp 127.0.0.1:7878 --trace-slow-ms 50      # keep traces slower than 50ms
 //! share request --addr 127.0.0.1:7979 --m 50 --seed 1 --traced   # mint a client-side trace
 //! share trace --addr 127.0.0.1:7979 --slowest 3            # cross-node waterfalls
@@ -52,12 +54,10 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     let mut it = raw.iter().peekable();
     match it.next() {
         Some(cmd) if !cmd.starts_with("--") => args.command = cmd.clone(),
-        _ => {
-            return Err(
-                "expected a subcommand (solve|verify|sweep|trade|params|serve|request|cluster|trace)"
-                    .to_string(),
-            )
-        }
+        _ => return Err(
+            "expected a subcommand (solve|verify|sweep|trade|params|serve|request|cluster|trace)"
+                .to_string(),
+        ),
     }
     while let Some(token) = it.next() {
         let Some(key) = token.strip_prefix("--") else {
@@ -354,7 +354,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         quantizer,
         resilience,
         faults,
-        snapshot_path: args.options.get("snapshot-path").map(std::path::PathBuf::from),
+        snapshot_path: args
+            .options
+            .get("snapshot-path")
+            .map(std::path::PathBuf::from),
         node_id: args.options.get("node-id").cloned(),
     };
     if config.workers == 0 {
@@ -488,7 +491,8 @@ fn cmd_request(args: &Args) -> Result<(), String> {
 
 fn cmd_cluster(args: &Args) -> Result<(), String> {
     use share::cluster::{
-        serve_router, serve_router_metrics, serve_router_metrics_federated, RouterConfig,
+        serve_router, serve_router_metrics, serve_router_metrics_federated, BreakerConfig,
+        RouterConfig,
     };
     use share::engine::QuantizerConfig;
     use std::sync::Arc;
@@ -516,6 +520,24 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
         quantizer.param_tol = tol;
     }
     let defaults = RouterConfig::default();
+    // --hedge-ms 0 disables hedging explicitly; absent keeps the default.
+    let hedge = match args.u64_opt(
+        "hedge-ms",
+        defaults.hedge.map(|d| d.as_millis() as u64).unwrap_or(0),
+    )? {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    let mut forward = defaults.forward;
+    if args.options.contains_key("forward-timeout-ms") {
+        let timeout = match args.u64_opt("forward-timeout-ms", 0)? {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        };
+        forward.read_timeout = timeout;
+        forward.write_timeout = timeout;
+    }
+    let breaker_defaults = BreakerConfig::default();
     let config = RouterConfig {
         peers,
         vnodes: args.usize_opt("vnodes", defaults.vnodes)?,
@@ -530,13 +552,35 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
         quantizer,
         max_forward_attempts: args
             .usize_opt("max-forward-attempts", defaults.max_forward_attempts)?,
-        forward: defaults.forward,
+        forward,
+        replicas: args.usize_opt("replicas", defaults.replicas)?,
+        hedge,
+        breaker: BreakerConfig {
+            failure_threshold: args.u64_opt(
+                "breaker-threshold",
+                breaker_defaults.failure_threshold as u64,
+            )? as u32,
+            readmit_successes: args.u64_opt(
+                "readmit-successes",
+                breaker_defaults.readmit_successes as u64,
+            )? as u32,
+        },
+        warm_replicas: !args.has_flag("no-warm-replicas"),
     };
     if config.vnodes == 0 {
         return Err("--vnodes must be at least 1".to_string());
     }
     if config.max_forward_attempts == 0 {
         return Err("--max-forward-attempts must be at least 1".to_string());
+    }
+    if config.replicas == 0 {
+        return Err("--replicas must be at least 1".to_string());
+    }
+    if config.breaker.failure_threshold == 0 {
+        return Err("--breaker-threshold must be at least 1".to_string());
+    }
+    if config.breaker.readmit_successes == 0 {
+        return Err("--readmit-successes must be at least 1".to_string());
     }
     let listen = args
         .options
@@ -706,7 +750,8 @@ const USAGE: &str = "usage: share_cli <solve|verify|sweep|trade|params|serve|req
 [--addr HOST:PORT --mode direct|mean_field|numeric --deadline-ms MS --retries N \
 --timeout-ms MS --stats --metrics --shutdown --traced] \
 [--listen ADDR --peers A,B,C --vnodes N --health-interval-ms MS --probe-timeout-ms MS \
---max-forward-attempts N --federate] \
+--max-forward-attempts N --replicas R --hedge-ms MS --breaker-threshold N \
+--readmit-successes N --forward-timeout-ms MS --no-warm-replicas --federate] \
 [trace --addr HOST:PORT --id HEX32 | --slowest N] \
 (SHARE_LOG=debug for event logs; SHARE_FAULT_PLAN as --fault-plan fallback)";
 
