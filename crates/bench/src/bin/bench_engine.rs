@@ -5,6 +5,8 @@
 //! cargo run -p share-bench --release --bin bench_engine
 //! cargo run -p share-bench --release --bin bench_engine -- --markets 200 --m 400
 //! cargo run -p share-bench --release --bin bench_engine -- --smoke
+//! cargo run -p share-bench --release --bin bench_engine -- --warm-start
+//! cargo run -p share-bench --release --bin bench_engine -- --smoke --baseline bench_results/BENCH_engine.json
 //! ```
 //!
 //! The run drives an in-process engine through a **cold** pass (every
@@ -34,6 +36,18 @@
 //! 3-node cluster at R=1, R=2, and R=2 with a 25 ms hedge armed, pricing
 //! the resilience machinery's no-fault overhead. `--smoke` shrinks every
 //! dimension so CI can run the full code path in seconds.
+//!
+//! Three raw-speed sections gate the serving hot path: **hot_path** prices
+//! the zero-allocation wire layer (fast parser vs serde, pooled vs
+//! allocating encode, warm cache-hit TCP round-trips through the
+//! reactor's inline probe), **soa_stage3** prices the structure-of-arrays
+//! stage-3 iteration against the bit-identical scalar reference, and
+//! **warm_start** prices numeric solves over a perturbed market
+//! neighborhood cold vs seeded from the coarse hint index.
+//!
+//! `--baseline PATH` compares the fresh warm-pass p99 against a committed
+//! report and exits non-zero on a >25% regression; a baseline whose warm
+//! p99 is zero (a schema-only placeholder) skips the gate with a warning.
 //!
 //! Output: `bench_results/BENCH_engine.json`.
 
@@ -140,6 +154,72 @@ struct FailoverEntry {
     requests_per_sec: f64,
 }
 
+/// Per-operation cost of the wire layer's two serving paths — the
+/// hand-rolled fast parser vs `serde_json`, and the pooled-buffer encoder
+/// vs the allocating one — plus end-to-end warm NDJSON round-trips over
+/// TCP through the reactor's zero-allocation path. Each micro summary is a
+/// distribution of per-op costs, every sample timing a whole chunk of
+/// operations so the `Instant` overhead amortizes away.
+#[derive(Debug, Serialize)]
+struct HotPathSummary {
+    /// Operations per timed sample in the micro sections.
+    chunk: usize,
+    /// `serde_json::from_str` on the canonical warm solve line.
+    parse_serde: LatencySummary,
+    /// The zero-allocation fast parser on the same bytes.
+    parse_fast: LatencySummary,
+    /// Mean serde parse cost over mean fast parse cost.
+    parse_speedup_mean: f64,
+    /// `encode_response` (fresh `String` per reply).
+    encode_alloc: LatencySummary,
+    /// `encode_response_into` a reused buffer.
+    encode_buffered: LatencySummary,
+    /// Mean allocating-encode cost over mean buffered-encode cost.
+    encode_speedup_mean: f64,
+    /// Warm cache-hit round-trips over the event-loop TCP server: the full
+    /// serving chain (fast parse → inline cache probe → pooled encode).
+    /// `None` off unix, where the reactor server doesn't build.
+    warm_tcp: Option<LatencySummary>,
+}
+
+/// Stage-3 inner Nash iteration: the array-of-structs scalar reference vs
+/// the structure-of-arrays fast path, on the same market at the
+/// production `max_iter`/`tol`. The two are asserted bit-identical before
+/// timing, so the speedup is pure layout, not a numerical shortcut.
+#[derive(Debug, Serialize)]
+struct SoaStage3Summary {
+    m: usize,
+    p_d: f64,
+    chunk: usize,
+    scalar: LatencySummary,
+    soa: LatencySummary,
+    /// Mean scalar cost over mean SoA cost.
+    scalar_over_soa_mean: f64,
+}
+
+/// Numeric solves over a neighborhood of perturbed markets, cold vs
+/// warm-started: every market misses the equilibrium cache (fine keys all
+/// differ), but under `--warm-start` semantics each solved equilibrium
+/// seeds its neighbors' price brackets through the coarse hint index.
+#[derive(Debug, Serialize)]
+struct WarmStartSummary {
+    /// Distinct perturbed markets solved in each pass.
+    markets: usize,
+    m: usize,
+    /// Hintless engine: every solve scans the cold full bracket.
+    cold: LatencySummary,
+    /// `warm_start: true` engine on the identical market sequence.
+    warm: LatencySummary,
+    /// Mean cold solve time over mean hinted solve time.
+    cold_over_warm_mean: f64,
+    /// Numeric solves that found a usable neighboring equilibrium.
+    hint_hits: u64,
+    /// Numeric solves with no neighbor yet (the first of each run).
+    hint_misses: u64,
+    /// Hinted solves whose narrowed bracket proved wrong and re-ran cold.
+    fallbacks: u64,
+}
+
 /// How one batch's traffic split when the engine was degrading and
 /// shedding under an injected fault plan.
 #[derive(Debug, Serialize)]
@@ -188,6 +268,13 @@ struct BenchReport {
     /// Fast-path cost of the resilience features on a healthy 3-node
     /// cluster: R=1 vs R=2, hedging off vs on.
     failover: Vec<FailoverEntry>,
+    /// Wire-layer per-op costs: fast parser vs serde, pooled vs allocating
+    /// encode, and end-to-end warm TCP round-trips.
+    hot_path: HotPathSummary,
+    /// Stage-3 inner Nash: scalar reference vs SoA fast path, bit-identical.
+    soa_stage3: SoaStage3Summary,
+    /// Numeric solves over a perturbed neighborhood, cold vs hint-seeded.
+    warm_start: WarmStartSummary,
     /// Traffic split under an injected fault plan with shed + degrade armed.
     fault_tolerance: FaultToleranceSummary,
     /// Final engine counters, as served by the `stats` wire request.
@@ -813,6 +900,295 @@ fn bench_failover(rounds: usize) -> Vec<FailoverEntry> {
     .collect()
 }
 
+/// Distribution of per-op costs: each sample times `chunk` calls of `f`
+/// and records the mean, so the `Instant` read amortizes over the chunk.
+fn bench_micro(samples: usize, chunk: usize, mut f: impl FnMut()) -> LatencySummary {
+    let hist = LogHistogram::new();
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..chunk {
+            f();
+        }
+        hist.record(ns(t0.elapsed()) / chunk as u64);
+    }
+    LatencySummary::from_histogram(&hist)
+}
+
+/// Wire-layer costs on the canonical warm solve line: serde vs the fast
+/// parser on identical bytes (agreement asserted first), the allocating
+/// vs pooled-buffer encoder on a real solve reply (bytes asserted
+/// identical), then warm cache-hit round-trips over the reactor TCP
+/// server — the path where all of it composes with the inline cache probe.
+fn bench_hot_path(samples: usize, chunk: usize, rounds: usize) -> HotPathSummary {
+    use share_engine::{
+        encode_response, encode_response_into, parse_request, parse_request_fast, MarketSpec,
+        RequestBody, ResponseBody, WireRequest, WireResponse,
+    };
+
+    const M: usize = 40;
+    let req = WireRequest {
+        id: 7,
+        trace: None,
+        body: RequestBody::Solve {
+            spec: MarketSpec::Seeded {
+                m: M,
+                seed: 51_000,
+                n_pieces: None,
+                v: None,
+            },
+            mode: SolveMode::Direct,
+            deadline_ms: None,
+        },
+    };
+    let line = serde_json::to_string(&req).expect("encode request");
+
+    // The fast path must engage on this line and agree with serde.
+    let via_serde = parse_request(&line).expect("serde parse");
+    let via_fast = parse_request_fast(line.as_bytes()).expect("fast path must engage");
+    assert_eq!(via_fast, via_serde, "fast parser must agree with serde");
+
+    let parse_serde = bench_micro(samples, chunk, || {
+        std::hint::black_box(parse_request(std::hint::black_box(&line)).expect("parse"));
+    });
+    let parse_fast = bench_micro(samples, chunk, || {
+        std::hint::black_box(
+            parse_request_fast(std::hint::black_box(line.as_bytes())).expect("parse"),
+        );
+    });
+
+    // A real solve reply, so the encoder sees production field widths.
+    let engine = Engine::start(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    let result = engine
+        .request(&SolveSpec::seeded(M, 51_000, SolveMode::Direct))
+        .expect("solve");
+    engine.shutdown();
+    let resp = WireResponse {
+        id: 7,
+        trace: None,
+        body: ResponseBody::Solve { result },
+    };
+    let mut buf = Vec::new();
+    encode_response_into(&resp, &mut buf);
+    assert_eq!(
+        buf,
+        (encode_response(&resp) + "\n").into_bytes(),
+        "buffered encoder must emit byte-identical frames"
+    );
+
+    let encode_alloc = bench_micro(samples, chunk, || {
+        std::hint::black_box(encode_response(std::hint::black_box(&resp)));
+    });
+    let encode_buffered = bench_micro(samples, chunk, || {
+        buf.clear();
+        encode_response_into(std::hint::black_box(&resp), &mut buf);
+        std::hint::black_box(buf.len());
+    });
+
+    let warm_tcp = bench_hot_path_tcp(&line, rounds);
+
+    let summary = HotPathSummary {
+        chunk,
+        parse_speedup_mean: parse_serde.mean_ns / parse_fast.mean_ns.max(1.0),
+        encode_speedup_mean: encode_alloc.mean_ns / encode_buffered.mean_ns.max(1.0),
+        parse_serde,
+        parse_fast,
+        encode_alloc,
+        encode_buffered,
+        warm_tcp,
+    };
+    println!(
+        "hot path: parse {:.0}ns serde vs {:.0}ns fast ({:.1}x), encode {:.0}ns alloc vs {:.0}ns buffered ({:.1}x), warm TCP p99 {}",
+        summary.parse_serde.mean_ns,
+        summary.parse_fast.mean_ns,
+        summary.parse_speedup_mean,
+        summary.encode_alloc.mean_ns,
+        summary.encode_buffered.mean_ns,
+        summary.encode_speedup_mean,
+        summary
+            .warm_tcp
+            .as_ref()
+            .map(|t| format!("{:.1}µs", t.p99_ns as f64 / 1e3))
+            .unwrap_or_else(|| "n/a".into()),
+    );
+    summary
+}
+
+/// Warm cache-hit round-trips of the canonical line over the event-loop
+/// TCP server: the reactor thread serves each reply from the inline cache
+/// probe without touching the worker pool.
+#[cfg(unix)]
+fn bench_hot_path_tcp(line: &str, rounds: usize) -> Option<LatencySummary> {
+    use share_engine::serve_tcp_with;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    }));
+    engine
+        .request(&SolveSpec::seeded(40, 51_000, SolveMode::Direct))
+        .expect("warm-up solve");
+    let server = serve_tcp_with(Arc::clone(&engine), "127.0.0.1:0", 1).expect("bind");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+    let framed = format!("{line}\n");
+
+    let hist = LogHistogram::new();
+    let mut reply = String::new();
+    for i in 0..(rounds + 16) {
+        let t0 = Instant::now();
+        stream.write_all(framed.as_bytes()).expect("send");
+        reply.clear();
+        reader.read_line(&mut reply).expect("recv");
+        if i >= 16 {
+            // First rounds warm the connection buffers and the branch
+            // predictors; steady state is what the artifact tracks.
+            hist.record_duration(t0.elapsed());
+        }
+        assert!(reply.contains("\"solve\""), "warm hit reply: {reply}");
+    }
+    drop(stream);
+    server.stop();
+    engine.shutdown();
+    Some(LatencySummary::from_histogram(&hist))
+}
+
+#[cfg(not(unix))]
+fn bench_hot_path_tcp(_line: &str, _rounds: usize) -> Option<LatencySummary> {
+    None
+}
+
+/// Stage-3 inner Nash iteration at the differential tests' operating
+/// point (`p_d` inside their proven-convergent range, tight tolerance):
+/// scalar array-of-structs reference vs the SoA fast path, after
+/// asserting the two produce bit-identical τ vectors on this market.
+fn bench_soa_stage3(m: usize, samples: usize, chunk: usize) -> SoaStage3Summary {
+    use share_market::stage3::{
+        tau_direct_linear_chi_scalar, tau_direct_linear_chi_soa, Stage3Workspace,
+    };
+
+    const P_D: f64 = 0.2;
+    const MAX_ITER: usize = 2000;
+    const TOL: f64 = 1e-12;
+    let params = share_bench::default_params(m, 61_000);
+    let mut ws = Stage3Workspace::new();
+
+    let scalar_tau = tau_direct_linear_chi_scalar(&params, P_D, MAX_ITER, TOL).expect("scalar");
+    let soa_tau = tau_direct_linear_chi_soa(&params, P_D, MAX_ITER, TOL, &mut ws).expect("soa");
+    assert_eq!(
+        scalar_tau.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+        soa_tau.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+        "SoA stage 3 must be bit-identical to the scalar reference"
+    );
+
+    let scalar = bench_micro(samples, chunk, || {
+        std::hint::black_box(
+            tau_direct_linear_chi_scalar(std::hint::black_box(&params), P_D, MAX_ITER, TOL)
+                .expect("scalar"),
+        );
+    });
+    let soa = bench_micro(samples, chunk, || {
+        std::hint::black_box(
+            tau_direct_linear_chi_soa(std::hint::black_box(&params), P_D, MAX_ITER, TOL, &mut ws)
+                .expect("soa"),
+        );
+    });
+
+    let summary = SoaStage3Summary {
+        m,
+        p_d: P_D,
+        chunk,
+        scalar_over_soa_mean: scalar.mean_ns / soa.mean_ns.max(1.0),
+        scalar,
+        soa,
+    };
+    println!(
+        "soa stage3: m={}, scalar {:.1}µs vs soa {:.1}µs mean ({:.2}x)",
+        summary.m,
+        summary.scalar.mean_ns / 1e3,
+        summary.soa.mean_ns / 1e3,
+        summary.scalar_over_soa_mean
+    );
+    summary
+}
+
+/// Numeric solves over a neighborhood of perturbed markets, with and
+/// without the warm-start hint index. Each variant nudges one seller's λ
+/// by a few fine-quantizer buckets: every request misses the equilibrium
+/// cache, but the variants share a coarse hint slot, so the warm engine
+/// solves the first cold and brackets the rest around its neighbor's
+/// prices.
+fn bench_warm_start(markets: usize, m: usize) -> WarmStartSummary {
+    let base = share_bench::default_params(m, 71_000);
+    let variants: Vec<SolveSpec> = (0..markets)
+        .map(|i| {
+            let mut p = base.clone();
+            // 20 fine buckets per step under the default 1e-6 param_tol,
+            // well inside one 2.56e-4 coarse bucket across the whole run;
+            // subtracting keeps λ inside its U(0.01, 1) support.
+            p.sellers[0].lambda -= i as f64 * 2e-5;
+            SolveSpec::explicit(p, SolveMode::Numeric)
+        })
+        .collect();
+
+    let run = |warm_start: bool| {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            cache_capacity: markets.max(16),
+            warm_start,
+            ..EngineConfig::default()
+        });
+        let hist = LogHistogram::new();
+        for spec in &variants {
+            let t0 = Instant::now();
+            let result = engine.request(spec).expect("numeric solve");
+            hist.record_duration(t0.elapsed());
+            assert!(!result.cached, "perturbed variants must all miss the cache");
+        }
+        (LatencySummary::from_histogram(&hist), engine.shutdown())
+    };
+
+    let (cold, cold_stats) = run(false);
+    assert_eq!(
+        cold_stats.warm_hint_hits, 0,
+        "hintless engine must never consult the hint index"
+    );
+    let (warm, warm_stats) = run(true);
+    assert!(
+        warm_stats.warm_hint_hits > 0,
+        "neighboring markets must share a coarse hint slot"
+    );
+
+    let summary = WarmStartSummary {
+        markets,
+        m,
+        cold_over_warm_mean: cold.mean_ns / warm.mean_ns.max(1.0),
+        cold,
+        warm,
+        hint_hits: warm_stats.warm_hint_hits,
+        hint_misses: warm_stats.warm_hint_misses,
+        fallbacks: warm_stats.warm_fallbacks,
+    };
+    println!(
+        "warm start: {} markets, cold p99 {:.1}µs vs hinted p99 {:.1}µs ({:.2}x mean), {} hint hits, {} fallbacks",
+        summary.markets,
+        summary.cold.p99_ns as f64 / 1e3,
+        summary.warm.p99_ns as f64 / 1e3,
+        summary.cold_over_warm_mean,
+        summary.hint_hits,
+        summary.fallbacks
+    );
+    summary
+}
+
 fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
     args.iter()
         .position(|a| a == key)
@@ -824,11 +1200,32 @@ fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    // Arm the warm-start hint index on the main cold/warm engine (the
+    // dedicated warm_start section below always prices both settings).
+    let warm_start = args.iter().any(|a| a == "--warm-start");
     let markets = arg_usize(&args, "--markets", if smoke { 16 } else { 64 });
     let m = arg_usize(&args, "--m", if smoke { 50 } else { 200 });
     let workers = arg_usize(&args, "--workers", 2);
     let rounds = arg_usize(&args, "--rounds", if smoke { 5 } else { 50 });
     let batch = arg_usize(&args, "--batch", if smoke { 32 } else { 100 });
+
+    // Read the baseline BEFORE the run: the report below overwrites the
+    // default output path, which is also the natural baseline argument.
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let baseline_warm_p99: Option<u64> = baseline_path.as_ref().map(|p| {
+        let body = std::fs::read_to_string(p)
+            .unwrap_or_else(|e| panic!("--baseline {p}: {e}"));
+        let v: serde_json::Value =
+            serde_json::from_str(&body).unwrap_or_else(|e| panic!("--baseline {p}: {e}"));
+        v.get("warm")
+            .and_then(|w| w.get("p99_ns"))
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or_else(|| panic!("--baseline {p}: no warm.p99_ns field"))
+    });
 
     // Capture the solver's stage spans in memory; the filter keeps the
     // stream limited to what the stage aggregation needs.
@@ -840,6 +1237,7 @@ fn main() {
         workers,
         queue_capacity: markets.max(16),
         cache_capacity: markets.max(16),
+        warm_start,
         ..EngineConfig::default()
     });
 
@@ -921,6 +1319,13 @@ fn main() {
     let connection_scaling = bench_connection_scaling(conn_tiers, if smoke { 2 } else { 4 });
     let cluster_scaling = bench_cluster_scaling(if smoke { 5 } else { 50 });
     let failover = bench_failover(if smoke { 5 } else { 50 });
+    let hot_path = bench_hot_path(
+        if smoke { 40 } else { 200 },
+        if smoke { 32 } else { 128 },
+        if smoke { 64 } else { 512 },
+    );
+    let soa_stage3 = bench_soa_stage3(m, if smoke { 30 } else { 100 }, 8);
+    let warm_start = bench_warm_start(if smoke { 8 } else { 24 }, m.min(100));
 
     let report = BenchReport {
         markets,
@@ -939,6 +1344,9 @@ fn main() {
         connection_scaling,
         cluster_scaling,
         failover,
+        hot_path,
+        soa_stage3,
+        warm_start,
         fault_tolerance,
         stats,
     };
@@ -950,4 +1358,23 @@ fn main() {
         report.cold_over_warm_mean,
         path.display()
     );
+
+    if let (Some(bpath), Some(base)) = (baseline_path, baseline_warm_p99) {
+        if base == 0 {
+            println!(
+                "baseline {bpath} carries a zeroed warm p99 (schema-only placeholder); \
+                 skipping the regression gate"
+            );
+        } else {
+            let limit = base + base / 4;
+            let now = report.warm.p99_ns;
+            assert!(
+                now <= limit,
+                "warm p99 regressed >25% vs baseline {bpath}: {now}ns > {limit}ns (baseline {base}ns)"
+            );
+            println!(
+                "warm p99 {now}ns within 125% of baseline {base}ns ({bpath})"
+            );
+        }
+    }
 }

@@ -13,9 +13,10 @@
 //! appended to a write buffer that the reactor flushes whenever the socket
 //! accepts bytes, so a slow-reading peer never blocks the reactor thread.
 
-use crate::engine::{Engine, ReplySink};
+use crate::engine::{Engine, HitScratch, ReplySink};
 use crate::protocol::{
-    encode_response, local_trace_response, parse_request, RequestBody, ResponseBody, WireResponse,
+    encode_response_into, local_trace_response, parse_request_hot, RequestBody, ResponseBody,
+    WireResponse,
 };
 use crate::reactor::{BatchSink, Routed, RoutedSink, Waker};
 use crate::spec::SolveSpec;
@@ -46,6 +47,17 @@ pub(crate) struct ConnCtx<'a> {
     pub(crate) local_addr: SocketAddr,
 }
 
+/// Pooled per-connection buffers: the read/write byte buffers plus the
+/// inline cache-probe scratch. Reactors recycle these across connections
+/// (see the pool in `run_reactor`), so a churn of short-lived clients
+/// serves from already-grown buffers instead of re-allocating per accept.
+#[derive(Default)]
+pub(crate) struct ConnBufs {
+    pub(crate) read_buf: Vec<u8>,
+    pub(crate) write_buf: Vec<u8>,
+    pub(crate) scratch: HitScratch,
+}
+
 /// One nonblocking NDJSON connection owned by a reactor thread.
 pub(crate) struct Conn {
     stream: TcpStream,
@@ -53,6 +65,8 @@ pub(crate) struct Conn {
     pub(crate) token: u64,
     read_buf: Vec<u8>,
     write_buf: Vec<u8>,
+    /// Reused market/key buffers for the inline cache probe.
+    scratch: HitScratch,
     /// How much of `write_buf` has already been written to the socket.
     write_pos: usize,
     /// Replies still owed by the engine (solve submissions + batches).
@@ -70,16 +84,36 @@ fn find_byte(needle: u8, haystack: &[u8]) -> Option<usize> {
 }
 
 impl Conn {
-    pub(crate) fn new(stream: TcpStream, token: u64) -> Self {
+    pub(crate) fn new(stream: TcpStream, token: u64, bufs: ConnBufs) -> Self {
         Self {
             stream,
             token,
-            read_buf: Vec::new(),
-            write_buf: Vec::new(),
+            read_buf: bufs.read_buf,
+            write_buf: bufs.write_buf,
+            scratch: bufs.scratch,
             write_pos: 0,
             inflight: 0,
             read_closed: false,
             dead: false,
+        }
+    }
+
+    /// Tear the connection down (dropping the stream closes the socket)
+    /// and hand its buffers back for the reactor's pool, cleared but with
+    /// capacity kept.
+    pub(crate) fn reclaim(self) -> ConnBufs {
+        let Conn {
+            mut read_buf,
+            mut write_buf,
+            scratch,
+            ..
+        } = self;
+        read_buf.clear();
+        write_buf.clear();
+        ConnBufs {
+            read_buf,
+            write_buf,
+            scratch,
         }
     }
 
@@ -98,11 +132,10 @@ impl Conn {
         self.dead || (self.read_closed && self.inflight == 0 && !self.wants_write())
     }
 
-    /// Append one encoded response line to the write buffer.
+    /// Serialize one response directly into the write buffer (newline
+    /// included) — no intermediate `String` per response.
     pub(crate) fn queue_response(&mut self, resp: &WireResponse) {
-        self.write_buf
-            .extend_from_slice(encode_response(resp).as_bytes());
-        self.write_buf.push(b'\n');
+        encode_response_into(resp, &mut self.write_buf);
     }
 
     /// Write as much of the buffered output as the socket accepts. A hard
@@ -148,8 +181,10 @@ impl Conn {
                     // EOF delivers a trailing unterminated line, exactly
                     // like `BufRead::lines` on the legacy path.
                     if !self.read_buf.is_empty() {
-                        let tail = std::mem::take(&mut self.read_buf);
+                        let mut tail = std::mem::take(&mut self.read_buf);
                         self.dispatch_raw_line(&tail, ctx);
+                        tail.clear();
+                        self.read_buf = tail;
                     }
                     return;
                 }
@@ -169,25 +204,30 @@ impl Conn {
         }
     }
 
-    /// Frame and dispatch every complete line currently buffered.
+    /// Frame and dispatch every complete line currently buffered. Lines
+    /// are dispatched in place, borrowed straight from the read buffer —
+    /// no per-line copy. (The buffer is moved out for the duration so the
+    /// borrow checker can see `dispatch_raw_line` never touches it; the
+    /// move itself is pointer-sized, not a copy.)
     fn process_buffered_lines(&mut self, ctx: &ConnCtx<'_>) {
+        let mut buf = std::mem::take(&mut self.read_buf);
         let mut consumed = 0;
         while !self.read_closed && !self.dead {
-            let Some(nl) = find_byte(b'\n', &self.read_buf[consumed..]) else {
+            let Some(nl) = find_byte(b'\n', &buf[consumed..]) else {
                 break;
             };
             let end = consumed + nl;
             // `BufRead::lines` strips a trailing CR along with the LF.
-            let line_end = if end > consumed && self.read_buf[end - 1] == b'\r' {
+            let line_end = if end > consumed && buf[end - 1] == b'\r' {
                 end - 1
             } else {
                 end
             };
-            let line: Vec<u8> = self.read_buf[consumed..line_end].to_vec();
+            self.dispatch_raw_line(&buf[consumed..line_end], ctx);
             consumed = end + 1;
-            self.dispatch_raw_line(&line, ctx);
         }
-        self.read_buf.drain(..consumed);
+        buf.drain(..consumed);
+        self.read_buf = buf;
     }
 
     /// Process one framed request line with the legacy loop's semantics.
@@ -210,7 +250,7 @@ impl Conn {
             self.read_closed = true;
             return;
         }
-        match parse_request(line) {
+        match parse_request_hot(line) {
             Err(e) => {
                 ctx.engine.note_invalid();
                 self.queue_response(&WireResponse::from_error(0, &e));
@@ -230,6 +270,24 @@ impl Conn {
                         .trace
                         .as_deref()
                         .and_then(share_obs::TraceContext::from_wire);
+                    // Warm fast path: answer untraced solves straight from
+                    // the equilibrium cache on the reactor thread — no
+                    // queue hop, no allocation. Traced requests keep the
+                    // full path so their engine-hop spans exist; misses
+                    // fall through to the submission path, which repeats
+                    // the probe with full accounting.
+                    if trace.is_none() {
+                        if let Some(result) =
+                            ctx.engine.try_cache_hit(req.id, &solve, &mut self.scratch)
+                        {
+                            self.queue_response(&WireResponse {
+                                id: req.id,
+                                trace: None,
+                                body: ResponseBody::Solve { result },
+                            });
+                            return;
+                        }
+                    }
                     self.inflight += 1;
                     ctx.engine.submit_sink_traced(
                         req.id,

@@ -18,7 +18,7 @@ use crate::cache::ShardedCache;
 use crate::error::{EngineError, Result};
 use crate::fault::{FaultPlan, FaultSite, FaultState};
 use crate::metrics::{Metrics, StatsSnapshot};
-use crate::quantize::{quantize, CacheKey, QuantizerConfig};
+use crate::quantize::{quantize, quantize_into, CacheKey, QuantizerConfig};
 use crate::spec::{SolveMode, SolveSpec};
 use crate::supervisor::{spawn_worker, supervisor_loop, SupervisorMsg};
 use crossbeam::channel::{bounded, unbounded, Sender, TrySendError};
@@ -67,6 +67,14 @@ pub struct EngineConfig {
     /// the Prometheus exposition is stamped with a `node="<id>"` label and
     /// the id is reported by the `node_info` wire request.
     pub node_id: Option<String>,
+    /// Warm-start the numeric solver from cached neighboring equilibria:
+    /// solved `(p^M*, p^D*)` pairs are indexed under a coarsened cache key
+    /// (see [`crate::quantize::HINT_COARSENING`]) and later numeric solves
+    /// for *nearby* markets search a narrow price bracket around the hint
+    /// instead of the cold full bracket. Off by default; answers stay
+    /// within the quantizer's `price_tol` either way (the warm path falls
+    /// back to the cold bracket when a hint proves unusable).
+    pub warm_start: bool,
 }
 
 impl Default for EngineConfig {
@@ -83,6 +91,7 @@ impl Default for EngineConfig {
             faults: None,
             snapshot_path: None,
             node_id: None,
+            warm_start: false,
         }
     }
 }
@@ -313,6 +322,11 @@ pub(crate) struct Shared {
     pub(crate) config: EngineConfig,
     pub(crate) metrics: Metrics,
     pub(crate) cache: ShardedCache<CacheKey, SolveSummary>,
+    /// Warm-start hint index: solved numeric equilibrium prices keyed by
+    /// the *coarsened* quantization of their market, so nearby markets can
+    /// seed each other's numeric solves. Only populated (and read) when
+    /// [`EngineConfig::warm_start`] is on.
+    pub(crate) hints: ShardedCache<CacheKey, share_market::solver::WarmStart>,
     pub(crate) inflight: Mutex<HashMap<CacheKey, Vec<Waiter>>>,
     pub(crate) job_tx: Mutex<Option<Sender<Job>>>,
     pub(crate) closed: AtomicBool,
@@ -400,6 +414,32 @@ impl Shared {
     }
 }
 
+/// Reusable scratch for [`Engine::try_cache_hit`]: the materialized
+/// market and the quantized cache key live across requests, so a warm
+/// probe reuses their seller/weight/bucket allocations instead of
+/// re-allocating per request. One per connection (or per probing thread).
+pub struct HitScratch {
+    params: MarketParams,
+    key: CacheKey,
+}
+
+impl HitScratch {
+    /// Fresh scratch; its buffers grow to the largest market probed and
+    /// stay there.
+    pub fn new() -> Self {
+        Self {
+            params: MarketParams::empty(),
+            key: CacheKey::default(),
+        }
+    }
+}
+
+impl Default for HitScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// The concurrent market-serving engine.
 pub struct Engine {
     shared: Arc<Shared>,
@@ -441,6 +481,7 @@ impl Engine {
         let (sup_tx, sup_rx) = unbounded::<SupervisorMsg>();
         let shared = Arc::new(Shared {
             cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
+            hints: ShardedCache::new(config.cache_capacity, config.cache_shards),
             inflight: Mutex::new(HashMap::new()),
             job_tx: Mutex::new(Some(job_tx)),
             closed: AtomicBool::new(false),
@@ -684,6 +725,49 @@ impl Engine {
                 shared.reply(w, Err(error.clone()));
             }
         }
+    }
+
+    /// Probe the equilibrium cache for `spec` without entering the
+    /// submission path, reusing `scratch`'s buffers so a warm probe
+    /// performs **zero heap allocations**. The event-loop server calls
+    /// this inline on the reactor thread for every untraced solve,
+    /// answering hot repeat traffic without a queue hop.
+    ///
+    /// `None` means "not servable inline" — a cache miss, an invalid
+    /// spec, or a closed engine — and the caller must fall through to
+    /// [`submit`](Self::submit), which repeats the work with its full
+    /// accounting (invalid-spec error replies, the cache-miss counter,
+    /// dedup, shedding). A hit performs the same accounting as the
+    /// submission path's hit arm: the request and cache-hit counters, the
+    /// debug-build price-tolerance verification, `cached = true` and a
+    /// service-latency sample.
+    pub fn try_cache_hit(
+        &self,
+        id: u64,
+        spec: &SolveSpec,
+        scratch: &mut HitScratch,
+    ) -> Option<SolveSummary> {
+        let start = Instant::now();
+        let shared = &self.shared;
+        if shared.closed.load(Ordering::SeqCst) {
+            return None;
+        }
+        spec.spec.materialize_into(&mut scratch.params).ok()?;
+        quantize_into(
+            &scratch.params,
+            spec.mode,
+            shared.config.quantizer.param_tol,
+            &mut scratch.key,
+        );
+        let mut hit = shared.cache.get(&scratch.key)?;
+        shared.metrics.inc_requests();
+        shared.metrics.inc_cache_hits();
+        share_obs::obs_debug!(target: TARGET, "cache_hit", "id" => id, "m" => hit.m);
+        #[cfg(debug_assertions)]
+        shared.debug_verify_price_tol(&scratch.params, spec.mode, &hit);
+        hit.cached = true;
+        shared.metrics.record_latency(start.elapsed());
+        Some(hit)
     }
 
     /// Submit and block for the reply — the in-process convenience path.

@@ -66,14 +66,17 @@ mod worker;
 pub use cache::{LruCache, ShardedCache};
 pub use client::{Client, ClientConfig, ClientStats, RetryPolicy};
 pub use engine::{
-    DegradeInfo, DegradeReason, Engine, EngineConfig, NodeInfo, Reply, ResilienceConfig,
-    SolveSummary,
+    DegradeInfo, DegradeReason, Engine, EngineConfig, HitScratch, NodeInfo, Reply,
+    ResilienceConfig, SolveSummary,
 };
 pub use error::{EngineError, Result};
 pub use fault::{FaultPlan, FaultSite};
 pub use metrics::{Metrics, StatsSnapshot};
-pub use protocol::{RequestBody, ResponseBody, WireRequest, WireResponse, WireSpan, WireTrace};
-pub use quantize::{quantize, CacheKey, QuantizerConfig};
+pub use protocol::{
+    encode_response, encode_response_into, parse_request, parse_request_fast, parse_request_hot,
+    RequestBody, ResponseBody, WireRequest, WireResponse, WireSpan, WireTrace,
+};
+pub use quantize::{quantize, quantize_into, CacheKey, QuantizerConfig};
 pub use server::{
     default_reactors, serve_metrics, serve_stdio, serve_tcp, serve_tcp_with, MetricsServer,
     TcpServer,

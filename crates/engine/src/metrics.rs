@@ -46,6 +46,9 @@ pub struct Metrics {
     fault_conn_drop: Arc<Counter>,
     snapshot_restored: Arc<Counter>,
     snapshot_writes: Arc<Counter>,
+    warm_hint_hits: Arc<Counter>,
+    warm_hint_misses: Arc<Counter>,
+    warm_fallbacks: Arc<Counter>,
 
     queue_depth: Arc<Gauge>,
     inflight_solves: Arc<Gauge>,
@@ -159,6 +162,18 @@ impl Metrics {
             "share_snapshot_writes_total",
             "Cache snapshots written to disk (on drain or by request).",
         );
+        let warm_hint_hits = registry.counter(
+            "share_warm_hint_hits_total",
+            "Numeric solves that found a neighboring equilibrium to warm-start from.",
+        );
+        let warm_hint_misses = registry.counter(
+            "share_warm_hint_misses_total",
+            "Numeric solves with no cached neighbor; ran the full cold scan.",
+        );
+        let warm_fallbacks = registry.counter(
+            "share_warm_fallbacks_total",
+            "Warm-started solves whose narrowed bracket failed and re-ran cold.",
+        );
 
         let queue_depth = registry.gauge(
             "share_queue_depth",
@@ -267,6 +282,9 @@ impl Metrics {
             fault_conn_drop,
             snapshot_restored,
             snapshot_writes,
+            warm_hint_hits,
+            warm_hint_misses,
+            warm_fallbacks,
             queue_depth,
             inflight_solves,
             cache_entries,
@@ -394,6 +412,27 @@ impl Metrics {
         self.snapshot_writes.inc();
     }
 
+    /// Count a numeric solve that found a warm-start hint.
+    pub fn inc_warm_hint_hits(&self) {
+        self.warm_hint_hits.inc();
+    }
+    /// Warm-start hint hits so far (tests poll this).
+    pub fn warm_hint_hits(&self) -> u64 {
+        self.warm_hint_hits.get()
+    }
+    /// Count a numeric solve that found no warm-start hint.
+    pub fn inc_warm_hint_misses(&self) {
+        self.warm_hint_misses.inc();
+    }
+    /// Count a warm-started solve that fell back to the cold bracket.
+    pub fn inc_warm_fallbacks(&self) {
+        self.warm_fallbacks.inc();
+    }
+    /// Warm-start cold fallbacks so far (tests poll this).
+    pub fn warm_fallbacks(&self) -> u64 {
+        self.warm_fallbacks.get()
+    }
+
     /// Stamp every rendered sample of this engine's exposition with a
     /// `node="<id>"` label, so scrapes from a cluster's N engine
     /// processes stay distinguishable after aggregation. Rendering-only;
@@ -476,6 +515,9 @@ impl Metrics {
             worker_restarts: self.worker_restarts.get(),
             requests_shed: self.requests_shed.get(),
             requests_degraded: self.requests_degraded.get(),
+            warm_hint_hits: self.warm_hint_hits.get(),
+            warm_hint_misses: self.warm_hint_misses.get(),
+            warm_fallbacks: self.warm_fallbacks.get(),
             latency_min_us: to_us(hist.min_ns),
             latency_mean_us: hist.mean_ns() / 1e3,
             latency_max_us: to_us(hist.max_ns),
@@ -530,6 +572,15 @@ pub struct StatsSnapshot {
     /// Requests answered by the mean-field degradation ladder.
     #[serde(default)]
     pub requests_degraded: u64,
+    /// Numeric solves that warm-started from a cached neighbor.
+    #[serde(default)]
+    pub warm_hint_hits: u64,
+    /// Numeric solves with no cached neighbor to warm-start from.
+    #[serde(default)]
+    pub warm_hint_misses: u64,
+    /// Warm-started solves whose narrowed bracket failed and re-ran cold.
+    #[serde(default)]
+    pub warm_fallbacks: u64,
     /// Minimum service latency (µs) over replied requests.
     pub latency_min_us: f64,
     /// Mean service latency (µs) over replied requests.

@@ -288,6 +288,224 @@ pub fn parse_request(line: &str) -> crate::error::Result<WireRequest> {
     serde_json::from_str(line).map_err(|e| EngineError::InvalidRequest(e.to_string()))
 }
 
+/// [`parse_request`] with the zero-allocation fast path in front: the hot
+/// request shapes (seeded solves and the bodyless kinds) parse without
+/// serde or any heap allocation; everything else falls through to the
+/// serde parser, which stays authoritative.
+///
+/// # Errors
+/// Same as [`parse_request`].
+pub fn parse_request_hot(line: &str) -> crate::error::Result<WireRequest> {
+    if let Some(req) = parse_request_fast(line.as_bytes()) {
+        return Ok(req);
+    }
+    parse_request(line)
+}
+
+/// Hand-rolled parser for a strict *subset* of the request grammar: a
+/// single-level JSON object holding only `kind`, `id`, `spec` (seeded form
+/// with integer fields), `mode` and `deadline_ms`, with no string escapes,
+/// no floats, no duplicate keys and no trailing bytes. Returns `Some` only
+/// when serde would parse the line to exactly the same [`WireRequest`];
+/// anything unusual — a `trace` field, a batch, an explicit market, a `v`
+/// override (float), non-canonical numbers — returns `None` so the caller
+/// falls back to [`parse_request`]. The differential proptest harness
+/// (`tests/parser_diff.rs`) pins this agreement.
+pub fn parse_request_fast(line: &[u8]) -> Option<WireRequest> {
+    fast::parse(line)
+}
+
+/// The fast-path parser internals. Every bail-out here is a correctness
+/// guarantee, not a failure: `None` always means "let serde decide".
+mod fast {
+    use super::{MarketSpec, RequestBody, SolveMode, WireRequest};
+
+    struct Cursor<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl<'a> Cursor<'a> {
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.i).copied()
+        }
+
+        fn eat(&mut self, c: u8) -> Option<()> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Some(())
+            } else {
+                None
+            }
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.i += 1;
+            }
+        }
+
+        /// A quoted string without escapes or control characters; anything
+        /// fancier bails to serde.
+        fn string(&mut self) -> Option<&'a [u8]> {
+            self.eat(b'"')?;
+            let start = self.i;
+            loop {
+                match self.peek()? {
+                    b'"' => {
+                        let s = &self.b[start..self.i];
+                        self.i += 1;
+                        return Some(s);
+                    }
+                    b'\\' => return None,
+                    c if c < 0x20 => return None,
+                    _ => self.i += 1,
+                }
+            }
+        }
+
+        /// A canonical non-negative integer literal: digits only, no
+        /// leading zeros, no sign/fraction/exponent, fits in u64.
+        fn u64(&mut self) -> Option<u64> {
+            let start = self.i;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.i += 1;
+            }
+            let digits = &self.b[start..self.i];
+            if digits.is_empty() || (digits.len() > 1 && digits[0] == b'0') {
+                return None;
+            }
+            if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+                return None;
+            }
+            let mut v: u64 = 0;
+            for &d in digits {
+                v = v.checked_mul(10)?.checked_add(u64::from(d - b'0'))?;
+            }
+            Some(v)
+        }
+    }
+
+    /// The seeded `spec` object: `m` and `seed` required, `n_pieces`
+    /// optional; a `v` override is a float and bails.
+    fn seeded_spec(c: &mut Cursor<'_>) -> Option<MarketSpec> {
+        c.eat(b'{')?;
+        let mut m: Option<u64> = None;
+        let mut seed: Option<u64> = None;
+        let mut n_pieces: Option<u64> = None;
+        loop {
+            c.skip_ws();
+            let key = c.string()?;
+            c.skip_ws();
+            c.eat(b':')?;
+            c.skip_ws();
+            let slot = match key {
+                b"m" => &mut m,
+                b"seed" => &mut seed,
+                b"n_pieces" => &mut n_pieces,
+                _ => return None,
+            };
+            if slot.replace(c.u64()?).is_some() {
+                return None; // duplicate key
+            }
+            c.skip_ws();
+            match c.peek()? {
+                b',' => c.i += 1,
+                b'}' => {
+                    c.i += 1;
+                    break;
+                }
+                _ => return None,
+            }
+        }
+        Some(MarketSpec::Seeded {
+            m: usize::try_from(m?).ok()?,
+            seed: seed?,
+            n_pieces: match n_pieces {
+                Some(n) => Some(usize::try_from(n).ok()?),
+                None => None,
+            },
+            v: None,
+        })
+    }
+
+    pub(super) fn parse(line: &[u8]) -> Option<WireRequest> {
+        let mut c = Cursor { b: line, i: 0 };
+        c.skip_ws();
+        c.eat(b'{')?;
+        let mut id: Option<u64> = None;
+        let mut kind: Option<&[u8]> = None;
+        let mut mode: Option<SolveMode> = None;
+        let mut deadline_ms: Option<u64> = None;
+        let mut spec: Option<MarketSpec> = None;
+        loop {
+            c.skip_ws();
+            let key = c.string()?;
+            c.skip_ws();
+            c.eat(b':')?;
+            c.skip_ws();
+            let duplicate = match key {
+                b"id" => id.replace(c.u64()?).is_some(),
+                b"kind" => kind.replace(c.string()?).is_some(),
+                b"mode" => {
+                    let m = match c.string()? {
+                        b"direct" => SolveMode::Direct,
+                        b"mean_field" => SolveMode::MeanField,
+                        b"numeric" => SolveMode::Numeric,
+                        _ => return None,
+                    };
+                    mode.replace(m).is_some()
+                }
+                b"deadline_ms" => deadline_ms.replace(c.u64()?).is_some(),
+                b"spec" => spec.replace(seeded_spec(&mut c)?).is_some(),
+                // `trace`, `requests`, `trace_id`, unknown keys: serde.
+                _ => return None,
+            };
+            if duplicate {
+                return None;
+            }
+            c.skip_ws();
+            match c.peek()? {
+                b',' => c.i += 1,
+                b'}' => {
+                    c.i += 1;
+                    break;
+                }
+                _ => return None,
+            }
+        }
+        c.skip_ws();
+        if c.i != c.b.len() {
+            return None; // trailing bytes: serde rejects, let it
+        }
+        let body = match kind? {
+            b"solve" => RequestBody::Solve {
+                spec: spec.take()?,
+                mode: mode.take().unwrap_or_default(),
+                deadline_ms: deadline_ms.take(),
+            },
+            // The bodyless kinds take the fast path only when the line
+            // carries nothing but `kind` and `id` — extra fields go to
+            // serde so its leniency rules stay authoritative.
+            simple if spec.is_none() && mode.is_none() && deadline_ms.is_none() => match simple {
+                b"stats" => RequestBody::Stats,
+                b"metrics" => RequestBody::Metrics,
+                b"ping" => RequestBody::Ping,
+                b"node_info" => RequestBody::NodeInfo,
+                b"snapshot" => RequestBody::Snapshot,
+                b"shutdown" => RequestBody::Shutdown,
+                _ => return None,
+            },
+            _ => return None,
+        };
+        Some(WireRequest {
+            id: id.unwrap_or(0),
+            trace: None,
+            body,
+        })
+    }
+}
+
 /// Encode one response as its wire line (without the trailing newline).
 ///
 /// Serialization cannot fail for the types in [`ResponseBody`] (serde_json
@@ -301,6 +519,25 @@ pub fn encode_response(resp: &WireResponse) -> String {
             resp.id
         )
     })
+}
+
+/// [`encode_response`] appending the wire line *plus the trailing newline*
+/// onto a caller-owned buffer — the event-loop server's pooled
+/// per-connection write buffer — so a warm response serializes with no
+/// heap allocation beyond the buffer's own amortized growth. Bytes are
+/// identical to `encode_response(resp) + "\n"`.
+pub fn encode_response_into(resp: &WireResponse, out: &mut Vec<u8>) {
+    use std::io::Write;
+    let start = out.len();
+    if serde_json::to_writer(&mut *out, resp).is_err() {
+        out.truncate(start);
+        let _ = write!(
+            out,
+            r#"{{"id":{},"kind":"error","code":"internal","message":"response failed to serialize"}}"#,
+            resp.id
+        );
+    }
+    out.push(b'\n');
 }
 
 #[cfg(test)]
@@ -515,6 +752,73 @@ mod tests {
         assert!(!resp.is_ok());
         let line = encode_response(&resp);
         assert!(line.contains(&format!(r#""trace":"{wire}""#)), "{line}");
+    }
+
+    #[test]
+    fn fast_path_agrees_with_serde_on_hot_shapes() {
+        for line in [
+            r#"{"kind":"solve","id":7,"spec":{"m":10,"seed":1},"mode":"numeric","deadline_ms":250}"#,
+            r#"{"kind":"solve","spec":{"m":100,"seed":42}}"#,
+            r#"{"spec":{"seed":0,"m":3,"n_pieces":500},"kind":"solve","mode":"mean_field"}"#,
+            r#"{"kind":"ping","id":3}"#,
+            r#"{"kind":"stats"}"#,
+            r#"{"kind":"metrics"}"#,
+            r#"{"kind":"node_info","id":9}"#,
+            r#"{"kind":"snapshot"}"#,
+            r#"{"kind":"shutdown","id":4}"#,
+            r#"  { "kind" : "solve" , "spec" : { "m" : 2 , "seed" : 8 } }  "#,
+        ] {
+            let fast = parse_request_fast(line.as_bytes())
+                .unwrap_or_else(|| panic!("fast path should accept: {line}"));
+            assert_eq!(fast, parse_request(line).unwrap(), "{line}");
+            assert_eq!(parse_request_hot(line).unwrap(), fast, "{line}");
+        }
+    }
+
+    #[test]
+    fn fast_path_bails_outside_its_subset() {
+        // Each of these must fall back to serde (some parse there, some
+        // are rejected there) — the fast path may never guess.
+        for line in [
+            r#"{"kind":"solve","trace":"00-00-0","spec":{"m":2,"seed":1}}"#, // trace
+            r#"{"kind":"batch","id":1,"requests":[]}"#,                      // batch
+            r#"{"kind":"trace","slowest":2}"#,                               // trace fetch
+            r#"{"kind":"solve","spec":{"m":2,"seed":1,"v":0.5}}"#,           // float
+            r#"{"kind":"solve","spec":{"m":2,"seed":1},"id":01}"#,           // leading zero
+            r#"{"kind":"solve","spec":{"m":2,"seed":1},"id":-3}"#,           // sign
+            r#"{"kind":"solve","spec":{"m":2,"seed":1e2}}"#,                 // exponent
+            r#"{"kind":"solve","spec":{"buyer":{}}}"#,                       // explicit-ish
+            r#"{"kind":"solve","spec":{"m":2,"seed":1},"spec":{"m":3,"seed":1}}"#, // dup
+            "{\"kind\":\"so\\u006cve\",\"spec\":{\"m\":2,\"seed\":1}}",      // escape
+            r#"{"kind":"ping","mode":"direct"}"#,                            // extra field
+            r#"{"kind":"ping"} trailing"#,                                   // trailing bytes
+            "{not json",
+        ] {
+            assert!(
+                parse_request_fast(line.as_bytes()).is_none(),
+                "fast path must bail on: {line}"
+            );
+            // And the hot entry point still matches serde bit-for-bit.
+            match (parse_request_hot(line), parse_request(line)) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{line}"),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("accept/reject disagree on {line}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn encode_into_matches_encode_string() {
+        let resp = WireResponse {
+            id: 11,
+            trace: Some("00000000000000000000000000000001-0000000000000002-01".into()),
+            body: ResponseBody::Pong,
+        };
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"previous line\n");
+        encode_response_into(&resp, &mut buf);
+        let expected = format!("previous line\n{}\n", encode_response(&resp));
+        assert_eq!(buf, expected.as_bytes());
     }
 
     #[test]

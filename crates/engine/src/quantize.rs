@@ -101,6 +101,20 @@ impl CacheKey {
     }
 }
 
+impl Default for CacheKey {
+    /// An empty key whose bucket vector can be filled in place by
+    /// [`quantize_into`]. Never equal to any key `quantize` produces (those
+    /// always carry ≥ 11 buckets).
+    fn default() -> Self {
+        Self {
+            mode: SolveMode::Direct,
+            loss_model: LossModel::Quadratic,
+            n_pieces: 0,
+            buckets: Vec::new(),
+        }
+    }
+}
+
 fn bucket(x: f64, tol: f64) -> i64 {
     // `as` saturates on overflow/NaN, so extreme values still yield a
     // deterministic (if degenerate) key rather than UB.
@@ -109,7 +123,28 @@ fn bucket(x: f64, tol: f64) -> i64 {
 
 /// Quantize a validated market + solver mode into its [`CacheKey`].
 pub fn quantize(params: &MarketParams, mode: SolveMode, tol: f64) -> CacheKey {
-    let mut buckets = Vec::with_capacity(11 + 2 * params.m());
+    let mut key = CacheKey {
+        mode,
+        loss_model: params.loss_model,
+        n_pieces: params.buyer.n_pieces,
+        buckets: Vec::with_capacity(11 + 2 * params.m()),
+    };
+    fill_buckets(params, tol, &mut key.buckets);
+    key
+}
+
+/// [`quantize`] writing into a caller-owned key, reusing its bucket
+/// allocation. The serving engine's per-connection hit scratch probes the
+/// warm cache through this so steady-state cache hits never allocate.
+pub fn quantize_into(params: &MarketParams, mode: SolveMode, tol: f64, key: &mut CacheKey) {
+    key.mode = mode;
+    key.loss_model = params.loss_model;
+    key.n_pieces = params.buyer.n_pieces;
+    key.buckets.clear();
+    fill_buckets(params, tol, &mut key.buckets);
+}
+
+fn fill_buckets(params: &MarketParams, tol: f64, buckets: &mut Vec<i64>) {
     let b = &params.buyer;
     for x in [b.v, b.theta1, b.theta2, b.rho1, b.rho2] {
         buckets.push(bucket(x, tol));
@@ -123,12 +158,22 @@ pub fn quantize(params: &MarketParams, mode: SolveMode, tol: f64) -> CacheKey {
     for &w in &params.weights {
         buckets.push(bucket(w, tol));
     }
-    CacheKey {
-        mode,
-        loss_model: params.loss_model,
-        n_pieces: b.n_pieces,
-        buckets,
-    }
+}
+
+/// Bucket-coarsening factor for the warm-start hint index: hint keys use
+/// `param_tol × 256`, so markets that are merely *near* each other (any
+/// parameter within ~2.5e-4 under the default `param_tol = 1e-6`) share a
+/// hint slot. The quantizer's soundness contract scales linearly in the
+/// tolerance, so neighbors under the coarse key have SNE prices within
+/// `256 × price_tol` of each other — far inside the warm solver's
+/// `[0.5·hint, 1.5·hint]` search bracket.
+pub const HINT_COARSENING: f64 = 256.0;
+
+/// The coarse neighborhood key used to index warm-start hints: identical to
+/// [`quantize`] but at `tol × HINT_COARSENING`, so a solved equilibrium can
+/// seed every nearby market's numeric solve.
+pub fn coarse_hint_key(params: &MarketParams, mode: SolveMode, tol: f64) -> CacheKey {
+    quantize(params, mode, tol * HINT_COARSENING)
 }
 
 #[cfg(test)]
@@ -271,6 +316,36 @@ mod tests {
         let back: CacheKey = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(key, back);
         assert_eq!(key.stable_hash(), back.stable_hash());
+    }
+
+    #[test]
+    fn quantize_into_matches_quantize_and_reuses_buffers() {
+        let p = market(10, 3);
+        let q = market(4, 7);
+        let mut key = CacheKey::default();
+        quantize_into(&p, SolveMode::Numeric, 1e-6, &mut key);
+        assert_eq!(key, quantize(&p, SolveMode::Numeric, 1e-6));
+        // Reuse across a market of a different size must not leak buckets.
+        quantize_into(&q, SolveMode::Direct, 1e-6, &mut key);
+        assert_eq!(key, quantize(&q, SolveMode::Direct, 1e-6));
+        assert_eq!(key.m(), Some(4));
+    }
+
+    #[test]
+    fn coarse_hint_key_groups_neighbors_that_fine_keys_separate() {
+        let mut p = market(8, 5);
+        p.sellers[0].lambda = 0.25;
+        let mut q = p.clone();
+        q.sellers[0].lambda += 40.0 * 1e-6; // 40 fine buckets apart
+        let tol = 1e-6;
+        assert_ne!(
+            quantize(&p, SolveMode::Numeric, tol),
+            quantize(&q, SolveMode::Numeric, tol)
+        );
+        assert_eq!(
+            coarse_hint_key(&p, SolveMode::Numeric, tol),
+            coarse_hint_key(&q, SolveMode::Numeric, tol)
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! write never blocks: the pipe is nonblocking, and a full pipe already
 //! guarantees a pending wakeup.
 
-use crate::conn::{Conn, ConnCtx};
+use crate::conn::{Conn, ConnBufs, ConnCtx};
 use crate::engine::{Engine, Reply};
 use crate::error::EngineError;
 use crate::protocol::{ResponseBody, WireResponse};
@@ -58,6 +58,10 @@ const PARK_MS: i32 = 250;
 /// How long a draining reactor waits for in-flight replies and pending
 /// writes to flush before force-closing the stragglers.
 const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Most recycled [`ConnBufs`] a reactor keeps pooled; closes beyond this
+/// drop their buffers so an old connection spike doesn't pin memory.
+const BUF_POOL_CAP: usize = 64;
 
 /// One completed wire response routed back to the connection that owns the
 /// token.
@@ -711,6 +715,8 @@ fn run_reactor(
     let conns_gauge: Arc<Gauge> = metrics.reactor_connections_gauge(idx);
     let mut next_token: u64 = (idx as u64) << 48;
     let mut conns: HashMap<u64, Conn> = HashMap::new();
+    // Recycled read/write/scratch buffers from closed connections.
+    let mut buf_pool: Vec<ConnBufs> = Vec::new();
     let mut events: Vec<sys::Event> = Vec::new();
     let mut touched: Vec<u64> = Vec::new();
     let mut drain_since: Option<Instant> = None;
@@ -753,7 +759,7 @@ fn run_reactor(
         while let Ok(stream) = inject_rx.try_recv() {
             let token = next_token;
             next_token += 1;
-            let conn = Conn::new(stream, token);
+            let conn = Conn::new(stream, token, buf_pool.pop().unwrap_or_default());
             if poller
                 .add(
                     conn.fd(),
@@ -814,7 +820,11 @@ fn run_reactor(
             if conn.can_close() {
                 poller.remove(conn.fd());
                 metrics.dec_connections_open();
-                conns.remove(&token);
+                if let Some(closed) = conns.remove(&token) {
+                    if buf_pool.len() < BUF_POOL_CAP {
+                        buf_pool.push(closed.reclaim());
+                    }
+                }
             } else {
                 let _ = poller.modify(
                     conn.fd(),

@@ -27,7 +27,8 @@
 
 use crate::engine::{Engine, Reply};
 use crate::protocol::{
-    encode_response, local_trace_response, parse_request, RequestBody, ResponseBody, WireResponse,
+    encode_response, local_trace_response, parse_request_hot, RequestBody, ResponseBody,
+    WireResponse,
 };
 #[cfg(unix)]
 use crate::reactor::ReactorPool;
@@ -132,7 +133,7 @@ fn serve_connection<R: BufRead>(
             );
             break;
         }
-        match parse_request(line) {
+        match parse_request_hot(line) {
             Err(e) => {
                 engine.note_invalid();
                 let _ = resp_tx.send(WireResponse::from_error(0, &e));

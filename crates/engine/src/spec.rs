@@ -79,7 +79,22 @@ impl MarketSpec {
     /// # Errors
     /// [`EngineError::InvalidRequest`] when the spec is out of domain.
     pub fn materialize(&self) -> crate::error::Result<MarketParams> {
-        let params = match self {
+        let mut params = MarketParams::empty();
+        self.materialize_into(&mut params)?;
+        Ok(params)
+    }
+
+    /// [`materialize`](Self::materialize) writing into a caller-owned
+    /// `MarketParams`, reusing its seller and weight allocations — the
+    /// reactor's inline cache probe runs this once per request, so the
+    /// steady state must not allocate. Identical validation order and RNG
+    /// draws as `materialize`; on error `dst` holds unspecified (but safe)
+    /// leftovers and must be re-filled before use.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] when the spec is out of domain.
+    pub fn materialize_into(&self, dst: &mut MarketParams) -> crate::error::Result<()> {
+        match self {
             MarketSpec::Seeded {
                 m,
                 seed,
@@ -107,21 +122,26 @@ impl MarketSpec {
                     ));
                 }
                 let mut rng = StdRng::seed_from_u64(*seed);
-                let mut params = MarketParams::paper_defaults(*m, &mut rng);
+                MarketParams::paper_defaults_into(*m, &mut rng, dst);
                 if let Some(n) = n_pieces {
-                    params.buyer.n_pieces = *n;
+                    dst.buyer.n_pieces = *n;
                 }
                 if let Some(v) = v {
-                    params.buyer.v = *v;
+                    dst.buyer.v = *v;
                 }
-                params
             }
-            MarketSpec::Explicit(params) => (**params).clone(),
-        };
-        params
-            .validate()
+            MarketSpec::Explicit(params) => {
+                dst.buyer = params.buyer;
+                dst.broker = params.broker;
+                // Vec::clone_from reuses the destination's allocation.
+                dst.sellers.clone_from(&params.sellers);
+                dst.weights.clone_from(&params.weights);
+                dst.loss_model = params.loss_model;
+            }
+        }
+        dst.validate()
             .map_err(|e| EngineError::InvalidRequest(e.to_string()))?;
-        Ok(params)
+        Ok(())
     }
 }
 
@@ -176,6 +196,22 @@ mod tests {
         let b = s.spec.materialize().unwrap();
         assert_eq!(a, b);
         assert_eq!(a.m(), 5);
+    }
+
+    #[test]
+    fn materialize_into_matches_materialize_and_reuses_buffers() {
+        let big = SolveSpec::seeded(50, 3, SolveMode::Direct);
+        let small = SolveSpec::seeded(4, 9, SolveMode::Direct);
+        let mut scratch = MarketParams::empty();
+        big.spec.materialize_into(&mut scratch).unwrap();
+        assert_eq!(scratch, big.spec.materialize().unwrap());
+        // Shrinking reuse must not leak sellers or weights from the big fill.
+        small.spec.materialize_into(&mut scratch).unwrap();
+        assert_eq!(scratch, small.spec.materialize().unwrap());
+
+        let explicit = SolveSpec::explicit(small.spec.materialize().unwrap(), SolveMode::Direct);
+        explicit.spec.materialize_into(&mut scratch).unwrap();
+        assert_eq!(scratch, explicit.spec.materialize().unwrap());
     }
 
     #[test]

@@ -31,7 +31,10 @@ use crate::supervisor::SupervisorMsg;
 use crossbeam::channel::{Receiver, Sender};
 use share_market::meanfield::theorem51_bounds;
 use share_market::params::MarketParams;
-use share_market::solver::{solve_mean_field_timed, solve_numeric_timed, solve_timed};
+use crate::quantize::coarse_hint_key;
+use share_market::solver::{
+    solve_mean_field_timed, solve_numeric_timed, solve_numeric_warm, solve_timed, WarmStart,
+};
 use share_obs::{self as obs, Level};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -117,6 +120,31 @@ fn run_primary(
         match mode {
             SolveMode::Direct => solve_timed(params),
             SolveMode::MeanField => solve_mean_field_timed(params),
+            SolveMode::Numeric if shared.config.warm_start => {
+                // Warm-start from the nearest cached equilibrium: neighboring
+                // markets (same coarse quantization bucket) have nearby SNE
+                // prices, so their solution brackets ours.
+                let hkey = coarse_hint_key(params, mode, shared.config.quantizer.param_tol);
+                let hint = shared.hints.get(&hkey);
+                if hint.is_some() {
+                    shared.metrics.inc_warm_hint_hits();
+                } else {
+                    shared.metrics.inc_warm_hint_misses();
+                }
+                solve_numeric_warm(params, hint).map(|(sol, timings, stats)| {
+                    if stats.fell_back {
+                        shared.metrics.inc_warm_fallbacks();
+                    }
+                    shared.hints.insert(
+                        hkey,
+                        WarmStart {
+                            p_m: sol.p_m,
+                            p_d: sol.p_d,
+                        },
+                    );
+                    (sol, timings)
+                })
+            }
             SolveMode::Numeric => solve_numeric_timed(params),
         }
         .map_err(|e| EngineError::Solver(e.to_string()))

@@ -1,0 +1,212 @@
+//! Allocation-counting harness for the serving hot path.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; counting
+//! is armed per-thread, so worker/reactor threads don't pollute the
+//! measurement. Two pins:
+//!
+//! - the warm cache-hit path (fast parse → inline cache probe → buffered
+//!   encode) performs **zero** heap allocations per request once buffers
+//!   reach steady state (release builds only: debug builds re-solve every
+//!   hit for the price-tolerance contract check);
+//! - the caller-side cost of a cold solve stays within a fixed allocation
+//!   budget, so per-request allocation regressions fail loudly with the
+//!   observed count.
+
+use share_engine::{
+    encode_response_into, parse_request_hot, Engine, EngineConfig, HitScratch, RequestBody,
+    ResponseBody, SolveMode, SolveSpec, WireResponse,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    /// Armed only around the measured section, only on the test thread.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+    /// Allocations (alloc/alloc_zeroed/realloc) observed while armed.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+fn note() {
+    // `try_with` because the allocator also runs during thread teardown,
+    // after TLS destruction; those calls are silently not counted.
+    let _ = COUNTING.try_with(|c| {
+        if c.get() {
+            let _ = ALLOCS.try_with(|a| a.set(a.get() + 1));
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note();
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note();
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note();
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Run `f` with this thread's allocation counter armed; returns the count.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    ALLOCS.with(|a| a.set(0));
+    COUNTING.with(|c| c.set(true));
+    let r = f();
+    COUNTING.with(|c| c.set(false));
+    (ALLOCS.with(|a| a.get()), r)
+}
+
+/// The reactor's per-request hot path, reproduced exactly: fast parse,
+/// inline cache probe with reused scratch, response encoded into a reused
+/// write buffer. Returns the encoded length as a use of the output.
+fn serve_warm_hit(
+    engine: &Engine,
+    line: &str,
+    scratch: &mut HitScratch,
+    out: &mut Vec<u8>,
+) -> usize {
+    let req = parse_request_hot(line).expect("hot line parses");
+    let RequestBody::Solve {
+        spec,
+        mode,
+        deadline_ms,
+    } = req.body
+    else {
+        panic!("not a solve line")
+    };
+    let solve = SolveSpec {
+        spec,
+        mode,
+        deadline_ms,
+    };
+    let result = engine
+        .try_cache_hit(req.id, &solve, scratch)
+        .expect("warm cache hit");
+    assert!(result.cached);
+    let resp = WireResponse {
+        id: req.id,
+        trace: None,
+        body: ResponseBody::Solve { result },
+    };
+    out.clear();
+    encode_response_into(&resp, out);
+    out.len()
+}
+
+#[test]
+fn warm_cache_hit_is_allocation_free() {
+    let engine = Engine::start(EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    });
+    let line = r#"{"kind":"solve","id":9,"spec":{"m":40,"seed":7}}"#;
+    let spec = SolveSpec::seeded(40, 7, SolveMode::Direct);
+    engine.request(&spec).expect("cold solve populates the cache");
+
+    let mut scratch = HitScratch::new();
+    let mut out = Vec::new();
+    // Reach steady state: grow the scratch market/key buffers and the
+    // write buffer to their final sizes.
+    for _ in 0..16 {
+        assert!(serve_warm_hit(&engine, line, &mut scratch, &mut out) > 0);
+    }
+
+    const ROUNDS: u64 = 64;
+    let (allocs, _) = count_allocs(|| {
+        for _ in 0..ROUNDS {
+            serve_warm_hit(&engine, line, &mut scratch, &mut out);
+        }
+    });
+
+    // Debug builds re-solve the market on every cache hit to enforce the
+    // quantizer's price-tolerance contract, which allocates by design;
+    // the zero-allocation pin is a release-build property (CI runs this
+    // test with --release).
+    #[cfg(not(debug_assertions))]
+    assert_eq!(
+        allocs, 0,
+        "warm cache-hit hot path allocated {allocs} times over {ROUNDS} requests \
+         (expected zero after steady state)"
+    );
+    #[cfg(debug_assertions)]
+    let _ = allocs;
+
+    engine.shutdown();
+}
+
+#[test]
+fn fast_parse_and_encode_are_allocation_free() {
+    // The wire-layer pieces alone (no engine): the fast-path parser reads
+    // borrowed bytes into an inline WireRequest, and the encoder writes
+    // into a reused buffer. Zero allocations in debug and release both.
+    let line = r#"{"kind":"solve","id":3,"spec":{"m":25,"seed":11},"mode":"numeric","deadline_ms":500}"#;
+    let mut out = Vec::new();
+    let warm = parse_request_hot(line).expect("parses");
+    let resp = WireResponse {
+        id: warm.id,
+        trace: None,
+        body: ResponseBody::Pong,
+    };
+    encode_response_into(&resp, &mut out); // size the buffer
+
+    let (allocs, _) = count_allocs(|| {
+        for _ in 0..64 {
+            let req = parse_request_hot(line).expect("parses");
+            assert_eq!(req.id, 3);
+            out.clear();
+            encode_response_into(&resp, &mut out);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "fast parse + buffered encode allocated {allocs} times over 64 iterations"
+    );
+}
+
+#[test]
+fn cold_solve_allocations_stay_bounded() {
+    let engine = Engine::start(EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    });
+    // Warm the submission machinery (channels, queue, inflight map).
+    for seed in 0..4 {
+        engine
+            .request(&SolveSpec::seeded(20, seed, SolveMode::Direct))
+            .unwrap();
+    }
+
+    const ROUNDS: u64 = 8;
+    let (allocs, results) = count_allocs(|| {
+        (0..ROUNDS)
+            .map(|i| engine.request(&SolveSpec::seeded(20, 1000 + i, SolveMode::Direct)))
+            .collect::<Vec<_>>()
+    });
+    for r in results {
+        r.expect("cold solve succeeds");
+    }
+
+    // Counts only the caller-side path (materialize, quantize, channel
+    // hand-off, reply) — the solver runs on worker threads, outside this
+    // thread's counter. The budget is generous headroom over the observed
+    // count; it exists to catch order-of-magnitude per-request regressions.
+    let per_request = allocs / ROUNDS;
+    assert!(
+        per_request <= 64,
+        "cold solve submission path allocated {per_request} times per request \
+         (total {allocs} over {ROUNDS}), budget 64"
+    );
+    engine.shutdown();
+}

@@ -1,0 +1,161 @@
+//! Differential harness for the zero-allocation fast-path request parser.
+//!
+//! The contract of `parse_request_fast` is: on ANY byte sequence it either
+//! returns exactly the `WireRequest` the serde parser would produce, or it
+//! returns `None` (bails) — it may never accept a line serde rejects, nor
+//! produce a different value, nor accept invalid UTF-8. These properties
+//! drive random well-formed requests, truncations, single-byte mutations
+//! and raw garbage through both parsers and compare.
+
+use proptest::prelude::*;
+use share_engine::{
+    parse_request, parse_request_fast, parse_request_hot, MarketSpec, RequestBody, SolveMode,
+    SolveSpec, WireRequest,
+};
+
+fn mode_strategy() -> impl Strategy<Value = SolveMode> {
+    prop_oneof![
+        Just(SolveMode::Direct),
+        Just(SolveMode::MeanField),
+        Just(SolveMode::Numeric),
+    ]
+}
+
+fn seeded_spec_strategy() -> impl Strategy<Value = MarketSpec> {
+    (
+        1usize..200,
+        any::<u64>(),
+        proptest::option::of(1usize..10_000),
+        proptest::option::of(0.05f64..1.0),
+    )
+        .prop_map(|(m, seed, n_pieces, v)| MarketSpec::Seeded {
+            m,
+            seed,
+            n_pieces,
+            v,
+        })
+}
+
+fn request_strategy() -> impl Strategy<Value = WireRequest> {
+    let solve = (
+        seeded_spec_strategy(),
+        mode_strategy(),
+        proptest::option::of(0u64..100_000),
+    )
+        .prop_map(|(spec, mode, deadline_ms)| RequestBody::Solve {
+            spec,
+            mode,
+            deadline_ms,
+        });
+    let simple = prop_oneof![
+        Just(RequestBody::Stats),
+        Just(RequestBody::Metrics),
+        Just(RequestBody::Ping),
+        Just(RequestBody::NodeInfo),
+        Just(RequestBody::Snapshot),
+        Just(RequestBody::Shutdown),
+    ];
+    let batch = proptest::collection::vec(
+        (seeded_spec_strategy(), mode_strategy()).prop_map(|(spec, mode)| SolveSpec {
+            spec,
+            mode,
+            deadline_ms: None,
+        }),
+        0..4,
+    )
+    .prop_map(|requests| RequestBody::Batch { requests });
+    let body = prop_oneof![6 => solve, 3 => simple, 1 => batch];
+    (
+        any::<u64>(),
+        proptest::option::of("[0-9a-f]{8}-[0-9a-f]{4}-0[01]"),
+        body,
+    )
+        .prop_map(|(id, trace, body)| WireRequest { id, trace, body })
+}
+
+/// The core differential check, valid for arbitrary bytes:
+/// - fast accepting ⇒ the bytes are valid UTF-8 AND serde accepts the
+///   same value;
+/// - the hot entry point (fast + fallback) and plain serde agree on
+///   accept/reject and on the parsed value.
+fn check_agreement(bytes: &[u8]) -> Result<(), TestCaseError> {
+    let fast = parse_request_fast(bytes);
+    match std::str::from_utf8(bytes) {
+        Ok(text) => {
+            match (parse_request_hot(text), parse_request(text)) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(&a, &b, "hot vs serde value on {:?}", text),
+                (Err(_), Err(_)) => {}
+                (a, b) => {
+                    return Err(TestCaseError::fail(format!(
+                        "accept/reject disagreement on {text:?}: hot={a:?} serde={b:?}"
+                    )))
+                }
+            }
+            if let Some(f) = fast {
+                let via_serde = parse_request(text);
+                prop_assert!(
+                    via_serde.is_ok(),
+                    "fast accepted a line serde rejects: {text:?}"
+                );
+                prop_assert_eq!(&f, &via_serde.unwrap(), "fast vs serde value on {:?}", text);
+            }
+        }
+        Err(_) => prop_assert!(fast.is_none(), "fast path accepted invalid UTF-8"),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Well-formed requests (serde-serialized): both parsers accept and
+    /// agree; when the fast path engages it produces the identical value.
+    #[test]
+    fn agrees_on_serialized_requests(req in request_strategy()) {
+        let line = serde_json::to_string(&req).unwrap();
+        let via_serde = parse_request(&line).unwrap();
+        prop_assert_eq!(&via_serde, &req);
+        prop_assert_eq!(&parse_request_hot(&line).unwrap(), &via_serde);
+        check_agreement(line.as_bytes())?;
+    }
+
+    /// Truncating a valid request at any byte must not confuse either
+    /// parser into accepting, and they must keep agreeing.
+    #[test]
+    fn agrees_on_truncated_requests(
+        req in request_strategy(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let line = serde_json::to_string(&req).unwrap();
+        let cut = cut.index(line.len() + 1);
+        check_agreement(&line.as_bytes()[..cut])?;
+    }
+
+    /// Overwriting one byte of a valid request with an arbitrary byte
+    /// (possibly making it invalid UTF-8) keeps the parsers in agreement.
+    #[test]
+    fn agrees_on_mutated_requests(
+        req in request_strategy(),
+        pos in any::<prop::sample::Index>(),
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = serde_json::to_string(&req).unwrap().into_bytes();
+        let pos = pos.index(bytes.len());
+        bytes[pos] = byte;
+        check_agreement(&bytes)?;
+    }
+
+    /// Raw garbage bytes: virtually always a bail/reject on both sides,
+    /// and never a disagreement.
+    #[test]
+    fn agrees_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
+        check_agreement(&bytes)?;
+    }
+
+    /// Garbage constrained to JSON-ish characters, which exercises the
+    /// parser structure much harder than uniform bytes.
+    #[test]
+    fn agrees_on_jsonish_garbage(line in r#"[{}\[\]":,a-z0-9. ]{0,120}"#) {
+        check_agreement(line.as_bytes())?;
+    }
+}

@@ -80,5 +80,6 @@ pub mod welfare;
 pub use error::{MarketError, Result};
 pub use params::{BrokerParams, BuyerParams, LossModel, MarketParams, SellerParams};
 pub use solver::{
-    solve, solve_mean_field, solve_numeric, verify, SneSolution, SneVerification, SolveMethod,
+    solve, solve_mean_field, solve_numeric, solve_numeric_warm, verify, NumericStats, SneSolution,
+    SneVerification, SolveMethod, WarmStart,
 };

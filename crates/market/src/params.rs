@@ -183,6 +183,41 @@ impl MarketParams {
         }
     }
 
+    /// [`paper_defaults`](Self::paper_defaults) writing into an existing
+    /// configuration, reusing its seller and weight allocations. Draws from
+    /// `rng` in the same order as `paper_defaults`, so for the same RNG
+    /// state the result is identical — the serving engine's per-connection
+    /// scratch depends on both properties (no allocation in the steady
+    /// state, byte-identical materialization).
+    pub fn paper_defaults_into<R: Rng + ?Sized>(m: usize, rng: &mut R, dst: &mut Self) {
+        dst.buyer = BuyerParams::paper_defaults();
+        dst.broker = BrokerParams::paper_defaults();
+        dst.sellers.clear();
+        dst.sellers.reserve(m);
+        for _ in 0..m {
+            dst.sellers.push(SellerParams {
+                // U(0,1) with a floor to keep 1/λ finite.
+                lambda: rng.random_range(0.01..1.0),
+            });
+        }
+        dst.weights.clear();
+        dst.weights.resize(m, 1.0 / m as f64);
+        dst.loss_model = LossModel::Quadratic;
+    }
+
+    /// A zero-seller placeholder for scratch buffers that are always
+    /// overwritten (e.g. by [`paper_defaults_into`](Self::paper_defaults_into))
+    /// before use. Deliberately fails [`validate`](Self::validate).
+    pub fn empty() -> Self {
+        Self {
+            buyer: BuyerParams::paper_defaults(),
+            broker: BrokerParams::paper_defaults(),
+            sellers: Vec::new(),
+            weights: Vec::new(),
+            loss_model: LossModel::Quadratic,
+        }
+    }
+
     /// Number of sellers `m`.
     pub fn m(&self) -> usize {
         self.sellers.len()
@@ -265,6 +300,21 @@ mod tests {
         p.validate().unwrap();
         assert!(p.lambdas().iter().all(|&l| (0.01..1.0).contains(&l)));
         assert!((p.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_defaults_into_is_identical_and_reusable() {
+        let mut a = StdRng::seed_from_u64(42);
+        let fresh = MarketParams::paper_defaults(30, &mut a);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut dst = MarketParams::empty();
+        MarketParams::paper_defaults_into(30, &mut b, &mut dst);
+        assert_eq!(fresh, dst);
+        // Reuse with a smaller m must not leave stale sellers or weights.
+        let mut c = StdRng::seed_from_u64(7);
+        MarketParams::paper_defaults_into(4, &mut c, &mut dst);
+        let mut d = StdRng::seed_from_u64(7);
+        assert_eq!(MarketParams::paper_defaults(4, &mut d), dst);
     }
 
     #[test]

@@ -19,8 +19,8 @@ use crate::error::Result;
 use crate::meanfield::theorem51_bounds;
 use crate::params::MarketParams;
 use crate::profit::{broker_profit, buyer_profit, seller_profit, total_dataset_quality};
-use crate::stage1::{buyer_profit_at, p_m_numeric, p_m_star};
-use crate::stage2::{broker_profit_at, p_d_numeric, p_d_star};
+use crate::stage1::{buyer_profit_at, p_m_numeric, p_m_numeric_bracketed, p_m_star};
+use crate::stage2::{broker_profit_at, p_d_numeric, p_d_numeric_bracketed, p_d_star};
 use crate::stage3::{tau_direct, tau_mean_field, SellerNashGame};
 use serde::{Deserialize, Serialize};
 use share_game::best_response::BrOptions;
@@ -258,17 +258,122 @@ pub fn solve_numeric(params: &MarketParams) -> Result<SneSolution> {
 /// # Errors
 /// Same as [`solve_numeric`].
 pub fn solve_numeric_timed(params: &MarketParams) -> Result<(SneSolution, StageTimings)> {
+    solve_numeric_warm(params, None).map(|(s, t, _)| (s, t))
+}
+
+/// A price hint for warm-starting the numeric solver, typically the
+/// equilibrium of a previously solved *neighboring* market (the serving
+/// engine finds neighbors by coarsening its `CacheKey` quantization).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WarmStart {
+    /// The neighbor's Stage-1 price `p^M*`.
+    pub p_m: f64,
+    /// The neighbor's Stage-2 price `p^D*`.
+    pub p_d: f64,
+}
+
+/// What the warm-started numeric path actually did — whether the hint was
+/// usable, whether it had to fall back to the cold full bracket, and how
+/// much objective work the Stage-1/2 scans performed (warm path only; the
+/// cold path reports zeros because [`p_m_numeric`] does its own tracing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NumericStats {
+    /// A finite positive hint was supplied and the narrowed brackets ran.
+    pub used_hint: bool,
+    /// A narrowed scan hit its bracket edge, so the stage was re-solved
+    /// over the cold full bracket (the hint was too far from this market's
+    /// optimum to be trusted).
+    pub fell_back: bool,
+    /// Total objective evaluations on the Stage-1/2 grids (warm path).
+    pub grid_evals: u64,
+    /// Total golden-section refinement iterations (warm path).
+    pub golden_iterations: u64,
+}
+
+/// Half-width factor of the warm bracket: scan `[0.5·hint, 1.5·hint]`.
+const WARM_BRACKET: f64 = 0.5;
+/// Grid density of the warm Stage-1 scan (cold uses 96 points).
+const WARM_GRID_STAGE1: usize = 24;
+/// Grid density of the warm Stage-2 scan (cold uses 64 points).
+const WARM_GRID_STAGE2: usize = 16;
+
+/// Is `x` within one grid cell of the bracket `[lo, hi]`'s edge? A warm
+/// maximizer there means the true optimum may lie outside the narrowed
+/// bracket, so the caller must fall back to the cold full scan.
+fn near_bracket_edge(x: f64, lo: f64, hi: f64, n_grid: usize) -> bool {
+    let cell = (hi - lo) / (n_grid.max(3) - 1) as f64;
+    x <= lo + cell || x >= hi - cell
+}
+
+/// [`solve_numeric_timed`] with an optional warm-start hint. With a usable
+/// hint the Stage-1/2 scans search narrow brackets `[0.5·hint, 1.5·hint]`
+/// at reduced grid density instead of the cold full brackets — 4× fewer
+/// grid evaluations (40 vs 160), each of which costs a full Stage-3
+/// seller response. Concavity of both stage objectives makes this sound: if the
+/// optimum lies inside the narrowed bracket the scan finds it to the same
+/// golden-section tolerance as the cold path; if the scan instead lands
+/// within one grid cell of a bracket edge the optimum may lie outside, and
+/// the stage transparently re-solves over the cold full bracket
+/// (`fell_back` reports this). `hint = None` is exactly the cold
+/// [`solve_numeric_timed`] path.
+///
+/// # Errors
+/// Same as [`solve_numeric`].
+pub fn solve_numeric_warm(
+    params: &MarketParams,
+    hint: Option<WarmStart>,
+) -> Result<(SneSolution, StageTimings, NumericStats)> {
     params.validate()?;
+    let mut stats = NumericStats::default();
+    let hint = hint.filter(|h| {
+        h.p_m.is_finite() && h.p_m > 0.0 && h.p_d.is_finite() && h.p_d > 0.0
+    });
+
     let mut sp = obs::span(Level::Debug, TARGET, "stage1");
-    // Bracket: 4× the analytic interior solution is generous; fall back to a
-    // fixed cap when the closed form is unavailable.
-    let cap = p_m_star(params).map(|p| 4.0 * p).unwrap_or(1.0);
-    let (p_m, _) = p_m_numeric(params, cap)?;
+    let p_m = match hint {
+        Some(h) => {
+            stats.used_hint = true;
+            let (lo, hi) = ((1.0 - WARM_BRACKET) * h.p_m, (1.0 + WARM_BRACKET) * h.p_m);
+            let (x, _, s1) = p_m_numeric_bracketed(params, lo, hi, WARM_GRID_STAGE1)?;
+            stats.grid_evals += s1.grid_evals as u64;
+            stats.golden_iterations += s1.golden_iterations as u64;
+            if near_bracket_edge(x, lo, hi, WARM_GRID_STAGE1) {
+                stats.fell_back = true;
+                let cap = p_m_star(params).map(|p| 4.0 * p).unwrap_or(1.0);
+                p_m_numeric(params, cap)?.0
+            } else {
+                x
+            }
+        }
+        None => {
+            // Bracket: 4× the analytic interior solution is generous; fall
+            // back to a fixed cap when the closed form is unavailable.
+            let cap = p_m_star(params).map(|p| 4.0 * p).unwrap_or(1.0);
+            p_m_numeric(params, cap)?.0
+        }
+    };
     sp.record("p_m", p_m);
     let stage1_ns = sp.finish();
 
     let mut sp = obs::span(Level::Debug, TARGET, "stage2");
-    let (p_d, _) = p_d_numeric(params, p_m, 2.0 * params.buyer.v * p_m.max(1e-12))?;
+    let p_d = match hint {
+        // Only trust the Stage-2 hint when Stage 1 stayed inside its warm
+        // bracket: a Stage-1 fallback means the neighbor's prices do not
+        // describe this market.
+        Some(h) if !stats.fell_back => {
+            let (lo, hi) = ((1.0 - WARM_BRACKET) * h.p_d, (1.0 + WARM_BRACKET) * h.p_d);
+            let (x, _, s2) = p_d_numeric_bracketed(params, p_m, lo, hi, WARM_GRID_STAGE2)?;
+            stats.grid_evals += s2.grid_evals as u64;
+            stats.golden_iterations += s2.golden_iterations as u64;
+            if near_bracket_edge(x, lo, hi, WARM_GRID_STAGE2) {
+                stats.fell_back = true;
+                p_d_numeric(params, p_m, 2.0 * params.buyer.v * p_m.max(1e-12))?.0
+            } else {
+                x
+            }
+        }
+        _ => p_d_numeric(params, p_m, 2.0 * params.buyer.v * p_m.max(1e-12))?.0,
+    };
     sp.record("p_d", p_d);
     let stage2_ns = sp.finish();
 
@@ -285,6 +390,7 @@ pub fn solve_numeric_timed(params: &MarketParams) -> Result<(SneSolution, StageT
     Ok((
         assemble(params, p_m, p_d, tau, SolveMethod::Numeric)?,
         timings,
+        stats,
     ))
 }
 
@@ -510,6 +616,64 @@ mod tests {
         let (mf, tm) = solve_mean_field_timed(&params).unwrap();
         assert_eq!(mf.method, SolveMethod::MeanField);
         assert!(tm.stage3_ns > 0);
+    }
+
+    #[test]
+    fn warm_start_with_good_hint_matches_cold_solve() {
+        let params = market(20, 14);
+        let (cold, _, cs) = solve_numeric_warm(&params, None).unwrap();
+        assert!(!cs.used_hint && !cs.fell_back);
+        let hint = WarmStart {
+            p_m: cold.p_m,
+            p_d: cold.p_d,
+        };
+        let (warm, _, ws) = solve_numeric_warm(&params, Some(hint)).unwrap();
+        assert!(ws.used_hint, "{ws:?}");
+        assert!(!ws.fell_back, "good hint must not fall back: {ws:?}");
+        assert!(ws.grid_evals > 0 && ws.grid_evals < 96, "{ws:?}");
+        assert!(
+            (warm.p_m - cold.p_m).abs() < 1e-6 * cold.p_m,
+            "p_m {} vs {}",
+            warm.p_m,
+            cold.p_m
+        );
+        assert!(
+            (warm.p_d - cold.p_d).abs() < 1e-6 * cold.p_d,
+            "p_d {} vs {}",
+            warm.p_d,
+            cold.p_d
+        );
+    }
+
+    #[test]
+    fn warm_start_with_bad_hint_falls_back_to_cold_answer() {
+        let params = market(20, 15);
+        let (cold, _, _) = solve_numeric_warm(&params, None).unwrap();
+        // A hint two orders of magnitude off pushes the narrowed scan to its
+        // bracket edge; the solver must detect that and re-solve cold.
+        let hint = WarmStart {
+            p_m: 100.0 * cold.p_m,
+            p_d: 100.0 * cold.p_d,
+        };
+        let (warm, _, ws) = solve_numeric_warm(&params, Some(hint)).unwrap();
+        assert!(ws.used_hint && ws.fell_back, "{ws:?}");
+        assert!(
+            (warm.p_m - cold.p_m).abs() < 1e-6 * cold.p_m.max(1e-12),
+            "p_m {} vs {}",
+            warm.p_m,
+            cold.p_m
+        );
+    }
+
+    #[test]
+    fn warm_start_ignores_nonfinite_hints() {
+        let params = market(10, 16);
+        let bad = WarmStart {
+            p_m: f64::NAN,
+            p_d: 0.01,
+        };
+        let (_, _, stats) = solve_numeric_warm(&params, Some(bad)).unwrap();
+        assert!(!stats.used_hint && !stats.fell_back);
     }
 
     #[test]

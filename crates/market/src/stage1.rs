@@ -17,7 +17,7 @@ use crate::params::MarketParams;
 use crate::profit::{buyer_profit, total_dataset_quality};
 use crate::stage2::p_d_star;
 use crate::stage3;
-use share_numerics::optimize::grid::maximize_scan_traced;
+use share_numerics::optimize::grid::{maximize_scan_traced, ScanStats};
 
 /// The aggregates `c₁`, `c₂` of §5.1.3.
 pub fn coefficients(params: &MarketParams) -> (f64, f64) {
@@ -79,6 +79,35 @@ pub fn p_m_numeric(params: &MarketParams, p_m_max: f64) -> Result<(f64, f64)> {
         "bracket_failed" => stats.bracket_failed
     );
     Ok((x, v))
+}
+
+/// Numerically maximize the buyer profit over a caller-chosen bracket
+/// `p^M ∈ [p_m_lo, p_m_hi]` with a caller-chosen grid density. The
+/// warm-started solver uses this to search a narrow window around a cached
+/// neighbor's equilibrium price with far fewer objective evaluations than
+/// the cold full-bracket scan. Returns `(p^M*, Φ*, scan stats)`.
+///
+/// # Errors
+/// Propagates Stage-3 and optimizer errors (including an invalid bracket
+/// `p_m_lo ≥ p_m_hi`).
+pub fn p_m_numeric_bracketed(
+    params: &MarketParams,
+    p_m_lo: f64,
+    p_m_hi: f64,
+    n_grid: usize,
+) -> Result<(f64, f64, ScanStats)> {
+    let obj = |p_m: f64| buyer_profit_at(params, p_m).unwrap_or(f64::NEG_INFINITY);
+    let (x, v, stats) = maximize_scan_traced(obj, p_m_lo, p_m_hi, n_grid, 1e-12)?;
+    share_obs::obs_trace!(
+        target: "share_market::stage1",
+        "p_m_scan",
+        "p_m" => x,
+        "grid_evals" => stats.grid_evals,
+        "golden_iterations" => stats.golden_iterations,
+        "bracket_failed" => stats.bracket_failed,
+        "bracketed" => true
+    );
+    Ok((x, v, stats))
 }
 
 #[cfg(test)]

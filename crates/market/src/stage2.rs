@@ -19,7 +19,7 @@ use crate::error::Result;
 use crate::params::MarketParams;
 use crate::profit::{broker_profit, total_dataset_quality};
 use crate::stage3;
-use share_numerics::optimize::grid::maximize_scan_traced;
+use share_numerics::optimize::grid::{maximize_scan_traced, ScanStats};
 
 /// Closed-form Stage-2 strategy (paper Eq. 25): `p^D* = v·p^M / 2`.
 #[inline]
@@ -63,6 +63,35 @@ pub fn p_d_numeric(params: &MarketParams, p_m: f64, p_d_max: f64) -> Result<(f64
         "bracket_failed" => stats.bracket_failed
     );
     Ok((x, v))
+}
+
+/// Numerically maximize the broker profit over a caller-chosen bracket
+/// `p^D ∈ [p_d_lo, p_d_hi]` given `p^M`, with a caller-chosen grid density.
+/// Used by the warm-started solver to refine around a cached neighbor's
+/// price. Returns `(p^D*, Ω*, scan stats)`.
+///
+/// # Errors
+/// Propagates Stage-3 and optimizer errors (including an invalid bracket
+/// `p_d_lo ≥ p_d_hi`).
+pub fn p_d_numeric_bracketed(
+    params: &MarketParams,
+    p_m: f64,
+    p_d_lo: f64,
+    p_d_hi: f64,
+    n_grid: usize,
+) -> Result<(f64, f64, ScanStats)> {
+    let obj = |p_d: f64| broker_profit_at(params, p_m, p_d).unwrap_or(f64::NEG_INFINITY);
+    let (x, v, stats) = maximize_scan_traced(obj, p_d_lo, p_d_hi, n_grid, 1e-12)?;
+    share_obs::obs_trace!(
+        target: "share_market::stage2",
+        "p_d_scan",
+        "p_d" => x,
+        "grid_evals" => stats.grid_evals,
+        "golden_iterations" => stats.golden_iterations,
+        "bracket_failed" => stats.bracket_failed,
+        "bracketed" => true
+    );
+    Ok((x, v, stats))
 }
 
 #[cfg(test)]

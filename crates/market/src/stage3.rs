@@ -83,10 +83,170 @@ pub fn tau_mean_field(params: &MarketParams, p_d: f64) -> Result<Vec<f64>> {
 /// where `Σ_{¬i} = Σ_{j≠i} ω_j·τ_j`. Used as ground truth `τ̄^DD` in the
 /// Theorem 5.1 error analysis.
 ///
+/// This is the structure-of-arrays fast path: per-seller coefficients
+/// (`3λ_i`, `p^D·ω_i`, `16·p^D·λ_i·ω_i`, `4λ_i·ω_i`) are hoisted out of
+/// the sweep into contiguous slices via the `share_numerics::kernels`
+/// exact-order kernels, so each iteration reads flat arrays instead of
+/// re-deriving four products per seller from the array-of-structs layout.
+/// The output is **bit-identical** to [`tau_direct_linear_chi_scalar`]
+/// (pinned by this crate's differential tests) because every hoisted
+/// expression keeps the scalar path's association order. A thread-local
+/// [`Stage3Workspace`] makes repeated solves allocation-free after the
+/// first call at a given `m`.
+///
 /// # Errors
 /// - Same domain errors as [`tau_direct`].
 /// - [`MarketError::InvalidParameter`] when the iteration fails to converge.
 pub fn tau_direct_linear_chi(
+    params: &MarketParams,
+    p_d: f64,
+    max_iter: usize,
+    tol: f64,
+) -> Result<Vec<f64>> {
+    use std::cell::RefCell;
+    thread_local! {
+        static WS: RefCell<Stage3Workspace> = RefCell::new(Stage3Workspace::new());
+    }
+    WS.with(|ws| tau_direct_linear_chi_soa(params, p_d, max_iter, tol, &mut ws.borrow_mut()))
+}
+
+/// Reusable structure-of-arrays buffers for [`tau_direct_linear_chi_soa`].
+/// One workspace amortizes every per-solve allocation: buffers grow to the
+/// largest `m` seen and are reused (contents are overwritten each call).
+#[derive(Debug, Default)]
+pub struct Stage3Workspace {
+    /// Contiguous copy of the sellers' privacy sensitivities `λ_i`.
+    lambda: Vec<f64>,
+    /// `3λ_i` (the coupling coefficient of Eq. 24's linear term).
+    c3l: Vec<f64>,
+    /// `p^D·ω_i`.
+    pdw: Vec<f64>,
+    /// `16·p^D·λ_i·ω_i` (the discriminant's cross coefficient).
+    c16: Vec<f64>,
+    /// `4λ_i·ω_i` (the root's denominator).
+    denom: Vec<f64>,
+    /// The iterate `τ` itself.
+    tau: Vec<f64>,
+}
+
+impl Stage3Workspace {
+    /// Fresh, empty workspace (buffers allocate lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, m: usize) {
+        for buf in [
+            &mut self.lambda,
+            &mut self.c3l,
+            &mut self.pdw,
+            &mut self.c16,
+            &mut self.denom,
+            &mut self.tau,
+        ] {
+            buf.clear();
+            buf.resize(m, 0.0);
+        }
+    }
+}
+
+/// [`tau_direct_linear_chi`] with a caller-owned [`Stage3Workspace`], for
+/// hot loops that want explicit control over buffer reuse (the serving
+/// engine's workers and the benches). Bit-identical to the scalar
+/// reference; see [`tau_direct_linear_chi`] for the layout story.
+///
+/// # Errors
+/// Same as [`tau_direct_linear_chi`].
+pub fn tau_direct_linear_chi_soa(
+    params: &MarketParams,
+    p_d: f64,
+    max_iter: usize,
+    tol: f64,
+    ws: &mut Stage3Workspace,
+) -> Result<Vec<f64>> {
+    use share_numerics::kernels;
+    params.validate()?;
+    if !(p_d.is_finite() && p_d >= 0.0) {
+        return Err(MarketError::InvalidParameter {
+            name: "p_d",
+            reason: format!("must be non-negative and finite, got {p_d}"),
+        });
+    }
+    let m = params.m();
+    ws.reset(m);
+    for (dst, s) in ws.lambda.iter_mut().zip(&params.sellers) {
+        *dst = s.lambda;
+    }
+    let weights: &[f64] = &params.weights;
+    // Hoisted coefficients. Each kernel preserves the scalar reference's
+    // association order exactly: `3.0*λ`, `p^D·ω`, `((16·p^D)·λ)·ω`,
+    // `(4·λ)·ω` — see the kernels module's exact-order contract.
+    kernels::scale(3.0, &ws.lambda, &mut ws.c3l)?;
+    kernels::scale(p_d, weights, &mut ws.pdw)?;
+    kernels::scale_mul(16.0 * p_d, &ws.lambda, weights, &mut ws.c16)?;
+    kernels::scale_mul(4.0, &ws.lambda, weights, &mut ws.denom)?;
+    // Warm start from the mean-field solution (unclamped):
+    // `(2·p^D)/(3λ_i)`, reusing the hoisted `3λ` slice.
+    kernels::scale_recip(2.0 * p_d, &ws.c3l, &mut ws.tau)?;
+    // Damped Gauss–Seidel on the per-seller root formula: the running total
+    // is kept consistent with in-place updates, and the 0.5 damping factor
+    // suppresses the oscillation large rescaled markets otherwise exhibit.
+    // The sweep itself is sequential (the total is loop-carried); the wins
+    // are the hoisted coefficients and the flat-slice accesses.
+    let mut total: f64 = kernels::dot_seq(weights, &ws.tau);
+    const DAMPING: f64 = 0.5;
+    let tau: &mut [f64] = &mut ws.tau;
+    for iter in 0..max_iter {
+        let mut delta = 0.0f64;
+        let mut scale = 0.0f64;
+        for i in 0..m {
+            let w = weights[i];
+            let sig = (total - w * tau[i]).max(0.0);
+            let a = ws.c3l[i] * sig - ws.pdw[i];
+            let disc = a * a + ws.c16[i] * sig;
+            let root = ((ws.pdw[i] - ws.c3l[i] * sig + disc.sqrt()) / ws.denom[i]).max(0.0);
+            let new = DAMPING * root + (1.0 - DAMPING) * tau[i];
+            total += w * (new - tau[i]);
+            delta = delta.max((new - tau[i]).abs());
+            scale = scale.max(new.abs());
+            tau[i] = new;
+        }
+        // Converge on relative movement: τ magnitudes shrink as O(1/m²)
+        // under the Theorem 5.1 rescaling, so an absolute criterion would
+        // demand ever more iterations at large m.
+        if delta <= tol.max(1e-12 * scale) {
+            share_obs::obs_trace!(
+                target: "share_market::stage3",
+                "linear_chi_fixed_point",
+                "m" => m,
+                "iterations" => iter + 1,
+                "residual" => delta
+            );
+            kernels::clamp_in_place(tau, 0.0, 1.0);
+            return Ok(tau.to_vec());
+        }
+    }
+    share_obs::obs_warn!(
+        target: "share_market::stage3",
+        "linear_chi_fixed_point_diverged",
+        "m" => m,
+        "max_iter" => max_iter
+    );
+    Err(MarketError::InvalidParameter {
+        name: "tau_direct_linear_chi",
+        reason: format!("fixed point did not converge within {max_iter} iterations"),
+    })
+}
+
+/// The original element-at-a-time Eq. 24 fixed point, kept verbatim as the
+/// reference implementation the SoA path is differentially tested against.
+/// Semantically identical to [`tau_direct_linear_chi`]; prefer that entry
+/// point everywhere outside differential tests — this one re-derives every
+/// coefficient from the array-of-structs layout on each sweep.
+///
+/// # Errors
+/// Same as [`tau_direct_linear_chi`].
+pub fn tau_direct_linear_chi_scalar(
     params: &MarketParams,
     p_d: f64,
     max_iter: usize,
@@ -132,22 +292,9 @@ pub fn tau_direct_linear_chi(
         // under the Theorem 5.1 rescaling, so an absolute criterion would
         // demand ever more iterations at large m.
         if delta <= tol.max(1e-12 * scale) {
-            share_obs::obs_trace!(
-                target: "share_market::stage3",
-                "linear_chi_fixed_point",
-                "m" => m,
-                "iterations" => iter + 1,
-                "residual" => delta
-            );
             return Ok(tau.into_iter().map(|t| t.clamp(0.0, 1.0)).collect());
         }
     }
-    share_obs::obs_warn!(
-        target: "share_market::stage3",
-        "linear_chi_fixed_point_diverged",
-        "m" => m,
-        "max_iter" => max_iter
-    );
     Err(MarketError::InvalidParameter {
         name: "tau_direct_linear_chi",
         reason: format!("fixed point did not converge within {max_iter} iterations"),

@@ -1,0 +1,196 @@
+//! Differential pins for the raw-speed solve paths.
+//!
+//! Two properties keep the hot-path rewrites honest:
+//!
+//! 1. **SoA ≡ scalar, bitwise.** The structure-of-arrays Eq. 24 fixed point
+//!    (`tau_direct_linear_chi`, built on the `share_numerics::kernels`
+//!    exact-order kernels) must reproduce the original element-at-a-time
+//!    reference (`tau_direct_linear_chi_scalar`) bit for bit — the kernels
+//!    hoist coefficients but never reassociate, so any drift is a bug, not
+//!    rounding.
+//! 2. **Warm start is sound.** Warm-starting the numeric solver from a
+//!    neighboring equilibrium must land on the same SNE as a cold solve
+//!    (within `PRICE_TOL`), within a bounded amount of objective work, and
+//!    fall back to the cold bracket rather than return a wrong answer when
+//!    the hint is garbage.
+
+use proptest::prelude::*;
+use share_market::params::{BrokerParams, BuyerParams, LossModel, MarketParams, SellerParams};
+use share_market::solver::{solve_numeric_warm, WarmStart};
+use share_market::stage3::{
+    tau_direct_linear_chi, tau_direct_linear_chi_scalar, tau_direct_linear_chi_soa,
+    Stage3Workspace,
+};
+
+/// Relative agreement demanded between warm and cold equilibrium prices.
+/// Matches the engine quantizer's default price tolerance scale.
+const PRICE_TOL: f64 = 1e-6;
+
+/// Warm-path grid budget: the narrowed Stage-1/2 scans use 24 + 16 grid
+/// points vs the cold path's 96 + 64, and each grid point costs a full
+/// Stage-3 seller response.
+const WARM_GRID_CAP: u64 = 40;
+/// Hard cap on total warm-path objective work (grid evaluations plus
+/// golden-section refinement iterations). Golden refinement costs roughly
+/// the same warm or cold (~50 iterations/stage to 1e-12); the cold path's
+/// grid alone already spends 160 evaluations, so staying under this cap
+/// means the warm path did strictly less total work than cold.
+const WARM_WORK_CAP: u64 = 160;
+
+/// Randomized market draw, same envelope as the crate's other proptests.
+fn params_strategy() -> impl Strategy<Value = MarketParams> {
+    (
+        2usize..24,
+        proptest::collection::vec(0.02..1.0f64, 24),
+        proptest::collection::vec(0.05..2.0f64, 24),
+        100usize..2000,
+        0.1..0.95f64,
+        0.1..0.9f64,
+        0.05..3.0f64,
+        10.0..500.0f64,
+    )
+        .prop_map(
+            |(m, lambdas, weights, n, v, theta1, rho1, rho2)| MarketParams {
+                buyer: BuyerParams {
+                    n_pieces: n,
+                    v,
+                    theta1,
+                    theta2: 1.0 - theta1,
+                    rho1,
+                    rho2,
+                },
+                broker: BrokerParams::paper_defaults(),
+                sellers: lambdas[..m]
+                    .iter()
+                    .map(|&lambda| SellerParams { lambda })
+                    .collect(),
+                weights: weights[..m].to_vec(),
+                loss_model: LossModel::Quadratic,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The SoA fixed point is bit-identical to the scalar reference — not
+    /// merely close: `to_bits()` equality on every seller's τ.
+    #[test]
+    fn soa_fixed_point_is_bit_identical_to_scalar(
+        params in params_strategy(),
+        p_d in 1e-4..0.5f64,
+    ) {
+        let scalar = tau_direct_linear_chi_scalar(&params, p_d, 500, 1e-12);
+        let soa = tau_direct_linear_chi(&params, p_d, 500, 1e-12);
+        match (scalar, soa) {
+            (Ok(s), Ok(v)) => {
+                prop_assert_eq!(s.len(), v.len());
+                for i in 0..s.len() {
+                    prop_assert_eq!(
+                        s[i].to_bits(), v[i].to_bits(),
+                        "seller {}: scalar {} vs SoA {}", i, s[i], v[i]
+                    );
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (s, v) => prop_assert!(
+                false,
+                "convergence mismatch: scalar ok={} soa ok={}",
+                s.is_ok(),
+                v.is_ok()
+            ),
+        }
+    }
+
+    /// A caller-owned workspace reused across solves with *different* `m`
+    /// and `p_d` never leaks state between calls.
+    #[test]
+    fn soa_workspace_reuse_is_stateless(
+        params_a in params_strategy(),
+        params_b in params_strategy(),
+        p_d in 1e-4..0.3f64,
+    ) {
+        let mut ws = Stage3Workspace::new();
+        // Dirty the workspace with market A, then solve market B and check
+        // against a fresh-workspace solve of B.
+        let _ = tau_direct_linear_chi_soa(&params_a, p_d, 500, 1e-12, &mut ws);
+        let reused = tau_direct_linear_chi_soa(&params_b, p_d, 500, 1e-12, &mut ws);
+        let fresh =
+            tau_direct_linear_chi_soa(&params_b, p_d, 500, 1e-12, &mut Stage3Workspace::new());
+        match (reused, fresh) {
+            (Ok(r), Ok(f)) => {
+                prop_assert_eq!(r.len(), f.len());
+                for i in 0..r.len() {
+                    prop_assert_eq!(r[i].to_bits(), f[i].to_bits());
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (r, f) => prop_assert!(
+                false,
+                "reuse changed convergence: reused ok={} fresh ok={}",
+                r.is_ok(),
+                f.is_ok()
+            ),
+        }
+    }
+}
+
+proptest! {
+    // The numeric solver runs a full Stage-3 response per objective
+    // evaluation; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Warm-starting from the cold solve's own prices (the best-case
+    /// neighbor) reaches the same SNE within `PRICE_TOL`, uses the hint
+    /// without falling back, and stays under the objective-work cap.
+    #[test]
+    fn warm_start_from_neighbor_matches_cold_sne(params in params_strategy()) {
+        let (cold, _, _) = solve_numeric_warm(&params, None).unwrap();
+        let hint = WarmStart { p_m: cold.p_m, p_d: cold.p_d };
+        let (warm, _, stats) = solve_numeric_warm(&params, Some(hint)).unwrap();
+        prop_assert!(stats.used_hint);
+        prop_assert!(!stats.fell_back, "self-hint fell back: {:?}", stats);
+        prop_assert!(
+            stats.grid_evals <= WARM_GRID_CAP,
+            "warm grids did {} evals (cap {})", stats.grid_evals, WARM_GRID_CAP
+        );
+        prop_assert!(
+            stats.grid_evals + stats.golden_iterations <= WARM_WORK_CAP,
+            "warm path did {} evals + {} golden iterations (cap {})",
+            stats.grid_evals, stats.golden_iterations, WARM_WORK_CAP
+        );
+        prop_assert!(
+            (warm.p_m - cold.p_m).abs() <= PRICE_TOL * cold.p_m.max(1e-9),
+            "p_m: warm {} vs cold {}", warm.p_m, cold.p_m
+        );
+        prop_assert!(
+            (warm.p_d - cold.p_d).abs() <= PRICE_TOL * cold.p_d.max(1e-9),
+            "p_d: warm {} vs cold {}", warm.p_d, cold.p_d
+        );
+    }
+
+    /// A hint an order of magnitude off either way still yields the cold
+    /// answer — the bracket-edge fallback fires instead of silently
+    /// returning a wrong equilibrium.
+    #[test]
+    fn warm_start_with_distant_hint_still_matches_cold(
+        params in params_strategy(),
+        factor in prop_oneof![Just(0.05f64), Just(20.0f64)],
+    ) {
+        let (cold, _, _) = solve_numeric_warm(&params, None).unwrap();
+        let hint = WarmStart {
+            p_m: factor * cold.p_m,
+            p_d: factor * cold.p_d,
+        };
+        let (warm, _, stats) = solve_numeric_warm(&params, Some(hint)).unwrap();
+        prop_assert!(stats.used_hint);
+        prop_assert!(
+            (warm.p_m - cold.p_m).abs() <= PRICE_TOL * cold.p_m.max(1e-9),
+            "p_m: warm {} vs cold {} (stats {:?})", warm.p_m, cold.p_m, stats
+        );
+        prop_assert!(
+            (warm.p_d - cold.p_d).abs() <= PRICE_TOL * cold.p_d.max(1e-9),
+            "p_d: warm {} vs cold {} (stats {:?})", warm.p_d, cold.p_d, stats
+        );
+    }
+}

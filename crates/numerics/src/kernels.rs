@@ -1,0 +1,175 @@
+//! Auto-vectorizable slice kernels for structure-of-arrays numeric loops.
+//!
+//! The market solver's hot inner loops (stage-3 Gauss–Seidel sweeps, warm
+//! restarts at every new price) spend most of their time on elementwise
+//! maps over per-seller coefficient arrays. Kept as plain `for` loops over
+//! contiguous `&[f64]` slices with the bounds hoisted, each kernel compiles
+//! to straight-line SIMD under `-O` (no gather, no stride) — the caller's
+//! job is to lay its data out as parallel slices (structure of arrays)
+//! instead of an array of structs.
+//!
+//! **Exact-operation-order contract**: every kernel documents the precise
+//! f64 expression it evaluates per element, and never reassociates,
+//! fuses (no `mul_add`), or reorders it. Callers that hoist a scalar
+//! subexpression out of a loop via these kernels therefore get results
+//! bit-identical to the original scalar code — the property the stage-3
+//! SoA/scalar differential tests pin.
+
+use crate::error::{NumericsError, Result};
+
+/// Check that every slice in `lens` matches `n` elements.
+fn check_lens(n: usize, lens: &[usize]) -> Result<()> {
+    if lens.iter().any(|&l| l != n) {
+        return Err(NumericsError::InvalidArgument {
+            name: "slice lengths",
+            reason: format!("kernel slices must all have length {n}, got {lens:?}"),
+        });
+    }
+    Ok(())
+}
+
+/// `dst[i] = k * src[i]`.
+///
+/// # Errors
+/// [`NumericsError::InvalidArgument`] when `dst` and `src` differ in length.
+pub fn scale(k: f64, src: &[f64], dst: &mut [f64]) -> Result<()> {
+    check_lens(src.len(), &[dst.len()])?;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = k * s;
+    }
+    Ok(())
+}
+
+/// `dst[i] = (k * a[i]) * b[i]` — note the parenthesization: the scalar is
+/// applied to `a` first, exactly as `((k * a) * b)` associates in source.
+///
+/// # Errors
+/// [`NumericsError::InvalidArgument`] on any length mismatch.
+pub fn scale_mul(k: f64, a: &[f64], b: &[f64], dst: &mut [f64]) -> Result<()> {
+    check_lens(a.len(), &[b.len(), dst.len()])?;
+    for i in 0..dst.len() {
+        dst[i] = (k * a[i]) * b[i];
+    }
+    Ok(())
+}
+
+/// `dst[i] = k / src[i]`.
+///
+/// # Errors
+/// [`NumericsError::InvalidArgument`] when `dst` and `src` differ in length.
+pub fn scale_recip(k: f64, src: &[f64], dst: &mut [f64]) -> Result<()> {
+    check_lens(src.len(), &[dst.len()])?;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = k / s;
+    }
+    Ok(())
+}
+
+/// Sequential dot product `Σ_i a[i]·b[i]`, accumulated strictly left to
+/// right — the same order as the scalar `zip(..).map(..).sum()` idiom, so
+/// substituting this kernel for that expression is bit-preserving. (A
+/// tree-reduced or SIMD-reassociated dot would be faster but would break
+/// the exact-order contract; this kernel's win is layout, not reassociation.)
+pub fn dot_seq(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// Clamp every element into `[lo, hi]` in place (f64::clamp semantics:
+/// NaN propagates, `-0.0` is treated as equal to `0.0`).
+pub fn clamp_in_place(x: &mut [f64], lo: f64, hi: f64) {
+    for v in x.iter_mut() {
+        *v = v.clamp(lo, hi);
+    }
+}
+
+/// Largest absolute elementwise difference `max_i |a[i] - b[i]|` over the
+/// common prefix; `0.0` for empty input.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let mut m = 0.0f64;
+    for i in 0..n {
+        let d = (a[i] - b[i]).abs();
+        if d > m {
+            m = d;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_matches_scalar_exactly() {
+        let src = [0.1, 0.2, 0.37, 1e-9, 1e9];
+        let mut dst = [0.0; 5];
+        scale(3.0, &src, &mut dst).unwrap();
+        for (d, s) in dst.iter().zip(&src) {
+            assert_eq!(d.to_bits(), (3.0 * s).to_bits());
+        }
+    }
+
+    #[test]
+    fn scale_mul_keeps_association_order() {
+        let a = [0.31, 7.7, 1e-13];
+        let b = [0.9, 0.001, 3e11];
+        let mut dst = [0.0; 3];
+        scale_mul(16.0 * 0.013, &a, &b, &mut dst).unwrap();
+        let k = 16.0 * 0.013;
+        for i in 0..3 {
+            assert_eq!(dst[i].to_bits(), ((k * a[i]) * b[i]).to_bits());
+            // The other association differs in general; the kernel must
+            // match the documented one, not this one.
+            let _other = k * (a[i] * b[i]);
+        }
+    }
+
+    #[test]
+    fn scale_recip_matches_scalar_division() {
+        let src = [3.0, 0.7, 123.456];
+        let mut dst = [0.0; 3];
+        scale_recip(2.0 * 0.014, &src, &mut dst).unwrap();
+        for i in 0..3 {
+            assert_eq!(dst[i].to_bits(), ((2.0 * 0.014) / src[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn dot_seq_matches_zip_sum_bitwise() {
+        let a: Vec<f64> = (0..100).map(|i| 0.013 * i as f64 + 1e-7).collect();
+        let b: Vec<f64> = (0..100).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let scalar: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(dot_seq(&a, &b).to_bits(), scalar.to_bits());
+    }
+
+    #[test]
+    fn clamp_in_place_clamps_and_propagates_nan() {
+        let mut x = [-0.5, 0.3, 1.7, f64::NAN];
+        clamp_in_place(&mut x, 0.0, 1.0);
+        assert_eq!(x[0], 0.0);
+        assert_eq!(x[1], 0.3);
+        assert_eq!(x[2], 1.0);
+        assert!(x[3].is_nan());
+    }
+
+    #[test]
+    fn max_abs_diff_basic() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 1.0]), 1.0);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+        assert_eq!(max_abs_diff(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_rejected() {
+        let mut dst = [0.0; 2];
+        assert!(scale(1.0, &[1.0, 2.0, 3.0], &mut dst).is_err());
+        assert!(scale_mul(1.0, &[1.0], &[1.0, 2.0], &mut dst).is_err());
+        assert!(scale_recip(1.0, &[1.0], &mut dst).is_err());
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod decomp;
 pub mod error;
+pub mod kernels;
 pub mod lstsq;
 pub mod matrix;
 pub mod optimize;

@@ -8,6 +8,7 @@
 //! share params --m 100 --seed 42                  # emit a params JSON for editing
 //! share solve  --config market.json               # solve an edited configuration
 //! share serve  --tcp 127.0.0.1:7878 --workers 4   # NDJSON serving engine (or stdio)
+//! share serve  --tcp 127.0.0.1:7878 --warm-start  # numeric solves seed neighbors' brackets
 //! share serve  --tcp 127.0.0.1:7878 --metrics-addr 127.0.0.1:9184  # + Prometheus scrape endpoint
 //! share request --addr 127.0.0.1:7878 --m 50 --seed 1 --mode mean_field
 //! share request --addr 127.0.0.1:7878 --stats    # metrics snapshot (with latency quantiles)
@@ -359,6 +360,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             .get("snapshot-path")
             .map(std::path::PathBuf::from),
         node_id: args.options.get("node-id").cloned(),
+        warm_start: args.has_flag("warm-start"),
     };
     if config.workers == 0 {
         return Err("--workers must be at least 1".to_string());
@@ -744,7 +746,7 @@ const USAGE: &str = "usage: share_cli <solve|verify|sweep|trade|params|serve|req
 [--seed S] [--config file.json] [--json] [--param theta1 --lo .. --hi .. --points ..] \
 [--rounds R --n N] [--tcp ADDR --reactors R --workers W --queue Q --cache C --cache-shards S --tol T \
 --metrics-addr ADDR --shed-at DEPTH --degrade-at DEPTH --restart-budget N \
---node-id ID --snapshot-path FILE \
+--node-id ID --snapshot-path FILE --warm-start \
 --trace-slow-ms MS --trace-sample-every N --trace-seed S \
 --fault-plan seed=S,panic=P,drop=P,latency=P,latency_ms=MS,diverge=P] \
 [--addr HOST:PORT --mode direct|mean_field|numeric --deadline-ms MS --retries N \
